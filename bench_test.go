@@ -1,0 +1,366 @@
+// Package heterodc_bench is the benchmark harness: one testing.B benchmark
+// per table and figure of the paper's evaluation (regenerating its rows at
+// quick scale and reporting the headline quantities as custom metrics), plus
+// micro-benchmarks of the substrate (compiler, machine simulator, stack
+// transformation, DSM). Run everything with:
+//
+//	go test -bench=. -benchmem .
+//
+// The full-scale experiment grids are driven by cmd/hdcbench.
+package heterodc_bench
+
+import (
+	"testing"
+
+	"heterodc/internal/core"
+	"heterodc/internal/exp"
+	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
+	"heterodc/internal/npb"
+	"heterodc/internal/sched"
+	"heterodc/internal/trace"
+)
+
+func cfg() exp.Config { return exp.Config{Scale: exp.Quick} }
+
+// BenchmarkFig1EmulationSlowdown regenerates Figure 1: emulation slowdown
+// of cross-ISA binaries versus native execution, both directions.
+func BenchmarkFig1EmulationSlowdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig1(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var a2x, x2a []float64
+		for _, row := range r.Rows {
+			if row.Guest == isa.ARM64 {
+				a2x = append(a2x, row.Slowdown)
+			} else {
+				x2a = append(x2a, row.Slowdown)
+			}
+		}
+		b.ReportMetric(trace.GeoMean(a2x), "arm-on-x86-slowdown")
+		b.ReportMetric(trace.GeoMean(x2a), "x86-on-arm-slowdown")
+		if err := r.ShapeHolds(); err != nil {
+			b.Fatalf("shape: %v", err)
+		}
+	}
+}
+
+// BenchmarkFig3to5MigrationPointHistogram regenerates Figures 3-5: the
+// distribution of instructions between migration points before and after
+// the insertion pass.
+func BenchmarkFig3to5MigrationPointHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := exp.Fig345(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var preMax, postMax float64
+		for _, r := range rs {
+			if m := float64(r.PreMax); m > preMax {
+				preMax = m
+			}
+			if m := float64(r.PostMax); m > postMax {
+				postMax = m
+			}
+		}
+		b.ReportMetric(preMax, "pre-max-gap-instrs")
+		b.ReportMetric(postMax, "post-max-gap-instrs")
+	}
+}
+
+// BenchmarkFig6to9MigrationPointOverhead regenerates Figures 6-9: the
+// execution-time overhead of inserted migration points.
+func BenchmarkFig6to9MigrationPointOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Fig6789(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ov []float64
+		for _, r := range rows {
+			ov = append(ov, r.OverheadPct)
+		}
+		b.ReportMetric(trace.Mean(ov), "avg-overhead-pct")
+		if err := exp.Fig6789ShapeHolds(rows); err != nil {
+			b.Fatalf("shape: %v", err)
+		}
+	}
+}
+
+// BenchmarkTable1AlignmentCost regenerates Table 1: execution-time and
+// L1I-miss ratios of the aligned layout versus the natural layout.
+func BenchmarkTable1AlignmentCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Table1(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ratios []float64
+		for _, r := range rows {
+			ratios = append(ratios, r.ExecRatio)
+		}
+		b.ReportMetric(trace.Mean(ratios), "exec-ratio")
+		if err := exp.Table1ShapeHolds(rows); err != nil {
+			b.Fatalf("shape: %v", err)
+		}
+	}
+}
+
+// BenchmarkFig10StackTransform regenerates Figure 10: stack-transformation
+// latency quartiles per benchmark and direction.
+func BenchmarkFig10StackTransform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := exp.Fig10(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var x86Med, armMed []float64
+		for _, r := range rs {
+			if r.Summary.N == 0 {
+				continue
+			}
+			if r.SrcArch == isa.X86 {
+				x86Med = append(x86Med, r.Summary.Median)
+			} else {
+				armMed = append(armMed, r.Summary.Median)
+			}
+		}
+		b.ReportMetric(trace.Mean(x86Med), "x86-median-us")
+		b.ReportMetric(trace.Mean(armMed), "arm-median-us")
+		if err := exp.Fig10ShapeHolds(rs); err != nil {
+			b.Fatalf("shape: %v", err)
+		}
+	}
+}
+
+// BenchmarkFig11MigrationVsSerialization regenerates Figure 11: end-to-end
+// time of the natively migrated run versus the PadMig-style serialization
+// baseline.
+func BenchmarkFig11MigrationVsSerialization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Fig11(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.ManagedSeconds/r.NativeSeconds, "managed-vs-native-ratio")
+		b.ReportMetric(float64(r.NativePages), "pages-pulled-on-demand")
+		if err := r.ShapeHolds(); err != nil {
+			b.Fatalf("shape: %v", err)
+		}
+	}
+}
+
+// BenchmarkFig12SustainedWorkload regenerates Figure 12: the sustained
+// scheduling study's energy savings and makespan ratios.
+func BenchmarkFig12SustainedWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sets, err := exp.Fig12(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := exp.SummarizeFig12(sets)
+		b.ReportMetric(s.AvgEnergySavingPct["dynamic unbalanced"], "unbalanced-energy-saving-pct")
+		b.ReportMetric(s.AvgEnergySavingPct["dynamic balanced"], "balanced-energy-saving-pct")
+		b.ReportMetric(s.AvgMakespanRatio["dynamic balanced"], "balanced-makespan-ratio")
+		if err := exp.Fig12ShapeHolds(sets); err != nil {
+			b.Fatalf("shape: %v", err)
+		}
+	}
+}
+
+// BenchmarkFig13PeriodicWorkload regenerates Figure 13: energy and EDP of
+// the dynamic policy under periodic arrivals versus the static pair.
+func BenchmarkFig13PeriodicWorkload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sets, err := exp.Fig13(cfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var savings, edp []float64
+		for _, fs := range sets {
+			savings = append(savings, (1-fs.Dynamic.EnergyTotal/fs.Static.EnergyTotal)*100)
+			edp = append(edp, (1-fs.Dynamic.EDP/fs.Static.EDP)*100)
+		}
+		b.ReportMetric(trace.Mean(savings), "energy-saving-pct")
+		b.ReportMetric(trace.Mean(edp), "edp-reduction-pct")
+		if err := exp.Fig13ShapeHolds(sets); err != nil {
+			b.Fatalf("shape: %v", err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkCompileCG measures toolchain throughput: mini-C -> IR -> both
+// backends -> aligned link, for the CG benchmark.
+func BenchmarkCompileCG(b *testing.B) {
+	src, err := npb.Source(npb.CG, npb.ClassA, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build("cg", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachineSimMIPS measures simulator speed: simulated instructions
+// per wall second while running EP serially.
+func BenchmarkMachineSimMIPS(b *testing.B) {
+	img, err := npb.Build(npb.EP, npb.ClassA, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		cl := core.NewSingle(isa.X86)
+		p, err := cl.Spawn(img, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cl.RunProcess(p); err != nil {
+			b.Fatal(err)
+		}
+		instrs += cl.Kernels[0].InstrsRetired
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "simulated-MIPS")
+}
+
+// BenchmarkStackTransformRoundTrip measures one full bounce (x86->arm->x86)
+// including stack transformation and page pulls, on a recursive workload.
+func BenchmarkStackTransformRoundTrip(b *testing.B) {
+	img, err := core.Build("bounce", core.Src("bounce.c", `
+long deep(long n, long acc) {
+	long buf[8];
+	buf[0] = acc;
+	if (n == 0) {
+		migrate(1 - getnode());
+		return buf[0];
+	}
+	return deep(n - 1, acc + n) + buf[0];
+}
+long main(void) {
+	long total = 0;
+	for (long i = 0; i < 50; i++) total += deep(10, i);
+	print_i64_ln(total);
+	return 0;
+}
+`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(img, core.NodeX86)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Migrations == 0 {
+			b.Fatal("no migrations")
+		}
+		b.ReportMetric(float64(res.Migrations), "migrations/op")
+	}
+}
+
+// BenchmarkDSMPingPong measures the DSM's worst case: two machines
+// alternately writing the same page.
+func BenchmarkDSMPingPong(b *testing.B) {
+	img, err := core.Build("pingpong", core.Src("pp.c", `
+long shared_word = 0;
+long worker(long tid) {
+	// The spawned thread hops to the other machine so the shared page
+	// ping-pongs across the DSM.
+	if (tid == 1) migrate(1);
+	for (long i = 0; i < 200; i++) {
+		__atomic_add(&shared_word, 1);
+		yield();
+	}
+	return 0;
+}
+long main(void) {
+	long t = spawn(worker, 1);
+	worker(0);
+	join(t);
+	print_i64_ln(shared_word);
+	return 0;
+}
+`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := core.NewTestbed()
+		p, err := cl.Spawn(img, core.NodeX86)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Split the two threads across machines to force page ping-pong.
+		ref, err := core.Wait(cl, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = ref
+		b.ReportMetric(float64(cl.Kernels[0].PagesIn+cl.Kernels[1].PagesIn), "page-transfers/op")
+	}
+}
+
+// BenchmarkSchedulerThroughput measures the workload driver's cost on a
+// small sustained mix.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	jobs := sched.GenerateJobs(7, 6, []npb.Class{npb.ClassS}, nil)
+	for i := 0; i < b.N; i++ {
+		pol := sched.DynamicBalanced()
+		cl, models := sched.TestbedFor(pol, true)
+		r := sched.NewRunner(cl, pol, models)
+		if _, err := r.Run(sched.Workload{Jobs: jobs, Concurrency: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkContainerMigration measures whole-container (multi-threaded)
+// migration end to end.
+func BenchmarkContainerMigration(b *testing.B) {
+	img, err := npb.Build(npb.CG, npb.ClassS, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := core.Run(img, core.NodeX86)
+	if err != nil {
+		b.Fatal(err)
+	}
+	moveAt := ref.Seconds * 0.3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl := core.NewTestbed()
+		p, err := cl.Spawn(img, core.NodeX86)
+		if err != nil {
+			b.Fatal(err)
+		}
+		moved := false
+		var moves int
+		cl.OnMigration = func(kernel.MigrationEvent) { moves++ }
+		for {
+			if done, _ := p.Exited(); done {
+				break
+			}
+			if !moved && cl.Time() > moveAt {
+				cl.RequestProcessMigration(p, core.NodeARM)
+				moved = true
+			}
+			if !cl.Step() {
+				b.Fatal("drained")
+			}
+		}
+		if err := p.Err(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(moves), "threads-moved/op")
+	}
+}

@@ -1,0 +1,187 @@
+// Command hdcbench regenerates the paper's evaluation: every table and
+// figure has a corresponding experiment that prints the same rows/series.
+//
+// Usage:
+//
+//	hdcbench -exp fig1        # emulation slowdowns (Figure 1)
+//	hdcbench -exp fig345      # instructions between migration points
+//	hdcbench -exp fig6789     # migration-point overhead
+//	hdcbench -exp tab1        # symbol-alignment cost (Table 1)
+//	hdcbench -exp fig10       # stack-transformation latency
+//	hdcbench -exp fig11       # migration vs serialization traces
+//	hdcbench -exp fig12       # sustained-workload scheduling study
+//	hdcbench -exp fig13       # periodic-workload scheduling study
+//	hdcbench -exp all
+//
+// -scale quick|default|full selects the parameter grid (full is the paper's
+// grid and takes tens of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heterodc/internal/exp"
+	"heterodc/internal/trace"
+)
+
+func main() {
+	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|all")
+	scale := flag.String("scale", "default", "quick|default|full")
+	flag.Parse()
+
+	cfg := exp.Config{W: os.Stdout}
+	switch *scale {
+	case "quick":
+		cfg.Scale = exp.Quick
+	case "default":
+		cfg.Scale = exp.Default
+	case "full":
+		cfg.Scale = exp.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		if *expName != "all" && *expName != name {
+			return
+		}
+		fmt.Printf("\n===== %s =====\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig1", func() error {
+		r, err := exp.Fig1(cfg)
+		if err != nil {
+			return err
+		}
+		r.Print(cfg)
+		if err := r.ShapeHolds(); err != nil {
+			fmt.Printf("SHAPE WARNING: %v\n", err)
+		} else {
+			fmt.Println("shape check: OK (emulation 1-4 orders of magnitude; x86-on-ARM far worse)")
+		}
+		return nil
+	})
+
+	run("fig345", func() error {
+		rs, err := exp.Fig345(cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			r.Print(cfg)
+		}
+		return nil
+	})
+
+	run("fig6789", func() error {
+		rows, err := exp.Fig6789(cfg)
+		if err != nil {
+			return err
+		}
+		if err := exp.Fig6789ShapeHolds(rows); err != nil {
+			fmt.Printf("SHAPE WARNING: %v\n", err)
+		} else {
+			fmt.Println("shape check: OK (migration-point overhead small, mostly <5%)")
+		}
+		return nil
+	})
+
+	run("tab1", func() error {
+		rows, err := exp.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		if err := exp.Table1ShapeHolds(rows); err != nil {
+			fmt.Printf("SHAPE WARNING: %v\n", err)
+		} else {
+			fmt.Println("shape check: OK (alignment costs ~1% or less)")
+		}
+		return nil
+	})
+
+	run("fig10", func() error {
+		rs, err := exp.Fig10(cfg)
+		if err != nil {
+			return err
+		}
+		if err := exp.Fig10ShapeHolds(rs); err != nil {
+			fmt.Printf("SHAPE WARNING: %v\n", err)
+		} else {
+			fmt.Println("shape check: OK (x86 < ~400µs, ARM ~2x)")
+		}
+		return nil
+	})
+
+	run("fig11", func() error {
+		r, err := exp.Fig11(cfg)
+		if err != nil {
+			return err
+		}
+		r.PrintTraces(cfg, 40)
+		if err := r.ShapeHolds(); err != nil {
+			fmt.Printf("SHAPE WARNING: %v\n", err)
+		} else {
+			fmt.Println("shape check: OK (managed ~2x native end-to-end; native resumes immediately)")
+		}
+		return nil
+	})
+
+	run("fig12", func() error {
+		sets, err := exp.Fig12(cfg)
+		if err != nil {
+			return err
+		}
+		s := exp.SummarizeFig12(sets)
+		fmt.Println("\nFigure 12 summary (vs static x86 pair):")
+		for pol, save := range s.AvgEnergySavingPct {
+			fmt.Printf("  %-22s avg energy saving %5.1f%% (max %5.1f%%), makespan ratio %.2fx\n",
+				pol, save, s.MaxEnergySavingPct[pol], s.AvgMakespanRatio[pol])
+		}
+		if err := exp.Fig12ShapeHolds(sets); err != nil {
+			fmt.Printf("SHAPE WARNING: %v\n", err)
+		} else {
+			fmt.Println("shape check: OK (dynamic policies trade makespan for energy)")
+		}
+		return nil
+	})
+
+	run("ablation", func() error {
+		if _, err := exp.AblationPointPlacement(cfg); err != nil {
+			return err
+		}
+		_, err := exp.AblationDSMMode(cfg)
+		return err
+	})
+
+	run("rack", func() error {
+		_, err := exp.RackScale(cfg)
+		return err
+	})
+
+	run("fig13", func() error {
+		sets, err := exp.Fig13(cfg)
+		if err != nil {
+			return err
+		}
+		var savings, edp []float64
+		for _, fs := range sets {
+			savings = append(savings, (1-fs.Dynamic.EnergyTotal/fs.Static.EnergyTotal)*100)
+			edp = append(edp, (1-fs.Dynamic.EDP/fs.Static.EDP)*100)
+		}
+		fmt.Printf("\nFigure 13 summary: avg energy saving %.1f%%, avg EDP reduction %.1f%%\n",
+			trace.Mean(savings), trace.Mean(edp))
+		if err := exp.Fig13ShapeHolds(sets); err != nil {
+			fmt.Printf("SHAPE WARNING: %v\n", err)
+		} else {
+			fmt.Println("shape check: OK (migration reduces energy for bursty arrivals)")
+		}
+		return nil
+	})
+}

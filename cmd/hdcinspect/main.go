@@ -1,0 +1,137 @@
+// Command hdcinspect dumps a multi-ISA binary: the common symbol layout,
+// per-ISA code sizes and disassembly, and the stackmap/unwind metadata the
+// migration runtime consumes. It is the analogue of objdump/readelf for the
+// reproduction's image format.
+//
+// Usage:
+//
+//	hdcinspect -bench cg -class S                # symbol table + summary
+//	hdcinspect -bench is -func full_verify -dis  # disassemble one function
+//	hdcinspect -src prog.c -maps                 # stackmap records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"heterodc/internal/core"
+	"heterodc/internal/isa"
+	"heterodc/internal/link"
+	"heterodc/internal/npb"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name")
+	class := flag.String("class", "S", "problem class")
+	threads := flag.Int("threads", 1, "threads")
+	srcPath := flag.String("src", "", "mini-C source file")
+	fn := flag.String("func", "", "restrict to one function")
+	dis := flag.Bool("dis", false, "disassemble code")
+	maps := flag.Bool("maps", false, "dump stackmap/unwind metadata")
+	flag.Parse()
+
+	var img *link.Image
+	var err error
+	switch {
+	case *srcPath != "":
+		src, rerr := os.ReadFile(*srcPath)
+		fatal(rerr)
+		img, err = core.Build(*srcPath, core.Src(*srcPath, string(src)))
+	case *bench != "":
+		img, err = npb.Build(npb.Bench(*bench), npb.Class((*class)[0]), *threads)
+	default:
+		fmt.Fprintln(os.Stderr, "need -bench or -src")
+		os.Exit(2)
+	}
+	fatal(err)
+
+	fmt.Printf("image %q  aligned=%v  text end %#x  data end %#x\n\n",
+		img.Name, img.Aligned, img.TextEnd, img.DataEnd)
+
+	// Symbol table: functions with per-ISA sizes at the common address.
+	x86 := img.Prog(isa.X86)
+	arm := img.Prog(isa.ARM64)
+	var names []string
+	for name := range x86.ByName {
+		if *fn == "" || *fn == name {
+			names = append(names, name)
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return x86.ByName[names[i]].Base < x86.ByName[names[j]].Base
+	})
+
+	fmt.Printf("%-24s %-12s %10s %10s\n", "function", "address", "x86 bytes", "arm bytes")
+	for _, name := range names {
+		fx, fa := x86.ByName[name], arm.ByName[name]
+		fmt.Printf("%-24s %#-12x %10d %10d\n", name, fx.Base, fx.Size, fa.Size)
+	}
+
+	fmt.Printf("\n%-24s %-12s %8s\n", "global", "address", "bytes")
+	var globals []string
+	for g := range img.GlobalAddr[isa.X86] {
+		globals = append(globals, g)
+	}
+	sort.Slice(globals, func(i, j int) bool {
+		return img.GlobalAddr[isa.X86][globals[i]] < img.GlobalAddr[isa.X86][globals[j]]
+	})
+	for _, g := range globals {
+		size := int64(0)
+		if gv := img.Module.Global(g); gv != nil {
+			size = gv.Size
+		}
+		fmt.Printf("%-24s %#-12x %8d\n", g, img.GlobalAddr[isa.X86][g], size)
+	}
+
+	if *dis {
+		for _, name := range names {
+			for _, arch := range isa.Arches {
+				f := img.Prog(arch).ByName[name]
+				fmt.Printf("\n--- %s (%s) @ %#x, %d bytes ---\n", name, arch, f.Base, f.Size)
+				for i := range f.Code {
+					fmt.Printf("  %#08x: %s\n", f.Addr[i], f.Code[i].String())
+				}
+			}
+		}
+	}
+
+	if *maps {
+		for _, name := range names {
+			for _, arch := range isa.Arches {
+				fi := img.Prog(arch).SMap.Funcs[name]
+				if fi == nil {
+					continue
+				}
+				fmt.Printf("\n--- metadata %s (%s): frame %d bytes, %d saves, %d allocas ---\n",
+					name, arch, fi.FrameSize, len(fi.Saves), len(fi.AllocaOffsets))
+				for _, s := range fi.Saves {
+					fmt.Printf("  save reg %d (float=%v) at fp%+d\n", s.Reg, s.IsFloat, s.Off)
+				}
+				for i, off := range fi.AllocaOffsets {
+					fmt.Printf("  alloca %d: fp%+d (%d bytes)\n", i, off, fi.AllocaSizes[i])
+				}
+				var ids []int
+				for id := range fi.CallSites {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
+				for _, id := range ids {
+					cs := fi.CallSites[id]
+					fmt.Printf("  call site %d: retPC %#x, %d live values\n", id, cs.RetPC, len(cs.Live))
+					for _, lv := range cs.Live {
+						fmt.Printf("    v%d %s @ %s\n", lv.VReg, lv.Type, lv.Loc)
+					}
+				}
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdcinspect:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+// Command hdcrun compiles and runs one workload on the simulated
+// heterogeneous-ISA testbed: either a mini-C source file or a named NPB-like
+// benchmark. It can force a one-shot container migration mid-run, and
+// reports timing, energy and DSM statistics.
+//
+// Usage:
+//
+//	hdcrun -bench cg -class A -threads 4 -node x86
+//	hdcrun -bench is -class B -migrate-at 0.5 -migrate-to arm
+//	hdcrun -src prog.c -node arm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heterodc/internal/core"
+	"heterodc/internal/kernel"
+	"heterodc/internal/link"
+	"heterodc/internal/npb"
+	"heterodc/internal/power"
+)
+
+func parseNode(s string) (int, error) {
+	switch s {
+	case "x86", "0":
+		return core.NodeX86, nil
+	case "arm", "arm64", "1":
+		return core.NodeARM, nil
+	}
+	return 0, fmt.Errorf("unknown node %q (use x86 or arm)", s)
+}
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (ep|is|cg|ft|bt|sp|mg|bzip2smp|verus)")
+	class := flag.String("class", "A", "problem class (S|A|B|C)")
+	threads := flag.Int("threads", 1, "worker threads")
+	srcPath := flag.String("src", "", "mini-C source file to compile and run instead of -bench")
+	nodeStr := flag.String("node", "x86", "start node (x86|arm)")
+	migrateAt := flag.Float64("migrate-at", -1, "fraction of the reference runtime at which to migrate the container (0..1)")
+	migrateTo := flag.String("migrate-to", "arm", "migration target (x86|arm)")
+	showOut := flag.Bool("output", true, "print program output")
+	flag.Parse()
+
+	node, err := parseNode(*nodeStr)
+	fatal(err)
+	target, err := parseNode(*migrateTo)
+	fatal(err)
+
+	var img *link.Image
+	switch {
+	case *srcPath != "":
+		src, err := os.ReadFile(*srcPath)
+		fatal(err)
+		img, err = core.Build(*srcPath, core.Src(*srcPath, string(src)))
+		fatal(err)
+	case *bench != "":
+		if len(*class) != 1 {
+			fatal(fmt.Errorf("bad class %q", *class))
+		}
+		img, err = npb.Build(npb.Bench(*bench), npb.Class((*class)[0]), *threads)
+		fatal(err)
+	default:
+		fmt.Fprintln(os.Stderr, "need -bench or -src")
+		os.Exit(2)
+	}
+
+	// Reference run for migration positioning.
+	var refSeconds float64
+	if *migrateAt >= 0 {
+		ref, err := core.Run(img, node)
+		fatal(err)
+		refSeconds = ref.Seconds
+	}
+
+	cl := core.NewTestbed()
+	meter := power.NewMeter(cl, power.DefaultModels(cl, false))
+	migrations := 0
+	cl.OnMigration = func(ev kernel.MigrationEvent) {
+		migrations++
+		fmt.Printf("migration: t=%.6fs tid=%d %d->%d in %s (%d frames, %d live values, %.0fµs)\n",
+			ev.Time, ev.Tid, ev.From, ev.To, ev.FuncName,
+			ev.Stats.Frames, ev.Stats.LiveValues, ev.XformSeconds*1e6)
+	}
+	p, err := cl.Spawn(img, node)
+	fatal(err)
+
+	requested := false
+	for {
+		if done, _ := p.Exited(); done {
+			break
+		}
+		if *migrateAt >= 0 && !requested && cl.Time() >= refSeconds**migrateAt {
+			cl.RequestProcessMigration(p, target)
+			requested = true
+		}
+		if !cl.Step() {
+			fatal(fmt.Errorf("cluster drained before exit"))
+		}
+	}
+	fatal(p.Err())
+
+	if *showOut {
+		os.Stdout.Write(p.Output())
+	}
+	_, code := p.Exited()
+	fmt.Printf("\nexit code      : %d\n", code)
+	fmt.Printf("simulated time : %.6f s\n", cl.Time())
+	fmt.Printf("migrations     : %d\n", migrations)
+	for i, k := range cl.Kernels {
+		e := meter.EnergyCPU()[i]
+		fmt.Printf("node %d (%s): %.3e instrs, %.2f J CPU energy, %d pages in / %d out\n",
+			i, k.Arch, float64(k.InstrsRetired), e, k.PagesIn, k.PagesOut)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hdcrun:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestParseNode(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		err  bool
+	}{
+		{"x86", 0, false}, {"0", 0, false},
+		{"arm", 1, false}, {"arm64", 1, false}, {"1", 1, false},
+		{"riscv", 0, true}, {"", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parseNode(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("parseNode(%q) = %d, %v", c.in, got, err)
+		}
+	}
+}

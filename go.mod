@@ -1,0 +1,3 @@
+module heterodc
+
+go 1.22

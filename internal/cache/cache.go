@@ -1,0 +1,128 @@
+// Package cache implements the set-associative L1 cache simulator used for
+// the paper's Table 1 (alignment impact on L1 instruction-cache miss ratios)
+// and for the machine cycle model.
+package cache
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes  int   // total capacity
+	LineBytes  int   // line size
+	Ways       int   // associativity
+	MissCycles int64 // penalty added on a miss
+}
+
+// DefaultL1 is the 32 KiB, 8-way, 64 B-line geometry of both evaluation
+// machines' L1 caches.
+func DefaultL1(missCycles int64) Config {
+	return Config{SizeBytes: 32 * 1024, LineBytes: 64, Ways: 8, MissCycles: missCycles}
+}
+
+// Cache is a set-associative cache with LRU replacement. It tracks only
+// tags (contents live in simulated memory), which is all the cycle model
+// needs.
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	setMask  uint64
+	// tags[set*ways+way]; valid bit folded into tag via tag+1 (0 = invalid).
+	tags []uint64
+	// lru[set*ways+way] = recency counter; higher = more recent.
+	lru     []uint64
+	counter uint64
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) *Cache {
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	lb := uint(0)
+	for 1<<lb < cfg.LineBytes {
+		lb++
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		lineBits: lb,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*cfg.Ways),
+		lru:      make([]uint64, sets*cfg.Ways),
+	}
+}
+
+// Access simulates a cache access to addr and returns the added cycle
+// penalty (0 on hit, MissCycles on miss).
+func (c *Cache) Access(addr uint64) int64 {
+	c.Accesses++
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	tag := line + 1 // +1 so tag 0 never collides with the invalid marker
+	base := set * c.cfg.Ways
+
+	c.counter++
+	// Hit?
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			c.lru[base+w] = c.counter
+			return 0
+		}
+	}
+	// Miss: evict LRU way.
+	c.Misses++
+	victim := base
+	for w := 1; w < c.cfg.Ways; w++ {
+		if c.lru[base+w] < c.lru[victim] {
+			victim = base + w
+		}
+	}
+	c.tags[victim] = tag
+	c.lru[victim] = c.counter
+	return c.cfg.MissCycles
+}
+
+// AccessRange simulates an access spanning [addr, addr+size) — e.g. a
+// variable-length instruction fetch that may straddle a line boundary —
+// returning the total penalty.
+func (c *Cache) AccessRange(addr uint64, size int64) int64 {
+	if size <= 0 {
+		size = 1
+	}
+	first := addr >> c.lineBits
+	last := (addr + uint64(size) - 1) >> c.lineBits
+	var penalty int64
+	for l := first; l <= last; l++ {
+		penalty += c.Access(l << c.lineBits)
+	}
+	return penalty
+}
+
+// MissRatio returns Misses/Accesses (0 if no accesses).
+func (c *Cache) MissRatio() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+	c.counter = 0
+	c.Accesses = 0
+	c.Misses = 0
+}
+
+// Flush invalidates contents but keeps statistics (e.g. after migration the
+// destination core starts cold).
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+		c.lru[i] = 0
+	}
+}

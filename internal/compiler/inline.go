@@ -1,0 +1,139 @@
+package compiler
+
+import (
+	"heterodc/internal/ir"
+)
+
+// InlineTinyFunctions performs bottom-up inlining of trivial callees:
+// single-block, alloca-free, call-free functions of at most maxInstrs IR
+// instructions. Production compilers inline these at -O3; without it, a
+// three-line helper called in a hot loop pays call/return and (worse)
+// migration-point overhead on every iteration. Returns the number of call
+// sites inlined.
+func InlineTinyFunctions(m *ir.Module, maxInstrs, rounds int) int {
+	if maxInstrs <= 0 {
+		maxInstrs = 24
+	}
+	if rounds <= 0 {
+		rounds = 3
+	}
+	total := 0
+	for r := 0; r < rounds; r++ {
+		n := inlineRound(m, maxInstrs)
+		total += n
+		if n == 0 {
+			break
+		}
+	}
+	return total
+}
+
+// inlinable reports whether f can be spliced into callers: its entry block
+// must be straight-line (no branches, no calls) and end in a return, which
+// makes every other block unreachable (the frontend emits a dead implicit-
+// return block after explicit returns).
+func inlinable(f *ir.Func, maxInstrs int) bool {
+	if f.NoMigrate || f.IsEntry {
+		return false
+	}
+	if len(f.AllocaSizes) != 0 {
+		return false
+	}
+	blk := f.Blocks[0]
+	if len(blk.Instrs) == 0 || len(blk.Instrs) > maxInstrs {
+		return false
+	}
+	for i := range blk.Instrs {
+		in := &blk.Instrs[i]
+		if in.IsCallLike() || in.Kind == ir.KBr || in.Kind == ir.KCondBr {
+			return false
+		}
+	}
+	return blk.Instrs[len(blk.Instrs)-1].Kind == ir.KRet
+}
+
+func inlineRound(m *ir.Module, maxInstrs int) int {
+	candidates := map[string]*ir.Func{}
+	for _, f := range m.Funcs {
+		if inlinable(f, maxInstrs) {
+			candidates[f.Name] = f
+		}
+	}
+	if len(candidates) == 0 {
+		return 0
+	}
+	count := 0
+	for _, f := range m.Funcs {
+		for _, blk := range f.Blocks {
+			var out []ir.Instr
+			changed := false
+			for ii := range blk.Instrs {
+				in := blk.Instrs[ii]
+				callee := (*ir.Func)(nil)
+				if in.Kind == ir.KCall {
+					if g, ok := candidates[in.Sym]; ok && g.Name != f.Name {
+						callee = g
+					}
+				}
+				if callee == nil {
+					out = append(out, in)
+					continue
+				}
+				out = append(out, splice(f, callee, &in)...)
+				changed = true
+				count++
+			}
+			if changed {
+				blk.Instrs = out
+			}
+		}
+	}
+	return count
+}
+
+// splice produces the inlined body of callee for the call instruction in,
+// allocating fresh vregs in caller and binding parameters to arguments.
+func splice(caller, callee *ir.Func, call *ir.Instr) []ir.Instr {
+	vmap := make([]ir.VReg, callee.NumVRegs())
+	for v := 0; v < callee.NumVRegs(); v++ {
+		vmap[v] = caller.NewVReg(callee.TypeOf(ir.VReg(v)))
+	}
+	var out []ir.Instr
+	// Bind parameters.
+	for i := range callee.Params {
+		out = append(out, ir.Instr{
+			Kind: ir.KMov, Dst: vmap[i], A: call.Args[i], B: ir.NoV, C: ir.NoV,
+		})
+	}
+	remap := func(v ir.VReg) ir.VReg {
+		if v == ir.NoV {
+			return ir.NoV
+		}
+		return vmap[v]
+	}
+	body := callee.Blocks[0].Instrs
+	for i := range body {
+		src := body[i]
+		if src.Kind == ir.KRet {
+			if call.Dst != ir.NoV && src.A != ir.NoV {
+				out = append(out, ir.Instr{
+					Kind: ir.KMov, Dst: call.Dst, A: remap(src.A), B: ir.NoV, C: ir.NoV,
+				})
+			}
+			break // single return terminates the body
+		}
+		dup := src
+		dup.Dst = remap(src.Dst)
+		dup.A = remap(src.A)
+		dup.B = remap(src.B)
+		dup.C = remap(src.C)
+		if len(src.Args) > 0 {
+			dup.Args = make([]ir.VReg, len(src.Args))
+			for j, a := range src.Args {
+				dup.Args[j] = remap(a)
+			}
+		}
+		out = append(out, dup)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"heterodc/internal/minic"
+)
+
+func TestInlinerFires(t *testing.T) {
+	m, err := minic.CompileToIR("t", minic.Source{Name: "t.c", Code: `
+long rand_from(long *state) {
+	*state = (*state * 1220703125 + 11) & 70368744177663;
+	return *state;
+}
+double rand01_from(long *state) {
+	return (double)rand_from(state) * 0.5;
+}
+long main(void) {
+	long s = 3;
+	double acc = 0.0;
+	for (long i = 0; i < 10; i++) acc += rand01_from(&s);
+	return (long)acc;
+}`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		n := inlineRound(m, 24)
+		t.Logf("round %d: %d sites; rand01 inlinable=%v", r, n, inlinable(m.Func("rand01_from"), 24))
+		if n == 0 {
+			break
+		}
+	}
+	dump := m.Func("main").String()
+	if strings.Contains(dump, "call rand01_from") {
+		t.Errorf("rand01_from not inlined into main:\n%s", dump)
+	}
+}

@@ -1,0 +1,255 @@
+package compiler
+
+import (
+	"heterodc/internal/ir"
+)
+
+// liveness computes, for every instruction of f, the set of virtual
+// registers live *after* it. It runs once on the IR, so the live set at
+// each call site — the set the stackmaps describe — is identical for every
+// ISA backend, which is the property that lets the runtime correlate live
+// values across architectures.
+type liveness struct {
+	f *ir.Func
+	// liveOut[block][instr] is a bitset over vregs.
+	liveOut [][]bitset
+	// blockIn[b] is the live-in set of block b.
+	blockIn []bitset
+	// weight[v] is the allocation priority of vreg v (loop-weighted use count).
+	weight []int64
+}
+
+// bitset is a simple word-packed vreg set.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i ir.VReg)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i ir.VReg)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i ir.VReg) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// orInto ors src into b and reports whether b changed.
+func (b bitset) orInto(src bitset) bool {
+	changed := false
+	for i, w := range src {
+		if b[i]|w != b[i] {
+			b[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (b bitset) members(n int) []ir.VReg {
+	var out []ir.VReg
+	for v := 0; v < n; v++ {
+		if b.has(ir.VReg(v)) {
+			out = append(out, ir.VReg(v))
+		}
+	}
+	return out
+}
+
+// uses returns the vregs read by in (into buf, returned).
+func uses(in *ir.Instr, buf []ir.VReg) []ir.VReg {
+	buf = buf[:0]
+	add := func(v ir.VReg) {
+		if v != ir.NoV {
+			buf = append(buf, v)
+		}
+	}
+	switch in.Kind {
+	case ir.KConst, ir.KFConst, ir.KAllocaAddr, ir.KGlobalAddr:
+	case ir.KMov, ir.KFNeg, ir.KFSqrt, ir.KI2F, ir.KF2I, ir.KBinImm,
+		ir.KLoad, ir.KLoadB:
+		add(in.A)
+	case ir.KBin, ir.KFBin, ir.KCmp, ir.KFCmp, ir.KStore, ir.KStoreB:
+		add(in.A)
+		add(in.B)
+	case ir.KAtomicAdd:
+		add(in.A)
+		add(in.B)
+	case ir.KAtomicCAS:
+		add(in.A)
+		add(in.B)
+		add(in.C)
+	case ir.KCall:
+		for _, a := range in.Args {
+			add(a)
+		}
+	case ir.KCallInd:
+		add(in.A)
+		for _, a := range in.Args {
+			add(a)
+		}
+	case ir.KSyscall:
+		for _, a := range in.Args {
+			add(a)
+		}
+	case ir.KRet:
+		add(in.A)
+	case ir.KBr:
+	case ir.KCondBr:
+		add(in.A)
+	}
+	return buf
+}
+
+// def returns the vreg written by in, or NoV.
+func def(in *ir.Instr) ir.VReg {
+	switch in.Kind {
+	case ir.KStore, ir.KStoreB, ir.KRet, ir.KBr, ir.KCondBr:
+		return ir.NoV
+	}
+	return in.Dst
+}
+
+// successors returns the block successors of the terminator in.
+func successors(in *ir.Instr) []int {
+	switch in.Kind {
+	case ir.KBr:
+		return []int{in.TargetA}
+	case ir.KCondBr:
+		return []int{in.TargetA, in.TargetB}
+	}
+	return nil
+}
+
+// computeLiveness runs the standard backward dataflow to a fixed point.
+func computeLiveness(f *ir.Func) *liveness {
+	nv := f.NumVRegs()
+	nb := len(f.Blocks)
+	lv := &liveness{
+		f:       f,
+		liveOut: make([][]bitset, nb),
+		blockIn: make([]bitset, nb),
+		weight:  make([]int64, nv),
+	}
+	for b := range f.Blocks {
+		lv.blockIn[b] = newBitset(nv)
+		lv.liveOut[b] = make([]bitset, len(f.Blocks[b].Instrs))
+	}
+
+	// Block-level use/def.
+	blockUse := make([]bitset, nb)
+	blockDef := make([]bitset, nb)
+	var ubuf []ir.VReg
+	for bi, blk := range f.Blocks {
+		u := newBitset(nv)
+		d := newBitset(nv)
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			ubuf = uses(in, ubuf)
+			for _, v := range ubuf {
+				if !d.has(v) {
+					u.set(v)
+				}
+			}
+			if dv := def(in); dv != ir.NoV {
+				d.set(dv)
+			}
+		}
+		blockUse[bi] = u
+		blockDef[bi] = d
+	}
+
+	// Fixed point on block live-in: in[b] = use[b] ∪ (out[b] − def[b]),
+	// out[b] = ∪ in[succ].
+	blockOut := make([]bitset, nb)
+	for b := range blockOut {
+		blockOut[b] = newBitset(nv)
+	}
+	for changed := true; changed; {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			blk := f.Blocks[bi]
+			term := &blk.Instrs[len(blk.Instrs)-1]
+			out := blockOut[bi]
+			for _, s := range successors(term) {
+				if out.orInto(lv.blockIn[s]) {
+					changed = true
+				}
+			}
+			in := out.clone()
+			for i := range in {
+				in[i] &^= blockDef[bi][i]
+				in[i] |= blockUse[bi][i]
+			}
+			if lv.blockIn[bi].orInto(in) {
+				changed = true
+			}
+		}
+	}
+
+	// Per-instruction live-out within each block (backward sweep).
+	for bi, blk := range f.Blocks {
+		live := blockOut[bi].clone()
+		for ii := len(blk.Instrs) - 1; ii >= 0; ii-- {
+			lv.liveOut[bi][ii] = live.clone()
+			in := &blk.Instrs[ii]
+			if dv := def(in); dv != ir.NoV {
+				live.clear(dv)
+			}
+			ubuf = uses(in, ubuf)
+			for _, v := range ubuf {
+				live.set(v)
+			}
+		}
+	}
+
+	lv.computeWeights()
+	return lv
+}
+
+// computeWeights assigns each vreg a loop-depth-weighted use count, the
+// priority key for callee-saved register assignment.
+func (lv *liveness) computeWeights() {
+	f := lv.f
+	nb := len(f.Blocks)
+	depth := make([]int, nb)
+	// A back edge j->k (k <= j) makes blocks k..j one loop level deeper.
+	for bi, blk := range f.Blocks {
+		term := &blk.Instrs[len(blk.Instrs)-1]
+		for _, s := range successors(term) {
+			if s <= bi {
+				for b := s; b <= bi; b++ {
+					depth[b]++
+				}
+			}
+		}
+	}
+	var ubuf []ir.VReg
+	for bi, blk := range f.Blocks {
+		w := int64(1)
+		for d := 0; d < depth[bi] && d < 6; d++ {
+			w *= 8
+		}
+		for ii := range blk.Instrs {
+			in := &blk.Instrs[ii]
+			ubuf = uses(in, ubuf)
+			for _, v := range ubuf {
+				lv.weight[v] += w
+			}
+			if dv := def(in); dv != ir.NoV {
+				lv.weight[dv] += w
+			}
+		}
+	}
+}
+
+// liveAcrossCall returns the vregs live after the call instruction at
+// (block, idx), excluding the call's own destination — the stackmap set.
+func (lv *liveness) liveAcrossCall(block, idx int) []ir.VReg {
+	in := &lv.f.Blocks[block].Instrs[idx]
+	out := lv.liveOut[block][idx].clone()
+	if dv := def(in); dv != ir.NoV {
+		out.clear(dv)
+	}
+	return out.members(lv.f.NumVRegs())
+}

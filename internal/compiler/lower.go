@@ -1,0 +1,614 @@
+package compiler
+
+import (
+	"fmt"
+
+	"heterodc/internal/ir"
+	"heterodc/internal/isa"
+	"heterodc/internal/stackmap"
+)
+
+// AsmFunc is one function lowered to one ISA's machine code, before layout:
+// addresses are assigned by the linker.
+type AsmFunc struct {
+	Name string
+	Arch isa.Arch
+	Code []isa.Instr
+	// Offsets[i] is the byte offset of Code[i] from the function entry.
+	Offsets []int64
+	// Size is the total encoded size in bytes.
+	Size int64
+	// Info is the stackmap/unwind metadata (Entry filled at link time).
+	Info *stackmap.FuncInfo
+	// callSiteInstr maps call-site ID -> index of the call instruction.
+	CallSiteInstr map[int]int
+}
+
+// lowerer holds the state of lowering one function for one ISA.
+type lowerer struct {
+	m    *ir.Module
+	f    *ir.Func
+	lv   *liveness
+	fr   *frame
+	desc *isa.Desc
+
+	out        []isa.Instr
+	blockStart []int
+	// branchFixups lists indices of emitted branch instructions whose Target
+	// currently holds an IR block index to be patched to an instruction index.
+	branchFixups []int
+
+	sites map[int]*stackmap.CallSite
+	csIdx map[int]int
+}
+
+// lowerFunc compiles f for desc's architecture.
+func lowerFunc(m *ir.Module, f *ir.Func, lv *liveness, desc *isa.Desc) (*AsmFunc, error) {
+	if f.Name == MigrateCheckFunc {
+		// The migration-point body is hand-scheduled per ISA (as the real
+		// runtime's check is): the hot no-request path runs frameless in
+		// scratch registers — a call, two loads and a branch — and only the
+		// cold migrate path builds an unwindable frame.
+		return lowerMigrateCheck(f, desc), nil
+	}
+	lo := &lowerer{
+		m: m, f: f, lv: lv,
+		fr:         buildFrame(m, f, lv, desc),
+		desc:       desc,
+		blockStart: make([]int, len(f.Blocks)),
+		sites:      make(map[int]*stackmap.CallSite),
+		csIdx:      make(map[int]int),
+	}
+	lo.prologue()
+	lo.moveParamsIn()
+	for bi, blk := range f.Blocks {
+		lo.blockStart[bi] = len(lo.out)
+		// The entry block's code begins after the prologue; blockStart[0]
+		// points at the first post-prologue instruction, which is correct
+		// because nothing branches to the entry block's prologue.
+		for ii := range blk.Instrs {
+			if err := lo.instr(bi, ii, &blk.Instrs[ii]); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", f.Name, blk.Name, err)
+			}
+		}
+	}
+	// Patch intra-function branch targets from block indices to instruction
+	// indices.
+	for _, idx := range lo.branchFixups {
+		lo.out[idx].Target = lo.blockStart[lo.out[idx].Target]
+	}
+	return lo.finish()
+}
+
+func (lo *lowerer) finish() (*AsmFunc, error) {
+	af := &AsmFunc{
+		Name:          lo.f.Name,
+		Arch:          lo.desc.Arch,
+		Code:          lo.out,
+		Offsets:       make([]int64, len(lo.out)),
+		CallSiteInstr: lo.csIdx,
+	}
+	var off int64
+	for i := range af.Code {
+		af.Code[i].Size = isa.EncodedSize(lo.desc.Arch, &af.Code[i])
+		af.Offsets[i] = off
+		off += af.Code[i].Size
+	}
+	af.Size = off
+
+	info := &stackmap.FuncInfo{
+		Name:        lo.f.Name,
+		FrameSize:   lo.fr.frameSize,
+		AllocaSizes: append([]int64(nil), lo.f.AllocaSizes...),
+		CallSites:   lo.sites,
+		StackParams: map[int]int64{},
+		IsEntry:     lo.f.IsEntry,
+		NoMigrate:   lo.f.NoMigrate,
+	}
+	info.AllocaOffsets = append([]int64(nil), lo.fr.allocaOff...)
+	for _, s := range lo.fr.saveRegs {
+		info.Saves = append(info.Saves, stackmap.SavedReg{Reg: s.reg, IsFloat: s.isFloat, Off: s.off})
+	}
+	info.NumStackArgBytes = lo.fr.outArgBytes
+	// Record stack-passed parameter offsets.
+	ptypes := make([]ir.Type, len(lo.f.Params))
+	for i, p := range lo.f.Params {
+		ptypes[i] = p.Type
+	}
+	_, stackIdx := argLocs(ptypes, lo.desc)
+	for i, si := range stackIdx {
+		if si >= 0 {
+			info.StackParams[i] = 16 + int64(si)*8
+		}
+	}
+	af.Info = info
+	return af, nil
+}
+
+// e appends an instruction and returns its index.
+func (lo *lowerer) e(in isa.Instr) int {
+	lo.out = append(lo.out, in)
+	return len(lo.out) - 1
+}
+
+// --- Prologue / epilogue ---------------------------------------------------
+
+func (lo *lowerer) prologue() {
+	d := lo.desc
+	if d.Arch == isa.X86 {
+		// CALL already pushed the return address.
+		lo.e(isa.Instr{Op: isa.OpPush, Rs1: d.FP})
+		lo.e(isa.Instr{Op: isa.OpMov, Rd: d.FP, Rs1: d.SP})
+		if lo.fr.frameSize != 0 {
+			lo.e(isa.Instr{Op: isa.OpAddI, Rd: d.SP, Rs1: d.SP, Imm: -lo.fr.frameSize})
+		}
+	} else {
+		total := lo.fr.frameSize + 16
+		lo.e(isa.Instr{Op: isa.OpAddI, Rd: d.SP, Rs1: d.SP, Imm: -total})
+		lo.e(isa.Instr{Op: isa.OpSt, Rs1: d.SP, Imm: lo.fr.frameSize, Rs2: d.FP})
+		lo.e(isa.Instr{Op: isa.OpSt, Rs1: d.SP, Imm: lo.fr.frameSize + 8, Rs2: d.LR})
+		lo.e(isa.Instr{Op: isa.OpAddI, Rd: d.FP, Rs1: d.SP, Imm: lo.fr.frameSize})
+	}
+	// Save used callee-saved registers at their FP-relative slots.
+	for _, s := range lo.fr.saveRegs {
+		if s.isFloat {
+			lo.e(isa.Instr{Op: isa.OpFSt, Rs1: lo.desc.FP, Imm: s.off, Rs2: s.reg})
+		} else {
+			lo.e(isa.Instr{Op: isa.OpSt, Rs1: lo.desc.FP, Imm: s.off, Rs2: s.reg})
+		}
+	}
+}
+
+func (lo *lowerer) epilogue() {
+	d := lo.desc
+	for _, s := range lo.fr.saveRegs {
+		if s.isFloat {
+			lo.e(isa.Instr{Op: isa.OpFLd, Rd: s.reg, Rs1: d.FP, Imm: s.off})
+		} else {
+			lo.e(isa.Instr{Op: isa.OpLd, Rd: s.reg, Rs1: d.FP, Imm: s.off})
+		}
+	}
+	if d.Arch == isa.X86 {
+		lo.e(isa.Instr{Op: isa.OpMov, Rd: d.SP, Rs1: d.FP})
+		lo.e(isa.Instr{Op: isa.OpPop, Rd: d.FP})
+		lo.e(isa.Instr{Op: isa.OpRet})
+	} else {
+		lo.e(isa.Instr{Op: isa.OpLd, Rd: d.LR, Rs1: d.FP, Imm: 8})
+		lo.e(isa.Instr{Op: isa.OpAddI, Rd: d.SP, Rs1: d.FP, Imm: 16})
+		lo.e(isa.Instr{Op: isa.OpLd, Rd: d.FP, Rs1: d.FP, Imm: 0})
+		lo.e(isa.Instr{Op: isa.OpRet})
+	}
+}
+
+// moveParamsIn copies incoming arguments (registers or stack) to their homes.
+func (lo *lowerer) moveParamsIn() {
+	d := lo.desc
+	ptypes := make([]ir.Type, len(lo.f.Params))
+	for i, p := range lo.f.Params {
+		ptypes[i] = p.Type
+	}
+	regs, stackIdx := argLocs(ptypes, d)
+	for i := range lo.f.Params {
+		h := lo.fr.homes[i]
+		if !h.used {
+			continue
+		}
+		isF := ptypes[i].IsFloat()
+		switch {
+		case regs[i] != isa.NoReg && h.inReg:
+			if isF {
+				lo.e(isa.Instr{Op: isa.OpFMov, Rd: h.reg, Rs1: regs[i]})
+			} else {
+				lo.e(isa.Instr{Op: isa.OpMov, Rd: h.reg, Rs1: regs[i]})
+			}
+		case regs[i] != isa.NoReg:
+			if isF {
+				lo.e(isa.Instr{Op: isa.OpFSt, Rs1: d.FP, Imm: h.off, Rs2: regs[i]})
+			} else {
+				lo.e(isa.Instr{Op: isa.OpSt, Rs1: d.FP, Imm: h.off, Rs2: regs[i]})
+			}
+		default:
+			inOff := 16 + int64(stackIdx[i])*8
+			if h.inReg {
+				op := isa.OpLd
+				if isF {
+					op = isa.OpFLd
+				}
+				lo.e(isa.Instr{Op: op, Rd: h.reg, Rs1: d.FP, Imm: inOff})
+			} else {
+				// Stack -> stack through a scratch register.
+				if isF {
+					s := d.ScratchFloat[0]
+					lo.e(isa.Instr{Op: isa.OpFLd, Rd: s, Rs1: d.FP, Imm: inOff})
+					lo.e(isa.Instr{Op: isa.OpFSt, Rs1: d.FP, Imm: h.off, Rs2: s})
+				} else {
+					s := d.ScratchInt[0]
+					lo.e(isa.Instr{Op: isa.OpLd, Rd: s, Rs1: d.FP, Imm: inOff})
+					lo.e(isa.Instr{Op: isa.OpSt, Rs1: d.FP, Imm: h.off, Rs2: s})
+				}
+			}
+		}
+	}
+}
+
+// --- Operand staging --------------------------------------------------------
+
+// useI returns a register holding integer vreg v, loading it into integer
+// scratch `which` if the home is a frame slot.
+func (lo *lowerer) useI(v ir.VReg, which int) isa.Reg {
+	h := lo.fr.homes[v]
+	if h.inReg {
+		return h.reg
+	}
+	s := lo.desc.ScratchInt[which]
+	lo.e(isa.Instr{Op: isa.OpLd, Rd: s, Rs1: lo.desc.FP, Imm: h.off})
+	return s
+}
+
+// useF is the float counterpart of useI.
+func (lo *lowerer) useF(v ir.VReg, which int) isa.Reg {
+	h := lo.fr.homes[v]
+	if h.inReg {
+		return h.reg
+	}
+	s := lo.desc.ScratchFloat[which]
+	lo.e(isa.Instr{Op: isa.OpFLd, Rd: s, Rs1: lo.desc.FP, Imm: h.off})
+	return s
+}
+
+// defI returns the register an integer result should be computed into; call
+// the returned commit after emitting the computation to store spilled homes.
+func (lo *lowerer) defI(v ir.VReg) (isa.Reg, func()) {
+	h := lo.fr.homes[v]
+	if h.inReg {
+		return h.reg, func() {}
+	}
+	s := lo.desc.ScratchInt[0]
+	return s, func() {
+		lo.e(isa.Instr{Op: isa.OpSt, Rs1: lo.desc.FP, Imm: h.off, Rs2: s})
+	}
+}
+
+// defF is the float counterpart of defI.
+func (lo *lowerer) defF(v ir.VReg) (isa.Reg, func()) {
+	h := lo.fr.homes[v]
+	if h.inReg {
+		return h.reg, func() {}
+	}
+	s := lo.desc.ScratchFloat[0]
+	return s, func() {
+		lo.e(isa.Instr{Op: isa.OpFSt, Rs1: lo.desc.FP, Imm: h.off, Rs2: s})
+	}
+}
+
+// --- Instruction selection ---------------------------------------------------
+
+var binToOp = map[ir.BinOp]isa.Op{
+	ir.Add: isa.OpAdd, ir.Sub: isa.OpSub, ir.Mul: isa.OpMul,
+	ir.Div: isa.OpDiv, ir.Rem: isa.OpRem, ir.And: isa.OpAnd,
+	ir.Or: isa.OpOr, ir.Xor: isa.OpXor, ir.Shl: isa.OpShl, ir.Shr: isa.OpShr,
+}
+
+var binToImmOp = map[ir.BinOp]isa.Op{
+	ir.Add: isa.OpAddI, ir.Mul: isa.OpMulI, ir.And: isa.OpAndI,
+	ir.Or: isa.OpOrI, ir.Xor: isa.OpXorI, ir.Shl: isa.OpShlI, ir.Shr: isa.OpShrI,
+}
+
+var fbinToOp = map[ir.FBinOp]isa.Op{
+	ir.FAdd: isa.OpFAdd, ir.FSub: isa.OpFSub, ir.FMul: isa.OpFMul, ir.FDiv: isa.OpFDiv,
+}
+
+var cmpToOp = map[ir.CmpOp]isa.Op{
+	ir.Eq: isa.OpCmpEq, ir.Ne: isa.OpCmpNe, ir.Lt: isa.OpCmpLt,
+	ir.Le: isa.OpCmpLe, ir.Gt: isa.OpCmpGt, ir.Ge: isa.OpCmpGe,
+}
+
+var fcmpToOp = map[ir.CmpOp]isa.Op{
+	ir.Eq: isa.OpFCmpEq, ir.Ne: isa.OpFCmpNe, ir.Lt: isa.OpFCmpLt,
+	ir.Le: isa.OpFCmpLe, ir.Gt: isa.OpFCmpGt, ir.Ge: isa.OpFCmpGe,
+}
+
+func (lo *lowerer) instr(bi, ii int, in *ir.Instr) error {
+	d := lo.desc
+	switch in.Kind {
+	case ir.KConst:
+		rd, commit := lo.defI(in.Dst)
+		lo.e(isa.Instr{Op: isa.OpLdi, Rd: rd, Imm: in.Imm})
+		commit()
+	case ir.KFConst:
+		rd, commit := lo.defF(in.Dst)
+		lo.e(isa.Instr{Op: isa.OpFLdi, Rd: rd, FImm: in.FImm})
+		commit()
+	case ir.KMov:
+		if lo.f.TypeOf(in.Dst).IsFloat() {
+			a := lo.useF(in.A, 1)
+			rd, commit := lo.defF(in.Dst)
+			if rd != a {
+				lo.e(isa.Instr{Op: isa.OpFMov, Rd: rd, Rs1: a})
+			}
+			commit()
+		} else {
+			a := lo.useI(in.A, 1)
+			rd, commit := lo.defI(in.Dst)
+			if rd != a {
+				lo.e(isa.Instr{Op: isa.OpMov, Rd: rd, Rs1: a})
+			}
+			commit()
+		}
+	case ir.KBin:
+		a := lo.useI(in.A, 0)
+		b := lo.useI(in.B, 1)
+		rd, commit := lo.defI(in.Dst)
+		lo.e(isa.Instr{Op: binToOp[in.Bin], Rd: rd, Rs1: a, Rs2: b})
+		commit()
+	case ir.KBinImm:
+		a := lo.useI(in.A, 0)
+		rd, commit := lo.defI(in.Dst)
+		if op, ok := binToImmOp[in.Bin]; ok {
+			lo.e(isa.Instr{Op: op, Rd: rd, Rs1: a, Imm: in.Imm})
+		} else if in.Bin == ir.Sub {
+			lo.e(isa.Instr{Op: isa.OpAddI, Rd: rd, Rs1: a, Imm: -in.Imm})
+		} else {
+			// Div/Rem by immediate: materialise in scratch 1.
+			s := d.ScratchInt[1]
+			lo.e(isa.Instr{Op: isa.OpLdi, Rd: s, Imm: in.Imm})
+			lo.e(isa.Instr{Op: binToOp[in.Bin], Rd: rd, Rs1: a, Rs2: s})
+		}
+		commit()
+	case ir.KFBin:
+		a := lo.useF(in.A, 0)
+		b := lo.useF(in.B, 1)
+		rd, commit := lo.defF(in.Dst)
+		lo.e(isa.Instr{Op: fbinToOp[in.FBin], Rd: rd, Rs1: a, Rs2: b})
+		commit()
+	case ir.KFNeg:
+		a := lo.useF(in.A, 0)
+		rd, commit := lo.defF(in.Dst)
+		lo.e(isa.Instr{Op: isa.OpFNeg, Rd: rd, Rs1: a})
+		commit()
+	case ir.KFSqrt:
+		a := lo.useF(in.A, 0)
+		rd, commit := lo.defF(in.Dst)
+		lo.e(isa.Instr{Op: isa.OpFSqrt, Rd: rd, Rs1: a})
+		commit()
+	case ir.KCmp:
+		a := lo.useI(in.A, 0)
+		b := lo.useI(in.B, 1)
+		rd, commit := lo.defI(in.Dst)
+		lo.e(isa.Instr{Op: cmpToOp[in.Cmp], Rd: rd, Rs1: a, Rs2: b})
+		commit()
+	case ir.KFCmp:
+		a := lo.useF(in.A, 0)
+		b := lo.useF(in.B, 1)
+		rd, commit := lo.defI(in.Dst)
+		lo.e(isa.Instr{Op: fcmpToOp[in.Cmp], Rd: rd, Rs1: a, Rs2: b})
+		commit()
+	case ir.KI2F:
+		a := lo.useI(in.A, 0)
+		rd, commit := lo.defF(in.Dst)
+		lo.e(isa.Instr{Op: isa.OpI2F, Rd: rd, Rs1: a})
+		commit()
+	case ir.KF2I:
+		a := lo.useF(in.A, 0)
+		rd, commit := lo.defI(in.Dst)
+		lo.e(isa.Instr{Op: isa.OpF2I, Rd: rd, Rs1: a})
+		commit()
+	case ir.KLoad:
+		a := lo.useI(in.A, 0)
+		if lo.f.TypeOf(in.Dst).IsFloat() {
+			rd, commit := lo.defF(in.Dst)
+			lo.e(isa.Instr{Op: isa.OpFLd, Rd: rd, Rs1: a, Imm: in.Imm})
+			commit()
+		} else {
+			rd, commit := lo.defI(in.Dst)
+			lo.e(isa.Instr{Op: isa.OpLd, Rd: rd, Rs1: a, Imm: in.Imm})
+			commit()
+		}
+	case ir.KStore:
+		a := lo.useI(in.A, 0)
+		if lo.f.TypeOf(in.B).IsFloat() {
+			v := lo.useF(in.B, 1)
+			lo.e(isa.Instr{Op: isa.OpFSt, Rs1: a, Imm: in.Imm, Rs2: v})
+		} else {
+			v := lo.useI(in.B, 1)
+			lo.e(isa.Instr{Op: isa.OpSt, Rs1: a, Imm: in.Imm, Rs2: v})
+		}
+	case ir.KLoadB:
+		a := lo.useI(in.A, 0)
+		rd, commit := lo.defI(in.Dst)
+		lo.e(isa.Instr{Op: isa.OpLdB, Rd: rd, Rs1: a, Imm: in.Imm})
+		commit()
+	case ir.KStoreB:
+		a := lo.useI(in.A, 0)
+		v := lo.useI(in.B, 1)
+		lo.e(isa.Instr{Op: isa.OpStB, Rs1: a, Imm: in.Imm, Rs2: v})
+	case ir.KAllocaAddr:
+		rd, commit := lo.defI(in.Dst)
+		lo.e(isa.Instr{Op: isa.OpAddI, Rd: rd, Rs1: d.FP, Imm: lo.fr.allocaOff[in.Alloca]})
+		commit()
+	case ir.KGlobalAddr:
+		rd, commit := lo.defI(in.Dst)
+		lo.e(isa.Instr{Op: isa.OpLea, Rd: rd, Sym: in.Sym, Imm: in.Imm})
+		commit()
+	case ir.KCall:
+		callee := lo.m.Func(in.Sym)
+		types := make([]ir.Type, len(in.Args))
+		for i, a := range in.Args {
+			types[i] = lo.f.TypeOf(a)
+		}
+		lo.marshalArgs(in.Args, types, isa.NoReg)
+		ci := lo.e(isa.Instr{Op: isa.OpCall, Sym: in.Sym, CallSiteID: in.CallSiteID})
+		lo.recordSite(bi, ii, in, ci)
+		lo.moveResult(in.Dst, callee.Ret)
+	case ir.KCallInd:
+		types := make([]ir.Type, len(in.Args))
+		for i, a := range in.Args {
+			types[i] = lo.f.TypeOf(a)
+		}
+		fp := lo.useI(in.A, 1) // scratch 1: scratch 0 stages stack args
+		lo.marshalArgs(in.Args, types, fp)
+		ci := lo.e(isa.Instr{Op: isa.OpCallR, Rs1: fp, CallSiteID: in.CallSiteID})
+		lo.recordSite(bi, ii, in, ci)
+		retType := ir.I64
+		if in.Dst == ir.NoV {
+			retType = ir.Void
+		} else if lo.f.TypeOf(in.Dst).IsFloat() {
+			retType = ir.F64
+		}
+		lo.moveResult(in.Dst, retType)
+	case ir.KSyscall:
+		lo.e(isa.Instr{Op: isa.OpLdi, Rd: d.IntArgRegs[0], Imm: in.Imm})
+		for i, a := range in.Args {
+			target := d.IntArgRegs[i+1]
+			h := lo.fr.homes[a]
+			if h.inReg {
+				lo.e(isa.Instr{Op: isa.OpMov, Rd: target, Rs1: h.reg})
+			} else {
+				lo.e(isa.Instr{Op: isa.OpLd, Rd: target, Rs1: d.FP, Imm: h.off})
+			}
+		}
+		ci := lo.e(isa.Instr{Op: isa.OpSyscall, CallSiteID: in.CallSiteID})
+		lo.recordSite(bi, ii, in, ci)
+		lo.moveResult(in.Dst, ir.I64)
+	case ir.KAtomicAdd:
+		a := lo.useI(in.A, 0)
+		b := lo.useI(in.B, 1)
+		rd, commit := lo.defI(in.Dst)
+		lo.e(isa.Instr{Op: isa.OpAtomicAdd, Rd: rd, Rs1: a, Rs2: b, Imm: in.Imm})
+		commit()
+	case ir.KAtomicCAS:
+		a := lo.useI(in.A, 0)
+		b := lo.useI(in.B, 1)
+		// Third operand through the CAS-only scratch register.
+		var c isa.Reg
+		hc := lo.fr.homes[in.C]
+		if hc.inReg {
+			c = hc.reg
+		} else {
+			c = d.ScratchInt[2]
+			lo.e(isa.Instr{Op: isa.OpLd, Rd: c, Rs1: d.FP, Imm: hc.off})
+		}
+		rd, commit := lo.defI(in.Dst)
+		lo.e(isa.Instr{Op: isa.OpAtomicCAS, Rd: rd, Rs1: a, Rs2: b, Rs3: c, Imm: in.Imm})
+		commit()
+	case ir.KRet:
+		if in.A != ir.NoV {
+			if lo.f.TypeOf(in.A).IsFloat() {
+				v := lo.useF(in.A, 0)
+				if v != d.FloatRet {
+					lo.e(isa.Instr{Op: isa.OpFMov, Rd: d.FloatRet, Rs1: v})
+				}
+			} else {
+				v := lo.useI(in.A, 0)
+				if v != d.IntRet {
+					lo.e(isa.Instr{Op: isa.OpMov, Rd: d.IntRet, Rs1: v})
+				}
+			}
+		}
+		lo.epilogue()
+	case ir.KBr:
+		idx := lo.e(isa.Instr{Op: isa.OpBr, Target: in.TargetA})
+		lo.branchFixups = append(lo.branchFixups, idx)
+	case ir.KCondBr:
+		cond := lo.useI(in.A, 0)
+		idx := lo.e(isa.Instr{Op: isa.OpBnez, Rs1: cond, Target: in.TargetA})
+		lo.branchFixups = append(lo.branchFixups, idx)
+		idx = lo.e(isa.Instr{Op: isa.OpBr, Target: in.TargetB})
+		lo.branchFixups = append(lo.branchFixups, idx)
+	default:
+		return fmt.Errorf("compiler: unhandled IR kind %d", int(in.Kind))
+	}
+	return nil
+}
+
+// marshalArgs stages call arguments: stack args first (through scratch 0),
+// then register args. Argument registers are never vreg homes or scratch 0,
+// so no parallel-move conflicts arise. reservedFP guards the indirect-call
+// target register from being clobbered (it is scratch 1, which stack-arg
+// staging does not use).
+func (lo *lowerer) marshalArgs(args []ir.VReg, types []ir.Type, reservedFP isa.Reg) {
+	d := lo.desc
+	regs, stackIdx := argLocs(types, d)
+	// Stack args.
+	for i, a := range args {
+		if stackIdx[i] < 0 {
+			continue
+		}
+		off := int64(stackIdx[i]) * 8
+		if types[i].IsFloat() {
+			v := lo.useF(a, 0)
+			lo.e(isa.Instr{Op: isa.OpFSt, Rs1: d.SP, Imm: off, Rs2: v})
+		} else {
+			v := lo.useI(a, 0)
+			lo.e(isa.Instr{Op: isa.OpSt, Rs1: d.SP, Imm: off, Rs2: v})
+		}
+	}
+	// Register args.
+	for i, a := range args {
+		if regs[i] == isa.NoReg {
+			continue
+		}
+		h := lo.fr.homes[a]
+		if types[i].IsFloat() {
+			if h.inReg {
+				lo.e(isa.Instr{Op: isa.OpFMov, Rd: regs[i], Rs1: h.reg})
+			} else {
+				lo.e(isa.Instr{Op: isa.OpFLd, Rd: regs[i], Rs1: d.FP, Imm: h.off})
+			}
+		} else {
+			if h.inReg {
+				lo.e(isa.Instr{Op: isa.OpMov, Rd: regs[i], Rs1: h.reg})
+			} else {
+				lo.e(isa.Instr{Op: isa.OpLd, Rd: regs[i], Rs1: d.FP, Imm: h.off})
+			}
+		}
+	}
+	_ = reservedFP
+}
+
+// moveResult stores the ABI return register into dst's home.
+func (lo *lowerer) moveResult(dst ir.VReg, ret ir.Type) {
+	if dst == ir.NoV || ret == ir.Void {
+		return
+	}
+	d := lo.desc
+	h := lo.fr.homes[dst]
+	if !h.used {
+		return
+	}
+	if ret.IsFloat() {
+		if h.inReg {
+			lo.e(isa.Instr{Op: isa.OpFMov, Rd: h.reg, Rs1: d.FloatRet})
+		} else {
+			lo.e(isa.Instr{Op: isa.OpFSt, Rs1: d.FP, Imm: h.off, Rs2: d.FloatRet})
+		}
+	} else {
+		if h.inReg {
+			lo.e(isa.Instr{Op: isa.OpMov, Rd: h.reg, Rs1: d.IntRet})
+		} else {
+			lo.e(isa.Instr{Op: isa.OpSt, Rs1: d.FP, Imm: h.off, Rs2: d.IntRet})
+		}
+	}
+}
+
+// recordSite emits the stackmap record for a call-like site: the IR-level
+// live set mapped to this ISA's value locations.
+func (lo *lowerer) recordSite(bi, ii int, in *ir.Instr, callInstrIdx int) {
+	live := lo.lv.liveAcrossCall(bi, ii)
+	cs := &stackmap.CallSite{ID: in.CallSiteID}
+	for _, v := range live {
+		h := lo.fr.homes[v]
+		if !h.used {
+			continue
+		}
+		lv := stackmap.LiveValue{VReg: int(v), Type: lo.f.TypeOf(v)}
+		if h.inReg {
+			lv.Loc = stackmap.Loc{Kind: stackmap.InReg, Reg: h.reg, IsFloat: h.isFloat}
+		} else {
+			lv.Loc = stackmap.Loc{Kind: stackmap.InFrame, Off: h.off, IsFloat: h.isFloat}
+		}
+		cs.Live = append(cs.Live, lv)
+	}
+	lo.sites[in.CallSiteID] = cs
+	lo.csIdx[in.CallSiteID] = callInstrIdx
+}

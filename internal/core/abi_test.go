@@ -1,0 +1,372 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"heterodc/internal/kernel"
+)
+
+// TestManyArgsStackPassing exercises arguments beyond the register count
+// (6 int on x86, 8 on arm64) so some are stack-passed on one ISA and
+// register-passed on the other — a layout difference the common address
+// space does NOT hide and the per-ISA ABIs must each get right.
+func TestManyArgsStackPassing(t *testing.T) {
+	src := `
+long sum10(long a, long b, long c, long d, long e,
+           long f, long g, long h, long i, long j) {
+	return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h + 9*i + 10*j;
+}
+double mix9(double a, long b, double c, long d, double e,
+            long f, double g, long h, double i) {
+	return a + (double)b * 2.0 + c + (double)d + e + (double)f + g + (double)h + i;
+}
+long main(void) {
+	print_i64_ln(sum10(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+	print_f64(mix9(0.5, 1, 1.5, 2, 2.5, 3, 3.5, 4, 4.5));
+	println();
+	return 0;
+}
+`
+	img, err := Build("args", Src("args.c", src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	want := "385\n23.500000\n"
+	for _, node := range []int{NodeX86, NodeARM} {
+		res, err := Run(img, node)
+		if err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+		if string(res.Output) != want {
+			t.Errorf("node %d: %q, want %q", node, res.Output, want)
+		}
+	}
+}
+
+// TestManyArgsAcrossMigration migrates inside a deep call chain whose
+// frames hold stack-passed arguments.
+func TestManyArgsAcrossMigration(t *testing.T) {
+	src := `
+long deep(long a, long b, long c, long d, long e,
+          long f, long g, long h, long i, long depth) {
+	if (depth == 0) {
+		migrate(1 - getnode());
+		return a + b + c + d + e + f + g + h + i;
+	}
+	return deep(a+1, b, c, d, e, f, g, h, i, depth - 1) + depth;
+}
+long main(void) {
+	print_i64_ln(deep(1, 2, 3, 4, 5, 6, 7, 8, 9, 6));
+	print_i64_ln(getnode());
+	return 0;
+}
+`
+	img, err := Build("deepargs", Src("deepargs.c", src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// Expected: after 6 recursions a=7, sum=7+2+..+9=51; plus sum(1..6)=21 -> 72.
+	res, err := Run(img, NodeX86)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := string(res.Output); got != "72\n1\n" {
+		t.Errorf("got %q, want %q", got, "72\n1\n")
+	}
+	if res.Migrations != 1 {
+		t.Errorf("migrations %d", res.Migrations)
+	}
+}
+
+// TestManyLiveFloatsAcrossMigration keeps more float values live than the
+// x86 flavour's callee-saved float file holds (4), so on one side some live
+// in registers and on the other in frame slots — both stackmap location
+// flavours cross the migration.
+func TestManyLiveFloatsAcrossMigration(t *testing.T) {
+	src := `
+double spin(double a, double b, double c, double d, double e, double f) {
+	for (long i = 0; i < 50; i++) {
+		a += 0.5; b *= 1.001; c += a * 0.01; d -= 0.25; e += b * 0.001; f += c;
+	}
+	// a..f all live here, across this call:
+	migrate(1 - getnode());
+	return a + b + c + d + e + f;
+}
+long main(void) {
+	double r = spin(1.0, 2.0, 3.0, 4.0, 5.0, 6.0);
+	print_f64(r);
+	println();
+	print_i64_ln(getnode());
+	return 0;
+}
+`
+	img, err := Build("floats", Src("floats.c", src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// Reference: same program without crossing (migrate to self).
+	refSrc := strings.Replace(src, "migrate(1 - getnode());", "migrate(getnode());", 1)
+	refImg, err := Build("floats-ref", Src("floats-ref.c", refSrc))
+	if err != nil {
+		t.Fatalf("build ref: %v", err)
+	}
+	ref, err := Run(refImg, NodeX86)
+	if err != nil {
+		t.Fatalf("ref: %v", err)
+	}
+	refVal := strings.Split(string(ref.Output), "\n")[0]
+
+	for _, start := range []int{NodeX86, NodeARM} {
+		cl := NewTestbed()
+		p, err := cl.Spawn(img, start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Wait(cl, p)
+		if err != nil {
+			t.Fatalf("start %d: %v", start, err)
+		}
+		lines := strings.Split(string(res.Output), "\n")
+		if lines[0] != refVal {
+			t.Errorf("start %d: float result %s != reference %s", start, lines[0], refVal)
+		}
+	}
+}
+
+// TestLiveValuesInRegistersOfOuterFrames forces the callee-save-chain walk:
+// outer frames hold register-resident live values while inner frames also
+// use (and save) those registers.
+func TestLiveValuesInRegistersOfOuterFrames(t *testing.T) {
+	src := `
+long level3(long x) {
+	long a = x * 3;
+	long b = x + 7;
+	migrate(1 - getnode());
+	return a * b;
+}
+long level2(long x) {
+	long a = x * 2;   // live across the call below, likely in a callee-saved reg
+	long b = x - 1;
+	long r = level3(x + 1);
+	return r + a * b;
+}
+long level1(long x) {
+	long a = x + 100; // ditto, one frame further out
+	long r = level2(x * 2);
+	return r + a;
+}
+long main(void) {
+	print_i64_ln(level1(5));
+	return 0;
+}
+`
+	img, err := Build("regs", Src("regs.c", src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// level1(5): a=105, level2(10): a=20,b=9, level3(11): a=33,b=18 ->
+	// 33*18=594; 594+180=774; 774+105=879.
+	for _, start := range []int{NodeX86, NodeARM} {
+		res, err := Run(img, start)
+		if err != nil {
+			t.Fatalf("start %d: %v", start, err)
+		}
+		if got := strings.TrimSpace(string(res.Output)); got != "879" {
+			t.Errorf("start %d: got %s, want 879", start, got)
+		}
+		if res.Migrations == 0 {
+			t.Errorf("start %d: no migration happened", start)
+		}
+	}
+}
+
+// TestBounceInsideDeepRecursion migrates at every point inside deep
+// recursion so many frames are rewritten repeatedly.
+func TestBounceInsideDeepRecursion(t *testing.T) {
+	src := `
+long collatz(long n, long depth) {
+	if (n == 1 || depth > 300) return depth;
+	if (n % 2 == 0) return collatz(n / 2, depth + 1);
+	return collatz(3 * n + 1, depth + 1);
+}
+long main(void) {
+	long total = 0;
+	for (long i = 1; i <= 30; i++) total += collatz(i, 0);
+	print_i64_ln(total);
+	return 0;
+}
+`
+	img, err := Build("collatz", Src("collatz.c", src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	ref, err := Run(img, NodeX86)
+	if err != nil {
+		t.Fatalf("ref: %v", err)
+	}
+	cl := NewTestbed()
+	p, err := cl.Spawn(img, NodeARM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.OnMigration = func(ev kernel.MigrationEvent) {
+		_ = cl.RequestMigration(p, ev.Tid, 1-ev.To)
+	}
+	_ = cl.RequestMigration(p, 0, NodeX86)
+	res, err := Wait(cl, p)
+	if err != nil {
+		t.Fatalf("bounce: %v", err)
+	}
+	if string(res.Output) != string(ref.Output) {
+		t.Errorf("bounced output %q != ref %q", res.Output, ref.Output)
+	}
+	if res.Migrations < 100 {
+		t.Errorf("only %d migrations", res.Migrations)
+	}
+}
+
+// TestUnalignedBinaryCannotMigrate: the Table 1 baseline runs natively but
+// the kernel refuses to migrate it (no common layout, no valid mapping).
+func TestUnalignedBinaryCannotMigrate(t *testing.T) {
+	src := `long main(void){ migrate(1); return getnode(); }`
+	opts := DefaultBuildOptions()
+	opts.Linker.Aligned = false
+	img, err := BuildWith("unal", opts, Src("unal.c", src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	_, err = Run(img, NodeX86)
+	if err == nil || !strings.Contains(err.Error(), "unaligned") {
+		t.Fatalf("expected unaligned-migration error, got %v", err)
+	}
+}
+
+// TestProcessIsolation: two containers on the same machines have disjoint
+// address spaces — same virtual addresses, separate state (the namespace
+// property of OS containers).
+func TestProcessIsolation(t *testing.T) {
+	src := `
+long counter = 0;
+long main(void) {
+	for (long i = 0; i < 1000; i++) counter++;
+	migrate(1);
+	for (long i = 0; i < 1000; i++) counter++;
+	print_i64_ln(counter);
+	return 0;
+}`
+	img, err := Build("iso", Src("iso.c", src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	cl := NewTestbed()
+	p1, err := cl.Spawn(img, NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := cl.Spawn(img, NodeARM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		d1, _ := p1.Exited()
+		d2, _ := p2.Exited()
+		if d1 && d2 {
+			break
+		}
+		if !cl.Step() {
+			t.Fatal("drained")
+		}
+	}
+	if err := p1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if string(p1.Output()) != "2000\n" || string(p2.Output()) != "2000\n" {
+		t.Errorf("isolation broken: p1=%q p2=%q", p1.Output(), p2.Output())
+	}
+}
+
+// TestStackLinkedListAcrossMigration builds a linked list whose nodes live
+// in stack frames (pointers stored *inside* alloca memory pointing at other
+// allocas); the transformation's region-based fixup must rebase every link.
+func TestStackLinkedListAcrossMigration(t *testing.T) {
+	src := `
+// Each recursion level adds a stack node {value, next} to the front of the
+// list, then the deepest level migrates and walks the whole chain.
+long walk(long *head) {
+	long sum = 0;
+	long *p = head;
+	while ((long)p != 0) {
+		sum += p[0];
+		p = (long*)p[1];
+	}
+	return sum;
+}
+long build(long depth, long *head) {
+	long node[2];
+	node[0] = depth * depth;
+	node[1] = (long)head;
+	if (depth == 0) {
+		migrate(1 - getnode());
+		return walk(node);
+	}
+	return build(depth - 1, node);
+}
+long main(void) {
+	print_i64_ln(build(6, (long*)0));
+	print_i64_ln(getnode());
+	return 0;
+}
+`
+	img, err := Build("list", Src("list.c", src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// Expected: sum of squares 0..6 = 91.
+	for _, start := range []int{NodeX86, NodeARM} {
+		res, err := Run(img, start)
+		if err != nil {
+			t.Fatalf("start %d: %v", start, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(res.Output)), "\n")
+		if lines[0] != "91" {
+			t.Errorf("start %d: walked sum %s, want 91", start, lines[0])
+		}
+		if res.Migrations == 0 {
+			t.Errorf("start %d: no migration", start)
+		}
+	}
+}
+
+// TestHeapAndGlobalPointersSurviveMigration: pointers to globals and heap
+// need no fixup (identity mapping under the common layout); values must be
+// bit-identical after crossing.
+func TestHeapAndGlobalPointersSurviveMigration(t *testing.T) {
+	src := `
+long gval = 77;
+long main(void) {
+	long *gp = &gval;
+	long *hp = (long*)malloc(16);
+	hp[0] = 123;
+	hp[1] = (long)gp;      // pointer stored in heap
+	migrate(1 - getnode());
+	long *gp2 = (long*)hp[1];
+	print_i64_ln(*gp + hp[0] + *gp2);
+	return 0;
+}
+`
+	img, err := Build("heapptr", Src("hp.c", src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := Run(img, NodeX86)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := strings.TrimSpace(string(res.Output)); got != "277" {
+		t.Errorf("got %s, want 277", got)
+	}
+}

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"heterodc/internal/kernel"
+)
+
+// tortureSrc exercises pointers into the stack, heap data, globals, floats
+// in callee-saved registers, recursion and byte arrays — everything the
+// stack transformation must preserve.
+const tortureSrc = `
+long gcounter = 0;
+double gsum = 0.0;
+
+long helper(long *p, long depth) {
+	long local[4];
+	local[0] = *p + depth;
+	local[1] = local[0] * 3;
+	if (depth > 0) {
+		long r = helper(&local[1], depth - 1);
+		return r + local[0];
+	}
+	return local[1];
+}
+
+double fwork(long n) {
+	double acc = 1.0;
+	for (long i = 1; i <= n; i++) {
+		acc += sqrt((double)i) / (double)n;
+		gsum += acc * 0.001;
+	}
+	return acc;
+}
+
+long main(void) {
+	long seed = 7;
+	long *heap = (long*)malloc(64 * 8);
+	for (long i = 0; i < 64; i++) heap[i] = i * i + 1;
+	char name[16];
+	name[0] = 'o'; name[1] = 'k'; name[2] = 0;
+
+	long total = 0;
+	for (long round = 0; round < 6; round++) {
+		total += helper(&seed, 5);
+		double f = fwork(300);
+		total += (long)(f * 100.0);
+		total += heap[round * 7 % 64];
+		gcounter += round;
+		seed = (seed * 31 + round) % 1000;
+	}
+	print_str(name);
+	print_char(' ');
+	print_i64_ln(total);
+	print_i64_ln(gcounter);
+	print_i64_ln((long)(gsum * 10.0));
+	free((char*)heap);
+	return 0;
+}
+`
+
+func TestMigrationTortureEveryPoint(t *testing.T) {
+	img, err := Build("torture", Src("torture.c", tortureSrc))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	// Reference run: no migration.
+	ref, err := Run(img, NodeX86)
+	if err != nil {
+		t.Fatalf("ref: %v", err)
+	}
+	refOut := string(ref.Output)
+	if !strings.HasPrefix(refOut, "ok ") {
+		t.Fatalf("unexpected reference output %q", refOut)
+	}
+	ref2, err := Run(img, NodeARM)
+	if err != nil {
+		t.Fatalf("ref arm: %v", err)
+	}
+	if string(ref2.Output) != refOut {
+		t.Fatalf("native outputs differ across ISAs:\n x86: %q\n arm: %q", refOut, ref2.Output)
+	}
+
+	// Torture run: bounce at every migration point.
+	for _, start := range []int{NodeX86, NodeARM} {
+		cl := NewTestbed()
+		p, err := cl.Spawn(img, start)
+		if err != nil {
+			t.Fatalf("spawn: %v", err)
+		}
+		cl.OnMigration = func(ev kernel.MigrationEvent) {
+			// Request the next bounce immediately.
+			_ = cl.RequestMigration(p, ev.Tid, 1-ev.To)
+		}
+		if err := cl.RequestMigration(p, 0, 1-start); err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		res, err := Wait(cl, p)
+		if err != nil {
+			t.Fatalf("torture(start=%d): %v", start, err)
+		}
+		if string(res.Output) != refOut {
+			t.Errorf("torture(start=%d) output diverged:\n got  %q\n want %q", start, res.Output, refOut)
+		}
+		if res.Migrations < 20 {
+			t.Errorf("torture(start=%d): only %d migrations", start, res.Migrations)
+		}
+	}
+}
+
+const pompSrc = `
+long nthreads = 4;
+long partial[64];
+double fpartial[64];
+
+long worker(long tid) {
+	long sense = 0;
+	long sum = 0;
+	double facc = 0.0;
+	for (long round = 0; round < 3; round++) {
+		for (long i = tid; i < 4000; i += nthreads) {
+			sum += i % 97;
+			facc += sqrt((double)(i + 1));
+		}
+		sense = barrier_wait(sense);
+	}
+	partial[tid] = sum;
+	fpartial[tid] = facc;
+	return sum;
+}
+
+long main(void) {
+	long total = pomp_run(worker, nthreads);
+	long check = 0;
+	double fcheck = 0.0;
+	for (long i = 0; i < nthreads; i++) {
+		check += partial[i];
+		fcheck += fpartial[i];
+	}
+	print_i64_ln(total);
+	print_i64_ln(check);
+	print_i64_ln((long)fcheck);
+	return 0;
+}
+`
+
+func TestMultithreadedPompBothISAs(t *testing.T) {
+	img, err := Build("pomp", Src("pomp.c", pompSrc))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	var outs []string
+	for _, node := range []int{NodeX86, NodeARM} {
+		res, err := Run(img, node)
+		if err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+		outs = append(outs, string(res.Output))
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("multithreaded outputs differ:\n x86 %q\n arm %q", outs[0], outs[1])
+	}
+	lines := strings.Split(strings.TrimSpace(outs[0]), "\n")
+	if len(lines) != 3 || lines[0] != lines[1] {
+		t.Fatalf("inconsistent totals: %q", outs[0])
+	}
+}
+
+func TestMultithreadedMigration(t *testing.T) {
+	img, err := Build("pomp2", Src("pomp.c", pompSrc))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	ref, err := Run(img, NodeX86)
+	if err != nil {
+		t.Fatalf("ref: %v", err)
+	}
+
+	// Migrate the whole container (all threads) to ARM shortly after start,
+	// then back; results must be identical.
+	cl := NewTestbed()
+	p, err := cl.Spawn(img, NodeX86)
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	moved := 0
+	cl.OnMigration = func(ev kernel.MigrationEvent) { moved++ }
+	done := make(chan struct{})
+	_ = done
+	// Drive the cluster manually, raising migration flags at two instants.
+	t1 := ref.Seconds * 0.2
+	t2 := ref.Seconds * 0.6
+	requested1, requested2 := false, false
+	for {
+		exited, _ := p.Exited()
+		if exited {
+			break
+		}
+		now := cl.Time()
+		if !requested1 && now > t1 {
+			cl.RequestProcessMigration(p, NodeARM)
+			requested1 = true
+		}
+		if !requested2 && now > t2 {
+			cl.RequestProcessMigration(p, NodeX86)
+			requested2 = true
+		}
+		if !cl.Step() {
+			t.Fatalf("cluster drained early")
+		}
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("process failed: %v", err)
+	}
+	if string(p.Output()) != string(ref.Output) {
+		t.Errorf("migrated multithreaded output diverged:\n got  %q\n want %q", p.Output(), ref.Output)
+	}
+	if moved == 0 {
+		t.Errorf("no threads migrated")
+	}
+}
+
+func TestManySequentialMigrations(t *testing.T) {
+	src := `
+long main(void) {
+	long sum = 0;
+	for (long i = 0; i < 40; i++) {
+		migrate(i % 2);
+		sum += getnode() + i;
+	}
+	print_i64_ln(sum);
+	return 0;
+}
+`
+	img, err := Build("seq", Src("seq.c", src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := Run(img, NodeX86)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// sum = sum of (node_i + i) where node alternates 0,1,0,1... after each
+	// migrate(i%2): node == i%2.
+	want := int64(0)
+	for i := int64(0); i < 40; i++ {
+		want += i%2 + i
+	}
+	if got := strings.TrimSpace(string(res.Output)); got != fmt.Sprint(want) {
+		t.Errorf("got %s, want %d", got, want)
+	}
+	if res.Migrations < 20 {
+		t.Errorf("expected ~40 migrations, got %d", res.Migrations)
+	}
+}
+
+// TestAtomicsAcrossMigrationAndDSM: two threads on different machines
+// hammer one shared word through the DSM's exclusive-ownership protocol
+// while one of them migrates mid-stream; no increment may be lost.
+func TestAtomicsAcrossMigrationAndDSM(t *testing.T) {
+	src := `
+long shared = 0;
+long hops = 0;
+long worker(long tid) {
+	if (tid == 1) migrate(1); // worker starts remote
+	for (long i = 0; i < 400; i++) {
+		__atomic_add(&shared, 1);
+		if (tid == 1 && i == 200) {
+			migrate(0); // hop home mid-stream
+			hops++;
+		}
+	}
+	return 0;
+}
+long main(void) {
+	long t1 = spawn(worker, 1);
+	worker(0);
+	join(t1);
+	print_i64_ln(shared);
+	print_i64_ln(hops);
+	return 0;
+}
+`
+	img, err := Build("atomic-mig", Src("am.c", src))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	res, err := Run(img, NodeX86)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := string(res.Output); got != "800\n1\n" {
+		t.Errorf("got %q, want 800 increments and 1 hop", got)
+	}
+	if res.Migrations < 2 {
+		t.Errorf("migrations %d, want >= 2", res.Migrations)
+	}
+}

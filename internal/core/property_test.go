@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"heterodc/internal/compiler"
+	"heterodc/internal/ir"
+	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
+	"heterodc/internal/link"
+)
+
+// progGen builds a random but well-formed IR program: a chain of small
+// functions with arithmetic, loads/stores to a global array, local allocas,
+// comparisons and bounded loops, ending in a checksum printed via the write
+// syscall. Division and remainder are guarded so no run traps.
+type progGen struct {
+	rng *rand.Rand
+}
+
+func (g *progGen) i64(max int64) int64 { return g.rng.Int63n(max) }
+
+// buildFunc creates one function of depth d that may call next (the
+// previously created function).
+func (g *progGen) buildFunc(m *ir.Module, name, next string, depth int) *ir.Func {
+	b := ir.NewFunc(name, ir.I64,
+		ir.Param{Name: "a", Type: ir.I64},
+		ir.Param{Name: "b", Type: ir.I64},
+	)
+	acc := b.Mov(b.Param(0))
+	tmp := b.Mov(b.Param(1))
+
+	// A local array with a pointer through it (exercises alloca copying
+	// and pointer fixup during migration).
+	buf := b.Alloca(4 * 8)
+	b.Store(buf, 0, acc)
+	b.Store(buf, 8, tmp)
+
+	nOps := 3 + g.rng.Intn(8)
+	for i := 0; i < nOps; i++ {
+		switch g.rng.Intn(7) {
+		case 0:
+			b.MovTo(acc, b.Bin(ir.Add, acc, tmp))
+		case 1:
+			b.MovTo(acc, b.Bin(ir.Sub, acc, b.Const(g.i64(1000))))
+		case 2:
+			b.MovTo(acc, b.Bin(ir.Mul, acc, b.Const(1+g.i64(7))))
+		case 3:
+			// Guarded division: divisor |x|+1.
+			d := b.BinImm(ir.Or, b.Const(1+g.i64(99)), 1)
+			b.MovTo(acc, b.Bin(ir.Div, acc, d))
+		case 4:
+			b.MovTo(tmp, b.Bin(ir.Xor, tmp, acc))
+		case 5:
+			b.MovTo(acc, b.BinImm(ir.Shr, acc, 1+g.i64(8)))
+		case 6:
+			// Global array access at a bounded index.
+			idx := b.BinImm(ir.And, tmp, 15)
+			off := b.BinImm(ir.Mul, idx, 8)
+			base := b.GlobalAddr("garr", 0)
+			addr := b.PtrAdd(base, off)
+			old := b.Load(ir.I64, addr, 0)
+			b.Store(addr, 0, b.Bin(ir.Add, old, acc))
+			b.MovTo(tmp, old)
+		}
+	}
+
+	// A bounded loop accumulating into the alloca.
+	iters := b.Const(2 + g.i64(6))
+	i := b.Const(0)
+	head := b.NewBlock("head")
+	b.SetBlock(head - 1)
+	b.Br(head)
+	b.SetBlock(head)
+	cond := b.Cmp(ir.Lt, i, iters)
+	headEnd := b.Block()
+	body := b.NewBlock("body")
+	v0 := b.Load(ir.I64, buf, 0)
+	b.Store(buf, 0, b.Bin(ir.Add, v0, acc))
+	b.MovTo(i, b.BinImm(ir.Add, i, 1))
+	b.Br(head)
+	exit := b.NewBlock("exit")
+	b.SetBlock(headEnd)
+	b.CondBr(cond, body, exit)
+	b.SetBlock(exit)
+
+	final := b.Load(ir.I64, buf, 0)
+	if next != "" {
+		// Call deeper with mangled args; combine.
+		r := b.Call(ir.I64, next, b.Bin(ir.Xor, final, tmp), b.BinImm(ir.And, acc, 0xffff))
+		final = b.Bin(ir.Add, final, r)
+	}
+	b.Ret(final)
+	return b.Done()
+}
+
+// buildProgram builds a whole module; main prints the result via SysWrite.
+func (g *progGen) buildProgram() (*ir.Module, error) {
+	m := ir.NewModule("prop")
+	if err := m.AddGlobal(&ir.Global{Name: "garr", Size: 16 * 8}); err != nil {
+		return nil, err
+	}
+	if err := m.AddGlobal(&ir.Global{Name: "outbuf", Size: 8}); err != nil {
+		return nil, err
+	}
+	depth := 2 + g.rng.Intn(3)
+	prev := ""
+	for d := depth; d >= 1; d-- {
+		name := fmt.Sprintf("f%d", d)
+		f := g.buildFunc(m, name, prev, d)
+		if err := m.AddFunc(f); err != nil {
+			return nil, err
+		}
+		prev = name
+	}
+	b := ir.NewFunc("main", ir.I64)
+	r := b.Call(ir.I64, prev, b.Const(g.i64(1_000_000)), b.Const(g.i64(1_000_000)))
+	// Store the result in a global and write its bytes to stdout so outputs
+	// are comparable bit-exactly.
+	out := b.GlobalAddr("outbuf", 0)
+	b.Store(out, 0, r)
+	fd := b.Const(1)
+	n := b.Const(8)
+	b.Syscall(2 /* SysWrite */, fd, out, n)
+	b.Ret(b.Const(0))
+	if err := m.AddFunc(b.Done()); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func TestPropertyRandomProgramsAgree(t *testing.T) {
+	check := func(seed int64) bool {
+		g := &progGen{rng: rand.New(rand.NewSource(seed))}
+		m, err := g.buildProgram()
+		if err != nil {
+			t.Logf("seed %d: gen: %v", seed, err)
+			return false
+		}
+
+		// Interpreter reference BEFORE compilation mutates the module.
+		ip := ir.NewInterp(m)
+		if _, err := ip.Run("main"); err != nil {
+			t.Logf("seed %d: interp: %v", seed, err)
+			return false
+		}
+		want := string(ip.Output())
+
+		art, err := compiler.Compile(m, compiler.DefaultOptions())
+		if err != nil {
+			t.Logf("seed %d: compile: %v", seed, err)
+			return false
+		}
+		img, err := link.Link("prop", art, link.Options{Aligned: true})
+		if err != nil {
+			t.Logf("seed %d: link: %v", seed, err)
+			return false
+		}
+
+		// Native on both ISAs.
+		for _, arch := range isa.Arches {
+			cl := NewSingle(arch)
+			p, err := cl.Spawn(img, 0)
+			if err != nil {
+				t.Logf("seed %d: spawn: %v", seed, err)
+				return false
+			}
+			if _, err := cl.RunProcess(p); err != nil {
+				t.Logf("seed %d: %s run: %v", seed, arch, err)
+				return false
+			}
+			if got := string(p.Output()); got != want {
+				t.Logf("seed %d: %s output %x != interp %x", seed, arch, got, want)
+				return false
+			}
+		}
+
+		// Migration torture: bounce at every migration point.
+		cl := NewTestbed()
+		p, err := cl.Spawn(img, NodeX86)
+		if err != nil {
+			t.Logf("seed %d: spawn: %v", seed, err)
+			return false
+		}
+		cl.OnMigration = func(ev kernel.MigrationEvent) {
+			_ = cl.RequestMigration(p, ev.Tid, 1-ev.To)
+		}
+		_ = cl.RequestMigration(p, 0, NodeARM)
+		if _, err := cl.RunProcess(p); err != nil {
+			t.Logf("seed %d: torture run: %v", seed, err)
+			return false
+		}
+		if got := string(p.Output()); got != want {
+			t.Logf("seed %d: torture output %x != interp %x", seed, got, want)
+			return false
+		}
+		return true
+	}
+	n := 48
+	if testing.Short() {
+		n = 10
+	}
+	if err := quick.Check(func(seed uint32) bool {
+		return check(int64(seed))
+	}, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatalf("property failed: %v", err)
+	}
+}

@@ -1,0 +1,76 @@
+package dbt
+
+import (
+	"testing"
+
+	"heterodc/internal/isa"
+)
+
+func TestProfileForDirections(t *testing.T) {
+	p, err := ProfileFor(isa.ARM64, isa.X86)
+	if err != nil || p.Name != "arm-on-x86" {
+		t.Fatalf("%v %v", p, err)
+	}
+	q, err := ProfileFor(isa.X86, isa.ARM64)
+	if err != nil || q.Name != "x86-on-arm" {
+		t.Fatalf("%v %v", q, err)
+	}
+	if _, err := ProfileFor(isa.X86, isa.X86); err == nil {
+		t.Error("same-ISA emulation profile must not exist")
+	}
+}
+
+func TestAsymmetry(t *testing.T) {
+	a2x := ARMonX86()
+	x2a := X86onARM()
+	// The paper's Figure 1: x86-on-ARM is dramatically worse.
+	if x2a.IntFactor <= a2x.IntFactor || x2a.FPFactor <= 10*a2x.FPFactor {
+		t.Errorf("asymmetry too weak: %+v vs %+v", a2x, x2a)
+	}
+}
+
+func TestCostFnClassification(t *testing.T) {
+	p := X86onARM()
+	fn := CostFn(isa.ARM64, p)
+	// Every cost positive.
+	for _, op := range []isa.Op{isa.OpAdd, isa.OpLd, isa.OpFMul, isa.OpBr, isa.OpSyscall, isa.OpNop} {
+		if fn(op) < 1 {
+			t.Errorf("%s: non-positive emulated cost", op)
+		}
+	}
+	// FP must dominate integer; memory must exceed ALU.
+	if fn(isa.OpFMul) <= fn(isa.OpAdd) {
+		t.Error("FP emulation not costlier than integer")
+	}
+	if fn(isa.OpLd) <= fn(isa.OpAdd) {
+		t.Error("softmmu memory not costlier than ALU")
+	}
+	// Emulated cost must exceed native host cost everywhere.
+	for _, op := range []isa.Op{isa.OpAdd, isa.OpLd, isa.OpFDiv, isa.OpCall} {
+		if fn(op) <= isa.CycleCost(isa.ARM64, op) {
+			t.Errorf("%s: emulated cost not above native", op)
+		}
+	}
+}
+
+func TestEmulatedDescHybrid(t *testing.T) {
+	d := EmulatedDesc(isa.X86, isa.ARM64)
+	host := isa.Describe(isa.ARM64)
+	guest := isa.Describe(isa.X86)
+	if d.ClockHz != host.ClockHz || d.Cores != host.Cores || d.L1MissPenalty != host.L1MissPenalty {
+		t.Error("host timing not applied")
+	}
+	if d.Arch != isa.X86 || d.SP != guest.SP || d.RetAddrOnStack != guest.RetAddrOnStack {
+		t.Error("guest semantics not preserved")
+	}
+	// The global descriptor must not have been mutated.
+	if isa.Describe(isa.X86).ClockHz == host.ClockHz {
+		t.Error("EmulatedDesc mutated the shared descriptor")
+	}
+}
+
+func TestNewEmulationClusterRejectsSameISA(t *testing.T) {
+	if _, err := NewEmulationCluster(isa.X86, isa.X86); err == nil {
+		t.Error("same-ISA cluster accepted")
+	}
+}

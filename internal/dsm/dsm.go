@@ -1,0 +1,229 @@
+// Package dsm implements the heterogeneous distributed shared memory
+// service (hDSM): page-granularity MSI-style coherence between the kernels
+// of a replicated-kernel OS. Because the multi-ISA toolchain lays out all
+// process state in a common format, pages migrate between machines without
+// any content transformation — the identity mapping the paper advocates.
+//
+// The protocol state is held in a single directory per address space (the
+// origin kernel's directory in the real system); transfer and invalidation
+// *timing* is charged through the interconnect by the kernel. Faults are
+// resolved deterministically at fault time; the faulting thread sleeps
+// until the modelled delivery time.
+package dsm
+
+import "fmt"
+
+// State is a node's coherence state for one page.
+type State int
+
+const (
+	// Invalid: node has no copy.
+	Invalid State = iota
+	// Shared: node has a read-only copy.
+	Shared
+	// Exclusive: node has the only, writable copy.
+	Exclusive
+)
+
+// NodeStats counts DSM activity per node.
+type NodeStats struct {
+	ReadFaults  uint64
+	WriteFaults uint64
+	ColdFaults  uint64 // first-touch, no transfer
+	PageIn      uint64 // pages copied to this node
+	Invalidates uint64 // copies dropped at this node
+	Upgrades    uint64 // shared->exclusive without data transfer
+}
+
+// Action tells the kernel what a fault requires.
+type Action struct {
+	// TransferFrom is the node to copy the page from, or -1 (zero-fill /
+	// upgrade in place).
+	TransferFrom int
+	// Drop lists nodes that must drop their copy entirely.
+	Drop []int
+	// Protect lists nodes that must write-protect their copy (downgrade to
+	// Shared).
+	Protect []int
+	// Grant is the state the faulting node ends with.
+	Grant State
+	// Cold marks a first-touch fault (no remote traffic).
+	Cold bool
+}
+
+// Space is the coherence directory for one address space across NumNodes
+// kernels.
+type Space struct {
+	NumNodes int
+	pages    map[uint64]*pageInfo
+	stats    []NodeStats
+}
+
+type pageInfo struct {
+	// state[node] is each node's coherence state.
+	state []State
+	// owner is the node holding Exclusive, or the designated responder when
+	// the page is Shared.
+	owner int
+}
+
+// NewSpace builds a directory for n nodes.
+func NewSpace(n int) *Space {
+	return &Space{
+		NumNodes: n,
+		pages:    make(map[uint64]*pageInfo),
+		stats:    make([]NodeStats, n),
+	}
+}
+
+// Stats returns node's counters.
+func (s *Space) Stats(node int) NodeStats { return s.stats[node] }
+
+// StateOf returns node's coherence state for the page containing addr.
+func (s *Space) StateOf(node int, page uint64) State {
+	pi := s.pages[page]
+	if pi == nil {
+		return Invalid
+	}
+	return pi.state[node]
+}
+
+// Owner returns the page's current owner node, or -1 if untouched.
+func (s *Space) Owner(page uint64) int {
+	pi := s.pages[page]
+	if pi == nil {
+		return -1
+	}
+	return pi.owner
+}
+
+// Seed marks a page as initially Exclusive at node without counting a fault
+// (used by the loader when installing the image).
+func (s *Space) Seed(node int, page uint64) {
+	pi := s.ensure(page)
+	pi.state[node] = Exclusive
+	pi.owner = node
+}
+
+func (s *Space) ensure(page uint64) *pageInfo {
+	pi := s.pages[page]
+	if pi == nil {
+		pi = &pageInfo{state: make([]State, s.NumNodes), owner: -1}
+		s.pages[page] = pi
+	}
+	return pi
+}
+
+// Fault records a fault by node on page and returns the required action.
+// The directory is updated immediately (the kernel applies protection
+// changes at fault time and charges transfer latency separately).
+func (s *Space) Fault(node int, page uint64, write bool) (Action, error) {
+	pi := s.ensure(page)
+	st := pi.state[node]
+	act := Action{TransferFrom: -1}
+
+	if write {
+		s.stats[node].WriteFaults++
+	} else {
+		s.stats[node].ReadFaults++
+	}
+
+	switch {
+	case pi.owner == -1:
+		// First touch anywhere: zero-fill, exclusive.
+		act.Cold = true
+		act.Grant = Exclusive
+		s.stats[node].ColdFaults++
+		pi.state[node] = Exclusive
+		pi.owner = node
+
+	case !write:
+		if st != Invalid {
+			return act, fmt.Errorf("dsm: read fault on present page %#x (state %d)", page, st)
+		}
+		// Copy from the owner; both end Shared.
+		act.TransferFrom = pi.owner
+		act.Protect = append(act.Protect, pi.owner)
+		act.Grant = Shared
+		pi.state[pi.owner] = Shared
+		pi.state[node] = Shared
+		s.stats[node].PageIn++
+
+	default: // write
+		switch st {
+		case Shared:
+			// Upgrade in place; drop every other copy.
+			for n := 0; n < s.NumNodes; n++ {
+				if n != node && pi.state[n] != Invalid {
+					act.Drop = append(act.Drop, n)
+					pi.state[n] = Invalid
+					s.stats[n].Invalidates++
+				}
+			}
+			act.Grant = Exclusive
+			s.stats[node].Upgrades++
+			pi.state[node] = Exclusive
+			pi.owner = node
+		case Invalid:
+			// Transfer from the owner; drop all other copies.
+			act.TransferFrom = pi.owner
+			for n := 0; n < s.NumNodes; n++ {
+				if n != node && pi.state[n] != Invalid {
+					act.Drop = append(act.Drop, n)
+					pi.state[n] = Invalid
+					s.stats[n].Invalidates++
+				}
+			}
+			act.Grant = Exclusive
+			pi.state[node] = Exclusive
+			pi.owner = node
+			s.stats[node].PageIn++
+		default:
+			return act, fmt.Errorf("dsm: write fault on exclusive page %#x", page)
+		}
+	}
+	return act, nil
+}
+
+// ResidentPages returns how many pages node holds in each state.
+func (s *Space) ResidentPages(node int) (shared, exclusive int) {
+	for _, pi := range s.pages {
+		switch pi.state[node] {
+		case Shared:
+			shared++
+		case Exclusive:
+			exclusive++
+		}
+	}
+	return shared, exclusive
+}
+
+// OwnedPages returns the page indices any node currently holds (owner set),
+// in unspecified order.
+func (s *Space) OwnedPages() []uint64 {
+	out := make([]uint64, 0, len(s.pages))
+	for pg, pi := range s.pages {
+		if pi.owner >= 0 {
+			out = append(out, pg)
+		}
+	}
+	return out
+}
+
+// ForceOwn transfers page ownership to node (Exclusive there, Invalid
+// everywhere else), returning the previous owner (which holds the content)
+// and whether a transfer is needed. Used by the eager whole-state
+// (serialization-style) migration baseline.
+func (s *Space) ForceOwn(node int, page uint64) (prevOwner int, moved bool) {
+	pi := s.pages[page]
+	if pi == nil || pi.owner < 0 {
+		return -1, false
+	}
+	prev := pi.owner
+	for n := range pi.state {
+		pi.state[n] = Invalid
+	}
+	pi.state[node] = Exclusive
+	pi.owner = node
+	return prev, prev != node
+}

@@ -1,0 +1,206 @@
+package dsm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColdFaultGrantsExclusive(t *testing.T) {
+	s := NewSpace(2)
+	act, err := s.Fault(0, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !act.Cold || act.Grant != Exclusive || act.TransferFrom != -1 {
+		t.Fatalf("cold fault action %+v", act)
+	}
+	if s.StateOf(0, 100) != Exclusive || s.Owner(100) != 0 {
+		t.Fatal("directory not updated")
+	}
+}
+
+func TestReadShareDowngradesOwner(t *testing.T) {
+	s := NewSpace(2)
+	mustFault(t, s, 0, 100, true) // cold, exclusive at 0
+	act, err := s.Fault(1, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.TransferFrom != 0 || act.Grant != Shared {
+		t.Fatalf("read fault action %+v", act)
+	}
+	if len(act.Protect) != 1 || act.Protect[0] != 0 {
+		t.Fatalf("owner not downgraded: %+v", act)
+	}
+	if s.StateOf(0, 100) != Shared || s.StateOf(1, 100) != Shared {
+		t.Fatal("states after share")
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	s := NewSpace(2)
+	mustFault(t, s, 0, 100, true)
+	mustFault(t, s, 1, 100, false) // both shared
+	act, err := s.Fault(1, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 upgrades in place; node 0's copy drops.
+	if act.TransferFrom != -1 || act.Grant != Exclusive {
+		t.Fatalf("upgrade action %+v", act)
+	}
+	if len(act.Drop) != 1 || act.Drop[0] != 0 {
+		t.Fatalf("sharer not dropped: %+v", act)
+	}
+	if s.StateOf(0, 100) != Invalid || s.StateOf(1, 100) != Exclusive || s.Owner(100) != 1 {
+		t.Fatal("directory after upgrade")
+	}
+}
+
+func TestWriteTransferFromRemoteOwner(t *testing.T) {
+	s := NewSpace(2)
+	mustFault(t, s, 0, 100, true)
+	act, err := s.Fault(1, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.TransferFrom != 0 || act.Grant != Exclusive {
+		t.Fatalf("write-transfer action %+v", act)
+	}
+	if len(act.Drop) != 1 || act.Drop[0] != 0 {
+		t.Fatalf("old owner kept a copy: %+v", act)
+	}
+}
+
+func TestBogusFaultsRejected(t *testing.T) {
+	s := NewSpace(2)
+	mustFault(t, s, 0, 100, true)
+	// Read fault while already present is a kernel bug.
+	if _, err := s.Fault(0, 100, false); err == nil {
+		t.Error("read fault on present page accepted")
+	}
+	if _, err := s.Fault(0, 100, true); err == nil {
+		t.Error("write fault on exclusive page accepted")
+	}
+}
+
+func TestSeed(t *testing.T) {
+	s := NewSpace(2)
+	s.Seed(1, 55)
+	if s.Owner(55) != 1 || s.StateOf(1, 55) != Exclusive {
+		t.Fatal("seed did not set ownership")
+	}
+	st := s.Stats(1)
+	if st.ColdFaults != 0 {
+		t.Fatal("seed counted as a fault")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewSpace(2)
+	mustFault(t, s, 0, 1, true)
+	mustFault(t, s, 1, 1, false)
+	mustFault(t, s, 1, 1, true)
+	s0, s1 := s.Stats(0), s.Stats(1)
+	if s0.ColdFaults != 1 || s0.WriteFaults != 1 {
+		t.Errorf("node0 stats %+v", s0)
+	}
+	if s1.ReadFaults != 1 || s1.WriteFaults != 1 || s1.PageIn != 1 || s1.Upgrades != 1 {
+		t.Errorf("node1 stats %+v", s1)
+	}
+	if s0.Invalidates != 1 {
+		t.Errorf("node0 invalidates %d", s0.Invalidates)
+	}
+}
+
+func TestResidentPages(t *testing.T) {
+	s := NewSpace(2)
+	mustFault(t, s, 0, 1, true)
+	mustFault(t, s, 0, 2, true)
+	mustFault(t, s, 1, 1, false)
+	sh, ex := s.ResidentPages(0)
+	if sh != 1 || ex != 1 {
+		t.Fatalf("node0 resident %d/%d", sh, ex)
+	}
+}
+
+func TestForceOwn(t *testing.T) {
+	s := NewSpace(2)
+	mustFault(t, s, 0, 7, true)
+	prev, moved := s.ForceOwn(1, 7)
+	if prev != 0 || !moved {
+		t.Fatalf("ForceOwn: %d %v", prev, moved)
+	}
+	if s.Owner(7) != 1 || s.StateOf(0, 7) != Invalid {
+		t.Fatal("ownership not transferred")
+	}
+	if _, moved := s.ForceOwn(1, 7); moved {
+		t.Fatal("self-transfer reported as move")
+	}
+	if _, moved := s.ForceOwn(1, 999); moved {
+		t.Fatal("untouched page reported as move")
+	}
+}
+
+func TestOwnedPages(t *testing.T) {
+	s := NewSpace(2)
+	mustFault(t, s, 0, 1, true)
+	mustFault(t, s, 1, 2, true)
+	got := s.OwnedPages()
+	if len(got) != 2 {
+		t.Fatalf("owned pages %v", got)
+	}
+}
+
+// Property: single-writer invariant — after any sequence of legal faults,
+// at most one node holds Exclusive, and if anyone does, nobody else holds
+// any copy of that page.
+func TestPropertySingleWriter(t *testing.T) {
+	err := quick.Check(func(ops []uint8) bool {
+		s := NewSpace(2)
+		for _, op := range ops {
+			node := int(op) & 1
+			page := uint64((op >> 1) & 3)
+			write := op&8 != 0
+			// Only issue legal faults (as the kernel would: it faults only
+			// on access violations).
+			st := s.StateOf(node, page)
+			if st == Exclusive || (st == Shared && !write) {
+				continue
+			}
+			if _, err := s.Fault(node, page, write); err != nil {
+				return false
+			}
+			// Check the invariant.
+			for pg := uint64(0); pg < 4; pg++ {
+				excl := 0
+				copies := 0
+				for n := 0; n < 2; n++ {
+					switch s.StateOf(n, pg) {
+					case Exclusive:
+						excl++
+						copies++
+					case Shared:
+						copies++
+					}
+				}
+				if excl > 1 || (excl == 1 && copies != 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func mustFault(t *testing.T, s *Space, node int, page uint64, write bool) Action {
+	t.Helper()
+	act, err := s.Fault(node, page, write)
+	if err != nil {
+		t.Fatalf("fault(%d,%d,%v): %v", node, page, write, err)
+	}
+	return act
+}

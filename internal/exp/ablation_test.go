@@ -1,0 +1,75 @@
+package exp
+
+import "testing"
+
+func TestAblationPointPlacementQuick(t *testing.T) {
+	rows, err := AblationPointPlacement(quick())
+	if err != nil {
+		t.Fatalf("ablation: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// More aggressive placement => more points and smaller max gaps, but
+	// also more overhead.
+	if rows[2].Points <= rows[1].Points || rows[1].Points <= rows[0].Points {
+		t.Errorf("point counts not monotone: %d %d %d", rows[0].Points, rows[1].Points, rows[2].Points)
+	}
+	if rows[2].MaxGapInstrs > rows[0].MaxGapInstrs {
+		t.Errorf("every-back-edge max gap %d exceeds function-boundaries %d",
+			rows[2].MaxGapInstrs, rows[0].MaxGapInstrs)
+	}
+	if rows[2].OverheadPct < rows[1].OverheadPct {
+		t.Logf("note: every-back-edge overhead %.2f%% below default %.2f%% (small workload noise)",
+			rows[2].OverheadPct, rows[1].OverheadPct)
+	}
+	for _, r := range rows {
+		t.Logf("%-22s overhead=%+.2f%% points=%d max-gap=%d", r.Config, r.OverheadPct, r.Points, r.MaxGapInstrs)
+	}
+}
+
+func TestAblationDSMModeQuick(t *testing.T) {
+	rows, err := AblationDSMMode(quick())
+	if err != nil {
+		t.Fatalf("ablation: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	onDemand, eager := rows[0], rows[1]
+	// The paper's point: on-demand migration resumes (nearly) immediately;
+	// eager copy stalls the thread for the whole transfer.
+	if onDemand.ResumeLagSeconds >= eager.ResumeLagSeconds {
+		t.Errorf("on-demand resume lag %.1fµs not below eager %.1fµs",
+			onDemand.ResumeLagSeconds*1e6, eager.ResumeLagSeconds*1e6)
+	}
+	if onDemand.PagesMoved == 0 || eager.PagesMoved == 0 {
+		t.Error("no page traffic observed")
+	}
+	// Eager moves at least as many pages as demand paging needed.
+	if eager.PagesMoved < onDemand.PagesMoved {
+		t.Errorf("eager moved fewer pages (%d) than on-demand (%d)",
+			eager.PagesMoved, onDemand.PagesMoved)
+	}
+	for _, r := range rows {
+		t.Logf("%-18s total=%.4fs lag=%.1fµs pages=%d", r.Mode, r.TotalSeconds, r.ResumeLagSeconds*1e6, r.PagesMoved)
+	}
+}
+
+func TestRackScaleQuick(t *testing.T) {
+	rows, err := RackScale(quick())
+	if err != nil {
+		t.Fatalf("rack: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	baseline := rows[0]
+	for _, r := range rows[1:] {
+		t.Logf("%s: energy %.2fJ (baseline %.2fJ), makespan %.3fs (baseline %.3fs)",
+			r.Policy, r.EnergyJ, baseline.EnergyJ, r.MakespanSec, baseline.MakespanSec)
+		if r.EnergyJ <= 0 || r.MakespanSec <= 0 {
+			t.Errorf("%s: degenerate result", r.Policy)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"heterodc/internal/npb"
+	"heterodc/internal/sched"
+	"heterodc/internal/trace"
+)
+
+// TimeScale relates the paper's wall-clock parameters to the reproduction's
+// reduced problem classes: simulated job durations and arrival spacings are
+// ~1000x shorter than the testbed's, so the paper's 60-240 s wave spacing
+// becomes 60-240 ms. All ratios (energy, makespan, EDP) are scale-free.
+const TimeScale = 1e-3
+
+// Fig12Set is one sustained-workload job set evaluated under every policy.
+type Fig12Set struct {
+	Set     int
+	Results []*sched.Result
+}
+
+// fig12Policies are the sustained study's policies: the static two-x86
+// baseline and the two dynamic heterogeneous policies.
+func fig12Policies() []sched.Policy {
+	return []sched.Policy{
+		sched.StaticX86Pair(),
+		sched.DynamicBalanced(),
+		sched.DynamicUnbalanced(),
+	}
+}
+
+func (c Config) fig12Params() (sets, jobs, conc int, classes []npb.Class) {
+	switch c.Scale {
+	case Quick:
+		return 2, 6, 3, []npb.Class{npb.ClassS}
+	case Default:
+		return 4, 14, 5, []npb.Class{npb.ClassS, npb.ClassA}
+	default:
+		return 10, 40, 6, []npb.Class{npb.ClassS, npb.ClassA, npb.ClassA, npb.ClassB}
+	}
+}
+
+// Fig12 reproduces Figure 12: sustained workloads (a fixed number of jobs
+// in flight, each completion admitting the next) under static and dynamic
+// policies, reporting per-machine energy and the makespan ratio to the
+// static baseline. The ARM power model uses the paper's McPAT FinFET
+// projection.
+func Fig12(cfg Config) ([]*Fig12Set, error) {
+	sets, jobs, conc, classes := cfg.fig12Params()
+	var out []*Fig12Set
+	for set := 0; set < sets; set++ {
+		js := sched.GenerateJobs(int64(1000+set), jobs, classes, nil)
+		fs := &Fig12Set{Set: set}
+		for _, pol := range fig12Policies() {
+			cl, models := sched.TestbedFor(pol, true)
+			r := sched.NewRunner(cl, pol, models)
+			res, err := r.Run(sched.Workload{Jobs: js, Concurrency: conc})
+			if err != nil {
+				return nil, fmt.Errorf("fig12 set %d %s: %w", set, pol.Name(), err)
+			}
+			fs.Results = append(fs.Results, res)
+			cfg.printf("fig12 set-%d %-22s energy=%8.2fJ (", set, pol.Name(), res.EnergyTotal)
+			for i, e := range res.EnergyCPU {
+				if i > 0 {
+					cfg.printf(" + ")
+				}
+				cfg.printf("%.2f", e)
+			}
+			cfg.printf(") makespan=%.3fs migrations=%d\n", res.Makespan, res.Migrations)
+		}
+		out = append(out, fs)
+	}
+	return out, nil
+}
+
+// Fig12Summary aggregates energy savings and makespan ratios of the dynamic
+// policies relative to the static baseline.
+type Fig12Summary struct {
+	// AvgEnergySavingPct[policy] relative to static x86(2).
+	AvgEnergySavingPct map[string]float64
+	MaxEnergySavingPct map[string]float64
+	AvgMakespanRatio   map[string]float64
+}
+
+// SummarizeFig12 computes the aggregate rows the paper reports.
+func SummarizeFig12(sets []*Fig12Set) *Fig12Summary {
+	s := &Fig12Summary{
+		AvgEnergySavingPct: map[string]float64{},
+		MaxEnergySavingPct: map[string]float64{},
+		AvgMakespanRatio:   map[string]float64{},
+	}
+	counts := map[string]int{}
+	for _, fs := range sets {
+		var static *sched.Result
+		for _, r := range fs.Results {
+			if r.Policy == "static x86(2)" {
+				static = r
+			}
+		}
+		if static == nil {
+			continue
+		}
+		for _, r := range fs.Results {
+			if r == static {
+				continue
+			}
+			saving := (1 - r.EnergyTotal/static.EnergyTotal) * 100
+			s.AvgEnergySavingPct[r.Policy] += saving
+			if saving > s.MaxEnergySavingPct[r.Policy] {
+				s.MaxEnergySavingPct[r.Policy] = saving
+			}
+			s.AvgMakespanRatio[r.Policy] += r.Makespan / static.Makespan
+			counts[r.Policy]++
+		}
+	}
+	for k, n := range counts {
+		s.AvgEnergySavingPct[k] /= float64(n)
+		s.AvgMakespanRatio[k] /= float64(n)
+	}
+	return s
+}
+
+// Fig12ShapeHolds checks the paper's claims: the dynamic heterogeneous
+// policies save energy on average versus two static x86 machines, at the
+// cost of a longer makespan.
+func Fig12ShapeHolds(sets []*Fig12Set) error {
+	s := SummarizeFig12(sets)
+	for _, pol := range []string{"dynamic balanced", "dynamic unbalanced"} {
+		if s.AvgEnergySavingPct[pol] <= 0 {
+			return fmt.Errorf("fig12: %s shows no average energy saving (%.1f%%)",
+				pol, s.AvgEnergySavingPct[pol])
+		}
+		if s.AvgMakespanRatio[pol] < 1.0 {
+			return fmt.Errorf("fig12: %s is faster than the static pair (%.2fx) — unexpected",
+				pol, s.AvgMakespanRatio[pol])
+		}
+	}
+	return nil
+}
+
+// Fig13Set is one periodic-arrival job set under both policies.
+type Fig13Set struct {
+	Set     int
+	Static  *sched.Result
+	Dynamic *sched.Result
+}
+
+func (c Config) fig13Params() (sets, waves, jobsPerWave int, classes []npb.Class) {
+	switch c.Scale {
+	case Quick:
+		return 2, 2, 3, []npb.Class{npb.ClassS}
+	case Default:
+		return 4, 3, 5, []npb.Class{npb.ClassS, npb.ClassA}
+	default:
+		return 10, 5, 14, []npb.Class{npb.ClassS, npb.ClassA, npb.ClassA, npb.ClassB}
+	}
+}
+
+// Fig13 reproduces Figure 13: periodic workloads — waves of job arrivals
+// spaced 60-240 (scaled) seconds apart — comparing the static two-x86
+// baseline with the dynamic balanced policy on energy and energy-delay
+// product. Idle gaps between waves are where consolidation pays.
+func Fig13(cfg Config) ([]*Fig13Set, error) {
+	sets, waves, perWave, classes := cfg.fig13Params()
+	var out []*Fig13Set
+	for set := 0; set < sets; set++ {
+		rng := rand.New(rand.NewSource(int64(2000 + set)))
+		spacing := func(r *rand.Rand, i int) float64 {
+			if i%perWave == 0 && i > 0 {
+				return (60 + 180*r.Float64()) * TimeScale
+			}
+			return 0
+		}
+		js := sched.GenerateJobs(int64(3000+set), waves*perWave, classes, spacing)
+		_ = rng
+
+		fs := &Fig13Set{Set: set}
+		for _, pol := range []sched.Policy{sched.StaticX86Pair(), sched.DynamicBalanced()} {
+			cl, models := sched.TestbedFor(pol, true)
+			r := sched.NewRunner(cl, pol, models)
+			res, err := r.Run(sched.Workload{Jobs: js})
+			if err != nil {
+				return nil, fmt.Errorf("fig13 set %d %s: %w", set, pol.Name(), err)
+			}
+			if pol.Name() == "static x86(2)" {
+				fs.Static = res
+			} else {
+				fs.Dynamic = res
+			}
+			cfg.printf("fig13 set-%d %-22s energy=%8.2fJ EDP=%10.4f makespan=%.3fs migrations=%d\n",
+				set, pol.Name(), res.EnergyTotal, res.EDP, res.Makespan, res.Migrations)
+		}
+		out = append(out, fs)
+	}
+	return out, nil
+}
+
+// Fig13ShapeHolds checks the paper's claims: migration reduces energy for
+// (almost) every set, substantially on average.
+func Fig13ShapeHolds(sets []*Fig13Set) error {
+	var savings, edps []float64
+	for _, fs := range sets {
+		if fs.Static == nil || fs.Dynamic == nil {
+			return fmt.Errorf("fig13: incomplete set %d", fs.Set)
+		}
+		savings = append(savings, (1-fs.Dynamic.EnergyTotal/fs.Static.EnergyTotal)*100)
+		edps = append(edps, (1-fs.Dynamic.EDP/fs.Static.EDP)*100)
+	}
+	if avg := trace.Mean(savings); avg <= 0 {
+		return fmt.Errorf("fig13: no average energy saving (%.1f%%)", avg)
+	}
+	return nil
+}

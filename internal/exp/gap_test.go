@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"testing"
+
+	"heterodc/internal/core"
+	"heterodc/internal/isa"
+	"heterodc/internal/npb"
+)
+
+// TestMigrationResponseGapBounded is the response-time regression test: the
+// largest run of instructions without a migration opportunity must stay
+// within about one scaled scheduling quantum (~50k instructions; the
+// paper's 50M at its problem scale) even inside CG's solver phases.
+func TestMigrationResponseGapBounded(t *testing.T) {
+	img, err := buildDefault(npb.CG, npb.ClassS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewSingle(isa.X86)
+	var maxGap uint64
+	cl.Kernels[0].InstrumentCalls(nil, func(gap uint64) {
+		if gap > maxGap {
+			maxGap = gap
+		}
+	})
+	p, _ := cl.Spawn(img, 0)
+	if _, err := cl.RunProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	if maxGap > 60_000 {
+		t.Errorf("max migration-response gap %d instructions exceeds ~1 scaled quantum", maxGap)
+	}
+	t.Logf("max gap: %d instructions", maxGap)
+}

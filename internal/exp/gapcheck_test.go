@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"testing"
+
+	"heterodc/internal/core"
+	"heterodc/internal/isa"
+	"heterodc/internal/npb"
+)
+
+// TestResponseGapsClassA measures the worst migration-response gap of every
+// NPB kernel at class A on x86 — the full-suite version of the bounded-gap
+// regression (paper's goal: roughly one point per scheduling quantum; ours
+// scales to ~50k instructions).
+func TestResponseGapsClassA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class A sweep in -short mode")
+	}
+	for _, b := range []npb.Bench{npb.EP, npb.IS, npb.CG, npb.FT, npb.SP, npb.BT, npb.MG} {
+		img, err := buildDefault(b, npb.ClassA, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := core.NewSingle(isa.X86)
+		var maxGap uint64
+		cl.Kernels[0].InstrumentCalls(nil, func(gap uint64) {
+			if gap > maxGap {
+				maxGap = gap
+			}
+		})
+		p, _ := cl.Spawn(img, 0)
+		if _, err := cl.RunProcess(p); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-4s class A max gap: %8d instrs", b, maxGap)
+		if maxGap > 300_000 {
+			t.Errorf("%s: gap %d exceeds ~6 scaled quanta", b, maxGap)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"testing"
+
+	"heterodc/internal/core"
+	"heterodc/internal/isa"
+)
+
+// TestCounterPollingFires verifies counter-based polling reaches migration
+// points inside nested loops at the configured interval.
+func TestCounterPollingFires(t *testing.T) {
+	img, err := core.Build("poll", core.Src("poll.c", `
+long sink = 0;
+long main(void) {
+	long s = 0;
+	for (long r = 0; r < 2; r++) {              // depth 1: direct points
+		for (long i = 0; i < 100; i++) {        // depth 2: counted polling
+			for (long j = 0; j < 50; j++) {     // depth 3: innermost, free
+				s += i * j;
+			}
+			sink += s;
+		}
+	}
+	return s;
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewSingle(isa.X86)
+	points := 0
+	byFn := map[string]int{}
+	cl.Kernels[0].InstrumentCalls(nil, func(uint64) { points++ })
+	cl.Kernels[0].InstrumentPointAttr(func(fn string) { byFn[fn]++ })
+	p, _ := cl.Spawn(img, 0)
+	if _, err := cl.RunProcess(p); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("points=%d byFn=%v", points, byFn)
+	// middle loop: 200 iterations total, interval 32 -> ~6 polls plus 2
+	// direct points plus entry/exit.
+	if byFn["main"] < 8 {
+		t.Errorf("counter polling did not fire in main: %v", byFn)
+	}
+}

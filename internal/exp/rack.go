@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"fmt"
+
+	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
+	"heterodc/internal/npb"
+	"heterodc/internal/power"
+	"heterodc/internal/sched"
+)
+
+// rackScaleImpl runs the rack-scale extension: a four-machine ensemble.
+// The baseline is four static x86 machines; the heterogeneous rack swaps
+// two of them for (power-projected) ARM machines and migrates jobs
+// dynamically — the setting in which the paper predicts "greater benefits
+// ... at the rack or datacenter scale".
+func rackScaleImpl(cfg Config) ([]RackScaleRow, error) {
+	var jobsN, conc int
+	var classes []npb.Class
+	switch cfg.Scale {
+	case Quick:
+		jobsN, conc, classes = 10, 6, []npb.Class{npb.ClassS}
+	case Default:
+		jobsN, conc, classes = 20, 8, []npb.Class{npb.ClassS, npb.ClassA}
+	default:
+		jobsN, conc, classes = 60, 12, []npb.Class{npb.ClassS, npb.ClassA, npb.ClassA, npb.ClassB}
+	}
+	jobs := sched.GenerateJobs(4242, jobsN, classes, nil)
+
+	type setup struct {
+		policy sched.Policy
+		arches []isa.Arch
+	}
+	setups := []setup{
+		{sched.NewBalanced("static x86(4)", false),
+			[]isa.Arch{isa.X86, isa.X86, isa.X86, isa.X86}},
+		{sched.NewBalanced("rack dynamic balanced", true),
+			[]isa.Arch{isa.X86, isa.X86, isa.ARM64, isa.ARM64}},
+		{sched.NewArchWeighted("rack dynamic unbalanced", true, 2.2),
+			[]isa.Arch{isa.X86, isa.X86, isa.ARM64, isa.ARM64}},
+	}
+
+	var rows []RackScaleRow
+	for _, s := range setups {
+		cl := kernel.NewCluster(s.arches, kernel.DefaultInterconnect())
+		models := power.DefaultModels(cl, true)
+		r := sched.NewRunner(cl, s.policy, models)
+		res, err := r.Run(sched.Workload{Jobs: jobs, Concurrency: conc})
+		if err != nil {
+			return nil, fmt.Errorf("rack %s: %w", s.policy.Name(), err)
+		}
+		rows = append(rows, RackScaleRow{
+			Policy: res.Policy, EnergyJ: res.EnergyTotal,
+			MakespanSec: res.Makespan, Migrations: res.Migrations,
+		})
+		cfg.printf("rack %-24s energy=%8.2fJ makespan=%.3fs migrations=%d\n",
+			res.Policy, res.EnergyTotal, res.Makespan, res.Migrations)
+	}
+	return rows, nil
+}

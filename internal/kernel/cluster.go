@@ -1,0 +1,232 @@
+package kernel
+
+import (
+	"fmt"
+
+	"heterodc/internal/isa"
+	"heterodc/internal/link"
+	"heterodc/internal/msg"
+)
+
+// Cluster is the whole testbed: one kernel per machine plus the
+// interconnect. It co-simulates the kernels in time order with bounded
+// skew, which is how the replicated-kernel OS's distributed services stay
+// causally consistent.
+type Cluster struct {
+	Kernels []*Kernel
+	IC      *msg.Interconnect
+
+	nextPid int
+	procs   []*Process
+
+	// OnMigration observes completed thread migrations.
+	OnMigration func(MigrationEvent)
+	// OnAdvance observes the advancing safe time frontier (min kernel
+	// clock); the power tracer samples on it.
+	OnAdvance func(frontier float64)
+
+	lastFrontier float64
+}
+
+// NewCluster builds a cluster with one kernel per listed architecture,
+// joined by the given interconnect configuration.
+func NewCluster(arches []isa.Arch, cfg msg.Config) *Cluster {
+	cl := &Cluster{IC: msg.New(cfg)}
+	for i, a := range arches {
+		cl.Kernels = append(cl.Kernels, newKernel(cl, i, a))
+	}
+	return cl
+}
+
+// MachineSpec describes one machine of a custom cluster: the ISA it
+// executes, a timing description (which may hybridise guest semantics with
+// host timing, as the DBT-emulation baseline does) and an optional per-op
+// cost override.
+type MachineSpec struct {
+	Arch   isa.Arch
+	Desc   *isa.Desc
+	CostFn func(isa.Op) int64
+}
+
+// NewClusterSpec builds a cluster from explicit machine specifications.
+func NewClusterSpec(specs []MachineSpec, cfg msg.Config) *Cluster {
+	cl := &Cluster{IC: msg.New(cfg)}
+	for i, s := range specs {
+		cl.Kernels = append(cl.Kernels, newKernelSpec(cl, i, s))
+	}
+	return cl
+}
+
+// NewTestbed builds the paper's evaluation pair: node 0 is the x86 server
+// (Xeon E5-1650 v2 flavour), node 1 the ARM server (X-Gene 1 flavour),
+// joined by the Dolphin PCIe interconnect model.
+func NewTestbed() *Cluster {
+	return NewCluster([]isa.Arch{isa.X86, isa.ARM64}, msg.DolphinPXH810())
+}
+
+// Time returns the cluster's safe time frontier (min kernel clock).
+func (cl *Cluster) Time() float64 {
+	t := inf
+	for _, k := range cl.Kernels {
+		if k.now < t {
+			t = k.now
+		}
+	}
+	if t >= inf {
+		return 0
+	}
+	return t
+}
+
+// Spawn loads img as a new process whose main thread starts on node.
+// The returned process runs as the cluster is stepped.
+func (cl *Cluster) Spawn(img *link.Image, node int) (*Process, error) {
+	return cl.SpawnWithFS(img, node, nil)
+}
+
+// SpawnWithFS is Spawn with a pre-populated container filesystem.
+func (cl *Cluster) SpawnWithFS(img *link.Image, node int, fs *FS) (*Process, error) {
+	if node < 0 || node >= len(cl.Kernels) {
+		return nil, fmt.Errorf("kernel: no node %d", node)
+	}
+	p, err := cl.newProcess(img, node, fs)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.newThread(cl, node, "__start"); err != nil {
+		return nil, err
+	}
+	cl.procs = append(cl.procs, p)
+	return p, nil
+}
+
+// readyTime returns when k can next make progress, or inf.
+func (k *Kernel) readyTime() float64 {
+	for _, cs := range k.cores {
+		if cs.thr != nil {
+			return k.now
+		}
+	}
+	if len(k.runq) > 0 {
+		return k.now
+	}
+	e := k.nextEventTime()
+	if e < inf {
+		if e < k.now {
+			return k.now
+		}
+		return e
+	}
+	return inf
+}
+
+// Step advances the cluster by one kernel quantum. It returns false when no
+// kernel can ever make progress again (all work drained).
+func (cl *Cluster) Step() bool {
+	var best *Kernel
+	bestT := inf
+	for _, k := range cl.Kernels {
+		if t := k.readyTime(); t < bestT {
+			bestT = t
+			best = k
+		}
+	}
+	if best == nil || bestT >= inf {
+		return false
+	}
+	best.skipTo(bestT)
+	best.step()
+	// Drag fully idle kernels forward so the time frontier advances (their
+	// idle power is still integrated over the skipped span).
+	for _, k := range cl.Kernels {
+		if k != best && k.readyTime() >= inf && k.now < best.now {
+			k.skipTo(best.now)
+		}
+	}
+	if f := cl.Time(); f > cl.lastFrontier {
+		cl.lastFrontier = f
+		if cl.OnAdvance != nil {
+			cl.OnAdvance(f)
+		}
+	}
+	return true
+}
+
+// Run steps the cluster until the frontier passes `until` seconds or work
+// drains. It returns the frontier time.
+func (cl *Cluster) Run(until float64) float64 {
+	for cl.Time() < until {
+		if !cl.Step() {
+			break
+		}
+	}
+	return cl.Time()
+}
+
+// RunProcess steps the cluster until p exits and returns its exit code.
+func (cl *Cluster) RunProcess(p *Process) (int64, error) {
+	for {
+		exited, code := p.Exited()
+		if exited {
+			if p.failErr != nil {
+				return code, p.failErr
+			}
+			return code, nil
+		}
+		if !cl.Step() {
+			return -1, fmt.Errorf("kernel: cluster drained before process %d exited (deadlock?)", p.Pid)
+		}
+	}
+}
+
+// reapProcess tears down all of p's threads on every kernel.
+func (cl *Cluster) reapProcess(p *Process) {
+	for _, t := range p.threads {
+		t.State = Exited
+	}
+	p.liveThreads = 0
+	for _, k := range cl.Kernels {
+		// Clear run queues.
+		var rq []*Thread
+		for _, t := range k.runq {
+			if t.Proc != p {
+				rq = append(rq, t)
+			}
+		}
+		k.runq = rq
+		// Free cores.
+		for _, cs := range k.cores {
+			if cs.thr != nil && cs.thr.Proc == p {
+				cs.thr = nil
+			}
+		}
+		// Sleepers are reaped lazily: their State is Exited, so the wake
+		// path drops them.
+	}
+}
+
+// DefaultInterconnect exposes the testbed interconnect configuration for
+// single-machine clusters (where it is unused but required).
+func DefaultInterconnect() msg.Config { return msg.DolphinPXH810() }
+
+// AdvanceTo skips every kernel's clock forward to t (bounded by the
+// earliest pending event, which must still be processed by stepping) and
+// fires the frontier hook. Used by workload drivers to model idle gaps
+// between job arrivals; idle power integrates over the skipped span.
+func (cl *Cluster) AdvanceTo(t float64) {
+	bound := t
+	for _, k := range cl.Kernels {
+		if e := k.nextEventTime(); e < bound {
+			bound = e
+		}
+	}
+	for _, k := range cl.Kernels {
+		k.skipTo(bound)
+	}
+	if f := cl.Time(); f > cl.lastFrontier {
+		cl.lastFrontier = f
+		if cl.OnAdvance != nil {
+			cl.OnAdvance(f)
+		}
+	}
+}

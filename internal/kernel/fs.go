@@ -1,0 +1,125 @@
+package kernel
+
+import (
+	"sort"
+
+	"heterodc/internal/sys"
+)
+
+// FS is the in-memory filesystem a heterogeneous OS-container sees. Its
+// authority lives on the process's origin kernel; remote kernels' syscalls
+// are charged a message round trip (see syscall.go), giving migrating
+// applications the same filesystem view on every node.
+type FS struct {
+	files map[string]*fsFile
+}
+
+type fsFile struct {
+	name string
+	data []byte
+}
+
+// NewFS returns an empty filesystem.
+func NewFS() *FS {
+	return &FS{files: make(map[string]*fsFile)}
+}
+
+// AddFile installs a file (workload inputs).
+func (fs *FS) AddFile(name string, data []byte) {
+	fs.files[name] = &fsFile{name: name, data: append([]byte(nil), data...)}
+}
+
+// ReadFile returns a file's contents, or nil.
+func (fs *FS) ReadFile(name string) []byte {
+	f := fs.files[name]
+	if f == nil {
+		return nil
+	}
+	return f.data
+}
+
+// Names lists files, sorted.
+func (fs *FS) Names() []string {
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fdEntry is one open descriptor.
+type fdEntry struct {
+	file *fsFile
+	pos  int64
+}
+
+// fdOpen implements open(2) on the container FS.
+func (p *Process) fdOpen(path string, flags int64) int64 {
+	f := p.FS.files[path]
+	if f == nil {
+		if flags&sys.OCreate == 0 {
+			return -1
+		}
+		f = &fsFile{name: path}
+		p.FS.files[path] = f
+	}
+	if flags&sys.OTrunc != 0 {
+		f.data = f.data[:0]
+	}
+	if p.fds == nil {
+		p.fds = make(map[int64]*fdEntry)
+	}
+	fd := p.nextFd
+	if fd < 3 {
+		fd = 3
+	}
+	p.nextFd = fd + 1
+	p.fds[fd] = &fdEntry{file: f}
+	return fd
+}
+
+// fdRead implements read(2); returns data and count.
+func (p *Process) fdRead(fd, n int64) ([]byte, int64) {
+	e := p.fds[fd]
+	if e == nil || n < 0 {
+		return nil, -1
+	}
+	remain := int64(len(e.file.data)) - e.pos
+	if remain <= 0 {
+		return nil, 0
+	}
+	if n > remain {
+		n = remain
+	}
+	data := e.file.data[e.pos : e.pos+n]
+	e.pos += n
+	return data, n
+}
+
+// fdWrite implements write(2) for fd >= 3.
+func (p *Process) fdWrite(fd int64, data []byte) int64 {
+	e := p.fds[fd]
+	if e == nil {
+		return -1
+	}
+	// Writes extend at pos (append-style for pos at end).
+	end := e.pos + int64(len(data))
+	if end > int64(len(e.file.data)) {
+		grown := make([]byte, end)
+		copy(grown, e.file.data)
+		e.file.data = grown
+	}
+	copy(e.file.data[e.pos:end], data)
+	e.pos = end
+	return int64(len(data))
+}
+
+// fdClose implements close(2).
+func (p *Process) fdClose(fd int64) int64 {
+	if p.fds[fd] == nil {
+		return -1
+	}
+	delete(p.fds, fd)
+	return 0
+}

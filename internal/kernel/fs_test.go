@@ -1,0 +1,135 @@
+package kernel
+
+import (
+	"testing"
+
+	"heterodc/internal/sys"
+	"heterodc/internal/xform"
+)
+
+type xformStats = xform.Stats
+
+func newProc() *Process {
+	return &Process{FS: NewFS()}
+}
+
+func TestFSOpenCreateReadWrite(t *testing.T) {
+	p := newProc()
+	if fd := p.fdOpen("missing", sys.ORdonly); fd != -1 {
+		t.Fatalf("open(missing) = %d", fd)
+	}
+	fd := p.fdOpen("f", sys.OCreate)
+	if fd < 3 {
+		t.Fatalf("fd %d", fd)
+	}
+	if n := p.fdWrite(fd, []byte("hello")); n != 5 {
+		t.Fatalf("write %d", n)
+	}
+	// Reading from the same descriptor continues at its position (end).
+	if _, n := p.fdRead(fd, 10); n != 0 {
+		t.Fatalf("read at EOF returned %d", n)
+	}
+	fd2 := p.fdOpen("f", sys.ORdonly)
+	data, n := p.fdRead(fd2, 3)
+	if n != 3 || string(data) != "hel" {
+		t.Fatalf("read %q %d", data, n)
+	}
+	data, n = p.fdRead(fd2, 10)
+	if n != 2 || string(data) != "lo" {
+		t.Fatalf("second read %q %d", data, n)
+	}
+}
+
+func TestFSTruncate(t *testing.T) {
+	p := newProc()
+	fd := p.fdOpen("f", sys.OCreate)
+	p.fdWrite(fd, []byte("long content"))
+	p.fdClose(fd)
+	fd = p.fdOpen("f", sys.OCreate|sys.OTrunc)
+	p.fdWrite(fd, []byte("x"))
+	p.fdClose(fd)
+	if got := p.FS.ReadFile("f"); string(got) != "x" {
+		t.Fatalf("after truncate: %q", got)
+	}
+}
+
+func TestFSCloseAndBadFDs(t *testing.T) {
+	p := newProc()
+	fd := p.fdOpen("f", sys.OCreate)
+	if p.fdClose(fd) != 0 {
+		t.Fatal("close failed")
+	}
+	if p.fdClose(fd) != -1 {
+		t.Fatal("double close succeeded")
+	}
+	if p.fdWrite(fd, []byte("x")) != -1 {
+		t.Fatal("write to closed fd succeeded")
+	}
+	if _, n := p.fdRead(fd, 1); n != -1 {
+		t.Fatal("read from closed fd succeeded")
+	}
+	if _, n := p.fdRead(999, 1); n != -1 {
+		t.Fatal("read from bogus fd succeeded")
+	}
+}
+
+func TestFSDistinctDescriptors(t *testing.T) {
+	p := newProc()
+	a := p.fdOpen("f", sys.OCreate)
+	b := p.fdOpen("f", sys.ORdonly)
+	if a == b {
+		t.Fatal("descriptors reused")
+	}
+	p.fdWrite(a, []byte("abc"))
+	// b has its own position.
+	data, n := p.fdRead(b, 2)
+	if n != 2 || string(data) != "ab" {
+		t.Fatalf("independent position broken: %q", data)
+	}
+}
+
+func TestFSNamesSorted(t *testing.T) {
+	fs := NewFS()
+	fs.AddFile("zebra", nil)
+	fs.AddFile("alpha", []byte("a"))
+	names := fs.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zebra" {
+		t.Fatalf("names %v", names)
+	}
+	if fs.ReadFile("nope") != nil {
+		t.Fatal("missing file returned data")
+	}
+}
+
+func TestFSOverwriteMiddle(t *testing.T) {
+	p := newProc()
+	fd := p.fdOpen("f", sys.OCreate)
+	p.fdWrite(fd, []byte("0123456789"))
+	p.fdClose(fd)
+	// A fresh descriptor writes from position 0 over existing bytes.
+	fd = p.fdOpen("f", 0)
+	p.fdWrite(fd, []byte("AB"))
+	if got := p.FS.ReadFile("f"); string(got) != "AB23456789" {
+		t.Fatalf("overwrite got %q", got)
+	}
+}
+
+func TestXformLatencyModelOrdering(t *testing.T) {
+	shallow := XformLatency(isaX86, xstatsLite(2, 4, 0, 0))
+	deep := XformLatency(isaX86, xstatsLite(8, 40, 2048, 5))
+	if deep <= shallow {
+		t.Fatalf("latency model not monotone: %g <= %g", deep, shallow)
+	}
+}
+
+// xstatsLite builds an xform.Stats without importing it at each call site.
+func xstatsLite(frames, values int, allocaBytes int64, walks int) (s xformStats) {
+	s.Frames = frames
+	s.LiveValues = values
+	s.AllocaBytes = allocaBytes
+	s.RegWalks = walks
+	return s
+}
+
+// Local alias to keep the latency test terse.
+const isaX86 = 0

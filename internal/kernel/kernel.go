@@ -1,0 +1,578 @@
+// Package kernel implements the replicated-kernel OS: one kernel per
+// machine, each natively compiled for its ISA, sharing no data structures
+// and interacting only via messages — the Popcorn Linux model the paper
+// extends. Distributed services (hDSM, thread migration, the heterogeneous
+// binary loader, a distributed filesystem view) present a single operating
+// environment, the heterogeneous OS-container, to migrating applications.
+package kernel
+
+import (
+	"container/heap"
+	"fmt"
+
+	"heterodc/internal/dsm"
+	"heterodc/internal/isa"
+	"heterodc/internal/machine"
+	"heterodc/internal/mem"
+	"heterodc/internal/sys"
+)
+
+// Quantum is the co-simulation time slice: each kernel advances in slices
+// of this length, which bounds cross-machine clock skew.
+const Quantum = 2e-6 // 2 µs
+
+// DebugDSM enables fault tracing (tests only).
+var DebugDSM = false
+
+// Timeslice is the scheduler's preemption interval.
+const Timeslice = 5e-3 // 5 ms
+
+// coldFaultSeconds is the cost of a first-touch (zero-fill) fault.
+const coldFaultSeconds = 0.8e-6
+
+// dsmServiceCPUSeconds is the kernel CPU time charged per page transfer at
+// each endpoint (the multithreaded hDSM service work visible in Figure 11's
+// load spike).
+const dsmServiceCPUSeconds = 3e-6
+
+// Kernel is one machine's OS instance.
+type Kernel struct {
+	Node int
+	Arch isa.Arch
+	Desc *isa.Desc
+
+	// costFn, when non-nil, overrides per-op cycle costs on every core
+	// (DBT emulation / managed-runtime baselines).
+	costFn func(isa.Op) int64
+
+	cluster *Cluster
+
+	cores []*coreSlot
+	runq  []*Thread
+
+	now      float64
+	sleepers sleepHeap
+
+	// Accounting for the power model and load traces.
+	BusySeconds    float64 // core-seconds spent executing threads
+	ServiceSeconds float64 // core-seconds spent in kernel services (DSM)
+	InstrsRetired  uint64
+	CyclesRetired  int64
+
+	// DSM traffic counters.
+	PagesIn  uint64
+	PagesOut uint64
+
+	// MigrationsIn/Out count thread arrivals/departures.
+	MigrationsIn  uint64
+	MigrationsOut uint64
+}
+
+type coreSlot struct {
+	id   int
+	core *machine.Core
+	thr  *Thread
+}
+
+// newKernel builds a kernel with the ISA's reference core count.
+func newKernel(cl *Cluster, node int, arch isa.Arch) *Kernel {
+	return newKernelSpec(cl, node, MachineSpec{Arch: arch, Desc: isa.Describe(arch)})
+}
+
+// newKernelSpec builds a kernel from an explicit machine specification.
+func newKernelSpec(cl *Cluster, node int, spec MachineSpec) *Kernel {
+	d := spec.Desc
+	if d == nil {
+		d = isa.Describe(spec.Arch)
+	}
+	k := &Kernel{Node: node, Arch: spec.Arch, Desc: d, costFn: spec.CostFn, cluster: cl}
+	for i := 0; i < d.Cores; i++ {
+		c := machine.NewCore(d)
+		c.CostFn = spec.CostFn
+		k.cores = append(k.cores, &coreSlot{id: i, core: c})
+	}
+	return k
+}
+
+// Now returns the kernel's local simulated time.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Cores returns the number of cores.
+func (k *Kernel) Cores() int { return len(k.cores) }
+
+// BusyCores returns how many cores currently run a thread.
+func (k *Kernel) BusyCores() int {
+	n := 0
+	for _, cs := range k.cores {
+		if cs.thr != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// RunnableLoad returns running plus queued threads (the scheduler policies'
+// CPU-load signal).
+func (k *Kernel) RunnableLoad() int { return k.BusyCores() + len(k.runq) }
+
+func (k *Kernel) enqueue(t *Thread) {
+	t.State = Ready
+	k.runq = append(k.runq, t)
+}
+
+// sleep blocks t until wakeAt.
+func (k *Kernel) sleep(t *Thread, wakeAt float64) {
+	t.State = Sleeping
+	t.wakeAt = wakeAt
+	heap.Push(&k.sleepers, t)
+}
+
+// nextEventTime returns the earliest future event (sleeper wake or message
+// delivery), or +inf.
+func (k *Kernel) nextEventTime() float64 {
+	t := inf
+	if k.sleepers.Len() > 0 {
+		t = k.sleepers[0].wakeAt
+	}
+	if d, ok := k.cluster.IC.NextDeliver(k.Node); ok && d < t {
+		t = d
+	}
+	return t
+}
+
+const inf = 1e30
+
+// step advances the kernel by one quantum: deliver due messages, wake due
+// sleepers, dispatch, and run every busy core for the quantum.
+func (k *Kernel) step() {
+	end := k.now + Quantum
+
+	// Deliver due messages.
+	for {
+		m := k.cluster.IC.PopDue(k.Node, end)
+		if m == nil {
+			break
+		}
+		k.handleMessage(m)
+	}
+	// Wake due sleepers.
+	for k.sleepers.Len() > 0 && k.sleepers[0].wakeAt <= end {
+		t := heap.Pop(&k.sleepers).(*Thread)
+		if t.State == Sleeping {
+			k.enqueue(t)
+		}
+	}
+	// Dispatch ready threads onto idle cores.
+	k.dispatch()
+
+	// Run each busy core up to the end of the quantum.
+	for _, cs := range k.cores {
+		if cs.thr == nil {
+			continue
+		}
+		k.runCore(cs, end)
+	}
+	k.now = end
+}
+
+// skipTo advances an idle kernel's clock without work.
+func (k *Kernel) skipTo(t float64) {
+	if t > k.now {
+		k.now = t
+	}
+}
+
+func (k *Kernel) dispatch() {
+	for _, cs := range k.cores {
+		if cs.thr != nil || len(k.runq) == 0 {
+			continue
+		}
+		t := k.runq[0]
+		k.runq = k.runq[1:]
+		k.attach(cs, t)
+	}
+}
+
+// attach loads thread state onto a core.
+func (k *Kernel) attach(cs *coreSlot, t *Thread) {
+	cs.thr = t
+	t.State = Running
+	t.sliceStart = k.now
+	c := cs.core
+	c.Prog = t.Proc.Img.Prog(k.Arch)
+	c.Mem = t.Proc.Mems[k.Node]
+	c.RegsI = t.Regs.I
+	c.RegsF = t.Regs.F
+	c.CurTID = t.Tid
+	c.CurNode = int64(k.Node)
+	if mc, ok := t.Proc.Img.FuncAddr[k.Arch]["__migrate_check"]; ok {
+		c.MigrateCheckEntry = mc
+	}
+	if err := c.SetPC(t.PC); err != nil {
+		// A thread with a wild PC is killed with its process.
+		k.killProcess(t.Proc, fmt.Errorf("dispatch: %w", err))
+		cs.thr = nil
+		return
+	}
+	c.ResetPointCounters()
+}
+
+// detach saves core state back into the thread.
+func (k *Kernel) detach(cs *coreSlot) {
+	t := cs.thr
+	c := cs.core
+	t.Regs.I = c.RegsI
+	t.Regs.F = c.RegsF
+	t.PC = c.PC
+	cs.thr = nil
+}
+
+// runCore executes cs.thr until the quantum ends or the thread leaves the
+// core (block, exit, migrate, preempt).
+func (k *Kernel) runCore(cs *coreSlot, end float64) {
+	c := cs.core
+	t := cs.thr
+	clock := k.Desc.ClockHz
+	start := k.now
+	budget := int64((end - start) * clock) // cycles available this quantum
+	c.Cycles = 0
+
+	for budget > 0 {
+		if c.Cycles >= budget {
+			break
+		}
+		ev := c.Step()
+		switch ev {
+		case machine.EvNone:
+			continue
+		case machine.EvSyscall:
+			budget -= c.Cycles
+			k.accountCore(c)
+			num, args := c.SyscallArgs()
+			if k.syscall(cs, num, args) {
+				// Thread left the core (blocked, exited, migrated).
+				return
+			}
+		case machine.EvFault:
+			budget -= c.Cycles
+			k.accountCore(c)
+			now := end - float64(budget)/clock
+			stallUntil, err := k.handleFault(t, c.FaultAddr, c.FaultWrite, now)
+			if err != nil {
+				k.detach(cs)
+				k.killProcess(t.Proc, err)
+				return
+			}
+			if stallUntil > 0 {
+				// Block until the page arrives; the instruction will
+				// re-execute on wake.
+				k.detach(cs)
+				k.sleep(t, stallUntil)
+				return
+			}
+			// Cold fault: resolved in place; charge its cost as cycles.
+			c.Cycles += int64(coldFaultSeconds * clock)
+		case machine.EvError:
+			k.accountCore(c)
+			k.detach(cs)
+			k.killProcess(t.Proc, c.Err)
+			return
+		}
+	}
+	// Quantum exhausted. Timeslice check.
+	k.accountCore(c)
+	if end-t.sliceStart >= Timeslice && len(k.runq) > 0 {
+		k.detach(cs)
+		k.enqueue(t)
+	}
+}
+
+// accountCore accrues busy time and retirement counters and resets the
+// core's slice counter.
+func (k *Kernel) accountCore(c *machine.Core) {
+	seconds := float64(c.Cycles) / k.Desc.ClockHz
+	k.BusySeconds += seconds
+	k.CyclesRetired += c.Cycles
+	k.InstrsRetired = c.Instrs
+	c.Cycles = 0
+}
+
+// stackGuardPage reports whether addr falls in the guard page at the
+// bottom of a stack half: touching it means the thread overflowed its
+// stack (or, before the guard, would have corrupted a neighbouring
+// thread's window).
+func stackGuardPage(addr uint64) bool {
+	if addr < mem.StackRegion || addr >= mem.StackRegion+mem.MaxThreads*mem.StackWindow {
+		return false
+	}
+	offInHalf := (addr - mem.StackRegion) % mem.StackHalf
+	return offInHalf < mem.PageSize
+}
+
+// handleFault resolves a DSM fault. Returns a wake time (>0) if the thread
+// must sleep for a page transfer, or 0 for an in-place (cold/upgrade)
+// resolution.
+func (k *Kernel) handleFault(t *Thread, addr uint64, write bool, now float64) (float64, error) {
+	if stackGuardPage(addr) {
+		return 0, fmt.Errorf("kernel: stack overflow: tid %d touched guard page at %#x", t.Tid, addr)
+	}
+	p := t.Proc
+	page := mem.PageIndex(addr)
+	act, err := p.Space.Fault(k.Node, page, write)
+	if err != nil {
+		return 0, fmt.Errorf("kernel: node %d tid %d addr %#x: %w", k.Node, t.Tid, addr, err)
+	}
+	base := page << mem.PageShift
+
+	if act.Cold {
+		p.Mems[k.Node].EnsurePage(base)
+		if DebugDSM {
+			fmt.Printf("dsm: node%d COLD %#x write=%v\n", k.Node, base, write)
+		}
+		return 0, nil
+	}
+
+	// Copy the page content BEFORE applying Drop directives — the owner's
+	// copy is the content source and Drop destroys it.
+	var snapshot *mem.Page
+	if act.TransferFrom >= 0 {
+		if src := p.Mems[act.TransferFrom].Page(base); src != nil {
+			cp := *src
+			snapshot = &cp
+		}
+	}
+	// Apply protection changes at the other copies now (content freezes).
+	k.applyDSM(p, act, base)
+
+	if act.TransferFrom >= 0 {
+		if DebugDSM {
+			fmt.Printf("dsm: node%d XFER %#x from node%d write=%v grant=%d\n", k.Node, base, act.TransferFrom, write, act.Grant)
+		}
+		// Install the copied content and charge a request/reply round trip.
+		dst := p.Mems[k.Node].EnsurePage(base)
+		if snapshot != nil {
+			*dst = *snapshot
+		}
+		if act.Grant == dsm.Shared {
+			p.Mems[k.Node].Protect(base)
+		} else {
+			p.Mems[k.Node].Unprotect(base)
+		}
+		k.PagesIn++
+		k.cluster.Kernels[act.TransferFrom].PagesOut++
+		// hDSM service CPU work at both endpoints.
+		k.ServiceSeconds += dsmServiceCPUSeconds
+		k.cluster.Kernels[act.TransferFrom].ServiceSeconds += dsmServiceCPUSeconds
+		return now + k.cluster.IC.RoundTripTime(mem.PageSize), nil
+	}
+
+	// Upgrade in place (Shared -> Exclusive): invalidation round trip, no
+	// data transfer.
+	p.Mems[k.Node].Unprotect(base)
+	return now + k.cluster.IC.RoundTripTime(0), nil
+}
+
+// applyDSM applies Drop/Protect directives to other nodes' copies.
+func (k *Kernel) applyDSM(p *Process, act dsm.Action, base uint64) {
+	for _, n := range act.Drop {
+		p.Mems[n].DropPage(base)
+	}
+	for _, n := range act.Protect {
+		p.Mems[n].Protect(base)
+	}
+}
+
+// killProcess terminates every thread of p on every kernel.
+func (k *Kernel) killProcess(p *Process, err error) {
+	if p.exited {
+		return
+	}
+	p.exited = true
+	p.exitCode = -1
+	p.failErr = err
+	k.cluster.reapProcess(p)
+}
+
+// --- sleep heap ---
+
+type sleepHeap []*Thread
+
+func (h sleepHeap) Len() int            { return len(h) }
+func (h sleepHeap) Less(i, j int) bool  { return h[i].wakeAt < h[j].wakeAt }
+func (h sleepHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *sleepHeap) Push(x interface{}) { *h = append(*h, x.(*Thread)) }
+func (h *sleepHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+// --- kernel-side synchronous memory (loader, transformer) ---
+
+// kmem is the kernel's synchronous view of a process address space: reads
+// and writes resolve DSM faults inline, accumulating the transfer latency
+// in Lat (charged to the calling thread by the service that uses it).
+type kmem struct {
+	k   *Kernel
+	p   *Process
+	Lat float64
+}
+
+func (m *kmem) resolve(addr uint64, write bool) error {
+	page := mem.PageIndex(addr)
+	act, err := m.p.Space.Fault(m.k.Node, page, write)
+	if err != nil {
+		return err
+	}
+	base := page << mem.PageShift
+	if act.Cold {
+		m.p.Mems[m.k.Node].EnsurePage(base)
+		m.Lat += coldFaultSeconds
+		return nil
+	}
+	var snapshot *mem.Page
+	if act.TransferFrom >= 0 {
+		if src := m.p.Mems[act.TransferFrom].Page(base); src != nil {
+			cp := *src
+			snapshot = &cp
+		}
+	}
+	m.k.applyDSM(m.p, act, base)
+	if act.TransferFrom >= 0 {
+		dst := m.p.Mems[m.k.Node].EnsurePage(base)
+		if snapshot != nil {
+			*dst = *snapshot
+		}
+		m.k.PagesIn++
+		m.k.cluster.Kernels[act.TransferFrom].PagesOut++
+		m.Lat += m.k.cluster.IC.RoundTripTime(mem.PageSize)
+	} else {
+		m.Lat += m.k.cluster.IC.RoundTripTime(0)
+	}
+	if act.Grant == dsm.Shared {
+		m.p.Mems[m.k.Node].Protect(base)
+	} else {
+		m.p.Mems[m.k.Node].Unprotect(base)
+	}
+	return nil
+}
+
+// ReadU64 implements xform.MemIO.
+func (m *kmem) ReadU64(addr uint64) (uint64, error) {
+	for {
+		v, err := m.p.Mems[m.k.Node].ReadU64(addr)
+		if err == nil {
+			return v, nil
+		}
+		fe, ok := err.(*mem.FaultError)
+		if !ok {
+			return 0, err
+		}
+		if rerr := m.resolve(fe.Addr, fe.Write); rerr != nil {
+			return 0, rerr
+		}
+	}
+}
+
+// WriteU64 implements xform.MemIO.
+func (m *kmem) WriteU64(addr uint64, v uint64) error {
+	for {
+		err := m.p.Mems[m.k.Node].WriteU64(addr, v)
+		if err == nil {
+			return nil
+		}
+		fe, ok := err.(*mem.FaultError)
+		if !ok {
+			return err
+		}
+		if rerr := m.resolve(fe.Addr, fe.Write); rerr != nil {
+			return rerr
+		}
+	}
+}
+
+// ReadBytes reads n bytes, resolving faults.
+func (m *kmem) ReadBytes(addr uint64, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		for {
+			b, err := m.p.Mems[m.k.Node].ReadU8(addr + uint64(i))
+			if err == nil {
+				out[i] = b
+				break
+			}
+			fe := err.(*mem.FaultError)
+			if rerr := m.resolve(fe.Addr, fe.Write); rerr != nil {
+				return nil, rerr
+			}
+		}
+	}
+	return out, nil
+}
+
+// WriteBytes writes data, resolving faults.
+func (m *kmem) WriteBytes(addr uint64, data []byte) error {
+	for i := range data {
+		for {
+			err := m.p.Mems[m.k.Node].WriteU8(addr+uint64(i), data[i])
+			if err == nil {
+				break
+			}
+			fe := err.(*mem.FaultError)
+			if rerr := m.resolve(fe.Addr, fe.Write); rerr != nil {
+				return rerr
+			}
+		}
+	}
+	return nil
+}
+
+// vdsoSetFlag writes thread tid's migration-request word on this kernel's
+// local vDSO copy.
+func (k *Kernel) vdsoSetFlag(p *Process, tid int64, val int64) {
+	addr := sys.MigrationFlagAddr(tid)
+	// The vDSO page is always present locally.
+	if err := p.Mems[k.Node].WriteU64(addr, uint64(val)); err != nil {
+		panic(fmt.Sprintf("kernel: vdso write failed: %v", err))
+	}
+}
+
+// InstrumentCalls installs the Valgrind-style analysis hooks on every core:
+// onAnyCall fires at each function call with the instruction count since
+// the previous call; onMigratePoint fires at each executed migration point
+// with the count since the previous point (Figures 3-5).
+func (k *Kernel) InstrumentCalls(onAnyCall, onMigratePoint func(uint64)) {
+	for _, cs := range k.cores {
+		cs.core.OnAnyCall = onAnyCall
+		cs.core.OnMigratePoint = onMigratePoint
+	}
+}
+
+// CacheStats sums instruction- and data-cache accesses/misses over cores.
+func (k *Kernel) CacheStats() (iAcc, iMiss, dAcc, dMiss uint64) {
+	for _, cs := range k.cores {
+		iAcc += cs.core.ICache.Accesses
+		iMiss += cs.core.ICache.Misses
+		dAcc += cs.core.DCache.Accesses
+		dMiss += cs.core.DCache.Misses
+	}
+	return
+}
+
+// InstrumentPointAttr installs a per-migration-point attribution hook on
+// every core (experiment diagnostics).
+func (k *Kernel) InstrumentPointAttr(fn func(string)) {
+	for _, cs := range k.cores {
+		cs.core.OnMigratePointAt = fn
+	}
+}
+
+// InstrumentProfile attaches a per-function instruction profile map to all
+// cores (diagnostics).
+func (k *Kernel) InstrumentProfile(m map[string]uint64) {
+	for _, cs := range k.cores {
+		cs.core.InstrProfile = m
+	}
+}

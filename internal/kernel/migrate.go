@@ -1,0 +1,219 @@
+package kernel
+
+import (
+	"fmt"
+
+	"heterodc/internal/isa"
+	"heterodc/internal/mem"
+	"heterodc/internal/msg"
+	"heterodc/internal/xform"
+)
+
+// MigrationEvent reports one completed stack transformation + thread
+// migration, for the Figure 10/11 experiments.
+type MigrationEvent struct {
+	Time     float64
+	Pid      int
+	Tid      int64
+	From, To int
+	FromArch isa.Arch
+	Stats    xform.Stats
+	// XformSeconds is the modelled user-space transformation latency.
+	XformSeconds float64
+	// FuncName is the function containing the migration point.
+	FuncName string
+	// Serialized marks a whole-state (PadMig-style) migration; StateBytes is
+	// the serialized payload size.
+	Serialized bool
+	StateBytes int64
+}
+
+// migratePayloadBytes sizes the thread-migration message: register file,
+// continuation metadata and service bookkeeping.
+const migratePayloadBytes = 1024
+
+// Serialization-baseline rates: reflection-driven serialization and
+// deserialization throughput (PadMig's Java object walk), calibrated so the
+// end-to-end shape matches the paper's Figure 11 (seconds of dead time
+// around the transfer at full application scale).
+const (
+	serializeBytesPerSec   = 45e6
+	deserializeBytesPerSec = 60e6
+	serializeBaseSeconds   = 200e-6
+)
+
+// migratePayload crosses kernels with a migrating thread.
+type migratePayload struct {
+	t *Thread
+	// deserializeSeconds is charged at the destination before the thread
+	// becomes runnable (zero for native multi-ISA migration).
+	deserializeSeconds float64
+}
+
+// XformLatency models the stack transformation's wall time from the work it
+// performed, calibrated to the paper's Figure 10: the x86 machine rewrites
+// typical stacks in under ~400 µs, the ARM machine in roughly twice that,
+// and latency grows with the number of frames and live values (metadata
+// parsing plus value copying).
+func XformLatency(arch isa.Arch, st xform.Stats) float64 {
+	lat := 55e-6 +
+		28e-6*float64(st.Frames) +
+		3.2e-6*float64(st.LiveValues) +
+		0.012e-6*float64(st.AllocaBytes/8) +
+		2.5e-6*float64(st.RegWalks)
+	if arch == isa.ARM64 {
+		lat *= 2.05
+	}
+	return lat
+}
+
+// migrateThread implements the thread-migration service: it runs the
+// user-space stack transformation, then ships the thread's transformed
+// register state to the target kernel. Memory stays behind and follows on
+// demand through the hDSM service (no stop-the-world).
+func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
+	c := cs.core
+	t := cs.thr
+	p := t.Proc
+	cl := k.cluster
+
+	if target == k.Node || target < 0 || target >= len(cl.Kernels) {
+		k.vdsoSetFlag(p, t.Tid, 0)
+		c.SetSyscallResult(0)
+		return false
+	}
+	if !p.Img.Aligned {
+		k.detach(cs)
+		k.killProcess(p, fmt.Errorf("kernel: cannot migrate unaligned binary %q", p.Img.Name))
+		return true
+	}
+	dstK := cl.Kernels[target]
+
+	// The serialization baseline walks and ships the whole application state
+	// up front; the thread resumes only after deserialization completes.
+	var serializeLat, deserializeLat float64
+	var stateBytes int64
+	if p.serializedMigration {
+		pages := p.Space.OwnedPages()
+		stateBytes = int64(len(pages)) * 4096
+		serializeLat = serializeBaseSeconds + float64(stateBytes)/serializeBytesPerSec
+		deserializeLat = float64(stateBytes) / deserializeBytesPerSec
+	} else if p.eagerPageMigration {
+		stateBytes = int64(len(p.Space.OwnedPages())) * 4096
+	}
+
+	srcLo, srcHi := t.StackHalfBounds()
+	dstLo, dstHi := t.OtherHalfBounds()
+	km := &kmem{k: k, p: p}
+	in := &xform.Input{
+		SrcProg:    p.Img.Prog(k.Arch),
+		DstProg:    p.Img.Prog(dstK.Arch),
+		Mem:        km,
+		Regs:       xform.RegState{I: c.RegsI, F: c.RegsF},
+		PC:         c.PC,
+		SrcStackLo: srcLo, SrcStackHi: srcHi,
+		DstStackLo: dstLo, DstStackHi: dstHi,
+	}
+	out, err := xform.Transform(in)
+	if err != nil {
+		k.detach(cs)
+		k.killProcess(p, fmt.Errorf("kernel: stack transformation failed: %w", err))
+		return true
+	}
+
+	// Attribute the event to the application function that hit the point
+	// (the innermost transformed frame), not the check itself.
+	funcName := ""
+	if fi := p.Img.Prog(dstK.Arch).SMap.FuncAt(out.PC); fi != nil {
+		funcName = fi.Name
+	}
+
+	xlat := XformLatency(k.Arch, out.Stats) + km.Lat
+	if p.serializedMigration {
+		// The state walk dominates; the (free) bytecode-level remapping
+		// replaces the stack transformation.
+		xlat = serializeLat
+	}
+	// The transformation/serialization runs in user space on the source
+	// core: busy time.
+	k.BusySeconds += xlat
+	k.CyclesRetired += int64(xlat * k.Desc.ClockHz)
+
+	k.vdsoSetFlag(p, t.Tid, 0)
+	k.detach(cs)
+	t.State = InFlight
+	t.Node = target
+	t.CurHalf = 1 - t.CurHalf
+	t.Regs = out.Regs
+	t.PC = out.PC
+	t.Migrations++
+	k.MigrationsOut++
+
+	payloadSize := int64(migratePayloadBytes)
+	if p.serializedMigration || p.eagerPageMigration {
+		// Move every page eagerly with the serialized state.
+		for _, pg := range p.Space.OwnedPages() {
+			prev, moved := p.Space.ForceOwn(target, pg)
+			if !moved {
+				p.Mems[target].Unprotect(pg << mem.PageShift)
+				continue
+			}
+			base := pg << mem.PageShift
+			var snap *mem.Page
+			if src := p.Mems[prev].Page(base); src != nil {
+				cp := *src
+				snap = &cp
+			}
+			for n := range p.Mems {
+				if n != target {
+					p.Mems[n].DropPage(base)
+				}
+			}
+			dst := p.Mems[target].EnsurePage(base)
+			if snap != nil {
+				*dst = *snap
+			}
+			p.Mems[target].Unprotect(base)
+			k.PagesOut++
+			cl.Kernels[target].PagesIn++
+		}
+		payloadSize = stateBytes + migratePayloadBytes
+	}
+	cl.IC.Send(k.now+xlat, k.Node, target, msg.TThreadMigrate, payloadSize,
+		&migratePayload{t: t, deserializeSeconds: deserializeLat})
+
+	if cl.OnMigration != nil {
+		cl.OnMigration(MigrationEvent{
+			Time: k.now, Pid: p.Pid, Tid: t.Tid,
+			From: k.Node, To: target, FromArch: k.Arch,
+			Stats: out.Stats, XformSeconds: xlat, FuncName: funcName,
+			Serialized: p.serializedMigration, StateBytes: stateBytes,
+		})
+	}
+	return true
+}
+
+// RequestMigration asks thread tid of p to migrate to target at its next
+// migration point (the scheduler raising the vDSO flag).
+func (cl *Cluster) RequestMigration(p *Process, tid int64, target int) error {
+	t := p.threads[tid]
+	if t == nil {
+		return fmt.Errorf("kernel: no thread %d", tid)
+	}
+	if t.State == Exited {
+		return fmt.Errorf("kernel: thread %d exited", tid)
+	}
+	k := cl.Kernels[t.Node]
+	k.vdsoSetFlag(p, tid, int64(target)+1)
+	return nil
+}
+
+// RequestProcessMigration raises the migration flag for every live thread
+// of p (heterogeneous OS-container migration).
+func (cl *Cluster) RequestProcessMigration(p *Process, target int) {
+	for _, t := range p.threads {
+		if t.State != Exited {
+			cl.Kernels[t.Node].vdsoSetFlag(p, t.Tid, int64(target)+1)
+		}
+	}
+}

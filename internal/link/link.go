@@ -1,0 +1,283 @@
+// Package link lays out compiled per-ISA code and globals into a multi-ISA
+// binary image. In aligned mode — the paper's contribution — every symbol
+// (function entry, global datum) receives the identical virtual address on
+// every ISA, with function regions padded to the largest per-ISA encoding,
+// so that the OS can alias per-ISA .text at the same addresses and all
+// pointers remain valid across migration. Unaligned mode lays each ISA out
+// naturally and is the Table 1 baseline.
+package link
+
+import (
+	"fmt"
+	"sort"
+
+	"heterodc/internal/compiler"
+	"heterodc/internal/ir"
+	"heterodc/internal/isa"
+	"heterodc/internal/mem"
+	"heterodc/internal/stackmap"
+)
+
+// Func is one function's code placed at its final address for one ISA.
+type Func struct {
+	Name string
+	Arch isa.Arch
+	Base uint64
+	Size uint64
+	Code []isa.Instr
+	// Addr[i] is the virtual address of Code[i].
+	Addr []uint64
+	// Info is the per-ISA stackmap/unwind metadata with addresses resolved.
+	Info *stackmap.FuncInfo
+}
+
+// IndexOf returns the instruction index at address pc (which must be an
+// instruction boundary inside the function).
+func (f *Func) IndexOf(pc uint64) (int, error) {
+	i := sort.Search(len(f.Addr), func(i int) bool { return f.Addr[i] >= pc })
+	if i < len(f.Addr) && f.Addr[i] == pc {
+		return i, nil
+	}
+	return 0, fmt.Errorf("link: pc %#x is not an instruction boundary in %s", pc, f.Name)
+}
+
+// Program is one ISA's executable view of the image.
+type Program struct {
+	Arch   isa.Arch
+	Funcs  []*Func
+	ByName map[string]*Func
+	SMap   *stackmap.Map
+
+	bases  []uint64
+	byBase map[uint64]*Func
+}
+
+// FuncAt returns the function containing pc, or nil.
+func (p *Program) FuncAt(pc uint64) *Func {
+	i := sort.Search(len(p.bases), func(i int) bool { return p.bases[i] > pc })
+	if i == 0 {
+		return nil
+	}
+	f := p.byBase[p.bases[i-1]]
+	if pc >= f.Base+f.Size {
+		return nil
+	}
+	return f
+}
+
+// FuncEntry returns the function whose entry address is addr, or nil (used
+// by indirect calls, which may only target function entries).
+func (p *Program) FuncEntry(addr uint64) *Func { return p.byBase[addr] }
+
+func (p *Program) seal() {
+	p.byBase = make(map[uint64]*Func, len(p.Funcs))
+	for _, f := range p.Funcs {
+		p.bases = append(p.bases, f.Base)
+		p.byBase[f.Base] = f
+	}
+	sort.Slice(p.bases, func(i, j int) bool { return p.bases[i] < p.bases[j] })
+	p.SMap.Seal()
+}
+
+// Segment is an initialised data range the loader must install.
+type Segment struct {
+	Addr  uint64
+	Bytes []byte
+	Size  int64 // total size including zero fill (>= len(Bytes))
+}
+
+// Image is the multi-ISA binary: per-ISA programs plus the (per-ISA or
+// common) data layout.
+type Image struct {
+	Name    string
+	Module  *ir.Module
+	Aligned bool
+
+	Progs [isa.NumArch]*Program
+
+	// GlobalAddr[arch] maps symbol -> address. In aligned mode the maps are
+	// identical for every arch.
+	GlobalAddr [isa.NumArch]map[string]uint64
+	// FuncAddr[arch] maps function name -> entry address.
+	FuncAddr [isa.NumArch]map[string]uint64
+	// Data[arch] lists initialised segments.
+	Data [isa.NumArch][]Segment
+
+	// TextEnd / DataEnd record the highest used addresses (max across ISAs).
+	TextEnd uint64
+	DataEnd uint64
+}
+
+// Options configures linking.
+type Options struct {
+	// Aligned enables the common address-space layout (required for
+	// migration). Unaligned is the Table 1 baseline.
+	Aligned bool
+}
+
+// LinkError describes a linking failure.
+type LinkError struct{ msg string }
+
+func (e *LinkError) Error() string { return "link: " + e.msg }
+
+// Link lays out art into an Image.
+func Link(name string, art *compiler.Artifact, opts Options) (*Image, error) {
+	img := &Image{Name: name, Module: art.Module, Aligned: opts.Aligned}
+
+	nFuncs := len(art.Funcs[isa.X86])
+	if nFuncs != len(art.Funcs[isa.ARM64]) {
+		return nil, &LinkError{msg: "per-ISA function counts differ"}
+	}
+
+	// --- Text layout ---
+	if opts.Aligned {
+		// Common layout: function i occupies [base, base+maxSize) on every
+		// ISA; the per-ISA encodings are padded to the max ("aligning
+		// function symbols requires adding padding so that function sizes
+		// are equivalent across binaries").
+		cur := mem.TextBase
+		for a := range img.FuncAddr {
+			img.FuncAddr[a] = make(map[string]uint64, nFuncs)
+		}
+		for i := 0; i < nFuncs; i++ {
+			cur = mem.AlignUp(cur, 16)
+			var max int64
+			for _, arch := range isa.Arches {
+				if s := art.Funcs[arch][i].Size; s > max {
+					max = s
+				}
+			}
+			for _, arch := range isa.Arches {
+				img.FuncAddr[arch][art.Funcs[arch][i].Name] = cur
+			}
+			cur += uint64(max)
+		}
+		img.TextEnd = cur
+	} else {
+		// Natural per-ISA layout: no padding, addresses differ across ISAs.
+		for _, arch := range isa.Arches {
+			cur := mem.TextBase
+			img.FuncAddr[arch] = make(map[string]uint64, nFuncs)
+			for i := 0; i < nFuncs; i++ {
+				cur = mem.AlignUp(cur, 16)
+				img.FuncAddr[arch][art.Funcs[arch][i].Name] = cur
+				cur += uint64(art.Funcs[arch][i].Size)
+			}
+			if cur > img.TextEnd {
+				img.TextEnd = cur
+			}
+		}
+	}
+
+	// --- Data layout ---
+	for _, arch := range isa.Arches {
+		cur := mem.DataBase
+		img.GlobalAddr[arch] = make(map[string]uint64, len(art.Module.Globals))
+		for _, g := range art.Module.Globals {
+			align := uint64(g.Align)
+			if align == 0 {
+				align = 8
+			}
+			if opts.Aligned {
+				// Common layout uses a conservative 16-byte alignment for
+				// every symbol (the alignment tool's policy).
+				if align < 16 {
+					align = 16
+				}
+			}
+			cur = mem.AlignUp(cur, align)
+			img.GlobalAddr[arch][g.Name] = cur
+			if len(g.Init) > 0 {
+				img.Data[arch] = append(img.Data[arch], Segment{
+					Addr: cur, Bytes: g.Init, Size: g.Size,
+				})
+			} else {
+				img.Data[arch] = append(img.Data[arch], Segment{Addr: cur, Size: g.Size})
+			}
+			cur += uint64(g.Size)
+		}
+		if cur > img.DataEnd {
+			img.DataEnd = cur
+		}
+	}
+	if opts.Aligned {
+		// Sanity: the maps must agree.
+		for name, a := range img.GlobalAddr[isa.X86] {
+			if b := img.GlobalAddr[isa.ARM64][name]; a != b {
+				return nil, &LinkError{msg: fmt.Sprintf("aligned global %s differs: %#x vs %#x", name, a, b)}
+			}
+		}
+	}
+
+	// --- Resolve and build programs ---
+	for _, arch := range isa.Arches {
+		prog := &Program{
+			Arch:   arch,
+			ByName: make(map[string]*Func, nFuncs),
+			SMap:   stackmap.NewMap(arch),
+		}
+		for i := 0; i < nFuncs; i++ {
+			af := art.Funcs[arch][i]
+			base := img.FuncAddr[arch][af.Name]
+			lf := &Func{
+				Name: af.Name,
+				Arch: arch,
+				Base: base,
+				Size: uint64(af.Size),
+				Code: make([]isa.Instr, len(af.Code)),
+				Addr: make([]uint64, len(af.Code)),
+				Info: af.Info,
+			}
+			copy(lf.Code, af.Code)
+			for j := range lf.Code {
+				lf.Addr[j] = base + uint64(af.Offsets[j])
+				in := &lf.Code[j]
+				if in.Op == isa.OpLea {
+					addr, err := img.resolve(arch, in.Sym)
+					if err != nil {
+						return nil, err
+					}
+					in.Imm += int64(addr)
+				}
+			}
+			// Fill metadata addresses.
+			af.Info.Entry = base
+			af.Info.Size = uint64(af.Size)
+			for id, cs := range af.Info.CallSites {
+				ci, ok := af.CallSiteInstr[id]
+				if !ok {
+					return nil, &LinkError{msg: fmt.Sprintf("%s: call site %d has no instruction", af.Name, id)}
+				}
+				cs.RetPC = lf.Addr[ci] + uint64(lf.Code[ci].Size)
+			}
+			prog.Funcs = append(prog.Funcs, lf)
+			prog.ByName[lf.Name] = lf
+			prog.SMap.Add(af.Info)
+		}
+		prog.seal()
+		img.Progs[arch] = prog
+	}
+
+	// In aligned mode the metadata Entry/Size/CallSites were written twice
+	// (once per arch) into the same FuncInfo... they must not be shared.
+	// compiler.lowerFunc builds a fresh FuncInfo per arch, so this is safe.
+	return img, nil
+}
+
+func (img *Image) resolve(arch isa.Arch, sym string) (uint64, error) {
+	if a, ok := img.GlobalAddr[arch][sym]; ok {
+		return a, nil
+	}
+	if a, ok := img.FuncAddr[arch][sym]; ok {
+		return a, nil
+	}
+	return 0, &LinkError{msg: fmt.Sprintf("undefined symbol %q", sym)}
+}
+
+// Prog returns the program view for arch.
+func (img *Image) Prog(arch isa.Arch) *Program { return img.Progs[arch] }
+
+// EntryAddr returns the address of the process entry point on arch.
+func (img *Image) EntryAddr(arch isa.Arch) uint64 {
+	return img.FuncAddr[arch][compiler.StartFunc]
+}

@@ -1,0 +1,525 @@
+// Package machine implements the per-core CPU simulator: it fetches,
+// decodes (from pre-decoded streams) and executes the simulated ISA with a
+// cycle cost model and L1 instruction/data cache simulation. Traps
+// (syscalls, page faults, arithmetic errors) are surfaced as events to the
+// kernel, which owns scheduling, memory management and migration.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"heterodc/internal/cache"
+	"heterodc/internal/isa"
+	"heterodc/internal/link"
+	"heterodc/internal/mem"
+	"heterodc/internal/sys"
+)
+
+// Event is what a Step can surface to the kernel.
+type Event int
+
+const (
+	// EvNone: instruction retired normally.
+	EvNone Event = iota
+	// EvSyscall: an OpSyscall trapped; arguments are in the ABI registers.
+	// The PC has been advanced past the syscall instruction.
+	EvSyscall
+	// EvFault: a memory access touched a non-present page. FaultAddr and
+	// FaultWrite describe it; the PC still points at the faulting
+	// instruction, which will re-execute once the page is resident.
+	EvFault
+	// EvError: the program performed an illegal operation (divide by zero,
+	// wild jump, bad indirect call). Err holds details.
+	EvError
+)
+
+// Core is one simulated CPU core. Registers are sized for the larger
+// register file; the active ISA's Desc says how many are architectural.
+type Core struct {
+	Desc *isa.Desc
+	Prog *link.Program
+	Mem  *mem.Memory
+
+	RegsI [32]int64
+	RegsF [32]float64
+	PC    uint64
+
+	// Fn/Idx cache the current function and instruction index for PC.
+	Fn  *link.Func
+	Idx int
+
+	ICache *cache.Cache
+	DCache *cache.Cache
+
+	// Cycles accumulates cost since the kernel last reset it.
+	Cycles int64
+	// Instrs counts retired instructions (for IPC, load metrics and the
+	// Valgrind-style migration-point analysis).
+	Instrs uint64
+
+	// CurTID / CurNode are per-CPU values the kernel sets at dispatch; loads
+	// from the vDSO magic addresses observe them (the stand-in for reading
+	// the thread-pointer register).
+	CurTID  int64
+	CurNode int64
+
+	// Fault details when Step returns EvFault.
+	FaultAddr  uint64
+	FaultWrite bool
+	// Err when Step returns EvError.
+	Err error
+
+	// MigrateCheckEntry, when non-zero, is the entry address of
+	// __migrate_check; calls to it fire OnMigratePoint with the number of
+	// instructions retired since the previous migration point.
+	MigrateCheckEntry uint64
+	OnMigratePoint    func(instrsSince uint64)
+	lastMigratePoint  uint64
+	// OnAnyCall, when set, fires on every OpCall with the instruction count
+	// since the previous call (the "Pre" histogram of Figures 3-5).
+	OnAnyCall   func(instrsSince uint64)
+	lastAnyCall uint64
+
+	// OnMigratePointAt, when set, fires at each migration point with the
+	// containing function's name (experiment attribution).
+	OnMigratePointAt func(fn string)
+
+	// CostFn, when set, replaces the native per-op base cycle cost — the
+	// hook the DBT-emulation and managed-runtime baselines use to model
+	// translated/interpreted execution.
+	CostFn func(op isa.Op) int64
+
+	// InstrProfile, when non-nil, accumulates retired instructions per
+	// function (diagnostics; expensive).
+	InstrProfile map[string]uint64
+}
+
+// NewCore builds a core for desc with fresh caches.
+func NewCore(desc *isa.Desc) *Core {
+	return &Core{
+		Desc:   desc,
+		ICache: cache.New(cache.DefaultL1(desc.L1MissPenalty)),
+		DCache: cache.New(cache.DefaultL1(desc.L1MissPenalty)),
+	}
+}
+
+// SetPC repositions execution at pc, resolving the containing function.
+func (c *Core) SetPC(pc uint64) error {
+	fn := c.Prog.FuncAt(pc)
+	if fn == nil {
+		return fmt.Errorf("machine: jump to unmapped pc %#x", pc)
+	}
+	idx, err := fn.IndexOf(pc)
+	if err != nil {
+		return err
+	}
+	c.Fn, c.Idx, c.PC = fn, idx, pc
+	return nil
+}
+
+// ResetPointCounters clears the migration-point instrumentation baselines
+// (call when a new thread is dispatched on the core).
+func (c *Core) ResetPointCounters() {
+	c.lastMigratePoint = c.Instrs
+	c.lastAnyCall = c.Instrs
+}
+
+func (c *Core) fault(addr uint64, write bool) Event {
+	c.FaultAddr = addr
+	c.FaultWrite = write
+	return EvFault
+}
+
+func (c *Core) errorf(format string, args ...interface{}) Event {
+	c.Err = fmt.Errorf(format, args...)
+	return EvError
+}
+
+// dataAddr charges the D-cache for an access at addr.
+func (c *Core) dataAccess(addr uint64, size int64) {
+	c.Cycles += c.DCache.AccessRange(addr, size)
+}
+
+// readU64 performs a data read with vDSO magic handling.
+func (c *Core) readU64(addr uint64) (uint64, bool, Event) {
+	switch addr {
+	case sys.VDSOTidAddr:
+		return uint64(c.CurTID), true, EvNone
+	case sys.VDSONodeAddr:
+		return uint64(c.CurNode), true, EvNone
+	}
+	v, err := c.Mem.ReadU64(addr)
+	if err != nil {
+		return 0, false, c.fault(addr, false)
+	}
+	c.dataAccess(addr, 8)
+	return v, true, EvNone
+}
+
+func (c *Core) writeU64(addr uint64, v uint64) (bool, Event) {
+	if err := c.Mem.WriteU64(addr, v); err != nil {
+		return false, c.fault(addr, true)
+	}
+	c.dataAccess(addr, 8)
+	return true, EvNone
+}
+
+// Step executes one instruction. On EvNone/EvSyscall the PC has advanced;
+// on EvFault/EvError it has not.
+func (c *Core) Step() Event {
+	in := &c.Fn.Code[c.Idx]
+	d := c.Desc
+	if c.InstrProfile != nil {
+		c.InstrProfile[c.Fn.Name]++
+	}
+
+	// Instruction fetch: I-cache cost plus base op cost.
+	var cost int64
+	if c.CostFn != nil {
+		cost = c.CostFn(in.Op)
+	} else {
+		cost = isa.CycleCost(d.Arch, in.Op)
+	}
+	cost += c.ICache.AccessRange(c.PC, in.Size)
+
+	advance := true
+	ri := &c.RegsI
+	rf := &c.RegsF
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		ri[in.Rd] = ri[in.Rs1] + ri[in.Rs2]
+	case isa.OpSub:
+		ri[in.Rd] = ri[in.Rs1] - ri[in.Rs2]
+	case isa.OpMul:
+		ri[in.Rd] = ri[in.Rs1] * ri[in.Rs2]
+	case isa.OpDiv:
+		b := ri[in.Rs2]
+		if b == 0 {
+			return c.errorf("machine: division by zero at %#x (%s)", c.PC, c.Fn.Name)
+		}
+		a := ri[in.Rs1]
+		if a == math.MinInt64 && b == -1 {
+			ri[in.Rd] = math.MinInt64
+		} else {
+			ri[in.Rd] = a / b
+		}
+	case isa.OpRem:
+		b := ri[in.Rs2]
+		if b == 0 {
+			return c.errorf("machine: remainder by zero at %#x (%s)", c.PC, c.Fn.Name)
+		}
+		a := ri[in.Rs1]
+		if a == math.MinInt64 && b == -1 {
+			ri[in.Rd] = 0
+		} else {
+			ri[in.Rd] = a % b
+		}
+	case isa.OpAnd:
+		ri[in.Rd] = ri[in.Rs1] & ri[in.Rs2]
+	case isa.OpOr:
+		ri[in.Rd] = ri[in.Rs1] | ri[in.Rs2]
+	case isa.OpXor:
+		ri[in.Rd] = ri[in.Rs1] ^ ri[in.Rs2]
+	case isa.OpShl:
+		ri[in.Rd] = ri[in.Rs1] << (uint64(ri[in.Rs2]) & 63)
+	case isa.OpShr:
+		ri[in.Rd] = ri[in.Rs1] >> (uint64(ri[in.Rs2]) & 63)
+	case isa.OpAddI:
+		ri[in.Rd] = ri[in.Rs1] + in.Imm
+	case isa.OpMulI:
+		ri[in.Rd] = ri[in.Rs1] * in.Imm
+	case isa.OpAndI:
+		ri[in.Rd] = ri[in.Rs1] & in.Imm
+	case isa.OpOrI:
+		ri[in.Rd] = ri[in.Rs1] | in.Imm
+	case isa.OpXorI:
+		ri[in.Rd] = ri[in.Rs1] ^ in.Imm
+	case isa.OpShlI:
+		ri[in.Rd] = ri[in.Rs1] << (uint64(in.Imm) & 63)
+	case isa.OpShrI:
+		ri[in.Rd] = ri[in.Rs1] >> (uint64(in.Imm) & 63)
+	case isa.OpLdi:
+		ri[in.Rd] = in.Imm
+	case isa.OpMov:
+		ri[in.Rd] = ri[in.Rs1]
+	case isa.OpCmpEq:
+		ri[in.Rd] = b2i(ri[in.Rs1] == ri[in.Rs2])
+	case isa.OpCmpNe:
+		ri[in.Rd] = b2i(ri[in.Rs1] != ri[in.Rs2])
+	case isa.OpCmpLt:
+		ri[in.Rd] = b2i(ri[in.Rs1] < ri[in.Rs2])
+	case isa.OpCmpLe:
+		ri[in.Rd] = b2i(ri[in.Rs1] <= ri[in.Rs2])
+	case isa.OpCmpGt:
+		ri[in.Rd] = b2i(ri[in.Rs1] > ri[in.Rs2])
+	case isa.OpCmpGe:
+		ri[in.Rd] = b2i(ri[in.Rs1] >= ri[in.Rs2])
+	case isa.OpFAdd:
+		rf[in.Rd] = rf[in.Rs1] + rf[in.Rs2]
+	case isa.OpFSub:
+		rf[in.Rd] = rf[in.Rs1] - rf[in.Rs2]
+	case isa.OpFMul:
+		rf[in.Rd] = rf[in.Rs1] * rf[in.Rs2]
+	case isa.OpFDiv:
+		rf[in.Rd] = rf[in.Rs1] / rf[in.Rs2]
+	case isa.OpFNeg:
+		rf[in.Rd] = -rf[in.Rs1]
+	case isa.OpFSqrt:
+		rf[in.Rd] = math.Sqrt(rf[in.Rs1])
+	case isa.OpFMov:
+		rf[in.Rd] = rf[in.Rs1]
+	case isa.OpFLdi:
+		rf[in.Rd] = in.FImm
+	case isa.OpFCmpEq:
+		ri[in.Rd] = b2i(rf[in.Rs1] == rf[in.Rs2])
+	case isa.OpFCmpNe:
+		ri[in.Rd] = b2i(rf[in.Rs1] != rf[in.Rs2])
+	case isa.OpFCmpLt:
+		ri[in.Rd] = b2i(rf[in.Rs1] < rf[in.Rs2])
+	case isa.OpFCmpLe:
+		ri[in.Rd] = b2i(rf[in.Rs1] <= rf[in.Rs2])
+	case isa.OpFCmpGt:
+		ri[in.Rd] = b2i(rf[in.Rs1] > rf[in.Rs2])
+	case isa.OpFCmpGe:
+		ri[in.Rd] = b2i(rf[in.Rs1] >= rf[in.Rs2])
+	case isa.OpI2F:
+		rf[in.Rd] = float64(ri[in.Rs1])
+	case isa.OpF2I:
+		ri[in.Rd] = f2i(rf[in.Rs1])
+	case isa.OpLd:
+		addr := uint64(ri[in.Rs1] + in.Imm)
+		v, ok, ev := c.readU64(addr)
+		if !ok {
+			return ev
+		}
+		ri[in.Rd] = int64(v)
+	case isa.OpSt:
+		addr := uint64(ri[in.Rs1] + in.Imm)
+		if ok, ev := c.writeU64(addr, uint64(ri[in.Rs2])); !ok {
+			return ev
+		}
+	case isa.OpLdB:
+		addr := uint64(ri[in.Rs1] + in.Imm)
+		v, err := c.Mem.ReadU8(addr)
+		if err != nil {
+			return c.fault(addr, false)
+		}
+		c.dataAccess(addr, 1)
+		ri[in.Rd] = int64(v)
+	case isa.OpStB:
+		addr := uint64(ri[in.Rs1] + in.Imm)
+		if err := c.Mem.WriteU8(addr, byte(ri[in.Rs2])); err != nil {
+			return c.fault(addr, true)
+		}
+		c.dataAccess(addr, 1)
+	case isa.OpFLd:
+		addr := uint64(ri[in.Rs1] + in.Imm)
+		v, ok, ev := c.readU64(addr)
+		if !ok {
+			return ev
+		}
+		rf[in.Rd] = math.Float64frombits(v)
+	case isa.OpFSt:
+		addr := uint64(ri[in.Rs1] + in.Imm)
+		if ok, ev := c.writeU64(addr, math.Float64bits(rf[in.Rs2])); !ok {
+			return ev
+		}
+	case isa.OpLea:
+		ri[in.Rd] = in.Imm // linker resolved Sym+off into Imm
+	case isa.OpAtomicAdd:
+		addr := uint64(ri[in.Rs1] + in.Imm)
+		v, ok, ev := c.readU64(addr)
+		if !ok {
+			return ev
+		}
+		if ok, ev := c.writeU64(addr, uint64(int64(v)+ri[in.Rs2])); !ok {
+			return ev
+		}
+		ri[in.Rd] = int64(v)
+	case isa.OpAtomicCAS:
+		addr := uint64(ri[in.Rs1] + in.Imm)
+		v, ok, ev := c.readU64(addr)
+		if !ok {
+			return ev
+		}
+		// The write-access check must pass even when the compare fails, so
+		// ownership (and thus cross-machine atomicity) is exclusive.
+		if !c.Mem.Writable(addr) {
+			return c.fault(addr, true)
+		}
+		if int64(v) == ri[in.Rs2] {
+			if ok, ev := c.writeU64(addr, uint64(ri[in.Rs3])); !ok {
+				return ev
+			}
+		}
+		ri[in.Rd] = int64(v)
+	case isa.OpPush:
+		sp := uint64(ri[d.SP]) - 8
+		if ok, ev := c.writeU64(sp, uint64(ri[in.Rs1])); !ok {
+			return ev
+		}
+		ri[d.SP] = int64(sp)
+	case isa.OpPop:
+		sp := uint64(ri[d.SP])
+		v, ok, ev := c.readU64(sp)
+		if !ok {
+			return ev
+		}
+		ri[in.Rd] = int64(v)
+		ri[d.SP] = int64(sp + 8)
+	case isa.OpBr:
+		c.Idx = in.Target
+		c.PC = c.Fn.Addr[c.Idx]
+		advance = false
+	case isa.OpBeqz:
+		if ri[in.Rs1] == 0 {
+			c.Idx = in.Target
+			c.PC = c.Fn.Addr[c.Idx]
+			advance = false
+		}
+	case isa.OpBnez:
+		if ri[in.Rs1] != 0 {
+			c.Idx = in.Target
+			c.PC = c.Fn.Addr[c.Idx]
+			advance = false
+		}
+	case isa.OpCall:
+		callee := c.Prog.ByName[in.Sym]
+		if callee == nil {
+			return c.errorf("machine: call to undefined %q", in.Sym)
+		}
+		if ev, ok := c.doCall(callee); !ok {
+			return ev
+		}
+		advance = false
+	case isa.OpCallR:
+		callee := c.Prog.FuncEntry(uint64(ri[in.Rs1]))
+		if callee == nil {
+			return c.errorf("machine: indirect call to non-entry %#x", uint64(ri[in.Rs1]))
+		}
+		if ev, ok := c.doCall(callee); !ok {
+			return ev
+		}
+		advance = false
+	case isa.OpRet:
+		var ret uint64
+		if d.RetAddrOnStack {
+			sp := uint64(ri[d.SP])
+			v, ok, ev := c.readU64(sp)
+			if !ok {
+				return ev
+			}
+			ri[d.SP] = int64(sp + 8)
+			ret = v
+		} else {
+			ret = uint64(ri[d.LR])
+		}
+		if ret == 0 {
+			return c.errorf("machine: return from entry shim %s (pc=%#x sp=%#x fp=%#x)",
+				c.Fn.Name, c.PC, uint64(ri[d.SP]), uint64(ri[d.FP]))
+		}
+		if err := c.SetPC(ret); err != nil {
+			c.Err = err
+			return EvError
+		}
+		advance = false
+	case isa.OpSyscall:
+		c.Cycles += cost
+		c.Instrs++
+		c.advance()
+		return EvSyscall
+	default:
+		return c.errorf("machine: unimplemented op %s", in.Op)
+	}
+
+	c.Cycles += cost
+	c.Instrs++
+	if advance {
+		c.advance()
+	}
+	return EvNone
+}
+
+// doCall performs the ISA's return-address discipline and jumps to callee.
+// Returns (event, ok=false) if the x86 return-address push faulted.
+func (c *Core) doCall(callee *link.Func) (Event, bool) {
+	d := c.Desc
+	retAddr := c.PC + uint64(c.Fn.Code[c.Idx].Size)
+	if d.RetAddrOnStack {
+		sp := uint64(c.RegsI[d.SP]) - 8
+		if ok, ev := c.writeU64(sp, retAddr); !ok {
+			return ev, false
+		}
+		c.RegsI[d.SP] = int64(sp)
+	} else {
+		c.RegsI[d.LR] = int64(retAddr)
+	}
+	// Migration-point / call instrumentation.
+	if c.OnAnyCall != nil {
+		c.OnAnyCall(c.Instrs - c.lastAnyCall)
+		c.lastAnyCall = c.Instrs
+	}
+	if c.MigrateCheckEntry != 0 && callee.Base == c.MigrateCheckEntry {
+		if c.OnMigratePoint != nil {
+			c.OnMigratePoint(c.Instrs - c.lastMigratePoint)
+		}
+		if c.OnMigratePointAt != nil {
+			c.OnMigratePointAt(c.Fn.Name)
+		}
+		c.lastMigratePoint = c.Instrs
+	}
+	c.Fn = callee
+	c.Idx = 0
+	c.PC = callee.Base
+	return EvNone, true
+}
+
+func (c *Core) advance() {
+	c.Idx++
+	if c.Idx < len(c.Fn.Code) {
+		c.PC = c.Fn.Addr[c.Idx]
+		return
+	}
+	// Fell off the end of a function: functions always end in RET or a
+	// branch, so this is unreachable for verified code; trap via SetPC.
+	c.PC = c.Fn.Base + c.Fn.Size
+}
+
+// SyscallArgs extracts the syscall number and arguments per the ABI.
+func (c *Core) SyscallArgs() (num int64, args [5]int64) {
+	d := c.Desc
+	num = c.RegsI[d.IntArgRegs[0]]
+	for i := 0; i < 5 && i+1 < len(d.IntArgRegs); i++ {
+		args[i] = c.RegsI[d.IntArgRegs[i+1]]
+	}
+	return num, args
+}
+
+// SetSyscallResult writes the kernel's return value.
+func (c *Core) SetSyscallResult(v int64) {
+	c.RegsI[c.Desc.IntRet] = v
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// f2i matches the IR interpreter's cross-ISA truncation semantics.
+func f2i(f float64) int64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f <= math.MinInt64 {
+		return math.MinInt64
+	}
+	return int64(f)
+}

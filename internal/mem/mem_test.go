@@ -1,0 +1,219 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteU64RoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.EnsurePage(0x1000)
+	if err := m.WriteU64(0x1008, 0xdeadbeefcafef00d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadU64(0x1008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xdeadbeefcafef00d {
+		t.Fatalf("got %#x", v)
+	}
+}
+
+func TestPageStraddlingAccess(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(2*PageSize - 4) // straddles a boundary
+	m.EnsurePage(addr)
+	m.EnsurePage(addr + 7)
+	if err := m.WriteU64(addr, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadU64(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x1122334455667788 {
+		t.Fatalf("straddle got %#x", v)
+	}
+	// Byte view must be little-endian across the boundary.
+	b, err := m.ReadU8(addr)
+	if err != nil || b != 0x88 {
+		t.Fatalf("first byte %#x err %v", b, err)
+	}
+}
+
+func TestFaultOnAbsentPage(t *testing.T) {
+	m := NewMemory()
+	_, err := m.ReadU64(0x5000)
+	fe, ok := err.(*FaultError)
+	if !ok {
+		t.Fatalf("expected FaultError, got %v", err)
+	}
+	if fe.Write {
+		t.Error("read fault marked as write")
+	}
+	if err := m.WriteU8(0x5000, 1); err == nil {
+		t.Error("write to absent page must fault")
+	}
+}
+
+func TestWriteProtection(t *testing.T) {
+	m := NewMemory()
+	m.EnsurePage(0x3000)
+	m.Protect(0x3000)
+	if m.Writable(0x3000) {
+		t.Error("protected page reported writable")
+	}
+	if _, err := m.ReadU64(0x3000); err != nil {
+		t.Errorf("read of protected page must succeed: %v", err)
+	}
+	err := m.WriteU64(0x3000, 1)
+	fe, ok := err.(*FaultError)
+	if !ok || !fe.Write {
+		t.Fatalf("expected write FaultError, got %v", err)
+	}
+	m.Unprotect(0x3000)
+	if err := m.WriteU64(0x3000, 1); err != nil {
+		t.Errorf("write after unprotect: %v", err)
+	}
+}
+
+func TestDropPageClearsProtection(t *testing.T) {
+	m := NewMemory()
+	m.EnsurePage(0x3000)
+	m.Protect(0x3000)
+	m.DropPage(0x3000)
+	if m.Present(0x3000) {
+		t.Error("dropped page still present")
+	}
+	m.EnsurePage(0x3000)
+	if !m.Writable(0x3000) {
+		t.Error("re-created page inherited stale protection")
+	}
+}
+
+func TestInstallPageCopies(t *testing.T) {
+	m1 := NewMemory()
+	p := m1.EnsurePage(0x4000)
+	p[5] = 99
+	m2 := NewMemory()
+	m2.InstallPage(0x4000, p)
+	p[5] = 1 // mutate source afterwards
+	b, err := m2.ReadU8(0x4005)
+	if err != nil || b != 99 {
+		t.Fatalf("install did not copy: %d %v", b, err)
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	m := NewMemory()
+	data := []byte("heterogeneous-ISA datacenters")
+	m.WriteBytes(PageSize-10, data) // straddles
+	got, err := m.ReadBytes(PageSize-10, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestCStringRead(t *testing.T) {
+	m := NewMemory()
+	m.WriteBytes(0x100, append([]byte("hello"), 0))
+	s, err := m.ReadCString(0x100, 64)
+	if err != nil || s != "hello" {
+		t.Fatalf("got %q err %v", s, err)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.EnsurePage(0)
+	if err := m.WriteF64(16, 3.14159); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.ReadF64(16)
+	if err != nil || f != 3.14159 {
+		t.Fatalf("got %v err %v", f, err)
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct{ v, a, want uint64 }{
+		{0, 8, 0}, {1, 8, 8}, {8, 8, 8}, {9, 16, 16}, {4097, 4096, 8192},
+	}
+	for _, c := range cases {
+		if got := AlignUp(c.v, c.a); got != c.want {
+			t.Errorf("AlignUp(%d,%d)=%d want %d", c.v, c.a, got, c.want)
+		}
+	}
+}
+
+func TestThreadStackWindowsDisjoint(t *testing.T) {
+	seen := map[uint64]int{}
+	for tid := 0; tid < 16; tid++ {
+		lo, hi := ThreadStackWindow(tid)
+		if hi-lo != StackWindow {
+			t.Fatalf("tid %d window size %d", tid, hi-lo)
+		}
+		for a := lo; a < hi; a += StackHalf {
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("tid %d overlaps tid %d at %#x", tid, prev, a)
+			}
+			seen[a] = tid
+		}
+	}
+}
+
+func TestThreadStackWindowPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ThreadStackWindow(MaxThreads)
+}
+
+// Property: any u64 written at any (possibly straddling) offset reads back.
+func TestPropertyU64RoundTrip(t *testing.T) {
+	m := NewMemory()
+	err := quick.Check(func(off uint16, v uint64) bool {
+		addr := 0x10000 + uint64(off)
+		m.EnsurePage(addr)
+		m.EnsurePage(addr + 7)
+		if err := m.WriteU64(addr, v); err != nil {
+			return false
+		}
+		got, err := m.ReadU64(addr)
+		return err == nil && got == v
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: byte-wise reads compose to the little-endian word.
+func TestPropertyLittleEndianComposition(t *testing.T) {
+	m := NewMemory()
+	err := quick.Check(func(off uint8, v uint64) bool {
+		addr := 0x20000 + uint64(off)
+		m.EnsurePage(addr)
+		m.EnsurePage(addr + 7)
+		if err := m.WriteU64(addr, v); err != nil {
+			return false
+		}
+		var got uint64
+		for i := uint64(0); i < 8; i++ {
+			b, err := m.ReadU8(addr + i)
+			if err != nil {
+				return false
+			}
+			got |= uint64(b) << (8 * i)
+		}
+		return got == v
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

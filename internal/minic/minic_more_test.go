@@ -1,0 +1,200 @@
+package minic
+
+import "testing"
+
+func TestDoWhileWithContinue(t *testing.T) {
+	expectOut(t, `long main(void){
+		long i = 0;
+		long s = 0;
+		do {
+			i++;
+			if (i % 2 == 0) continue;
+			s += i;
+		} while (i < 7);
+		print_i64_ln(s); return 0; }`, "16\n") // 1+3+5+7
+}
+
+func TestNestedTernaryAndLogic(t *testing.T) {
+	expectOut(t, `long main(void){
+		for (long n = 0; n < 6; n++) {
+			long c = n < 2 ? 'a' : n < 4 ? 'b' : 'c';
+			print_char(c);
+		}
+		println(); return 0; }`, "aabbcc\n")
+	expectOut(t, `long main(void){
+		long x = 5;
+		print_i64((x > 0 && x < 10) || x == 42);
+		println(); return 0; }`, "1\n")
+}
+
+func TestLogicalResultIsNormalised(t *testing.T) {
+	// && / || must yield exactly 0 or 1 even for non-boolean operands.
+	expectOut(t, `long main(void){
+		print_i64(7 && 9);
+		print_i64(0 || 12);
+		print_i64(!(5));
+		println(); return 0; }`, "110\n")
+}
+
+func TestCharPointerWalk(t *testing.T) {
+	expectOut(t, `long main(void){
+		char *s = "walk";
+		long n = 0;
+		while (*s != 0) { n++; s++; }
+		print_i64_ln(n); return 0; }`, "4\n")
+}
+
+func TestPointerIntoMiddleOfArray(t *testing.T) {
+	expectOut(t, `
+void fill(long *p, long n, long base) {
+	for (long i = 0; i < n; i++) p[i] = base + i;
+}
+long main(void){
+	long a[10];
+	fill(&a[2], 5, 100);
+	print_i64(a[2]); print_i64(a[6]);
+	println(); return 0; }`, "100104\n")
+}
+
+func TestNegativeModuloAndDivision(t *testing.T) {
+	// C truncates toward zero.
+	expectOut(t, `long main(void){
+		print_i64(-7 % 3); print_char(' ');
+		print_i64(7 % -3); print_char(' ');
+		print_i64(-7 / 3);
+		println(); return 0; }`, "-1 1 -2\n")
+}
+
+func TestShiftBoundaries(t *testing.T) {
+	expectOut(t, `long main(void){
+		print_i64(1 << 62 >> 62); print_char(' ');
+		print_i64(-8 >> 1);
+		println(); return 0; }`, "1 -4\n")
+}
+
+func TestDoubleGlobalsArrayInit(t *testing.T) {
+	expectOut(t, `
+double w[3] = {0.25, 0.5, 0.25};
+long main(void){
+	double s = 0.0;
+	for (long i = 0; i < 3; i++) s += w[i];
+	print_f64(s); println(); return 0; }`, "1.000000\n")
+}
+
+func TestGlobalCharArrayAsBuffer(t *testing.T) {
+	expectOut(t, `
+char buf[32];
+long main(void){
+	for (long i = 0; i < 5; i++) buf[i] = 'A' + i;
+	buf[5] = 0;
+	print_str(buf); println(); return 0; }`, "ABCDE\n")
+}
+
+func TestWhileWithComplexCondition(t *testing.T) {
+	expectOut(t, `long main(void){
+		long a = 0; long b = 10;
+		while (a < b && b > 5) { a++; b--; }
+		print_i64(a); print_i64(b); println(); return 0; }`, "55\n")
+}
+
+func TestFunctionPointerViaSpawnStyle(t *testing.T) {
+	// Function names as values + __icall, the mechanism the POMP runtime
+	// and spawn use.
+	expectOut(t, `
+long twice(long x) { return 2 * x; }
+long thrice(long x) { return 3 * x; }
+long apply(long fn, long x) { return __icall((char*)fn, x); }
+long main(void){
+	print_i64(apply(twice, 10));
+	print_i64(apply(thrice, 10));
+	println(); return 0; }`, "2030\n")
+}
+
+func TestDeepExpressionNesting(t *testing.T) {
+	expectOut(t, `long main(void){
+		long x = ((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 + 8))) / 2) % 100;
+		print_i64_ln(x); return 0; }`, "18\n")
+}
+
+func TestAssignmentAsExpressionValue(t *testing.T) {
+	expectOut(t, `long main(void){
+		long a;
+		long b = (a = 5) + 1;
+		print_i64(a); print_i64(b); println(); return 0; }`, "56\n")
+}
+
+func TestEmptyStatementAndBlocks(t *testing.T) {
+	expectOut(t, `long main(void){
+		;
+		{ }
+		for (long i = 0; i < 3; i++) ;
+		print_i64_ln(1); return 0; }`, "1\n")
+}
+
+func TestVoidFunctionCallStatement(t *testing.T) {
+	expectOut(t, `
+long g = 0;
+void poke(void) { g = 9; }
+long main(void){ poke(); print_i64_ln(g); return 0; }`, "9\n")
+}
+
+func TestErrorVoidValueUsed(t *testing.T) {
+	expectErr(t, `
+void nothing(void) { }
+long main(void){ return nothing(); }`, "void value")
+}
+
+func TestErrorContinueOutsideLoop(t *testing.T) {
+	expectErr(t, `long main(void){ continue; return 0; }`, "continue outside loop")
+}
+
+func TestErrorArrayLengthNotLiteral(t *testing.T) {
+	expectErr(t, `long main(void){ long n = 4; long a[n]; return 0; }`, "integer literal")
+}
+
+func TestErrorTooManyInitialisers(t *testing.T) {
+	expectErr(t, `
+long a[2] = {1, 2, 3};
+long main(void){ return 0; }`, "too many initialisers")
+}
+
+func TestErrorPointerPlusPointer(t *testing.T) {
+	expectErr(t, `long main(void){
+		long a[2];
+		long *p = a;
+		long *q = a;
+		return (long)(p + q); }`, "pointer + pointer")
+}
+
+func TestStringEscapes(t *testing.T) {
+	expectOut(t, `long main(void){
+		print_str("tab:\there\nquote:\"q\"\n");
+		return 0; }`, "tab:\there\nquote:\"q\"\n")
+}
+
+func TestPreludeMemHelpers(t *testing.T) {
+	expectOut(t, `long main(void){
+		char a[16];
+		char b[16];
+		memset8(a, 'x', 8);
+		a[8] = 0;
+		memcpy8(b, a, 9);
+		print_str(b); println();
+		return 0; }`, "xxxxxxxx\n")
+}
+
+func TestPowIHelper(t *testing.T) {
+	expectOut(t, `long main(void){
+		print_f64(pow_i(2.0, 10));
+		print_char(' ');
+		print_f64(pow_i(2.0, -2));
+		println(); return 0; }`, "1024.000000 0.250000\n")
+}
+
+func TestFabsFmaxFmin(t *testing.T) {
+	expectOut(t, `long main(void){
+		print_f64(fabs(-2.5)); print_char(' ');
+		print_f64(fmax(1.0, 2.0)); print_char(' ');
+		print_f64(fmin(1.0, 2.0));
+		println(); return 0; }`, "2.500000 2.000000 1.000000\n")
+}

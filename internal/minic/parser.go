@@ -1,0 +1,789 @@
+package minic
+
+import "fmt"
+
+// --- Types -----------------------------------------------------------------
+
+type tyKind int
+
+const (
+	tyLong tyKind = iota
+	tyDouble
+	tyChar
+	tyVoid
+	tyPtr
+)
+
+// Ty is a mini-C type.
+type Ty struct {
+	Kind tyKind
+	Elem *Ty // pointee for tyPtr
+}
+
+var (
+	typeLong   = &Ty{Kind: tyLong}
+	typeDouble = &Ty{Kind: tyDouble}
+	typeChar   = &Ty{Kind: tyChar}
+	typeVoid   = &Ty{Kind: tyVoid}
+)
+
+func ptrTo(t *Ty) *Ty { return &Ty{Kind: tyPtr, Elem: t} }
+
+func (t *Ty) String() string {
+	switch t.Kind {
+	case tyLong:
+		return "long"
+	case tyDouble:
+		return "double"
+	case tyChar:
+		return "char"
+	case tyVoid:
+		return "void"
+	case tyPtr:
+		return t.Elem.String() + "*"
+	}
+	return "?"
+}
+
+// size returns the byte size of a value of type t.
+func (t *Ty) size() int64 {
+	if t.Kind == tyChar {
+		return 1
+	}
+	return 8
+}
+
+func (t *Ty) isNum() bool   { return t.Kind == tyLong || t.Kind == tyDouble || t.Kind == tyChar }
+func (t *Ty) isInt() bool   { return t.Kind == tyLong || t.Kind == tyChar }
+func (t *Ty) isFloat() bool { return t.Kind == tyDouble }
+
+// --- AST ---------------------------------------------------------------------
+
+type exprKind int
+
+const (
+	eInt exprKind = iota
+	eFloat
+	eStr
+	eIdent
+	eUnary   // Op in - ! ~ * &
+	ePreIncr // Op in ++ --
+	ePostIncr
+	eBinary // arithmetic/logical/comparison
+	eAssign // Op in = += -= *= /= %= &= |= ^= <<= >>=
+	eCond   // L ? R : C3
+	eCall   // Name(Args) or builtin
+	eIndex  // L[R]
+	eCast   // (CastTy)L
+	eSizeof
+)
+
+// Expr is an expression node.
+type Expr struct {
+	Kind   exprKind
+	Op     string
+	L, R   *Expr
+	C3     *Expr
+	Ival   int64
+	Fval   float64
+	Sval   string
+	Name   string
+	Args   []*Expr
+	CastTy *Ty
+
+	line, col int
+}
+
+type stmtKind int
+
+const (
+	sExpr stmtKind = iota
+	sDecl
+	sIf
+	sWhile
+	sDoWhile
+	sFor
+	sReturn
+	sBreak
+	sContinue
+	sBlock
+	sEmpty
+)
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind stmtKind
+
+	Expr *Expr   // sExpr, sReturn (may be nil)
+	Decl []*Decl // sDecl
+
+	Cond       *Expr
+	Then, Else *Stmt   // sIf
+	Body       *Stmt   // loops
+	Init       *Stmt   // sFor
+	Post       *Expr   // sFor
+	List       []*Stmt // sBlock
+
+	line, col int
+}
+
+// Decl is one variable declarator.
+type Decl struct {
+	Name     string
+	Ty       *Ty
+	ArrayLen int64 // -1 when not an array
+	Init     *Expr
+	InitList []*Expr // array initialiser
+
+	line, col int
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name string
+	Ty   *Ty
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    *Ty
+	Params []Param
+	Body   *Stmt
+
+	line, col int
+}
+
+// Program is one parsed translation unit.
+type Program struct {
+	Globals []*Decl
+	Funcs   []*FuncDecl
+}
+
+// --- Parser -------------------------------------------------------------------
+
+type parser struct {
+	file string
+	toks []token
+	pos  int
+}
+
+// Parse parses mini-C source.
+func Parse(file, src string) (*Program, error) {
+	toks, err := lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	t := p.cur()
+	return &Error{File: p.file, Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tPunct && t.text == s
+}
+
+func (p *parser) isKeyword(s string) bool {
+	t := p.cur()
+	return t.kind == tKeyword && t.text == s
+}
+
+func (p *parser) accept(s string) bool {
+	if p.isPunct(s) || p.isKeyword(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if p.accept(s) {
+		return nil
+	}
+	return p.errf("expected %q, got %q", s, p.cur().text)
+}
+
+// typeStart reports whether the current token begins a type.
+func (p *parser) typeStart() bool {
+	return p.isKeyword("long") || p.isKeyword("double") || p.isKeyword("char") ||
+		p.isKeyword("void") || p.isKeyword("static") || p.isKeyword("const")
+}
+
+// parseType parses a base type plus pointer stars.
+func (p *parser) parseType() (*Ty, error) {
+	for p.accept("static") || p.accept("const") {
+	}
+	var base *Ty
+	switch {
+	case p.accept("long"):
+		base = typeLong
+	case p.accept("double"):
+		base = typeDouble
+	case p.accept("char"):
+		base = typeChar
+	case p.accept("void"):
+		base = typeVoid
+	default:
+		return nil, p.errf("expected type, got %q", p.cur().text)
+	}
+	for p.accept("*") {
+		base = ptrTo(base)
+	}
+	return base, nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for p.cur().kind != tEOF {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nameTok := p.cur()
+		if nameTok.kind != tIdent {
+			return nil, p.errf("expected name after type")
+		}
+		p.pos++
+		if p.isPunct("(") {
+			fd, err := p.funcRest(ty, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fd)
+			continue
+		}
+		decls, err := p.declRest(ty, nameTok)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, decls...)
+	}
+	return prog, nil
+}
+
+// declRest parses declarators after "type name" up to the semicolon.
+func (p *parser) declRest(ty *Ty, nameTok token) ([]*Decl, error) {
+	var out []*Decl
+	d, err := p.declarator(ty, nameTok)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, d)
+	for p.accept(",") {
+		t := ty
+		for p.accept("*") {
+			t = ptrTo(t)
+		}
+		nt := p.cur()
+		if nt.kind != tIdent {
+			return nil, p.errf("expected name in declaration")
+		}
+		p.pos++
+		d, err := p.declarator(t, nt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) declarator(ty *Ty, nameTok token) (*Decl, error) {
+	d := &Decl{Name: nameTok.text, Ty: ty, ArrayLen: -1, line: nameTok.line, col: nameTok.col}
+	if p.accept("[") {
+		t := p.cur()
+		if t.kind != tInt {
+			return nil, p.errf("array length must be an integer literal")
+		}
+		p.pos++
+		d.ArrayLen = t.ival
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		if p.accept("{") {
+			for !p.isPunct("}") {
+				e, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.InitList = append(d.InitList, e)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect("}"); err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+	}
+	return d, nil
+}
+
+func (p *parser) funcRest(ret *Ty, nameTok token) (*FuncDecl, error) {
+	fd := &FuncDecl{Name: nameTok.text, Ret: ret, line: nameTok.line, col: nameTok.col}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if p.accept("void") && p.isPunct(")") {
+		// (void) parameter list
+	} else {
+		for !p.isPunct(")") {
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			nt := p.cur()
+			if nt.kind != tIdent {
+				return nil, p.errf("expected parameter name")
+			}
+			p.pos++
+			fd.Params = append(fd.Params, Param{Name: nt.text, Ty: ty})
+			if !p.accept(",") {
+				break
+			}
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+func (p *parser) block() (*Stmt, error) {
+	t := p.cur()
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	blk := &Stmt{Kind: sBlock, line: t.line, col: t.col}
+	for !p.isPunct("}") {
+		if p.cur().kind == tEOF {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.List = append(blk.List, s)
+	}
+	p.pos++ // }
+	return blk, nil
+}
+
+func (p *parser) stmt() (*Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.isPunct("{"):
+		return p.block()
+	case p.isPunct(";"):
+		p.pos++
+		return &Stmt{Kind: sEmpty, line: t.line, col: t.col}, nil
+	case p.typeStart():
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nt := p.cur()
+		if nt.kind != tIdent {
+			return nil, p.errf("expected name in declaration")
+		}
+		p.pos++
+		decls, err := p.declRest(ty, nt)
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: sDecl, Decl: decls, line: t.line, col: t.col}, nil
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: sIf, Cond: cond, Then: then, line: t.line, col: t.col}
+		if p.accept("else") {
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = els
+		}
+		return s, nil
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: sWhile, Cond: cond, Body: body, line: t.line, col: t.col}, nil
+	case p.accept("do"):
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: sDoWhile, Cond: cond, Body: body, line: t.line, col: t.col}, nil
+	case p.accept("for"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		s := &Stmt{Kind: sFor, line: t.line, col: t.col}
+		if !p.isPunct(";") {
+			if p.typeStart() {
+				ty, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				nt := p.cur()
+				if nt.kind != tIdent {
+					return nil, p.errf("expected name in for-init declaration")
+				}
+				p.pos++
+				decls, err := p.declRest(ty, nt) // consumes ';'
+				if err != nil {
+					return nil, err
+				}
+				s.Init = &Stmt{Kind: sDecl, Decl: decls}
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				s.Init = &Stmt{Kind: sExpr, Expr: e}
+				if err := p.expect(";"); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.pos++
+		}
+		if !p.isPunct(";") {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Cond = cond
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if !p.isPunct(")") {
+			post, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Post = post
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Body = body
+		return s, nil
+	case p.accept("return"):
+		s := &Stmt{Kind: sReturn, line: t.line, col: t.col}
+		if !p.isPunct(";") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			s.Expr = e
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case p.accept("break"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: sBreak, line: t.line, col: t.col}, nil
+	case p.accept("continue"):
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: sContinue, line: t.line, col: t.col}, nil
+	default:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: sExpr, Expr: e, line: t.line, col: t.col}, nil
+	}
+}
+
+// --- Expressions (precedence climbing) ---
+
+func (p *parser) expr() (*Expr, error) { return p.assignExpr() }
+
+func (p *parser) assignExpr() (*Expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="} {
+		if p.isPunct(op) {
+			t := p.next()
+			rhs, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: eAssign, Op: op, L: lhs, R: rhs, line: t.line, col: t.col}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) condExpr() (*Expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.isPunct("?") {
+		t := p.next()
+		a, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		b, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: eCond, L: c, R: a, C3: b, line: t.line, col: t.col}, nil
+	}
+	return c, nil
+}
+
+// binary precedence levels, lowest first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binExpr(level int) (*Expr, error) {
+	if level >= len(binLevels) {
+		return p.unaryExpr()
+	}
+	lhs, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range binLevels[level] {
+			if p.isPunct(op) {
+				t := p.next()
+				rhs, err := p.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				lhs = &Expr{Kind: eBinary, Op: op, L: lhs, R: rhs, line: t.line, col: t.col}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return lhs, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (*Expr, error) {
+	t := p.cur()
+	for _, op := range []string{"-", "!", "~", "*", "&"} {
+		if p.isPunct(op) {
+			p.pos++
+			e, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: eUnary, Op: op, L: e, line: t.line, col: t.col}, nil
+		}
+	}
+	if p.isPunct("++") || p.isPunct("--") {
+		op := p.next().text
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ePreIncr, Op: op, L: e, line: t.line, col: t.col}, nil
+	}
+	// Cast: "(" type ")" unary
+	if p.isPunct("(") && p.pos+1 < len(p.toks) {
+		nt := p.toks[p.pos+1]
+		if nt.kind == tKeyword && (nt.text == "long" || nt.text == "double" || nt.text == "char" || nt.text == "void") {
+			p.pos++ // (
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			e, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Expr{Kind: eCast, CastTy: ty, L: e, line: t.line, col: t.col}, nil
+		}
+	}
+	if p.accept("sizeof") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: eSizeof, CastTy: ty, line: t.line, col: t.col}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (*Expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("["):
+			t := p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: eIndex, L: e, R: idx, line: t.line, col: t.col}
+		case p.isPunct("++"), p.isPunct("--"):
+			t := p.next()
+			e = &Expr{Kind: ePostIncr, Op: t.text, L: e, line: t.line, col: t.col}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (*Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tInt, tChar:
+		p.pos++
+		return &Expr{Kind: eInt, Ival: t.ival, line: t.line, col: t.col}, nil
+	case tFloat:
+		p.pos++
+		return &Expr{Kind: eFloat, Fval: t.fval, line: t.line, col: t.col}, nil
+	case tString:
+		p.pos++
+		return &Expr{Kind: eStr, Sval: t.sval, line: t.line, col: t.col}, nil
+	case tIdent:
+		p.pos++
+		if p.isPunct("(") {
+			p.pos++
+			call := &Expr{Kind: eCall, Name: t.text, line: t.line, col: t.col}
+			for !p.isPunct(")") {
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Expr{Kind: eIdent, Name: t.text, line: t.line, col: t.col}, nil
+	}
+	if p.accept("(") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

@@ -1,0 +1,229 @@
+package minic
+
+// Prelude is the runtime library compiled into every program — the role
+// musl-libc plays in the paper's toolchain. It is written in mini-C itself
+// on top of the __syscall/__atomic_*/__icall builtins, so it is subject to
+// the same multi-ISA compilation, symbol alignment and (where safe)
+// migration-point machinery as application code.
+const Prelude = `
+// --- system call wrappers ---
+
+void exit(long code) { __syscall(1, code); }
+long write(long fd, char *buf, long n) { return __syscall(2, fd, buf, n); }
+long read(long fd, char *buf, long n) { return __syscall(12, fd, buf, n); }
+long open(char *path, long flags) { return __syscall(11, path, flags); }
+long close(long fd) { return __syscall(13, fd); }
+long gettime_ns(void) { return __syscall(4); }
+long spawn(long fn, long arg) { return __syscall(5, fn, arg); }
+long join(long tid) { return __syscall(6, tid); }
+void yield(void) { __syscall(7); }
+void migrate(long node) { __syscall(8, node); }
+long getnode(void) { return __syscall(9); }
+long gettid(void) { return __syscall(10); }
+long ncores(void) { return __syscall(15); }
+long xrand(void) { return __syscall(16); }
+
+// --- string and memory helpers ---
+
+long strlen(char *s) {
+    long n = 0;
+    while (s[n] != 0) n++;
+    return n;
+}
+
+long strcmp(char *a, char *b) {
+    long i = 0;
+    while (a[i] != 0 && a[i] == b[i]) i++;
+    return a[i] - b[i];
+}
+
+void memset8(char *p, long val, long n) {
+    for (long i = 0; i < n; i++) p[i] = val;
+}
+
+void memcpy8(char *dst, char *src, long n) {
+    for (long i = 0; i < n; i++) dst[i] = src[i];
+}
+
+// --- console output ---
+
+void print_char(long c) {
+    char buf[8];
+    buf[0] = c;
+    write(1, buf, 1);
+}
+
+void print_str(char *s) { write(1, s, strlen(s)); }
+
+void print_i64(long v) {
+    char buf[32];
+    long pos = 31;
+    long neg = 0;
+    if (v == 0) { print_char('0'); return; }
+    if (v < 0) neg = 1;
+    // Digits are extracted with remainders folded to non-negative, which
+    // survives the INT64_MIN edge (where -v overflows).
+    while (v != 0) {
+        long r = v % 10;
+        if (r < 0) r = -r;
+        buf[pos] = '0' + r;
+        pos--;
+        v = v / 10;
+    }
+    if (neg) {
+        buf[pos] = '-';
+        pos--;
+    }
+    write(1, &buf[pos + 1], 31 - pos);
+}
+
+void print_f64(double v) {
+    if (v != v) { print_str("nan"); return; }
+    if (v < 0.0) { print_char('-'); v = -v; }
+    long ip = (long)v;
+    double frac = v - (double)ip;
+    long fp6 = (long)(frac * 1000000.0 + 0.5);
+    if (fp6 >= 1000000) { ip = ip + 1; fp6 = fp6 - 1000000; }
+    print_i64(ip);
+    print_char('.');
+    long d = 100000;
+    while (d > 0) {
+        print_char('0' + (fp6 / d) % 10);
+        d = d / 10;
+    }
+}
+
+void println(void) { print_char(10); }
+
+void print_i64_ln(long v) { print_i64(v); println(); }
+
+void print_kv(char *k, long v) { print_str(k); print_i64(v); println(); }
+
+// --- locking ---
+
+void lock(long *l) {
+    while (__atomic_cas(l, 0, 1) != 0) yield();
+}
+
+void unlock(long *l) { *l = 0; }
+
+// --- heap allocator (first-fit free list with block splitting) ---
+
+long __free_list = 0;
+long __malloc_lock = 0;
+
+char *malloc(long n) {
+    if (n < 8) n = 8;
+    n = (n + 7) & (0 - 8);
+    lock(&__malloc_lock);
+    long prev = 0;
+    long blk = __free_list;
+    while (blk != 0) {
+        long bsz = *(long*)blk;
+        long bnext = *(long*)(blk + 8);
+        if (bsz >= n) {
+            if (bsz >= n + 48) {
+                long tail = blk + 16 + n;
+                *(long*)tail = bsz - n - 16;
+                *(long*)(tail + 8) = bnext;
+                bnext = tail;
+                *(long*)blk = n;
+            }
+            if (prev == 0) __free_list = bnext;
+            else *(long*)(prev + 8) = bnext;
+            unlock(&__malloc_lock);
+            return (char*)(blk + 16);
+        }
+        prev = blk;
+        blk = bnext;
+    }
+    unlock(&__malloc_lock);
+    long base = __syscall(3, n + 16);
+    *(long*)base = n;
+    return (char*)(base + 16);
+}
+
+void free(char *p) {
+    if ((long)p == 0) return;
+    long blk = (long)p - 16;
+    lock(&__malloc_lock);
+    *(long*)(blk + 8) = __free_list;
+    __free_list = blk;
+    unlock(&__malloc_lock);
+}
+
+// --- fork/join parallel runtime (the POMP library of the paper) ---
+
+long __bar_n = 1;
+long __bar_remaining = 1;
+long __bar_sense = 0;
+
+void barrier_init(long n) {
+    __bar_n = n;
+    __bar_remaining = n;
+    __bar_sense = 0;
+}
+
+// Sense-reversing centralized barrier. Each thread passes its current sense
+// and uses the returned value for the next round (start from 0).
+long barrier_wait(long sense) {
+    long my = 1 - sense;
+    long left = __atomic_add(&__bar_remaining, 0 - 1);
+    if (left == 1) {
+        __bar_remaining = __bar_n;
+        __bar_sense = my;
+    } else {
+        while (__bar_sense != my) yield();
+    }
+    return my;
+}
+
+long __pomp_fn = 0;
+
+long __pomp_worker(long tid) {
+    return __icall((char*)__pomp_fn, tid);
+}
+
+// pomp_run(fn, n): run fn(tid) on n threads (tid 0..n-1, tid 0 on the
+// calling thread), with a barrier sized for all of them; joins before
+// returning. Returns the sum of worker return values.
+long pomp_run(long fn, long n) {
+    long tids[64];
+    if (n < 1) n = 1;
+    if (n > 63) n = 63;
+    __pomp_fn = fn;
+    barrier_init(n);
+    for (long i = 1; i < n; i++) {
+        tids[i] = spawn(__pomp_worker, i);
+    }
+    long total = __icall((char*)fn, 0);
+    for (long i = 1; i < n; i++) {
+        total += join(tids[i]);
+    }
+    return total;
+}
+
+// --- math helpers ---
+
+double fabs(double x) { if (x < 0.0) return -x; return x; }
+
+double fmax(double a, double b) { if (a > b) return a; return b; }
+
+double fmin(double a, double b) { if (a < b) return a; return b; }
+
+double pow_i(double x, long n) {
+    double r = 1.0;
+    long neg = 0;
+    if (n < 0) { neg = 1; n = -n; }
+    while (n > 0) {
+        if (n % 2 == 1) r = r * x;
+        x = x * x;
+        n = n / 2;
+    }
+    if (neg) return 1.0 / r;
+    return r;
+}
+
+long imax(long a, long b) { if (a > b) return a; return b; }
+long imin(long a, long b) { if (a < b) return a; return b; }
+`

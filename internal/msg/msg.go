@@ -1,0 +1,171 @@
+// Package msg implements the inter-kernel messaging layer and the
+// interconnect timing model. The evaluation testbed joined the two servers
+// with a Dolphin ICS PXH810 PCIe link (up to 64 Gb/s); the model charges
+// every message a per-hop latency plus serialisation time at the link
+// bandwidth, with per-directed-link occupancy.
+package msg
+
+import (
+	"container/heap"
+)
+
+// Type tags inter-kernel messages.
+type Type int
+
+// Message types used by the distributed kernel services.
+const (
+	// TPageReply carries a DSM page (or write-upgrade grant).
+	TPageReply Type = iota
+	// TThreadMigrate carries a migrating thread's transformed register
+	// state and residual metadata.
+	TThreadMigrate
+	// TFSOp carries a remote filesystem operation or its reply.
+	TFSOp
+	// TRemoteWake wakes a joiner blocked on another node.
+	TRemoteWake
+	// TSerializedState carries whole-state serialization payloads (the
+	// PadMig-style baseline).
+	TSerializedState
+)
+
+// Message is one inter-kernel message.
+type Message struct {
+	Seq      uint64
+	From, To int
+	Type     Type
+	Size     int64 // payload bytes, for the bandwidth model
+	// Deliver is the simulated delivery time in seconds.
+	Deliver float64
+	// Payload is interpreted by the handler for Type.
+	Payload interface{}
+}
+
+// Config describes the interconnect.
+type Config struct {
+	// LatencySec is the one-way message latency.
+	LatencySec float64
+	// BytesPerSec is the link bandwidth.
+	BytesPerSec float64
+	// HeaderBytes is added to every message's wire size.
+	HeaderBytes int64
+}
+
+// DolphinPXH810 models the testbed's interconnect: sub-microsecond PCIe
+// latency and 64 Gb/s of bandwidth.
+func DolphinPXH810() Config {
+	return Config{LatencySec: 0.9e-6, BytesPerSec: 8e9, HeaderBytes: 64}
+}
+
+// Stats aggregates traffic counters.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+// Interconnect is the shared fabric between kernels. It is a deterministic
+// discrete-event structure: Send computes a delivery time from latency,
+// bandwidth and link occupancy; PopDue yields messages in delivery order.
+type Interconnect struct {
+	cfg   Config
+	seq   uint64
+	stats Stats
+
+	// busyUntil[from][to] models per-directed-link serialisation.
+	busyUntil map[int]map[int]float64
+
+	queues map[int]*msgHeap
+}
+
+// New builds an interconnect with cfg.
+func New(cfg Config) *Interconnect {
+	return &Interconnect{
+		cfg:       cfg,
+		busyUntil: make(map[int]map[int]float64),
+		queues:    make(map[int]*msgHeap),
+	}
+}
+
+// Stats returns traffic counters.
+func (ic *Interconnect) Stats() Stats { return ic.stats }
+
+// Send enqueues a message at time now and returns its delivery time.
+func (ic *Interconnect) Send(now float64, from, to int, t Type, size int64, payload interface{}) float64 {
+	wire := size + ic.cfg.HeaderBytes
+	bu := ic.busyUntil[from]
+	if bu == nil {
+		bu = make(map[int]float64)
+		ic.busyUntil[from] = bu
+	}
+	start := now
+	if bu[to] > start {
+		start = bu[to]
+	}
+	txEnd := start + float64(wire)/ic.cfg.BytesPerSec
+	bu[to] = txEnd
+	deliver := txEnd + ic.cfg.LatencySec
+
+	ic.seq++
+	m := &Message{
+		Seq: ic.seq, From: from, To: to, Type: t,
+		Size: size, Deliver: deliver, Payload: payload,
+	}
+	q := ic.queues[to]
+	if q == nil {
+		q = &msgHeap{}
+		ic.queues[to] = q
+	}
+	heap.Push(q, m)
+	ic.stats.Messages++
+	ic.stats.Bytes += uint64(wire)
+	return deliver
+}
+
+// RoundTripTime estimates a small-request/sized-reply exchange, used to
+// model request+reply pairs with a single enqueued message.
+func (ic *Interconnect) RoundTripTime(replySize int64) float64 {
+	wire := replySize + 2*ic.cfg.HeaderBytes
+	return 2*ic.cfg.LatencySec + float64(wire)/ic.cfg.BytesPerSec
+}
+
+// PopDue removes and returns the next message for node due at or before
+// now, or nil.
+func (ic *Interconnect) PopDue(node int, now float64) *Message {
+	q := ic.queues[node]
+	if q == nil || q.Len() == 0 {
+		return nil
+	}
+	if (*q)[0].Deliver > now {
+		return nil
+	}
+	return heap.Pop(q).(*Message)
+}
+
+// NextDeliver returns the earliest pending delivery time for node, or
+// (0, false) if nothing is queued.
+func (ic *Interconnect) NextDeliver(node int) (float64, bool) {
+	q := ic.queues[node]
+	if q == nil || q.Len() == 0 {
+		return 0, false
+	}
+	return (*q)[0].Deliver, true
+}
+
+// msgHeap orders messages by delivery time, then sequence for determinism.
+type msgHeap []*Message
+
+func (h msgHeap) Len() int { return len(h) }
+func (h msgHeap) Less(i, j int) bool {
+	if h[i].Deliver != h[j].Deliver {
+		return h[i].Deliver < h[j].Deliver
+	}
+	return h[i].Seq < h[j].Seq
+}
+func (h msgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *msgHeap) Push(x interface{}) { *h = append(*h, x.(*Message)) }
+func (h *msgHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	m := old[n-1]
+	*h = old[:n-1]
+	return m
+}

@@ -1,0 +1,128 @@
+package msg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testCfg() Config {
+	return Config{LatencySec: 1e-6, BytesPerSec: 1e9, HeaderBytes: 0}
+}
+
+func TestDeliveryTiming(t *testing.T) {
+	ic := New(testCfg())
+	d := ic.Send(0, 0, 1, TPageReply, 1000, nil)
+	// 1000 B at 1 GB/s = 1 µs serialisation + 1 µs latency.
+	want := 2e-6
+	if d < want*0.999 || d > want*1.001 {
+		t.Fatalf("deliver %g, want %g", d, want)
+	}
+}
+
+func TestLinkOccupancySerialises(t *testing.T) {
+	ic := New(testCfg())
+	d1 := ic.Send(0, 0, 1, TPageReply, 1000, nil)
+	d2 := ic.Send(0, 0, 1, TPageReply, 1000, nil)
+	if d2 <= d1 {
+		t.Fatalf("second message not serialised after first: %g <= %g", d2, d1)
+	}
+	// Opposite direction is a separate link.
+	d3 := ic.Send(0, 1, 0, TPageReply, 1000, nil)
+	if d3 != d1 {
+		t.Fatalf("reverse link shares occupancy: %g vs %g", d3, d1)
+	}
+}
+
+func TestPopDueOrdering(t *testing.T) {
+	ic := New(testCfg())
+	ic.Send(0, 0, 1, TPageReply, 5000, "big")
+	ic.Send(0, 1, 1, TRemoteWake, 10, "small") // different sender, tiny
+	var got []string
+	for {
+		m := ic.PopDue(1, 1.0)
+		if m == nil {
+			break
+		}
+		got = append(got, m.Payload.(string))
+	}
+	if len(got) != 2 || got[0] != "small" || got[1] != "big" {
+		t.Fatalf("delivery order %v", got)
+	}
+}
+
+func TestPopDueRespectsNow(t *testing.T) {
+	ic := New(testCfg())
+	d := ic.Send(0, 0, 1, TFSOp, 100, nil)
+	if m := ic.PopDue(1, d/2); m != nil {
+		t.Fatal("message delivered before its time")
+	}
+	if m := ic.PopDue(1, d); m == nil {
+		t.Fatal("message not delivered at its time")
+	}
+}
+
+func TestNextDeliver(t *testing.T) {
+	ic := New(testCfg())
+	if _, ok := ic.NextDeliver(1); ok {
+		t.Fatal("empty queue reports pending delivery")
+	}
+	d := ic.Send(0, 0, 1, TFSOp, 100, nil)
+	got, ok := ic.NextDeliver(1)
+	if !ok || got != d {
+		t.Fatalf("NextDeliver %v %v, want %v", got, ok, d)
+	}
+	// Other node unaffected.
+	if _, ok := ic.NextDeliver(0); ok {
+		t.Fatal("wrong node sees the message")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	ic := New(Config{LatencySec: 1e-6, BytesPerSec: 1e9, HeaderBytes: 64})
+	ic.Send(0, 0, 1, TPageReply, 1000, nil)
+	ic.Send(0, 1, 0, TPageReply, 0, nil)
+	s := ic.Stats()
+	if s.Messages != 2 || s.Bytes != 1000+64+64 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestRoundTripTime(t *testing.T) {
+	ic := New(testCfg())
+	rtt := ic.RoundTripTime(4096)
+	want := 2e-6 + 4096/1e9
+	if rtt < want*0.999 || rtt > want*1.001 {
+		t.Fatalf("rtt %g want %g", rtt, want)
+	}
+}
+
+func TestDolphinConfigSane(t *testing.T) {
+	cfg := DolphinPXH810()
+	if cfg.LatencySec <= 0 || cfg.LatencySec > 10e-6 {
+		t.Errorf("latency %g not PCIe-class", cfg.LatencySec)
+	}
+	if cfg.BytesPerSec < 1e9 {
+		t.Errorf("bandwidth %g below expectations", cfg.BytesPerSec)
+	}
+}
+
+// Property: delivery times are non-decreasing per (from, to) pair and
+// always after the send time.
+func TestPropertyCausality(t *testing.T) {
+	err := quick.Check(func(sizes []uint16) bool {
+		ic := New(testCfg())
+		now, last := 0.0, 0.0
+		for _, s := range sizes {
+			d := ic.Send(now, 0, 1, TPageReply, int64(s), nil)
+			if d <= now || d < last {
+				return false
+			}
+			last = d
+			now += 1e-7
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+package npb
+
+import "fmt"
+
+// btSource generates the BT application: like SP but with three coupled
+// solution components per cell, so each line sweep solves a block
+// tridiagonal system with 3x3 blocks (explicit 3x3 inversion and
+// matrix-matrix products in the forward elimination). This preserves the
+// real BT's defining trait — dense small-block arithmetic inside line
+// solves — at reduced problem size (documented substitution).
+func btSource(ci, threads int) string {
+	n := []int64{6, 10, 14, 18}[ci]
+	iters := []int64{2, 3, 4, 5}[ci]
+	n3x3 := n * n * n * 3
+	return fmt.Sprintf(`
+long NTHREADS = %d;
+long N = %d;
+long NITER = %d;
+
+double u[%d];     // 3 components per cell
+double rhs[%d];
+double tmp[%d];
+
+long cidx(long i, long j, long k, long m) { return ((i * N + j) * N + k) * 3 + m; }
+
+void bt_init(void) {
+	npb_srand(137035999);
+	for (long i = 0; i < N * N * N * 3; i++) {
+		u[i] = npb_rand01();
+		rhs[i] = 0.0;
+		tmp[i] = 0.0;
+	}
+}
+
+// inv3 computes dst = inverse(m) for a row-major 3x3 matrix via the
+// adjugate formula.
+void inv3(double *m, double *dst) {
+	double a = m[0]; double b = m[1]; double c = m[2];
+	double d = m[3]; double e = m[4]; double f = m[5];
+	double g = m[6]; double h = m[7]; double i = m[8];
+	double det = a * (e * i - f * h) - b * (d * i - f * g) + c * (d * h - e * g);
+	double inv = 1.0 / det;
+	dst[0] = (e * i - f * h) * inv;
+	dst[1] = (c * h - b * i) * inv;
+	dst[2] = (b * f - c * e) * inv;
+	dst[3] = (f * g - d * i) * inv;
+	dst[4] = (a * i - c * g) * inv;
+	dst[5] = (c * d - a * f) * inv;
+	dst[6] = (d * h - e * g) * inv;
+	dst[7] = (b * g - a * h) * inv;
+	dst[8] = (a * e - b * d) * inv;
+}
+
+// mat3mul: dst = x * y (3x3).
+void mat3mul(double *x, double *y, double *dst) {
+	for (long r = 0; r < 3; r++) {
+		for (long c = 0; c < 3; c++) {
+			double s = 0.0;
+			for (long k = 0; k < 3; k++) s += x[r * 3 + k] * y[k * 3 + c];
+			dst[r * 3 + c] = s;
+		}
+	}
+}
+
+// mat3vec: dst = m * v (3x3 by 3).
+void mat3vec(double *m, double *v, double *dst) {
+	for (long r = 0; r < 3; r++) {
+		dst[r] = m[r * 3] * v[0] + m[r * 3 + 1] * v[1] + m[r * 3 + 2] * v[2];
+	}
+}
+
+// block_line solves a block tridiagonal system with constant blocks
+// A (sub), B (diag), C (super) over n cells whose 3-vectors are packed in
+// d; the solution overwrites d. cp holds n 3x3 elimination blocks.
+void block_line(double *d, long n, double *A, double *B, double *C) {
+	double cp[576];   // up to 64 cells * 9
+	double binv[9];
+	double m9[9];
+	double v3[3];
+	double bmod[9];
+
+	inv3(B, binv);
+	mat3mul(binv, C, &cp[0]);
+	mat3vec(binv, &d[0], v3);
+	d[0] = v3[0]; d[1] = v3[1]; d[2] = v3[2];
+
+	for (long i = 1; i < n; i++) {
+		// bmod = B - A * cp[i-1]
+		mat3mul(A, &cp[(i - 1) * 9], m9);
+		for (long t = 0; t < 9; t++) bmod[t] = B[t] - m9[t];
+		inv3(bmod, binv);
+		mat3mul(binv, C, &cp[i * 9]);
+		// d[i] = binv * (d[i] - A * d[i-1])
+		mat3vec(A, &d[(i - 1) * 3], v3);
+		double w0 = d[i * 3] - v3[0];
+		double w1 = d[i * 3 + 1] - v3[1];
+		double w2 = d[i * 3 + 2] - v3[2];
+		double w3[3];
+		w3[0] = w0; w3[1] = w1; w3[2] = w2;
+		mat3vec(binv, w3, v3);
+		d[i * 3] = v3[0]; d[i * 3 + 1] = v3[1]; d[i * 3 + 2] = v3[2];
+	}
+	for (long i = n - 2; i >= 0; i--) {
+		mat3vec(&cp[i * 9], &d[(i + 1) * 3], v3);
+		d[i * 3] -= v3[0];
+		d[i * 3 + 1] -= v3[1];
+		d[i * 3 + 2] -= v3[2];
+	}
+}
+
+long bt_worker(long tid) {
+	long sense = 0;
+	double alpha = 0.05;
+	double A[9];
+	double B[9];
+	double C[9];
+	for (long t = 0; t < 9; t++) { A[t] = 0.0; B[t] = 0.0; C[t] = 0.0; }
+	// Diagonally dominant block stencil with weak component coupling.
+	for (long m = 0; m < 3; m++) {
+		A[m * 3 + m] = 0.0 - alpha;
+		C[m * 3 + m] = 0.0 - alpha;
+		B[m * 3 + m] = 1.0 + 2.0 * alpha;
+	}
+	B[1] = 0.02; B[3] = 0.02; B[5] = 0.01; B[7] = 0.01;
+
+	double line[192]; // up to 64 cells * 3
+	long lo = N * tid / NTHREADS;
+	long hi = N * (tid + 1) / NTHREADS;
+
+	for (long it = 0; it < NITER; it++) {
+		// RHS from a component-mixing stencil.
+		for (long i = lo; i < hi; i++) {
+			for (long j = 0; j < N; j++) {
+				for (long k = 0; k < N; k++) {
+					for (long m = 0; m < 3; m++) {
+						double c6 = 0.0;
+						if (i > 0) c6 += u[cidx(i - 1, j, k, m)];
+						if (i < N - 1) c6 += u[cidx(i + 1, j, k, m)];
+						if (j > 0) c6 += u[cidx(i, j - 1, k, m)];
+						if (j < N - 1) c6 += u[cidx(i, j + 1, k, m)];
+						if (k > 0) c6 += u[cidx(i, j, k - 1, m)];
+						if (k < N - 1) c6 += u[cidx(i, j, k + 1, m)];
+						double mix = u[cidx(i, j, k, (m + 1) %% 3)] * 0.01;
+						rhs[cidx(i, j, k, m)] = u[cidx(i, j, k, m)] +
+							alpha * (c6 - 6.0 * u[cidx(i, j, k, m)]) + mix;
+					}
+				}
+			}
+		}
+		sense = barrier_wait(sense);
+
+		// X sweep (partition j).
+		for (long j = lo; j < hi; j++) {
+			for (long k = 0; k < N; k++) {
+				for (long i = 0; i < N; i++) {
+					for (long m = 0; m < 3; m++) line[i * 3 + m] = rhs[cidx(i, j, k, m)];
+				}
+				block_line(line, N, A, B, C);
+				for (long i = 0; i < N; i++) {
+					for (long m = 0; m < 3; m++) tmp[cidx(i, j, k, m)] = line[i * 3 + m];
+				}
+			}
+		}
+		sense = barrier_wait(sense);
+
+		// Y sweep (partition i).
+		for (long i = lo; i < hi; i++) {
+			for (long k = 0; k < N; k++) {
+				for (long j = 0; j < N; j++) {
+					for (long m = 0; m < 3; m++) line[j * 3 + m] = tmp[cidx(i, j, k, m)];
+				}
+				block_line(line, N, A, B, C);
+				for (long j = 0; j < N; j++) {
+					for (long m = 0; m < 3; m++) rhs[cidx(i, j, k, m)] = line[j * 3 + m];
+				}
+			}
+		}
+		sense = barrier_wait(sense);
+
+		// Z sweep (partition i), result into u.
+		for (long i = lo; i < hi; i++) {
+			for (long j = 0; j < N; j++) {
+				for (long k = 0; k < N; k++) {
+					for (long m = 0; m < 3; m++) line[k * 3 + m] = rhs[cidx(i, j, k, m)];
+				}
+				block_line(line, N, A, B, C);
+				for (long k = 0; k < N; k++) {
+					for (long m = 0; m < 3; m++) u[cidx(i, j, k, m)] = line[k * 3 + m];
+				}
+			}
+		}
+		sense = barrier_wait(sense);
+	}
+	return 0;
+}
+
+long main(void) {
+	bt_init();
+	pomp_run(bt_worker, NTHREADS);
+	double chk = 0.0;
+	for (long i = 0; i < N * N * N * 3; i++) chk += u[i] * (double)(i %% 13 + 1);
+	print_checksum("BT cksum=", chk);
+	if (chk > 0.0) { print_str("BT VERIFY OK\n"); return 0; }
+	print_str("BT VERIFY FAILED\n");
+	return 1;
+}
+`, threads, n, iters, n3x3, n3x3, n3x3)
+}

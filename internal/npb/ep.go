@@ -1,0 +1,77 @@
+package npb
+
+import "fmt"
+
+// epSource generates the EP (embarrassingly parallel) kernel: batches of
+// pseudo-random deviates generated independently per thread, transformed to
+// approximately Gaussian pairs and binned into ten annuli, with global sums
+// reduced at the end. The real EP uses the Marsaglia polar method; the
+// simulated ISAs have no log instruction, so Gaussians come from a
+// sum-of-uniforms transform with identical arithmetic character
+// (documented substitution).
+func epSource(ci, threads int) string {
+	pairs := []int64{1 << 12, 1 << 15, 1 << 17, 1 << 19}[ci]
+	return fmt.Sprintf(`
+long NTHREADS = %d;
+long NPAIRS = %d;
+
+long qbins[%d];     // NTHREADS * 10 annulus counters
+double tsx[%d];
+double tsy[%d];
+
+long ep_worker(long tid) {
+	long state = npb_stream_seed(tid);
+	long lo = NPAIRS * tid / NTHREADS;
+	long hi = NPAIRS * (tid + 1) / NTHREADS;
+	double sx = 0.0;
+	double sy = 0.0;
+	long counts[10];
+	for (long i = 0; i < 10; i++) counts[i] = 0;
+	double s3 = 1.7320508075688772; // sqrt(3): unit variance for CLT(4)
+	for (long i = lo; i < hi; i++) {
+		double x = (npb_rand01_from(&state) + npb_rand01_from(&state) +
+		            npb_rand01_from(&state) + npb_rand01_from(&state) - 2.0) * s3;
+		double y = (npb_rand01_from(&state) + npb_rand01_from(&state) +
+		            npb_rand01_from(&state) + npb_rand01_from(&state) - 2.0) * s3;
+		double ax = fabs(x);
+		double ay = fabs(y);
+		double m = fmax(ax, ay);
+		long bin = (long)m;
+		if (bin > 9) bin = 9;
+		counts[bin]++;
+		sx += x;
+		sy += y;
+	}
+	for (long i = 0; i < 10; i++) qbins[tid * 10 + i] = counts[i];
+	tsx[tid] = sx;
+	tsy[tid] = sy;
+	return 0;
+}
+
+long main(void) {
+	pomp_run(ep_worker, NTHREADS);
+	double sx = 0.0;
+	double sy = 0.0;
+	long total = 0;
+	for (long t = 0; t < NTHREADS; t++) {
+		sx += tsx[t];
+		sy += tsy[t];
+	}
+	print_str("EP counts:");
+	for (long i = 0; i < 10; i++) {
+		long c = 0;
+		for (long t = 0; t < NTHREADS; t++) c += qbins[t * 10 + i];
+		total += c;
+		print_char(' ');
+		print_i64(c);
+	}
+	println();
+	print_kv("EP total=", total);
+	print_checksum("EP sx=", sx);
+	print_checksum("EP sy=", sy);
+	if (total != NPAIRS) { print_str("EP VERIFY FAILED\n"); return 1; }
+	print_str("EP VERIFY OK\n");
+	return 0;
+}
+`, threads, pairs, threads*10, threads, threads)
+}

@@ -1,0 +1,144 @@
+package npb
+
+import "fmt"
+
+// ftSource generates the FT kernel: batches of radix-2 complex FFTs with an
+// evolve (pointwise phase multiplication) step between forward and inverse
+// transforms, and checksum accumulation — the computational core of the 3-D
+// FFT PDE solver, flattened to independent 1-D lines so rows parallelise
+// across threads exactly like the original's pencil decomposition
+// (documented substitution).
+func ftSource(ci, threads int) string {
+	nx := []int64{64, 256, 512, 1024}[ci]
+	batch := []int64{4, 8, 8, 8}[ci]
+	iters := []int64{2, 4, 4, 4}[ci]
+	total := nx * batch
+	return fmt.Sprintf(`
+long NTHREADS = %d;
+long NX = %d;
+long BATCH = %d;
+long NITER = %d;
+
+double re[%d];
+double im[%d];
+double wre[%d];      // twiddle factors
+double wim[%d];
+double cksum_re[%d]; // per-thread checksum slots
+double cksum_im[%d];
+long brev[%d];       // bit-reversal permutation
+
+void ft_init(void) {
+	double twopi = 6.283185307179586;
+	for (long k = 0; k < NX; k++) {
+		double ang = twopi * (double)k / (double)NX;
+		wre[k] = mcos(ang);
+		wim[k] = msin(ang);
+	}
+	long bits = mlog2(NX);
+	for (long i = 0; i < NX; i++) {
+		long r = 0;
+		long v = i;
+		for (long b = 0; b < bits; b++) {
+			r = r * 2 + v %% 2;
+			v = v / 2;
+		}
+		brev[i] = r;
+	}
+	npb_srand(161803398);
+	for (long i = 0; i < NX * BATCH; i++) {
+		re[i] = npb_rand01() - 0.5;
+		im[i] = npb_rand01() - 0.5;
+	}
+}
+
+// fft1d transforms one row in place; dir = 1 forward, -1 inverse
+// (unscaled; the caller divides by NX after an inverse transform).
+void fft1d(double *xr, double *xi, long dir) {
+	// Bit-reversal permutation.
+	for (long i = 0; i < NX; i++) {
+		long j = brev[i];
+		if (j > i) {
+			double tr = xr[i]; xr[i] = xr[j]; xr[j] = tr;
+			double ti = xi[i]; xi[i] = xi[j]; xi[j] = ti;
+		}
+	}
+	for (long len = 2; len <= NX; len = len * 2) {
+		long half = len / 2;
+		long step = NX / len;
+		for (long base = 0; base < NX; base += len) {
+			for (long k = 0; k < half; k++) {
+				long tw = k * step;
+				double twr = wre[tw];
+				double twi = wim[tw] * (double)dir;
+				long a = base + k;
+				long b2 = a + half;
+				double pr = xr[b2] * twr - xi[b2] * twi;
+				double pi2 = xr[b2] * twi + xi[b2] * twr;
+				xr[b2] = xr[a] - pr;
+				xi[b2] = xi[a] - pi2;
+				xr[a] += pr;
+				xi[a] += pi2;
+			}
+		}
+	}
+}
+
+long ft_worker(long tid) {
+	long sense = 0;
+	long rlo = BATCH * tid / NTHREADS;
+	long rhi = BATCH * (tid + 1) / NTHREADS;
+	double csr = 0.0;
+	double csi = 0.0;
+	for (long it = 1; it <= NITER; it++) {
+		for (long row = rlo; row < rhi; row++) {
+			double *xr = &re[row * NX];
+			double *xi = &im[row * NX];
+			fft1d(xr, xi, 1);
+			// Evolve: multiply element k by a phase depending on k and it.
+			for (long k = 0; k < NX; k++) {
+				long idx = (k * it) %% NX;
+				double er = wre[idx];
+				double ei = wim[idx];
+				double nr = xr[k] * er - xi[k] * ei;
+				double ni = xr[k] * ei + xi[k] * er;
+				xr[k] = nr;
+				xi[k] = ni;
+			}
+			fft1d(xr, xi, 0 - 1);
+			double scale = 1.0 / (double)NX;
+			for (long k = 0; k < NX; k++) {
+				xr[k] *= scale;
+				xi[k] *= scale;
+			}
+			// Checksum over strided elements, as the real FT does.
+			for (long k = 0; k < NX; k += 17) {
+				csr += xr[k];
+				csi += xi[k];
+			}
+		}
+		sense = barrier_wait(sense);
+	}
+	cksum_re[tid] = csr;
+	cksum_im[tid] = csi;
+	return 0;
+}
+
+long main(void) {
+	ft_init();
+	pomp_run(ft_worker, NTHREADS);
+	double cr = 0.0;
+	double cim = 0.0;
+	for (long t = 0; t < NTHREADS; t++) {
+		cr += cksum_re[t];
+		cim += cksum_im[t];
+	}
+	print_checksum("FT cksum_re=", cr);
+	print_checksum("FT cksum_im=", cim);
+	double mag = cr * cr + cim * cim;
+	if (mag < 1000000000.0) { print_str("FT VERIFY OK\n"); return 0; }
+	print_str("FT VERIFY FAILED\n");
+	return 1;
+}
+`, threads, nx, batch, iters,
+		total, total, nx, nx, threads, threads, nx)
+}

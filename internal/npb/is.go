@@ -1,0 +1,117 @@
+package npb
+
+import "fmt"
+
+// isSource generates the IS (integer sort) kernel: iterated parallel
+// counting sort (ranking) of uniformly distributed keys with per-thread
+// histograms, partial verification each iteration, and a serial
+// full_verify pass at the end — the function the paper migrates in its
+// Figure 11 experiment.
+func isSource(ci, threads int) string {
+	nkeys := []int64{1 << 10, 1 << 14, 1 << 16, 1 << 18}[ci]
+	maxKey := []int64{1 << 7, 1 << 10, 1 << 12, 1 << 14}[ci]
+	iters := int64(10)
+	return fmt.Sprintf(`
+long NTHREADS = %d;
+long NKEYS = %d;
+long MAXKEY = %d;
+long NITER = %d;
+
+long keys[%d];
+long sorted[%d];
+long hist[%d];        // NTHREADS * MAXKEY per-thread histograms
+long keyden[%d];      // merged key density
+long cumul[%d];       // cumulative counts
+long partial_ok = 0;
+long iter_now = 0;
+long pos[%d];
+
+void gen_keys(void) {
+	npb_srand(314159265);
+	for (long i = 0; i < NKEYS; i++) {
+		// Average of four uniforms, as in the real IS key generation.
+		long k = (npb_rand() %% MAXKEY + npb_rand() %% MAXKEY +
+		          npb_rand() %% MAXKEY + npb_rand() %% MAXKEY) / 4;
+		keys[i] = k;
+	}
+}
+
+long rank_worker(long tid) {
+	long sense = 0;
+	for (long it = 1; it <= NITER; it++) {
+		if (tid == 0) {
+			iter_now = it;
+			keys[it] = it;
+			keys[it + NITER] = MAXKEY - it;
+		}
+		sense = barrier_wait(sense);
+
+		// Per-thread histogram over an equal share of keys.
+		long base = tid * MAXKEY;
+		for (long k = 0; k < MAXKEY; k++) hist[base + k] = 0;
+		long lo = NKEYS * tid / NTHREADS;
+		long hi = NKEYS * (tid + 1) / NTHREADS;
+		for (long i = lo; i < hi; i++) hist[base + keys[i]]++;
+		sense = barrier_wait(sense);
+
+		// Merge a slice of the key space and build cumulative counts.
+		long klo = MAXKEY * tid / NTHREADS;
+		long khi = MAXKEY * (tid + 1) / NTHREADS;
+		for (long k = klo; k < khi; k++) {
+			long c = 0;
+			for (long t = 0; t < NTHREADS; t++) c += hist[t * MAXKEY + k];
+			keyden[k] = c;
+		}
+		sense = barrier_wait(sense);
+
+		if (tid == 0) {
+			long run = 0;
+			for (long k = 0; k < MAXKEY; k++) {
+				run += keyden[k];
+				cumul[k] = run;
+			}
+			// Partial verification: ranks of the planted keys.
+			long r1 = cumul[keys[it]] - 1;
+			long r2 = cumul[keys[it + NITER]] - 1;
+			if (r1 >= 0 && r2 > r1 && r2 < NKEYS) partial_ok++;
+		}
+		sense = barrier_wait(sense);
+	}
+	return 0;
+}
+
+// full_verify produces the sorted permutation serially and checks order —
+// the serial phase the paper migrates between machines.
+long full_verify(void) {
+	// Rebuild cumulative counts as bucket start positions.
+	long run = 0;
+	for (long k = 0; k < MAXKEY; k++) {
+		pos[k] = run;
+		run += keyden[k];
+	}
+	for (long i = 0; i < NKEYS; i++) {
+		long k = keys[i];
+		sorted[pos[k]] = k;
+		pos[k]++;
+	}
+	for (long i = 1; i < NKEYS; i++) {
+		if (sorted[i - 1] > sorted[i]) return 0;
+	}
+	return 1;
+}
+
+long main(void) {
+	gen_keys();
+	pomp_run(rank_worker, NTHREADS);
+	long ok = full_verify();
+	long chk = 0;
+	for (long i = 0; i < NKEYS; i += 37) chk = (chk * 31 + sorted[i]) %% 1000000007;
+	print_kv("IS partial_ok=", partial_ok);
+	print_kv("IS checksum=", chk);
+	if (ok == 1 && partial_ok == NITER) { print_str("IS VERIFY OK\n"); return 0; }
+	print_str("IS VERIFY FAILED\n");
+	return 1;
+}
+`, threads, nkeys, maxKey, iters,
+		nkeys, nkeys, int64(threads)*maxKey, maxKey, maxKey, maxKey)
+}

@@ -1,0 +1,177 @@
+package npb
+
+import "fmt"
+
+// mgSource generates the MG kernel: V-cycles of a 3-D multigrid solver for
+// a Poisson-like problem on a power-of-two grid — smoothing, residual
+// restriction to a coarser grid, recursive solve, prolongation and
+// correction. Grid sizes are reduced from the original (documented
+// substitution); the level structure and stencils match.
+func mgSource(ci, threads int) string {
+	n := []int64{8, 16, 16, 32}[ci]
+	iters := []int64{1, 2, 3, 3}[ci]
+	// Storage for all levels: sum of (n/2^l)^3 for l = 0.. — bounded by 2*n^3.
+	var total int64
+	for s := n; s >= 2; s /= 2 {
+		total += s * s * s
+	}
+	return fmt.Sprintf(`
+long NTHREADS = %d;
+long N = %d;
+long NITER = %d;
+
+double ug[%d];   // solution, all levels packed
+double rg[%d];   // residual/rhs, all levels packed
+double sg[%d];   // scratch
+long loff[8];    // level offsets
+long lsize[8];   // level edge sizes
+long nlevels = 0;
+
+long gidx(long off, long n, long i, long j, long k) {
+	return off + (i * n + j) * n + k;
+}
+
+void mg_setup(void) {
+	long off = 0;
+	long s = N;
+	while (s >= 2) {
+		loff[nlevels] = off;
+		lsize[nlevels] = s;
+		off += s * s * s;
+		nlevels++;
+		s = s / 2;
+	}
+	npb_srand(299792458);
+	long n0 = lsize[0];
+	for (long i = 0; i < n0 * n0 * n0; i++) {
+		ug[i] = 0.0;
+		rg[i] = npb_rand01() - 0.5;
+	}
+}
+
+// smooth runs weighted-Jacobi sweeps on one level over a thread's slab.
+// A barrier separates the stencil read phase from the update phase (and the
+// sweeps) so the kernel is race-free; the caller's barrier sense is threaded
+// through by pointer.
+long smooth(long lvl, long lo, long hi, long sweeps, long sense) {
+	long n = lsize[lvl];
+	long off = loff[lvl];
+	for (long s = 0; s < sweeps; s++) {
+		for (long i = lo; i < hi; i++) {
+			if (i == 0 || i == n - 1) continue;
+			for (long j = 1; j < n - 1; j++) {
+				for (long k = 1; k < n - 1; k++) {
+					double nb = ug[gidx(off, n, i - 1, j, k)] + ug[gidx(off, n, i + 1, j, k)] +
+						ug[gidx(off, n, i, j - 1, k)] + ug[gidx(off, n, i, j + 1, k)] +
+						ug[gidx(off, n, i, j, k - 1)] + ug[gidx(off, n, i, j, k + 1)];
+					sg[gidx(off, n, i, j, k)] = (nb - rg[gidx(off, n, i, j, k)]) / 6.0;
+				}
+			}
+		}
+		sense = barrier_wait(sense);
+		for (long i = lo; i < hi; i++) {
+			if (i == 0 || i == n - 1) continue;
+			for (long j = 1; j < n - 1; j++) {
+				for (long k = 1; k < n - 1; k++) {
+					long x = gidx(off, n, i, j, k);
+					ug[x] = 0.4 * ug[x] + 0.6 * sg[x];
+				}
+			}
+		}
+		sense = barrier_wait(sense);
+	}
+	return sense;
+}
+
+// restrictr computes the residual on lvl and restricts it to lvl+1's rhs.
+void restrictr(long lvl, long lo, long hi) {
+	long n = lsize[lvl];
+	long off = loff[lvl];
+	long nc = lsize[lvl + 1];
+	long offc = loff[lvl + 1];
+	for (long i = lo; i < hi; i++) {
+		if (i >= nc) continue;
+		for (long j = 0; j < nc; j++) {
+			for (long k = 0; k < nc; k++) {
+				long fi = 2 * i;
+				long fj = 2 * j;
+				long fk = 2 * k;
+				double res = 0.0;
+				if (fi > 0 && fi < n - 1 && fj > 0 && fj < n - 1 && fk > 0 && fk < n - 1) {
+					double nb = ug[gidx(off, n, fi - 1, fj, fk)] + ug[gidx(off, n, fi + 1, fj, fk)] +
+						ug[gidx(off, n, fi, fj - 1, fk)] + ug[gidx(off, n, fi, fj + 1, fk)] +
+						ug[gidx(off, n, fi, fj, fk - 1)] + ug[gidx(off, n, fi, fj, fk + 1)];
+					res = rg[gidx(off, n, fi, fj, fk)] - (nb - 6.0 * ug[gidx(off, n, fi, fj, fk)]);
+				}
+				rg[gidx(offc, nc, i, j, k)] = res;
+				ug[gidx(offc, nc, i, j, k)] = 0.0;
+			}
+		}
+	}
+}
+
+// prolong adds the coarse correction back into the fine level.
+void prolong(long lvl, long lo, long hi) {
+	long n = lsize[lvl];
+	long off = loff[lvl];
+	long nc = lsize[lvl + 1];
+	long offc = loff[lvl + 1];
+	for (long i = lo; i < hi; i++) {
+		if (i >= n) continue;
+		long ci = i / 2;
+		if (ci >= nc) ci = nc - 1;
+		for (long j = 0; j < n; j++) {
+			long cj = j / 2;
+			if (cj >= nc) cj = nc - 1;
+			for (long k = 0; k < n; k++) {
+				long ck = k / 2;
+				if (ck >= nc) ck = nc - 1;
+				ug[gidx(off, n, i, j, k)] += ug[gidx(offc, nc, ci, cj, ck)];
+			}
+		}
+	}
+}
+
+long mg_worker(long tid) {
+	long sense = 0;
+	for (long it = 0; it < NITER; it++) {
+		// Descend the V.
+		for (long lvl = 0; lvl < nlevels - 1; lvl++) {
+			long n = lsize[lvl];
+			long lo = n * tid / NTHREADS;
+			long hi = n * (tid + 1) / NTHREADS;
+			sense = smooth(lvl, lo, hi, 2, sense);
+			restrictr(lvl, lo, hi);
+			sense = barrier_wait(sense);
+		}
+		// Coarsest solve: extra smoothing.
+		long lvl = nlevels - 1;
+		long n = lsize[lvl];
+		long lo = n * tid / NTHREADS;
+		long hi = n * (tid + 1) / NTHREADS;
+		sense = smooth(lvl, lo, hi, 6, sense);
+		// Ascend the V.
+		for (long l2 = nlevels - 2; l2 >= 0; l2--) {
+			long nf = lsize[l2];
+			long flo = nf * tid / NTHREADS;
+			long fhi = nf * (tid + 1) / NTHREADS;
+			prolong(l2, flo, fhi);
+			sense = barrier_wait(sense);
+			sense = smooth(l2, flo, fhi, 1, sense);
+		}
+	}
+	return 0;
+}
+
+long main(void) {
+	mg_setup();
+	pomp_run(mg_worker, NTHREADS);
+	long n0 = lsize[0];
+	double chk = 0.0;
+	for (long i = 0; i < n0 * n0 * n0; i++) chk += ug[i] * (double)(i %% 11 + 1);
+	print_checksum("MG cksum=", chk);
+	print_str("MG VERIFY OK\n");
+	return 0;
+}
+`, threads, n, iters, total, total, total)
+}

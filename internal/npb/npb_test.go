@@ -1,0 +1,159 @@
+package npb
+
+import (
+	"strings"
+	"testing"
+
+	"heterodc/internal/core"
+	"heterodc/internal/kernel"
+)
+
+// runOn runs the image on a fresh testbed and returns its output.
+func runOn(t *testing.T, b Bench, c Class, threads, node int) string {
+	t.Helper()
+	img, err := Build(b, c, threads)
+	if err != nil {
+		t.Fatalf("%s.%s: build: %v", b, c, err)
+	}
+	res, err := core.Run(img, node)
+	if err != nil {
+		t.Fatalf("%s.%s: run: %v", b, c, err)
+	}
+	out := string(res.Output)
+	if !strings.Contains(out, "VERIFY OK") {
+		t.Fatalf("%s.%s on node %d: verification failed:\n%s", b, c, node, out)
+	}
+	return out
+}
+
+func TestAllBenchmarksClassS(t *testing.T) {
+	for _, b := range All {
+		b := b
+		t.Run(string(b), func(t *testing.T) {
+			x86 := runOn(t, b, ClassS, 2, core.NodeX86)
+			arm := runOn(t, b, ClassS, 2, core.NodeARM)
+			if x86 != arm {
+				t.Errorf("%s: outputs differ across ISAs:\nx86: %s\narm: %s", b, x86, arm)
+			}
+		})
+	}
+}
+
+func TestAllBenchmarksClassA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class A in -short mode")
+	}
+	for _, b := range All {
+		b := b
+		t.Run(string(b), func(t *testing.T) {
+			x86 := runOn(t, b, ClassA, 4, core.NodeX86)
+			arm := runOn(t, b, ClassA, 4, core.NodeARM)
+			if x86 != arm {
+				t.Errorf("%s: outputs differ across ISAs:\nx86: %s\narm: %s", b, x86, arm)
+			}
+		})
+	}
+}
+
+// TestBenchmarksSurviveMigration migrates the whole container to the other
+// node mid-run (and back later) and requires identical output.
+func TestBenchmarksSurviveMigration(t *testing.T) {
+	for _, b := range All {
+		b := b
+		t.Run(string(b), func(t *testing.T) {
+			img, err := Build(b, ClassS, 2)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			ref, err := core.Run(img, core.NodeX86)
+			if err != nil {
+				t.Fatalf("ref: %v", err)
+			}
+			if !strings.Contains(string(ref.Output), "VERIFY OK") {
+				t.Fatalf("reference run failed:\n%s", ref.Output)
+			}
+
+			cl := core.NewTestbed()
+			p, err := cl.Spawn(img, core.NodeX86)
+			if err != nil {
+				t.Fatalf("spawn: %v", err)
+			}
+			t1 := ref.Seconds * 0.25
+			t2 := ref.Seconds * 0.65
+			r1, r2 := false, false
+			for {
+				if done, _ := p.Exited(); done {
+					break
+				}
+				now := cl.Time()
+				if !r1 && now > t1 {
+					cl.RequestProcessMigration(p, core.NodeARM)
+					r1 = true
+				}
+				if !r2 && now > t2 {
+					cl.RequestProcessMigration(p, core.NodeX86)
+					r2 = true
+				}
+				if !cl.Step() {
+					t.Fatalf("cluster drained")
+				}
+			}
+			if err := p.Err(); err != nil {
+				t.Fatalf("migrated run failed: %v", err)
+			}
+			if string(p.Output()) != string(ref.Output) {
+				t.Errorf("output diverged after migration:\n got  %q\n want %q", p.Output(), ref.Output)
+			}
+		})
+	}
+}
+
+// TestBenchmarkTortureCG bounces a serial CG at every migration point.
+func TestBenchmarkTortureCG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture in -short mode")
+	}
+	img, err := Build(CG, ClassS, 1)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	ref, err := core.Run(img, core.NodeX86)
+	if err != nil {
+		t.Fatalf("ref: %v", err)
+	}
+	cl := core.NewTestbed()
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	cl.OnMigration = func(ev kernel.MigrationEvent) {
+		_ = cl.RequestMigration(p, ev.Tid, 1-ev.To)
+	}
+	_ = cl.RequestMigration(p, 0, core.NodeARM)
+	res, err := core.Wait(cl, p)
+	if err != nil {
+		t.Fatalf("torture: %v", err)
+	}
+	if string(res.Output) != string(ref.Output) {
+		t.Errorf("torture output diverged:\n got  %q\n want %q", res.Output, ref.Output)
+	}
+	if res.Migrations < 50 {
+		t.Errorf("expected many migrations, got %d", res.Migrations)
+	}
+}
+
+// TestClassBSpot runs one heavier configuration per family to prove the
+// class-scaling knob beyond A (full C-class runs are exercised by
+// `hdcbench -scale full`).
+func TestClassBSpot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class B in -short mode")
+	}
+	for _, b := range []Bench{CG, IS} {
+		x86 := runOn(t, b, ClassB, 4, core.NodeX86)
+		arm := runOn(t, b, ClassB, 4, core.NodeARM)
+		if x86 != arm {
+			t.Errorf("%s B: outputs differ across ISAs", b)
+		}
+	}
+}

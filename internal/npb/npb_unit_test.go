@@ -1,0 +1,95 @@
+package npb
+
+import (
+	"strings"
+	"testing"
+
+	"heterodc/internal/minic"
+)
+
+func TestSourceGeneratesForAllBenchClassCombos(t *testing.T) {
+	for _, b := range All {
+		for _, c := range []Class{ClassS, ClassA, ClassB, ClassC} {
+			src, err := Source(b, c, 4)
+			if err != nil {
+				t.Fatalf("%s.%s: %v", b, c, err)
+			}
+			// Every workload must parse (codegen exercised by Build tests).
+			if _, err := minic.Parse(src.Name, src.Code); err != nil {
+				t.Errorf("%s.%s: parse: %v", b, c, err)
+			}
+			if !strings.Contains(src.Code, "long main(void)") {
+				t.Errorf("%s.%s: no main", b, c)
+			}
+		}
+	}
+}
+
+func TestSourceRejectsUnknown(t *testing.T) {
+	if _, err := Source("nope", ClassA, 1); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := Source(CG, Class('Z'), 1); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestSourceClampsThreads(t *testing.T) {
+	a, err := Source(EP, ClassS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a.Code, "NTHREADS = 1") {
+		t.Error("threads not clamped up to 1")
+	}
+	b, err := Source(EP, ClassS, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.Code, "NTHREADS = 16") {
+		t.Error("threads not clamped down to 16")
+	}
+}
+
+func TestMigrationFunc(t *testing.T) {
+	if MigrationFunc(IS) != "full_verify" {
+		t.Error("IS migration function")
+	}
+	if MigrationFunc(CG) != "main" {
+		t.Error("default migration function")
+	}
+}
+
+func TestBuildCacheReuses(t *testing.T) {
+	a, err := Build(EP, ClassS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(EP, ClassS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache did not reuse the image")
+	}
+	c, err := Build(EP, ClassS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("distinct thread counts shared an image")
+	}
+}
+
+func TestClassScalingMonotone(t *testing.T) {
+	// Problem sizes must grow with the class for every benchmark that
+	// parameterises arrays (spot-check via generated source lengths of the
+	// embedded constants).
+	for _, b := range []Bench{EP, IS, CG, FT} {
+		sa, _ := Source(b, ClassA, 1)
+		sc, _ := Source(b, ClassC, 1)
+		if sa.Code == sc.Code {
+			t.Errorf("%s: classes A and C generate identical programs", b)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package npb
+
+import "fmt"
+
+// spSource generates the SP application: ADI (alternating direction
+// implicit) sweeps over a 3-D grid, factoring each direction into
+// independent scalar tridiagonal line solves (Thomas algorithm). The real
+// SP solves scalar pentadiagonal systems; the tridiagonal factorisation
+// keeps the same line-sweep structure, memory strides and barrier pattern
+// at reduced arithmetic (documented substitution).
+func spSource(ci, threads int) string {
+	n := []int64{8, 14, 18, 24}[ci]
+	iters := []int64{2, 4, 5, 6}[ci]
+	n3 := n * n * n
+	return fmt.Sprintf(`
+long NTHREADS = %d;
+long N = %d;
+long NITER = %d;
+
+double u[%d];
+double rhs[%d];
+double unew[%d];
+
+long idx3(long i, long j, long k) { return (i * N + j) * N + k; }
+
+void sp_init(void) {
+	npb_srand(602214076);
+	for (long i = 0; i < N * N * N; i++) {
+		u[i] = npb_rand01();
+		rhs[i] = 0.0;
+		unew[i] = 0.0;
+	}
+}
+
+// solve_line runs the Thomas algorithm on the n points gathered in d
+// (right-hand side), with constant coefficients a (sub), b (diag), c
+// (super); the solution overwrites d.
+void solve_line(double *d, long n, double a, double b, double c) {
+	double cp[64];
+	cp[0] = c / b;
+	d[0] = d[0] / b;
+	for (long i = 1; i < n; i++) {
+		double m = b - a * cp[i - 1];
+		cp[i] = c / m;
+		d[i] = (d[i] - a * d[i - 1]) / m;
+	}
+	for (long i = n - 2; i >= 0; i--) {
+		d[i] = d[i] - cp[i] * d[i + 1];
+	}
+}
+
+long sp_worker(long tid) {
+	long sense = 0;
+	double alpha = 0.08;
+	double a = 0.0 - alpha;
+	double b = 1.0 + 2.0 * alpha;
+	double line[64];
+
+	for (long it = 0; it < NITER; it++) {
+		// RHS: 7-point stencil relaxation source.
+		long lo = N * tid / NTHREADS;
+		long hi = N * (tid + 1) / NTHREADS;
+		for (long i = lo; i < hi; i++) {
+			for (long j = 0; j < N; j++) {
+				for (long k = 0; k < N; k++) {
+					double c6 = 0.0;
+					if (i > 0) c6 += u[idx3(i - 1, j, k)];
+					if (i < N - 1) c6 += u[idx3(i + 1, j, k)];
+					if (j > 0) c6 += u[idx3(i, j - 1, k)];
+					if (j < N - 1) c6 += u[idx3(i, j + 1, k)];
+					if (k > 0) c6 += u[idx3(i, j, k - 1)];
+					if (k < N - 1) c6 += u[idx3(i, j, k + 1)];
+					rhs[idx3(i, j, k)] = u[idx3(i, j, k)] + alpha * (c6 - 6.0 * u[idx3(i, j, k)]);
+				}
+			}
+		}
+		sense = barrier_wait(sense);
+
+		// X sweep: lines along i for each (j,k); partition j.
+		for (long j = lo; j < hi; j++) {
+			for (long k = 0; k < N; k++) {
+				for (long i = 0; i < N; i++) line[i] = rhs[idx3(i, j, k)];
+				solve_line(line, N, a, b, a);
+				for (long i = 0; i < N; i++) unew[idx3(i, j, k)] = line[i];
+			}
+		}
+		sense = barrier_wait(sense);
+
+		// Y sweep: lines along j for each (i,k); partition i.
+		for (long i = lo; i < hi; i++) {
+			for (long k = 0; k < N; k++) {
+				for (long j = 0; j < N; j++) line[j] = unew[idx3(i, j, k)];
+				solve_line(line, N, a, b, a);
+				for (long j = 0; j < N; j++) rhs[idx3(i, j, k)] = line[j];
+			}
+		}
+		sense = barrier_wait(sense);
+
+		// Z sweep: lines along k; partition i; result back into u.
+		for (long i = lo; i < hi; i++) {
+			for (long j = 0; j < N; j++) {
+				for (long k = 0; k < N; k++) line[k] = rhs[idx3(i, j, k)];
+				solve_line(line, N, a, b, a);
+				for (long k = 0; k < N; k++) u[idx3(i, j, k)] = line[k];
+			}
+		}
+		sense = barrier_wait(sense);
+	}
+	return 0;
+}
+
+long main(void) {
+	sp_init();
+	pomp_run(sp_worker, NTHREADS);
+	double chk = 0.0;
+	for (long i = 0; i < N * N * N; i++) chk += u[i] * (double)(i %% 17 + 1);
+	print_checksum("SP cksum=", chk);
+	if (chk > 0.0) { print_str("SP VERIFY OK\n"); return 0; }
+	print_str("SP VERIFY FAILED\n");
+	return 1;
+}
+`, threads, n, iters, n3, n3, n3)
+}

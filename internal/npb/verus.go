@@ -1,0 +1,160 @@
+package npb
+
+import "fmt"
+
+// verusSource generates the Verus-like model checker: exhaustive
+// breadth-first exploration of a mutual-exclusion protocol's state space
+// with an open-addressing visited set and an explicit frontier queue —
+// pointer-chasing, hash-probing, branch-dense integer code like the
+// original tool (which is closed-source; the protocol is a ticket-lock
+// variant whose state space scales with the class).
+func verusSource(ci, threads int) string {
+	procs := []int64{2, 3, 3, 4}[ci]
+	extraBits := []int64{0, 2, 4, 5}[ci]
+	hashSize := []int64{1 << 12, 1 << 15, 1 << 17, 1 << 19}[ci]
+	queueSize := hashSize
+	maxStates := []int64{4000, 20000, 60000, 150000}[ci]
+	return fmt.Sprintf(`
+long NPROCS = %d;
+long EXTRABITS = %d;
+long HSIZE = %d;
+long QSIZE = %d;
+long MAXSTATES = %d;
+
+// State packing (per process 4 bits of pc, then ticket counters and a
+// scratch register widened by EXTRABITS):
+//   pc[p]: 0=idle 1=requesting 2=waiting 3=critical 4=exiting
+long hset[%d];
+long queue[%d];
+long qhead = 0;
+long qtail = 0;
+long explored = 0;
+long violations = 0;
+long dropped = 0;
+
+long get_pc(long s, long p) { return (s >> (p * 4)) & 15; }
+long set_pc(long s, long p, long v) {
+	long mask = 15 << (p * 4);
+	return (s & ~mask) | (v << (p * 4));
+}
+long get_next(long s) { return (s >> 32) & 7; }
+long set_next(long s, long v) { return (s & ~(7 << 32)) | ((v & 7) << 32); }
+long get_serving(long s) { return (s >> 40) & 7; }
+long set_serving(long s, long v) { return (s & ~(7 << 40)) | ((v & 7) << 40); }
+long get_ticket(long s, long p) { return (s >> (16 + p * 4)) & 15; }
+long set_ticket(long s, long p, long v) {
+	long mask = 15 << (16 + p * 4);
+	return (s & ~mask) | ((v & 15) << (16 + p * 4));
+}
+long get_extra(long s) { return (s >> 48) & ((1 << EXTRABITS) - 1); }
+long set_extra(long s, long v) {
+	long mask = ((1 << EXTRABITS) - 1) << 48;
+	if (EXTRABITS == 0) return s;
+	return (s & ~mask) | ((v & ((1 << EXTRABITS) - 1)) << 48);
+}
+
+long hash_state(long s) {
+	long h = s * 2654435761;
+	h = h ^ (h >> 29);
+	h = h * 1099511628211;
+	h = h ^ (h >> 32);
+	h = h & 9223372036854775807;
+	return h %% HSIZE;
+}
+
+// visit returns 1 if s is new (and records it).
+long visit(long s) {
+	long h = hash_state(s);
+	long probes = 0;
+	while (probes < HSIZE) {
+		long cur = hset[h];
+		if (cur == s + 1) return 0;   // stored with +1 so 0 means empty
+		if (cur == 0) {
+			hset[h] = s + 1;
+			return 1;
+		}
+		h = (h + 1) %% HSIZE;
+		probes++;
+	}
+	dropped++;
+	return 0;
+}
+
+void push_state(long s) {
+	if (visit(s) == 1) {
+		if (qtail - qhead < QSIZE) {
+			queue[qtail %% QSIZE] = s;
+			qtail++;
+		} else {
+			dropped++;
+		}
+	}
+}
+
+// step enumerates successors of s for process p (ticket lock protocol).
+void successors(long s, long p) {
+	long pc = get_pc(s, p);
+	if (pc == 0) {
+		// idle -> requesting (may also stay idle: modelled by other procs)
+		push_state(set_pc(s, p, 1));
+		// Environment nondeterminism on the extra bits.
+		if (EXTRABITS > 0) {
+			push_state(set_extra(set_pc(s, p, 1), get_extra(s) + 1));
+		}
+	}
+	if (pc == 1) {
+		// take a ticket
+		long t = get_next(s);
+		long s2 = set_ticket(s, p, t);
+		s2 = set_next(s2, t + 1);
+		push_state(set_pc(s2, p, 2));
+	}
+	if (pc == 2) {
+		// wait for serving == my ticket
+		if (get_serving(s) == get_ticket(s, p)) {
+			push_state(set_pc(s, p, 3));
+		}
+	}
+	if (pc == 3) {
+		// critical -> exiting
+		push_state(set_pc(s, p, 4));
+	}
+	if (pc == 4) {
+		// release: serving++, and clear the stale ticket so equivalent
+		// states collapse (otherwise the space explodes).
+		long s2 = set_serving(s, get_serving(s) + 1);
+		s2 = set_ticket(s2, p, 0);
+		push_state(set_pc(s2, p, 0));
+	}
+}
+
+long check_invariant(long s) {
+	long crit = 0;
+	for (long p = 0; p < NPROCS; p++) {
+		if (get_pc(s, p) == 3) crit++;
+	}
+	if (crit > 1) return 0;
+	return 1;
+}
+
+long main(void) {
+	long init = 0;
+	push_state(init);
+	while (qhead < qtail && explored < MAXSTATES) {
+		long s = queue[qhead %% QSIZE];
+		qhead++;
+		explored++;
+		if (check_invariant(s) == 0) violations++;
+		for (long p = 0; p < NPROCS; p++) {
+			successors(s, p);
+		}
+	}
+	print_kv("VERUS states=", explored);
+	print_kv("VERUS dropped=", dropped);
+	if (violations == 0 && explored > 10) { print_str("VERUS VERIFY OK\n"); return 0; }
+	print_kv("VERUS violations=", violations);
+	print_str("VERUS VERIFY FAILED\n");
+	return 1;
+}
+`, procs, extraBits, hashSize, queueSize, maxStates, hashSize, queueSize)
+}

@@ -1,0 +1,209 @@
+// Package power models the evaluation's power instrumentation: per-machine
+// CPU power (the RAPL / I2C regulator readings) and at-the-wall system
+// power (the shunt-resistor DAQ), sampled at 100 Hz of simulated time, with
+// energy integration and the McPAT-style FinFET projection the paper
+// applies to the first-generation ARM board.
+package power
+
+import (
+	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
+)
+
+// Model is one machine's power model: idle package power plus dynamic power
+// per busy core-second, and the board/PSU overhead seen at the wall.
+type Model struct {
+	// IdleWatts is the package power with all cores idle.
+	IdleWatts float64
+	// CoreActiveWatts is the additional power of one fully busy core.
+	CoreActiveWatts float64
+	// BoardWatts is constant board overhead included in external readings.
+	BoardWatts float64
+	// PSUEfficiency scales internal draw up to wall power.
+	PSUEfficiency float64
+	// Projection scales the whole CPU model (the paper's McPAT projection
+	// multiplies the measured X-Gene 1 power by 1/10 for future FinFET
+	// parts); 0 means 1.
+	Projection float64
+}
+
+func (m Model) proj() float64 {
+	if m.Projection == 0 {
+		return 1
+	}
+	return m.Projection
+}
+
+// CPUWatts returns package power at the given busy-core count equivalent.
+func (m Model) CPUWatts(busyCores float64) float64 {
+	return (m.IdleWatts + m.CoreActiveWatts*busyCores) * m.proj()
+}
+
+// SystemWatts returns at-the-wall power.
+func (m Model) SystemWatts(busyCores float64) float64 {
+	return m.CPUWatts(busyCores)/m.PSUEfficiency + m.BoardWatts
+}
+
+// XeonE5 models the x86 server's Xeon E5-1650 v2 (6 cores, 3.5 GHz):
+// package idles around 14 W and adds ~8 W per saturated core.
+func XeonE5() Model {
+	return Model{IdleWatts: 14, CoreActiveWatts: 8.2, BoardWatts: 38, PSUEfficiency: 0.88}
+}
+
+// XGene1 models the APM X-Gene 1 development board (8 cores, 2.4 GHz): a
+// first-generation part with poor energy proportionality — high idle draw
+// relative to its dynamic range, as the paper observes.
+func XGene1() Model {
+	return Model{IdleWatts: 22, CoreActiveWatts: 3.4, BoardWatts: 18, PSUEfficiency: 0.85}
+}
+
+// XGene1Projected applies the paper's McPAT FinFET projection (1/10th the
+// power at the same clock).
+func XGene1Projected() Model {
+	m := XGene1()
+	m.Projection = 0.1
+	return m
+}
+
+// DefaultModels returns per-node models for the standard testbed, applying
+// the FinFET projection to ARM nodes when projected is set (as the paper
+// does for its scheduling studies).
+func DefaultModels(cl *kernel.Cluster, projected bool) []Model {
+	models := make([]Model, len(cl.Kernels))
+	for i, k := range cl.Kernels {
+		if k.Arch == isa.X86 {
+			models[i] = XeonE5()
+		} else if projected {
+			models[i] = XGene1Projected()
+		} else {
+			models[i] = XGene1()
+		}
+	}
+	return models
+}
+
+// Sample is one 100 Hz observation.
+type Sample struct {
+	T float64
+	// Per node:
+	CPUWatts []float64
+	SysWatts []float64
+	LoadPct  []float64
+}
+
+// Meter attaches to a cluster, integrates energy continuously and records a
+// 100 Hz trace (the DAQ).
+type Meter struct {
+	cl     *kernel.Cluster
+	models []Model
+
+	// SampleInterval defaults to 10 ms (100 Hz).
+	SampleInterval float64
+	// Record enables trace capture (energy is always integrated).
+	Record bool
+
+	Trace []Sample
+
+	lastT     float64
+	lastBusy  []float64
+	energyCPU []float64
+	energySys []float64
+
+	nextSample float64
+	winBusy    []float64
+	winStart   float64
+
+	prevAdvance func(float64)
+}
+
+// NewMeter builds and attaches a meter. It chains any existing OnAdvance
+// hook.
+func NewMeter(cl *kernel.Cluster, models []Model) *Meter {
+	m := &Meter{
+		cl:             cl,
+		models:         models,
+		SampleInterval: 0.01,
+		lastBusy:       make([]float64, len(cl.Kernels)),
+		energyCPU:      make([]float64, len(cl.Kernels)),
+		energySys:      make([]float64, len(cl.Kernels)),
+		winBusy:        make([]float64, len(cl.Kernels)),
+		prevAdvance:    cl.OnAdvance,
+	}
+	cl.OnAdvance = m.advance
+	return m
+}
+
+func busyOf(k *kernel.Kernel) float64 { return k.BusySeconds + k.ServiceSeconds }
+
+func (m *Meter) advance(t float64) {
+	if m.prevAdvance != nil {
+		m.prevAdvance(t)
+	}
+	dt := t - m.lastT
+	if dt <= 0 {
+		return
+	}
+	for i, k := range m.cl.Kernels {
+		busy := busyOf(k)
+		dBusy := busy - m.lastBusy[i]
+		if dBusy < 0 {
+			dBusy = 0
+		}
+		if dBusy > dt*float64(k.Cores()) {
+			dBusy = dt * float64(k.Cores())
+		}
+		md := m.models[i]
+		// Integrate: idle power over dt plus dynamic power over busy time.
+		m.energyCPU[i] += (md.IdleWatts*dt + md.CoreActiveWatts*dBusy) * md.proj()
+		m.energySys[i] += (md.IdleWatts*dt+md.CoreActiveWatts*dBusy)*md.proj()/md.PSUEfficiency + md.BoardWatts*dt
+		m.winBusy[i] += dBusy
+		m.lastBusy[i] = busy
+	}
+	m.lastT = t
+
+	if m.Record {
+		if m.nextSample == 0 {
+			m.nextSample = m.SampleInterval
+		}
+		for m.nextSample <= t {
+			s := Sample{
+				T:        m.nextSample,
+				CPUWatts: make([]float64, len(m.models)),
+				SysWatts: make([]float64, len(m.models)),
+				LoadPct:  make([]float64, len(m.models)),
+			}
+			win := m.nextSample - m.winStart
+			if win <= 0 {
+				win = m.SampleInterval
+			}
+			for i, k := range m.cl.Kernels {
+				util := m.winBusy[i] / win
+				if max := float64(k.Cores()); util > max {
+					util = max
+				}
+				s.CPUWatts[i] = m.models[i].CPUWatts(util)
+				s.SysWatts[i] = m.models[i].SystemWatts(util)
+				s.LoadPct[i] = 100 * util / float64(k.Cores())
+				m.winBusy[i] = 0
+			}
+			m.Trace = append(m.Trace, s)
+			m.winStart = m.nextSample
+			m.nextSample += m.SampleInterval
+		}
+	}
+}
+
+// EnergyCPU returns integrated package energy per node in joules.
+func (m *Meter) EnergyCPU() []float64 { return append([]float64(nil), m.energyCPU...) }
+
+// EnergySystem returns integrated wall energy per node in joules.
+func (m *Meter) EnergySystem() []float64 { return append([]float64(nil), m.energySys...) }
+
+// TotalCPU returns the summed package energy in joules.
+func (m *Meter) TotalCPU() float64 {
+	var s float64
+	for _, e := range m.energyCPU {
+		s += e
+	}
+	return s
+}

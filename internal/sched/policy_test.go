@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"heterodc/internal/core"
+	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
+	"heterodc/internal/npb"
+)
+
+func testState(arches ...isa.Arch) *State {
+	cl := kernel.NewCluster(arches, kernel.DefaultInterconnect())
+	return &State{Cluster: cl}
+}
+
+// addRun registers a synthetic running job backed by a real (trivial)
+// process so migration requests have a target.
+func addRun(s *State, node, threads int) *JobRun {
+	img, err := core.Build("noop", core.Src("noop.c", `long main(void){ return 0; }`))
+	if err != nil {
+		panic(err)
+	}
+	p, err := s.Cluster.Spawn(img, node)
+	if err != nil {
+		panic(err)
+	}
+	r := &JobRun{Job: Job{Threads: threads}, Node: node, Proc: p}
+	s.Active = append(s.Active, r)
+	return r
+}
+
+func TestPlaceBalanced(t *testing.T) {
+	s := testState(isa.X86, isa.ARM64)
+	p := StaticHetBalanced()
+	if n := place(s, p, 2); n != 0 {
+		t.Fatalf("first placement on node %d, want 0 (tie to lower index)", n)
+	}
+	addRun(s, 0, 2)
+	if n := place(s, p, 2); n != 1 {
+		t.Fatalf("second placement on node %d, want 1", n)
+	}
+	addRun(s, 1, 2)
+	addRun(s, 1, 4)
+	if n := place(s, p, 1); n != 0 {
+		t.Fatalf("placement on node %d, want the lighter node 0", n)
+	}
+}
+
+func TestPlaceUnbalancedPrefersX86(t *testing.T) {
+	s := testState(isa.X86, isa.ARM64)
+	p := StaticHetUnbalanced() // x86 weight 2.2
+	// With equal thread counts, x86's weight keeps attracting jobs.
+	addRun(s, 0, 2)
+	if n := place(s, p, 2); n != 0 {
+		t.Fatalf("unbalanced placed on %d, want x86 (0)", n)
+	}
+	addRun(s, 0, 2)
+	addRun(s, 0, 2)
+	// 6 threads on x86 (weighted 6/2.2=2.7) vs 0 on ARM: next goes to ARM.
+	if n := place(s, p, 2); n != 1 {
+		t.Fatalf("overloaded x86 still attracts jobs")
+	}
+}
+
+func TestRebalanceMovesFromOverloaded(t *testing.T) {
+	s := testState(isa.X86, isa.ARM64)
+	s.Now = 10
+	p := DynamicBalanced()
+	heavy := addRun(s, 0, 4)
+	addRun(s, 0, 2)
+	// Node 1 empty: the 4-thread job narrows the gap best iff moving it
+	// leaves 2 vs 4... candidates: move 4 -> |2-4|=2 ; move 2 -> |4-2|=2.
+	// Either is acceptable; the chosen job must end on node 1.
+	rebalance(s, p, 1)
+	moved := 0
+	for _, r := range s.Active {
+		if r.Node == 1 {
+			moved++
+		}
+	}
+	if moved != 1 {
+		t.Fatalf("rebalance moved %d jobs, want 1", moved)
+	}
+	_ = heavy
+}
+
+func TestRebalanceRespectsCooldown(t *testing.T) {
+	s := testState(isa.X86, isa.ARM64)
+	s.Now = 1.0
+	p := DynamicBalanced()
+	a := addRun(s, 0, 4)
+	b := addRun(s, 0, 2)
+	a.lastMove, b.lastMove = 0.999, 0.999 // both just moved
+	rebalance(s, p, 0.1)
+	if a.Node != 0 || b.Node != 0 {
+		t.Fatal("job moved during cooldown")
+	}
+	s.Now = 1.2
+	rebalance(s, p, 0.1)
+	moved := 0
+	if a.Node == 1 {
+		moved++
+	}
+	if b.Node == 1 {
+		moved++
+	}
+	if moved != 1 {
+		t.Fatalf("%d jobs moved after cooldown, want exactly 1", moved)
+	}
+}
+
+func TestRebalanceNoopWhenBalanced(t *testing.T) {
+	s := testState(isa.X86, isa.ARM64)
+	s.Now = 10
+	p := DynamicBalanced()
+	a := addRun(s, 0, 2)
+	b := addRun(s, 1, 2)
+	rebalance(s, p, 0)
+	if a.Node != 0 || b.Node != 1 {
+		t.Fatal("balanced cluster was rebalanced")
+	}
+}
+
+func TestArchWeightedPolicyWeights(t *testing.T) {
+	s := testState(isa.X86, isa.ARM64, isa.ARM64, isa.X86)
+	p := NewArchWeighted("rack", true, 3)
+	w := p.Weights(s)
+	want := []float64{3, 1, 1, 3}
+	for i := range w {
+		if w[i] != want[i] {
+			t.Fatalf("weights %v, want %v", w, want)
+		}
+	}
+	if !p.Dynamic() {
+		t.Fatal("dynamic flag lost")
+	}
+}
+
+func TestGenerateJobsDeterministic(t *testing.T) {
+	a := GenerateJobs(99, 10, []npb.Class{npb.ClassS, npb.ClassA}, nil)
+	b := GenerateJobs(99, 10, []npb.Class{npb.ClassS, npb.ClassA}, nil)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatal("job counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs across identical seeds", i)
+		}
+	}
+	c := GenerateJobs(100, 10, []npb.Class{npb.ClassS}, nil)
+	same := true
+	for i := range a {
+		if a[i].Bench != c[i].Bench || a[i].Threads != c[i].Threads {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical mixes (suspicious)")
+	}
+}
+
+func TestGenerateJobsArrivalSpacing(t *testing.T) {
+	jobs := GenerateJobs(5, 4, []npb.Class{npb.ClassS},
+		func(_ *rand.Rand, i int) float64 { return 0.5 })
+	for i, j := range jobs {
+		want := 0.5 * float64(i+1)
+		if j.Arrival != want {
+			t.Fatalf("job %d arrival %v, want %v", i, j.Arrival, want)
+		}
+	}
+}
+
+func TestThreadsOn(t *testing.T) {
+	s := testState(isa.X86, isa.ARM64)
+	addRun(s, 0, 3)
+	addRun(s, 1, 2)
+	addRun(s, 0, 1)
+	if s.ThreadsOn(0) != 4 || s.ThreadsOn(1) != 2 {
+		t.Fatalf("threads: %d/%d", s.ThreadsOn(0), s.ThreadsOn(1))
+	}
+}

@@ -1,0 +1,437 @@
+// Package sched implements the datacenter-level job scheduling studies of
+// the paper's evaluation: static policies that assign jobs to machines at
+// arrival and can never move them, and dynamic policies that exploit
+// heterogeneous-ISA migration to rebalance running jobs between the x86 and
+// ARM machines (balanced and unbalanced variants, as in Section 6).
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
+	"heterodc/internal/npb"
+	"heterodc/internal/power"
+)
+
+// Job is one schedulable unit: a benchmark instance.
+type Job struct {
+	ID      int
+	Bench   npb.Bench
+	Class   npb.Class
+	Threads int
+	// Arrival is the simulated arrival time in seconds.
+	Arrival float64
+}
+
+// JobRun tracks a job through execution.
+type JobRun struct {
+	Job      Job
+	Proc     *kernel.Process
+	Node     int
+	Started  float64
+	Finished float64
+	// lastMove rate-limits migrations.
+	lastMove float64
+}
+
+// State is the scheduler's view of the cluster.
+type State struct {
+	Cluster *kernel.Cluster
+	Active  []*JobRun
+	Now     float64
+}
+
+// ThreadsOn returns the number of job threads currently assigned to node.
+func (s *State) ThreadsOn(node int) int {
+	n := 0
+	for _, r := range s.Active {
+		if r.Node == node {
+			n += r.Job.Threads
+		}
+	}
+	return n
+}
+
+// Policy decides placement and (for dynamic policies) migration.
+type Policy interface {
+	Name() string
+	// Weights returns per-node load weights: placement minimises
+	// threads/weight. A weight of 0 disables a node.
+	Weights(s *State) []float64
+	// Dynamic reports whether the policy migrates running jobs.
+	Dynamic() bool
+}
+
+// balancedPolicy spreads threads evenly (equal weights).
+type balancedPolicy struct {
+	name    string
+	dynamic bool
+}
+
+func (p *balancedPolicy) Name() string { return p.name }
+func (p *balancedPolicy) Weights(s *State) []float64 {
+	w := make([]float64, len(s.Cluster.Kernels))
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+func (p *balancedPolicy) Dynamic() bool { return p.dynamic }
+
+// unbalancedPolicy keeps the x86 machine (node 0) loaded heavier, the
+// energy-saving arrangement the paper builds on DeVuyst et al.'s
+// unbalanced-scheduling observation.
+type unbalancedPolicy struct {
+	name    string
+	dynamic bool
+	// ratio is node-0 threads per node-1 thread.
+	ratio float64
+}
+
+func (p *unbalancedPolicy) Name() string { return p.name }
+func (p *unbalancedPolicy) Weights(s *State) []float64 {
+	w := make([]float64, len(s.Cluster.Kernels))
+	for i := range w {
+		w[i] = 1
+	}
+	if len(w) > 0 {
+		w[0] = p.ratio
+	}
+	return w
+}
+func (p *unbalancedPolicy) Dynamic() bool { return p.dynamic }
+
+// The paper's five policies.
+
+// StaticX86Pair: balance across two identical x86 machines, no migration
+// (the baseline the energy savings are measured against).
+func StaticX86Pair() Policy { return &balancedPolicy{name: "static x86(2)"} }
+
+// StaticHetBalanced: balance across x86+ARM, no migration.
+func StaticHetBalanced() Policy { return &balancedPolicy{name: "static het balanced"} }
+
+// StaticHetUnbalanced: weight x86 heavier, no migration.
+func StaticHetUnbalanced() Policy {
+	return &unbalancedPolicy{name: "static het unbalanced", ratio: 2.2}
+}
+
+// DynamicBalanced: balance thread counts and migrate to repair imbalance.
+func DynamicBalanced() Policy {
+	return &balancedPolicy{name: "dynamic balanced", dynamic: true}
+}
+
+// DynamicUnbalanced: keep x86 heavier and migrate to maintain the skew.
+func DynamicUnbalanced() Policy {
+	return &unbalancedPolicy{name: "dynamic unbalanced", dynamic: true, ratio: 2.2}
+}
+
+// place picks the node minimising threads/weight (ties to lower index).
+func place(s *State, p Policy, threads int) int {
+	w := p.Weights(s)
+	best, bestScore := 0, 1e30
+	for n := range s.Cluster.Kernels {
+		if w[n] <= 0 {
+			continue
+		}
+		score := (float64(s.ThreadsOn(n)) + float64(threads)) / w[n]
+		if score < bestScore {
+			best, bestScore = n, score
+		}
+	}
+	return best
+}
+
+// rebalance requests one migration if it improves the weighted balance.
+func rebalance(s *State, p Policy, cooldown float64) {
+	if len(s.Cluster.Kernels) < 2 {
+		return
+	}
+	w := p.Weights(s)
+	type load struct {
+		node  int
+		score float64
+	}
+	loads := make([]load, 0, len(w))
+	for n := range s.Cluster.Kernels {
+		if w[n] <= 0 {
+			continue
+		}
+		loads = append(loads, load{n, float64(s.ThreadsOn(n)) / w[n]})
+	}
+	if len(loads) < 2 {
+		return
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].score > loads[j].score })
+	from, to := loads[0], loads[len(loads)-1]
+	if from.score <= to.score {
+		return
+	}
+	// Find the job on `from` whose move best narrows the gap.
+	var best *JobRun
+	bestGap := from.score - to.score
+	for _, r := range s.Active {
+		if r.Node != from.node {
+			continue
+		}
+		if s.Now-r.lastMove < cooldown {
+			continue
+		}
+		t := float64(r.Job.Threads)
+		newFrom := (float64(s.ThreadsOn(from.node)) - t) / w[from.node]
+		newTo := (float64(s.ThreadsOn(to.node)) + t) / w[to.node]
+		gap := newFrom - newTo
+		if gap < 0 {
+			gap = -gap
+		}
+		if gap < bestGap {
+			bestGap = gap
+			best = r
+		}
+	}
+	if best != nil {
+		s.Cluster.RequestProcessMigration(best.Proc, to.node)
+		best.Node = to.node
+		best.lastMove = s.Now
+	}
+}
+
+// Workload is a set of jobs plus an admission mode.
+type Workload struct {
+	Jobs []Job
+	// Concurrency, when > 0, runs the sustained mode: at most this many
+	// jobs in flight, the next one starting as soon as one finishes
+	// (arrival times are ignored).
+	Concurrency int
+}
+
+// Result summarises one workload execution.
+type Result struct {
+	Policy   string
+	Makespan float64
+	// EnergyCPU per node and total (joules, package power).
+	EnergyCPU   []float64
+	EnergyTotal float64
+	// EDP is energy * makespan.
+	EDP float64
+	// Migrations counts job container moves.
+	Migrations int
+	// JobSeconds is the per-job turnaround sum.
+	JobSeconds float64
+}
+
+// Runner executes a workload under a policy on a cluster.
+type Runner struct {
+	Cluster *kernel.Cluster
+	Policy  Policy
+	Models  []power.Model
+	// RebalanceEvery is the dynamic policy's decision interval (seconds).
+	RebalanceEvery float64
+	// Cooldown is the per-job migration rate limit.
+	Cooldown float64
+}
+
+// NewRunner builds a runner with testbed defaults.
+func NewRunner(cl *kernel.Cluster, p Policy, models []power.Model) *Runner {
+	return &Runner{
+		Cluster: cl, Policy: p, Models: models,
+		RebalanceEvery: 5e-3, Cooldown: 20e-3,
+	}
+}
+
+// Run executes the workload to completion and reports energy and makespan.
+func (r *Runner) Run(w Workload) (*Result, error) {
+	cl := r.Cluster
+	meter := power.NewMeter(cl, r.Models)
+	st := &State{Cluster: cl}
+	migrations := 0
+	cl.OnMigration = func(ev kernel.MigrationEvent) { migrations++ }
+
+	pending := append([]Job(nil), w.Jobs...)
+	if w.Concurrency == 0 {
+		sort.SliceStable(pending, func(i, j int) bool {
+			return pending[i].Arrival < pending[j].Arrival
+		})
+	}
+	var done []*JobRun
+	nextRebalance := r.RebalanceEvery
+
+	start := func(j Job) error {
+		img, err := npb.Build(j.Bench, j.Class, j.Threads)
+		if err != nil {
+			return err
+		}
+		node := place(st, r.Policy, j.Threads)
+		p, err := cl.Spawn(img, node)
+		if err != nil {
+			return err
+		}
+		st.Active = append(st.Active, &JobRun{
+			Job: j, Proc: p, Node: node, Started: cl.Time(), lastMove: cl.Time(),
+		})
+		return nil
+	}
+
+	// Seed initial jobs.
+	if w.Concurrency > 0 {
+		for len(st.Active) < w.Concurrency && len(pending) > 0 {
+			if err := start(pending[0]); err != nil {
+				return nil, err
+			}
+			pending = pending[1:]
+		}
+	}
+
+	for len(pending) > 0 || len(st.Active) > 0 {
+		now := cl.Time()
+		st.Now = now
+
+		// Admissions.
+		if w.Concurrency == 0 {
+			for len(pending) > 0 && pending[0].Arrival <= now {
+				if err := start(pending[0]); err != nil {
+					return nil, err
+				}
+				pending = pending[1:]
+			}
+		}
+
+		// Completions: retire finished jobs, then start replacements (in
+		// sustained mode) so placement sees the post-retirement load.
+		var live []*JobRun
+		finished := 0
+		for _, jr := range st.Active {
+			if exited, _ := jr.Proc.Exited(); exited {
+				if err := jr.Proc.Err(); err != nil {
+					return nil, fmt.Errorf("sched: job %d (%s.%s) failed: %w",
+						jr.Job.ID, jr.Job.Bench, jr.Job.Class, err)
+				}
+				jr.Finished = now
+				done = append(done, jr)
+				finished++
+				continue
+			}
+			live = append(live, jr)
+		}
+		st.Active = live
+		if w.Concurrency > 0 {
+			for i := 0; i < finished && len(pending) > 0; i++ {
+				if err := start(pending[0]); err != nil {
+					return nil, err
+				}
+				pending = pending[1:]
+			}
+		}
+
+		// Rebalancing.
+		if r.Policy.Dynamic() && now >= nextRebalance {
+			rebalance(st, r.Policy, r.Cooldown)
+			nextRebalance = now + r.RebalanceEvery
+		}
+
+		if len(st.Active) == 0 && len(pending) == 0 {
+			break
+		}
+		if len(st.Active) == 0 && w.Concurrency == 0 && len(pending) > 0 && pending[0].Arrival > now {
+			// Idle gap until the next arrival: advance the clock so idle
+			// power integrates over the gap.
+			cl.AdvanceTo(pending[0].Arrival)
+			continue
+		}
+		if !cl.Step() {
+			return nil, fmt.Errorf("sched: cluster drained with %d active jobs", len(st.Active))
+		}
+	}
+
+	res := &Result{
+		Policy:     r.Policy.Name(),
+		Makespan:   cl.Time(),
+		EnergyCPU:  meter.EnergyCPU(),
+		Migrations: migrations,
+	}
+	for _, e := range res.EnergyCPU {
+		res.EnergyTotal += e
+	}
+	res.EDP = res.EnergyTotal * res.Makespan
+	for _, jr := range done {
+		res.JobSeconds += jr.Finished - jr.Started
+	}
+	return res, nil
+}
+
+// GenerateJobs draws n jobs uniformly from the paper's mix (NPB kernels in
+// several classes plus bzip2smp and verus), deterministically from seed.
+// classes weights the class distribution (repeat entries to skew it); nil
+// selects a short/long mix.
+func GenerateJobs(seed int64, n int, classes []npb.Class, arrivalSpacing func(r *rand.Rand, i int) float64) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	benches := []npb.Bench{npb.EP, npb.IS, npb.CG, npb.FT, npb.SP, npb.BT, npb.MG, npb.Bzip2, npb.Verus}
+	if len(classes) == 0 {
+		classes = []npb.Class{npb.ClassS, npb.ClassA, npb.ClassA, npb.ClassB}
+	}
+	threadChoices := []int{1, 2, 4}
+	var jobs []Job
+	t := 0.0
+	for i := 0; i < n; i++ {
+		if arrivalSpacing != nil {
+			t += arrivalSpacing(rng, i)
+		}
+		jobs = append(jobs, Job{
+			ID:      i,
+			Bench:   benches[rng.Intn(len(benches))],
+			Class:   classes[rng.Intn(len(classes))],
+			Threads: threadChoices[rng.Intn(len(threadChoices))],
+			Arrival: t,
+		})
+	}
+	return jobs
+}
+
+// TestbedFor builds the right cluster for a policy: two identical x86
+// machines for the static x86-pair baseline, otherwise the heterogeneous
+// x86+ARM testbed. projected applies the paper's McPAT FinFET projection to
+// the ARM machine's power model.
+func TestbedFor(p Policy, projected bool) (*kernel.Cluster, []power.Model) {
+	if p.Name() == "static x86(2)" {
+		cl := kernel.NewCluster([]isa.Arch{isa.X86, isa.X86}, kernel.DefaultInterconnect())
+		return cl, []power.Model{power.XeonE5(), power.XeonE5()}
+	}
+	cl := kernel.NewTestbed()
+	return cl, power.DefaultModels(cl, projected)
+}
+
+// NewBalanced builds a named balanced policy for arbitrary cluster shapes
+// (the rack-scale extension uses it on four machines).
+func NewBalanced(name string, dynamic bool) Policy {
+	return &balancedPolicy{name: name, dynamic: dynamic}
+}
+
+// archWeightPolicy weights nodes by architecture: every x86 node gets
+// X86Weight, every other node weight 1.
+type archWeightPolicy struct {
+	name      string
+	dynamic   bool
+	x86Weight float64
+}
+
+func (p *archWeightPolicy) Name() string { return p.name }
+func (p *archWeightPolicy) Weights(s *State) []float64 {
+	w := make([]float64, len(s.Cluster.Kernels))
+	for i, k := range s.Cluster.Kernels {
+		if k.Arch == isa.X86 {
+			w[i] = p.x86Weight
+		} else {
+			w[i] = 1
+		}
+	}
+	return w
+}
+func (p *archWeightPolicy) Dynamic() bool { return p.dynamic }
+
+// NewArchWeighted builds a policy that keeps x86 machines loaded
+// x86Weight-times heavier than the others, on any cluster shape.
+func NewArchWeighted(name string, dynamic bool, x86Weight float64) Policy {
+	return &archWeightPolicy{name: name, dynamic: dynamic, x86Weight: x86Weight}
+}

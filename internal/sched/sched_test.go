@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"heterodc/internal/npb"
+)
+
+func smallJobs(n int) []Job {
+	return GenerateJobs(42, n, []npb.Class{npb.ClassS}, nil)
+}
+
+func TestPoliciesCompleteSustained(t *testing.T) {
+	jobs := []Job{
+		{ID: 0, Bench: npb.EP, Class: npb.ClassS, Threads: 2},
+		{ID: 1, Bench: npb.IS, Class: npb.ClassS, Threads: 2},
+		{ID: 2, Bench: npb.CG, Class: npb.ClassS, Threads: 1},
+		{ID: 3, Bench: npb.FT, Class: npb.ClassS, Threads: 2},
+		{ID: 4, Bench: npb.Verus, Class: npb.ClassS, Threads: 1},
+		{ID: 5, Bench: npb.SP, Class: npb.ClassS, Threads: 2},
+	}
+	for _, p := range []Policy{
+		StaticX86Pair(), StaticHetBalanced(), StaticHetUnbalanced(),
+		DynamicBalanced(), DynamicUnbalanced(),
+	} {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			cl, models := TestbedFor(p, true)
+			r := NewRunner(cl, p, models)
+			res, err := r.Run(Workload{Jobs: jobs, Concurrency: 3})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.Makespan <= 0 {
+				t.Errorf("zero makespan")
+			}
+			if res.EnergyTotal <= 0 {
+				t.Errorf("zero energy")
+			}
+			t.Logf("%s: makespan=%.3fs energy=%.2fJ migrations=%d",
+				p.Name(), res.Makespan, res.EnergyTotal, res.Migrations)
+		})
+	}
+}
+
+func TestDynamicPolicyMigrates(t *testing.T) {
+	jobs := smallJobs(8)
+	for i := range jobs {
+		jobs[i].Class = npb.ClassS
+		jobs[i].Arrival = 0
+	}
+	p := DynamicBalanced()
+	cl, models := TestbedFor(p, true)
+	r := NewRunner(cl, p, models)
+	r.RebalanceEvery = 1e-3
+	r.Cooldown = 2e-3
+	res, err := r.Run(Workload{Jobs: jobs, Concurrency: 6})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	t.Logf("dynamic: migrations=%d makespan=%.3f", res.Migrations, res.Makespan)
+}
+
+func TestPeriodicArrivalsIdleGaps(t *testing.T) {
+	spacing := func(r *rand.Rand, i int) float64 {
+		if i%3 == 0 {
+			return 0.05 + 0.05*r.Float64()
+		}
+		return 0
+	}
+	jobs := GenerateJobs(7, 6, []npb.Class{npb.ClassS}, spacing)
+	for i := range jobs {
+		jobs[i].Class = npb.ClassS
+		jobs[i].Threads = 1
+	}
+	p := StaticHetBalanced()
+	cl, models := TestbedFor(p, true)
+	r := NewRunner(cl, p, models)
+	res, err := r.Run(Workload{Jobs: jobs})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Makespan < jobs[len(jobs)-1].Arrival {
+		t.Errorf("makespan %.3f before last arrival %.3f", res.Makespan, jobs[len(jobs)-1].Arrival)
+	}
+}

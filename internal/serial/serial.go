@@ -1,0 +1,55 @@
+// Package serial implements the PadMig-style migration baseline of the
+// paper's Figure 11: a managed-runtime (Java) application that migrates by
+// reflectively serializing its whole object state, shipping it, and
+// deserializing on the destination — as opposed to the native multi-ISA
+// binary, which transforms only its stacks and lets pages follow on demand.
+//
+// The managed runtime itself is modelled as a per-op interpretation /
+// JIT-overhead factor on top of native costs (the paper's Java IS run takes
+// ~2x the native time end to end), and migration costs are charged by the
+// kernel's serialized-migration mode (see kernel.Process.SetSerializedMigration).
+package serial
+
+import (
+	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
+	"heterodc/internal/link"
+	"heterodc/internal/msg"
+)
+
+// JavaFactor is the managed-runtime slowdown over native compiled code.
+// Calibrated to Figure 11's 23 s (Java) vs 11 s (native) IS class B runs.
+const JavaFactor = 2.1
+
+// ManagedCostFn returns the per-op cost function of the managed runtime on
+// arch: native cost scaled by JavaFactor (GC and JIT warmup folded in).
+func ManagedCostFn(arch isa.Arch) func(op isa.Op) int64 {
+	return func(op isa.Op) int64 {
+		c := int64(float64(isa.CycleCost(arch, op)) * JavaFactor)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+}
+
+// NewManagedTestbed builds the two-server testbed with both machines
+// running the managed runtime.
+func NewManagedTestbed() *kernel.Cluster {
+	specs := []kernel.MachineSpec{
+		{Arch: isa.X86, Desc: isa.Describe(isa.X86), CostFn: ManagedCostFn(isa.X86)},
+		{Arch: isa.ARM64, Desc: isa.Describe(isa.ARM64), CostFn: ManagedCostFn(isa.ARM64)},
+	}
+	return kernel.NewClusterSpec(specs, msg.DolphinPXH810())
+}
+
+// SpawnManaged loads img as a managed-runtime process with serialization
+// migration on node.
+func SpawnManaged(cl *kernel.Cluster, img *link.Image, node int) (*kernel.Process, error) {
+	p, err := cl.Spawn(img, node)
+	if err != nil {
+		return nil, err
+	}
+	p.SetSerializedMigration(true)
+	return p, nil
+}

@@ -1,0 +1,64 @@
+// Package sys defines the system-call interface between compiled programs
+// and the replicated-kernel OS, plus the layout of the vDSO page shared
+// between user and kernel space (the page the scheduler uses to request
+// migrations and migration points poll, as in the paper).
+package sys
+
+import "heterodc/internal/mem"
+
+// Syscall numbers. The kernel presents the identical interface on every
+// ISA, which is what makes the single operating environment possible.
+const (
+	SysExit    = 1  // exit(code): terminate the whole process
+	SysWrite   = 2  // write(fd, buf, len) -> written
+	SysSbrk    = 3  // sbrk(delta) -> old break
+	SysGettime = 4  // gettime() -> simulated ns since boot
+	SysSpawn   = 5  // spawn(fnptr, arg) -> tid (new thread in this process)
+	SysJoin    = 6  // join(tid) -> exit value
+	SysYield   = 7  // yield()
+	SysMigrate = 8  // migrate(node): move this thread to another kernel
+	SysGetnode = 9  // getnode() -> kernel/node id
+	SysGettid  = 10 // gettid() -> thread id
+	SysOpen    = 11 // open(path, flags) -> fd
+	SysRead    = 12 // read(fd, buf, len) -> read
+	SysClose   = 13 // close(fd) -> 0
+	SysExitThr = 14 // exit_thread(value): terminate calling thread
+	SysNcores  = 15 // ncores() -> cores on the current node
+	SysRand    = 16 // rand() -> deterministic per-process PRNG value
+	SysMigHint = 17 // migration hint (profiling aid; no-op in the kernel)
+)
+
+// Open flags.
+const (
+	ORdonly = 0
+	OWronly = 1
+	OCreate = 2
+	OTrunc  = 4
+)
+
+// vDSO page layout (one page at mem.VDSOBase, mapped into every process):
+//
+//	+0   : current thread id (per-CPU value materialised by the core,
+//	       analogous to reading the thread-pointer register)
+//	+8   : current node id (same mechanism)
+//	+64..: per-thread migration request words, indexed by tid:
+//	       0 = no request, n+1 = please migrate to node n.
+const (
+	VDSOTidOff   = 0
+	VDSONodeOff  = 8
+	VDSOFlagsOff = 64
+)
+
+// VDSOTidAddr is the magic address reads of which yield the current tid.
+const VDSOTidAddr = mem.VDSOBase + VDSOTidOff
+
+// VDSONodeAddr yields the current node id.
+const VDSONodeAddr = mem.VDSOBase + VDSONodeOff
+
+// MigrationFlagAddr returns the address of thread tid's migration word.
+func MigrationFlagAddr(tid int64) uint64 {
+	return mem.VDSOBase + VDSOFlagsOff + uint64(tid)*8
+}
+
+// MaxVDSOThreads is how many per-thread words fit in the vDSO page.
+const MaxVDSOThreads = (mem.PageSize - VDSOFlagsOff) / 8

@@ -1,0 +1,51 @@
+package sys
+
+import (
+	"testing"
+
+	"heterodc/internal/mem"
+)
+
+func TestMigrationFlagAddrsWithinVDSOPage(t *testing.T) {
+	for tid := int64(0); tid < MaxVDSOThreads; tid++ {
+		a := MigrationFlagAddr(tid)
+		if a < mem.VDSOBase || a+8 > mem.VDSOBase+mem.PageSize {
+			t.Fatalf("tid %d flag at %#x escapes the vDSO page", tid, a)
+		}
+	}
+}
+
+func TestFlagAddrsDistinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for tid := int64(0); tid < MaxVDSOThreads; tid++ {
+		a := MigrationFlagAddr(tid)
+		if seen[a] {
+			t.Fatalf("tid %d flag address collides", tid)
+		}
+		seen[a] = true
+	}
+}
+
+func TestMagicAddrsDoNotOverlapFlags(t *testing.T) {
+	if VDSOTidAddr >= mem.VDSOBase+VDSOFlagsOff || VDSONodeAddr >= mem.VDSOBase+VDSOFlagsOff {
+		t.Fatal("per-CPU words overlap the flag array")
+	}
+	if VDSOTidAddr == VDSONodeAddr {
+		t.Fatal("tid and node words collide")
+	}
+}
+
+func TestSyscallNumbersUnique(t *testing.T) {
+	nums := []int64{
+		SysExit, SysWrite, SysSbrk, SysGettime, SysSpawn, SysJoin, SysYield,
+		SysMigrate, SysGetnode, SysGettid, SysOpen, SysRead, SysClose,
+		SysExitThr, SysNcores, SysRand, SysMigHint,
+	}
+	seen := map[int64]bool{}
+	for _, n := range nums {
+		if seen[n] {
+			t.Fatalf("syscall number %d reused", n)
+		}
+		seen[n] = true
+	}
+}

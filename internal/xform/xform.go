@@ -1,0 +1,378 @@
+// Package xform implements the paper's stack-transformation runtime: at a
+// migration point it rewrites a thread's user-space stack, frame by frame in
+// a single pass, from the source ISA's ABI to the destination ISA's ABI,
+// using compiler-generated stackmaps and unwind metadata.
+//
+// The two-halves scheme is implemented exactly as described: the thread's
+// stack window is split in half, the rewritten stack is built in the other
+// half, and the register state (PC, SP, FP) is mapped so execution resumes
+// on the destination architecture at the migration point's return address.
+package xform
+
+import (
+	"fmt"
+	"math"
+
+	"heterodc/internal/ir"
+	"heterodc/internal/isa"
+	"heterodc/internal/link"
+	"heterodc/internal/stackmap"
+)
+
+// MemIO abstracts memory for the transformer. The kernel supplies an
+// implementation that resolves DSM faults synchronously (pulling remote
+// pages and accounting their latency).
+type MemIO interface {
+	ReadU64(addr uint64) (uint64, error)
+	WriteU64(addr uint64, v uint64) error
+}
+
+// RegState is an architecture-neutral register file snapshot.
+type RegState struct {
+	I [32]int64
+	F [32]float64
+}
+
+// Input describes the suspended source-side thread at the migration point
+// (inside __migrate_check, immediately after the migration syscall trapped).
+type Input struct {
+	SrcProg *link.Program
+	DstProg *link.Program
+	Mem     MemIO
+
+	// Regs is the live source register file.
+	Regs RegState
+	// PC is the current source program counter (inside __migrate_check).
+	PC uint64
+
+	// SrcStackLo/Hi bound the currently active stack half; DstStackLo/Hi
+	// bound the half the rewritten stack is built in.
+	SrcStackLo, SrcStackHi uint64
+	DstStackLo, DstStackHi uint64
+}
+
+// Output is the destination-side resume state.
+type Output struct {
+	Regs RegState
+	PC   uint64
+
+	Stats Stats
+}
+
+// Stats quantifies the work done, for the latency model behind Figure 10.
+type Stats struct {
+	Frames      int
+	LiveValues  int
+	AllocaBytes int64
+	PtrFixups   int
+	RegWalks    int // register values placed via the callee-save-chain walk
+}
+
+// srcFrame is one unwound source frame.
+type srcFrame struct {
+	fn   *stackmap.FuncInfo // source-ISA metadata
+	site *stackmap.CallSite // source call site the frame is suspended at
+	fp   uint64             // source frame pointer
+	// regs is the register snapshot as this frame observes it (all deeper
+	// frames' callee-saved saves applied).
+	regs RegState
+}
+
+// dstFrame is one frame placed in the destination half.
+type dstFrame struct {
+	fn *stackmap.FuncInfo
+	fp uint64
+	sp uint64
+}
+
+// region maps one source alloca slot to its destination address, for
+// stack-internal pointer fixup.
+type region struct {
+	srcLo, srcHi uint64
+	dstLo        uint64
+}
+
+// Transform rewrites the stack and maps the register state. It returns the
+// destination resume state or an error if metadata is missing or
+// inconsistent (a fatal toolchain defect).
+func Transform(in *Input) (*Output, error) {
+	srcDesc := isa.Describe(in.SrcProg.Arch)
+	dstDesc := isa.Describe(in.DstProg.Arch)
+	out := &Output{}
+
+	// ---- Pass 1: unwind the source stack. ----
+	frames, err := unwind(in, srcDesc)
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, fmt.Errorf("xform: no application frames to transform")
+	}
+	out.Stats.Frames = len(frames)
+	if Debug {
+		for i, f := range frames {
+			fmt.Printf("xform: frame[%d] %s site=%d fp=%#x\n", i, f.fn.Name, f.site.ID, f.fp)
+		}
+	}
+
+	// ---- Pass 2: lay out destination frames (outermost first). ----
+	dsts := make([]dstFrame, len(frames))
+	sp := (in.DstStackHi - 64) &^ 15
+	for k := len(frames) - 1; k >= 0; k-- {
+		name := frames[k].fn.Name
+		dfn, ok := in.DstProg.SMap.Funcs[name]
+		if !ok {
+			return nil, fmt.Errorf("xform: destination has no metadata for %s", name)
+		}
+		fp := sp - 16
+		dsts[k] = dstFrame{fn: dfn, fp: fp, sp: fp - uint64(dfn.FrameSize)}
+		sp = dsts[k].sp
+		if sp <= in.DstStackLo {
+			return nil, fmt.Errorf("xform: destination stack overflow (%d frames)", len(frames))
+		}
+	}
+
+	// Alloca region table for pointer fixup (addresses of address-taken
+	// locals move between ABIs; pointers into them must be rebased).
+	var regions []region
+	for k, f := range frames {
+		for i := range f.fn.AllocaOffsets {
+			srcLo := f.fp + uint64(f.fn.AllocaOffsets[i])
+			dstLo := dsts[k].fp + uint64(dsts[k].fn.AllocaOffsets[i])
+			regions = append(regions, region{
+				srcLo: srcLo,
+				srcHi: srcLo + uint64(f.fn.AllocaSizes[i]),
+				dstLo: dstLo,
+			})
+		}
+	}
+	fixup := func(v uint64) (uint64, bool) {
+		if v < in.SrcStackLo || v >= in.SrcStackHi {
+			return v, false
+		}
+		for _, r := range regions {
+			if v >= r.srcLo && v < r.srcHi {
+				return r.dstLo + (v - r.srcLo), true
+			}
+		}
+		// Value looks like a stack address but maps to no live alloca: treat
+		// it as an integer that happens to collide (the paper's runtime has
+		// the same ambiguity); leave unchanged.
+		return v, false
+	}
+
+	// ---- Pass 3: write frame records and copy state. ----
+	// Frame-chain records: [FP] = caller FP, [FP+8] = return address into
+	// the caller's destination code.
+	for k := range frames {
+		var callerFP, retAddr uint64
+		if k == len(frames)-1 {
+			callerFP, retAddr = 0, 0 // entry shim: unwinder sentinel
+		} else {
+			callerFP = dsts[k+1].fp
+			callerSite, ok := dsts[k+1].fn.CallSites[frames[k+1].site.ID]
+			if !ok {
+				return nil, fmt.Errorf("xform: %s: destination missing call site %d",
+					frames[k+1].fn.Name, frames[k+1].site.ID)
+			}
+			retAddr = callerSite.RetPC
+		}
+		if err := in.Mem.WriteU64(dsts[k].fp, callerFP); err != nil {
+			return nil, err
+		}
+		if err := in.Mem.WriteU64(dsts[k].fp+8, retAddr); err != nil {
+			return nil, err
+		}
+		if Debug {
+			fmt.Printf("xform: dst[%d] %s fp=%#x sp=%#x callerFP=%#x ret=%#x\n",
+				k, dsts[k].fn.Name, dsts[k].fp, dsts[k].sp, callerFP, retAddr)
+		}
+	}
+
+	// Copy alloca contents with word-granular pointer fixup.
+	for k, f := range frames {
+		for i := range f.fn.AllocaOffsets {
+			src := f.fp + uint64(f.fn.AllocaOffsets[i])
+			dst := dsts[k].fp + uint64(dsts[k].fn.AllocaOffsets[i])
+			size := f.fn.AllocaSizes[i]
+			out.Stats.AllocaBytes += size
+			for o := int64(0); o < size; o += 8 {
+				w, err := in.Mem.ReadU64(src + uint64(o))
+				if err != nil {
+					return nil, err
+				}
+				if nw, fixed := fixup(w); fixed {
+					w = nw
+					out.Stats.PtrFixups++
+				}
+				if err := in.Mem.WriteU64(dst+uint64(o), w); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Live values: read from source locations, write to destination
+	// locations. Register-resident destinations go either directly into the
+	// destination register file (innermost frame, or registers untouched by
+	// inner frames) or into the save slot of the nearest inner frame that
+	// saves the register — the paper's walk down the call chain.
+	dstRegs := &out.Regs
+	placeReg := func(k int, reg isa.Reg, isFloat bool, vi int64, vf float64) error {
+		for j := k - 1; j >= 0; j-- {
+			if off, ok := dsts[j].fn.SaveOffset(reg, isFloat); ok {
+				out.Stats.RegWalks++
+				bits := uint64(vi)
+				if isFloat {
+					bits = f64bits(vf)
+				}
+				return in.Mem.WriteU64(dsts[j].fp+uint64(off), bits)
+			}
+		}
+		if isFloat {
+			dstRegs.F[reg] = vf
+		} else {
+			dstRegs.I[reg] = vi
+		}
+		return nil
+	}
+
+	for k, f := range frames {
+		dsite, ok := dsts[k].fn.CallSites[f.site.ID]
+		if !ok {
+			return nil, fmt.Errorf("xform: %s: destination missing call site %d", f.fn.Name, f.site.ID)
+		}
+		dstLoc := make(map[int]stackmap.Loc, len(dsite.Live))
+		for _, lv := range dsite.Live {
+			dstLoc[lv.VReg] = lv.Loc
+		}
+		for _, lv := range f.site.Live {
+			dl, ok := dstLoc[lv.VReg]
+			if !ok {
+				// Live on source but not destination: the IR-level live set
+				// is shared, so this is a metadata defect.
+				return nil, fmt.Errorf("xform: %s site %d: v%d live on %s but not %s",
+					f.fn.Name, f.site.ID, lv.VReg, in.SrcProg.Arch, in.DstProg.Arch)
+			}
+			out.Stats.LiveValues++
+
+			// Fetch the source value.
+			var vi int64
+			var vf float64
+			if lv.Loc.Kind == stackmap.InReg {
+				if lv.Loc.IsFloat {
+					vf = f.regs.F[lv.Loc.Reg]
+				} else {
+					vi = f.regs.I[lv.Loc.Reg]
+				}
+			} else {
+				w, err := in.Mem.ReadU64(f.fp + uint64(lv.Loc.Off))
+				if err != nil {
+					return nil, err
+				}
+				if lv.Loc.IsFloat {
+					vf = f64frombits(w)
+				} else {
+					vi = int64(w)
+				}
+			}
+			// Pointer fixup for stack-internal pointers.
+			if lv.Type == ir.Ptr && !lv.Loc.IsFloat {
+				if nv, fixed := fixup(uint64(vi)); fixed {
+					vi = int64(nv)
+					out.Stats.PtrFixups++
+				}
+			}
+			// Place at the destination.
+			if dl.Kind == stackmap.InReg {
+				if err := placeReg(k, dl.Reg, dl.IsFloat, vi, vf); err != nil {
+					return nil, err
+				}
+			} else {
+				bits := uint64(vi)
+				if dl.IsFloat {
+					bits = f64bits(vf)
+				}
+				if err := in.Mem.WriteU64(dsts[k].fp+uint64(dl.Off), bits); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// ---- Resume state: map PC, SP, FP (the paper's r^AB function). ----
+	site0, ok := dsts[0].fn.CallSites[frames[0].site.ID]
+	if !ok {
+		return nil, fmt.Errorf("xform: innermost destination site missing")
+	}
+	if Debug {
+		fmt.Printf("xform: resume pc=%#x sp=%#x fp=%#x\n", site0.RetPC, dsts[0].sp, dsts[0].fp)
+	}
+	dstRegs.I[dstDesc.SP] = int64(dsts[0].sp)
+	dstRegs.I[dstDesc.FP] = int64(dsts[0].fp)
+	if dstDesc.LR != isa.NoReg {
+		dstRegs.I[dstDesc.LR] = int64(site0.RetPC)
+	}
+	out.PC = site0.RetPC
+	_ = srcDesc
+	return out, nil
+}
+
+// unwind walks the source stack from inside __migrate_check outward,
+// recovering per-frame register snapshots via the callee-save metadata.
+func unwind(in *Input, srcDesc *isa.Desc) ([]srcFrame, error) {
+	cur := in.PC
+	curFn := in.SrcProg.SMap.FuncAt(cur)
+	if curFn == nil {
+		return nil, fmt.Errorf("xform: pc %#x not in any function", cur)
+	}
+	curFP := uint64(in.Regs.I[srcDesc.FP])
+	regs := in.Regs
+
+	var frames []srcFrame
+	for depth := 0; ; depth++ {
+		if depth > 1024 {
+			return nil, fmt.Errorf("xform: unwind depth exceeded (corrupt frame chain?)")
+		}
+		// Recover the caller's view of callee-saved registers.
+		for _, s := range curFn.Saves {
+			w, err := in.Mem.ReadU64(curFP + uint64(s.Off))
+			if err != nil {
+				return nil, err
+			}
+			if s.IsFloat {
+				regs.F[s.Reg] = f64frombits(w)
+			} else {
+				regs.I[s.Reg] = int64(w)
+			}
+		}
+		retAddr, err := in.Mem.ReadU64(curFP + 8)
+		if err != nil {
+			return nil, err
+		}
+		callerFP, err := in.Mem.ReadU64(curFP)
+		if err != nil {
+			return nil, err
+		}
+		if retAddr == 0 {
+			// curFn is the entry shim; it was appended on the previous
+			// iteration (or the chain is broken).
+			return frames, nil
+		}
+		callerFn, site, err := in.SrcProg.SMap.SiteFor(retAddr)
+		if err != nil {
+			return nil, err
+		}
+		// Entry shims are included as frames; their own caller record is the
+		// zero sentinel, so the next iteration exits via retAddr == 0.
+		frames = append(frames, srcFrame{fn: callerFn, site: site, fp: callerFP, regs: regs})
+		curFn, curFP = callerFn, callerFP
+	}
+}
+
+func f64bits(f float64) uint64 { return math.Float64bits(f) }
+
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Debug enables verbose transformation tracing (tests only).
+var Debug = false
