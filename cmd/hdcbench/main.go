@@ -11,7 +11,11 @@
 //	hdcbench -exp fig11       # migration vs serialization traces
 //	hdcbench -exp fig12       # sustained-workload scheduling study
 //	hdcbench -exp fig13       # periodic-workload scheduling study
+//	hdcbench -exp chaos       # fault injection: correctness under loss/crash
 //	hdcbench -exp all
+//
+// The chaos experiment takes -fault-seed, -drop-prob and -crash-at to vary
+// the injected fault plans (all plans are deterministic in the seed).
 //
 // -scale quick|default|full selects the parameter grid (full is the paper's
 // grid and takes tens of minutes).
@@ -27,8 +31,11 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|all")
+	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|all")
 	scale := flag.String("scale", "default", "quick|default|full")
+	faultSeed := flag.Int64("fault-seed", 7, "chaos: fault-plan seed")
+	dropProb := flag.Float64("drop-prob", 0.02, "chaos: baseline message-loss probability")
+	crashAt := flag.Float64("crash-at", 0.35, "chaos: node-1 crash time as a fraction of the fault-free runtime")
 	flag.Parse()
 
 	cfg := exp.Config{W: os.Stdout}
@@ -163,6 +170,26 @@ func main() {
 	run("rack", func() error {
 		_, err := exp.RackScale(cfg)
 		return err
+	})
+
+	run("chaos", func() error {
+		rows, err := exp.Chaos(cfg, exp.ChaosOptions{
+			Seed: *faultSeed, DropProb: *dropProb, CrashFrac: *crashAt,
+		})
+		if err != nil {
+			return err
+		}
+		bad := 0
+		for _, r := range rows {
+			if !r.ExitOK || !r.OutputMatch {
+				bad++
+			}
+		}
+		if bad > 0 {
+			return fmt.Errorf("%d/%d runs lost correctness under faults", bad, len(rows))
+		}
+		fmt.Println("shape check: OK (every run exits cleanly with baseline-identical output)")
+		return nil
 	})
 
 	run("fig13", func() error {

@@ -16,10 +16,12 @@ import (
 	"os"
 
 	"heterodc/internal/core"
+	"heterodc/internal/fault"
 	"heterodc/internal/kernel"
 	"heterodc/internal/link"
 	"heterodc/internal/npb"
 	"heterodc/internal/power"
+	"heterodc/internal/trace"
 )
 
 func parseNode(s string) (int, error) {
@@ -41,6 +43,14 @@ func main() {
 	migrateAt := flag.Float64("migrate-at", -1, "fraction of the reference runtime at which to migrate the container (0..1)")
 	migrateTo := flag.String("migrate-to", "arm", "migration target (x86|arm)")
 	showOut := flag.Bool("output", true, "print program output")
+	faultSeed := flag.Int64("fault-seed", 0, "fault-plan seed (plans are deterministic in it)")
+	dropProb := flag.Float64("drop-prob", 0, "per-message-leg loss probability")
+	dupProb := flag.Float64("dup-prob", 0, "message duplication probability")
+	jitter := flag.Float64("jitter", 0, "max extra one-way latency in seconds")
+	crashNode := flag.String("crash-node", "", "node to crash mid-run (x86|arm), empty for none")
+	crashAt := flag.Float64("crash-at", 0, "crash time in simulated seconds")
+	recoverAt := flag.Float64("recover-at", 0, "recovery time in simulated seconds (<= crash-at means never)")
+	showFaults := flag.Bool("show-faults", false, "print the fault/retry event log")
 	flag.Parse()
 
 	node, err := parseNode(*nodeStr)
@@ -75,6 +85,18 @@ func main() {
 	}
 
 	cl := core.NewTestbed()
+	plan := fault.Plan{Seed: *faultSeed, DropProb: *dropProb, DupProb: *dupProb, JitterSec: *jitter}
+	if *crashNode != "" {
+		cn, err := parseNode(*crashNode)
+		fatal(err)
+		plan.Crashes = []fault.Crash{{Node: cn, At: *crashAt, RecoverAt: *recoverAt}}
+	}
+	chaos := *dropProb > 0 || *dupProb > 0 || *jitter > 0 || *crashNode != ""
+	log := trace.NewEventLog(10000)
+	if chaos {
+		cl.InjectFaults(plan)
+		cl.SetTracer(log)
+	}
 	meter := power.NewMeter(cl, power.DefaultModels(cl, false))
 	migrations := 0
 	cl.OnMigration = func(ev kernel.MigrationEvent) {
@@ -112,6 +134,17 @@ func main() {
 		e := meter.EnergyCPU()[i]
 		fmt.Printf("node %d (%s): %.3e instrs, %.2f J CPU energy, %d pages in / %d out\n",
 			i, k.Arch, float64(k.InstrsRetired), e, k.PagesIn, k.PagesOut)
+		if k.MigrationsAborted > 0 {
+			fmt.Printf("node %d: %d migrations aborted and rolled back\n", i, k.MigrationsAborted)
+		}
+	}
+	if chaos {
+		s := cl.IC.Stats()
+		fmt.Printf("faults         : %d dropped, %d retries, %d duplicated, %d exhausted, %d crash stalls\n",
+			s.Dropped, s.Retries, s.Duplicated, s.Exhausted, s.CrashStalls)
+		if *showFaults {
+			fmt.Print(log.String())
+		}
 	}
 }
 

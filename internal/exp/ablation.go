@@ -145,7 +145,7 @@ func AblationDSMMode(cfg Config) ([]DSMModeRow, error) {
 				// Lag: transformation/copy latency plus transfer of the
 				// shipped payload.
 				resumeLag = ev.XformSeconds +
-					cl.IC.RoundTripTime(ev.StateBytes+1024)
+					cl.IC.RoundTripTime(ev.Time, ev.From, ev.To, ev.StateBytes+1024)
 			}
 		}
 		requested := false

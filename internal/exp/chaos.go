@@ -1,0 +1,180 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+
+	"heterodc/internal/core"
+	"heterodc/internal/fault"
+	"heterodc/internal/msg"
+	"heterodc/internal/npb"
+	"heterodc/internal/trace"
+)
+
+// ChaosOptions parameterises the chaos harness.
+type ChaosOptions struct {
+	// Seed selects the deterministic fault streams.
+	Seed int64
+	// DropProb is the baseline loss probability of the lossy plan (the
+	// degraded and crash plans derive theirs from it). Zero means 2%.
+	DropProb float64
+	// CrashFrac places the node-1 outage, as a fraction of the fault-free
+	// runtime. Zero means 0.35 (recovery at CrashFrac + 0.15).
+	CrashFrac float64
+}
+
+// ChaosRow reports one benchmark under one fault plan.
+type ChaosRow struct {
+	Bench string
+	Plan  string
+	// Base is the fault-free runtime; Seconds the runtime under the plan.
+	Base, Seconds float64
+	// ExitOK: exited with code 0 and no kill. OutputMatch: byte-identical
+	// output to the fault-free run (the benchmarks self-verify, so this is
+	// the correctness criterion).
+	ExitOK      bool
+	OutputMatch bool
+	// Interconnect fault counters for the run.
+	Dropped, Retries, Duplicated, Exhausted uint64
+	// Aborted sums migrations rolled back; Migrations counts completed ones.
+	Aborted    uint64
+	Migrations int
+	// CrashEvents/RecoverEvents from the trace log.
+	CrashEvents, RecoverEvents int
+}
+
+// chaosBenches returns the benchmark set at this scale.
+func (c Config) chaosBenches() []struct {
+	b npb.Bench
+	k npb.Class
+} {
+	k := npb.ClassS
+	if c.Scale != Quick {
+		k = npb.ClassA
+	}
+	return []struct {
+		b npb.Bench
+		k npb.Class
+	}{{npb.EP, k}, {npb.IS, k}}
+}
+
+// chaosPlans derives the three stock fault plans from a fault-free runtime:
+// a uniformly lossy fabric, a mid-run degraded-link window, and a mid-run
+// node-1 crash with recovery.
+func chaosPlans(opts ChaosOptions, ref float64) []struct {
+	name string
+	plan fault.Plan
+} {
+	drop := opts.DropProb
+	if drop == 0 {
+		drop = 0.02
+	}
+	crashFrac := opts.CrashFrac
+	if crashFrac == 0 {
+		crashFrac = 0.35
+	}
+	return []struct {
+		name string
+		plan fault.Plan
+	}{
+		{"lossy", fault.Plan{
+			Seed: opts.Seed, DropProb: drop, DupProb: 0.005, JitterSec: 3e-6,
+		}},
+		{"degraded-link", fault.Plan{
+			Seed: opts.Seed + 1, DropProb: drop / 2, DupProb: 0.01, JitterSec: 2e-6,
+			Windows: []fault.Window{{
+				From: 0, To: 1, Start: 0.2 * ref, End: 0.5 * ref,
+				DropProb: 0.25, JitterSec: 10e-6,
+			}},
+		}},
+		{"node-crash", fault.Plan{
+			Seed: opts.Seed + 2, DropProb: drop / 2, JitterSec: 2e-6,
+			Crashes: []fault.Crash{{
+				Node: 1, At: crashFrac * ref, RecoverAt: (crashFrac + 0.15) * ref,
+			}},
+		}},
+	}
+}
+
+// runChaosOnce executes img on the testbed under plan, requesting a
+// container migration to node 1 at migrateAt so the fault machinery is
+// exercised with a thread actually on (or moving to) the faulty side.
+func runChaosOnce(b npb.Bench, k npb.Class, plan fault.Plan, migrateAt float64) (
+	*core.Result, msg.Stats, uint64, *trace.EventLog, error) {
+	img, err := npb.Build(b, k, 1)
+	if err != nil {
+		return nil, msg.Stats{}, 0, nil, err
+	}
+	cl := core.NewTestbed()
+	cl.InjectFaults(plan)
+	log := trace.NewEventLog(4096)
+	cl.SetTracer(log)
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		return nil, msg.Stats{}, 0, nil, err
+	}
+	requested := false
+	for {
+		if exited, _ := p.Exited(); exited {
+			break
+		}
+		if !requested && cl.Time() >= migrateAt {
+			cl.RequestProcessMigration(p, core.NodeARM)
+			requested = true
+		}
+		if !cl.Step() {
+			return nil, msg.Stats{}, 0, nil,
+				fmt.Errorf("exp: chaos: cluster drained before %s.%s exited", b, k)
+		}
+	}
+	res, err := core.Wait(cl, p)
+	if err != nil {
+		return nil, msg.Stats{}, 0, nil, err
+	}
+	var aborted uint64
+	for _, kn := range cl.Kernels {
+		aborted += kn.MigrationsAborted
+	}
+	return res, cl.IC.Stats(), aborted, log, nil
+}
+
+// Chaos runs the NPB kernels under the stock fault plans and reports
+// correctness and overhead against the fault-free baseline. Processes must
+// finish, verify and match the baseline output under every plan — faults
+// degrade performance, never correctness.
+func Chaos(cfg Config, opts ChaosOptions) ([]ChaosRow, error) {
+	var rows []ChaosRow
+	for _, bk := range cfg.chaosBenches() {
+		img, err := npb.Build(bk.b, bk.k, 1)
+		if err != nil {
+			return nil, fmt.Errorf("exp: chaos build %s.%s: %w", bk.b, bk.k, err)
+		}
+		ref, err := core.Run(img, core.NodeX86)
+		if err != nil {
+			return nil, fmt.Errorf("exp: chaos baseline %s.%s: %w", bk.b, bk.k, err)
+		}
+		cfg.printf("%s.%s baseline: %.4fs\n", bk.b, bk.k, ref.Seconds)
+		migrateAt := 0.25 * ref.Seconds
+		for _, pl := range chaosPlans(opts, ref.Seconds) {
+			res, stats, aborted, log, err := runChaosOnce(bk.b, bk.k, pl.plan, migrateAt)
+			if err != nil {
+				return nil, fmt.Errorf("exp: chaos %s under %s: %w", bk.b, pl.name, err)
+			}
+			row := ChaosRow{
+				Bench: fmt.Sprintf("%s.%s", bk.b, bk.k), Plan: pl.name,
+				Base: ref.Seconds, Seconds: res.Seconds,
+				ExitOK:      res.ExitCode == 0,
+				OutputMatch: bytes.Equal(res.Output, ref.Output),
+				Dropped:     stats.Dropped, Retries: stats.Retries,
+				Duplicated: stats.Duplicated, Exhausted: stats.Exhausted,
+				Aborted: aborted, Migrations: res.Migrations,
+				CrashEvents: log.Count("crash"), RecoverEvents: log.Count("recover"),
+			}
+			rows = append(rows, row)
+			cfg.printf("  %-14s %.4fs (%.2fx) exit=%v match=%v drop=%d retry=%d dup=%d mig=%d abort=%d\n",
+				pl.name, row.Seconds, row.Seconds/row.Base, row.ExitOK, row.OutputMatch,
+				row.Dropped, row.Retries, row.Duplicated, row.Migrations, row.Aborted)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,160 @@
+// Package fault provides deterministic, seeded fault plans for the
+// simulated datacenter: message loss, duplication and latency jitter on
+// the interconnect, per-link degradation windows, and scheduled node
+// crash/recovery events. The paper's testbed assumes a perfect Dolphin
+// PCIe link and always-alive kernels; at warehouse scale neither holds,
+// so the rest of the stack (msg, dsm, kernel, sched) is exercised under
+// the chaos this package injects.
+//
+// Every decision is a pure function of (plan seed, message identity), so
+// a run under a plan is exactly reproducible: two runs of the same
+// workload with the same seed see the same drops, the same duplicates and
+// the same jitter, message for message.
+package fault
+
+import "sort"
+
+// Plan describes the chaos to inject into one run.
+type Plan struct {
+	// Seed selects the deterministic pseudo-random stream.
+	Seed int64
+	// DropProb is the baseline per-message-leg loss probability.
+	DropProb float64
+	// DupProb is the probability a delivered message is duplicated.
+	DupProb float64
+	// JitterSec is the maximum extra one-way latency added to a delivered
+	// message (uniformly distributed in [0, JitterSec)).
+	JitterSec float64
+	// Windows lists per-link degradation windows layered on the baseline.
+	Windows []Window
+	// Crashes lists scheduled node outages.
+	Crashes []Crash
+}
+
+// Window degrades one directed link (or all links) for a time span. While
+// active, the worse of the window's and the plan's baseline parameters
+// applies.
+type Window struct {
+	// From/To select the directed link; -1 matches any node.
+	From, To int
+	// Start/End bound the window in simulated seconds: [Start, End).
+	Start, End float64
+	// DropProb is the loss probability inside the window.
+	DropProb float64
+	// JitterSec is the jitter bound inside the window.
+	JitterSec float64
+}
+
+// Crash schedules a fail-stop node outage. The model is a machine that
+// stops executing and falls off the interconnect, then rejoins with its
+// memory intact — threads frozen on the node resume at RecoverAt, and DSM
+// pages it owns become reachable again. RecoverAt <= At means the node
+// never comes back; work depending on it degrades to an error instead of
+// hanging forever.
+type Crash struct {
+	Node      int
+	At        float64
+	RecoverAt float64
+}
+
+// Injector evaluates a Plan. It satisfies the msg.Injector interface and
+// is shared between the interconnect (message fates) and the cluster
+// (crash schedule).
+type Injector struct {
+	plan Plan
+}
+
+// NewInjector builds an injector for plan. The plan is copied and its
+// crash schedule sorted by time.
+func NewInjector(plan Plan) *Injector {
+	p := plan
+	p.Windows = append([]Window(nil), plan.Windows...)
+	p.Crashes = append([]Crash(nil), plan.Crashes...)
+	sort.Slice(p.Crashes, func(i, j int) bool { return p.Crashes[i].At < p.Crashes[j].At })
+	return &Injector{plan: p}
+}
+
+// Plan returns the injector's normalised plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// rand01 derives a uniform [0,1) value from the seed and a decision
+// identity via a splitmix64-style finalizer. Distinct (seq, salt) pairs
+// give independent draws; the same pair always gives the same draw.
+func (in *Injector) rand01(seq, salt uint64) float64 {
+	x := uint64(in.plan.Seed)*0x9e3779b97f4a7c15 + seq*0xbf58476d1ce4e5b9 + salt*0x94d049bb133111eb
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// linkParams returns the effective drop probability and jitter bound for a
+// message on from->to at time now, folding in any active windows.
+func (in *Injector) linkParams(now float64, from, to int) (drop, jitter float64) {
+	drop, jitter = in.plan.DropProb, in.plan.JitterSec
+	for _, w := range in.plan.Windows {
+		if (w.From != -1 && w.From != from) || (w.To != -1 && w.To != to) {
+			continue
+		}
+		if now < w.Start || now >= w.End {
+			continue
+		}
+		if w.DropProb > drop {
+			drop = w.DropProb
+		}
+		if w.JitterSec > jitter {
+			jitter = w.JitterSec
+		}
+	}
+	return drop, jitter
+}
+
+// Fate decides a message leg's fate: lost, duplicated, and extra delivery
+// latency. seq must be unique per decision (the interconnect's message
+// sequence numbers are); the result is deterministic in (seed, seq).
+func (in *Injector) Fate(now float64, from, to int, seq uint64) (drop, dup bool, jitter float64) {
+	dp, js := in.linkParams(now, from, to)
+	if dp > 0 && in.rand01(seq, 1) < dp {
+		return true, false, 0
+	}
+	if in.plan.DupProb > 0 && in.rand01(seq, 2) < in.plan.DupProb {
+		dup = true
+	}
+	if js > 0 {
+		jitter = js * in.rand01(seq, 3)
+	}
+	return false, dup, jitter
+}
+
+// NodeDown reports whether node is inside a crash outage at time at.
+func (in *Injector) NodeDown(node int, at float64) bool {
+	for _, c := range in.plan.Crashes {
+		if c.Node != node || at < c.At {
+			continue
+		}
+		if c.RecoverAt <= c.At || at < c.RecoverAt {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeRecoverAt returns when a currently-down node comes back. It returns
+// (0, false) when the node is up at the given time or when the outage is
+// permanent — callers distinguish the two with NodeDown.
+func (in *Injector) NodeRecoverAt(node int, at float64) (float64, bool) {
+	for _, c := range in.plan.Crashes {
+		if c.Node != node || at < c.At {
+			continue
+		}
+		if c.RecoverAt <= c.At {
+			return 0, false
+		}
+		if at < c.RecoverAt {
+			return c.RecoverAt, true
+		}
+	}
+	return 0, false
+}

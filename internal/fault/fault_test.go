@@ -1,0 +1,138 @@
+package fault
+
+import "testing"
+
+func TestFateDeterministic(t *testing.T) {
+	a := NewInjector(Plan{Seed: 42, DropProb: 0.3, DupProb: 0.1, JitterSec: 5e-6})
+	b := NewInjector(Plan{Seed: 42, DropProb: 0.3, DupProb: 0.1, JitterSec: 5e-6})
+	for seq := uint64(0); seq < 1000; seq++ {
+		d1, u1, j1 := a.Fate(0.5, 0, 1, seq)
+		d2, u2, j2 := b.Fate(0.5, 0, 1, seq)
+		if d1 != d2 || u1 != u2 || j1 != j2 {
+			t.Fatalf("seq %d: fates differ (%v %v %g) vs (%v %v %g)", seq, d1, u1, j1, d2, u2, j2)
+		}
+	}
+}
+
+func TestSeedChangesStream(t *testing.T) {
+	a := NewInjector(Plan{Seed: 1, DropProb: 0.5})
+	b := NewInjector(Plan{Seed: 2, DropProb: 0.5})
+	same := 0
+	for seq := uint64(0); seq < 1000; seq++ {
+		d1, _, _ := a.Fate(0, 0, 1, seq)
+		d2, _, _ := b.Fate(0, 0, 1, seq)
+		if d1 == d2 {
+			same++
+		}
+	}
+	if same > 650 || same < 350 {
+		t.Fatalf("seeds 1 and 2 agree on %d/1000 fates, want ~500", same)
+	}
+}
+
+func TestDropRateApproximatesProbability(t *testing.T) {
+	in := NewInjector(Plan{Seed: 7, DropProb: 0.2})
+	drops := 0
+	const n = 20000
+	for seq := uint64(0); seq < n; seq++ {
+		if d, _, _ := in.Fate(0, 0, 1, seq); d {
+			drops++
+		}
+	}
+	rate := float64(drops) / n
+	if rate < 0.17 || rate > 0.23 {
+		t.Fatalf("drop rate %.3f, want ~0.2", rate)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, JitterSec: 1e-5})
+	for seq := uint64(0); seq < 5000; seq++ {
+		_, _, j := in.Fate(0, 0, 1, seq)
+		if j < 0 || j >= 1e-5 {
+			t.Fatalf("jitter %g outside [0, 1e-5)", j)
+		}
+	}
+}
+
+func TestWindowDegradesOneLink(t *testing.T) {
+	in := NewInjector(Plan{Seed: 5, Windows: []Window{
+		{From: 0, To: 1, Start: 1.0, End: 2.0, DropProb: 1.0},
+	}})
+	// Inside the window on the matching link: always dropped.
+	for seq := uint64(0); seq < 100; seq++ {
+		if d, _, _ := in.Fate(1.5, 0, 1, seq); !d {
+			t.Fatal("window drop probability 1.0 let a message through")
+		}
+	}
+	// Outside the window in time, or on the reverse link: never dropped.
+	if d, _, _ := in.Fate(0.5, 0, 1, 1); d {
+		t.Fatal("dropped before the window opened")
+	}
+	if d, _, _ := in.Fate(2.0, 0, 1, 2); d {
+		t.Fatal("dropped after the window closed (End is exclusive)")
+	}
+	if d, _, _ := in.Fate(1.5, 1, 0, 3); d {
+		t.Fatal("reverse link affected by a directed window")
+	}
+}
+
+func TestWildcardWindowMatchesAnyLink(t *testing.T) {
+	in := NewInjector(Plan{Seed: 5, Windows: []Window{
+		{From: -1, To: -1, Start: 0, End: 1, DropProb: 1.0},
+	}})
+	for _, link := range [][2]int{{0, 1}, {1, 0}, {2, 3}} {
+		if d, _, _ := in.Fate(0.5, link[0], link[1], 9); !d {
+			t.Fatalf("wildcard window missed link %v", link)
+		}
+	}
+}
+
+func TestNodeDownSchedule(t *testing.T) {
+	in := NewInjector(Plan{Crashes: []Crash{
+		{Node: 1, At: 1.0, RecoverAt: 2.0},
+		{Node: 1, At: 5.0, RecoverAt: 0}, // permanent
+	}})
+	cases := []struct {
+		at   float64
+		down bool
+	}{
+		{0.5, false}, {1.0, true}, {1.9, true}, {2.0, false}, {3.0, false},
+		{5.0, true}, {100.0, true},
+	}
+	for _, c := range cases {
+		if got := in.NodeDown(1, c.at); got != c.down {
+			t.Errorf("NodeDown(1, %g) = %v, want %v", c.at, got, c.down)
+		}
+	}
+	if in.NodeDown(0, 1.5) {
+		t.Error("node 0 reported down with no scheduled crash")
+	}
+}
+
+func TestNodeRecoverAt(t *testing.T) {
+	in := NewInjector(Plan{Crashes: []Crash{
+		{Node: 1, At: 1.0, RecoverAt: 2.0},
+		{Node: 2, At: 1.0, RecoverAt: 0},
+	}})
+	if rec, ok := in.NodeRecoverAt(1, 1.5); !ok || rec != 2.0 {
+		t.Errorf("NodeRecoverAt(1, 1.5) = %g %v, want 2.0 true", rec, ok)
+	}
+	if _, ok := in.NodeRecoverAt(1, 0.5); ok {
+		t.Error("recovery reported for a node that is up")
+	}
+	if _, ok := in.NodeRecoverAt(2, 1.5); ok {
+		t.Error("recovery reported for a permanent outage")
+	}
+}
+
+func TestCrashesSortedBySchedule(t *testing.T) {
+	in := NewInjector(Plan{Crashes: []Crash{
+		{Node: 0, At: 5.0, RecoverAt: 6.0},
+		{Node: 1, At: 1.0, RecoverAt: 2.0},
+	}})
+	p := in.Plan()
+	if p.Crashes[0].At != 1.0 || p.Crashes[1].At != 5.0 {
+		t.Fatalf("crashes not sorted: %+v", p.Crashes)
+	}
+}

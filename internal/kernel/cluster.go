@@ -2,7 +2,9 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
+	"heterodc/internal/fault"
 	"heterodc/internal/isa"
 	"heterodc/internal/link"
 	"heterodc/internal/msg"
@@ -25,7 +27,22 @@ type Cluster struct {
 	// clock); the power tracer samples on it.
 	OnAdvance func(frontier float64)
 
+	// Tracer, when set, receives fault/retry/recovery events. Install it
+	// with SetTracer so the interconnect shares it.
+	Tracer msg.EventSink
+
+	faults   *fault.Injector
+	events   []nodeEvent
+	eventIdx int
+
 	lastFrontier float64
+}
+
+// nodeEvent is a scheduled crash or recovery transition from a fault plan.
+type nodeEvent struct {
+	time float64
+	node int
+	down bool
 }
 
 // NewCluster builds a cluster with one kernel per listed architecture,
@@ -100,8 +117,118 @@ func (cl *Cluster) SpawnWithFS(img *link.Image, node int, fs *FS) (*Process, err
 	return p, nil
 }
 
+// InjectFaults installs a fault plan for the run: the interconnect applies
+// per-message fates (drop, duplication, jitter) and the cluster executes
+// the plan's crash schedule as it steps past each event time.
+func (cl *Cluster) InjectFaults(plan fault.Plan) {
+	in := fault.NewInjector(plan)
+	cl.faults = in
+	cl.IC.SetInjector(in)
+	cl.events = nil
+	cl.eventIdx = 0
+	for _, c := range in.Plan().Crashes {
+		if c.Node < 0 || c.Node >= len(cl.Kernels) {
+			continue
+		}
+		cl.events = append(cl.events, nodeEvent{time: c.At, node: c.Node, down: true})
+		if c.RecoverAt > c.At {
+			cl.events = append(cl.events, nodeEvent{time: c.RecoverAt, node: c.Node, down: false})
+		}
+	}
+	sort.Slice(cl.events, func(i, j int) bool { return cl.events[i].time < cl.events[j].time })
+}
+
+// SetTracer installs an event sink on the cluster and its interconnect.
+func (cl *Cluster) SetTracer(s msg.EventSink) {
+	cl.Tracer = s
+	cl.IC.SetTracer(s)
+}
+
+func (cl *Cluster) tracef(t float64, kind, format string, args ...interface{}) {
+	if cl.Tracer != nil {
+		cl.Tracer.Record(t, kind, fmt.Sprintf(format, args...))
+	}
+}
+
+// NodeDown reports whether node is currently crashed.
+func (cl *Cluster) NodeDown(node int) bool {
+	return node >= 0 && node < len(cl.Kernels) && cl.Kernels[node].down
+}
+
+// CrashNode fail-stops a node: threads on its cores freeze (state saved
+// back, runnable again only at recovery), the node falls off the
+// interconnect, and messages already in flight to it never arrive —
+// migrating threads are rolled back to their source, other messages are
+// redelivered after a known recovery or lost for good. Memory is
+// preserved, matching the fail-stop-with-intact-RAM model in fault.Crash.
+func (cl *Cluster) CrashNode(node int) {
+	k := cl.Kernels[node]
+	if k.down {
+		return
+	}
+	k.down = true
+	cl.tracef(k.now, "crash", "node %d down", node)
+	for _, cs := range k.cores {
+		if cs.thr != nil {
+			t := cs.thr
+			k.detach(cs)
+			k.enqueue(t)
+		}
+	}
+	var recoverAt float64
+	hasRecover := false
+	if cl.faults != nil {
+		recoverAt, hasRecover = cl.faults.NodeRecoverAt(node, k.now)
+	}
+	for _, m := range cl.IC.Drain(node) {
+		// A delivery already scheduled past a known recovery was sent by a
+		// reliable channel that waited the outage out; it stands.
+		if hasRecover && m.Deliver >= recoverAt {
+			cl.IC.Requeue(m, m.Deliver)
+			continue
+		}
+		if mp, ok := m.Payload.(*migratePayload); ok {
+			cl.rehome(mp, k.now)
+			continue
+		}
+		if hasRecover {
+			cl.IC.Requeue(m, recoverAt+Quantum)
+			continue
+		}
+		cl.tracef(k.now, "msg-lost", "type %d for dead node %d", m.Type, node)
+	}
+}
+
+// RecoverNode brings a crashed node back: its clock was dragged forward by
+// the co-simulation while it was down, its memory is intact, and threads
+// frozen at the crash become runnable again from its run queue.
+func (cl *Cluster) RecoverNode(node int) {
+	k := cl.Kernels[node]
+	if !k.down {
+		return
+	}
+	k.down = false
+	cl.tracef(k.now, "recover", "node %d up (%d threads thawed)", node, len(k.runq))
+}
+
+// applyNodeEvent executes one scheduled crash/recovery transition.
+func (cl *Cluster) applyNodeEvent(ev nodeEvent) {
+	k := cl.Kernels[ev.node]
+	k.skipTo(ev.time)
+	if ev.down {
+		cl.CrashNode(ev.node)
+	} else {
+		cl.RecoverNode(ev.node)
+	}
+}
+
 // readyTime returns when k can next make progress, or inf.
 func (k *Kernel) readyTime() float64 {
+	if k.down {
+		// A crashed kernel executes nothing until its recovery event; the
+		// co-simulation drags its clock forward in the meantime.
+		return inf
+	}
 	for _, cs := range k.cores {
 		if cs.thr != nil {
 			return k.now
@@ -130,6 +257,14 @@ func (cl *Cluster) Step() bool {
 			bestT = t
 			best = k
 		}
+	}
+	// A scheduled crash/recovery due before the next kernel quantum is the
+	// next thing that happens — including when every live kernel is drained
+	// but a recovery would thaw frozen work.
+	if cl.eventIdx < len(cl.events) && cl.events[cl.eventIdx].time <= bestT {
+		cl.applyNodeEvent(cl.events[cl.eventIdx])
+		cl.eventIdx++
+		return true
 	}
 	if best == nil || bestT >= inf {
 		return false
@@ -203,6 +338,18 @@ func (cl *Cluster) reapProcess(p *Process) {
 		// Sleepers are reaped lazily: their State is Exited, so the wake
 		// path drops them.
 	}
+	// Reclaim in-flight messages that pin the dead process's threads
+	// (migrations under way, cross-kernel join wake-ups): delivering them
+	// later would resurrect an Exited thread.
+	cl.IC.Sweep(func(m *msg.Message) bool {
+		switch pl := m.Payload.(type) {
+		case *migratePayload:
+			return pl.t.Proc == p
+		case *wakePayload:
+			return pl.t.Proc == p
+		}
+		return false
+	})
 }
 
 // DefaultInterconnect exposes the testbed interconnect configuration for
@@ -214,14 +361,27 @@ func DefaultInterconnect() msg.Config { return msg.DolphinPXH810() }
 // fires the frontier hook. Used by workload drivers to model idle gaps
 // between job arrivals; idle power integrates over the skipped span.
 func (cl *Cluster) AdvanceTo(t float64) {
-	bound := t
-	for _, k := range cl.Kernels {
-		if e := k.nextEventTime(); e < bound {
-			bound = e
+	for {
+		bound := t
+		for _, k := range cl.Kernels {
+			if e := k.nextEventTime(); e < bound {
+				bound = e
+			}
 		}
-	}
-	for _, k := range cl.Kernels {
-		k.skipTo(bound)
+		// Scheduled crash/recovery transitions inside the gap must fire, or
+		// a driver idling past a recovery would never thaw the node.
+		evDue := cl.eventIdx < len(cl.events) && cl.events[cl.eventIdx].time <= bound
+		if evDue && cl.events[cl.eventIdx].time < bound {
+			bound = cl.events[cl.eventIdx].time
+		}
+		for _, k := range cl.Kernels {
+			k.skipTo(bound)
+		}
+		if !evDue {
+			break
+		}
+		cl.applyNodeEvent(cl.events[cl.eventIdx])
+		cl.eventIdx++
 	}
 	if f := cl.Time(); f > cl.lastFrontier {
 		cl.lastFrontier = f

@@ -1,0 +1,379 @@
+// Failure-aware behaviour of the kernel: migration abort and fallback,
+// crash rehoming, message reclamation and graceful degradation, driven
+// through the core facade under seeded fault plans.
+package kernel_test
+
+import (
+	"strings"
+	"testing"
+
+	"heterodc/internal/core"
+	"heterodc/internal/fault"
+	"heterodc/internal/kernel"
+	"heterodc/internal/trace"
+)
+
+// migrateAndReport migrates to node 1 and prints where it landed.
+const migrateAndReportSrc = `
+long main(void) {
+	migrate(1);
+	print_i64_ln(getnode());
+	return 0;
+}`
+
+func TestMigrationAbortsWhenDestinationDown(t *testing.T) {
+	img, err := core.Build("t", core.Src("t.c", migrateAndReportSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewTestbed()
+	// Node 1 is dead from the start and never recovers.
+	cl.InjectFaults(fault.Plan{Crashes: []fault.Crash{{Node: 1, At: 0, RecoverAt: 0}}})
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Wait(cl, p)
+	if err != nil {
+		t.Fatalf("process died instead of degrading: %v", err)
+	}
+	if res.ExitCode != 0 || string(res.Output) != "0\n" {
+		t.Fatalf("exit %d output %q, want to stay on node 0", res.ExitCode, res.Output)
+	}
+	if cl.Kernels[0].MigrationsAborted == 0 {
+		t.Error("no aborted migration counted")
+	}
+	if res.Migrations != 0 {
+		t.Errorf("counted %d completed migrations for an aborted one", res.Migrations)
+	}
+}
+
+func TestMigrationFallsBackWhenRetriesExhausted(t *testing.T) {
+	img, err := core.Build("t", core.Src("t.c", migrateAndReportSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewTestbed()
+	log := trace.NewEventLog(256)
+	cl.SetTracer(log)
+	// The 0->1 link drops everything, forever: the reliable channel burns
+	// its whole retry budget and the thread must resume on the source.
+	cl.InjectFaults(fault.Plan{Seed: 2, Windows: []fault.Window{
+		{From: 0, To: 1, Start: 0, End: 1e30, DropProb: 1.0},
+	}})
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Wait(cl, p)
+	if err != nil {
+		t.Fatalf("process died instead of falling back: %v", err)
+	}
+	if res.ExitCode != 0 || string(res.Output) != "0\n" {
+		t.Fatalf("exit %d output %q, want fallback to node 0", res.ExitCode, res.Output)
+	}
+	if cl.Kernels[0].MigrationsAborted == 0 {
+		t.Error("no aborted migration counted")
+	}
+	s := cl.IC.Stats()
+	if s.Exhausted == 0 || s.Retries == 0 {
+		t.Errorf("interconnect stats show no retry exhaustion: %+v", s)
+	}
+	if log.Count("migrate-abort") == 0 {
+		t.Errorf("trace has no migrate-abort event:\n%s", log)
+	}
+}
+
+func TestMigrationSurvivesDuplicateDelivery(t *testing.T) {
+	img, err := core.Build("t", core.Src("t.c", migrateAndReportSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewTestbed()
+	// Every message is duplicated; the destination must ignore the copy.
+	cl.InjectFaults(fault.Plan{Seed: 6, DupProb: 1.0})
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Wait(cl, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 || string(res.Output) != "1\n" {
+		t.Fatalf("exit %d output %q, want migration to node 1", res.ExitCode, res.Output)
+	}
+	if res.Migrations != 1 {
+		t.Errorf("migrations = %d, want 1 (duplicate must not double-count)", res.Migrations)
+	}
+	if cl.IC.Stats().Duplicated == 0 {
+		t.Error("no duplication recorded")
+	}
+}
+
+func TestInFlightThreadRehomedOnDestinationCrash(t *testing.T) {
+	img, err := core.Build("t", core.Src("t.c", migrateAndReportSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewTestbed()
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step until the thread is in flight (transformed state queued on the
+	// interconnect), then crash the destination under it.
+	for p.Thread(0).State != kernel.InFlight {
+		if !cl.Step() {
+			t.Fatal("cluster drained before the migration launched")
+		}
+	}
+	if cl.IC.Pending(core.NodeARM) == 0 {
+		t.Fatal("no migrate message in flight")
+	}
+	cl.CrashNode(core.NodeARM)
+	if cl.IC.Pending(core.NodeARM) != 0 {
+		t.Fatal("crash left messages queued for the dead node")
+	}
+	res, err := core.Wait(cl, p)
+	if err != nil {
+		t.Fatalf("process died instead of rehoming: %v", err)
+	}
+	if res.ExitCode != 0 || string(res.Output) != "0\n" {
+		t.Fatalf("exit %d output %q, want thread back on node 0", res.ExitCode, res.Output)
+	}
+	if cl.Kernels[0].MigrationsAborted == 0 {
+		t.Error("rehome not counted as an aborted migration")
+	}
+}
+
+func TestMigrationWaitsOutFiniteOutage(t *testing.T) {
+	img, err := core.Build("t", core.Src("t.c", migrateAndReportSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewTestbed()
+	// Node 1 is down across the migration launch but recovers; the
+	// reliable channel waits the outage out and the thread lands there.
+	cl.InjectFaults(fault.Plan{Crashes: []fault.Crash{{Node: 1, At: 10e-6, RecoverAt: 5e-3}}})
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Wait(cl, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 || string(res.Output) != "1\n" {
+		t.Fatalf("exit %d output %q, want migration to complete after recovery", res.ExitCode, res.Output)
+	}
+	if res.Seconds < 5e-3 {
+		t.Errorf("finished at %gs, before the destination even recovered", res.Seconds)
+	}
+}
+
+func TestReapReclaimsInFlightMigration(t *testing.T) {
+	// The worker launches a migration; main exits the whole process while
+	// the thread is still in flight. The queued migrate message must be
+	// reclaimed, not delivered to resurrect an Exited thread.
+	src := `
+long worker(long arg) {
+	migrate(1);
+	return getnode();
+}
+long main(void) {
+	spawn(worker, 0);
+	long spin = 0;
+	for (long i = 0; i < 3000; i++) { spin += i; }
+	exit(7);
+	return spin;
+}`
+	img, err := core.Build("t", core.Src("t.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewTestbed()
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawInFlight := false
+	for {
+		if exited, _ := p.Exited(); exited {
+			break
+		}
+		if w := p.Thread(1); w != nil && w.State == kernel.InFlight {
+			sawInFlight = true
+		}
+		if !cl.Step() {
+			t.Fatal("cluster drained before exit")
+		}
+	}
+	if !sawInFlight {
+		t.Skip("main exited before the worker's migration launched (timing drift)")
+	}
+	if n := cl.IC.Pending(core.NodeARM); n != 0 {
+		t.Fatalf("%d messages for the dead process still queued after reap", n)
+	}
+	if cl.Kernels[core.NodeARM].MigrationsIn != 0 {
+		t.Fatal("stale migrate payload was delivered after the process exited")
+	}
+	// The cluster is fully drained: nothing of the process lingers.
+	for n, k := range cl.Kernels {
+		if k.RunnableLoad() != 0 {
+			t.Errorf("node %d still has runnable load %d after reap", n, k.RunnableLoad())
+		}
+	}
+	if cl.Step() {
+		t.Error("cluster still steppable after the only process exited")
+	}
+}
+
+func TestReapClearsQueuesAndCores(t *testing.T) {
+	// exit() from main kills spinning workers on both nodes; every run
+	// queue and core must come back empty.
+	src := `
+long worker(long arg) {
+	long x = 0;
+	for (;;) { x += 1; }
+	return x;
+}
+long main(void) {
+	for (long i = 0; i < 8; i++) { spawn(worker, i); }
+	long spin = 0;
+	for (long i = 0; i < 50000; i++) { spin += i; }
+	exit(3);
+	return spin;
+}`
+	img, err := core.Build("t", core.Src("t.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewTestbed()
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Wait(cl, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 3 {
+		t.Fatalf("exit %d, want 3", res.ExitCode)
+	}
+	for n, k := range cl.Kernels {
+		if k.BusyCores() != 0 || k.RunnableLoad() != 0 {
+			t.Errorf("node %d: %d busy cores, load %d after reap", n, k.BusyCores(), k.RunnableLoad())
+		}
+	}
+	if cl.Step() {
+		t.Error("cluster still steppable after reap")
+	}
+}
+
+func TestRunProcessReportsDrainDeadlock(t *testing.T) {
+	// Mutual join: main waits on the worker, the worker waits on main.
+	// Nothing can ever run again; RunProcess must say so instead of
+	// spinning forever.
+	src := `
+long worker(long arg) {
+	join(0);
+	return 0;
+}
+long main(void) {
+	long w = spawn(worker, 0);
+	join(w);
+	return 0;
+}`
+	img, err := core.Build("t", core.Src("t.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewTestbed()
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.Wait(cl, p)
+	if err == nil {
+		t.Fatal("mutual join finished instead of deadlocking")
+	}
+	if !strings.Contains(err.Error(), "drained") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestRequestMigrationValidatesTarget(t *testing.T) {
+	src := `long main(void){ for (long i = 0; i < 100000; i++) {} return 0; }`
+	img, err := core.Build("t", core.Src("t.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewTestbed()
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RequestMigration(p, 0, 99); err == nil {
+		t.Error("out-of-range node 99 accepted")
+	}
+	if err := cl.RequestMigration(p, 0, -2); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := cl.RequestMigration(p, 0, core.NodeARM); err != nil {
+		t.Errorf("valid target rejected: %v", err)
+	}
+	if _, err := core.Wait(cl, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeCrashFreezesAndRecoveryThaws(t *testing.T) {
+	// A thread migrates to node 1 and works there; node 1 crashes mid-run
+	// and recovers. The thread must freeze across the outage (memory
+	// intact) and finish with the right answer afterwards.
+	src := `
+long main(void) {
+	migrate(1);
+	long sum = 0;
+	for (long i = 0; i < 2000000; i++) { sum += i % 7; }
+	print_i64_ln(sum);
+	print_i64_ln(getnode());
+	return 0;
+}`
+	img, err := core.Build("t", core.Src("t.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline without faults for the expected output.
+	ref, err := core.Run(img, core.NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl := core.NewTestbed()
+	log := trace.NewEventLog(64)
+	cl.SetTracer(log)
+	crashAt := ref.Seconds * 0.5
+	cl.InjectFaults(fault.Plan{Crashes: []fault.Crash{
+		{Node: 1, At: crashAt, RecoverAt: crashAt + 0.2},
+	}})
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Wait(cl, p)
+	if err != nil {
+		t.Fatalf("crash+recovery killed the process: %v", err)
+	}
+	if string(res.Output) != string(ref.Output) {
+		t.Fatalf("output diverged across the outage: %q vs %q", res.Output, ref.Output)
+	}
+	if res.Seconds < crashAt+0.2 {
+		t.Errorf("finished at %gs, inside the outage ending at %gs", res.Seconds, crashAt+0.2)
+	}
+	if log.Count("crash") != 1 || log.Count("recover") != 1 {
+		t.Errorf("trace events: %d crash, %d recover, want 1 each\n%s",
+			log.Count("crash"), log.Count("recover"), log)
+	}
+}

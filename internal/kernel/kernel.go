@@ -66,7 +66,18 @@ type Kernel struct {
 	// MigrationsIn/Out count thread arrivals/departures.
 	MigrationsIn  uint64
 	MigrationsOut uint64
+	// MigrationsAborted counts migrations aborted and rolled back onto this
+	// (source) node: destination down at the migration point, transfer
+	// retries exhausted, or destination crashed under an in-flight thread.
+	MigrationsAborted uint64
+
+	// down marks the node fail-stopped: it executes nothing and falls off
+	// the interconnect until RecoverNode. Memory is preserved.
+	down bool
 }
+
+// Down reports whether the node is currently crashed.
+func (k *Kernel) Down() bool { return k.down }
 
 type coreSlot struct {
 	id   int
@@ -363,13 +374,41 @@ func (k *Kernel) handleFault(t *Thread, addr uint64, write bool, now float64) (f
 		// hDSM service CPU work at both endpoints.
 		k.ServiceSeconds += dsmServiceCPUSeconds
 		k.cluster.Kernels[act.TransferFrom].ServiceSeconds += dsmServiceCPUSeconds
-		return now + k.cluster.IC.RoundTripTime(mem.PageSize), nil
+		rtt, ok := k.cluster.IC.ReliableRTT(now, k.Node, act.TransferFrom, mem.PageSize)
+		if !ok {
+			return 0, fmt.Errorf("kernel: node %d: page %#x unreachable: owner node %d unresponsive", k.Node, base, act.TransferFrom)
+		}
+		return now + rtt, nil
 	}
 
-	// Upgrade in place (Shared -> Exclusive): invalidation round trip, no
-	// data transfer.
+	// Upgrade in place (Shared -> Exclusive): invalidation round trip with
+	// the nearest copy holder (or the origin's directory), no data transfer.
 	p.Mems[k.Node].Unprotect(base)
-	return now + k.cluster.IC.RoundTripTime(0), nil
+	rtt, ok := k.cluster.IC.ReliableRTT(now, k.Node, dsmPeer(act, p, k.Node), 0)
+	if !ok {
+		return 0, fmt.Errorf("kernel: node %d: invalidation for page %#x lost: peer unresponsive", k.Node, base)
+	}
+	return now + rtt, nil
+}
+
+// dsmPeer picks the remote endpoint an invalidation round trip talks to:
+// a node losing its copy if any, else the origin's directory authority.
+// With no remote party involved the exchange is local and free of faults.
+func dsmPeer(act dsm.Action, p *Process, self int) int {
+	for _, n := range act.Drop {
+		if n != self {
+			return n
+		}
+	}
+	for _, n := range act.Protect {
+		if n != self {
+			return n
+		}
+	}
+	if p.Origin != self {
+		return p.Origin
+	}
+	return self
 }
 
 // applyDSM applies Drop/Protect directives to other nodes' copies.
@@ -440,6 +479,7 @@ func (m *kmem) resolve(addr uint64, write bool) error {
 		}
 	}
 	m.k.applyDSM(m.p, act, base)
+	now := m.k.now + m.Lat
 	if act.TransferFrom >= 0 {
 		dst := m.p.Mems[m.k.Node].EnsurePage(base)
 		if snapshot != nil {
@@ -447,9 +487,17 @@ func (m *kmem) resolve(addr uint64, write bool) error {
 		}
 		m.k.PagesIn++
 		m.k.cluster.Kernels[act.TransferFrom].PagesOut++
-		m.Lat += m.k.cluster.IC.RoundTripTime(mem.PageSize)
+		rtt, ok := m.k.cluster.IC.ReliableRTT(now, m.k.Node, act.TransferFrom, mem.PageSize)
+		if !ok {
+			return fmt.Errorf("kernel: page %#x unreachable: owner node %d unresponsive", base, act.TransferFrom)
+		}
+		m.Lat += rtt
 	} else {
-		m.Lat += m.k.cluster.IC.RoundTripTime(0)
+		rtt, ok := m.k.cluster.IC.ReliableRTT(now, m.k.Node, dsmPeer(act, m.p, m.k.Node), 0)
+		if !ok {
+			return fmt.Errorf("kernel: invalidation for page %#x lost: peer unresponsive", base)
+		}
+		m.Lat += rtt
 	}
 	if act.Grant == dsm.Shared {
 		m.p.Mems[m.k.Node].Protect(base)

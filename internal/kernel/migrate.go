@@ -48,6 +48,45 @@ type migratePayload struct {
 	// deserializeSeconds is charged at the destination before the thread
 	// becomes runnable (zero for native multi-ISA migration).
 	deserializeSeconds float64
+	// undo restores the thread on its source if the migration aborts.
+	undo threadUndo
+}
+
+// threadUndo snapshots the source-side state a migration rolls back to when
+// it aborts: the pre-transformation registers and PC, the stack half they
+// ran on, and the node. Restoring these resumes the thread at the migration
+// point as if the syscall had returned 0 (stay).
+type threadUndo struct {
+	regs xform.RegState
+	pc   uint64
+	half int
+	node int
+}
+
+// abortMigration rolls an InFlight thread back onto its source node and
+// returns the source kernel.
+func (cl *Cluster) abortMigration(t *Thread, undo threadUndo) *Kernel {
+	src := cl.Kernels[undo.node]
+	t.Regs = undo.regs
+	t.PC = undo.pc
+	t.CurHalf = undo.half
+	t.Node = undo.node
+	// The migrate syscall reads as 0 ("stayed put") when the thread resumes.
+	t.Regs.I[src.Desc.IntRet] = 0
+	src.MigrationsAborted++
+	return src
+}
+
+// rehome returns an in-flight migrating thread to its source after the
+// destination crashed under it (called from CrashNode's queue drain).
+func (cl *Cluster) rehome(mp *migratePayload, now float64) {
+	t := mp.t
+	if t.State != InFlight || t.Proc.exited {
+		return
+	}
+	src := cl.abortMigration(t, mp.undo)
+	cl.tracef(now, "migrate-rehome", "tid %d of pid %d back to node %d", t.Tid, t.Proc.Pid, mp.undo.node)
+	src.enqueue(t)
 }
 
 // XformLatency models the stack transformation's wall time from the work it
@@ -80,6 +119,15 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 	if target == k.Node || target < 0 || target >= len(cl.Kernels) {
 		k.vdsoSetFlag(p, t.Tid, 0)
 		c.SetSyscallResult(0)
+		return false
+	}
+	if cl.NodeDown(target) {
+		// Destination is crashed: abort at the migration point before any
+		// state moves; the thread keeps running where it is.
+		k.vdsoSetFlag(p, t.Tid, 0)
+		c.SetSyscallResult(0)
+		k.MigrationsAborted++
+		cl.tracef(k.now, "migrate-abort", "tid %d of pid %d: node %d is down", t.Tid, p.Pid, target)
 		return false
 	}
 	if !p.Img.Aligned {
@@ -141,13 +189,12 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 
 	k.vdsoSetFlag(p, t.Tid, 0)
 	k.detach(cs)
+	undo := threadUndo{regs: t.Regs, pc: t.PC, half: t.CurHalf, node: k.Node}
 	t.State = InFlight
 	t.Node = target
 	t.CurHalf = 1 - t.CurHalf
 	t.Regs = out.Regs
 	t.PC = out.PC
-	t.Migrations++
-	k.MigrationsOut++
 
 	payloadSize := int64(migratePayloadBytes)
 	if p.serializedMigration || p.eagerPageMigration {
@@ -179,8 +226,24 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 		}
 		payloadSize = stateBytes + migratePayloadBytes
 	}
-	cl.IC.Send(k.now+xlat, k.Node, target, msg.TThreadMigrate, payloadSize,
-		&migratePayload{t: t, deserializeSeconds: deserializeLat})
+	sentAt, ok := cl.IC.SendReliable(k.now+xlat, k.Node, target, msg.TThreadMigrate, payloadSize,
+		&migratePayload{t: t, deserializeSeconds: deserializeLat, undo: undo})
+	if !ok {
+		// Transfer retries exhausted or the destination died for good
+		// mid-handshake: roll the thread back onto this node. The time the
+		// reliable channel burned trying is real — the thread sleeps it off
+		// before resuming at the migration point.
+		cl.abortMigration(t, undo)
+		cl.tracef(k.now, "migrate-abort", "tid %d of pid %d: transfer to node %d failed", t.Tid, p.Pid, target)
+		if sentAt > k.now {
+			k.sleep(t, sentAt)
+		} else {
+			k.enqueue(t)
+		}
+		return true
+	}
+	t.Migrations++
+	k.MigrationsOut++
 
 	if cl.OnMigration != nil {
 		cl.OnMigration(MigrationEvent{
@@ -196,6 +259,9 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 // RequestMigration asks thread tid of p to migrate to target at its next
 // migration point (the scheduler raising the vDSO flag).
 func (cl *Cluster) RequestMigration(p *Process, tid int64, target int) error {
+	if target < 0 || target >= len(cl.Kernels) {
+		return fmt.Errorf("kernel: no node %d", target)
+	}
 	t := p.threads[tid]
 	if t == nil {
 		return fmt.Errorf("kernel: no thread %d", tid)

@@ -26,7 +26,7 @@ func (k *Kernel) syscall(cs *coreSlot, num int64, args [5]int64) bool {
 	// per-process authority lives there (distributed-service consistency).
 	remoteCharge := func(bytes int64) {
 		if k.Node != p.Origin {
-			charge(k.cluster.IC.RoundTripTime(bytes))
+			charge(k.cluster.IC.RoundTripTime(k.now, k.Node, p.Origin, bytes))
 		}
 	}
 
@@ -207,7 +207,12 @@ func (k *Kernel) wakeJoiner(j *Thread, result int64) {
 		k.enqueue(j)
 		return
 	}
-	k.cluster.IC.Send(k.now, k.Node, j.Node, msg.TRemoteWake, 64, &wakePayload{t: j, result: result})
+	if _, ok := k.cluster.IC.SendReliable(k.now, k.Node, j.Node, msg.TRemoteWake, 64,
+		&wakePayload{t: j, result: result}); !ok {
+		// The joiner's node never comes back; the joiner stays blocked and
+		// the cluster drains, surfacing the deadlock to the caller.
+		k.cluster.tracef(k.now, "wake-lost", "join wake for tid %d to node %d undeliverable", j.Tid, j.Node)
+	}
 }
 
 // handleMessage processes one delivered inter-kernel message.
@@ -222,10 +227,17 @@ func (k *Kernel) handleMessage(m *msg.Message) {
 	case msg.TThreadMigrate:
 		mp := m.Payload.(*migratePayload)
 		t := mp.t
-		k.MigrationsIn++
-		if t.Proc.exited {
+		if t.Proc.exited || t.State == Exited {
+			// The process died while the thread was in flight: the payload
+			// is stale and must not resurrect an Exited thread.
 			return
 		}
+		if t.State != InFlight || t.Node != k.Node {
+			// Duplicate delivery (the reliable channel double-delivers when
+			// an acknowledgement is lost): the first copy already landed.
+			return
+		}
+		k.MigrationsIn++
 		if mp.deserializeSeconds > 0 {
 			// Deserialization burns destination CPU before the thread runs.
 			k.BusySeconds += mp.deserializeSeconds

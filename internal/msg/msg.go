@@ -3,10 +3,18 @@
 // with a Dolphin ICS PXH810 PCIe link (up to 64 Gb/s); the model charges
 // every message a per-hop latency plus serialisation time at the link
 // bandwidth, with per-directed-link occupancy.
+//
+// The interconnect is optionally lossy: an installed Injector (see
+// internal/fault) can drop, duplicate or jitter messages and take nodes
+// offline. Reliable senders (SendReliable, ReliableRTT) model an
+// acknowledged channel with timeout-driven, capped exponential-backoff
+// retransmission on top of the lossy fabric, so the distributed kernel
+// services survive message loss at the cost of latency.
 package msg
 
 import (
 	"container/heap"
+	"fmt"
 )
 
 // Type tags inter-kernel messages.
@@ -48,7 +56,22 @@ type Config struct {
 	BytesPerSec float64
 	// HeaderBytes is added to every message's wire size.
 	HeaderBytes int64
+	// RetxTimeoutSec is the reliable senders' initial retransmission
+	// timeout; 0 selects DefaultRetxTimeout.
+	RetxTimeoutSec float64
+	// MaxRetries caps loss-induced retransmissions per reliable exchange;
+	// 0 selects DefaultMaxRetries.
+	MaxRetries int
 }
+
+// Reliable-delivery defaults: the initial retransmission timeout is an
+// order of magnitude above the healthy round trip, doubling per retry up
+// to retxBackoffCap times the initial value.
+const (
+	DefaultRetxTimeout = 25e-6
+	DefaultMaxRetries  = 8
+	retxBackoffCap     = 32
+)
 
 // DolphinPXH810 models the testbed's interconnect: sub-microsecond PCIe
 // latency and 64 Gb/s of bandwidth.
@@ -60,6 +83,34 @@ func DolphinPXH810() Config {
 type Stats struct {
 	Messages uint64
 	Bytes    uint64
+	// Fault-injection and reliable-delivery counters; all stay zero on a
+	// healthy interconnect. Two runs of the same workload under the same
+	// fault plan produce identical counters.
+	Dropped     uint64 // message legs lost to the injector or a dead node
+	Duplicated  uint64 // duplicate deliveries enqueued (lost acks, dup faults)
+	Retries     uint64 // retransmissions by reliable senders
+	Exhausted   uint64 // reliable exchanges that gave up
+	CrashStalls uint64 // reliable exchanges that waited out a node outage
+}
+
+// Injector decides message fates for fault injection; *fault.Injector
+// implements it. Implementations must be deterministic functions of their
+// arguments.
+type Injector interface {
+	// Fate decides whether the message leg identified by seq is dropped or
+	// duplicated and how much extra latency it suffers.
+	Fate(now float64, from, to int, seq uint64) (drop, dup bool, jitter float64)
+	// NodeDown reports whether node is offline at time at.
+	NodeDown(node int, at float64) bool
+	// NodeRecoverAt returns when a down node rejoins (false: up already,
+	// or never).
+	NodeRecoverAt(node int, at float64) (float64, bool)
+}
+
+// EventSink receives fault/retry diagnostics; trace.EventLog implements
+// it.
+type EventSink interface {
+	Record(t float64, kind, detail string)
 }
 
 // Interconnect is the shared fabric between kernels. It is a deterministic
@@ -69,6 +120,9 @@ type Interconnect struct {
 	cfg   Config
 	seq   uint64
 	stats Stats
+
+	inj    Injector
+	tracer EventSink
 
 	// busyUntil[from][to] models per-directed-link serialisation.
 	busyUntil map[int]map[int]float64
@@ -88,8 +142,35 @@ func New(cfg Config) *Interconnect {
 // Stats returns traffic counters.
 func (ic *Interconnect) Stats() Stats { return ic.stats }
 
-// Send enqueues a message at time now and returns its delivery time.
-func (ic *Interconnect) Send(now float64, from, to int, t Type, size int64, payload interface{}) float64 {
+// SetInjector installs (or, with nil, removes) a fault injector.
+func (ic *Interconnect) SetInjector(inj Injector) { ic.inj = inj }
+
+// SetTracer installs an event sink for fault/retry diagnostics.
+func (ic *Interconnect) SetTracer(s EventSink) { ic.tracer = s }
+
+func (ic *Interconnect) tracef(t float64, kind, format string, args ...interface{}) {
+	if ic.tracer != nil {
+		ic.tracer.Record(t, kind, fmt.Sprintf(format, args...))
+	}
+}
+
+func (ic *Interconnect) retxTimeout() float64 {
+	if ic.cfg.RetxTimeoutSec > 0 {
+		return ic.cfg.RetxTimeoutSec
+	}
+	return DefaultRetxTimeout
+}
+
+func (ic *Interconnect) maxRetries() int {
+	if ic.cfg.MaxRetries > 0 {
+		return ic.cfg.MaxRetries
+	}
+	return DefaultMaxRetries
+}
+
+// transmit charges the from->to link for one message and builds it with
+// its fault-free delivery time; the caller decides whether it is enqueued.
+func (ic *Interconnect) transmit(now float64, from, to int, t Type, size int64, payload interface{}) *Message {
 	wire := size + ic.cfg.HeaderBytes
 	bu := ic.busyUntil[from]
 	if bu == nil {
@@ -102,29 +183,184 @@ func (ic *Interconnect) Send(now float64, from, to int, t Type, size int64, payl
 	}
 	txEnd := start + float64(wire)/ic.cfg.BytesPerSec
 	bu[to] = txEnd
-	deliver := txEnd + ic.cfg.LatencySec
 
 	ic.seq++
-	m := &Message{
-		Seq: ic.seq, From: from, To: to, Type: t,
-		Size: size, Deliver: deliver, Payload: payload,
-	}
-	q := ic.queues[to]
-	if q == nil {
-		q = &msgHeap{}
-		ic.queues[to] = q
-	}
-	heap.Push(q, m)
 	ic.stats.Messages++
 	ic.stats.Bytes += uint64(wire)
-	return deliver
+	return &Message{
+		Seq: ic.seq, From: from, To: to, Type: t,
+		Size: size, Deliver: txEnd + ic.cfg.LatencySec, Payload: payload,
+	}
 }
 
-// RoundTripTime estimates a small-request/sized-reply exchange, used to
-// model request+reply pairs with a single enqueued message.
-func (ic *Interconnect) RoundTripTime(replySize int64) float64 {
-	wire := replySize + 2*ic.cfg.HeaderBytes
-	return 2*ic.cfg.LatencySec + float64(wire)/ic.cfg.BytesPerSec
+func (ic *Interconnect) push(m *Message) {
+	q := ic.queues[m.To]
+	if q == nil {
+		q = &msgHeap{}
+		ic.queues[m.To] = q
+	}
+	heap.Push(q, m)
+}
+
+// Send enqueues a message at time now and returns its (possibly jittered)
+// delivery time. With an injector installed the message may be lost — a
+// dropped message is never enqueued and the returned time is where it
+// would have arrived — so callers needing delivery guarantees use
+// SendReliable.
+func (ic *Interconnect) Send(now float64, from, to int, t Type, size int64, payload interface{}) float64 {
+	m := ic.transmit(now, from, to, t, size, payload)
+	if ic.inj != nil {
+		drop, dup, jit := ic.inj.Fate(now, from, to, m.Seq)
+		m.Deliver += jit
+		if drop || ic.inj.NodeDown(to, m.Deliver) {
+			ic.stats.Dropped++
+			ic.tracef(now, "drop", "type %d %d->%d seq %d", t, from, to, m.Seq)
+			return m.Deliver
+		}
+		if dup {
+			ic.stats.Duplicated++
+			cp := *m
+			ic.seq++
+			cp.Seq = ic.seq
+			cp.Deliver = m.Deliver + ic.cfg.LatencySec
+			ic.push(&cp)
+		}
+	}
+	ic.push(m)
+	return m.Deliver
+}
+
+// SendReliable models an acknowledged send: every lost attempt costs the
+// sender one retransmission timeout (doubling per retry, capped) before
+// the next try, and a destination inside a known-finite outage is waited
+// out without consuming the retry budget (the sender backs off to a
+// keepalive cadence). A lost acknowledgement or a duplication fault
+// enqueues a second copy the receiver must tolerate. It returns the
+// delivery time of the surviving copy, or (t, false) if the message could
+// not be delivered — retries exhausted or the destination never recovers
+// — in which case nothing was enqueued and t is when the sender gave up.
+func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int64, payload interface{}) (float64, bool) {
+	if ic.inj == nil {
+		return ic.Send(now, from, to, t, size, payload), true
+	}
+	elapsed := 0.0
+	rto := ic.retxTimeout()
+	retries := 0
+	for {
+		at := now + elapsed
+		if ic.inj.NodeDown(to, at) {
+			rec, ok := ic.inj.NodeRecoverAt(to, at)
+			if !ok {
+				ic.stats.Exhausted++
+				ic.tracef(at, "send-fail", "type %d %d->%d: node %d down permanently", t, from, to, to)
+				return at, false
+			}
+			ic.stats.CrashStalls++
+			elapsed = rec - now + rto
+			continue
+		}
+		m := ic.transmit(at, from, to, t, size, payload)
+		drop, dup, jit := ic.inj.Fate(at, from, to, m.Seq)
+		if drop {
+			ic.stats.Dropped++
+			ic.stats.Retries++
+			retries++
+			ic.tracef(at, "retx", "type %d %d->%d seq %d retry %d", t, from, to, m.Seq, retries)
+			if retries > ic.maxRetries() {
+				ic.stats.Exhausted++
+				ic.tracef(at, "send-fail", "type %d %d->%d: retries exhausted", t, from, to)
+				return at, false
+			}
+			elapsed += rto
+			if rto < ic.retxTimeout()*retxBackoffCap {
+				rto *= 2
+			}
+			continue
+		}
+		m.Deliver += jit
+		ic.push(m)
+		// Decide the acknowledgement's fate: a lost ack makes the sender
+		// retransmit a copy the receiver has already seen.
+		ic.seq++
+		ackDrop, _, _ := ic.inj.Fate(m.Deliver, to, from, ic.seq)
+		if dup || ackDrop {
+			ic.stats.Duplicated++
+			cp := *m
+			ic.seq++
+			cp.Seq = ic.seq
+			cp.Deliver = m.Deliver + rto
+			ic.push(&cp)
+		}
+		return m.Deliver, true
+	}
+}
+
+// RoundTripTime estimates a small-request/sized-reply exchange starting at
+// time now, used to model request+reply service pairs without enqueuing
+// messages. Each leg waits for its directed link's current occupancy, like
+// Send does, but the estimate does not consume occupancy itself.
+func (ic *Interconnect) RoundTripTime(now float64, from, to int, replySize int64) float64 {
+	start := now
+	if bu := ic.busyUntil[from]; bu != nil && bu[to] > start {
+		start = bu[to]
+	}
+	arrive := start + float64(ic.cfg.HeaderBytes)/ic.cfg.BytesPerSec + ic.cfg.LatencySec
+	replyStart := arrive
+	if bu := ic.busyUntil[to]; bu != nil && bu[from] > replyStart {
+		replyStart = bu[from]
+	}
+	done := replyStart + float64(replySize+ic.cfg.HeaderBytes)/ic.cfg.BytesPerSec + ic.cfg.LatencySec
+	return done - now
+}
+
+// ReliableRTT models a synchronous request/reply exchange (a DSM page
+// fetch, an invalidation) over the lossy fabric: a lost leg costs one
+// retransmission timeout (capped exponential backoff), and a peer inside a
+// known-finite outage is waited out without consuming the retry budget.
+// It returns the total elapsed seconds at the requester and false if the
+// exchange could not complete (retries exhausted or the peer never
+// recovers).
+func (ic *Interconnect) ReliableRTT(now float64, from, to int, replySize int64) (float64, bool) {
+	if ic.inj == nil || from == to {
+		return ic.RoundTripTime(now, from, to, replySize), true
+	}
+	elapsed := 0.0
+	rto := ic.retxTimeout()
+	retries := 0
+	for {
+		at := now + elapsed
+		if ic.inj.NodeDown(to, at) {
+			rec, ok := ic.inj.NodeRecoverAt(to, at)
+			if !ok {
+				ic.stats.Exhausted++
+				ic.tracef(at, "rtt-fail", "%d->%d: node %d down permanently", from, to, to)
+				return elapsed, false
+			}
+			ic.stats.CrashStalls++
+			elapsed = rec - now + rto
+			continue
+		}
+		ic.seq++
+		reqDrop, _, reqJit := ic.inj.Fate(at, from, to, ic.seq)
+		ic.seq++
+		repDrop, _, repJit := ic.inj.Fate(at, to, from, ic.seq)
+		if !reqDrop && !repDrop {
+			return elapsed + ic.RoundTripTime(at, from, to, replySize) + reqJit + repJit, true
+		}
+		ic.stats.Dropped++
+		ic.stats.Retries++
+		retries++
+		ic.tracef(at, "retx", "rtt %d->%d retry %d", from, to, retries)
+		if retries > ic.maxRetries() {
+			ic.stats.Exhausted++
+			ic.tracef(at, "rtt-fail", "%d->%d: retries exhausted", from, to)
+			return elapsed, false
+		}
+		elapsed += rto
+		if rto < ic.retxTimeout()*retxBackoffCap {
+			rto *= 2
+		}
+	}
 }
 
 // PopDue removes and returns the next message for node due at or before
@@ -148,6 +384,56 @@ func (ic *Interconnect) NextDeliver(node int) (float64, bool) {
 		return 0, false
 	}
 	return (*q)[0].Deliver, true
+}
+
+// Pending returns the number of queued messages for node.
+func (ic *Interconnect) Pending(node int) int {
+	q := ic.queues[node]
+	if q == nil {
+		return 0
+	}
+	return q.Len()
+}
+
+// Drain removes and returns every queued message for node in delivery
+// order (a crashed node's queue sweep).
+func (ic *Interconnect) Drain(node int) []*Message {
+	q := ic.queues[node]
+	if q == nil {
+		return nil
+	}
+	var out []*Message
+	for q.Len() > 0 {
+		out = append(out, heap.Pop(q).(*Message))
+	}
+	return out
+}
+
+// Requeue re-enqueues a drained message with a new delivery time
+// (redelivery after the destination recovers).
+func (ic *Interconnect) Requeue(m *Message, deliver float64) {
+	m.Deliver = deliver
+	ic.push(m)
+}
+
+// Sweep removes every queued message (on all nodes) for which drop
+// returns true, returning how many were reclaimed. Used to garbage-collect
+// in-flight messages that reference a reaped process.
+func (ic *Interconnect) Sweep(drop func(*Message) bool) int {
+	n := 0
+	for _, q := range ic.queues {
+		kept := (*q)[:0]
+		for _, m := range *q {
+			if drop(m) {
+				n++
+				continue
+			}
+			kept = append(kept, m)
+		}
+		*q = kept
+		heap.Init(q)
+	}
+	return n
 }
 
 // msgHeap orders messages by delivery time, then sequence for determinism.

@@ -89,10 +89,33 @@ func TestStatsAccumulate(t *testing.T) {
 
 func TestRoundTripTime(t *testing.T) {
 	ic := New(testCfg())
-	rtt := ic.RoundTripTime(4096)
+	rtt := ic.RoundTripTime(0, 0, 1, 4096)
 	want := 2e-6 + 4096/1e9
 	if rtt < want*0.999 || rtt > want*1.001 {
 		t.Fatalf("rtt %g want %g", rtt, want)
+	}
+}
+
+func TestRoundTripTimeAccountsLinkOccupancy(t *testing.T) {
+	ic := New(testCfg())
+	idle := ic.RoundTripTime(0, 0, 1, 4096)
+	// A large transfer occupies the 0->1 link for 1 ms; an exchange
+	// starting now must wait for it.
+	ic.Send(0, 0, 1, TPageReply, 1_000_000, nil)
+	busy := ic.RoundTripTime(0, 0, 1, 4096)
+	if busy < idle+0.9e-3 {
+		t.Fatalf("busy-link rtt %g, want >= idle %g + ~1ms queueing", busy, idle)
+	}
+	// The reverse direction's occupancy delays the reply leg too.
+	ic2 := New(testCfg())
+	ic2.Send(0, 1, 0, TPageReply, 1_000_000, nil)
+	busyReply := ic2.RoundTripTime(0, 0, 1, 4096)
+	if busyReply < idle+0.9e-3 {
+		t.Fatalf("busy-reply rtt %g, want >= idle %g + ~1ms queueing", busyReply, idle)
+	}
+	// Estimates do not consume occupancy: repeating gives the same answer.
+	if again := ic.RoundTripTime(0, 0, 1, 4096); again != busy {
+		t.Fatalf("estimate consumed occupancy: %g then %g", busy, again)
 	}
 }
 

@@ -129,11 +129,13 @@ func DynamicUnbalanced() Policy {
 }
 
 // place picks the node minimising threads/weight (ties to lower index).
+// Crashed nodes take no new work; if every node is down the lowest index
+// is returned and the job waits there for a recovery.
 func place(s *State, p Policy, threads int) int {
 	w := p.Weights(s)
 	best, bestScore := 0, 1e30
 	for n := range s.Cluster.Kernels {
-		if w[n] <= 0 {
+		if w[n] <= 0 || s.Cluster.NodeDown(n) {
 			continue
 		}
 		score := (float64(s.ThreadsOn(n)) + float64(threads)) / w[n]
@@ -156,7 +158,10 @@ func rebalance(s *State, p Policy, cooldown float64) {
 	}
 	loads := make([]load, 0, len(w))
 	for n := range s.Cluster.Kernels {
-		if w[n] <= 0 {
+		if w[n] <= 0 || s.Cluster.NodeDown(n) {
+			// A crashed node neither gives up jobs (its threads are frozen
+			// until recovery) nor receives them; once it recovers it
+			// re-enters the balance and load flows back.
 			continue
 		}
 		loads = append(loads, load{n, float64(s.ThreadsOn(n)) / w[n]})

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"heterodc/internal/fault"
 	"heterodc/internal/npb"
 )
 
@@ -83,5 +84,78 @@ func TestPeriodicArrivalsIdleGaps(t *testing.T) {
 	}
 	if res.Makespan < jobs[len(jobs)-1].Arrival {
 		t.Errorf("makespan %.3f before last arrival %.3f", res.Makespan, jobs[len(jobs)-1].Arrival)
+	}
+}
+
+func TestPlacementSkipsCrashedNode(t *testing.T) {
+	p := DynamicBalanced()
+	cl, models := TestbedFor(p, true)
+	cl.InjectFaults(fault.Plan{Crashes: []fault.Crash{{Node: 1, At: 0, RecoverAt: 0}}})
+	cl.CrashNode(1)
+	st := &State{Cluster: cl}
+	for i := 0; i < 4; i++ {
+		if n := place(st, p, 2); n != 0 {
+			t.Fatalf("placement %d chose crashed node %d", i, n)
+		}
+		st.Active = append(st.Active, &JobRun{Job: Job{Threads: 2}, Node: 0})
+	}
+	_ = models
+}
+
+func TestRebalanceIgnoresCrashedNode(t *testing.T) {
+	p := DynamicBalanced()
+	cl, _ := TestbedFor(p, true)
+	img, err := npb.Build(npb.EP, npb.ClassS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := cl.Spawn(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.CrashNode(1)
+	// Node 0 is overloaded relative to (empty, crashed) node 1; with node 1
+	// down there is no live target, so no migration is requested.
+	st := &State{Cluster: cl, Active: []*JobRun{
+		{Job: Job{Threads: 4}, Proc: proc, Node: 0},
+		{Job: Job{Threads: 4}, Proc: proc, Node: 0},
+	}, Now: 1.0}
+	rebalance(st, p, 0)
+	for _, jr := range st.Active {
+		if jr.Node != 0 {
+			t.Fatal("rebalance moved a job onto a crashed node")
+		}
+	}
+	// After recovery the node is a target again.
+	cl.RecoverNode(1)
+	rebalance(st, p, 0)
+	moved := false
+	for _, jr := range st.Active {
+		if jr.Node == 1 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("rebalance ignored the recovered node")
+	}
+}
+
+func TestRunnerSurvivesMidRunCrash(t *testing.T) {
+	jobs := smallJobs(4)
+	for i := range jobs {
+		jobs[i].Class = npb.ClassS
+		jobs[i].Arrival = 0
+	}
+	p := DynamicBalanced()
+	cl, models := TestbedFor(p, true)
+	// Node 1 drops out almost immediately and comes back much later.
+	cl.InjectFaults(fault.Plan{Seed: 3, Crashes: []fault.Crash{{Node: 1, At: 2e-3, RecoverAt: 30e-3}}})
+	r := NewRunner(cl, p, models)
+	res, err := r.Run(Workload{Jobs: jobs, Concurrency: 4})
+	if err != nil {
+		t.Fatalf("run with mid-run crash: %v", err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
 	}
 }

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one recorded fault/recovery occurrence: a retransmission, a
+// node crash, a migration rollback.
+type Event struct {
+	Time   float64
+	Kind   string
+	Detail string
+}
+
+// EventLog is a bounded recorder satisfying msg.EventSink. The kernel and
+// interconnect feed it fault, retry and recovery events; chaos experiments
+// read it back to explain a run. Beyond Max events the log drops new
+// entries (counting them) rather than growing without bound under a noisy
+// fault plan.
+type EventLog struct {
+	// Max bounds the retained events; <= 0 means unbounded.
+	Max     int
+	Events  []Event
+	Dropped int
+}
+
+// NewEventLog builds a log retaining at most max events.
+func NewEventLog(max int) *EventLog { return &EventLog{Max: max} }
+
+// Record appends one event, honouring the bound.
+func (l *EventLog) Record(t float64, kind, detail string) {
+	if l.Max > 0 && len(l.Events) >= l.Max {
+		l.Dropped++
+		return
+	}
+	l.Events = append(l.Events, Event{Time: t, Kind: kind, Detail: detail})
+}
+
+// Count returns how many retained events have the given kind.
+func (l *EventLog) Count(kind string) int {
+	n := 0
+	for _, e := range l.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the log one event per line.
+func (l *EventLog) String() string {
+	var sb strings.Builder
+	for _, e := range l.Events {
+		fmt.Fprintf(&sb, "%12.6fs  %-16s %s\n", e.Time, e.Kind, e.Detail)
+	}
+	if l.Dropped > 0 {
+		fmt.Fprintf(&sb, "  ... and %d more events dropped at the %d-event cap\n", l.Dropped, l.Max)
+	}
+	return sb.String()
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEventLogRecordAndCount(t *testing.T) {
+	l := NewEventLog(10)
+	l.Record(0.5, "retx", "0->1 retry 1")
+	l.Record(0.6, "crash", "node 1 down")
+	l.Record(0.7, "retx", "0->1 retry 2")
+	if got := l.Count("retx"); got != 2 {
+		t.Fatalf("Count(retx) = %d, want 2", got)
+	}
+	if got := l.Count("crash"); got != 1 {
+		t.Fatalf("Count(crash) = %d, want 1", got)
+	}
+	if l.Events[1].Time != 0.6 || l.Events[1].Detail != "node 1 down" {
+		t.Fatalf("event mangled: %+v", l.Events[1])
+	}
+}
+
+func TestEventLogBounded(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 10; i++ {
+		l.Record(float64(i), "retx", "x")
+	}
+	if len(l.Events) != 3 {
+		t.Fatalf("retained %d events, want 3", len(l.Events))
+	}
+	if l.Dropped != 7 {
+		t.Fatalf("Dropped = %d, want 7", l.Dropped)
+	}
+	if !strings.Contains(l.String(), "7 more events dropped") {
+		t.Fatalf("String() omits the drop note:\n%s", l.String())
+	}
+}
+
+func TestEventLogUnbounded(t *testing.T) {
+	l := NewEventLog(0)
+	for i := 0; i < 100; i++ {
+		l.Record(float64(i), "retx", "x")
+	}
+	if len(l.Events) != 100 || l.Dropped != 0 {
+		t.Fatalf("unbounded log retained %d, dropped %d", len(l.Events), l.Dropped)
+	}
+}
