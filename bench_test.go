@@ -10,8 +10,10 @@
 package heterodc_bench
 
 import (
+	"bytes"
 	"testing"
 
+	"heterodc/internal/ckpt"
 	"heterodc/internal/core"
 	"heterodc/internal/exp"
 	"heterodc/internal/isa"
@@ -322,6 +324,79 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCheckpointRestore measures one checkpoint/restore cycle on IS
+// class A: encode the captured snapshot into the portable image, decode it,
+// and restore onto the opposite ISA (including the cross-ISA stack
+// transformation). The capture itself happens once, outside the timer.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	img, err := npb.Build(npb.IS, npb.ClassA, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := core.Run(img, core.NodeX86)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Capture one mid-run snapshot at ~40% of the reference runtime.
+	cl := core.NewTestbed()
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var snap *kernel.Snapshot
+	cl.OnCheckpoint = func(ev kernel.CheckpointEvent) { snap = ev.Snap }
+	requested := false
+	for snap == nil {
+		if done, _ := p.Exited(); done {
+			b.Fatal("process exited before the checkpoint fired")
+		}
+		if !requested && cl.Time() >= 0.4*ref.Seconds {
+			if err := cl.RequestCheckpoint(p); err != nil {
+				b.Fatal(err)
+			}
+			requested = true
+		}
+		if !cl.Step() {
+			b.Fatal("drained")
+		}
+	}
+
+	// Validate once: the restored run must reproduce the baseline output.
+	check, err := ckpt.Decode(ckpt.Encode(snap))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vcl := core.NewTestbed()
+	vp, err := vcl.RestoreProcess(img, check, core.NodeARM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := vcl.RunProcess(vp); err != nil {
+		b.Fatal(err)
+	}
+	if !bytes.Equal(vp.Output(), ref.Output) {
+		b.Fatal("restored run diverged from the baseline output")
+	}
+
+	b.ResetTimer()
+	var bytesN int
+	for i := 0; i < b.N; i++ {
+		data := ckpt.Encode(snap)
+		bytesN = len(data)
+		s2, err := ckpt.Decode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl2 := core.NewTestbed()
+		if _, err := cl2.RestoreProcess(img, s2, core.NodeARM); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(bytesN), "image-bytes")
+	b.ReportMetric(float64(len(snap.Pages)), "pages")
 }
 
 // BenchmarkContainerMigration measures whole-container (multi-threaded)

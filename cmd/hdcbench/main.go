@@ -12,6 +12,7 @@
 //	hdcbench -exp fig12       # sustained-workload scheduling study
 //	hdcbench -exp fig13       # periodic-workload scheduling study
 //	hdcbench -exp chaos       # fault injection: correctness under loss/crash
+//	hdcbench -exp ckpt        # checkpoint interval: overhead vs work lost
 //	hdcbench -exp all
 //
 // The chaos experiment takes -fault-seed, -drop-prob and -crash-at to vary
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|all")
+	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|all")
 	scale := flag.String("scale", "default", "quick|default|full")
 	faultSeed := flag.Int64("fault-seed", 7, "chaos: fault-plan seed")
 	dropProb := flag.Float64("drop-prob", 0.02, "chaos: baseline message-loss probability")
@@ -189,6 +190,29 @@ func main() {
 			return fmt.Errorf("%d/%d runs lost correctness under faults", bad, len(rows))
 		}
 		fmt.Println("shape check: OK (every run exits cleanly with baseline-identical output)")
+		return nil
+	})
+
+	run("ckpt", func() error {
+		res, err := exp.Ckpt(cfg, exp.CkptOptions{Seed: *faultSeed})
+		if err != nil {
+			return err
+		}
+		bad := 0
+		for _, r := range res.Overhead {
+			if !r.OutputMatch {
+				bad++
+			}
+		}
+		for _, r := range res.Recovery {
+			if !r.OutputMatch || r.Restores != 1 {
+				bad++
+			}
+		}
+		if bad > 0 {
+			return fmt.Errorf("%d checkpoint runs lost correctness or never restored", bad)
+		}
+		fmt.Println("shape check: OK (capture invisible to output; every crash recovered from checkpoint)")
 		return nil
 	})
 

@@ -8,6 +8,8 @@
 //	hdcinspect -bench cg -class S                # symbol table + summary
 //	hdcinspect -bench is -func full_verify -dis  # disassemble one function
 //	hdcinspect -src prog.c -maps                 # stackmap records
+//	hdcinspect -ckpt is.ckpt                     # checkpoint image dump
+//	hdcinspect -ckpt is.ckpt -bench is -class S  # ... plus stack frame walks
 package main
 
 import (
@@ -16,9 +18,12 @@ import (
 	"os"
 	"sort"
 
+	"heterodc/internal/ckpt"
 	"heterodc/internal/core"
 	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
 	"heterodc/internal/link"
+	"heterodc/internal/mem"
 	"heterodc/internal/npb"
 )
 
@@ -30,6 +35,7 @@ func main() {
 	fn := flag.String("func", "", "restrict to one function")
 	dis := flag.Bool("dis", false, "disassemble code")
 	maps := flag.Bool("maps", false, "dump stackmap/unwind metadata")
+	ckptPath := flag.String("ckpt", "", "checkpoint image file to dump (add -bench/-src for frame walks)")
 	flag.Parse()
 
 	var img *link.Image
@@ -41,11 +47,18 @@ func main() {
 		img, err = core.Build(*srcPath, core.Src(*srcPath, string(src)))
 	case *bench != "":
 		img, err = npb.Build(npb.Bench(*bench), npb.Class((*class)[0]), *threads)
+	case *ckptPath != "":
+		// Checkpoint-only mode: no binary to rebuild.
 	default:
-		fmt.Fprintln(os.Stderr, "need -bench or -src")
+		fmt.Fprintln(os.Stderr, "need -bench, -src or -ckpt")
 		os.Exit(2)
 	}
 	fatal(err)
+
+	if *ckptPath != "" {
+		inspectCkpt(*ckptPath, img)
+		return
+	}
 
 	fmt.Printf("image %q  aligned=%v  text end %#x  data end %#x\n\n",
 		img.Name, img.Aligned, img.TextEnd, img.DataEnd)
@@ -127,6 +140,72 @@ func main() {
 			}
 		}
 	}
+}
+
+// inspectCkpt dumps a checkpoint image: header framing with per-section
+// checksums, process-wide state, and one line per thread. With img supplied
+// (matching -bench/-src), each live thread's stack is walked and symbolised.
+func inspectCkpt(path string, img *link.Image) {
+	data, err := os.ReadFile(path)
+	fatal(err)
+	h, err := ckpt.ReadHeader(data)
+	fatal(err)
+
+	fmt.Printf("checkpoint image %s: format v%d, %d bytes (%d payload)\n",
+		path, h.Version, len(data), h.TotalBytes())
+	for _, s := range h.Sections {
+		status := "ok"
+		if !s.OK {
+			status = "CORRUPT"
+		}
+		fmt.Printf("  %s %8d bytes  crc=%08x  %s\n", s.Tag, s.Bytes, s.CRC, status)
+	}
+
+	s, err := ckpt.Decode(data)
+	fatal(err)
+	fmt.Printf("\nprocess: img %q pid %d, captured at %.6fs\n", s.ImgName, s.Pid, s.When)
+	fmt.Printf("  brk=%#x rng=%#x next-tid=%d next-fd=%d serialized=%v eager-pages=%v\n",
+		s.Brk, s.RNG, s.NextTid, s.NextFd, s.SerializedMigration, s.EagerPageMigration)
+	fmt.Printf("  pages: %d (%d bytes resident)\n", len(s.Pages), len(s.Pages)*mem.PageSize)
+	fmt.Printf("  files: %d, open fds: %d, console output: %d bytes\n",
+		len(s.Files), len(s.FDs), len(s.Output))
+
+	for i := range s.Threads {
+		t := &s.Threads[i]
+		fmt.Printf("\nthread %d: %s", t.Tid, statusName(t.Status))
+		if t.Status == kernel.ThreadExited {
+			fmt.Printf(" (exit value %d)\n", t.ExitVal)
+			continue
+		}
+		fmt.Printf("  arch=%s half=%d pc=%#x migrations=%d", t.Arch, t.CurHalf, t.PC, t.Migrations)
+		if t.Status == kernel.ThreadBlockedJoin {
+			fmt.Printf("  joining tid %d", t.JoinTid)
+		}
+		fmt.Println()
+		if img == nil {
+			continue
+		}
+		frames, err := ckpt.ThreadFrames(img, s, t)
+		if err != nil {
+			fmt.Printf("  frame walk failed: %v\n", err)
+			continue
+		}
+		for _, f := range frames {
+			fmt.Printf("  #%d %-24s pc=%#x fp=%#x\n", f.Depth, f.Func, f.PC, f.FP)
+		}
+	}
+}
+
+func statusName(st kernel.ThreadStatus) string {
+	switch st {
+	case kernel.ThreadAtPoint:
+		return "parked at migration point"
+	case kernel.ThreadBlockedJoin:
+		return "blocked in join"
+	case kernel.ThreadExited:
+		return "exited"
+	}
+	return fmt.Sprintf("status(%d)", st)
 }
 
 func fatal(err error) {

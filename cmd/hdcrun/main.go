@@ -8,6 +8,15 @@
 //	hdcrun -bench cg -class A -threads 4 -node x86
 //	hdcrun -bench is -class B -migrate-at 0.5 -migrate-to arm
 //	hdcrun -src prog.c -node arm
+//
+// Checkpoint/restore: -ckpt-interval (sim seconds) or -ckpt-points (every N
+// migration points) enables periodic checkpointing; a permanent crash
+// (-crash-node with -recover-at <= -crash-at) is then survived by restoring
+// from the latest image. -ckpt-out saves the final image; -restore resumes a
+// saved image (built from the same -bench/-src) instead of starting fresh:
+//
+//	hdcrun -bench is -class S -ckpt-interval 1e-4 -ckpt-out is.ckpt
+//	hdcrun -bench is -class S -restore is.ckpt -node arm
 package main
 
 import (
@@ -15,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"heterodc/internal/ckpt"
 	"heterodc/internal/core"
 	"heterodc/internal/fault"
 	"heterodc/internal/kernel"
@@ -51,6 +61,10 @@ func main() {
 	crashAt := flag.Float64("crash-at", 0, "crash time in simulated seconds")
 	recoverAt := flag.Float64("recover-at", 0, "recovery time in simulated seconds (<= crash-at means never)")
 	showFaults := flag.Bool("show-faults", false, "print the fault/retry event log")
+	ckptInterval := flag.Float64("ckpt-interval", 0, "checkpoint every this many simulated seconds (0 disables)")
+	ckptPoints := flag.Uint64("ckpt-points", 0, "checkpoint every N migration points (0 disables)")
+	ckptOut := flag.String("ckpt-out", "", "write the latest checkpoint image to this file at exit")
+	restorePath := flag.String("restore", "", "restore this checkpoint image instead of starting fresh")
 	flag.Parse()
 
 	node, err := parseNode(*nodeStr)
@@ -92,10 +106,20 @@ func main() {
 		plan.Crashes = []fault.Crash{{Node: cn, At: *crashAt, RecoverAt: *recoverAt}}
 	}
 	chaos := *dropProb > 0 || *dupProb > 0 || *jitter > 0 || *crashNode != ""
+	pol := kernel.CkptPolicy{EveryPoints: *ckptPoints, EverySeconds: *ckptInterval}
+	ckptOn := pol.EveryPoints > 0 || pol.EverySeconds > 0
 	log := trace.NewEventLog(10000)
 	if chaos {
 		cl.InjectFaults(plan)
+	}
+	if chaos || ckptOn {
 		cl.SetTracer(log)
+	}
+	var mgr *ckpt.Manager
+	if ckptOn {
+		mgr = ckpt.NewManager(cl)
+	} else if *ckptOut != "" {
+		fatal(fmt.Errorf("-ckpt-out needs -ckpt-interval or -ckpt-points"))
 	}
 	meter := power.NewMeter(cl, power.DefaultModels(cl, false))
 	migrations := 0
@@ -105,28 +129,57 @@ func main() {
 			ev.Time, ev.Tid, ev.From, ev.To, ev.FuncName,
 			ev.Stats.Frames, ev.Stats.LiveValues, ev.XformSeconds*1e6)
 	}
-	p, err := cl.Spawn(img, node)
-	fatal(err)
+	var p *kernel.Process
+	if *restorePath != "" {
+		snap, rerr := ckpt.ReadFile(*restorePath)
+		fatal(rerr)
+		p, err = cl.RestoreProcess(img, snap, node)
+		fatal(err)
+		fmt.Printf("restored %q pid %d (captured at %.6fs, %d pages, %d threads) onto node %d\n",
+			snap.ImgName, p.Pid, snap.When, len(snap.Pages), len(snap.Threads), node)
+	} else {
+		p, err = cl.Spawn(img, node)
+		fatal(err)
+	}
+	if mgr != nil {
+		mgr.Track(p, img, pol)
+	}
 
+	cur := p
 	requested := false
 	for {
-		if done, _ := p.Exited(); done {
+		if mgr != nil {
+			cur = mgr.Current(p)
+		}
+		if done, _ := cur.Exited(); done {
+			if mgr != nil && mgr.Current(p) != cur {
+				continue // a same-step crash already restored a newer incarnation
+			}
 			break
 		}
 		if *migrateAt >= 0 && !requested && cl.Time() >= refSeconds**migrateAt {
-			cl.RequestProcessMigration(p, target)
+			cl.RequestProcessMigration(cur, target)
 			requested = true
 		}
 		if !cl.Step() {
 			fatal(fmt.Errorf("cluster drained before exit"))
 		}
 	}
-	fatal(p.Err())
+	fatal(cur.Err())
+
+	if *ckptOut != "" {
+		data := mgr.LatestImage(p)
+		if data == nil {
+			fatal(fmt.Errorf("no checkpoint was ever taken; nothing to write to %s", *ckptOut))
+		}
+		fatal(os.WriteFile(*ckptOut, data, 0o644))
+		fmt.Printf("wrote latest checkpoint image (%d bytes) to %s\n", len(data), *ckptOut)
+	}
 
 	if *showOut {
-		os.Stdout.Write(p.Output())
+		os.Stdout.Write(cur.Output())
 	}
-	_, code := p.Exited()
+	_, code := cur.Exited()
 	fmt.Printf("\nexit code      : %d\n", code)
 	fmt.Printf("simulated time : %.6f s\n", cl.Time())
 	fmt.Printf("migrations     : %d\n", migrations)
@@ -138,13 +191,19 @@ func main() {
 			fmt.Printf("node %d: %d migrations aborted and rolled back\n", i, k.MigrationsAborted)
 		}
 	}
+	if mgr != nil {
+		st := mgr.Stats()
+		fmt.Printf("checkpoints    : %d images (%d bytes), %.0fµs capture, %d restores, %.0fµs work replayed\n",
+			st.ImagesWritten, st.BytesWritten, st.CaptureSeconds*1e6,
+			st.Restores, st.WorkReplayedSeconds*1e6)
+	}
 	if chaos {
 		s := cl.IC.Stats()
 		fmt.Printf("faults         : %d dropped, %d retries, %d duplicated, %d exhausted, %d crash stalls\n",
 			s.Dropped, s.Retries, s.Duplicated, s.Exhausted, s.CrashStalls)
-		if *showFaults {
-			fmt.Print(log.String())
-		}
+	}
+	if *showFaults && (chaos || ckptOn) {
+		fmt.Print(log.String())
 	}
 }
 

@@ -1,0 +1,91 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
+	"heterodc/internal/link"
+	"heterodc/internal/mem"
+)
+
+// Frame is one stack frame recovered from a snapshot by walking the frame-
+// pointer chain through the image's page payloads.
+type Frame struct {
+	Func  string
+	PC    uint64
+	FP    uint64
+	Depth int
+}
+
+// snapMem reads the snapshot's page payloads (read-only, no DSM).
+type snapMem map[uint64][]byte
+
+func newSnapMem(s *kernel.Snapshot) snapMem {
+	m := make(snapMem, len(s.Pages))
+	for i := range s.Pages {
+		m[s.Pages[i].Index] = s.Pages[i].Data
+	}
+	return m
+}
+
+func (m snapMem) readU64(addr uint64) (uint64, bool) {
+	pg, ok := m[mem.PageIndex(addr)]
+	if !ok {
+		return 0, false
+	}
+	off := addr & (mem.PageSize - 1)
+	if off+8 > mem.PageSize {
+		return 0, false
+	}
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(pg[off+uint64(i)])
+	}
+	return v, true
+}
+
+// ThreadFrames summarises one snapshot thread's stack by walking its frame
+// pointer chain against the image's own pages (no cluster needed). The
+// image the snapshot was captured from must be supplied for symbolisation.
+func ThreadFrames(img *link.Image, s *kernel.Snapshot, rec *kernel.ThreadRecord) ([]Frame, error) {
+	if rec.Status == kernel.ThreadExited {
+		return nil, nil
+	}
+	prog := img.Prog(rec.Arch)
+	if prog == nil {
+		return nil, fmt.Errorf("ckpt: image %q has no %v program", img.Name, rec.Arch)
+	}
+	desc := isa.Describe(rec.Arch)
+	sm := newSnapMem(s)
+
+	var frames []Frame
+	name := "?"
+	if f := prog.FuncAt(rec.PC); f != nil {
+		name = f.Name
+	}
+	frames = append(frames, Frame{Func: name, PC: rec.PC, FP: uint64(rec.Regs.I[desc.FP])})
+
+	fp := uint64(rec.Regs.I[desc.FP])
+	for depth := 1; fp != 0 && depth < 256; depth++ {
+		retAddr, ok := sm.readU64(fp + 8)
+		if !ok {
+			break
+		}
+		if retAddr == 0 {
+			// Entry shim sentinel: the chain ends here.
+			break
+		}
+		callerFP, ok := sm.readU64(fp)
+		if !ok {
+			break
+		}
+		name := "?"
+		if f := prog.FuncAt(retAddr); f != nil {
+			name = f.Name
+		}
+		frames = append(frames, Frame{Func: name, PC: retAddr, FP: callerFP, Depth: depth})
+		fp = callerFP
+	}
+	return frames, nil
+}

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"fmt"
 
+	"heterodc/internal/ckpt"
 	"heterodc/internal/core"
 	"heterodc/internal/fault"
+	"heterodc/internal/kernel"
 	"heterodc/internal/msg"
 	"heterodc/internal/npb"
 	"heterodc/internal/trace"
@@ -41,6 +43,12 @@ type ChaosRow struct {
 	Migrations int
 	// CrashEvents/RecoverEvents from the trace log.
 	CrashEvents, RecoverEvents int
+	// Checkpoint-recovery counters (non-zero only for the permanent-crash
+	// plan, which runs under a ckpt.Manager).
+	Checkpoints  int
+	Restores     int
+	CkptBytes    int64
+	WorkReplayed float64
 }
 
 // chaosBenches returns the benchmark set at this scale.
@@ -58,9 +66,10 @@ func (c Config) chaosBenches() []struct {
 	}{{npb.EP, k}, {npb.IS, k}}
 }
 
-// chaosPlans derives the three stock fault plans from a fault-free runtime:
-// a uniformly lossy fabric, a mid-run degraded-link window, and a mid-run
-// node-1 crash with recovery.
+// chaosPlans derives the four stock fault plans from a fault-free runtime:
+// a uniformly lossy fabric, a mid-run degraded-link window, a mid-run
+// node-1 crash with recovery, and a permanent node-1 crash (RecoverAt <= At)
+// that only checkpoint-based recovery can survive.
 func chaosPlans(opts ChaosOptions, ref float64) []struct {
 	name string
 	plan fault.Plan
@@ -93,7 +102,25 @@ func chaosPlans(opts ChaosOptions, ref float64) []struct {
 				Node: 1, At: crashFrac * ref, RecoverAt: (crashFrac + 0.15) * ref,
 			}},
 		}},
+		{"node-crash-perm", fault.Plan{
+			Seed: opts.Seed + 3,
+			Crashes: []fault.Crash{{
+				Node: 1, At: (crashFrac + 0.2) * ref, RecoverAt: 0,
+			}},
+		}},
 	}
+}
+
+// planPermanent reports whether a plan contains a permanent crash, i.e. a
+// node that never comes back. Such a plan strands any process with state on
+// the node unless checkpoint recovery is running.
+func planPermanent(p fault.Plan) bool {
+	for _, c := range p.Crashes {
+		if c.RecoverAt <= c.At {
+			return true
+		}
+	}
+	return false
 }
 
 // runChaosOnce executes img on the testbed under plan, requesting a
@@ -138,6 +165,62 @@ func runChaosOnce(b npb.Bench, k npb.Class, plan fault.Plan, migrateAt float64) 
 	return res, cl.IC.Stats(), aborted, log, nil
 }
 
+// runChaosCkptOnce executes a benchmark under a permanent-crash plan with
+// checkpoint-based recovery: the process is checkpointed under pol and,
+// once the crash strands it, restored from its latest image on the
+// surviving node. Returns the finishing incarnation's result.
+func runChaosCkptOnce(b npb.Bench, k npb.Class, plan fault.Plan, migrateAt float64, pol kernel.CkptPolicy) (
+	*core.Result, ckpt.Stats, *trace.EventLog, error) {
+	img, err := npb.Build(b, k, 1)
+	if err != nil {
+		return nil, ckpt.Stats{}, nil, err
+	}
+	cl := core.NewTestbed()
+	cl.InjectFaults(plan)
+	log := trace.NewEventLog(4096)
+	cl.SetTracer(log)
+	mgr := ckpt.NewManager(cl)
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		return nil, ckpt.Stats{}, nil, err
+	}
+	mgr.Track(p, img, pol)
+	requested := false
+	for {
+		cur := mgr.Current(p)
+		if exited, _ := cur.Exited(); exited {
+			// A crash in the same step may already have restored a newer
+			// incarnation; follow it.
+			if mgr.Current(p) != cur {
+				continue
+			}
+			break
+		}
+		if !requested && cl.Time() >= migrateAt {
+			cl.RequestProcessMigration(cur, core.NodeARM)
+			requested = true
+		}
+		if !cl.Step() {
+			return nil, ckpt.Stats{}, nil,
+				fmt.Errorf("exp: chaos: cluster drained before %s.%s exited", b, k)
+		}
+	}
+	final := mgr.Current(p)
+	if err := final.Err(); err != nil {
+		return nil, mgr.Stats(), log, fmt.Errorf("exp: chaos: %s.%s failed despite recovery: %w", b, k, err)
+	}
+	_, code := final.Exited()
+	res := &core.Result{ExitCode: code, Output: final.Output(), Seconds: cl.Time()}
+	for tid := int64(0); ; tid++ {
+		t := final.Thread(tid)
+		if t == nil {
+			break
+		}
+		res.Migrations += t.Migrations
+	}
+	return res, mgr.Stats(), log, nil
+}
+
 // Chaos runs the NPB kernels under the stock fault plans and reports
 // correctness and overhead against the fault-free baseline. Processes must
 // finish, verify and match the baseline output under every plan — faults
@@ -156,6 +239,28 @@ func Chaos(cfg Config, opts ChaosOptions) ([]ChaosRow, error) {
 		cfg.printf("%s.%s baseline: %.4fs\n", bk.b, bk.k, ref.Seconds)
 		migrateAt := 0.25 * ref.Seconds
 		for _, pl := range chaosPlans(opts, ref.Seconds) {
+			if planPermanent(pl.plan) {
+				pol := kernel.CkptPolicy{EverySeconds: 0.08 * ref.Seconds}
+				res, cs, log, err := runChaosCkptOnce(bk.b, bk.k, pl.plan, migrateAt, pol)
+				if err != nil {
+					return nil, fmt.Errorf("exp: chaos %s under %s: %w", bk.b, pl.name, err)
+				}
+				row := ChaosRow{
+					Bench: fmt.Sprintf("%s.%s", bk.b, bk.k), Plan: pl.name,
+					Base: ref.Seconds, Seconds: res.Seconds,
+					ExitOK:      res.ExitCode == 0,
+					OutputMatch: bytes.Equal(res.Output, ref.Output),
+					Migrations:  res.Migrations,
+					CrashEvents: log.Count("crash"), RecoverEvents: log.Count("recover"),
+					Checkpoints: cs.ImagesWritten, Restores: cs.Restores,
+					CkptBytes: cs.BytesWritten, WorkReplayed: cs.WorkReplayedSeconds,
+				}
+				rows = append(rows, row)
+				cfg.printf("  %-14s %.4fs (%.2fx) exit=%v match=%v ckpt=%d restores=%d replayed=%.4fs\n",
+					pl.name, row.Seconds, row.Seconds/row.Base, row.ExitOK, row.OutputMatch,
+					row.Checkpoints, row.Restores, row.WorkReplayed)
+				continue
+			}
 			res, stats, aborted, log, err := runChaosOnce(bk.b, bk.k, pl.plan, migrateAt)
 			if err != nil {
 				return nil, fmt.Errorf("exp: chaos %s under %s: %w", bk.b, pl.name, err)

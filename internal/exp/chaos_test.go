@@ -8,16 +8,17 @@ import (
 )
 
 // TestChaosCorrectUnderFaults is the acceptance gate for the fault
-// machinery: NPB kernels under a lossy fabric, a degraded-link window and a
-// mid-run node crash must still exit cleanly with byte-identical output —
-// faults cost time, never correctness — and the slowdown stays bounded.
+// machinery: NPB kernels under a lossy fabric, a degraded-link window, a
+// mid-run node crash and a permanent node crash (recovered from checkpoint)
+// must still exit cleanly with byte-identical output — faults cost time,
+// never correctness — and the slowdown stays bounded.
 func TestChaosCorrectUnderFaults(t *testing.T) {
 	rows, err := Chaos(Config{Scale: Quick}, ChaosOptions{Seed: 7})
 	if err != nil {
 		t.Fatalf("chaos run: %v", err)
 	}
-	if len(rows) != 6 { // 2 benches x 3 plans
-		t.Fatalf("got %d rows, want 6", len(rows))
+	if len(rows) != 8 { // 2 benches x 4 plans
+		t.Fatalf("got %d rows, want 8", len(rows))
 	}
 	for _, r := range rows {
 		if !r.ExitOK {
@@ -36,6 +37,21 @@ func TestChaosCorrectUnderFaults(t *testing.T) {
 		if r.Plan == "node-crash" && (r.CrashEvents != 1 || r.RecoverEvents != 1) {
 			t.Errorf("%s: crash plan recorded %d crash / %d recover events, want 1/1",
 				r.Bench, r.CrashEvents, r.RecoverEvents)
+		}
+		if r.Plan == "node-crash-perm" {
+			// The node never comes back: the run only finishes because the
+			// manager restored the job from its last checkpoint.
+			if r.CrashEvents != 1 || r.RecoverEvents != 0 {
+				t.Errorf("%s: permanent-crash plan recorded %d crash / %d recover events, want 1/0",
+					r.Bench, r.CrashEvents, r.RecoverEvents)
+			}
+			if r.Restores < 1 {
+				t.Errorf("%s: permanent-crash plan finished without a checkpoint restore", r.Bench)
+			}
+			if r.Checkpoints < 2 || r.CkptBytes <= 0 {
+				t.Errorf("%s: implausible checkpoint counters: images=%d bytes=%d",
+					r.Bench, r.Checkpoints, r.CkptBytes)
+			}
 		}
 	}
 	// The lossy plans must actually have injected faults somewhere.

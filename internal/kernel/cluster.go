@@ -23,6 +23,16 @@ type Cluster struct {
 
 	// OnMigration observes completed thread migrations.
 	OnMigration func(MigrationEvent)
+	// OnCheckpoint observes completed process checkpoints (the ckpt service
+	// encodes and retains the snapshot).
+	OnCheckpoint func(CheckpointEvent)
+	// OnProcessLost fires when a permanent node crash (no scheduled
+	// recovery) strands a live process: threads, exclusive pages or its
+	// origin authority on the dead node. The process has already been
+	// killed with ErrNodeLost; a handler may restore a fresh incarnation
+	// from its latest checkpoint. With no handler installed, stranded
+	// processes keep PR 1's freeze semantics (work is simply lost).
+	OnProcessLost func(p *Process, node int)
 	// OnAdvance observes the advancing safe time frontier (min kernel
 	// clock); the power tracer samples on it.
 	OnAdvance func(frontier float64)
@@ -197,6 +207,47 @@ func (cl *Cluster) CrashNode(node int) {
 		}
 		cl.tracef(k.now, "msg-lost", "type %d for dead node %d", m.Type, node)
 	}
+	// A capture in progress cannot complete across the disruption (parked
+	// threads would wait on threads frozen here); release it and retry a
+	// full interval later.
+	cl.abortCheckpoints(k.now)
+	// A permanent crash strands every process depending on this node. With
+	// a checkpoint service installed, kill them now so it can requeue each
+	// from its latest image; otherwise preserve the freeze semantics.
+	if !hasRecover && cl.OnProcessLost != nil {
+		var lost []*Process
+		for _, p := range cl.procs {
+			if !p.exited && cl.processStranded(p, node) {
+				lost = append(lost, p)
+			}
+		}
+		for _, p := range lost {
+			cl.tracef(k.now, "proc-lost", "pid %d stranded by permanent crash of node %d", p.Pid, node)
+			k.killProcess(p, fmt.Errorf("pid %d: %w (node %d)", p.Pid, ErrNodeLost, node))
+			cl.OnProcessLost(p, node)
+		}
+	}
+}
+
+// processStranded reports whether p cannot make progress (or has lost
+// state) with node permanently gone: a live thread frozen there, a page
+// whose only authoritative copy is there, or its origin kernel (the
+// filesystem and break authority) was there.
+func (cl *Cluster) processStranded(p *Process, node int) bool {
+	if p.Origin == node {
+		return true
+	}
+	for _, t := range p.threads {
+		if t.State != Exited && t.Node == node {
+			return true
+		}
+	}
+	for _, pg := range p.Space.OwnedPages() {
+		if p.Space.Owner(pg) == node {
+			return true
+		}
+	}
+	return false
 }
 
 // RecoverNode brings a crashed node back: its clock was dragged forward by

@@ -100,7 +100,11 @@ func newKernelSpec(cl *Cluster, node int, spec MachineSpec) *Kernel {
 	for i := 0; i < d.Cores; i++ {
 		c := machine.NewCore(d)
 		c.CostFn = spec.CostFn
-		k.cores = append(k.cores, &coreSlot{id: i, core: c})
+		slot := &coreSlot{id: i, core: c}
+		// Kernel-owned migration-point hook: drives the checkpoint policy.
+		// Experiments overwrite the instrumentation hooks, never this one.
+		c.OnPointKernel = func() { k.pointTick(slot) }
+		k.cores = append(k.cores, slot)
 	}
 	return k
 }

@@ -27,6 +27,9 @@ const (
 	InFlight
 	// Exited: done.
 	Exited
+	// CkptParked: quiesced at a migration point for a process checkpoint;
+	// released when the capture completes.
+	CkptParked
 )
 
 // Thread is one kernel-visible thread of a process. Its user-space state
@@ -51,6 +54,9 @@ type Thread struct {
 	wakeAt float64
 	// joiners are woken when this thread exits.
 	joiners []*Thread
+	// joinTid is the thread being joined when State == BlockedJoin (the
+	// checkpoint service re-links the dependency at restore).
+	joinTid int64
 	exitVal int64
 	// sliceStart marks when the thread was dispatched, for timeslicing.
 	sliceStart float64
@@ -114,6 +120,10 @@ type Process struct {
 
 	// liveThreads counts non-exited threads.
 	liveThreads int
+
+	// ckpt is the per-process checkpoint policy state, nil when the process
+	// is not checkpointed.
+	ckpt *ckptState
 }
 
 // Err returns the fatal error that killed the process, if any.

@@ -132,7 +132,13 @@ func (k *Kernel) syscall(cs *coreSlot, num int64, args [5]int64) bool {
 		}
 		k.detach(cs)
 		t.State = BlockedJoin
+		t.joinTid = target.Tid
 		target.joiners = append(target.joiners, t)
+		// A blocked thread is quiescent; it may complete a pending
+		// checkpoint barrier.
+		if p.ckpt != nil && p.ckpt.pending {
+			k.ckptMaybeCapture(p)
+		}
 		return true
 
 	case sys.SysYield:
@@ -141,6 +147,9 @@ func (k *Kernel) syscall(cs *coreSlot, num int64, args [5]int64) bool {
 		return true
 
 	case sys.SysMigrate:
+		if int(args[0]) == CkptMigrateTarget {
+			return k.checkpointPark(cs)
+		}
 		return k.migrateThread(cs, int(args[0]))
 
 	case sys.SysGetnode:
@@ -190,6 +199,11 @@ func (k *Kernel) threadExit(t *Thread, val int64) {
 		k.wakeJoiner(j, val)
 	}
 	t.joiners = nil
+	// The exiting thread leaves the checkpoint barrier's quorum; it may
+	// have been the last one running.
+	if t.Proc.ckpt != nil && t.Proc.ckpt.pending {
+		k.ckptMaybeCapture(t.Proc)
+	}
 }
 
 // wakePayload carries a join wake-up across kernels.

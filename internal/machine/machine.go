@@ -85,6 +85,12 @@ type Core struct {
 	// containing function's name (experiment attribution).
 	OnMigratePointAt func(fn string)
 
+	// OnPointKernel is the kernel-owned migration-point hook (the checkpoint
+	// policy's tick). It is installed once at kernel construction and must
+	// stay independent of the instrumentation hooks above, which experiments
+	// overwrite freely via InstrumentCalls.
+	OnPointKernel func()
+
 	// CostFn, when set, replaces the native per-op base cycle cost — the
 	// hook the DBT-emulation and managed-runtime baselines use to model
 	// translated/interpreted execution.
@@ -468,6 +474,9 @@ func (c *Core) doCall(callee *link.Func) (Event, bool) {
 		}
 		if c.OnMigratePointAt != nil {
 			c.OnMigratePointAt(c.Fn.Name)
+		}
+		if c.OnPointKernel != nil {
+			c.OnPointKernel()
 		}
 		c.lastMigratePoint = c.Instrs
 	}

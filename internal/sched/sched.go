@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"heterodc/internal/ckpt"
 	"heterodc/internal/isa"
 	"heterodc/internal/kernel"
 	"heterodc/internal/npb"
@@ -225,6 +226,10 @@ type Result struct {
 	Migrations int
 	// JobSeconds is the per-job turnaround sum.
 	JobSeconds float64
+	// Checkpoints and Restores count checkpoint images written and crash
+	// recoveries performed when the runner's Checkpoint policy is enabled.
+	Checkpoints int
+	Restores    int
 }
 
 // Runner executes a workload under a policy on a cluster.
@@ -236,6 +241,10 @@ type Runner struct {
 	RebalanceEvery float64
 	// Cooldown is the per-job migration rate limit.
 	Cooldown float64
+	// Checkpoint, when enabled, checkpoints every job under this policy and
+	// restores jobs stranded by a permanent node crash onto a surviving node
+	// from their latest image (the scheduler re-places them there).
+	Checkpoint kernel.CkptPolicy
 }
 
 // NewRunner builds a runner with testbed defaults.
@@ -253,6 +262,22 @@ func (r *Runner) Run(w Workload) (*Result, error) {
 	st := &State{Cluster: cl}
 	migrations := 0
 	cl.OnMigration = func(ev kernel.MigrationEvent) { migrations++ }
+
+	var mgr *ckpt.Manager
+	if r.Checkpoint.EveryPoints > 0 || r.Checkpoint.EverySeconds > 0 {
+		mgr = ckpt.NewManager(cl)
+		mgr.OnRestore = func(old, cur *kernel.Process, node int) {
+			// Re-home the scheduler's bookkeeping onto the restored
+			// incarnation so the completion loop follows it.
+			for _, jr := range st.Active {
+				if jr.Proc == old {
+					jr.Proc = cur
+					jr.Node = node
+					jr.lastMove = cl.Time()
+				}
+			}
+		}
+	}
 
 	pending := append([]Job(nil), w.Jobs...)
 	if w.Concurrency == 0 {
@@ -272,6 +297,9 @@ func (r *Runner) Run(w Workload) (*Result, error) {
 		p, err := cl.Spawn(img, node)
 		if err != nil {
 			return err
+		}
+		if mgr != nil {
+			mgr.Track(p, img, r.Checkpoint)
 		}
 		st.Active = append(st.Active, &JobRun{
 			Job: j, Proc: p, Node: node, Started: cl.Time(), lastMove: cl.Time(),
@@ -362,6 +390,11 @@ func (r *Runner) Run(w Workload) (*Result, error) {
 	res.EDP = res.EnergyTotal * res.Makespan
 	for _, jr := range done {
 		res.JobSeconds += jr.Finished - jr.Started
+	}
+	if mgr != nil {
+		ms := mgr.Stats()
+		res.Checkpoints = ms.ImagesWritten
+		res.Restores = ms.Restores
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"heterodc/internal/fault"
+	"heterodc/internal/kernel"
 	"heterodc/internal/npb"
 )
 
@@ -137,6 +138,35 @@ func TestRebalanceIgnoresCrashedNode(t *testing.T) {
 	}
 	if !moved {
 		t.Fatal("rebalance ignored the recovered node")
+	}
+}
+
+// TestRunnerCheckpointRecovery: with the checkpoint policy enabled, a
+// permanent node-1 crash must not fail the workload — jobs stranded on the
+// dead node are restored from their latest image on node 0 and the run
+// completes, reporting the recovery in the result.
+func TestRunnerCheckpointRecovery(t *testing.T) {
+	jobs := []Job{
+		{ID: 0, Bench: npb.EP, Class: npb.ClassS, Threads: 1},
+		{ID: 1, Bench: npb.IS, Class: npb.ClassS, Threads: 1},
+		{ID: 2, Bench: npb.CG, Class: npb.ClassS, Threads: 1},
+		{ID: 3, Bench: npb.IS, Class: npb.ClassS, Threads: 1},
+	}
+	p := StaticHetBalanced() // half the jobs start on node 1
+	cl, models := TestbedFor(p, true)
+	// Node 1 dies for good mid-run, after at least one checkpoint interval.
+	cl.InjectFaults(fault.Plan{Seed: 5, Crashes: []fault.Crash{{Node: 1, At: 1e-3, RecoverAt: 0}}})
+	r := NewRunner(cl, p, models)
+	r.Checkpoint = kernel.CkptPolicy{EverySeconds: 2e-4}
+	res, err := r.Run(Workload{Jobs: jobs, Concurrency: 4})
+	if err != nil {
+		t.Fatalf("run with permanent crash: %v", err)
+	}
+	if res.Restores < 1 {
+		t.Errorf("no job was restored from checkpoint (restores=%d)", res.Restores)
+	}
+	if res.Checkpoints < len(jobs) {
+		t.Errorf("implausibly few checkpoints: %d", res.Checkpoints)
 	}
 }
 
