@@ -13,10 +13,14 @@
 //	hdcbench -exp fig13       # periodic-workload scheduling study
 //	hdcbench -exp chaos       # fault injection: correctness under loss/crash
 //	hdcbench -exp ckpt        # checkpoint interval: overhead vs work lost
+//	hdcbench -exp fuzz        # differential fuzzing sweep (programs/sec)
 //	hdcbench -exp all
 //
 // The chaos experiment takes -fault-seed, -drop-prob and -crash-at to vary
 // the injected fault plans (all plans are deterministic in the seed).
+//
+// The fuzz experiment takes -fuzz-seed, -fuzz-budget and -fuzz-max; it
+// fails if any divergence could not be reduced and archived.
 //
 // -scale quick|default|full selects the parameter grid (full is the paper's
 // grid and takes tens of minutes).
@@ -32,11 +36,14 @@ import (
 )
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|all")
+	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|fuzz|all")
 	scale := flag.String("scale", "default", "quick|default|full")
 	faultSeed := flag.Int64("fault-seed", 7, "chaos: fault-plan seed")
 	dropProb := flag.Float64("drop-prob", 0.02, "chaos: baseline message-loss probability")
 	crashAt := flag.Float64("crash-at", 0.35, "chaos: node-1 crash time as a fraction of the fault-free runtime")
+	fuzzSeed := flag.Int64("fuzz-seed", 1, "fuzz: first generator seed")
+	fuzzBudget := flag.Duration("fuzz-budget", 0, "fuzz: wall-clock budget (0: scale default)")
+	fuzzMax := flag.Int("fuzz-max", 0, "fuzz: stop after this many programs (0: budget only)")
 	flag.Parse()
 
 	cfg := exp.Config{W: os.Stdout}
@@ -213,6 +220,24 @@ func main() {
 			return fmt.Errorf("%d checkpoint runs lost correctness or never restored", bad)
 		}
 		fmt.Println("shape check: OK (capture invisible to output; every crash recovered from checkpoint)")
+		return nil
+	})
+
+	run("fuzz", func() error {
+		res, err := exp.Fuzz(cfg, exp.FuzzOptions{
+			Seed: *fuzzSeed, Budget: *fuzzBudget, MaxPrograms: *fuzzMax,
+		})
+		if err != nil {
+			return err
+		}
+		if res.Unreduced > 0 {
+			return fmt.Errorf("%d divergences could not be reduced and archived", res.Unreduced)
+		}
+		if res.Divergences > 0 {
+			return fmt.Errorf("%d divergences found (reduced repros: %v)", res.Divergences, res.Repros)
+		}
+		fmt.Printf("shape check: OK (%d programs, %.1f/s, all five modes byte-identical)\n",
+			res.Programs, res.ProgramsPerSec)
 		return nil
 	})
 

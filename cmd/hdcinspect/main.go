@@ -10,6 +10,7 @@
 //	hdcinspect -src prog.c -maps                 # stackmap records
 //	hdcinspect -ckpt is.ckpt                     # checkpoint image dump
 //	hdcinspect -ckpt is.ckpt -bench is -class S  # ... plus stack frame walks
+//	hdcinspect -repro internal/fuzz/testdata/crash-....c  # replay a fuzz repro
 package main
 
 import (
@@ -17,9 +18,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"heterodc/internal/ckpt"
 	"heterodc/internal/core"
+	"heterodc/internal/fuzz"
 	"heterodc/internal/isa"
 	"heterodc/internal/kernel"
 	"heterodc/internal/link"
@@ -36,7 +39,13 @@ func main() {
 	dis := flag.Bool("dis", false, "disassemble code")
 	maps := flag.Bool("maps", false, "dump stackmap/unwind metadata")
 	ckptPath := flag.String("ckpt", "", "checkpoint image file to dump (add -bench/-src for frame walks)")
+	reproPath := flag.String("repro", "", "fuzz corpus entry to replay through the differential oracle")
 	flag.Parse()
+
+	if *reproPath != "" {
+		inspectRepro(*reproPath)
+		return
+	}
 
 	var img *link.Image
 	var err error
@@ -140,6 +149,54 @@ func main() {
 			}
 		}
 	}
+}
+
+// inspectRepro pretty-prints a fuzz corpus entry and replays it through the
+// full differential oracle, printing one digest line per execution mode. A
+// still-diverging repro exits nonzero so the command doubles as a bisection
+// probe while a bug is being fixed.
+func inspectRepro(path string) {
+	data, err := os.ReadFile(path)
+	fatal(err)
+	src := string(data)
+
+	seed, feats := fuzz.ParseHeader(src)
+	lines := strings.Count(src, "\n")
+	fmt.Printf("corpus entry %s: %d bytes, %d lines\n", path, len(src), lines)
+	if seed != 0 {
+		fmt.Printf("  generator seed %d", seed)
+		if len(feats) > 0 {
+			fmt.Printf("  features: %s", strings.Join(feats, " "))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	for i, line := range strings.Split(strings.TrimRight(src, "\n"), "\n") {
+		fmt.Printf("%4d | %s\n", i+1, line)
+	}
+
+	v, err := fuzz.RunSource(src, fuzz.OracleOptions{})
+	fatal(err)
+	ref := v.Ref()
+	fmt.Printf("\n%d migration points, %d checkpoint images, reference %.6fs simulated\n\n",
+		v.Points, v.Images, v.RefSeconds)
+	fmt.Printf("%-20s %-5s %5s %8s %7s  %s\n", "mode", "ok", "exit", "bytes", "migs", "output digest")
+	for _, r := range v.Runs {
+		marker := ""
+		if r.Digest() != ref.Digest() {
+			marker = "  <-- DIVERGED"
+		}
+		fmt.Printf("%-20s %-5v %5d %8d %7d  %s%s\n",
+			r.Mode, r.OK, r.Exit, len(r.Output), r.Migrations, r.Digest(), marker)
+	}
+	if v.Diverged {
+		fmt.Println()
+		for _, d := range v.Diffs {
+			fmt.Printf("DIVERGENCE: %s\n", d)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nall modes byte-identical")
 }
 
 // inspectCkpt dumps a checkpoint image: header framing with per-section

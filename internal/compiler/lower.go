@@ -100,6 +100,7 @@ func (lo *lowerer) finish() (*AsmFunc, error) {
 		Name:        lo.f.Name,
 		FrameSize:   lo.fr.frameSize,
 		AllocaSizes: append([]int64(nil), lo.f.AllocaSizes...),
+		AllocaPtr:   append([]bool(nil), lo.f.AllocaPtr...),
 		CallSites:   lo.sites,
 		StackParams: map[int]int64{},
 		IsEntry:     lo.f.IsEntry,

@@ -1,0 +1,416 @@
+// Package fuzz implements a seeded differential fuzzer for the whole
+// heterogeneous-ISA stack: a deterministic random miniC program generator,
+// a five-way execution oracle (x86, ARM, migrate-at-every-point in both
+// directions, chaos faults, checkpoint/restore at every checkpoint) that
+// requires byte-identical console output and exit status across all runs,
+// and an automatic reducer that shrinks any diverging program to a minimal
+// repro for the regression corpus under testdata/.
+//
+// Programs are held as a small typed AST rather than as source text so the
+// reducer can delete statements, stub functions and simplify operands
+// structurally; Render turns the AST into the miniC source handed to the
+// toolchain.
+package fuzz
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Type is a miniC surface type as the generator tracks it.
+type Type int
+
+const (
+	TVoid Type = iota
+	TLong
+	TDouble
+	// TPtr is a long* (the only pointer type the generator deals in).
+	TPtr
+)
+
+func (t Type) String() string {
+	switch t {
+	case TLong:
+		return "long"
+	case TDouble:
+		return "double"
+	case TPtr:
+		return "long *"
+	}
+	return "void"
+}
+
+// ExprKind discriminates Expr nodes.
+type ExprKind int
+
+const (
+	EInt    ExprKind = iota // IVal
+	EFloat                  // FVal
+	EIdent                  // Name
+	EUn                     // Op L
+	EBin                    // L Op R
+	ECall                   // Name Args
+	EIndex                  // L[R]; L is an EIdent naming an array or pointer
+	EAssign                 // L Op R; Op is "=", "+=", ...; L is an lvalue
+	ECond                   // L ? R : C
+	ECast                   // (Name)L; Name is the cast type text
+	EAddr                   // &L; L is EIdent or EIndex
+)
+
+// Expr is one expression node. Only the fields relevant to Kind are set.
+type Expr struct {
+	Kind ExprKind
+	IVal int64
+	FVal float64
+	Name string
+	Op   string
+	L    *Expr
+	R    *Expr
+	C    *Expr
+	Args []*Expr
+}
+
+// StmtKind discriminates Stmt nodes.
+type StmtKind int
+
+const (
+	SDecl    StmtKind = iota // Ty Name = Init;
+	SArrDecl                 // long Name[N]; plus an init loop storing E per element
+	SPtrDecl                 // long *Name = malloc(N*8); plus the same init loop
+	SExpr                    // E;
+	SIf                      // if (Cond) Body [else Else]
+	SFor                     // for (long Name = 0; Name < N; Name = Name + 1) Body
+	SDo                      // { long Name = 0; do Body; Name = Name + 1 while (Name < N); }
+	SBlock                   // { Body }; Atomic blocks are reduced all-or-nothing
+	SRet                     // return E;
+)
+
+// Stmt is one statement node.
+type Stmt struct {
+	Kind StmtKind
+	Ty   Type
+	Name string
+	N    int64
+	E    *Expr
+	Cond *Expr
+	Body []*Stmt
+	Else []*Stmt
+	// Atomic marks a block the reducer must keep or delete whole: thread
+	// spawn/join sections, lock/unlock critical sections and array-decl+init
+	// pairs, where partial deletion would manufacture fake divergences
+	// (deadlocks, data races, reads of uninitialised stack memory).
+	Atomic bool
+}
+
+// Fn is one function. Raw functions carry canned source (the generator's
+// safety helpers); the reducer may remove them but never edits their bodies.
+type Fn struct {
+	Name   string
+	Params []Param
+	Ret    Type
+	Body   []*Stmt
+	Raw    string
+	// Pure marks functions that touch only params and locals, and hence are
+	// safe to call from worker threads during the concurrency window.
+	Pure bool
+}
+
+// Param is one formal parameter.
+type Param struct {
+	Name string
+	Ty   Type
+}
+
+// Global is one module-level variable.
+type Global struct {
+	Name string
+	Ty   Type // TLong or TDouble; ArrLen > 0 makes it long Name[ArrLen]
+	Init []int64
+	FIni float64
+	// ArrLen > 0: a long array of that length (zero-filled beyond Init).
+	ArrLen int64
+}
+
+// Prog is a whole generated program. Fns[len-1] is always main.
+type Prog struct {
+	Seed     int64
+	Features []string
+	Globals  []Global
+	Fns      []*Fn
+}
+
+// Feature markers a program can carry; the corpus replay test asserts the
+// committed corpus covers all of them.
+const (
+	FeatFloats    = "floats"
+	FeatPointers  = "pointers"
+	FeatArrays    = "arrays"
+	FeatThreads   = "threads"
+	FeatRecursion = "recursion"
+	FeatMalloc    = "malloc"
+	FeatLocks     = "locks"
+)
+
+// Render turns the program into miniC source, headed by comment lines that
+// record the seed and feature set (ParseHeader reads them back).
+func Render(p *Prog) string {
+	var b strings.Builder
+	b.WriteString("// heterodc fuzz program\n")
+	fmt.Fprintf(&b, "// seed: %d\n", p.Seed)
+	feats := append([]string(nil), p.Features...)
+	sort.Strings(feats)
+	fmt.Fprintf(&b, "// features: %s\n\n", strings.Join(feats, " "))
+	for _, g := range p.Globals {
+		renderGlobal(&b, g)
+	}
+	if len(p.Globals) > 0 {
+		b.WriteString("\n")
+	}
+	for _, f := range p.Fns {
+		renderFn(&b, f)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ParseHeader recovers the seed and feature list from a rendered program
+// (used by the corpus replay test and hdcinspect -repro).
+func ParseHeader(src string) (seed int64, feats []string) {
+	for _, line := range strings.Split(src, "\n") {
+		if v, ok := strings.CutPrefix(line, "// seed: "); ok {
+			seed, _ = strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		}
+		if v, ok := strings.CutPrefix(line, "// features: "); ok {
+			feats = strings.Fields(v)
+		}
+		if !strings.HasPrefix(line, "//") && strings.TrimSpace(line) != "" {
+			break
+		}
+	}
+	return seed, feats
+}
+
+func renderGlobal(b *strings.Builder, g Global) {
+	switch {
+	case g.ArrLen > 0:
+		fmt.Fprintf(b, "long %s[%d]", g.Name, g.ArrLen)
+		if len(g.Init) > 0 {
+			b.WriteString(" = {")
+			for i, v := range g.Init {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(strconv.FormatInt(v, 10))
+			}
+			b.WriteString("}")
+		}
+		b.WriteString(";\n")
+	case g.Ty == TDouble:
+		fmt.Fprintf(b, "double %s = %s;\n", g.Name, floatLit(g.FIni))
+	default:
+		v := int64(0)
+		if len(g.Init) > 0 {
+			v = g.Init[0]
+		}
+		fmt.Fprintf(b, "long %s = %d;\n", g.Name, v)
+	}
+}
+
+func renderFn(b *strings.Builder, f *Fn) {
+	if f.Raw != "" {
+		b.WriteString(f.Raw)
+		return
+	}
+	fmt.Fprintf(b, "%s %s(", f.Ret, f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%s %s", p.Ty, p.Name)
+	}
+	b.WriteString(") {\n")
+	renderBody(b, f.Body, 1)
+	b.WriteString("}\n")
+}
+
+func renderBody(b *strings.Builder, body []*Stmt, depth int) {
+	for _, s := range body {
+		renderStmt(b, s, depth)
+	}
+}
+
+func renderStmt(b *strings.Builder, s *Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	switch s.Kind {
+	case SDecl:
+		fmt.Fprintf(b, "%s%s %s = %s;\n", ind, s.Ty, s.Name, renderExpr(s.E))
+	case SArrDecl:
+		fmt.Fprintf(b, "%slong %s[%d];\n", ind, s.Name, s.N)
+		renderInitLoop(b, s, ind)
+	case SPtrDecl:
+		fmt.Fprintf(b, "%slong *%s = (long *)malloc(%d);\n", ind, s.Name, s.N*8)
+		renderInitLoop(b, s, ind)
+	case SExpr:
+		fmt.Fprintf(b, "%s%s;\n", ind, renderExpr(s.E))
+	case SIf:
+		fmt.Fprintf(b, "%sif (%s) {\n", ind, renderExpr(s.Cond))
+		renderBody(b, s.Body, depth+1)
+		if len(s.Else) > 0 {
+			fmt.Fprintf(b, "%s} else {\n", ind)
+			renderBody(b, s.Else, depth+1)
+		}
+		fmt.Fprintf(b, "%s}\n", ind)
+	case SFor:
+		fmt.Fprintf(b, "%sfor (long %s = 0; %s < %d; %s = %s + 1) {\n",
+			ind, s.Name, s.Name, s.N, s.Name, s.Name)
+		renderBody(b, s.Body, depth+1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case SDo:
+		fmt.Fprintf(b, "%s{\n%s  long %s = 0;\n%s  do {\n", ind, ind, s.Name, ind)
+		renderBody(b, s.Body, depth+2)
+		// The counter increment is part of the loop's rendering, not a body
+		// statement, so reduction can never produce a non-terminating loop.
+		fmt.Fprintf(b, "%s    %s = %s + 1;\n", ind, s.Name, s.Name)
+		fmt.Fprintf(b, "%s  } while (%s < %d);\n%s}\n", ind, s.Name, s.N, ind)
+	case SBlock:
+		fmt.Fprintf(b, "%s{\n", ind)
+		renderBody(b, s.Body, depth+1)
+		fmt.Fprintf(b, "%s}\n", ind)
+	case SRet:
+		if s.E == nil {
+			fmt.Fprintf(b, "%sreturn;\n", ind)
+		} else {
+			fmt.Fprintf(b, "%sreturn %s;\n", ind, renderExpr(s.E))
+		}
+	}
+}
+
+// renderInitLoop emits the element-initialisation loop shared by SArrDecl
+// and SPtrDecl. The loop variable is Name_i and s.E is the element value in
+// terms of it; decl and loop form one statement so reduction can never leave
+// an array readable but uninitialised.
+func renderInitLoop(b *strings.Builder, s *Stmt, ind string) {
+	iv := s.Name + "_i"
+	fmt.Fprintf(b, "%sfor (long %s = 0; %s < %d; %s = %s + 1) { %s[%s] = %s; }\n",
+		ind, iv, iv, s.N, iv, iv, s.Name, iv, renderExpr(s.E))
+}
+
+func renderExpr(e *Expr) string {
+	switch e.Kind {
+	case EInt:
+		if e.IVal < 0 {
+			return "(-" + strconv.FormatInt(-e.IVal, 10) + ")"
+		}
+		return strconv.FormatInt(e.IVal, 10)
+	case EFloat:
+		return floatLit(e.FVal)
+	case EIdent:
+		return e.Name
+	case EUn:
+		return "(" + e.Op + renderExpr(e.L) + ")"
+	case EBin:
+		return "(" + renderExpr(e.L) + " " + e.Op + " " + renderExpr(e.R) + ")"
+	case ECall:
+		var b strings.Builder
+		b.WriteString(e.Name)
+		b.WriteString("(")
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(renderExpr(a))
+		}
+		b.WriteString(")")
+		return b.String()
+	case EIndex:
+		return renderExpr(e.L) + "[" + renderExpr(e.R) + "]"
+	case EAssign:
+		return "(" + renderExpr(e.L) + " " + e.Op + " " + renderExpr(e.R) + ")"
+	case ECond:
+		return "(" + renderExpr(e.L) + " ? " + renderExpr(e.R) + " : " + renderExpr(e.C) + ")"
+	case ECast:
+		return "((" + e.Name + ")" + renderExpr(e.L) + ")"
+	case EAddr:
+		return "(&" + renderExpr(e.L) + ")"
+	}
+	return "0"
+}
+
+// floatLit renders a float64 as a miniC literal. Generated constants are
+// small binary-exact values, so plain decimal notation round-trips.
+func floatLit(f float64) string {
+	neg := ""
+	if f < 0 {
+		neg = "-"
+		f = -f
+	}
+	s := strconv.FormatFloat(f, 'f', -1, 64)
+	if !strings.Contains(s, ".") {
+		s += ".0"
+	}
+	if neg != "" {
+		return "(" + neg + s + ")"
+	}
+	return s
+}
+
+// Clone deep-copies the program so reduction candidates never alias.
+func (p *Prog) Clone() *Prog {
+	q := &Prog{Seed: p.Seed}
+	q.Features = append(q.Features, p.Features...)
+	for _, g := range p.Globals {
+		g2 := g
+		g2.Init = append([]int64(nil), g.Init...)
+		q.Globals = append(q.Globals, g2)
+	}
+	for _, f := range p.Fns {
+		q.Fns = append(q.Fns, cloneFn(f))
+	}
+	return q
+}
+
+func cloneFn(f *Fn) *Fn {
+	g := &Fn{Name: f.Name, Ret: f.Ret, Raw: f.Raw, Pure: f.Pure}
+	g.Params = append(g.Params, f.Params...)
+	g.Body = cloneBody(f.Body)
+	return g
+}
+
+func cloneBody(body []*Stmt) []*Stmt {
+	if body == nil {
+		return nil
+	}
+	out := make([]*Stmt, len(body))
+	for i, s := range body {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s *Stmt) *Stmt {
+	t := &Stmt{Kind: s.Kind, Ty: s.Ty, Name: s.Name, N: s.N, Atomic: s.Atomic}
+	t.E = cloneExpr(s.E)
+	t.Cond = cloneExpr(s.Cond)
+	t.Body = cloneBody(s.Body)
+	t.Else = cloneBody(s.Else)
+	return t
+}
+
+func cloneExpr(e *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	f := &Expr{Kind: e.Kind, IVal: e.IVal, FVal: e.FVal, Name: e.Name, Op: e.Op}
+	f.L = cloneExpr(e.L)
+	f.R = cloneExpr(e.R)
+	f.C = cloneExpr(e.C)
+	if e.Args != nil {
+		f.Args = make([]*Expr, len(e.Args))
+		for i, a := range e.Args {
+			f.Args[i] = cloneExpr(a)
+		}
+	}
+	return f
+}

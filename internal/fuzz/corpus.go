@@ -1,0 +1,51 @@
+package fuzz
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The regression corpus is a directory of rendered miniC programs
+// (testdata/ in this package). Every entry replays through the full oracle
+// in TestCorpusReplay forever after; divergences found by fuzzing land here
+// reduced, named by content hash.
+
+// CorpusDir locates the committed corpus relative to the working directory:
+// the repo-rooted path when running from the module root (hdcbench,
+// hdcinspect), or the package's own testdata when running under go test.
+// The repo-rooted form is probed first via its parent so a fresh checkout
+// without any corpus yet still resolves to the right place.
+func CorpusDir() string {
+	if st, err := os.Stat(filepath.Join("internal", "fuzz")); err == nil && st.IsDir() {
+		return filepath.Join("internal", "fuzz", "testdata")
+	}
+	return "testdata"
+}
+
+// ListCorpus returns the corpus entries (sorted file paths).
+func ListCorpus(dir string) ([]string, error) {
+	ents, err := filepath.Glob(filepath.Join(dir, "*.c"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(ents)
+	return ents, nil
+}
+
+// WriteRepro stores a diverging program in the corpus directory, named by
+// content hash so repeated finds of the same repro collapse into one file.
+func WriteRepro(dir, src string) (string, error) {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	path := filepath.Join(dir, fmt.Sprintf("crash-%016x.c", h.Sum64()))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

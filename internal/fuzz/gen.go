@@ -1,0 +1,847 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The generator builds a random but *safe-by-construction* program: every
+// seed yields a program that terminates, never traps, and is deterministic
+// under any legal scheduling — so any output difference between the oracle's
+// execution modes is a bug in the toolchain/kernel stack, not in the program.
+//
+// Safety is enforced structurally rather than checked after the fact:
+//
+//   - division/modulo go through the sdiv/smod helpers (divide-by-zero traps
+//     in the machine; the helpers return 0 instead),
+//   - every computed array index goes through idx(i, n), which reduces any
+//     long into [0, n),
+//   - float-to-int conversion goes through f2i, which zeroes NaN and clamps
+//     to +/-1e9 before the cast (out-of-range conversions are host-defined),
+//   - shift counts are masked to [0, 15],
+//   - loops only ever take the shape `for (i = 0; i < N; i = i + 1)` with a
+//     counter nothing else writes, and recursion carries an explicit depth
+//     parameter decremented on every call,
+//   - worker threads never print, never write shared state except a
+//     per-thread slot, an atomic counter and a lock-guarded commutative sum,
+//     and main only reads those after joining every worker,
+//   - xrand/getnode/gettime_ns and friends are never emitted.
+type gen struct {
+	r     *rand.Rand
+	p     *Prog
+	feats map[string]bool
+	n     int
+
+	// globals usable from ordinary expressions (shared thread sinks are
+	// deliberately excluded and only touched by hand-built statements).
+	scalars []vinfo
+	arrays  []vinfo
+
+	pureFns []fnSig // callable from any context, including workers
+	mainFns []fnSig // may touch globals; callable outside workers only
+}
+
+// vinfo describes a variable visible to the expression generator. ArrLen > 0
+// marks an indexable name (array or pointer) over long elements.
+type vinfo struct {
+	name    string
+	ty      Type
+	arrLen  int64
+	mutable bool
+}
+
+// fnSig is a callable generated helper.
+type fnSig struct {
+	name   string
+	ret    Type
+	params []Type
+}
+
+// scope is one function body's expression environment.
+type scope struct {
+	vars []vinfo
+	// pure: params and locals only (helpers callable from workers).
+	pure bool
+	// worker: globals are readable but not writable (the concurrency
+	// window makes main's globals read-only shared state).
+	worker bool
+}
+
+func (sc *scope) add(v vinfo) { sc.vars = append(sc.vars, v) }
+
+// child copies a scope for a nested block: names declared inside stay
+// inside, matching miniC's block scoping.
+func (g *gen) child(sc *scope) *scope {
+	return &scope{vars: append([]vinfo{}, sc.vars...), pure: sc.pure, worker: sc.worker}
+}
+
+// Generate builds the program for a seed. The same seed always yields the
+// same program, byte for byte.
+func Generate(seed int64) *Prog {
+	g := &gen{
+		r:     rand.New(rand.NewSource(seed)),
+		p:     &Prog{Seed: seed},
+		feats: map[string]bool{},
+	}
+	g.build()
+	for f := range g.feats {
+		g.p.Features = append(g.p.Features, f)
+	}
+	return g.p
+}
+
+// GenerateSource is Generate followed by Render.
+func GenerateSource(seed int64) string { return Render(Generate(seed)) }
+
+func (g *gen) name(prefix string) string {
+	g.n++
+	return fmt.Sprintf("%s%d", prefix, g.n)
+}
+
+// rnd returns a uniform int in [lo, hi].
+func (g *gen) rnd(lo, hi int) int { return lo + g.r.Intn(hi-lo+1) }
+
+func (g *gen) chance(p float64) bool { return g.r.Float64() < p }
+
+func (g *gen) build() {
+	useFloats := g.chance(0.7)
+	usePtrs := g.chance(0.55)
+	useMalloc := g.chance(0.35)
+	useThreads := g.chance(0.45)
+	useLocks := useThreads && g.chance(0.5)
+	useRec := g.chance(0.55)
+	useDeepRec := useRec && g.chance(0.4)
+	if useFloats {
+		g.feats[FeatFloats] = true
+	}
+	g.feats[FeatArrays] = true
+
+	g.emitRawHelpers(useFloats)
+
+	// Globals: a few long scalars, optional doubles, one or two arrays.
+	for i := g.rnd(2, 4); i > 0; i-- {
+		name := g.name("g")
+		g.p.Globals = append(g.p.Globals, Global{
+			Name: name, Ty: TLong, Init: []int64{int64(g.rnd(-50, 200))},
+		})
+		g.scalars = append(g.scalars, vinfo{name: name, ty: TLong, mutable: true})
+	}
+	if useFloats {
+		for i := g.rnd(1, 2); i > 0; i-- {
+			name := g.name("fg")
+			g.p.Globals = append(g.p.Globals, Global{Name: name, Ty: TDouble, FIni: g.fconst()})
+			g.scalars = append(g.scalars, vinfo{name: name, ty: TDouble, mutable: true})
+		}
+	}
+	for i := g.rnd(1, 2); i > 0; i-- {
+		name := g.name("garr")
+		ln := int64(g.rnd(4, 12))
+		var init []int64
+		for j := 0; j < g.rnd(1, int(ln)); j++ {
+			init = append(init, int64(g.rnd(-100, 100)))
+		}
+		g.p.Globals = append(g.p.Globals, Global{Name: name, Ty: TLong, ArrLen: ln, Init: init})
+		g.arrays = append(g.arrays, vinfo{name: name, ty: TLong, arrLen: ln, mutable: true})
+	}
+
+	// Shared thread sinks (never entered into scalars/arrays).
+	var workers []fnSig
+	nWorkers := 0
+	if useThreads {
+		g.feats[FeatThreads] = true
+		g.p.Globals = append(g.p.Globals,
+			Global{Name: "gcnt", Ty: TLong},
+			Global{Name: "gpart", Ty: TLong, ArrLen: 8})
+		if useLocks {
+			g.feats[FeatLocks] = true
+			g.p.Globals = append(g.p.Globals,
+				Global{Name: "glk", Ty: TLong},
+				Global{Name: "gsum", Ty: TLong})
+		}
+		nWorkers = g.rnd(1, 3)
+	}
+
+	// Helpers.
+	for i := g.rnd(1, 2); i > 0; i-- {
+		g.emitPureHelper(false)
+	}
+	if useFloats && g.chance(0.7) {
+		g.emitPureHelper(true)
+	}
+	if useRec {
+		g.feats[FeatRecursion] = true
+		g.emitRecursive(false)
+		if useDeepRec {
+			g.emitRecursive(true)
+		}
+	}
+	if g.chance(0.6) {
+		g.emitMainHelper(useFloats)
+	}
+	if useThreads {
+		for i := 0; i < g.rnd(1, 2); i++ {
+			workers = append(workers, g.emitWorker(useLocks, useFloats))
+		}
+	}
+
+	// main.
+	sc := &scope{}
+	var body []*Stmt
+	for i := g.rnd(2, 4); i > 0; i-- {
+		body = append(body, g.declStmt(sc, useFloats))
+	}
+	if g.chance(0.8) {
+		body = append(body, g.arrDeclStmt(sc))
+	}
+	body = append(body, g.stmts(sc, 2, g.rnd(4, 8), useFloats)...)
+	if usePtrs {
+		g.feats[FeatPointers] = true
+		body = append(body, g.aliasStmts(sc)...)
+	}
+	if useMalloc {
+		g.feats[FeatMalloc] = true
+		body = append(body, g.heapStmt(sc))
+	}
+	body = append(body, g.stmts(sc, 2, g.rnd(3, 6), useFloats)...)
+	if useThreads && len(workers) > 0 {
+		body = append(body, g.threadBlock(workers, nWorkers, useLocks))
+	}
+	body = append(body, g.checksumStmts(sc)...)
+	body = append(body, &Stmt{Kind: SRet, E: &Expr{Kind: EInt}})
+
+	g.p.Fns = append(g.p.Fns, &Fn{
+		Name: "main", Ret: TLong, Body: body,
+	})
+}
+
+// emitRawHelpers appends the fixed safety helpers the generated code leans
+// on. They are Raw so the reducer may drop unused ones but never edits them.
+func (g *gen) emitRawHelpers(useFloats bool) {
+	g.p.Fns = append(g.p.Fns,
+		&Fn{Name: "sdiv", Raw: "long sdiv(long a, long b) {\n" +
+			"  if (b == 0) { return 0; }\n  return a / b;\n}\n"},
+		&Fn{Name: "smod", Raw: "long smod(long a, long b) {\n" +
+			"  if (b == 0) { return 0; }\n  return a % b;\n}\n"},
+		&Fn{Name: "idx", Raw: "long idx(long i, long n) {\n" +
+			"  long r = i % n;\n  if (r < 0) { r = r + n; }\n  return r;\n}\n"})
+	if useFloats {
+		g.p.Fns = append(g.p.Fns,
+			&Fn{Name: "f2i", Raw: "long f2i(double x) {\n" +
+				"  if (!(x == x)) { return 0; }\n" +
+				"  if (x > 1000000000.0) { return 1000000000; }\n" +
+				"  if (x < (-1000000000.0)) { return -1000000000; }\n" +
+				"  return (long)x;\n}\n"})
+	}
+}
+
+// --- helper functions -------------------------------------------------
+
+func (g *gen) emitPureHelper(float bool) {
+	name := g.name("fn")
+	sc := &scope{pure: true}
+	var params []Param
+	var ptys []Type
+	for i := g.rnd(1, 2); i > 0; i-- {
+		p := Param{Name: g.name("a"), Ty: TLong}
+		params = append(params, p)
+		ptys = append(ptys, TLong)
+		sc.add(vinfo{name: p.Name, ty: TLong})
+	}
+	if float {
+		p := Param{Name: g.name("x"), Ty: TDouble}
+		params = append(params, p)
+		ptys = append(ptys, TDouble)
+		sc.add(vinfo{name: p.Name, ty: TDouble})
+	}
+	ret := TLong
+	if float && g.chance(0.5) {
+		ret = TDouble
+	}
+	body := []*Stmt{g.declStmt(sc, float)}
+	body = append(body, g.stmts(sc, 1, g.rnd(1, 3), float)...)
+	var re *Expr
+	if ret == TDouble {
+		re = g.fexpr(sc, 2)
+	} else {
+		re = g.iexpr(sc, 2)
+	}
+	body = append(body, &Stmt{Kind: SRet, E: re})
+	f := &Fn{Name: name, Params: params, Ret: ret, Body: body, Pure: true}
+	g.p.Fns = append(g.p.Fns, f)
+	g.pureFns = append(g.pureFns, fnSig{name: name, ret: ret, params: ptys})
+}
+
+// emitRecursive builds a depth-bounded recursive helper. Deep variants use a
+// single self-call so call-site depths of ~40 stay well inside a stack half;
+// shallow variants may fan out into two self-calls.
+func (g *gen) emitRecursive(deep bool) {
+	name := g.name("rec")
+	sc := &scope{pure: true}
+	px := Param{Name: g.name("a"), Ty: TLong}
+	pd := Param{Name: g.name("d"), Ty: TLong}
+	sc.add(vinfo{name: px.Name, ty: TLong})
+	x := &Expr{Kind: EIdent, Name: px.Name}
+	d := &Expr{Kind: EIdent, Name: pd.Name}
+	base := &Stmt{Kind: SIf,
+		Cond: &Expr{Kind: EBin, Op: "<", L: d, R: &Expr{Kind: EInt, IVal: 1}},
+		Body: []*Stmt{{Kind: SRet, E: &Expr{Kind: EBin, Op: "&", L: x,
+			R: &Expr{Kind: EInt, IVal: 1023}}}}}
+	body := []*Stmt{base}
+	body = append(body, g.stmts(sc, 1, g.rnd(1, 2), false)...)
+	call := func(shift int64) *Expr {
+		return &Expr{Kind: ECall, Name: name, Args: []*Expr{
+			{Kind: EBin, Op: "+", L: cloneExpr(x), R: &Expr{Kind: EInt, IVal: shift}},
+			{Kind: EBin, Op: "-", L: cloneExpr(d), R: &Expr{Kind: EInt, IVal: 1}},
+		}}
+	}
+	rec := call(int64(g.rnd(1, 9)))
+	if !deep && g.chance(0.35) {
+		rec = &Expr{Kind: EBin, Op: "^", L: rec, R: call(int64(g.rnd(10, 20)))}
+	}
+	body = append(body, &Stmt{Kind: SRet,
+		E: &Expr{Kind: EBin, Op: pick(g.r, "+", "^", "-"), L: rec, R: g.iexpr(sc, 1)}})
+	g.p.Fns = append(g.p.Fns, &Fn{Name: name,
+		Params: []Param{px, pd}, Ret: TLong, Body: body, Pure: true})
+	depth := int64(g.rnd(4, 8))
+	if deep {
+		depth = int64(g.rnd(25, 40))
+	}
+	// Record the call with its depth bound baked into the signature: the
+	// expression generator supplies only the value argument.
+	g.pureFns = append(g.pureFns, fnSig{name: name, ret: TLong, params: []Type{TLong, typeDepth(depth)}})
+}
+
+// typeDepth smuggles a recursion depth constant through the params slice:
+// values above tDepthBase mean "emit this literal", not a caller expression.
+const tDepthBase = Type(1000)
+
+func typeDepth(d int64) Type { return tDepthBase + Type(d) }
+
+// emitMainHelper builds a helper that may read globals and write long
+// scalars; only non-worker contexts call it.
+func (g *gen) emitMainHelper(useFloats bool) {
+	name := g.name("fn")
+	sc := &scope{}
+	p := Param{Name: g.name("a"), Ty: TLong}
+	sc.add(vinfo{name: p.Name, ty: TLong})
+	body := []*Stmt{g.declStmt(sc, useFloats)}
+	body = append(body, g.stmts(sc, 1, g.rnd(2, 4), useFloats)...)
+	body = append(body, &Stmt{Kind: SRet, E: g.iexpr(sc, 2)})
+	g.p.Fns = append(g.p.Fns, &Fn{Name: name, Params: []Param{p}, Ret: TLong, Body: body})
+	g.mainFns = append(g.mainFns, fnSig{name: name, ret: TLong, params: []Type{TLong}})
+}
+
+// emitWorker builds a thread body: pure computation over its tid plus reads
+// of (stable) globals, finishing with the only shared writes workers are
+// allowed — an atomic counter bump, an optional lock-guarded commutative
+// sum, and the thread's private gpart slot.
+func (g *gen) emitWorker(useLocks, useFloats bool) fnSig {
+	name := g.name("worker")
+	tid := Param{Name: g.name("t"), Ty: TLong}
+	sc := &scope{worker: true}
+	sc.add(vinfo{name: tid.Name, ty: TLong})
+	acc := g.name("acc")
+	body := []*Stmt{{Kind: SDecl, Ty: TLong, Name: acc,
+		E: &Expr{Kind: EBin, Op: "*", L: &Expr{Kind: EIdent, Name: tid.Name},
+			R: &Expr{Kind: EInt, IVal: int64(g.rnd(3, 17))}}}}
+	sc.add(vinfo{name: acc, ty: TLong, mutable: true})
+	body = append(body, g.stmts(sc, 2, g.rnd(2, 5), useFloats)...)
+	// The shared-write tail is part of the worker protocol; wrap it in an
+	// atomic block so reduction cannot split a lock from its unlock.
+	tail := []*Stmt{{Kind: SExpr, E: &Expr{Kind: ECall, Name: "__atomic_add",
+		Args: []*Expr{
+			{Kind: EAddr, L: &Expr{Kind: EIdent, Name: "gcnt"}},
+			{Kind: EBin, Op: "&", L: g.iexpr(sc, 1), R: &Expr{Kind: EInt, IVal: 4095}},
+		}}}}
+	if useLocks {
+		tail = append(tail,
+			&Stmt{Kind: SExpr, E: &Expr{Kind: ECall, Name: "lock",
+				Args: []*Expr{{Kind: EAddr, L: &Expr{Kind: EIdent, Name: "glk"}}}}},
+			&Stmt{Kind: SExpr, E: &Expr{Kind: EAssign, Op: "+=",
+				L: &Expr{Kind: EIdent, Name: "gsum"},
+				R: &Expr{Kind: EBin, Op: "&", L: g.iexpr(sc, 1),
+					R: &Expr{Kind: EInt, IVal: 8191}}}},
+			&Stmt{Kind: SExpr, E: &Expr{Kind: ECall, Name: "unlock",
+				Args: []*Expr{{Kind: EAddr, L: &Expr{Kind: EIdent, Name: "glk"}}}}})
+	}
+	tail = append(tail, &Stmt{Kind: SExpr, E: &Expr{Kind: EAssign, Op: "=",
+		L: &Expr{Kind: EIndex, L: &Expr{Kind: EIdent, Name: "gpart"},
+			R: &Expr{Kind: ECall, Name: "idx", Args: []*Expr{
+				{Kind: EIdent, Name: tid.Name}, {Kind: EInt, IVal: 8}}}},
+		R: &Expr{Kind: EIdent, Name: acc}}})
+	body = append(body, &Stmt{Kind: SBlock, Atomic: true, Body: tail})
+	body = append(body, &Stmt{Kind: SRet, E: &Expr{Kind: EBin, Op: "&",
+		L: &Expr{Kind: EIdent, Name: acc}, R: &Expr{Kind: EInt, IVal: 65535}}})
+	g.p.Fns = append(g.p.Fns, &Fn{Name: name,
+		Params: []Param{tid}, Ret: TLong, Body: body, Pure: true})
+	return fnSig{name: name, ret: TLong, params: []Type{TLong}}
+}
+
+// threadBlock spawns workers, runs one share on the main thread, joins
+// everything and prints the joined sums plus every shared sink. One atomic
+// unit: partial deletion would leak threads or race on the sinks.
+func (g *gen) threadBlock(workers []fnSig, nSpawn int, useLocks bool) *Stmt {
+	var body []*Stmt
+	ws := g.name("ws")
+	body = append(body, &Stmt{Kind: SDecl, Ty: TLong, Name: ws,
+		E: &Expr{Kind: EInt}})
+	var tids []string
+	for i := 0; i < nSpawn; i++ {
+		w := workers[g.r.Intn(len(workers))]
+		tv := g.name("tid")
+		tids = append(tids, tv)
+		body = append(body, &Stmt{Kind: SDecl, Ty: TLong, Name: tv,
+			E: &Expr{Kind: ECall, Name: "spawn", Args: []*Expr{
+				{Kind: EIdent, Name: w.name}, {Kind: EInt, IVal: int64(i + 1)}}}})
+	}
+	w0 := workers[0]
+	body = append(body, &Stmt{Kind: SExpr, E: &Expr{Kind: EAssign, Op: "+=",
+		L: &Expr{Kind: EIdent, Name: ws},
+		R: &Expr{Kind: ECall, Name: w0.name, Args: []*Expr{{Kind: EInt}}}}})
+	for _, tv := range tids {
+		body = append(body, &Stmt{Kind: SExpr, E: &Expr{Kind: EAssign, Op: "+=",
+			L: &Expr{Kind: EIdent, Name: ws},
+			R: &Expr{Kind: ECall, Name: "join", Args: []*Expr{{Kind: EIdent, Name: tv}}}}})
+	}
+	printLn := func(e *Expr) *Stmt {
+		return &Stmt{Kind: SExpr, E: &Expr{Kind: ECall, Name: "print_i64_ln", Args: []*Expr{e}}}
+	}
+	body = append(body, printLn(&Expr{Kind: EIdent, Name: ws}))
+	body = append(body, printLn(&Expr{Kind: EIdent, Name: "gcnt"}))
+	if useLocks {
+		body = append(body, printLn(&Expr{Kind: EIdent, Name: "gsum"}))
+	}
+	ck := g.name("wck")
+	iv := g.name("wi")
+	body = append(body,
+		&Stmt{Kind: SDecl, Ty: TLong, Name: ck, E: &Expr{Kind: EInt}},
+		&Stmt{Kind: SFor, Name: iv, N: 8, Body: []*Stmt{
+			{Kind: SExpr, E: &Expr{Kind: EAssign, Op: "=",
+				L: &Expr{Kind: EIdent, Name: ck},
+				R: &Expr{Kind: EBin, Op: "+",
+					L: &Expr{Kind: EBin, Op: "*", L: &Expr{Kind: EIdent, Name: ck},
+						R: &Expr{Kind: EInt, IVal: 31}},
+					R: &Expr{Kind: EIndex, L: &Expr{Kind: EIdent, Name: "gpart"},
+						R: &Expr{Kind: EIdent, Name: iv}}}}},
+		}},
+		printLn(&Expr{Kind: EIdent, Name: ck}))
+	return &Stmt{Kind: SBlock, Atomic: true, Body: body}
+}
+
+// --- statements -------------------------------------------------------
+
+// declStmt declares and initialises a fresh scalar local.
+func (g *gen) declStmt(sc *scope, useFloats bool) *Stmt {
+	if useFloats && g.chance(0.35) {
+		name := g.name("fv")
+		s := &Stmt{Kind: SDecl, Ty: TDouble, Name: name, E: g.fexpr(sc, 2)}
+		sc.add(vinfo{name: name, ty: TDouble, mutable: true})
+		return s
+	}
+	name := g.name("v")
+	s := &Stmt{Kind: SDecl, Ty: TLong, Name: name, E: g.iexpr(sc, 2)}
+	sc.add(vinfo{name: name, ty: TLong, mutable: true})
+	return s
+}
+
+// arrDeclStmt declares a local long array and initialises every element in
+// a single reduction-atomic statement (reading uninitialised stack memory
+// would differ across ISAs by frame layout alone).
+func (g *gen) arrDeclStmt(sc *scope) *Stmt {
+	name := g.name("arr")
+	ln := int64(g.rnd(4, 10))
+	iv := name + "_i"
+	elem := &Expr{Kind: EBin, Op: "+",
+		L: &Expr{Kind: EBin, Op: "*", L: &Expr{Kind: EIdent, Name: iv},
+			R: &Expr{Kind: EInt, IVal: int64(g.rnd(2, 13))}},
+		R: &Expr{Kind: EInt, IVal: int64(g.rnd(-20, 40))}}
+	sc.add(vinfo{name: name, ty: TLong, arrLen: ln, mutable: true})
+	return &Stmt{Kind: SArrDecl, Name: name, N: ln, E: elem, Atomic: true}
+}
+
+// aliasStmts introduces pointers aliasing an existing array at an offset,
+// then mixes reads and writes through both names.
+func (g *gen) aliasStmts(sc *scope) []*Stmt {
+	target, ok := g.pickArr(sc)
+	if !ok || target.arrLen < 3 {
+		return nil
+	}
+	off := int64(g.rnd(1, int(target.arrLen-2)))
+	span := target.arrLen - off
+	name := g.name("p")
+	out := []*Stmt{{Kind: SDecl, Ty: TPtr, Name: name,
+		E: &Expr{Kind: EAddr, L: &Expr{Kind: EIndex,
+			L: &Expr{Kind: EIdent, Name: target.name},
+			R: &Expr{Kind: EInt, IVal: off}}}}}
+	sc.add(vinfo{name: name, ty: TLong, arrLen: span, mutable: target.mutable})
+	for i := g.rnd(1, 3); i > 0; i-- {
+		out = append(out, g.stmt(sc, 1, true))
+	}
+	return out
+}
+
+// heapStmt mallocs a long array on the shared heap and initialises it, as
+// one reduction-atomic unit. The pointer joins the scope like any array.
+func (g *gen) heapStmt(sc *scope) *Stmt {
+	name := g.name("h")
+	ln := int64(g.rnd(4, 12))
+	iv := name + "_i"
+	elem := &Expr{Kind: EBin, Op: "^",
+		L: &Expr{Kind: EBin, Op: "*", L: &Expr{Kind: EIdent, Name: iv},
+			R: &Expr{Kind: EInt, IVal: int64(g.rnd(3, 11))}},
+		R: &Expr{Kind: EInt, IVal: int64(g.rnd(0, 63))}}
+	sc.add(vinfo{name: name, ty: TLong, arrLen: ln, mutable: true})
+	return &Stmt{Kind: SPtrDecl, Name: name, N: ln, E: elem, Atomic: true}
+}
+
+// stmts emits count statements at the given nesting depth.
+func (g *gen) stmts(sc *scope, depth, count int, useFloats bool) []*Stmt {
+	var out []*Stmt
+	for i := 0; i < count; i++ {
+		if g.chance(0.2) {
+			out = append(out, g.declStmt(sc, useFloats))
+			continue
+		}
+		out = append(out, g.stmt(sc, depth, useFloats))
+	}
+	return out
+}
+
+// stmt emits one statement. depth == 0 restricts to straight-line forms.
+func (g *gen) stmt(sc *scope, depth int, useFloats bool) *Stmt {
+	if depth > 0 {
+		switch g.rnd(0, 9) {
+		case 0, 1:
+			// Each branch gets a child scope: miniC block-scopes declarations,
+			// so names declared inside must not leak into later statements.
+			cond := g.boolExpr(sc)
+			s := &Stmt{Kind: SIf, Cond: cond,
+				Body: g.stmts(g.child(sc), depth-1, g.rnd(1, 3), useFloats)}
+			if g.chance(0.4) {
+				s.Else = g.stmts(g.child(sc), depth-1, g.rnd(1, 2), useFloats)
+			}
+			return s
+		case 2, 3:
+			iv := g.name("i")
+			inner := g.child(sc)
+			inner.add(vinfo{name: iv, ty: TLong})
+			return &Stmt{Kind: SFor, Name: iv, N: int64(g.rnd(2, 10)),
+				Body: g.stmts(inner, depth-1, g.rnd(1, 3), useFloats)}
+		case 4:
+			iv := g.name("k")
+			inner := g.child(sc)
+			inner.add(vinfo{name: iv, ty: TLong})
+			return &Stmt{Kind: SDo, Name: iv, N: int64(g.rnd(1, 5)),
+				Body: g.stmts(inner, depth-1, g.rnd(1, 2), useFloats)}
+		}
+	}
+	return g.simpleStmt(sc, useFloats)
+}
+
+// simpleStmt emits an assignment or (in main) an occasional print.
+func (g *gen) simpleStmt(sc *scope, useFloats bool) *Stmt {
+	if !sc.pure && !sc.worker && g.chance(0.18) {
+		return &Stmt{Kind: SExpr, E: &Expr{Kind: ECall, Name: "print_i64_ln",
+			Args: []*Expr{g.iexpr(sc, 2)}}}
+	}
+	// Element store through an indexable name.
+	if v, ok := g.pickArr(sc); ok && v.mutable && g.chance(0.4) {
+		return &Stmt{Kind: SExpr, E: &Expr{Kind: EAssign, Op: "=",
+			L: &Expr{Kind: EIndex, L: &Expr{Kind: EIdent, Name: v.name},
+				R: g.indexExpr(sc, v.arrLen)},
+			R: g.iexpr(sc, 2)}}
+	}
+	if v, ok := g.pickMutable(sc); ok {
+		if v.ty == TDouble {
+			return &Stmt{Kind: SExpr, E: &Expr{Kind: EAssign,
+				Op: pick(g.r, "=", "+=", "-=", "*="),
+				L:  &Expr{Kind: EIdent, Name: v.name}, R: g.fexpr(sc, 2)}}
+		}
+		return &Stmt{Kind: SExpr, E: &Expr{Kind: EAssign,
+			Op: pick(g.r, "=", "=", "+=", "-=", "*=", "&=", "|=", "^="),
+			L:  &Expr{Kind: EIdent, Name: v.name}, R: g.iexpr(sc, 2)}}
+	}
+	return &Stmt{Kind: SExpr, E: g.iexpr(sc, 1)}
+}
+
+// checksumStmts prints every observable: global scalars, array checksums
+// and a couple of main locals. Plain deletable statements — if reduction
+// can drop a print and keep the divergence, the repro gets smaller.
+func (g *gen) checksumStmts(sc *scope) []*Stmt {
+	printLn := func(e *Expr) *Stmt {
+		return &Stmt{Kind: SExpr, E: &Expr{Kind: ECall, Name: "print_i64_ln", Args: []*Expr{e}}}
+	}
+	var out []*Stmt
+	for _, v := range g.scalars {
+		if v.ty == TDouble {
+			out = append(out, printLn(&Expr{Kind: ECall, Name: "f2i",
+				Args: []*Expr{{Kind: EBin, Op: "*",
+					L: &Expr{Kind: EIdent, Name: v.name},
+					R: &Expr{Kind: EFloat, FVal: 1000.0}}}}))
+			continue
+		}
+		out = append(out, printLn(&Expr{Kind: EIdent, Name: v.name}))
+	}
+	arrs := append([]vinfo{}, g.arrays...)
+	for _, v := range sc.vars {
+		if v.arrLen > 0 {
+			arrs = append(arrs, v)
+		}
+	}
+	for _, a := range arrs {
+		ck := g.name("ck")
+		iv := g.name("ci")
+		out = append(out,
+			&Stmt{Kind: SDecl, Ty: TLong, Name: ck, E: &Expr{Kind: EInt}},
+			&Stmt{Kind: SFor, Name: iv, N: a.arrLen, Body: []*Stmt{
+				{Kind: SExpr, E: &Expr{Kind: EAssign, Op: "=",
+					L: &Expr{Kind: EIdent, Name: ck},
+					R: &Expr{Kind: EBin, Op: "+",
+						L: &Expr{Kind: EBin, Op: "*", L: &Expr{Kind: EIdent, Name: ck},
+							R: &Expr{Kind: EInt, IVal: 131}},
+						R: &Expr{Kind: EIndex, L: &Expr{Kind: EIdent, Name: a.name},
+							R: &Expr{Kind: EIdent, Name: iv}}}}},
+			}},
+			printLn(&Expr{Kind: EIdent, Name: ck}))
+	}
+	shown := 0
+	for _, v := range sc.vars {
+		if v.arrLen > 0 || shown >= 3 {
+			continue
+		}
+		shown++
+		if v.ty == TDouble {
+			out = append(out, printLn(&Expr{Kind: ECall, Name: "f2i",
+				Args: []*Expr{{Kind: EBin, Op: "*",
+					L: &Expr{Kind: EIdent, Name: v.name},
+					R: &Expr{Kind: EFloat, FVal: 1000.0}}}}))
+			continue
+		}
+		out = append(out, printLn(&Expr{Kind: EIdent, Name: v.name}))
+	}
+	return out
+}
+
+// --- expressions ------------------------------------------------------
+
+// readable returns variables of type ty visible in this scope, including
+// global scalars where the context allows.
+func (g *gen) readable(sc *scope, ty Type) []vinfo {
+	var out []vinfo
+	for _, v := range sc.vars {
+		if v.arrLen == 0 && v.ty == ty {
+			out = append(out, v)
+		}
+	}
+	if !sc.pure {
+		for _, v := range g.scalars {
+			if v.ty == ty {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+func (g *gen) pickMutable(sc *scope) (vinfo, bool) {
+	var out []vinfo
+	for _, v := range sc.vars {
+		if v.arrLen == 0 && v.mutable {
+			out = append(out, v)
+		}
+	}
+	if !sc.pure && !sc.worker {
+		out = append(out, g.scalars...)
+	}
+	if len(out) == 0 {
+		return vinfo{}, false
+	}
+	return out[g.r.Intn(len(out))], true
+}
+
+// pickArr picks an indexable name; writable ones require a non-worker
+// context for globals, but locally declared arrays are always fair game.
+func (g *gen) pickArr(sc *scope) (vinfo, bool) {
+	var out []vinfo
+	for _, v := range sc.vars {
+		if v.arrLen > 0 {
+			out = append(out, v)
+		}
+	}
+	if !sc.pure {
+		for _, v := range g.arrays {
+			w := v
+			if sc.worker {
+				w.mutable = false
+			}
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		return vinfo{}, false
+	}
+	return out[g.r.Intn(len(out))], true
+}
+
+// indexExpr yields an always-in-bounds index for an array of length n:
+// either a literal below n or idx(e, n).
+func (g *gen) indexExpr(sc *scope, n int64) *Expr {
+	if g.chance(0.45) {
+		return &Expr{Kind: EInt, IVal: int64(g.r.Intn(int(n)))}
+	}
+	return &Expr{Kind: ECall, Name: "idx", Args: []*Expr{
+		g.iexpr(sc, 1), {Kind: EInt, IVal: n}}}
+}
+
+func (g *gen) iconst() *Expr {
+	switch g.rnd(0, 5) {
+	case 0:
+		return &Expr{Kind: EInt, IVal: int64(g.rnd(0, 9))}
+	case 1:
+		return &Expr{Kind: EInt, IVal: int64(g.rnd(-64, 64))}
+	case 2, 3:
+		return &Expr{Kind: EInt, IVal: int64(g.rnd(-10000, 10000))}
+	case 4:
+		return &Expr{Kind: EInt, IVal: int64(g.r.Intn(1 << 20))}
+	default:
+		return &Expr{Kind: EInt, IVal: (int64(g.r.Intn(1<<16)) << 24) - (1 << 38)}
+	}
+}
+
+func (g *gen) fconst() float64 {
+	vals := []float64{0.5, 1.5, 2.25, 0.125, 3.75, 10.0, 0.0625, 100.5, 7.25, 0.015625}
+	v := vals[g.r.Intn(len(vals))]
+	if g.chance(0.3) {
+		v = -v
+	}
+	return v
+}
+
+// iexpr builds a long-typed expression of bounded depth.
+func (g *gen) iexpr(sc *scope, depth int) *Expr {
+	if depth <= 0 {
+		if vs := g.readable(sc, TLong); len(vs) > 0 && g.chance(0.6) {
+			return &Expr{Kind: EIdent, Name: vs[g.r.Intn(len(vs))].name}
+		}
+		return g.iconst()
+	}
+	switch g.rnd(0, 11) {
+	case 0:
+		return g.iconst()
+	case 1:
+		if vs := g.readable(sc, TLong); len(vs) > 0 {
+			return &Expr{Kind: EIdent, Name: vs[g.r.Intn(len(vs))].name}
+		}
+		return g.iconst()
+	case 2:
+		if v, ok := g.pickArr(sc); ok {
+			return &Expr{Kind: EIndex, L: &Expr{Kind: EIdent, Name: v.name},
+				R: g.indexExpr(sc, v.arrLen)}
+		}
+		return g.iexpr(sc, depth-1)
+	case 3, 4:
+		return &Expr{Kind: EBin, Op: pick(g.r, "+", "-", "*", "&", "|", "^"),
+			L: g.iexpr(sc, depth-1), R: g.iexpr(sc, depth-1)}
+	case 5:
+		return &Expr{Kind: ECall, Name: pick(g.r, "sdiv", "smod"),
+			Args: []*Expr{g.iexpr(sc, depth-1), g.iexpr(sc, depth-1)}}
+	case 6:
+		return &Expr{Kind: EBin, Op: pick(g.r, "<<", ">>"),
+			L: g.iexpr(sc, depth-1),
+			R: &Expr{Kind: EBin, Op: "&", L: g.iexpr(sc, depth-1),
+				R: &Expr{Kind: EInt, IVal: 15}}}
+	case 7:
+		return &Expr{Kind: EBin, Op: pick(g.r, "<", ">", "<=", ">=", "==", "!="),
+			L: g.iexpr(sc, depth-1), R: g.iexpr(sc, depth-1)}
+	case 8:
+		return &Expr{Kind: ECond, L: g.boolExpr(sc),
+			R: g.iexpr(sc, depth-1), C: g.iexpr(sc, depth-1)}
+	case 9:
+		if e := g.callExpr(sc, TLong, depth); e != nil {
+			return e
+		}
+		return g.iexpr(sc, depth-1)
+	case 10:
+		if g.feats[FeatFloats] {
+			return &Expr{Kind: ECall, Name: "f2i", Args: []*Expr{g.fexpr(sc, depth-1)}}
+		}
+		return &Expr{Kind: EUn, Op: pick(g.r, "-", "~"), L: g.iexpr(sc, depth-1)}
+	default:
+		return &Expr{Kind: EUn, Op: pick(g.r, "-", "~", "!"), L: g.iexpr(sc, depth-1)}
+	}
+}
+
+// boolExpr builds a comparison suitable as a condition.
+func (g *gen) boolExpr(sc *scope) *Expr {
+	return &Expr{Kind: EBin, Op: pick(g.r, "<", ">", "<=", ">=", "==", "!="),
+		L: g.iexpr(sc, 1), R: g.iexpr(sc, 1)}
+}
+
+// fexpr builds a double-typed expression of bounded depth.
+func (g *gen) fexpr(sc *scope, depth int) *Expr {
+	if depth <= 0 {
+		if vs := g.readable(sc, TDouble); len(vs) > 0 && g.chance(0.5) {
+			return &Expr{Kind: EIdent, Name: vs[g.r.Intn(len(vs))].name}
+		}
+		return &Expr{Kind: EFloat, FVal: g.fconst()}
+	}
+	switch g.rnd(0, 7) {
+	case 0:
+		return &Expr{Kind: EFloat, FVal: g.fconst()}
+	case 1:
+		if vs := g.readable(sc, TDouble); len(vs) > 0 {
+			return &Expr{Kind: EIdent, Name: vs[g.r.Intn(len(vs))].name}
+		}
+		return &Expr{Kind: EFloat, FVal: g.fconst()}
+	case 2, 3:
+		return &Expr{Kind: EBin, Op: pick(g.r, "+", "-", "*", "/"),
+			L: g.fexpr(sc, depth-1), R: g.fexpr(sc, depth-1)}
+	case 4:
+		return &Expr{Kind: ECast, Name: "double", L: g.iexpr(sc, depth-1)}
+	case 5:
+		return &Expr{Kind: ECall, Name: "sqrt", Args: []*Expr{
+			{Kind: ECall, Name: "fabs", Args: []*Expr{g.fexpr(sc, depth-1)}}}}
+	case 6:
+		if e := g.callExpr(sc, TDouble, depth); e != nil {
+			return e
+		}
+		return g.fexpr(sc, depth-1)
+	default:
+		return &Expr{Kind: ECond, L: g.boolExpr(sc),
+			R: g.fexpr(sc, depth-1), C: g.fexpr(sc, depth-1)}
+	}
+}
+
+// callExpr builds a call to a generated helper with the requested return
+// type, or nil when none fits this context.
+func (g *gen) callExpr(sc *scope, ret Type, depth int) *Expr {
+	pool := append([]fnSig{}, g.pureFns...)
+	if !sc.pure && !sc.worker {
+		pool = append(pool, g.mainFns...)
+	}
+	var fit []fnSig
+	for _, f := range pool {
+		if f.ret == ret {
+			fit = append(fit, f)
+		}
+	}
+	if len(fit) == 0 {
+		return nil
+	}
+	f := fit[g.r.Intn(len(fit))]
+	call := &Expr{Kind: ECall, Name: f.name}
+	for _, pt := range f.params {
+		switch {
+		case pt >= tDepthBase:
+			call.Args = append(call.Args, &Expr{Kind: EInt, IVal: int64(pt - tDepthBase)})
+		case pt == TDouble:
+			call.Args = append(call.Args, g.fexpr(sc, depth-1))
+		default:
+			call.Args = append(call.Args, g.iexpr(sc, depth-1))
+		}
+	}
+	return call
+}
+
+// pick returns a uniformly chosen element.
+func pick[T any](r *rand.Rand, xs ...T) T { return xs[r.Intn(len(xs))] }

@@ -1,0 +1,448 @@
+package fuzz
+
+// The reducer shrinks a diverging program while preserving "still diverges"
+// as judged by a caller-supplied check (normally a full oracle run). It
+// works structurally on the AST and never rewrites what the generator's
+// safety invariants depend on:
+//
+//   - Atomic blocks (thread spawn/join sections, lock/unlock pairs, shared
+//     write tails) and array/heap decl+init statements are deleted whole or
+//     kept whole,
+//   - loop headers are never edited — a loop's trip count may be halved or
+//     set to 1, its counter and condition never touched,
+//   - the safety helpers (sdiv/smod/idx/f2i) may be replaced by the literal
+//     0 but never by a raw operand, so reduction cannot introduce traps or
+//     out-of-bounds accesses the original never had,
+//   - candidates that no longer build are simply rejected by the check, so
+//     deleting a still-referenced declaration or function is self-healing.
+
+// Check reports whether a candidate still exhibits the behaviour being
+// reduced (for the oracle: still diverges).
+type Check func(*Prog) bool
+
+// Reduce shrinks p under check, spending at most budget check calls, and
+// returns the smallest diverging program found plus the number of checks
+// used. p itself is never modified; check(p) is assumed true.
+func Reduce(p *Prog, check Check, budget int) (*Prog, int) {
+	cur := p.Clone()
+	used := 0
+	try := func(cand *Prog) bool {
+		if used >= budget {
+			return false
+		}
+		used++
+		if check(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	for round := 0; round < 8; round++ {
+		changed := false
+
+		// Drop whole functions (main stays). A function still referenced
+		// makes the candidate unbuildable, which check rejects.
+		for i := len(cur.Fns) - 2; i >= 0; i-- {
+			if used >= budget {
+				break
+			}
+			cand := cur.Clone()
+			cand.Fns = append(cand.Fns[:i], cand.Fns[i+1:]...)
+			if try(cand) {
+				changed = true
+			}
+		}
+
+		// Stub generated function bodies down to a bare return.
+		for i := len(cur.Fns) - 2; i >= 0; i-- {
+			if used >= budget {
+				break
+			}
+			f := cur.Fns[i]
+			if f.Raw != "" || len(f.Body) <= 1 {
+				continue
+			}
+			cand := cur.Clone()
+			ret := &Stmt{Kind: SRet, E: &Expr{Kind: EInt}}
+			if f.Ret == TDouble {
+				ret.E = &Expr{Kind: EFloat}
+			}
+			cand.Fns[i].Body = []*Stmt{ret}
+			if try(cand) {
+				changed = true
+			}
+		}
+
+		// Delete statements, last first (later statements usually depend on
+		// earlier declarations, not vice versa).
+		for k := countStmts(cur) - 1; k >= 0; k-- {
+			if used >= budget {
+				break
+			}
+			cand := cur.Clone()
+			if !removeStmt(cand, k) {
+				continue
+			}
+			if try(cand) {
+				changed = true
+			}
+		}
+
+		// Shrink loop trip counts.
+		for k := countLoops(cur) - 1; k >= 0; k-- {
+			for _, variant := range []int{0, 1} {
+				if used >= budget {
+					break
+				}
+				cand := cur.Clone()
+				if !shrinkLoop(cand, k, variant) {
+					continue
+				}
+				if try(cand) {
+					changed = true
+				}
+			}
+		}
+
+		// Simplify expressions: keep hammering one slot while a variant
+		// sticks (the replacement subtree may itself be simplifiable).
+		for k := 0; k < countExprSlots(cur) && used < budget; k++ {
+			for progress := true; progress && used < budget; {
+				progress = false
+				for variant := 0; ; variant++ {
+					cand := cur.Clone()
+					ok, applied := mutateExprSlot(cand, k, variant)
+					if !ok {
+						break
+					}
+					if !applied {
+						continue
+					}
+					if try(cand) {
+						progress = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+
+		// Drop globals (uses make the candidate unbuildable → rejected).
+		for i := len(cur.Globals) - 1; i >= 0; i-- {
+			if used >= budget {
+				break
+			}
+			cand := cur.Clone()
+			cand.Globals = append(cand.Globals[:i], cand.Globals[i+1:]...)
+			if try(cand) {
+				changed = true
+			}
+		}
+
+		if !changed || used >= budget {
+			break
+		}
+	}
+	return cur, used
+}
+
+// --- statement enumeration -------------------------------------------
+
+// stmtWalk visits deletable statement slots in a stable DFS order. Atomic
+// statements count as one unit and are not descended into.
+type stmtWalk struct {
+	k      int
+	target int
+	hit    bool
+}
+
+func (w *stmtWalk) body(b *[]*Stmt) {
+	for i := 0; i < len(*b); i++ {
+		s := (*b)[i]
+		if w.target >= 0 && w.k == w.target {
+			*b = append((*b)[:i], (*b)[i+1:]...)
+			w.hit = true
+			return
+		}
+		w.k++
+		if s.Atomic {
+			continue
+		}
+		w.body(&s.Body)
+		if w.hit {
+			return
+		}
+		w.body(&s.Else)
+		if w.hit {
+			return
+		}
+	}
+}
+
+func countStmts(p *Prog) int {
+	w := &stmtWalk{target: -1}
+	for _, f := range p.Fns {
+		if f.Raw == "" {
+			w.body(&f.Body)
+		}
+	}
+	return w.k
+}
+
+func removeStmt(p *Prog, k int) bool {
+	w := &stmtWalk{target: k}
+	for _, f := range p.Fns {
+		if f.Raw != "" {
+			continue
+		}
+		w.body(&f.Body)
+		if w.hit {
+			return true
+		}
+	}
+	return false
+}
+
+// --- loop shrinking ---------------------------------------------------
+
+// loopWalk visits SFor/SDo nodes outside atomic statements.
+type loopWalk struct {
+	k       int
+	target  int
+	variant int
+	hit     bool
+}
+
+func (w *loopWalk) body(b []*Stmt) {
+	for _, s := range b {
+		if s.Atomic {
+			continue
+		}
+		if s.Kind == SFor || s.Kind == SDo {
+			if w.target >= 0 && w.k == w.target {
+				w.hit = true
+				switch w.variant {
+				case 0:
+					if s.N <= 1 {
+						w.hit = false
+					}
+					s.N = 1
+				default:
+					if s.N <= 2 {
+						w.hit = false
+					}
+					s.N /= 2
+				}
+				return
+			}
+			w.k++
+		}
+		w.body(s.Body)
+		if w.hit {
+			return
+		}
+		w.body(s.Else)
+		if w.hit {
+			return
+		}
+	}
+}
+
+func countLoops(p *Prog) int {
+	w := &loopWalk{target: -1}
+	for _, f := range p.Fns {
+		if f.Raw == "" {
+			w.body(f.Body)
+		}
+	}
+	return w.k
+}
+
+func shrinkLoop(p *Prog, k, variant int) bool {
+	w := &loopWalk{target: k, variant: variant}
+	for _, f := range p.Fns {
+		if f.Raw != "" {
+			continue
+		}
+		w.body(f.Body)
+		if w.hit {
+			return true
+		}
+	}
+	return false
+}
+
+// --- expression simplification ---------------------------------------
+
+// safetyCalls may only collapse to the literal 0: substituting a raw
+// operand would drop the guard that makes the whole program trap-free.
+var safetyCalls = map[string]bool{"sdiv": true, "smod": true, "idx": true, "f2i": true}
+
+// builtinCalls are prelude/runtime entry points whose call nodes the
+// reducer leaves alone (their arguments are still simplified).
+var builtinCalls = map[string]bool{
+	"print_i64_ln": true, "print_i64": true, "print_f64": true,
+	"print_char": true, "print_str": true, "print_kv": true,
+	"spawn": true, "join": true, "lock": true, "unlock": true,
+	"__atomic_add": true, "__atomic_cas": true, "__syscall": true,
+	"malloc": true, "free": true, "sqrt": true, "fabs": true,
+}
+
+// exprWalk visits simplifiable expression slots in stable DFS order.
+type exprWalk struct {
+	fns     map[string]*Fn
+	k       int
+	target  int
+	variant int
+	// hit: the target slot existed; applied: a variant actually changed it.
+	hit     bool
+	applied bool
+}
+
+// variantsFor lists the replacement candidates for one node.
+func (w *exprWalk) variantsFor(e *Expr) []*Expr {
+	switch e.Kind {
+	case EBin:
+		return []*Expr{e.L, e.R}
+	case EUn:
+		return []*Expr{e.L}
+	case ECond:
+		return []*Expr{e.R, e.C}
+	case ECall:
+		if safetyCalls[e.Name] {
+			// All safety helpers return long; 0 is always a legal stand-in.
+			return []*Expr{{Kind: EInt}}
+		}
+		if builtinCalls[e.Name] {
+			return nil
+		}
+		if f, ok := w.fns[e.Name]; ok && f.Raw == "" {
+			if f.Ret == TDouble {
+				return []*Expr{{Kind: EFloat, FVal: 1.0}}
+			}
+			return []*Expr{{Kind: EInt}}
+		}
+		return nil
+	}
+	return nil
+}
+
+// slot visits one expression slot and recurses into its children.
+// indexPos marks the index operand of EIndex, which may only become 0.
+func (w *exprWalk) slot(slot **Expr, indexPos bool) {
+	if w.hit || *slot == nil {
+		return
+	}
+	e := *slot
+	var variants []*Expr
+	if indexPos {
+		if !(e.Kind == EInt && e.IVal == 0) {
+			variants = []*Expr{{Kind: EInt}}
+		}
+	} else {
+		variants = w.variantsFor(e)
+	}
+	if len(variants) > 0 || indexPos {
+		if w.target >= 0 && w.k == w.target {
+			w.hit = true
+			if w.variant < len(variants) {
+				*slot = variants[w.variant]
+				w.applied = true
+			}
+			return
+		}
+		w.k++
+	}
+	switch e.Kind {
+	case EUn, ECast:
+		w.slot(&e.L, false)
+	case EBin:
+		w.slot(&e.L, false)
+		w.slot(&e.R, false)
+	case ECond:
+		w.slot(&e.L, false)
+		w.slot(&e.R, false)
+		w.slot(&e.C, false)
+	case ECall:
+		for i := range e.Args {
+			w.slot(&e.Args[i], false)
+		}
+	case EAssign:
+		// Left side is an lvalue; only descend into an index position.
+		if e.L != nil && e.L.Kind == EIndex {
+			w.slot(&e.L.R, true)
+		}
+		w.slot(&e.R, false)
+	case EIndex:
+		w.slot(&e.R, true)
+	case EAddr:
+		if e.L != nil && e.L.Kind == EIndex {
+			w.slot(&e.L.R, true)
+		}
+	}
+}
+
+func (w *exprWalk) stmt(s *Stmt) {
+	if w.hit || s.Atomic {
+		return
+	}
+	switch s.Kind {
+	case SDecl, SExpr, SRet:
+		w.slot(&s.E, false)
+	case SIf:
+		w.slot(&s.Cond, false)
+	}
+	for _, c := range s.Body {
+		w.stmt(c)
+		if w.hit {
+			return
+		}
+	}
+	for _, c := range s.Else {
+		w.stmt(c)
+		if w.hit {
+			return
+		}
+	}
+}
+
+func (w *exprWalk) prog(p *Prog) {
+	w.fns = map[string]*Fn{}
+	for _, f := range p.Fns {
+		w.fns[f.Name] = f
+	}
+	for _, f := range p.Fns {
+		if f.Raw != "" {
+			continue
+		}
+		for _, s := range f.Body {
+			w.stmt(s)
+			if w.hit {
+				return
+			}
+		}
+	}
+}
+
+func countExprSlots(p *Prog) int {
+	w := &exprWalk{target: -1}
+	w.prog(p)
+	return w.k
+}
+
+// mutateExprSlot applies variant v to slot k. ok is false when k or v is
+// out of range; applied is false for no-op variants.
+func mutateExprSlot(p *Prog, k, v int) (ok, applied bool) {
+	w := &exprWalk{target: k, variant: v}
+	w.prog(p)
+	if !w.hit {
+		return false, false
+	}
+	// Variant indexes beyond the slot's list exist for no slot; the caller
+	// stops at the first !ok.
+	if !w.applied {
+		return false, false
+	}
+	return true, true
+}

@@ -1,0 +1,110 @@
+// heterodc fuzz program
+// seed: 129
+// features: arrays malloc pointers
+
+long g1 = 91;
+long g2 = -27;
+long g3 = 54;
+long garr4[5] = {-51, -50, -13, 81};
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long fn5(long a6, long a7) {
+  long v8 = sdiv(a6, a7);
+}
+
+long fn10(long a11) {
+  long v12 = garr4[0];
+}
+
+long main() {
+  long v15 = (-(-31));
+  long v16 = (((g2 * v15) < (-(-8655))) ? ((garr4[idx((v15 < 865462), 5)] >= ((-4101) - (-60))) ? g2 : g1) : (g1 - g3));
+  long v17 = ((-v15) + (g3 ^ (-9844)));
+  long arr18[10];
+  for (long arr18_i = 0; arr18_i < 10; arr18_i = arr18_i + 1) { arr18[arr18_i] = ((arr18_i * 3) + 26); }
+  long v21 = (fn10(g3) == (g1 >> (g1 & 15)));
+  if ((((-8) <= v21) != arr18[0])) {
+    for (long i22 = 0; i22 < 1; i22 = i22 + 1) {
+      print_i64_ln((-45));
+      (g1 ^= garr4[0]);
+    }
+    {
+      long k23 = 0;
+      do {
+        (g3 &= ((47 << (g1 & 15)) << (arr18[idx(((-1) != v17), 10)] & 15)));
+        (arr18[idx(v17, 10)] = smod(((sdiv(g3, g2) == ((-9032) >> (210120 & 15))) ? v15 : g1), (v21 >> (v16 & 15))));
+        k23 = k23 + 1;
+      } while (k23 < 1);
+    }
+  }
+  print_i64_ln(sdiv(fn5(8, (-1361)), smod((-805), 50)));
+  long * p24 = (&garr4[0]);
+  (g1 = (((v21 << (437818228736 & 15)) < (v17 ^ 8)) ? (v17 << (v16 & 15)) : fn5(v16, v17)));
+  long *h25 = (long *)malloc(40);
+  for (long h25_i = 0; h25_i < 5; h25_i = h25_i + 1) { h25[h25_i] = ((h25_i * 9) ^ 54); }
+  if (((!v16) < (~g3))) {
+    long v26 = (v17 == 227696);
+  } else {
+    long v27 = (-(648842051584 | g1));
+    print_i64_ln(((g3 == v27) + (-57)));
+  }
+  {
+    long k28 = 0;
+    do {
+      if (((g3 == g2) == arr18[idx((~(-9)), 10)])) {
+        (v15 *= ((smod(v21, v15) < 319840845824) ? (-g1) : fn10(g2)));
+      } else {
+        (v21 ^= (!(((~5) > g1) ? g3 : g1)));
+      }
+      k28 = k28 + 1;
+    } while (k28 < 1);
+  }
+  for (long i29 = 0; i29 < 1; i29 = i29 + 1) {
+    long v30 = ((-9212) * (v16 - 7));
+    print_i64_ln((((9 >= v30) != sdiv(7093, v21)) ? (g2 >= 6627) : smod(v16, g3)));
+  }
+  long v31 = fn10(fn10(v17));
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(g3);
+  long ck32 = 0;
+  for (long ci33 = 0; ci33 < 1; ci33 = ci33 + 1) {
+    (ck32 = ((ck32 * 131) + garr4[0]));
+  }
+  print_i64_ln(ck32);
+  long ck34 = 0;
+  for (long ci35 = 0; ci35 < 1; ci35 = ci35 + 1) {
+    (ck34 = ((ck34 * 131) + arr18[0]));
+  }
+  print_i64_ln(ck34);
+  long ck36 = 0;
+  for (long ci37 = 0; ci37 < 1; ci37 = ci37 + 1) {
+    (ck36 = ((ck36 * 131) + p24[0]));
+  }
+  print_i64_ln(ck36);
+  long ck38 = 0;
+  for (long ci39 = 0; ci39 < 1; ci39 = ci39 + 1) {
+    (ck38 = ((ck38 * 131) + h25[0]));
+  }
+  print_i64_ln(ck38);
+  print_i64_ln(v15);
+  print_i64_ln(v16);
+  print_i64_ln(v17);
+  return 0;
+}
+

@@ -1,0 +1,178 @@
+// heterodc fuzz program
+// seed: 1
+// features: arrays floats locks threads
+
+long g1 = 107;
+long g2 = 13;
+long g3 = -15;
+double fg4 = (-1.5);
+long garr5[8] = {-25, -2, -53};
+long garr6[9] = {-85, 99};
+long gcnt = 0;
+long gpart[8];
+long glk = 0;
+long gsum = 0;
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long f2i(double x) {
+  if (!(x == x)) { return 0; }
+  if (x > 1000000000.0) { return 1000000000; }
+  if (x < (-1000000000.0)) { return -1000000000; }
+  return (long)x;
+}
+
+long fn7(long a8, long a9) {
+  long v10 = 253654728704;
+  long v11 = (a9 >= a9);
+  return ((v11 | a9) - a9);
+}
+
+long fn12(long a13, long a14) {
+  long v15 = ((((5 != 288676) < sdiv((-8190), a13)) ? 920 : (-63)) - ((fn7((-222616879104), 94539612160) >= f2i(7.25)) ? a14 : a14));
+  long v16 = v15;
+  return fn7(((-6645) ^ 2), (v15 >> (a14 & 15)));
+}
+
+long fn17(long a18, long a19, double x20) {
+  long v21 = f2i(x20);
+  for (long i22 = 0; i22 < 6; i22 = i22 + 1) {
+    (v21 ^= v21);
+    (v21 = (-3667));
+  }
+  for (long i23 = 0; i23 < 9; i23 = i23 + 1) {
+    (v21 += (!(a18 - 5)));
+    (v21 += (f2i((-2.25)) >= (a18 << (v21 & 15))));
+    (v21 = f2i(x20));
+  }
+  return (f2i(x20) ^ (a18 * a19));
+}
+
+long fn24(long a25) {
+  long v26 = garr6[6];
+  long v27 = ((fn7(g1, a25) <= (-g1)) ? (g2 & v26) : (5 != g2));
+  long v28 = fn12((82020 | 3883), (4 | g1));
+  long v29 = (-818);
+  return g1;
+}
+
+long worker30(long t31) {
+  long acc32 = (t31 * 7);
+  (acc32 = garr5[4]);
+  (acc32 |= garr6[idx((g3 * g3), 9)]);
+  {
+    long k33 = 0;
+    do {
+      for (long i34 = 0; i34 < 9; i34 = i34 + 1) {
+        (acc32 = f2i(((g3 <= smod(g3, 9)) ? (-7.25) : (-0.125))));
+      }
+      k33 = k33 + 1;
+    } while (k33 < 4);
+  }
+  {
+    __atomic_add((&gcnt), ((acc32 - 2141) & 4095));
+    lock((&glk));
+    (gsum += ((3 << (779150688256 & 15)) & 8191));
+    unlock((&glk));
+    (gpart[idx(t31, 8)] = acc32);
+  }
+  return (acc32 & 65535);
+}
+
+long main() {
+  long v35 = garr6[idx(200389, 9)];
+  long v36 = 5;
+  long arr37[7];
+  for (long arr37_i = 0; arr37_i < 7; arr37_i = arr37_i + 1) { arr37[arr37_i] = ((arr37_i * 12) + 25); }
+  (g1 = (~((fn12(7508, v35) < (g1 | 693117124608)) ? 1 : g2)));
+  for (long i38 = 0; i38 < 8; i38 = i38 + 1) {
+    for (long i39 = 0; i39 < 6; i39 = i39 + 1) {
+      print_i64_ln((((-1) >= (-8970)) ? f2i(fg4) : f2i(2.25)));
+    }
+  }
+  for (long i40 = 0; i40 < 5; i40 = i40 + 1) {
+    for (long i41 = 0; i41 < 2; i41 = i41 + 1) {
+      (garr6[idx((~i41), 9)] = sdiv((-g3), fn24(g1)));
+    }
+    long v42 = fn24((~g1));
+  }
+  for (long i43 = 0; i43 < 7; i43 = i43 + 1) {
+    (garr6[idx((-9631), 9)] = (garr5[idx((!g2), 8)] >> (smod(16, v35) & 15)));
+  }
+  if ((arr37[1] != g3)) {
+    {
+      long k44 = 0;
+      do {
+        double fv45 = (0.125 / (((v36 >> (g3 & 15)) != 128127598592) ? 0.015625 : 0.5));
+        k44 = k44 + 1;
+      } while (k44 < 2);
+    }
+    double fv46 = (((-1.5) - fg4) / sqrt(fabs(fg4)));
+  }
+  (fg4 -= ((double)sdiv(v36, g1)));
+  print_i64_ln((((g1 > 424456) >= smod(g1, (-6909))) ? ((smod(693787, 84842381312) == ((fn12(v36, 53) <= f2i(fg4)) ? v35 : 355766)) ? (-4125) : g1) : (g2 < g3)));
+  {
+    long k47 = 0;
+    do {
+      for (long i48 = 0; i48 < 6; i48 = i48 + 1) {
+        long v49 = ((g3 ^ v35) * k47);
+        double fv50 = fg4;
+      }
+      k47 = k47 + 1;
+    } while (k47 < 4);
+  }
+  long v51 = f2i(fg4);
+  print_i64_ln((~sdiv(v36, v36)));
+  {
+    long ws52 = 0;
+    long tid53 = spawn(worker30, 1);
+    (ws52 += worker30(0));
+    (ws52 += join(tid53));
+    print_i64_ln(ws52);
+    print_i64_ln(gcnt);
+    print_i64_ln(gsum);
+    long wck54 = 0;
+    for (long wi55 = 0; wi55 < 8; wi55 = wi55 + 1) {
+      (wck54 = ((wck54 * 31) + gpart[wi55]));
+    }
+    print_i64_ln(wck54);
+  }
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(g3);
+  print_i64_ln(f2i((fg4 * 1000.0)));
+  long ck56 = 0;
+  for (long ci57 = 0; ci57 < 8; ci57 = ci57 + 1) {
+    (ck56 = ((ck56 * 131) + garr5[ci57]));
+  }
+  print_i64_ln(ck56);
+  long ck58 = 0;
+  for (long ci59 = 0; ci59 < 9; ci59 = ci59 + 1) {
+    (ck58 = ((ck58 * 131) + garr6[ci59]));
+  }
+  print_i64_ln(ck58);
+  long ck60 = 0;
+  for (long ci61 = 0; ci61 < 7; ci61 = ci61 + 1) {
+    (ck60 = ((ck60 * 131) + arr37[ci61]));
+  }
+  print_i64_ln(ck60);
+  print_i64_ln(v35);
+  print_i64_ln(v36);
+  print_i64_ln(v51);
+  return 0;
+}
+

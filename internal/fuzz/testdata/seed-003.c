@@ -1,0 +1,100 @@
+// heterodc fuzz program
+// seed: 3
+// features: arrays
+
+long g1 = 158;
+long g2 = 102;
+long garr3[7] = {-58, -12, 49};
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long fn4(long a5) {
+  long v6 = (~(4 != 7424));
+  (v6 *= ((v6 == 286286413824) ? sdiv(a5, v6) : a5));
+  (v6 = sdiv(a5, 224653));
+  return sdiv(28, (v6 ^ a5));
+}
+
+long fn7(long a8) {
+  long v9 = (sdiv(g1, g1) + garr3[idx((g1 << (g2 & 15)), 7)]);
+  (v9 *= (fn4(v9) + (535824 < 6706)));
+  if ((12 >= fn4(456144))) {
+    (g2 *= ((((g2 & g1) > ((g1 != garr3[5]) ? a8 : v9)) ? g1 : g2) != (!v9)));
+  } else {
+    (g2 += (~garr3[idx(sdiv(v9, v9), 7)]));
+    (garr3[6] = (-fn4((-1226))));
+  }
+  {
+    long k10 = 0;
+    do {
+      (g2 &= garr3[6]);
+      k10 = k10 + 1;
+    } while (k10 < 4);
+  }
+  if ((sdiv(301419462656, 2419) > (a8 * 8))) {
+    print_i64_ln((g2 - sdiv(5915, 2)));
+  }
+  return ((((v9 - g1) != (-a8)) ? 2063 : a8) - (g1 * (-3411)));
+}
+
+long main() {
+  long v11 = fn4(g2);
+  long v12 = (~57);
+  long v13 = (~smod(919, 38));
+  long v14 = garr3[3];
+  long arr15[6];
+  for (long arr15_i = 0; arr15_i < 6; arr15_i = arr15_i + 1) { arr15[arr15_i] = ((arr15_i * 13) + 30); }
+  (v13 *= fn4(v14));
+  (arr15[idx(6, 6)] = (-(((g2 * 0) >= sdiv(v11, 33621540864)) ? v12 : v14)));
+  long v16 = (v12 - g2);
+  {
+    long k17 = 0;
+    do {
+      if (((v12 << (g2 & 15)) <= (v14 << (v16 & 15)))) {
+        (g1 &= garr3[idx((g2 < v14), 7)]);
+        (garr3[idx((-v12), 7)] = (-v14));
+        (arr15[1] = (smod(299422973952, 11) * (9 >= (-204195495936))));
+      } else {
+        (garr3[idx((v11 + v12), 7)] = ((5 + 0) * fn7(g1)));
+        (arr15[idx((~(-54)), 6)] = (v14 ^ fn4((-11))));
+      }
+      k17 = k17 + 1;
+    } while (k17 < 4);
+  }
+  (v14 = fn4(1018037));
+  (arr15[0] = ((-g1) << (garr3[idx(smod(v13, g1), 7)] & 15)));
+  (v11 &= ((998102 ^ v12) * fn7(0)));
+  long v18 = (fn7(v11) | (g2 - 9));
+  long v19 = (!(g1 + 5));
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  long ck20 = 0;
+  for (long ci21 = 0; ci21 < 7; ci21 = ci21 + 1) {
+    (ck20 = ((ck20 * 131) + garr3[ci21]));
+  }
+  print_i64_ln(ck20);
+  long ck22 = 0;
+  for (long ci23 = 0; ci23 < 6; ci23 = ci23 + 1) {
+    (ck22 = ((ck22 * 131) + arr15[ci23]));
+  }
+  print_i64_ln(ck22);
+  print_i64_ln(v11);
+  print_i64_ln(v12);
+  print_i64_ln(v13);
+  return 0;
+}
+

@@ -1,0 +1,144 @@
+// heterodc fuzz program
+// seed: 4
+// features: arrays floats malloc pointers recursion
+
+long g1 = 111;
+long g2 = 150;
+long g3 = -8;
+double fg4 = (-0.0625);
+double fg5 = (-0.125);
+long garr6[6] = {-53, 21, -87, -52};
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long f2i(double x) {
+  if (!(x == x)) { return 0; }
+  if (x > 1000000000.0) { return 1000000000; }
+  if (x < (-1000000000.0)) { return -1000000000; }
+  return (long)x;
+}
+
+long fn7(long a8) {
+  long v9 = (a8 == (-8460));
+  (v9 &= a8);
+  for (long i10 = 0; i10 < 8; i10 = i10 + 1) {
+    (v9 += ((i10 & a8) << (((3 < f2i((-0.0625))) ? a8 : i10) & 15)));
+    (v9 += (i10 & 1082));
+  }
+  return (~(297577480192 >> (a8 & 15)));
+}
+
+double fn11(long a12, double x13) {
+  double fv14 = x13;
+  long v15 = (sdiv(704744, a12) > (a12 | a12));
+  (v15 += (!(((a12 << (v15 & 15)) != (((4189 & 533610) != v15) ? 7563 : a12)) ? 869029 : 7)));
+  return sqrt(fabs(fv14));
+}
+
+long rec16(long a17, long d18) {
+  if ((d18 < 1)) {
+    return (a17 & 1023);
+  }
+  if ((sdiv(a17, (-48)) <= f2i(0.015625))) {
+    (a17 <= a17);
+    f2i((-7.25));
+    fn7(664714);
+  }
+  return ((rec16((a17 + 6), (d18 - 1)) ^ rec16((a17 + 14), (d18 - 1))) ^ (a17 <= (-83902857216)));
+}
+
+long fn19(long a20) {
+  double fv21 = fn11(318498668544, (-7.25));
+  (garr6[idx((a20 * g3), 6)] = ((smod(1863, (-31)) != (g3 < (-2006))) ? (g2 >= a20) : (g3 != 6838)));
+  if ((garr6[0] < (g1 << (8 & 15)))) {
+    print_i64_ln(((g3 * g2) == (((g1 << (g2 & 15)) <= garr6[idx((-218456129536), 6)]) ? 39 : g3)));
+    double fv22 = fg4;
+  }
+  double fv23 = fv21;
+  (g3 = 4);
+  return ((-a20) | (a20 | g3));
+}
+
+long main() {
+  double fv24 = ((double)(357086265344 < 1));
+  long v25 = sdiv(f2i(fg4), (g3 < g1));
+  long v26 = 543112036352;
+  long arr27[4];
+  for (long arr27_i = 0; arr27_i < 4; arr27_i = arr27_i + 1) { arr27[arr27_i] = ((arr27_i * 8) + 22); }
+  (arr27[idx((!g1), 4)] = ((g2 ^ v26) != sdiv(1291, 883528)));
+  for (long i28 = 0; i28 < 8; i28 = i28 + 1) {
+    for (long i29 = 0; i29 < 10; i29 = i29 + 1) {
+      (fg4 -= 100.5);
+    }
+    (arr27[idx(f2i(fg4), 4)] = 1455);
+  }
+  if ((fn7(g3) != (!v26))) {
+    (garr6[0] = (f2i((-3.75)) << (arr27[idx(((f2i(fg5) == ((-1420) ^ (-9059))) ? 438388 : g3), 4)] & 15)));
+  } else {
+    long v30 = 18;
+    (arr27[idx((g2 >> (v26 & 15)), 4)] = sdiv((v30 + v30), arr27[idx(f2i((-0.125)), 4)]));
+  }
+  for (long i31 = 0; i31 < 4; i31 = i31 + 1) {
+    for (long i32 = 0; i32 < 8; i32 = i32 + 1) {
+      (arr27[2] = (399046082560 & (1268 & g2)));
+      (arr27[3] = ((((v25 * i32) == ((fn7(6) == (g1 != (-6))) ? v26 : v25)) ? g3 : 62) < garr6[5]));
+    }
+    long v33 = ((g3 & (-8976)) < garr6[idx(garr6[0], 6)]);
+    (arr27[0] = (fn7(i31) | f2i(fg5)));
+  }
+  long * p34 = (&garr6[4]);
+  (v26 &= (((-4179) > v25) == (5 | g1)));
+  long *h35 = (long *)malloc(96);
+  for (long h35_i = 0; h35_i < 12; h35_i = h35_i + 1) { h35[h35_i] = ((h35_i * 8) ^ 49); }
+  long v36 = (garr6[idx((6 < 4), 6)] << ((g1 - g3) & 15));
+  (h35[3] = ((g3 * (-120712069120)) * ((-189347659776) - v36)));
+  (p34[0] = f2i(fg4));
+  for (long i37 = 0; i37 < 9; i37 = i37 + 1) {
+    (v26 -= ((~779788222464) << (fn7(g1) & 15)));
+  }
+  (garr6[2] = ((g3 != 7387) * smod(v25, 1)));
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(g3);
+  print_i64_ln(f2i((fg4 * 1000.0)));
+  print_i64_ln(f2i((fg5 * 1000.0)));
+  long ck38 = 0;
+  for (long ci39 = 0; ci39 < 6; ci39 = ci39 + 1) {
+    (ck38 = ((ck38 * 131) + garr6[ci39]));
+  }
+  print_i64_ln(ck38);
+  long ck40 = 0;
+  for (long ci41 = 0; ci41 < 4; ci41 = ci41 + 1) {
+    (ck40 = ((ck40 * 131) + arr27[ci41]));
+  }
+  print_i64_ln(ck40);
+  long ck42 = 0;
+  for (long ci43 = 0; ci43 < 2; ci43 = ci43 + 1) {
+    (ck42 = ((ck42 * 131) + p34[ci43]));
+  }
+  print_i64_ln(ck42);
+  long ck44 = 0;
+  for (long ci45 = 0; ci45 < 12; ci45 = ci45 + 1) {
+    (ck44 = ((ck44 * 131) + h35[ci45]));
+  }
+  print_i64_ln(ck44);
+  print_i64_ln(f2i((fv24 * 1000.0)));
+  print_i64_ln(v25);
+  print_i64_ln(v26);
+  return 0;
+}
+

@@ -1,0 +1,148 @@
+// heterodc fuzz program
+// seed: 5
+// features: arrays pointers recursion
+
+long g1 = 110;
+long g2 = -2;
+long g3 = 123;
+long garr4[7] = {60};
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long fn5(long a6) {
+  long v7 = ((~92736) + (a6 == 26));
+  long v8 = (-(-6546));
+  return (((1874 + v8) == 17263755264) ? v8 : v7);
+}
+
+long rec9(long a10, long d11) {
+  if ((d11 < 1)) {
+    return (a10 & 1023);
+  }
+  (2 << (a10 & 15));
+  return (rec9((a10 + 2), (d11 - 1)) + a10);
+}
+
+long fn12(long a13) {
+  long v14 = smod((g1 - g1), fn5(8));
+  if ((((garr4[0] <= sdiv(g3, (-8442))) ? g3 : 6) <= (-g1))) {
+    print_i64_ln(((!g1) << (g1 & 15)));
+  }
+  long v15 = (((g2 <= (v14 + 3831)) ? 0 : v14) ^ smod(a13, g2));
+  for (long i16 = 0; i16 < 3; i16 = i16 + 1) {
+    (v15 = ((~a13) | garr4[idx((v14 - (-8410)), 7)]));
+    (g2 = rec9((-6869), 6));
+  }
+  return v15;
+}
+
+long main() {
+  long v17 = ((~g2) ^ 0);
+  long v18 = (((-3786) == sdiv(g2, g2)) ? rec9((-105176367104), 6) : 705599373312);
+  long v19 = (-rec9(g3, 6));
+  long v20 = sdiv((v19 >> (g3 & 15)), (v19 > 9461));
+  long arr21[4];
+  for (long arr21_i = 0; arr21_i < 4; arr21_i = arr21_i + 1) { arr21[arr21_i] = ((arr21_i * 8) + 13); }
+  (v20 = garr4[5]);
+  if (((435 << (v20 & 15)) != (v20 >= 1))) {
+    (v17 &= fn5(v19));
+    {
+      long k22 = 0;
+      do {
+        (g1 += (~(422936838144 - v18)));
+        (v19 |= 20);
+        k22 = k22 + 1;
+      } while (k22 < 5);
+    }
+  } else {
+    (garr4[idx(g1, 7)] = fn5((v17 * 550477234176)));
+    (garr4[idx(((-21) >> (g2 & 15)), 7)] = rec9(3, 6));
+  }
+  for (long i23 = 0; i23 < 5; i23 = i23 + 1) {
+    long v24 = 3;
+    long v25 = rec9(garr4[idx((((v17 * 9) <= (((345375768576 << (v18 & 15)) != (v24 >> (8518 & 15))) ? g2 : (-37))) ? i23 : g1), 7)], 6);
+    for (long i26 = 0; i26 < 10; i26 = i26 + 1) {
+      (g3 += (g1 < (!v17)));
+      (arr21[idx((g2 | v17), 4)] = fn12((-v20)));
+    }
+  }
+  long v27 = sdiv((42 | 5), rec9(g1, 6));
+  for (long i28 = 0; i28 < 3; i28 = i28 + 1) {
+    print_i64_ln((garr4[idx((v27 >= (-1968)), 7)] < (v19 == v27)));
+  }
+  print_i64_ln(((v19 == 4) - smod(g2, g1)));
+  if ((g1 > (g2 <= v19))) {
+    if (((!115468) >= (g1 - v19))) {
+      long v29 = fn12(g1);
+    } else {
+      (g2 = (-357170151424));
+      (g2 -= sdiv((v18 * 0), rec9(v27, 6)));
+    }
+  }
+  long * p30 = (&arr21[2]);
+  for (long i31 = 0; i31 < 10; i31 = i31 + 1) {
+    (g2 = sdiv(rec9(v27, 6), (g1 >> (9 & 15))));
+  }
+  print_i64_ln(rec9((g3 & v20), 6));
+  if (((v20 << (494970 & 15)) == sdiv((-46), 4))) {
+    long v32 = fn5((6768 >> (v19 & 15)));
+  } else {
+    {
+      long k33 = 0;
+      do {
+        (v19 ^= 26);
+        long v34 = (((-20) > garr4[3]) ? (v17 & 608513) : (v20 >= k33));
+        k33 = k33 + 1;
+      } while (k33 < 3);
+    }
+    (v18 *= ((v20 & g1) <= (g1 == v19)));
+  }
+  for (long i35 = 0; i35 < 2; i35 = i35 + 1) {
+    for (long i36 = 0; i36 < 5; i36 = i36 + 1) {
+      print_i64_ln((p30[idx(fn5(v19), 2)] != ((-125510352896) & (-232649654272))));
+      (garr4[idx(v19, 7)] = smod(105513, (-v27)));
+    }
+    if ((fn5(v27) != p30[1])) {
+      (garr4[idx(sdiv(245232566272, 1002344), 7)] = (sdiv((-58), v18) - (~g2)));
+      print_i64_ln(((v18 << (v17 & 15)) < (g1 & (-6))));
+    }
+    (v19 -= smod((-v18), 950278));
+  }
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(g3);
+  long ck37 = 0;
+  for (long ci38 = 0; ci38 < 7; ci38 = ci38 + 1) {
+    (ck37 = ((ck37 * 131) + garr4[ci38]));
+  }
+  print_i64_ln(ck37);
+  long ck39 = 0;
+  for (long ci40 = 0; ci40 < 4; ci40 = ci40 + 1) {
+    (ck39 = ((ck39 * 131) + arr21[ci40]));
+  }
+  print_i64_ln(ck39);
+  long ck41 = 0;
+  for (long ci42 = 0; ci42 < 2; ci42 = ci42 + 1) {
+    (ck41 = ((ck41 * 131) + p30[ci42]));
+  }
+  print_i64_ln(ck41);
+  print_i64_ln(v17);
+  print_i64_ln(v18);
+  print_i64_ln(v19);
+  return 0;
+}
+

@@ -1,0 +1,175 @@
+// heterodc fuzz program
+// seed: 6
+// features: arrays floats threads
+
+long g1 = 176;
+long g2 = 52;
+long g3 = -19;
+long g4 = 77;
+double fg5 = (-0.5);
+double fg6 = 1.5;
+long garr7[4] = {-54, -5, 59};
+long gcnt = 0;
+long gpart[8];
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long f2i(double x) {
+  if (!(x == x)) { return 0; }
+  if (x > 1000000000.0) { return 1000000000; }
+  if (x < (-1000000000.0)) { return -1000000000; }
+  return (long)x;
+}
+
+long fn8(long a9) {
+  long v10 = ((7 << (1 & 15)) < a9);
+  {
+    long k11 = 0;
+    do {
+      (v10 = (((-664) >= smod(5, v10)) ? v10 : 501219328000));
+      k11 = k11 + 1;
+    } while (k11 < 1);
+  }
+  return ((a9 * v10) >> ((-33) & 15));
+}
+
+long fn12(long a13, long a14, double x15) {
+  long v16 = sdiv((a14 != a13), (((!a14) > (12 >> (a14 & 15))) ? 39 : a14));
+  long v17 = (sdiv((-77779173376), a13) | fn8(a13));
+  (v16 = (v17 << (a14 & 15)));
+  double fv18 = sqrt(fabs(x15));
+  return (~(v16 > 45));
+}
+
+long fn19(long a20) {
+  double fv21 = fg6;
+  for (long i22 = 0; i22 < 7; i22 = i22 + 1) {
+    (fv21 *= sqrt(fabs(0.5)));
+  }
+  (garr7[idx(g2, 4)] = f2i(fv21));
+  (garr7[1] = (-(~4)));
+  double fv23 = (((!g1) < f2i(fv21)) ? fg5 : sqrt(fabs(2.25)));
+  return (((387285254144 < (g4 >> (g4 & 15))) ? g4 : 4) >> (((garr7[3] == (g1 ^ a20)) ? (-829) : g1) & 15));
+}
+
+long worker24(long t25) {
+  long acc26 = (t25 * 3);
+  {
+    long k27 = 0;
+    do {
+      for (long i28 = 0; i28 < 7; i28 = i28 + 1) {
+        (acc26 += ((fn12((-67964502016), 9, 0.5) <= (((-g1) >= (-acc26)) ? 2818 : acc26)) ? (g1 != g1) : acc26));
+        (acc26 |= ((((!189932) < (g1 & acc26)) ? t25 : (-6133)) - ((-1350) * k27)));
+      }
+      k27 = k27 + 1;
+    } while (k27 < 4);
+  }
+  (acc26 ^= (!(~(-17))));
+  for (long i29 = 0; i29 < 2; i29 = i29 + 1) {
+    for (long i30 = 0; i30 < 7; i30 = i30 + 1) {
+      long v31 = ((5 + i29) | (((-9164) >= (g1 != (-64))) ? g2 : 983206));
+      double fv32 = ((fg5 * 0.5) + ((double)(-6)));
+      (v31 = smod((-3133), f2i(0.5)));
+    }
+    (acc26 -= (g4 << (garr7[0] & 15)));
+    if (((695633707008 * i29) <= garr7[idx(((garr7[2] >= (i29 > g4)) ? 2 : g1), 4)])) {
+      (acc26 -= (sdiv(g1, g2) > (!g4)));
+    }
+  }
+  for (long i33 = 0; i33 < 9; i33 = i33 + 1) {
+    if ((g1 > ((-64) << (g4 & 15)))) {
+      long v34 = ((acc26 >> (157672275968 & 15)) << (1026841 & 15));
+      (acc26 |= (garr7[2] - (g1 ^ acc26)));
+    } else {
+      (acc26 -= f2i((10.0 - fg6)));
+      (acc26 = f2i(((((i33 > (1 == 771354)) ? t25 : i33) == f2i(10.0)) ? fg5 : (-0.015625))));
+    }
+    (acc26 ^= f2i((fg5 * 10.0)));
+    if ((sdiv(g4, acc26) > t25)) {
+      (acc26 -= ((-acc26) >= g3));
+    }
+  }
+  {
+    __atomic_add((&gcnt), (sdiv(3, 743146782720) & 4095));
+    (gpart[idx(t25, 8)] = acc26);
+  }
+  return (acc26 & 65535);
+}
+
+long main() {
+  double fv35 = sqrt(fabs((((g3 << (g3 & 15)) != (5947 << (648 & 15))) ? fg5 : fg6)));
+  double fv36 = (((double)(-1467)) / fg5);
+  long v37 = (f2i(1.5) == (579141 ^ (-537)));
+  long arr38[5];
+  for (long arr38_i = 0; arr38_i < 5; arr38_i = arr38_i + 1) { arr38[arr38_i] = ((arr38_i * 8) + 25); }
+  (g2 ^= (f2i(fv35) ^ (-50)));
+  for (long i39 = 0; i39 < 7; i39 = i39 + 1) {
+    double fv40 = sqrt(fabs(((double)v37)));
+  }
+  for (long i41 = 0; i41 < 6; i41 = i41 + 1) {
+    if ((g3 <= (g3 + 77108084736))) {
+      long v42 = (!(g1 >> (1661 & 15)));
+      (garr7[0] = f2i((((((g3 - (-2079)) != garr7[idx((i41 & v37), 4)]) ? g3 : i41) < smod(66845, 262060113920)) ? 100.5 : 0.0625)));
+      (fv36 += ((smod(g3, v37) > (0 >> (g4 & 15))) ? 2.25 : (fv35 * 2.25)));
+    } else {
+      (garr7[idx(g4, 4)] = sdiv(684503, (~g2)));
+      long v43 = (~(v37 ^ v37));
+    }
+  }
+  long v44 = arr38[4];
+  (arr38[0] = 2);
+  print_i64_ln(garr7[idx((g1 < g1), 4)]);
+  (garr7[3] = (~((-11) | g1)));
+  (g2 = arr38[idx((~g2), 5)]);
+  (g4 &= fn12(((fn19((-53)) != smod(2486, g1)) ? g4 : 415586), (29 >> (g2 & 15)), 10.0));
+  long v45 = fn12(sdiv(3480, g2), fn19(1), 0.5);
+  (garr7[idx((v45 >> (g3 & 15)), 4)] = (f2i(fg6) | ((-8552) != (-51))));
+  {
+    long ws46 = 0;
+    long tid47 = spawn(worker24, 1);
+    (ws46 += worker24(0));
+    (ws46 += join(tid47));
+    print_i64_ln(ws46);
+    print_i64_ln(gcnt);
+    long wck48 = 0;
+    for (long wi49 = 0; wi49 < 8; wi49 = wi49 + 1) {
+      (wck48 = ((wck48 * 31) + gpart[wi49]));
+    }
+    print_i64_ln(wck48);
+  }
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(g3);
+  print_i64_ln(g4);
+  print_i64_ln(f2i((fg5 * 1000.0)));
+  print_i64_ln(f2i((fg6 * 1000.0)));
+  long ck50 = 0;
+  for (long ci51 = 0; ci51 < 4; ci51 = ci51 + 1) {
+    (ck50 = ((ck50 * 131) + garr7[ci51]));
+  }
+  print_i64_ln(ck50);
+  long ck52 = 0;
+  for (long ci53 = 0; ci53 < 5; ci53 = ci53 + 1) {
+    (ck52 = ((ck52 * 131) + arr38[ci53]));
+  }
+  print_i64_ln(ck52);
+  print_i64_ln(f2i((fv35 * 1000.0)));
+  print_i64_ln(f2i((fv36 * 1000.0)));
+  print_i64_ln(v37);
+  return 0;
+}
+

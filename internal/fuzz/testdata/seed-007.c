@@ -1,0 +1,87 @@
+// heterodc fuzz program
+// seed: 7
+// features: arrays malloc pointers
+
+long g1 = 164;
+long g2 = 164;
+long g3 = 179;
+long g4 = 115;
+long garr5[8] = {37, 97};
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long fn6(long a7, long a8) {
+  long v9 = 3;
+  if ((smod(a7, a8) > (a8 != 250088))) {
+    (v9 -= sdiv(((-3623) != 8), sdiv(v9, (-34))));
+  } else {
+    long v10 = sdiv(45533364224, (821429272576 ^ v9));
+    (v9 = (~(((a7 >> (821963 & 15)) >= (a8 >> (14 & 15))) ? a7 : a8)));
+  }
+  for (long i11 = 0; i11 < 8; i11 = i11 + 1) {
+    (v9 -= (6084 | v9));
+  }
+  long v12 = smod((-9540), 2);
+  return (-31);
+}
+
+long main() {
+  long v13 = (-((-1746) >= g4));
+  long v14 = g3;
+  long v15 = ((((7 & g4) == fn6(g1, 108867354624)) ? g3 : 555808) > (v13 * v14));
+  long v16 = (~(((540981329920 <= 6033) < (~24)) ? 561 : 7428));
+  (v14 = (v14 << (v13 & 15)));
+  for (long i17 = 0; i17 < 7; i17 = i17 + 1) {
+    (garr5[5] = ((((1 >> (v13 & 15)) > (~(-4316))) ? 106636 : (-954)) > (i17 | v16)));
+    (garr5[7] = (garr5[2] <= (2 ^ v14)));
+  }
+  (v16 = (-901));
+  long * p18 = (&garr5[2]);
+  (g4 ^= (smod(v15, 20) >= sdiv(276303970304, 7)));
+  long *h19 = (long *)malloc(80);
+  for (long h19_i = 0; h19_i < 10; h19_i = h19_i + 1) { h19[h19_i] = ((h19_i * 11) ^ 47); }
+  if (((-g4) <= garr5[idx((g3 ^ 5226), 8)])) {
+    long v20 = smod(8754, (!(-19)));
+    print_i64_ln((-fn6(v15, g1)));
+  }
+  (p18[idx(fn6(g4, 790206873600), 6)] = (!(((~v16) != fn6(v13, g1)) ? (-158) : (-7734))));
+  long v21 = p18[idx((17012097024 | g1), 6)];
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(g3);
+  print_i64_ln(g4);
+  long ck22 = 0;
+  for (long ci23 = 0; ci23 < 8; ci23 = ci23 + 1) {
+    (ck22 = ((ck22 * 131) + garr5[ci23]));
+  }
+  print_i64_ln(ck22);
+  long ck24 = 0;
+  for (long ci25 = 0; ci25 < 6; ci25 = ci25 + 1) {
+    (ck24 = ((ck24 * 131) + p18[ci25]));
+  }
+  print_i64_ln(ck24);
+  long ck26 = 0;
+  for (long ci27 = 0; ci27 < 10; ci27 = ci27 + 1) {
+    (ck26 = ((ck26 * 131) + h19[ci27]));
+  }
+  print_i64_ln(ck26);
+  print_i64_ln(v13);
+  print_i64_ln(v14);
+  print_i64_ln(v15);
+  return 0;
+}
+

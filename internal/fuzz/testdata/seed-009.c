@@ -1,0 +1,154 @@
+// heterodc fuzz program
+// seed: 9
+// features: arrays floats pointers recursion
+
+long g1 = -24;
+long g2 = 33;
+double fg3 = 100.5;
+long garr4[8] = {-95, -77, -80, 17};
+long garr5[5] = {-90, 30};
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long f2i(double x) {
+  if (!(x == x)) { return 0; }
+  if (x > 1000000000.0) { return 1000000000; }
+  if (x < (-1000000000.0)) { return -1000000000; }
+  return (long)x;
+}
+
+long fn6(long a7) {
+  long v8 = a7;
+  (v8 &= sdiv(305781538816, ((145005477888 > (-7)) ? a7 : v8)));
+  return v8;
+}
+
+long fn9(long a10, long a11) {
+  long v12 = (6834 >> (f2i(0.015625) & 15));
+  long v13 = (((-4397) ^ v12) == f2i((-7.25)));
+  (v12 ^= f2i(sqrt(fabs((-2.25)))));
+  (v13 &= ((-a11) << (4264 & 15)));
+  return (f2i(0.5) != (~a10));
+}
+
+double fn14(long a15, double x16) {
+  long v17 = fn9((a15 | a15), ((((-154) >> (a15 & 15)) >= ((fn6((-5657)) > (a15 < (-39))) ? a15 : a15)) ? a15 : 778160832512));
+  long v18 = sdiv((-5766), (v17 << (7 & 15)));
+  (v18 *= (-49));
+  for (long i19 = 0; i19 < 2; i19 = i19 + 1) {
+    (v17 ^= (fn6((-865)) >> (a15 & 15)));
+  }
+  return ((570492452864 < (v18 << (6 & 15))) ? 7.25 : (((v18 >> (4664 & 15)) != (v18 | (-4125))) ? 100.5 : (-1.5)));
+}
+
+long rec20(long a21, long d22) {
+  if ((d22 < 1)) {
+    return (a21 & 1023);
+  }
+  {
+    long k23 = 0;
+    do {
+      long v24 = (-sdiv(a21, 2218));
+      k23 = k23 + 1;
+    } while (k23 < 3);
+  }
+  return (rec20((a21 + 5), (d22 - 1)) - fn6(a21));
+}
+
+long fn25(long a26) {
+  long v27 = ((14 | g2) >> (smod(g1, g1) & 15));
+  {
+    long k28 = 0;
+    do {
+      long v29 = ((a26 < 547698) ? (g1 + v27) : garr4[idx((975466 | g2), 8)]);
+      k28 = k28 + 1;
+    } while (k28 < 2);
+  }
+  for (long i30 = 0; i30 < 2; i30 = i30 + 1) {
+    long v31 = (-(v27 >> ((-8136) & 15)));
+    (g1 *= 212170);
+  }
+  (g1 |= (((-7299) << (9248 & 15)) < (v27 >= (-3817))));
+  (g2 += 8132);
+  return (g1 >= ((-2966) > v27));
+}
+
+long main() {
+  double fv32 = 0.015625;
+  double fv33 = fg3;
+  double fv34 = fn14(g2, sqrt(fabs(0.015625)));
+  long v35 = (g2 * ((-1593835520) >= g2));
+  long arr36[4];
+  for (long arr36_i = 0; arr36_i < 4; arr36_i = arr36_i + 1) { arr36[arr36_i] = ((arr36_i * 8) + 4); }
+  (g1 += ((((((-3663) + g2) <= ((f2i(fg3) > (g2 == g2)) ? g1 : 6426)) ? v35 : 456729) < garr4[idx((g2 << (v35 & 15)), 8)]) ? (!g1) : ((((-44) + (-25)) >= fn6(g1)) ? (-9169) : g2)));
+  double fv37 = (-10.0);
+  long v38 = (garr4[idx((-28), 8)] >> ((g1 == g2) & 15));
+  for (long i39 = 0; i39 < 7; i39 = i39 + 1) {
+    for (long i40 = 0; i40 < 5; i40 = i40 + 1) {
+      long v41 = (((((~i40) > (g2 & v38)) ? 7094 : i40) > (~i40)) ? (7458 ^ v35) : 39);
+      (arr36[1] = (((-237380829184) + 476470) << ((799769 >> (i40 & 15)) & 15)));
+      (fv34 += ((double)667897));
+    }
+    (g2 ^= (v35 <= smod(v35, v35)));
+    (garr4[6] = fn9(fn25(474222), smod(v35, (-4741))));
+  }
+  print_i64_ln(smod((v35 * v35), (!308892)));
+  long * p42 = (&garr5[2]);
+  (p42[idx((-64), 3)] = smod(g1, (9949 ^ 6853)));
+  (g2 = ((fn6((-5671)) > fn25(g2)) ? 8004 : 504859983872));
+  for (long i43 = 0; i43 < 9; i43 = i43 + 1) {
+    for (long i44 = 0; i44 < 6; i44 = i44 + 1) {
+      (p42[idx(sdiv(i44, i43), 3)] = smod(i44, i43));
+    }
+    double fv45 = (-0.5);
+  }
+  for (long i46 = 0; i46 < 3; i46 = i46 + 1) {
+    if (((((g2 ^ 675362) <= (51304726528 ^ v38)) ? g1 : v35) >= ((-2703) << (v38 & 15)))) {
+      long v47 = g2;
+    }
+  }
+  double fv48 = (-0.5);
+  double fv49 = fn14((21 | 7), ((double)(-232012120064)));
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(f2i((fg3 * 1000.0)));
+  long ck50 = 0;
+  for (long ci51 = 0; ci51 < 8; ci51 = ci51 + 1) {
+    (ck50 = ((ck50 * 131) + garr4[ci51]));
+  }
+  print_i64_ln(ck50);
+  long ck52 = 0;
+  for (long ci53 = 0; ci53 < 5; ci53 = ci53 + 1) {
+    (ck52 = ((ck52 * 131) + garr5[ci53]));
+  }
+  print_i64_ln(ck52);
+  long ck54 = 0;
+  for (long ci55 = 0; ci55 < 4; ci55 = ci55 + 1) {
+    (ck54 = ((ck54 * 131) + arr36[ci55]));
+  }
+  print_i64_ln(ck54);
+  long ck56 = 0;
+  for (long ci57 = 0; ci57 < 3; ci57 = ci57 + 1) {
+    (ck56 = ((ck56 * 131) + p42[ci57]));
+  }
+  print_i64_ln(ck56);
+  print_i64_ln(f2i((fv32 * 1000.0)));
+  print_i64_ln(f2i((fv33 * 1000.0)));
+  print_i64_ln(f2i((fv34 * 1000.0)));
+  return 0;
+}
+

@@ -1,0 +1,210 @@
+// heterodc fuzz program
+// seed: 12
+// features: arrays floats malloc pointers recursion threads
+
+long g1 = 77;
+long g2 = 170;
+long g3 = 147;
+long g4 = 1;
+double fg5 = 0.0625;
+double fg6 = (-0.015625);
+long garr7[7] = {9, 3, -45, -60, -80, -38};
+long gcnt = 0;
+long gpart[8];
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long f2i(double x) {
+  if (!(x == x)) { return 0; }
+  if (x > 1000000000.0) { return 1000000000; }
+  if (x < (-1000000000.0)) { return -1000000000; }
+  return (long)x;
+}
+
+long fn8(long a9) {
+  long v10 = ((8 ^ a9) << (a9 & 15));
+  if ((v10 >= f2i(3.75))) {
+    long v11 = (((~10) >= (-5391)) ? v10 : (v10 << (a9 & 15)));
+  }
+  (v10 += (-4911));
+  return (f2i(10.0) & 439462395904);
+}
+
+double fn12(long a13, long a14, double x15) {
+  long v16 = sdiv((a14 <= a14), a13);
+  for (long i17 = 0; i17 < 4; i17 = i17 + 1) {
+    (v16 -= f2i(x15));
+    (v16 |= (-19));
+    double fv18 = (((double)v16) / x15);
+  }
+  return ((double)f2i(0.5));
+}
+
+long rec19(long a20, long d21) {
+  if ((d21 < 1)) {
+    return (a20 & 1023);
+  }
+  long v22 = (709101 - (3 >> (a20 & 15)));
+  return ((rec19((a20 + 7), (d21 - 1)) ^ rec19((a20 + 11), (d21 - 1))) + ((5619 == ((-6926) * a20)) ? v22 : a20));
+}
+
+long rec23(long a24, long d25) {
+  if ((d25 < 1)) {
+    return (a24 & 1023);
+  }
+  (531854524416 >> (501940748288 & 15));
+  return (rec23((a24 + 3), (d25 - 1)) ^ (a24 < a24));
+}
+
+long fn26(long a27) {
+  long v28 = g4;
+  print_i64_ln(f2i(sqrt(fabs(10.0))));
+  if ((f2i(fg6) <= rec23(g2, 25))) {
+    double fv29 = (((double)g4) - fn12(g1, 7, fg5));
+  } else {
+    (fg5 = ((((fn8(694929063936) >= 7) ? g3 : g2) < v28) ? fg6 : ((double)454451)));
+    double fv30 = ((double)f2i(2.25));
+  }
+  for (long i31 = 0; i31 < 3; i31 = i31 + 1) {
+    (v28 &= garr7[idx((g2 <= g2), 7)]);
+    (garr7[idx((805198 ^ (-5728)), 7)] = g3);
+  }
+  if (((!v28) > f2i(fg6))) {
+    print_i64_ln(((782258 != rec23(a27, 25)) ? (-g4) : (!v28)));
+  } else {
+    (garr7[idx(129134231552, 7)] = ((g3 - v28) & (~g3)));
+  }
+  return f2i((2.25 * fg5));
+}
+
+long worker32(long t33) {
+  long acc34 = (t33 * 15);
+  (acc34 = garr7[1]);
+  double fv35 = fn12(f2i(fg6), (g4 << (209060888576 & 15)), fn12(7, 150105751552, fg5));
+  (acc34 *= (~(g1 >> (g4 & 15))));
+  for (long i36 = 0; i36 < 5; i36 = i36 + 1) {
+    {
+      long k37 = 0;
+      do {
+        (fv35 += (fv35 + fn12(t33, acc34, fg5)));
+        (acc34 |= garr7[idx(f2i((-100.5)), 7)]);
+        k37 = k37 + 1;
+      } while (k37 < 1);
+    }
+    long v38 = (!f2i((-0.125)));
+  }
+  (fv35 *= (fg5 / sqrt(fabs(fg6))));
+  {
+    __atomic_add((&gcnt), (fn8(acc34) & 4095));
+    (gpart[idx(t33, 8)] = acc34);
+  }
+  return (acc34 & 65535);
+}
+
+long worker39(long t40) {
+  long acc41 = (t40 * 3);
+  double fv42 = ((smod(491304, (-23)) < garr7[4]) ? sqrt(fabs(fg5)) : sqrt(fabs(fg5)));
+  if (((acc41 * g1) < (9 << (acc41 & 15)))) {
+    (acc41 += (sdiv(g2, g1) + rec19(2890, 4)));
+  } else {
+    long v43 = ((acc41 * g4) != ((g2 != f2i((-0.0625))) ? 2815 : 540528345088));
+  }
+  {
+    __atomic_add((&gcnt), (t40 & 4095));
+    (gpart[idx(t40, 8)] = acc41);
+  }
+  return (acc41 & 65535);
+}
+
+long main() {
+  double fv44 = sqrt(fabs(((double)g1)));
+  long v45 = (-g3);
+  long arr46[6];
+  for (long arr46_i = 0; arr46_i < 6; arr46_i = arr46_i + 1) { arr46[arr46_i] = ((arr46_i * 13) + (-13)); }
+  long v47 = f2i(0.5);
+  if ((f2i((-3.75)) <= ((((smod(g2, (-50)) < (690609 - 2)) ? g3 : g1) != f2i(0.015625)) ? v45 : g3))) {
+    long v48 = ((g2 & g2) << ((g1 >> (g3 & 15)) & 15));
+    (v48 = ((~v45) + garr7[0]));
+  } else {
+    long v49 = ((-g2) << (rec23((-15), 25) & 15));
+  }
+  (arr46[idx(sdiv(g1, 150883), 6)] = fn8(sdiv(g4, (-1869))));
+  (fg5 += ((-0.125) * fv44));
+  (fg6 *= (sqrt(fabs((-1.5))) - fg5));
+  (g3 += f2i((((~g1) != (v47 & g4)) ? fv44 : (-3.75))));
+  double fv50 = ((-0.5) * (fg5 / 2.25));
+  (fg5 = (((g2 - 62) != v47) ? fv44 : 10.0));
+  long * p51 = (&garr7[1]);
+  (g4 -= garr7[idx(smod(g3, g2), 7)]);
+  for (long i52 = 0; i52 < 7; i52 = i52 + 1) {
+    print_i64_ln((-4307));
+    (p51[idx((!2), 6)] = ((garr7[idx(p51[idx(f2i(fv44), 6)], 7)] == (g3 >> (32755 & 15))) ? fn26(i52) : 354049589248));
+  }
+  long *h53 = (long *)malloc(80);
+  for (long h53_i = 0; h53_i < 10; h53_i = h53_i + 1) { h53[h53_i] = ((h53_i * 4) ^ 24); }
+  for (long i54 = 0; i54 < 3; i54 = i54 + 1) {
+    long v55 = smod(((-4054) >> (2565 & 15)), (g4 ^ g1));
+  }
+  (p51[2] = garr7[5]);
+  if (((g1 * (-14)) != v45)) {
+    double fv56 = fg5;
+  }
+  {
+    long ws57 = 0;
+    long tid58 = spawn(worker39, 1);
+    (ws57 += worker32(0));
+    (ws57 += join(tid58));
+    print_i64_ln(ws57);
+    print_i64_ln(gcnt);
+    long wck59 = 0;
+    for (long wi60 = 0; wi60 < 8; wi60 = wi60 + 1) {
+      (wck59 = ((wck59 * 31) + gpart[wi60]));
+    }
+    print_i64_ln(wck59);
+  }
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(g3);
+  print_i64_ln(g4);
+  print_i64_ln(f2i((fg5 * 1000.0)));
+  print_i64_ln(f2i((fg6 * 1000.0)));
+  long ck61 = 0;
+  for (long ci62 = 0; ci62 < 7; ci62 = ci62 + 1) {
+    (ck61 = ((ck61 * 131) + garr7[ci62]));
+  }
+  print_i64_ln(ck61);
+  long ck63 = 0;
+  for (long ci64 = 0; ci64 < 6; ci64 = ci64 + 1) {
+    (ck63 = ((ck63 * 131) + arr46[ci64]));
+  }
+  print_i64_ln(ck63);
+  long ck65 = 0;
+  for (long ci66 = 0; ci66 < 6; ci66 = ci66 + 1) {
+    (ck65 = ((ck65 * 131) + p51[ci66]));
+  }
+  print_i64_ln(ck65);
+  long ck67 = 0;
+  for (long ci68 = 0; ci68 < 10; ci68 = ci68 + 1) {
+    (ck67 = ((ck67 * 131) + h53[ci68]));
+  }
+  print_i64_ln(ck67);
+  print_i64_ln(f2i((fv44 * 1000.0)));
+  print_i64_ln(v45);
+  print_i64_ln(v47);
+  return 0;
+}
+

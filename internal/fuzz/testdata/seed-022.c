@@ -1,0 +1,171 @@
+// heterodc fuzz program
+// seed: 22
+// features: arrays floats locks malloc pointers threads
+
+long g1 = 10;
+long g2 = 75;
+long g3 = -10;
+double fg4 = 0.125;
+double fg5 = 0.015625;
+long garr6[6] = {-37, -2};
+long gcnt = 0;
+long gpart[8];
+long glk = 0;
+long gsum = 0;
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long f2i(double x) {
+  if (!(x == x)) { return 0; }
+  if (x > 1000000000.0) { return 1000000000; }
+  if (x < (-1000000000.0)) { return -1000000000; }
+  return (long)x;
+}
+
+long fn7(long a8) {
+  long v9 = ((4892 == (a8 < a8)) ? (-5575) : (-5506));
+  (v9 ^= (f2i((-0.015625)) << (((a8 < (a8 | a8)) ? a8 : (-2)) & 15)));
+  long v10 = (!(-1391));
+  (v10 = ((-96586432512) - v9));
+  return (8458 << (smod(v10, 35416702976) & 15));
+}
+
+long fn11(long a12, double x13) {
+  long v14 = ((a12 - a12) - fn7(a12));
+  if ((((-43) * a12) < (((587118673920 < 7378) <= sdiv(a12, v14)) ? a12 : v14))) {
+    (v14 = (595893157888 & v14));
+    double fv15 = sqrt(fabs((3.75 * 0.125)));
+  }
+  double fv16 = ((f2i(x13) >= a12) ? 3.75 : (0.5 / (-100.5)));
+  return v14;
+}
+
+long fn17(long a18) {
+  long v19 = g3;
+  print_i64_ln(f2i(fg4));
+  long v20 = (garr6[2] >> (((-191730024448) < (-3827)) & 15));
+  return garr6[1];
+}
+
+long worker21(long t22) {
+  long acc23 = (t22 * 9);
+  (acc23 |= f2i((fg4 / fg4)));
+  (acc23 += ((2 * g2) == smod(g1, t22)));
+  {
+    __atomic_add((&gcnt), (t22 & 4095));
+    lock((&glk));
+    (gsum += ((!g2) & 8191));
+    unlock((&glk));
+    (gpart[idx(t22, 8)] = acc23);
+  }
+  return (acc23 & 65535);
+}
+
+long main() {
+  long v24 = (smod(g3, g3) << (((garr6[idx(f2i(fg5), 6)] > sdiv(9193, g3)) ? g2 : g2) & 15));
+  long v25 = fn7((~g2));
+  long arr26[5];
+  for (long arr26_i = 0; arr26_i < 5; arr26_i = arr26_i + 1) { arr26[arr26_i] = ((arr26_i * 9) + (-18)); }
+  double fv27 = (((-v25) <= v25) ? 1.5 : (fg4 * 3.75));
+  for (long i28 = 0; i28 < 8; i28 = i28 + 1) {
+    (garr6[idx(1026286, 6)] = (f2i(3.75) + ((((smod((-2358), i28) != smod(60, 715464376320)) ? v24 : v25) != (632702369792 + (-46))) ? g2 : i28)));
+  }
+  for (long i29 = 0; i29 < 10; i29 = i29 + 1) {
+    (arr26[idx(((-27) * (-4309)), 5)] = (fn17(291417) != ((arr26[4] == (((~g3) > (6361 >> (g2 & 15))) ? 1018 : 26991)) ? g3 : g3)));
+  }
+  if (((!g3) <= (g2 <= 669092151296))) {
+    for (long i30 = 0; i30 < 3; i30 = i30 + 1) {
+      (garr6[idx(648173, 6)] = garr6[idx(f2i(2.25), 6)]);
+      (g1 &= ((-264744468480) <= f2i(fg5)));
+      (fv27 = sqrt(fabs((1.5 * fv27))));
+    }
+    (g1 = ((g3 == v25) | ((f2i(2.25) == ((-6403) >= g2)) ? 8 : (-7138))));
+  }
+  long v31 = (((v24 < g2) < fn11((-51), 1.5)) ? (5694 << (v24 & 15)) : garr6[2]);
+  if ((sdiv(v24, (-1440)) <= 8397)) {
+    print_i64_ln(((g1 <= fn7(1901)) ? (!v24) : v25));
+  }
+  long * p32 = (&garr6[2]);
+  (v25 |= 1017150);
+  if (((8 << ((-177419059200) & 15)) <= f2i(fg4))) {
+    (garr6[idx(f2i(0.0625), 6)] = (fn7(g2) << ((g2 + g3) & 15)));
+    print_i64_ln((sdiv(g2, (-6007)) >= f2i(fg4)));
+    (fv27 += ((3.75 / fg5) - ((double)v25)));
+  }
+  long *h33 = (long *)malloc(72);
+  for (long h33_i = 0; h33_i < 9; h33_i = h33_i + 1) { h33[h33_i] = ((h33_i * 7) ^ 39); }
+  (g3 = g2);
+  for (long i34 = 0; i34 < 3; i34 = i34 + 1) {
+    (h33[8] = ((g1 * v31) * (v25 + 50)));
+    print_i64_ln(((v31 != g3) == ((g2 <= (4363 + g1)) ? (-25) : v24)));
+  }
+  (fg4 *= fv27);
+  double fv35 = (fg5 / ((f2i(fv27) == g2) ? fg5 : 0.5));
+  for (long i36 = 0; i36 < 2; i36 = i36 + 1) {
+    (v24 -= fn11((-7386), 0.5));
+    if ((smod(v25, 299339087872) < (g3 == 493485031424))) {
+      (h33[5] = smod((((51 - v24) == sdiv(47, g1)) ? g1 : v24), smod(i36, g2)));
+      (fg5 += sqrt(fabs(100.5)));
+    }
+  }
+  {
+    long ws37 = 0;
+    long tid38 = spawn(worker21, 1);
+    long tid39 = spawn(worker21, 2);
+    (ws37 += worker21(0));
+    (ws37 += join(tid38));
+    (ws37 += join(tid39));
+    print_i64_ln(ws37);
+    print_i64_ln(gcnt);
+    print_i64_ln(gsum);
+    long wck40 = 0;
+    for (long wi41 = 0; wi41 < 8; wi41 = wi41 + 1) {
+      (wck40 = ((wck40 * 31) + gpart[wi41]));
+    }
+    print_i64_ln(wck40);
+  }
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(g3);
+  print_i64_ln(f2i((fg4 * 1000.0)));
+  print_i64_ln(f2i((fg5 * 1000.0)));
+  long ck42 = 0;
+  for (long ci43 = 0; ci43 < 6; ci43 = ci43 + 1) {
+    (ck42 = ((ck42 * 131) + garr6[ci43]));
+  }
+  print_i64_ln(ck42);
+  long ck44 = 0;
+  for (long ci45 = 0; ci45 < 5; ci45 = ci45 + 1) {
+    (ck44 = ((ck44 * 131) + arr26[ci45]));
+  }
+  print_i64_ln(ck44);
+  long ck46 = 0;
+  for (long ci47 = 0; ci47 < 4; ci47 = ci47 + 1) {
+    (ck46 = ((ck46 * 131) + p32[ci47]));
+  }
+  print_i64_ln(ck46);
+  long ck48 = 0;
+  for (long ci49 = 0; ci49 < 9; ci49 = ci49 + 1) {
+    (ck48 = ((ck48 * 131) + h33[ci49]));
+  }
+  print_i64_ln(ck48);
+  print_i64_ln(v24);
+  print_i64_ln(v25);
+  print_i64_ln(f2i((fv27 * 1000.0)));
+  return 0;
+}
+

@@ -1,0 +1,189 @@
+// heterodc fuzz program
+// seed: 23
+// features: arrays locks malloc pointers threads
+
+long g1 = 20;
+long g2 = 85;
+long g3 = 156;
+long g4 = -8;
+long garr5[9] = {-49, -4, 6, -91, 50};
+long gcnt = 0;
+long gpart[8];
+long glk = 0;
+long gsum = 0;
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long fn6(long a7, long a8) {
+  long v9 = (-5465);
+  if ((a8 <= a7)) {
+    (v9 |= (smod(v9, 5) & sdiv(0, 15300820992)));
+  }
+  return 8;
+}
+
+long fn10(long a11) {
+  long v12 = (~(a11 - a11));
+  long v13 = v12;
+  if (((-a11) < (866 >= v13))) {
+    (v13 = 562189);
+  }
+  return (!(v12 & v13));
+}
+
+long fn14(long a15) {
+  long v16 = sdiv((g1 ^ (-8112)), fn6(g3, a15));
+  (garr5[idx((g2 - v16), 9)] = ((smod(g4, a15) == (v16 ^ v16)) ? 9546 : smod(60, 5906)));
+  (v16 = (sdiv((-3047), g3) | ((smod(9, g2) > ((-8123) == g2)) ? g4 : g4)));
+  return garr5[idx((((-g3) <= (a15 & a15)) ? (-2791) : 151515037696), 9)];
+}
+
+long worker17(long t18) {
+  long acc19 = (t18 * 13);
+  {
+    long k20 = 0;
+    do {
+      long v21 = (-fn6(g1, g4));
+      (v21 *= garr5[2]);
+      k20 = k20 + 1;
+    } while (k20 < 1);
+  }
+  {
+    long k22 = 0;
+    do {
+      long v23 = (smod(g4, g1) >> (((-5814) ^ 1) & 15));
+      k22 = k22 + 1;
+    } while (k22 < 5);
+  }
+  (acc19 &= ((708177 * g3) ^ fn6(g3, acc19)));
+  {
+    __atomic_add((&gcnt), ((((9 ^ g4) > ((8 > (((t18 >> (t18 & 15)) > (g2 + (-9))) ? g4 : g1)) ? 585524838400 : (-62))) ? acc19 : g1) & 4095));
+    lock((&glk));
+    (gsum += ((t18 * 8594) & 8191));
+    unlock((&glk));
+    (gpart[idx(t18, 8)] = acc19);
+  }
+  return (acc19 & 65535);
+}
+
+long worker24(long t25) {
+  long acc26 = (t25 * 4);
+  long v27 = (fn6(g3, acc26) * sdiv(1, g3));
+  (v27 &= (((garr5[idx(sdiv(3499, (-6310)), 9)] < 8) ? 6 : g1) + (v27 << ((-9007) & 15))));
+  {
+    __atomic_add((&gcnt), (8876 & 4095));
+    lock((&glk));
+    (gsum += (smod(g4, t25) & 8191));
+    unlock((&glk));
+    (gpart[idx(t25, 8)] = acc26);
+  }
+  return (acc26 & 65535);
+}
+
+long main() {
+  long v28 = 338210;
+  long v29 = (garr5[idx(fn14(g4), 9)] <= (g3 + v28));
+  long v30 = (fn6(g2, v29) >> ((-5872) & 15));
+  long v31 = (-(g1 & g1));
+  print_i64_ln((!3994));
+  for (long i32 = 0; i32 < 10; i32 = i32 + 1) {
+    long v33 = (i32 | (v30 >> (v30 & 15)));
+    if (((~v33) == (-g3))) {
+      print_i64_ln(v31);
+    }
+  }
+  for (long i34 = 0; i34 < 5; i34 = i34 + 1) {
+    if (((((-630252896256) > sdiv(v31, g1)) ? 33 : v31) < fn6(g4, v28))) {
+      (v29 |= smod((6 - v31), (~757236)));
+      (garr5[idx(i34, 9)] = ((!g2) != (6 != (-24))));
+    }
+    if ((fn6(v28, v31) <= (g2 >> (43564 & 15)))) {
+      long v35 = fn6((453399 >= g4), (12 << (v31 & 15)));
+      (g1 = (-fn10(v35)));
+    }
+  }
+  (v31 &= (((v29 < 719172141056) > g3) ? (v28 & g2) : (666 - v30)));
+  long * p36 = (&garr5[2]);
+  (v31 = ((v29 * g1) < smod(v29, v31)));
+  if ((g2 == g2)) {
+    double fv37 = ((double)g2);
+  }
+  long *h38 = (long *)malloc(88);
+  for (long h38_i = 0; h38_i < 11; h38_i = h38_i + 1) { h38[h38_i] = ((h38_i * 10) ^ 25); }
+  if (((2173 - v29) >= (2066 << (g3 & 15)))) {
+    for (long i39 = 0; i39 < 8; i39 = i39 + 1) {
+      (h38[9] = ((i39 + g1) + (909527 << (g3 & 15))));
+      (g3 *= (~(g2 << (g4 & 15))));
+    }
+    (garr5[4] = ((((v31 == v29) >= fn10(g2)) ? g4 : (-39)) - (v31 << (v30 & 15))));
+    for (long i40 = 0; i40 < 5; i40 = i40 + 1) {
+      (g3 |= ((v29 < ((19 < (7801 + g1)) ? 214074 : v31)) ? ((((g3 <= (-i40)) ? v31 : 300185) == p36[idx((31 | (-1296)), 7)]) ? g1 : g2) : (v28 & v30)));
+      (g3 |= garr5[idx((-822083584), 9)]);
+      long v41 = fn6(sdiv(v29, 0), (!3));
+    }
+  }
+  {
+    long k42 = 0;
+    do {
+      (p36[4] = (((v30 * 4) <= p36[idx(garr5[idx((-25), 9)], 7)]) ? (g2 + 55703) : ((-2133) & 813678198784)));
+      k42 = k42 + 1;
+    } while (k42 < 4);
+  }
+  (v29 += (-(g4 >= g4)));
+  long v43 = v30;
+  for (long i44 = 0; i44 < 8; i44 = i44 + 1) {
+    (p36[5] = ((g4 + g3) <= (-v29)));
+  }
+  {
+    long ws45 = 0;
+    long tid46 = spawn(worker24, 1);
+    (ws45 += worker17(0));
+    (ws45 += join(tid46));
+    print_i64_ln(ws45);
+    print_i64_ln(gcnt);
+    print_i64_ln(gsum);
+    long wck47 = 0;
+    for (long wi48 = 0; wi48 < 8; wi48 = wi48 + 1) {
+      (wck47 = ((wck47 * 31) + gpart[wi48]));
+    }
+    print_i64_ln(wck47);
+  }
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(g3);
+  print_i64_ln(g4);
+  long ck49 = 0;
+  for (long ci50 = 0; ci50 < 9; ci50 = ci50 + 1) {
+    (ck49 = ((ck49 * 131) + garr5[ci50]));
+  }
+  print_i64_ln(ck49);
+  long ck51 = 0;
+  for (long ci52 = 0; ci52 < 7; ci52 = ci52 + 1) {
+    (ck51 = ((ck51 * 131) + p36[ci52]));
+  }
+  print_i64_ln(ck51);
+  long ck53 = 0;
+  for (long ci54 = 0; ci54 < 11; ci54 = ci54 + 1) {
+    (ck53 = ((ck53 * 131) + h38[ci54]));
+  }
+  print_i64_ln(ck53);
+  print_i64_ln(v28);
+  print_i64_ln(v29);
+  print_i64_ln(v30);
+  return 0;
+}
+

@@ -1,0 +1,158 @@
+// heterodc fuzz program
+// seed: 39
+// features: arrays locks threads
+
+long g1 = -14;
+long g2 = 90;
+long g3 = -15;
+long g4 = 184;
+long garr5[8] = {61, 13};
+long gcnt = 0;
+long gpart[8];
+long glk = 0;
+long gsum = 0;
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long fn6(long a7) {
+  long v8 = (~6817);
+  (v8 |= (~v8));
+  return ((~(-380)) | v8);
+}
+
+long fn9(long a10) {
+  long v11 = (smod(g3, g1) + (2 < g1));
+  print_i64_ln(fn6(g3));
+  (g2 = (fn6(g2) != 2680));
+  return ((v11 << (5611 & 15)) >> ((-3287) & 15));
+}
+
+long worker12(long t13) {
+  long acc14 = (t13 * 15);
+  for (long i15 = 0; i15 < 2; i15 = i15 + 1) {
+    for (long i16 = 0; i16 < 4; i16 = i16 + 1) {
+      (acc14 &= ((387285254144 - g4) - sdiv(4, (-5742))));
+    }
+  }
+  long v17 = 1;
+  {
+    __atomic_add((&gcnt), ((g1 >> ((-84909490176) & 15)) & 4095));
+    lock((&glk));
+    (gsum += (3 & 8191));
+    unlock((&glk));
+    (gpart[idx(t13, 8)] = acc14);
+  }
+  return (acc14 & 65535);
+}
+
+long main() {
+  long v18 = 423683;
+  long v19 = g4;
+  long v20 = g3;
+  long arr21[6];
+  for (long arr21_i = 0; arr21_i < 6; arr21_i = arr21_i + 1) { arr21[arr21_i] = ((arr21_i * 10) + (-16)); }
+  for (long i22 = 0; i22 < 7; i22 = i22 + 1) {
+    for (long i23 = 0; i23 < 8; i23 = i23 + 1) {
+      (garr5[7] = (!(((((~g3) != (~(-61))) ? 7 : g1) >= (g3 - 7955)) ? i23 : (-8451))));
+    }
+    long v24 = fn6(6023);
+  }
+  for (long i25 = 0; i25 < 6; i25 = i25 + 1) {
+    (garr5[idx((~g4), 8)] = fn9((-(-27))));
+    if ((fn6(g1) >= (g4 + g1))) {
+      long v26 = sdiv((v19 << (v19 & 15)), garr5[idx(1431, 8)]);
+      long v27 = ((((5 < (~g3)) ? g1 : v26) < (((((!13) != fn9(v20)) ? 3 : 192504) > garr5[idx(fn6(v18), 8)]) ? g1 : g3)) ? (g1 * g3) : (~v19));
+    } else {
+      (v18 += (~(677402 != g1)));
+    }
+  }
+  if (((((~338175) <= (((40 != v19) <= (1 >> (g4 & 15))) ? v19 : 427718)) ? g2 : 9518) > (((g3 <= 886838) < (-244043)) ? (-6747) : g2))) {
+    (v20 ^= (-59));
+  } else {
+    (garr5[idx(garr5[6], 8)] = 4);
+  }
+  if ((garr5[0] > garr5[0])) {
+    print_i64_ln(((8 >> ((-1428) & 15)) >> ((v18 ^ g3) & 15)));
+  } else {
+    print_i64_ln(v18);
+    (g1 -= arr21[1]);
+  }
+  long v28 = g3;
+  long v29 = fn6((7 >> (g4 & 15)));
+  long v30 = (((fn6(v20) <= fn9(5120)) ? 680385 : v18) * fn9(v19));
+  if ((v19 >= (6408 <= g4))) {
+    (garr5[idx((9957 - g1), 8)] = (~v19));
+    {
+      long k31 = 0;
+      do {
+        (arr21[1] = (-7967));
+        (v28 &= sdiv(fn9(k31), (((k31 | g3) <= arr21[3]) ? v19 : 603979776000)));
+        k31 = k31 + 1;
+      } while (k31 < 3);
+    }
+  }
+  (v28 = (garr5[5] >> ((-v19) & 15)));
+  {
+    long k32 = 0;
+    do {
+      (v19 += ((-7546) < 55728));
+      k32 = k32 + 1;
+    } while (k32 < 4);
+  }
+  for (long i33 = 0; i33 < 6; i33 = i33 + 1) {
+    for (long i34 = 0; i34 < 3; i34 = i34 + 1) {
+      (arr21[4] = 453066);
+    }
+  }
+  {
+    long ws35 = 0;
+    long tid36 = spawn(worker12, 1);
+    long tid37 = spawn(worker12, 2);
+    long tid38 = spawn(worker12, 3);
+    (ws35 += worker12(0));
+    (ws35 += join(tid36));
+    (ws35 += join(tid37));
+    (ws35 += join(tid38));
+    print_i64_ln(ws35);
+    print_i64_ln(gcnt);
+    print_i64_ln(gsum);
+    long wck39 = 0;
+    for (long wi40 = 0; wi40 < 8; wi40 = wi40 + 1) {
+      (wck39 = ((wck39 * 31) + gpart[wi40]));
+    }
+    print_i64_ln(wck39);
+  }
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(g3);
+  print_i64_ln(g4);
+  long ck41 = 0;
+  for (long ci42 = 0; ci42 < 8; ci42 = ci42 + 1) {
+    (ck41 = ((ck41 * 131) + garr5[ci42]));
+  }
+  print_i64_ln(ck41);
+  long ck43 = 0;
+  for (long ci44 = 0; ci44 < 6; ci44 = ci44 + 1) {
+    (ck43 = ((ck43 * 131) + arr21[ci44]));
+  }
+  print_i64_ln(ck43);
+  print_i64_ln(v18);
+  print_i64_ln(v19);
+  print_i64_ln(v20);
+  return 0;
+}
+

@@ -1,0 +1,119 @@
+// heterodc fuzz program
+// seed: 57
+// features: arrays recursion
+
+long g1 = 158;
+long g2 = 88;
+long g3 = 191;
+long garr4[11] = {-89, -19, -99};
+long garr5[11] = {34, -63, 98};
+
+long sdiv(long a, long b) {
+  if (b == 0) { return 0; }
+  return a / b;
+}
+
+long smod(long a, long b) {
+  if (b == 0) { return 0; }
+  return a % b;
+}
+
+long idx(long i, long n) {
+  long r = i % n;
+  if (r < 0) { r = r + n; }
+  return r;
+}
+
+long fn6(long a7, long a8) {
+  long v9 = smod(a7, a8);
+  long v10 = 3;
+  long v11 = smod((-3952), 8099);
+  (v9 &= (v10 & (v9 + v10)));
+  return 440854904832;
+}
+
+long rec12(long a13, long d14) {
+  if ((d14 < 1)) {
+    return (a13 & 1023);
+  }
+  if (((a13 + a13) < (a13 ^ 0))) {
+    ((fn6(1, a13) > fn6(a13, (-2709))) ? a13 : a13);
+    long v15 = fn6((a13 == a13), (~a13));
+  } else {
+    a13;
+    sdiv(a13, (-3229));
+  }
+  for (long i16 = 0; i16 < 2; i16 = i16 + 1) {
+    291185360896;
+    (!(-7397));
+  }
+  return ((rec12((a13 + 8), (d14 - 1)) ^ rec12((a13 + 11), (d14 - 1))) + 263721058304);
+}
+
+long rec17(long a18, long d19) {
+  if ((d19 < 1)) {
+    return (a18 & 1023);
+  }
+  for (long i20 = 0; i20 < 5; i20 = i20 + 1) {
+    long v21 = ((-9) * 7764);
+  }
+  return (rec17((a18 + 7), (d19 - 1)) + (a18 != a18));
+}
+
+long fn22(long a23) {
+  long v24 = rec12((-g2), 8);
+  for (long i25 = 0; i25 < 10; i25 = i25 + 1) {
+    long v26 = garr5[8];
+  }
+  (g2 += ((-9346) << (1 & 15)));
+  return garr4[idx(((-1294) | a23), 11)];
+}
+
+long main() {
+  long v27 = sdiv((~382222), 266425);
+  long v28 = garr5[idx((g3 >> (397452247040 & 15)), 11)];
+  long v29 = (garr4[idx((g2 <= v27), 11)] | ((g1 != (g3 & v27)) ? v28 : g2));
+  long v30 = (-47);
+  (garr5[8] = ((garr5[4] >= (v27 ^ 960877)) ? (g3 | (-1649)) : (g3 * g2)));
+  (v30 = garr5[idx((((!g2) <= g3) ? 7 : v30), 11)]);
+  (garr4[idx(v27, 11)] = v29);
+  if (((144792 + v30) >= fn22(g1))) {
+    (v29 = smod(garr4[6], (677138 >> (v30 & 15))));
+  } else {
+    {
+      long k31 = 0;
+      do {
+        (v30 += (rec17(v27, 33) | (v30 > g3)));
+        k31 = k31 + 1;
+      } while (k31 < 5);
+    }
+  }
+  for (long i32 = 0; i32 < 3; i32 = i32 + 1) {
+    if (((v27 << (v29 & 15)) > ((-22) - (-239360540672)))) {
+      long v33 = (((((~8) < smod(v30, v29)) ? 614733971456 : 4) == (-i32)) ? (1776 - g2) : (v27 >> (9 & 15)));
+      (v29 -= i32);
+      (g2 += sdiv(garr4[5], g3));
+    }
+  }
+  long v34 = fn22((v28 & (-5600)));
+  print_i64_ln(rec12(392314, 8));
+  long v35 = ((122289127424 << (598896279552 & 15)) == (!v30));
+  print_i64_ln(g1);
+  print_i64_ln(g2);
+  print_i64_ln(g3);
+  long ck36 = 0;
+  for (long ci37 = 0; ci37 < 11; ci37 = ci37 + 1) {
+    (ck36 = ((ck36 * 131) + garr4[ci37]));
+  }
+  print_i64_ln(ck36);
+  long ck38 = 0;
+  for (long ci39 = 0; ci39 < 11; ci39 = ci39 + 1) {
+    (ck38 = ((ck38 * 131) + garr5[ci39]));
+  }
+  print_i64_ln(ck38);
+  print_i64_ln(v27);
+  print_i64_ln(v28);
+  print_i64_ln(v29);
+  return 0;
+}
+

@@ -218,6 +218,12 @@ type Func struct {
 
 	// AllocaSizes[i] is the byte size of stack slot i (8-byte aligned).
 	AllocaSizes []int64
+	// AllocaPtr[i] marks slots that may hold pointer values. Only these are
+	// eligible for the stack transformer's content pointer fixup; plain
+	// data slots (char buffers, int/float arrays) are copied verbatim so a
+	// byte pattern that happens to look like a stack address is never
+	// rewritten.
+	AllocaPtr []bool
 
 	// NumCallSites is the number of call-like sites after Finish.
 	NumCallSites int
@@ -268,8 +274,14 @@ func (f *Func) NewAlloca(size int64) int {
 	}
 	size = (size + 7) &^ 7
 	f.AllocaSizes = append(f.AllocaSizes, size)
+	f.AllocaPtr = append(f.AllocaPtr, false)
 	return len(f.AllocaSizes) - 1
 }
+
+// MarkAllocaPtr records that slot may hold pointer values, making it
+// eligible for pointer fixup during stack transformation. Frontends call
+// this for pointer-typed locals and arrays of pointers.
+func (f *Func) MarkAllocaPtr(slot int) { f.AllocaPtr[slot] = true }
 
 // Finish assigns call-site IDs in deterministic (block, instruction) order.
 // It must be called once the function body is complete; the verifier and

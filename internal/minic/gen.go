@@ -321,6 +321,9 @@ func (g *genCtx) genFunc(fd *FuncDecl) (*ir.Func, error) {
 		vi := &varInfo{ty: p.Ty, arrayLen: -1}
 		if fg.addrTaken[p.Name] {
 			slot := fg.b.F.NewAlloca(8)
+			if p.Ty.Kind == tyPtr {
+				fg.b.F.MarkAllocaPtr(slot)
+			}
 			addr := fg.b.AllocaAddr(slot)
 			fg.b.Store(addr, 0, fg.b.Param(i))
 			vi.kind = stAlloca
@@ -636,6 +639,9 @@ func (fg *funcGen) localDecl(d *Decl) error {
 		vi.isArray = true
 		vi.kind = stAlloca
 		vi.slot = b.F.NewAlloca(d.Ty.size() * d.ArrayLen)
+		if d.Ty.Kind == tyPtr {
+			b.F.MarkAllocaPtr(vi.slot)
+		}
 		scope[d.Name] = vi
 		if d.Init != nil {
 			return errAt(d.line, d.col, "scalar initialiser on array")
@@ -662,6 +668,9 @@ func (fg *funcGen) localDecl(d *Decl) error {
 	if fg.addrTaken[d.Name] {
 		vi.kind = stAlloca
 		vi.slot = b.F.NewAlloca(8)
+		if d.Ty.Kind == tyPtr {
+			b.F.MarkAllocaPtr(vi.slot)
+		}
 	} else {
 		vi.kind = stVReg
 		vi.vreg = b.F.NewVReg(irType(d.Ty))

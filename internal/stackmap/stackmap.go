@@ -94,6 +94,9 @@ type FuncInfo struct {
 	AllocaOffsets []int64
 	// AllocaSizes[i] is the byte size of slot i (same on all ISAs).
 	AllocaSizes []int64
+	// AllocaPtr[i] marks slots that may hold pointer values; only these
+	// get content pointer fixup during stack transformation.
+	AllocaPtr []bool
 	// StackParams maps IR parameter index -> FP-relative offset for
 	// parameters passed on the stack (absent when passed in registers).
 	StackParams map[int]int64

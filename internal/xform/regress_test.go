@@ -1,0 +1,102 @@
+package xform_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"heterodc/internal/core"
+	"heterodc/internal/kernel"
+)
+
+// End-to-end regression tests for stack-transformation bugs found by the
+// differential fuzzer (internal/fuzz). Each test runs a miniC program on a
+// single node and again while bouncing every thread between ISAs at every
+// migration point; the two runs must be byte-identical.
+
+func runOnce(t *testing.T, src string, node int, bounce bool) (output []byte, exit int64) {
+	t.Helper()
+	img, err := core.Build("regress", core.Src("regress.c", src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := core.NewTestbed()
+	p, err := cl.Spawn(img, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounce {
+		cl.OnMigration = func(ev kernel.MigrationEvent) {
+			_ = cl.RequestMigration(p, ev.Tid, 1-ev.To)
+		}
+		_ = cl.RequestMigration(p, 0, 1-node)
+	}
+	for {
+		if done, code := p.Exited(); done {
+			if err := p.Err(); err != nil {
+				t.Fatalf("process killed: %v", err)
+			}
+			return p.Output(), code
+		}
+		if cl.Time() > 30 {
+			t.Fatalf("run exceeded 30 simulated seconds (bounce=%v)", bounce)
+		}
+		if !cl.Step() {
+			t.Fatalf("cluster drained before exit (bounce=%v)", bounce)
+		}
+	}
+}
+
+// checkTransparent asserts single-node and every-point-migration runs agree.
+func checkTransparent(t *testing.T, src string) {
+	t.Helper()
+	refOut, refExit := runOnce(t, src, core.NodeX86, false)
+	for _, start := range []int{core.NodeX86, core.NodeARM} {
+		out, exit := runOnce(t, src, start, true)
+		if !bytes.Equal(out, refOut) || exit != refExit {
+			t.Errorf("bounce from node %d diverged:\nref  exit=%d %q\ngot  exit=%d %q",
+				start, refExit, refOut, exit, out)
+		}
+	}
+}
+
+// TestAllocaByteFixupRegression replays the reduced repro from fuzz seed 129.
+// The transformer used to apply heuristic pointer fixup to every 8-byte word
+// of every alloca while copying frame contents between stack halves; a char
+// buffer inside print_i64 whose stale upper bytes happened to form a live
+// stack address had its digit byte rebased along with them, flipping one
+// printed character ('0' -> 'P') under every-point migration. Content fixup
+// is now restricted to allocas the compiler marks pointer-bearing.
+func TestAllocaByteFixupRegression(t *testing.T) {
+	data, err := os.ReadFile("testdata/fuzz_seed129_min.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTransparent(t, string(data))
+}
+
+// TestPointerAllocaFixupApplies guards the opposite direction: an
+// address-taken pointer local lives in an alloca that genuinely holds a
+// stack address, and that content must still be rebased on migration. The
+// store to x after the migration point is only visible through p if p's
+// slot was fixed up to the destination half.
+func TestPointerAllocaFixupApplies(t *testing.T) {
+	checkTransparent(t, `
+long poke(long **qq, long v) {
+  **qq = v;
+  return **qq;
+}
+long main(void) {
+  long x = 7;
+  long *p = &x;
+  long **q = &p;
+  long i = 0;
+  for (i = 0; i < 8; i += 1) {
+    x = x + poke(q, i + 40);
+    print_i64_ln(*p);
+  }
+  print_i64_ln(x);
+  return 0;
+}
+`)
+}

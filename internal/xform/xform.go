@@ -189,21 +189,29 @@ func Transform(in *Input) (*Output, error) {
 		}
 	}
 
-	// Copy alloca contents with word-granular pointer fixup.
+	// Copy alloca contents. Word-granular pointer fixup applies only to
+	// slots the compiler marked pointer-bearing: in a plain data slot (a
+	// char buffer, an int array) a word that merely looks like a stack
+	// address must be copied verbatim, or the rebase rewrites application
+	// bytes. The region table above still covers every slot, because typed
+	// live pointers may point into non-pointer-bearing slots.
 	for k, f := range frames {
 		for i := range f.fn.AllocaOffsets {
 			src := f.fp + uint64(f.fn.AllocaOffsets[i])
 			dst := dsts[k].fp + uint64(dsts[k].fn.AllocaOffsets[i])
 			size := f.fn.AllocaSizes[i]
+			mayHoldPtr := i < len(f.fn.AllocaPtr) && f.fn.AllocaPtr[i]
 			out.Stats.AllocaBytes += size
 			for o := int64(0); o < size; o += 8 {
 				w, err := in.Mem.ReadU64(src + uint64(o))
 				if err != nil {
 					return nil, err
 				}
-				if nw, fixed := fixup(w); fixed {
-					w = nw
-					out.Stats.PtrFixups++
+				if mayHoldPtr {
+					if nw, fixed := fixup(w); fixed {
+						w = nw
+						out.Stats.PtrFixups++
+					}
 				}
 				if err := in.Mem.WriteU64(dst+uint64(o), w); err != nil {
 					return nil, err

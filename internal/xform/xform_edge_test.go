@@ -1,0 +1,198 @@
+package xform_test
+
+import (
+	"strings"
+	"testing"
+
+	"heterodc/internal/isa"
+	"heterodc/internal/xform"
+)
+
+// Table-driven edge cases for xform.Transform, driven end-to-end: each
+// program runs single-node and under every-point migration from both
+// starting ISAs, and all three executions must agree byte-for-byte. The
+// cases target the transformer's corners — frames with no live state,
+// float64 values crossing frame boundaries in both directions, and frame
+// chains near the depth the two-halves scheme can hold.
+func TestTransformEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			// A frame suspended with nothing live in it: the call site in
+			// the middle of the chain keeps no locals, no allocas, and no
+			// values across the call.
+			name: "empty-frame-in-chain",
+			src: `
+long leaf(long n) { return n * 3 + 1; }
+long hollow(long n) { return leaf(n); }
+long main(void) {
+  long i = 0;
+  for (i = 0; i < 12; i += 1) {
+    print_i64_ln(hollow(i));
+  }
+  return 0;
+}
+`,
+		},
+		{
+			// Float64 live values spanning a frame boundary: doubles are
+			// passed down and returned back up a four-deep chain, so every
+			// transformation sees FP values as arguments, saved registers
+			// and return paths at once.
+			name: "float64-across-frame-boundaries",
+			src: `
+double f4(double a, double b, double c, double d) {
+  return a * 1.5 + b * 0.25 - c + d * 2.0;
+}
+double f3(double a, double b, double c) { return f4(a, b, c, a - b); }
+double f2(double a, double b) { return f3(a, b, a * b); }
+double f1(double a) { return f2(a, a + 0.5); }
+long main(void) {
+  double x = 1.0;
+  long i = 0;
+  for (i = 0; i < 10; i += 1) {
+    x = f1(x) * 0.125 + 3.0;
+    print_i64_ln((long)(x * 4096.0));
+  }
+  return 0;
+}
+`,
+		},
+		{
+			// Many float64 arguments in one call: more FP values than any
+			// ABI passes in registers, forcing stack-passed doubles whose
+			// slots differ between the two ISAs.
+			name: "float64-stack-args",
+			src: `
+double wide(double a, double b, double c, double d,
+            double e, double f, double g, double h,
+            double i, double j) {
+  return a + b * 2.0 + c * 3.0 + d * 4.0 + e * 5.0
+       + f * 6.0 + g * 7.0 + h * 8.0 + i * 9.0 + j * 10.0;
+}
+long main(void) {
+  long k = 0;
+  double s = 0.0;
+  for (k = 0; k < 6; k += 1) {
+    double base = (double)k;
+    s = s + wide(base, base + 0.5, base + 1.0, base + 1.5, base + 2.0,
+                 base + 2.5, base + 3.0, base + 3.5, base + 4.0, base + 4.5);
+    print_i64_ln((long)(s * 16.0));
+  }
+  return 0;
+}
+`,
+		},
+		{
+			// Max-depth FP chain: recursion 48 frames deep with a live
+			// double in every frame, near the deepest chain the generator
+			// produces and well past what fits in FP registers alone.
+			name: "max-depth-fp-chain",
+			src: `
+double dive(double x, long d) {
+  if (d < 1) { return x; }
+  double local = x * 0.5 + (double)d;
+  return dive(local, d - 1) + local * 0.0625;
+}
+long main(void) {
+  print_i64_ln((long)(dive(1.0, 48) * 256.0));
+  print_i64_ln((long)(dive(2.5, 48)));
+  return 0;
+}
+`,
+		},
+		{
+			// Deep integer chain with a frame that is all allocas: byte
+			// buffers and arrays travel across every boundary without any
+			// of their contents being mistaken for pointers.
+			name: "deep-chain-with-alloca-frames",
+			src: `
+long fill(long seed, long d) {
+  char buf[16];
+  long arr[4];
+  long i = 0;
+  for (i = 0; i < 16; i += 1) { buf[i] = (seed * 7 + i * 13 + d) % 251; }
+  for (i = 0; i < 4; i += 1) { arr[i] = seed * 1000003 + i; }
+  long sub = 0;
+  if (d > 0) { sub = fill(seed + 1, d - 1); }
+  long ck = 0;
+  for (i = 0; i < 16; i += 1) { ck = ck * 131 + buf[i]; }
+  for (i = 0; i < 4; i += 1) { ck = ck * 131 + arr[i]; }
+  return ck + sub;
+}
+long main(void) {
+  print_i64_ln(fill(3, 30));
+  return 0;
+}
+`,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			checkTransparent(t, tc.src)
+		})
+	}
+}
+
+// TestTransformZeroFrameStacks drives Transform directly with synthetic
+// frame chains that hold no application frames; every variant must be
+// rejected with a diagnostic rather than producing a resume state.
+func TestTransformZeroFrameStacks(t *testing.T) {
+	img := buildImage(t)
+	sl, sh, dl, dh := stackBounds()
+	mc := img.Prog(isa.X86).ByName["__migrate_check"]
+	cases := []struct {
+		name    string
+		chain   func(fm *fakeMem, fp uint64) // writes the frame records
+		wantErr string
+	}{
+		{
+			name: "immediate-sentinel",
+			chain: func(fm *fakeMem, fp uint64) {
+				_ = fm.WriteU64(fp, 0)
+				_ = fm.WriteU64(fp+8, 0)
+			},
+			wantErr: "no application frames",
+		},
+		{
+			name: "self-loop",
+			chain: func(fm *fakeMem, fp uint64) {
+				_ = fm.WriteU64(fp, fp)
+				_ = fm.WriteU64(fp+8, 0x123)
+			},
+			wantErr: "",
+		},
+		{
+			name: "sentinel-fp-nonzero-ret",
+			chain: func(fm *fakeMem, fp uint64) {
+				_ = fm.WriteU64(fp, 0)
+				_ = fm.WriteU64(fp+8, 0x9999)
+			},
+			wantErr: "",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			fm := newFakeMem()
+			fp := sl + 0x1000
+			tc.chain(fm, fp)
+			in := &xform.Input{
+				SrcProg: img.Prog(isa.X86), DstProg: img.Prog(isa.ARM64),
+				Mem: fm, PC: mc.Base,
+				SrcStackLo: sl, SrcStackHi: sh, DstStackLo: dl, DstStackHi: dh,
+			}
+			in.Regs.I[isa.Describe(isa.X86).FP] = int64(fp)
+			_, err := xform.Transform(in)
+			if err == nil {
+				t.Fatal("zero-frame chain accepted")
+			}
+			if tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
