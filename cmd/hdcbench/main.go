@@ -14,7 +14,12 @@
 //	hdcbench -exp chaos       # fault injection: correctness under loss/crash
 //	hdcbench -exp ckpt        # checkpoint interval: overhead vs work lost
 //	hdcbench -exp fuzz        # differential fuzzing sweep (programs/sec)
+//	hdcbench -exp rack        # N-node rack-scale scheduling study
 //	hdcbench -exp all
+//
+// The rack experiment takes -rack-nodes N (default 4) to size the ensemble
+// and -engine seq|par to select the cluster time engine (par exploits
+// sharing-group parallelism; deterministic, epoch-grained scheduling).
 //
 // The chaos experiment takes -fault-seed, -drop-prob and -crash-at to vary
 // the injected fault plans (all plans are deterministic in the seed).
@@ -44,9 +49,11 @@ func main() {
 	fuzzSeed := flag.Int64("fuzz-seed", 1, "fuzz: first generator seed")
 	fuzzBudget := flag.Duration("fuzz-budget", 0, "fuzz: wall-clock budget (0: scale default)")
 	fuzzMax := flag.Int("fuzz-max", 0, "fuzz: stop after this many programs (0: budget only)")
+	rackNodes := flag.Int("rack-nodes", 4, "rack: machine count (half x86, half ARM in the mixed setups)")
+	engine := flag.String("engine", "seq", "cluster time engine: seq|par (experiments that honour it)")
 	flag.Parse()
 
-	cfg := exp.Config{W: os.Stdout}
+	cfg := exp.Config{W: os.Stdout, RackNodes: *rackNodes, Engine: *engine}
 	switch *scale {
 	case "quick":
 		cfg.Scale = exp.Quick

@@ -57,6 +57,9 @@ type Space struct {
 	NumNodes int
 	pages    map[uint64]*pageInfo
 	stats    []NodeStats
+	// resident[node] counts pages with a non-Invalid state at node,
+	// maintained on every transition so sharing-set queries are O(1).
+	resident []int
 }
 
 type pageInfo struct {
@@ -73,6 +76,7 @@ func NewSpace(n int) *Space {
 		NumNodes: n,
 		pages:    make(map[uint64]*pageInfo),
 		stats:    make([]NodeStats, n),
+		resident: make([]int, n),
 	}
 }
 
@@ -101,9 +105,28 @@ func (s *Space) Owner(page uint64) int {
 // (used by the loader when installing the image).
 func (s *Space) Seed(node int, page uint64) {
 	pi := s.ensure(page)
-	pi.state[node] = Exclusive
+	s.setState(pi, node, Exclusive)
 	pi.owner = node
 }
+
+// setState transitions one node's state for a page, maintaining the
+// per-node resident counters.
+func (s *Space) setState(pi *pageInfo, node int, st State) {
+	old := pi.state[node]
+	if (old == Invalid) != (st == Invalid) {
+		if st == Invalid {
+			s.resident[node]--
+		} else {
+			s.resident[node]++
+		}
+	}
+	pi.state[node] = st
+}
+
+// HasResident reports whether node holds any page of this space (O(1)).
+// The sharing-set computation uses it: a node with resident pages can be a
+// DSM transfer or invalidation endpoint for the owning process.
+func (s *Space) HasResident(node int) bool { return s.resident[node] > 0 }
 
 func (s *Space) ensure(page uint64) *pageInfo {
 	pi := s.pages[page]
@@ -134,7 +157,7 @@ func (s *Space) Fault(node int, page uint64, write bool) (Action, error) {
 		act.Cold = true
 		act.Grant = Exclusive
 		s.stats[node].ColdFaults++
-		pi.state[node] = Exclusive
+		s.setState(pi, node, Exclusive)
 		pi.owner = node
 
 	case !write:
@@ -145,8 +168,8 @@ func (s *Space) Fault(node int, page uint64, write bool) (Action, error) {
 		act.TransferFrom = pi.owner
 		act.Protect = append(act.Protect, pi.owner)
 		act.Grant = Shared
-		pi.state[pi.owner] = Shared
-		pi.state[node] = Shared
+		s.setState(pi, pi.owner, Shared)
+		s.setState(pi, node, Shared)
 		s.stats[node].PageIn++
 
 	default: // write
@@ -156,13 +179,13 @@ func (s *Space) Fault(node int, page uint64, write bool) (Action, error) {
 			for n := 0; n < s.NumNodes; n++ {
 				if n != node && pi.state[n] != Invalid {
 					act.Drop = append(act.Drop, n)
-					pi.state[n] = Invalid
+					s.setState(pi, n, Invalid)
 					s.stats[n].Invalidates++
 				}
 			}
 			act.Grant = Exclusive
 			s.stats[node].Upgrades++
-			pi.state[node] = Exclusive
+			s.setState(pi, node, Exclusive)
 			pi.owner = node
 		case Invalid:
 			// Transfer from the owner; drop all other copies.
@@ -170,12 +193,12 @@ func (s *Space) Fault(node int, page uint64, write bool) (Action, error) {
 			for n := 0; n < s.NumNodes; n++ {
 				if n != node && pi.state[n] != Invalid {
 					act.Drop = append(act.Drop, n)
-					pi.state[n] = Invalid
+					s.setState(pi, n, Invalid)
 					s.stats[n].Invalidates++
 				}
 			}
 			act.Grant = Exclusive
-			pi.state[node] = Exclusive
+			s.setState(pi, node, Exclusive)
 			pi.owner = node
 			s.stats[node].PageIn++
 		default:
@@ -221,9 +244,9 @@ func (s *Space) ForceOwn(node int, page uint64) (prevOwner int, moved bool) {
 	}
 	prev := pi.owner
 	for n := range pi.state {
-		pi.state[n] = Invalid
+		s.setState(pi, n, Invalid)
 	}
-	pi.state[node] = Exclusive
+	s.setState(pi, node, Exclusive)
 	pi.owner = node
 	return prev, prev != node
 }

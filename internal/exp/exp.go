@@ -32,6 +32,13 @@ const (
 type Config struct {
 	Scale Scale
 	W     io.Writer
+
+	// RackNodes sizes the rack-scale experiment's machine ensemble; <= 0
+	// selects the canonical 4-node rack.
+	RackNodes int
+	// Engine selects the cluster time engine for experiments that honour it
+	// (rack scale): "seq" (default) or "par".
+	Engine string
 }
 
 func (c Config) out() io.Writer {

@@ -10,12 +10,23 @@ import (
 	"heterodc/internal/sched"
 )
 
-// rackScaleImpl runs the rack-scale extension: a four-machine ensemble.
-// The baseline is four static x86 machines; the heterogeneous rack swaps
-// two of them for (power-projected) ARM machines and migrates jobs
-// dynamically — the setting in which the paper predicts "greater benefits
-// ... at the rack or datacenter scale".
+// rackScaleImpl runs the rack-scale extension on an N-machine ensemble
+// (cfg.RackNodes, default 4). The baseline is N static x86 machines; the
+// heterogeneous rack swaps the back half for (power-projected) ARM machines
+// and migrates jobs dynamically — the setting in which the paper predicts
+// "greater benefits ... at the rack or datacenter scale". cfg.Engine picks
+// the cluster time engine ("seq" or "par"). Both are deterministic; the
+// job runner observes the cluster between engine steps, which are epochs
+// under "par", so its placement decisions (and thus exact joules) differ
+// slightly from "seq" while every trend is preserved.
 func rackScaleImpl(cfg Config) ([]RackScaleRow, error) {
+	nodes := cfg.RackNodes
+	if nodes <= 0 {
+		nodes = 4
+	}
+	if nodes < 2 {
+		return nil, fmt.Errorf("rack: need at least 2 nodes, got %d", nodes)
+	}
 	var jobsN, conc int
 	var classes []npb.Class
 	switch cfg.Scale {
@@ -26,24 +37,40 @@ func rackScaleImpl(cfg Config) ([]RackScaleRow, error) {
 	default:
 		jobsN, conc, classes = 60, 12, []npb.Class{npb.ClassS, npb.ClassA, npb.ClassA, npb.ClassB}
 	}
+	// The job counts above saturate the canonical 4-node rack; keep the
+	// per-machine pressure comparable as the rack grows.
+	jobsN = jobsN * nodes / 4
+	if jobsN < 4 {
+		jobsN = 4
+	}
+	conc = conc * nodes / 4
+	if conc < 2 {
+		conc = 2
+	}
 	jobs := sched.GenerateJobs(4242, jobsN, classes, nil)
+
+	static := make([]isa.Arch, nodes)
+	for i := range static {
+		static[i] = isa.X86
+	}
+	mixed := sched.RackArches(nodes)
 
 	type setup struct {
 		policy sched.Policy
 		arches []isa.Arch
 	}
 	setups := []setup{
-		{sched.NewBalanced("static x86(4)", false),
-			[]isa.Arch{isa.X86, isa.X86, isa.X86, isa.X86}},
-		{sched.NewBalanced("rack dynamic balanced", true),
-			[]isa.Arch{isa.X86, isa.X86, isa.ARM64, isa.ARM64}},
-		{sched.NewArchWeighted("rack dynamic unbalanced", true, 2.2),
-			[]isa.Arch{isa.X86, isa.X86, isa.ARM64, isa.ARM64}},
+		{sched.NewBalanced(fmt.Sprintf("static x86(%d)", nodes), false), static},
+		{sched.NewBalanced("rack dynamic balanced", true), mixed},
+		{sched.NewArchWeighted("rack dynamic unbalanced", true, 2.2), mixed},
 	}
 
 	var rows []RackScaleRow
 	for _, s := range setups {
 		cl := kernel.NewCluster(s.arches, kernel.DefaultInterconnect())
+		if cfg.Engine == "par" || cfg.Engine == "parallel" {
+			cl.UseParallelEngine(0)
+		}
 		models := power.DefaultModels(cl, true)
 		r := sched.NewRunner(cl, s.policy, models)
 		res, err := r.Run(sched.Workload{Jobs: jobs, Concurrency: conc})
@@ -54,8 +81,8 @@ func rackScaleImpl(cfg Config) ([]RackScaleRow, error) {
 			Policy: res.Policy, EnergyJ: res.EnergyTotal,
 			MakespanSec: res.Makespan, Migrations: res.Migrations,
 		})
-		cfg.printf("rack %-24s energy=%8.2fJ makespan=%.3fs migrations=%d\n",
-			res.Policy, res.EnergyTotal, res.Makespan, res.Migrations)
+		cfg.printf("rack %-24s nodes=%d energy=%8.2fJ makespan=%.3fs migrations=%d\n",
+			res.Policy, nodes, res.EnergyTotal, res.Makespan, res.Migrations)
 	}
 	return rows, nil
 }

@@ -78,10 +78,12 @@ func NewInjector(plan Plan) *Injector {
 func (in *Injector) Plan() Plan { return in.plan }
 
 // rand01 derives a uniform [0,1) value from the seed and a decision
-// identity via a splitmix64-style finalizer. Distinct (seq, salt) pairs
-// give independent draws; the same pair always gives the same draw.
-func (in *Injector) rand01(seq, salt uint64) float64 {
-	x := uint64(in.plan.Seed)*0x9e3779b97f4a7c15 + seq*0xbf58476d1ce4e5b9 + salt*0x94d049bb133111eb
+// identity via a splitmix64-style finalizer. Distinct (seq, salt, link)
+// triples give independent draws; the same triple always gives the same
+// draw.
+func (in *Injector) rand01(seq, salt, link uint64) float64 {
+	x := uint64(in.plan.Seed)*0x9e3779b97f4a7c15 + seq*0xbf58476d1ce4e5b9 +
+		salt*0x94d049bb133111eb + link*0xd6e8feb86659fd93
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
@@ -112,18 +114,21 @@ func (in *Injector) linkParams(now float64, from, to int) (drop, jitter float64)
 }
 
 // Fate decides a message leg's fate: lost, duplicated, and extra delivery
-// latency. seq must be unique per decision (the interconnect's message
-// sequence numbers are); the result is deterministic in (seed, seq).
+// latency. seq must be unique per decision on the directed from->to link
+// (the interconnect numbers each link independently); the link identity is
+// folded into the stream so equal sequence numbers on different links draw
+// independent fates. The result is deterministic in (seed, from, to, seq).
 func (in *Injector) Fate(now float64, from, to int, seq uint64) (drop, dup bool, jitter float64) {
+	link := uint64(uint32(from))<<32 | uint64(uint32(to))
 	dp, js := in.linkParams(now, from, to)
-	if dp > 0 && in.rand01(seq, 1) < dp {
+	if dp > 0 && in.rand01(seq, 1, link) < dp {
 		return true, false, 0
 	}
-	if in.plan.DupProb > 0 && in.rand01(seq, 2) < in.plan.DupProb {
+	if in.plan.DupProb > 0 && in.rand01(seq, 2, link) < in.plan.DupProb {
 		dup = true
 	}
 	if js > 0 {
-		jitter = js * in.rand01(seq, 3)
+		jitter = js * in.rand01(seq, 3, link)
 	}
 	return false, dup, jitter
 }

@@ -1,0 +1,296 @@
+package fuzz
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heterodc/internal/ckpt"
+	"heterodc/internal/core"
+	"heterodc/internal/fault"
+	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
+	"heterodc/internal/link"
+	"heterodc/internal/msg"
+)
+
+// The engine-determinism suite replays the committed corpus under both time
+// engines (sequential reference and conservative-parallel) and demands
+// byte-identical observables: output, exit status, per-thread migration
+// counts and the interconnect's full fault/retry counters. Unlike the
+// oracle's modes, every driver here acts only at engine-defined points —
+// spawn time, migration callbacks, control events and Run() boundaries —
+// because those are the points the parallel engine reproduces exactly.
+// (Drivers that poll between individual Step calls, like sched.Runner, see
+// epoch-grained state under "par" and are exercised elsewhere.)
+
+// detRun is one execution's observables plus the interconnect counters.
+type detRun struct {
+	RunResult
+	Stats msg.Stats
+}
+
+func detTestbed(engine string) *kernel.Cluster {
+	cl := core.NewTestbed()
+	if engine == "par" {
+		cl.UseParallelEngine(0)
+	}
+	return cl
+}
+
+// detPlain runs the image on one node with no outside interference.
+func detPlain(img *link.Image, node int, cap float64, engine string) detRun {
+	cl := detTestbed(engine)
+	p, err := cl.Spawn(img, node)
+	if err != nil {
+		return detRun{RunResult: RunResult{Mode: nodeName(node)}}
+	}
+	to := drive(cl, p, cap, nil)
+	return detRun{finish(p, nodeName(node), to), cl.IC.Stats()}
+}
+
+// detBounce migrates the main thread at spawn and every thread again from
+// each completed migration, entirely callback-driven.
+func detBounce(img *link.Image, start int, cap float64, engine string) detRun {
+	mode := "mig-" + nodeName(start)
+	cl := detTestbed(engine)
+	p, err := cl.Spawn(img, start)
+	if err != nil {
+		return detRun{RunResult: RunResult{Mode: mode}}
+	}
+	cl.OnMigration = func(ev kernel.MigrationEvent) {
+		_ = cl.RequestMigration(p, ev.Tid, 1-ev.To)
+	}
+	_ = cl.RequestMigration(p, 0, 1-start)
+	to := drive(cl, p, cap, nil)
+	return detRun{finish(p, mode, to), cl.IC.Stats()}
+}
+
+// detChaos runs under a seeded lossy plan with a degraded window, a node-1
+// outage and a process migration each way, probing only at Run boundaries.
+func detChaos(img *link.Image, seed int64, refSec, cap float64, engine string) detRun {
+	cl := detTestbed(engine)
+	cl.InjectFaults(fault.Plan{
+		Seed: seed, DropProb: 0.04, DupProb: 0.01, JitterSec: 2e-6,
+		Windows: []fault.Window{{
+			From: 0, To: 1, Start: 0.2 * refSec, End: 0.5 * refSec,
+			DropProb: 0.25, JitterSec: 8e-6,
+		}},
+		Crashes: []fault.Crash{{Node: 1, At: 0.45 * refSec, RecoverAt: 0.5 * refSec}},
+	})
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		return detRun{RunResult: RunResult{Mode: "chaos"}}
+	}
+	cl.Run(0.3 * refSec)
+	cl.RequestProcessMigration(p, core.NodeARM)
+	cl.Run(0.65 * refSec)
+	cl.RequestProcessMigration(p, core.NodeX86)
+	to := drive(cl, p, cap, nil)
+	return detRun{finish(p, "chaos", to), cl.IC.Stats()}
+}
+
+// detCkpt checkpoints every `every` migration points and returns the run
+// plus the encoded images, which must match byte-for-byte across engines.
+func detCkpt(img *link.Image, every uint64, cap float64, engine string) (detRun, [][]byte) {
+	cl := detTestbed(engine)
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		return detRun{RunResult: RunResult{Mode: "ckpt"}}, nil
+	}
+	var images [][]byte
+	cl.OnCheckpoint = func(ev kernel.CheckpointEvent) {
+		images = append(images, ckpt.Encode(ev.Snap))
+	}
+	cl.SetCheckpointPolicy(p, kernel.CkptPolicy{EveryPoints: every})
+	to := drive(cl, p, cap, nil)
+	return detRun{finish(p, "ckpt", to), cl.IC.Stats()}, images
+}
+
+// detRestore revives one image on the given node and runs it out.
+func detRestore(img *link.Image, data []byte, node int, cap float64, engine string) detRun {
+	snap, err := ckpt.Decode(data)
+	if err != nil {
+		return detRun{RunResult: RunResult{Mode: "restore"}}
+	}
+	cl := detTestbed(engine)
+	p, err := cl.RestoreProcess(img, snap, node)
+	if err != nil {
+		return detRun{RunResult: RunResult{Mode: "restore"}}
+	}
+	to := drive(cl, p, cap, nil)
+	return detRun{finish(p, "restore", to), cl.IC.Stats()}
+}
+
+func assertSameRun(t *testing.T, mode string, seq, par detRun) {
+	t.Helper()
+	if !equalRun(seq.RunResult, par.RunResult) {
+		t.Errorf("%s: engines diverge: seq ok=%v exit=%d to=%v %dB (%s); par ok=%v exit=%d to=%v %dB (%s)",
+			mode, seq.OK, seq.Exit, seq.TimedOut, len(seq.Output), seq.Digest(),
+			par.OK, par.Exit, par.TimedOut, len(par.Output), par.Digest())
+	}
+	if seq.Migrations != par.Migrations {
+		t.Errorf("%s: migration counts diverge: seq %d, par %d", mode, seq.Migrations, par.Migrations)
+	}
+	if seq.Stats != par.Stats {
+		t.Errorf("%s: interconnect stats diverge:\nseq %+v\npar %+v", mode, seq.Stats, par.Stats)
+	}
+}
+
+// TestEngineDeterminismCorpus replays every corpus entry through plain,
+// bouncing, chaos and checkpoint/restore regimes on both engines.
+func TestEngineDeterminismCorpus(t *testing.T) {
+	ents, err := ListCorpus(CorpusDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Skip("empty corpus")
+	}
+	for _, path := range ents {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img, err := core.Build("fuzzprog", core.Src("fuzz.c", string(src)))
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			ref, points, refSec := runPlain(img, core.NodeX86, 2.0)
+			if ref.TimedOut {
+				t.Fatal("reference run exceeded its simulated-time cap")
+			}
+			cap := refSec*200 + 0.2
+			bounceCap := refSec + float64(points)*5e-3 + 1.0
+			h := fnv.New64a()
+			h.Write(src)
+			seed := int64(h.Sum64() & 0x7fffffffffffffff)
+			every := points / 6
+			if every == 0 {
+				every = 1
+			}
+
+			for _, node := range []int{core.NodeX86, core.NodeARM} {
+				assertSameRun(t, nodeName(node),
+					detPlain(img, node, cap, "seq"), detPlain(img, node, cap, "par"))
+			}
+			assertSameRun(t, "mig-x86",
+				detBounce(img, core.NodeX86, bounceCap, "seq"),
+				detBounce(img, core.NodeX86, bounceCap, "par"))
+			assertSameRun(t, "chaos",
+				detChaos(img, seed, refSec, cap, "seq"),
+				detChaos(img, seed, refSec, cap, "par"))
+
+			seqCk, seqImgs := detCkpt(img, every, cap, "seq")
+			parCk, parImgs := detCkpt(img, every, cap, "par")
+			assertSameRun(t, "ckpt", seqCk, parCk)
+			if len(seqImgs) != len(parImgs) {
+				t.Fatalf("ckpt: image counts diverge: seq %d, par %d", len(seqImgs), len(parImgs))
+			}
+			for i := range seqImgs {
+				if string(seqImgs[i]) != string(parImgs[i]) {
+					t.Errorf("ckpt: image %d differs between engines", i)
+				}
+			}
+			if len(seqImgs) > 0 {
+				assertSameRun(t, "restore",
+					detRestore(img, seqImgs[0], core.NodeARM, cap, "seq"),
+					detRestore(img, seqImgs[0], core.NodeARM, cap, "par"))
+			}
+		})
+	}
+}
+
+// TestEngineDeterminismMultiGroup runs two independent bouncing processes on
+// disjoint node pairs of a 4-node rack — the configuration where the
+// parallel engine actually forks two workers — and checks the partition and
+// every observable against the sequential engine.
+func TestEngineDeterminismMultiGroup(t *testing.T) {
+	path := filepath.Join(CorpusDir(), "seed-001.c")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("corpus seed missing: %v", err)
+	}
+	img, err := core.Build("fuzzprog", core.Src("fuzz.c", string(src)))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	_, points, refSec := runPlain(img, core.NodeX86, 2.0)
+	cap := 2*refSec + float64(points)*1e-2 + 2.0
+
+	arches := []isa.Arch{isa.X86, isa.ARM64, isa.X86, isa.ARM64}
+	type result struct {
+		runs  [2]detRun
+		stats msg.Stats
+	}
+	runBoth := func(engine string) result {
+		cl := kernel.NewCluster(arches, kernel.DefaultInterconnect())
+		if engine == "par" {
+			cl.UseParallelEngine(0)
+		}
+		pA, err := cl.Spawn(img, 0)
+		if err != nil {
+			t.Fatalf("%s: spawn A: %v", engine, err)
+		}
+		pB, err := cl.Spawn(img, 2)
+		if err != nil {
+			t.Fatalf("%s: spawn B: %v", engine, err)
+		}
+		procs := map[int]*kernel.Process{pA.Pid: pA, pB.Pid: pB}
+		base := map[int]int{pA.Pid: 0, pB.Pid: 2}
+		cl.OnMigration = func(ev kernel.MigrationEvent) {
+			p, b := procs[ev.Pid], base[ev.Pid]
+			tgt := b
+			if ev.To == b {
+				tgt = b + 1
+			}
+			_ = cl.RequestMigration(p, ev.Tid, tgt)
+		}
+		_ = cl.RequestMigration(pA, 0, 1)
+		_ = cl.RequestMigration(pB, 0, 3)
+		if engine == "par" {
+			want := fmt.Sprint([][]int{{0, 1}, {2, 3}})
+			if got := fmt.Sprint(cl.Groups()); got != want {
+				t.Fatalf("sharing groups %v, want %v", got, want)
+			}
+		}
+		timedOut := false
+		for {
+			eA, _ := pA.Exited()
+			eB, _ := pB.Exited()
+			if eA && eB {
+				break
+			}
+			if cl.Time() > cap {
+				timedOut = true
+				break
+			}
+			if !cl.Step() {
+				timedOut = true
+				break
+			}
+		}
+		return result{
+			runs: [2]detRun{
+				{finish(pA, "pairA", timedOut), msg.Stats{}},
+				{finish(pB, "pairB", timedOut), msg.Stats{}},
+			},
+			stats: cl.IC.Stats(),
+		}
+	}
+
+	seq := runBoth("seq")
+	par := runBoth("par")
+	for i := range seq.runs {
+		assertSameRun(t, seq.runs[i].Mode, seq.runs[i], par.runs[i])
+	}
+	if seq.stats != par.stats {
+		t.Errorf("interconnect stats diverge:\nseq %+v\npar %+v", seq.stats, par.stats)
+	}
+	if seq.runs[0].Migrations < 2 {
+		t.Errorf("pair A only migrated %d times; the bounce never engaged", seq.runs[0].Migrations)
+	}
+}

@@ -331,17 +331,30 @@ func (k *Kernel) ckptMaybeCapture(p *Process) {
 		p.Pid, len(snap.Pages), len(snap.Threads), snap.ApproxBytes(), lat*1e6)
 	k.releaseParked(p, lat)
 	if k.cluster.OnCheckpoint != nil {
+		// Serialised across sharing groups: observers see one event at a time.
+		k.cluster.cbMu.Lock()
 		k.cluster.OnCheckpoint(CheckpointEvent{Time: k.now, Proc: p, Snap: snap, Seconds: lat})
+		k.cluster.cbMu.Unlock()
 	}
+}
+
+// parkedThreads returns p's CkptParked threads sorted by tid, so releases
+// enqueue in a map-order-independent, reproducible order.
+func parkedThreads(p *Process) []*Thread {
+	var ts []*Thread
+	for _, t := range p.threads {
+		if t.State == CkptParked {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Tid < ts[j].Tid })
+	return ts
 }
 
 // releaseParked resumes every parked thread, after lat seconds of capture
 // stop-the-world (0 releases immediately).
 func (k *Kernel) releaseParked(p *Process, lat float64) {
-	for _, t := range p.threads {
-		if t.State != CkptParked {
-			continue
-		}
+	for _, t := range parkedThreads(p) {
 		kh := k.cluster.Kernels[t.Node]
 		if lat > 0 {
 			kh.sleep(t, kh.now+lat)
@@ -351,24 +364,34 @@ func (k *Kernel) releaseParked(p *Process, lat float64) {
 	}
 }
 
-// abortCheckpoints cancels any pending quiesce after a node transition:
+// abortCheckpoints cancels any pending quiesce touched by a node transition:
 // parked threads resume, and the policy clock restarts (the service retries
-// a full interval later rather than capturing across the disruption).
-func (cl *Cluster) abortCheckpoints(now float64) {
+// a full interval later rather than capturing across the disruption). Only
+// processes whose sharing set contains node are affected, so the abort stays
+// group-local under the parallel engine.
+func (cl *Cluster) abortCheckpoints(now float64, node int) {
 	for _, p := range cl.procs {
 		st := p.ckpt
 		if p.exited || st == nil || !st.pending {
+			continue
+		}
+		inSet := false
+		for _, n := range cl.footprint(p) {
+			if n == node {
+				inSet = true
+				break
+			}
+		}
+		if !inSet {
 			continue
 		}
 		st.pending = false
 		st.lastPoints = st.points
 		st.lastAt = now
 		released := 0
-		for _, t := range p.threads {
-			if t.State == CkptParked {
-				cl.Kernels[t.Node].enqueue(t)
-				released++
-			}
+		for _, t := range parkedThreads(p) {
+			cl.Kernels[t.Node].enqueue(t)
+			released++
 		}
 		cl.tracef(now, "ckpt-skip", "pid %d: capture aborted by node transition (%d threads released)", p.Pid, released)
 	}
@@ -487,6 +510,7 @@ func (cl *Cluster) RestoreProcess(img *link.Image, s *Snapshot, node int) (*Proc
 		nextFd:              s.NextFd,
 		serializedMigration: s.SerializedMigration,
 		eagerPageMigration:  s.EagerPageMigration,
+		pendingMig:          make(map[int64]int),
 	}
 	p.Out.Write(s.Output)
 	for i := range p.Mems {

@@ -3,11 +3,13 @@ package kernel
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"heterodc/internal/fault"
 	"heterodc/internal/isa"
 	"heterodc/internal/link"
 	"heterodc/internal/msg"
+	"heterodc/internal/sim"
 )
 
 // Cluster is the whole testbed: one kernel per machine plus the
@@ -41,11 +43,28 @@ type Cluster struct {
 	// with SetTracer so the interconnect shares it.
 	Tracer msg.EventSink
 
-	faults   *fault.Injector
-	events   []nodeEvent
-	eventIdx int
+	faults *fault.Injector
+	// events[node] is node's time-sorted crash/recovery schedule;
+	// eventIdx[node] the next unapplied entry. Per-node lists keep control
+	// events group-local under the parallel engine.
+	events   [][]nodeEvent
+	eventIdx []int
 
 	lastFrontier float64
+
+	// eng is the attached time engine; nil lazily selects the sequential
+	// reference engine, preserving the original Step/Run semantics.
+	eng sim.Engine
+	// cbMu serialises user observer callbacks (OnMigration, OnCheckpoint)
+	// that may fire concurrently from different sharing groups.
+	cbMu sync.Mutex
+	// parGroups is true while the parallel engine runs more than one
+	// sharing group; groupOf[node] is the node's group id for the current
+	// epoch. The migration service uses them to refuse (deterministically)
+	// a direct cross-group migrate() syscall — impossible for the vDSO
+	// request path, whose pending targets join the sharing set first.
+	parGroups bool
+	groupOf   []int
 }
 
 // nodeEvent is a scheduled crash or recovery transition from a fault plan.
@@ -62,6 +81,7 @@ func NewCluster(arches []isa.Arch, cfg msg.Config) *Cluster {
 	for i, a := range arches {
 		cl.Kernels = append(cl.Kernels, newKernel(cl, i, a))
 	}
+	cl.IC.Grow(len(cl.Kernels))
 	return cl
 }
 
@@ -81,6 +101,7 @@ func NewClusterSpec(specs []MachineSpec, cfg msg.Config) *Cluster {
 	for i, s := range specs {
 		cl.Kernels = append(cl.Kernels, newKernelSpec(cl, i, s))
 	}
+	cl.IC.Grow(len(cl.Kernels))
 	return cl
 }
 
@@ -134,18 +155,21 @@ func (cl *Cluster) InjectFaults(plan fault.Plan) {
 	in := fault.NewInjector(plan)
 	cl.faults = in
 	cl.IC.SetInjector(in)
-	cl.events = nil
-	cl.eventIdx = 0
+	cl.events = make([][]nodeEvent, len(cl.Kernels))
+	cl.eventIdx = make([]int, len(cl.Kernels))
 	for _, c := range in.Plan().Crashes {
 		if c.Node < 0 || c.Node >= len(cl.Kernels) {
 			continue
 		}
-		cl.events = append(cl.events, nodeEvent{time: c.At, node: c.Node, down: true})
+		cl.events[c.Node] = append(cl.events[c.Node], nodeEvent{time: c.At, node: c.Node, down: true})
 		if c.RecoverAt > c.At {
-			cl.events = append(cl.events, nodeEvent{time: c.RecoverAt, node: c.Node, down: false})
+			cl.events[c.Node] = append(cl.events[c.Node], nodeEvent{time: c.RecoverAt, node: c.Node, down: false})
 		}
 	}
-	sort.Slice(cl.events, func(i, j int) bool { return cl.events[i].time < cl.events[j].time })
+	for n := range cl.events {
+		evs := cl.events[n]
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].time < evs[j].time })
+	}
 }
 
 // SetTracer installs an event sink on the cluster and its interconnect.
@@ -209,8 +233,9 @@ func (cl *Cluster) CrashNode(node int) {
 	}
 	// A capture in progress cannot complete across the disruption (parked
 	// threads would wait on threads frozen here); release it and retry a
-	// full interval later.
-	cl.abortCheckpoints(k.now)
+	// full interval later. Only processes touching this node are affected —
+	// a capture confined to an unrelated sharing group proceeds untouched.
+	cl.abortCheckpoints(k.now, node)
 	// A permanent crash strands every process depending on this node. With
 	// a checkpoint service installed, kill them now so it can requeue each
 	// from its latest image; otherwise preserve the freeze semantics.
@@ -273,6 +298,30 @@ func (cl *Cluster) applyNodeEvent(ev nodeEvent) {
 	}
 }
 
+// engine returns the attached time engine, defaulting to the sequential
+// reference backend on first use.
+func (cl *Cluster) engine() sim.Engine {
+	if cl.eng == nil {
+		cl.eng = sim.NewSequential(cl)
+	}
+	return cl.eng
+}
+
+// SetEngine attaches a time engine built over this cluster (as a sim.Model).
+// Pass nil to fall back to the sequential reference backend.
+func (cl *Cluster) SetEngine(e sim.Engine) { cl.eng = e }
+
+// UseParallelEngine attaches the conservative parallel backend. The
+// interconnect's minimum link latency is its lookahead floor; epochSec <= 0
+// selects the default epoch. Results are byte-identical to the sequential
+// backend for barrier-driven workloads (see internal/sim and DESIGN.md §11).
+func (cl *Cluster) UseParallelEngine(epochSec float64) {
+	cl.eng = sim.NewParallel(cl, sim.Options{
+		EpochSec:     epochSec,
+		LookaheadSec: cl.IC.MinLatency(),
+	})
+}
+
 // readyTime returns when k can next make progress, or inf.
 func (k *Kernel) readyTime() float64 {
 	if k.down {
@@ -298,56 +347,15 @@ func (k *Kernel) readyTime() float64 {
 	return inf
 }
 
-// Step advances the cluster by one kernel quantum. It returns false when no
-// kernel can ever make progress again (all work drained).
-func (cl *Cluster) Step() bool {
-	var best *Kernel
-	bestT := inf
-	for _, k := range cl.Kernels {
-		if t := k.readyTime(); t < bestT {
-			bestT = t
-			best = k
-		}
-	}
-	// A scheduled crash/recovery due before the next kernel quantum is the
-	// next thing that happens — including when every live kernel is drained
-	// but a recovery would thaw frozen work.
-	if cl.eventIdx < len(cl.events) && cl.events[cl.eventIdx].time <= bestT {
-		cl.applyNodeEvent(cl.events[cl.eventIdx])
-		cl.eventIdx++
-		return true
-	}
-	if best == nil || bestT >= inf {
-		return false
-	}
-	best.skipTo(bestT)
-	best.step()
-	// Drag fully idle kernels forward so the time frontier advances (their
-	// idle power is still integrated over the skipped span).
-	for _, k := range cl.Kernels {
-		if k != best && k.readyTime() >= inf && k.now < best.now {
-			k.skipTo(best.now)
-		}
-	}
-	if f := cl.Time(); f > cl.lastFrontier {
-		cl.lastFrontier = f
-		if cl.OnAdvance != nil {
-			cl.OnAdvance(f)
-		}
-	}
-	return true
-}
+// Step advances the cluster through the attached engine: one kernel quantum
+// on the sequential reference backend, one epoch window on the parallel
+// backend. It returns false when no kernel can ever make progress again
+// (all work drained).
+func (cl *Cluster) Step() bool { return cl.engine().Step() }
 
 // Run steps the cluster until the frontier passes `until` seconds or work
 // drains. It returns the frontier time.
-func (cl *Cluster) Run(until float64) float64 {
-	for cl.Time() < until {
-		if !cl.Step() {
-			break
-		}
-	}
-	return cl.Time()
-}
+func (cl *Cluster) Run(until float64) float64 { return cl.engine().Run(until) }
 
 // RunProcess steps the cluster until p exits and returns its exit code.
 func (cl *Cluster) RunProcess(p *Process) (int64, error) {
@@ -365,13 +373,18 @@ func (cl *Cluster) RunProcess(p *Process) (int64, error) {
 	}
 }
 
-// reapProcess tears down all of p's threads on every kernel.
+// reapProcess tears down all of p's threads, scoped to the nodes in p's
+// sharing set — a thread, queue entry or in-flight message of p can only
+// exist on (or between) footprint nodes, so unrelated nodes are untouched
+// and the teardown stays group-local under the parallel engine.
 func (cl *Cluster) reapProcess(p *Process) {
+	nodes := cl.footprint(p)
 	for _, t := range p.threads {
 		t.State = Exited
 	}
 	p.liveThreads = 0
-	for _, k := range cl.Kernels {
+	for _, n := range nodes {
+		k := cl.Kernels[n]
 		// Clear run queues.
 		var rq []*Thread
 		for _, t := range k.runq {
@@ -392,7 +405,7 @@ func (cl *Cluster) reapProcess(p *Process) {
 	// Reclaim in-flight messages that pin the dead process's threads
 	// (migrations under way, cross-kernel join wake-ups): delivering them
 	// later would resurrect an Exited thread.
-	cl.IC.Sweep(func(m *msg.Message) bool {
+	cl.IC.Sweep(nodes, func(m *msg.Message) bool {
 		switch pl := m.Payload.(type) {
 		case *migratePayload:
 			return pl.t.Proc == p
@@ -411,33 +424,4 @@ func DefaultInterconnect() msg.Config { return msg.DolphinPXH810() }
 // earliest pending event, which must still be processed by stepping) and
 // fires the frontier hook. Used by workload drivers to model idle gaps
 // between job arrivals; idle power integrates over the skipped span.
-func (cl *Cluster) AdvanceTo(t float64) {
-	for {
-		bound := t
-		for _, k := range cl.Kernels {
-			if e := k.nextEventTime(); e < bound {
-				bound = e
-			}
-		}
-		// Scheduled crash/recovery transitions inside the gap must fire, or
-		// a driver idling past a recovery would never thaw the node.
-		evDue := cl.eventIdx < len(cl.events) && cl.events[cl.eventIdx].time <= bound
-		if evDue && cl.events[cl.eventIdx].time < bound {
-			bound = cl.events[cl.eventIdx].time
-		}
-		for _, k := range cl.Kernels {
-			k.skipTo(bound)
-		}
-		if !evDue {
-			break
-		}
-		cl.applyNodeEvent(cl.events[cl.eventIdx])
-		cl.eventIdx++
-	}
-	if f := cl.Time(); f > cl.lastFrontier {
-		cl.lastFrontier = f
-		if cl.OnAdvance != nil {
-			cl.OnAdvance(f)
-		}
-	}
-}
+func (cl *Cluster) AdvanceTo(t float64) { cl.engine().AdvanceTo(t) }

@@ -116,9 +116,21 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 	p := t.Proc
 	cl := k.cluster
 
+	delete(p.pendingMig, t.Tid)
 	if target == k.Node || target < 0 || target >= len(cl.Kernels) {
 		k.vdsoSetFlag(p, t.Tid, 0)
 		c.SetSyscallResult(0)
+		return false
+	}
+	if cl.parGroups && cl.groupOf[target] != cl.groupOf[k.Node] {
+		// A direct migrate(n) syscall to a node outside the sharing group
+		// while groups run in parallel: refuse it deterministically (the
+		// thread stays put, the syscall reads 0). The vDSO request path never
+		// gets here — its pending target joins the group at the barrier
+		// before the flag can be consumed.
+		k.vdsoSetFlag(p, t.Tid, 0)
+		c.SetSyscallResult(0)
+		k.MigrationsAborted++
 		return false
 	}
 	if cl.NodeDown(target) {
@@ -192,6 +204,7 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 	undo := threadUndo{regs: t.Regs, pc: t.PC, half: t.CurHalf, node: k.Node}
 	t.State = InFlight
 	t.Node = target
+	t.inflightFrom = k.Node
 	t.CurHalf = 1 - t.CurHalf
 	t.Regs = out.Regs
 	t.PC = out.PC
@@ -246,12 +259,15 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 	k.MigrationsOut++
 
 	if cl.OnMigration != nil {
+		// Serialised across sharing groups: observers see one event at a time.
+		cl.cbMu.Lock()
 		cl.OnMigration(MigrationEvent{
 			Time: k.now, Pid: p.Pid, Tid: t.Tid,
 			From: k.Node, To: target, FromArch: k.Arch,
 			Stats: out.Stats, XformSeconds: xlat, FuncName: funcName,
 			Serialized: p.serializedMigration, StateBytes: stateBytes,
 		})
+		cl.cbMu.Unlock()
 	}
 	return true
 }
@@ -271,6 +287,7 @@ func (cl *Cluster) RequestMigration(p *Process, tid int64, target int) error {
 	}
 	k := cl.Kernels[t.Node]
 	k.vdsoSetFlag(p, tid, int64(target)+1)
+	p.pendingMig[tid] = target
 	return nil
 }
 
@@ -280,6 +297,7 @@ func (cl *Cluster) RequestProcessMigration(p *Process, target int) {
 	for _, t := range p.threads {
 		if t.State != Exited {
 			cl.Kernels[t.Node].vdsoSetFlag(p, t.Tid, int64(target)+1)
+			p.pendingMig[t.Tid] = target
 		}
 	}
 }

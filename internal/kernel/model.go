@@ -1,0 +1,180 @@
+package kernel
+
+// This file adapts Cluster to sim.Model, the interface the extracted time
+// engines (internal/sim) schedule against. The sequential backend reproduces
+// the loop Cluster.Step used to own; the parallel backend additionally needs
+// the sharing-group partition computed here.
+
+// NumNodes returns the cluster's node count.
+func (cl *Cluster) NumNodes() int { return len(cl.Kernels) }
+
+// ReadyTime returns when node can next make progress, or >= sim.Inf.
+func (cl *Cluster) ReadyTime(node int) float64 { return cl.Kernels[node].readyTime() }
+
+// StepNode advances node by one kernel quantum.
+func (cl *Cluster) StepNode(node int) { cl.Kernels[node].step() }
+
+// SkipTo drags node's clock forward to t without executing work.
+func (cl *Cluster) SkipTo(node int, t float64) { cl.Kernels[node].skipTo(t) }
+
+// Now returns node's local clock.
+func (cl *Cluster) Now(node int) float64 { return cl.Kernels[node].now }
+
+// NextWake returns node's earliest pending wake or message delivery.
+func (cl *Cluster) NextWake(node int) float64 { return cl.Kernels[node].nextEventTime() }
+
+// NextEvent returns the time of node's next scheduled crash/recovery
+// transition, or inf.
+func (cl *Cluster) NextEvent(node int) float64 {
+	if cl.eventIdx == nil || cl.eventIdx[node] >= len(cl.events[node]) {
+		return inf
+	}
+	return cl.events[node][cl.eventIdx[node]].time
+}
+
+// ApplyEvent executes node's next scheduled crash/recovery transition.
+func (cl *Cluster) ApplyEvent(node int) {
+	ev := cl.events[node][cl.eventIdx[node]]
+	cl.eventIdx[node]++
+	cl.applyNodeEvent(ev)
+}
+
+// Frontier returns the safe time frontier (min kernel clock).
+func (cl *Cluster) Frontier() float64 { return cl.Time() }
+
+// NoteFrontier publishes the frontier to the OnAdvance observer. The engine
+// calls it only sequentially or at an epoch barrier, so observers (the power
+// meter) see a monotone frontier without locking.
+func (cl *Cluster) NoteFrontier() {
+	if f := cl.Time(); f > cl.lastFrontier {
+		cl.lastFrontier = f
+		if cl.OnAdvance != nil {
+			cl.OnAdvance(f)
+		}
+	}
+}
+
+// ParallelOK reports whether group-parallel execution is sound right now.
+// Two observers force the global sequential order: a tracer (its event log
+// is a totally ordered transcript) and the process-lost handler (a permanent
+// crash scans and may kill processes in every group). OnAdvance is fine —
+// the engine samples the frontier only at barriers, and the power meter
+// integrates energy from counter deltas, so totals are unchanged.
+func (cl *Cluster) ParallelOK() bool {
+	ok := cl.OnProcessLost == nil && cl.Tracer == nil
+	if !ok {
+		cl.parGroups = false
+	}
+	return ok
+}
+
+// markFootprint marks every node in p's sharing set: nodes the kernel could
+// read or write on p's behalf before the next barrier. That is its origin
+// (filesystem and break authority), every live thread's host, the source of
+// any migration in flight (a destination crash rehomes the thread there),
+// every node holding resident DSM pages (transfer/invalidation endpoints),
+// and the target of any requested-but-unconsumed migration.
+func (cl *Cluster) markFootprint(p *Process, mark []bool) {
+	mark[p.Origin] = true
+	for _, t := range p.threads {
+		if t.State == Exited {
+			continue
+		}
+		mark[t.Node] = true
+		if t.State == InFlight {
+			mark[t.inflightFrom] = true
+		}
+	}
+	for n := range cl.Kernels {
+		if p.Space.HasResident(n) {
+			mark[n] = true
+		}
+	}
+	for _, tgt := range p.pendingMig {
+		if tgt >= 0 && tgt < len(cl.Kernels) {
+			mark[tgt] = true
+		}
+	}
+}
+
+// footprint returns p's sharing set as a sorted node list.
+func (cl *Cluster) footprint(p *Process) []int {
+	mark := make([]bool, len(cl.Kernels))
+	cl.markFootprint(p, mark)
+	nodes := make([]int, 0, len(mark))
+	for n, m := range mark {
+		if m {
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
+}
+
+// Groups partitions the nodes into sharing groups: the connected components
+// of the union of all live processes' footprints. Disjoint groups share no
+// mutable state — kernels, run queues, DSM directories, per-link and
+// per-node interconnect shards — so the parallel engine may run them
+// concurrently. Both the list and each group are sorted ascending.
+func (cl *Cluster) Groups() [][]int {
+	n := len(cl.Kernels)
+	if len(cl.groupOf) != n {
+		cl.groupOf = make([]int, n)
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	mark := make([]bool, n)
+	for _, p := range cl.procs {
+		if p.exited {
+			continue
+		}
+		for i := range mark {
+			mark[i] = false
+		}
+		cl.markFootprint(p, mark)
+		first := -1
+		for i, m := range mark {
+			if !m {
+				continue
+			}
+			if first < 0 {
+				first = i
+				continue
+			}
+			ra, rb := find(first), find(i)
+			if ra != rb {
+				if rb < ra {
+					ra, rb = rb, ra
+				}
+				parent[rb] = ra
+			}
+		}
+	}
+	groups := make([][]int, 0, n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	// Ascending scan with min-root union keeps every group sorted and the
+	// group list ordered by smallest member.
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if idx[r] < 0 {
+			idx[r] = len(groups)
+			groups = append(groups, nil)
+		}
+		cl.groupOf[i] = idx[r]
+		groups[idx[r]] = append(groups[idx[r]], i)
+	}
+	cl.parGroups = len(groups) > 1
+	return groups
+}

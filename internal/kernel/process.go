@@ -52,6 +52,11 @@ type Thread struct {
 
 	// wakeAt is the sleep deadline when State == Sleeping.
 	wakeAt float64
+	// inflightFrom is the source kernel of the migration in progress when
+	// State == InFlight. The sharing-set computation needs it: an eager
+	// migration can leave no pages behind, yet a crash of the destination
+	// rehomes the thread by writing the source kernel's run queue.
+	inflightFrom int
 	// joiners are woken when this thread exits.
 	joiners []*Thread
 	// joinTid is the thread being joined when State == BlockedJoin (the
@@ -121,6 +126,12 @@ type Process struct {
 	// liveThreads counts non-exited threads.
 	liveThreads int
 
+	// pendingMig maps tid -> requested migration target for vDSO-flagged
+	// migrations that have not yet been consumed at a migration point. The
+	// sharing-set computation includes these targets so a requested
+	// destination joins the process's group before the thread can move.
+	pendingMig map[int64]int
+
 	// ckpt is the per-process checkpoint policy state, nil when the process
 	// is not checkpointed.
 	ckpt *ckptState
@@ -156,6 +167,8 @@ func (cl *Cluster) newProcess(img *link.Image, node int, fs *FS) (*Process, erro
 		threads: make(map[int64]*Thread),
 		FS:      fs,
 		rng:     0x9e3779b97f4a7c15,
+
+		pendingMig: make(map[int64]int),
 	}
 	if p.FS == nil {
 		p.FS = NewFS()

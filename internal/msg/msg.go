@@ -10,6 +10,12 @@
 // acknowledged channel with timeout-driven, capped exponential-backoff
 // retransmission on top of the lossy fabric, so the distributed kernel
 // services survive message loss at the cost of latency.
+//
+// The interconnect is the parallel simulation backend's synchronisation
+// boundary, so all mutable state is partitioned by directed link (sequence
+// numbers, occupancy) or by node (delivery queues, stats shards): workers
+// driving disjoint node groups never touch the same cell. Aggregation
+// (Stats) and structural growth (Grow) happen only at barriers.
 package msg
 
 import (
@@ -38,6 +44,8 @@ const (
 
 // Message is one inter-kernel message.
 type Message struct {
+	// Seq numbers the message on its directed (From, To) link; the fault
+	// injector keys fates off it.
 	Seq      uint64
 	From, To int
 	Type     Type
@@ -46,6 +54,11 @@ type Message struct {
 	Deliver float64
 	// Payload is interpreted by the handler for Type.
 	Payload interface{}
+
+	// arrival orders same-instant deliveries at one destination (assigned
+	// at enqueue time, deterministic because each destination is fed by a
+	// single scheduling goroutine between barriers).
+	arrival uint64
 }
 
 // Config describes the interconnect.
@@ -93,12 +106,25 @@ type Stats struct {
 	CrashStalls uint64 // reliable exchanges that waited out a node outage
 }
 
+func (s *Stats) add(o Stats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.Dropped += o.Dropped
+	s.Duplicated += o.Duplicated
+	s.Retries += o.Retries
+	s.Exhausted += o.Exhausted
+	s.CrashStalls += o.CrashStalls
+}
+
 // Injector decides message fates for fault injection; *fault.Injector
 // implements it. Implementations must be deterministic functions of their
 // arguments.
 type Injector interface {
-	// Fate decides whether the message leg identified by seq is dropped or
-	// duplicated and how much extra latency it suffers.
+	// Fate decides whether the message leg identified by (from, to, seq) is
+	// dropped or duplicated and how much extra latency it suffers. seq is
+	// unique per decision on its directed link; implementations fold the
+	// link into the stream so equal seqs on different links draw
+	// independently.
 	Fate(now float64, from, to int, seq uint64) (drop, dup bool, jitter float64)
 	// NodeDown reports whether node is offline at time at.
 	NodeDown(node int, at float64) bool
@@ -113,34 +139,97 @@ type EventSink interface {
 	Record(t float64, kind, detail string)
 }
 
+// linkState is one directed link's private state.
+type linkState struct {
+	// seq numbers message legs (and fate draws) on this link.
+	seq uint64
+	// busyUntil models the link's serialisation occupancy.
+	busyUntil float64
+}
+
+// nodeState is one destination node's private state.
+type nodeState struct {
+	q msgHeap
+	// arrivals orders same-instant deliveries into this node's queue.
+	arrivals uint64
+}
+
 // Interconnect is the shared fabric between kernels. It is a deterministic
 // discrete-event structure: Send computes a delivery time from latency,
 // bandwidth and link occupancy; PopDue yields messages in delivery order.
+// State is sharded by directed link and by node so disjoint node groups can
+// drive it concurrently (see package comment).
 type Interconnect struct {
-	cfg   Config
-	seq   uint64
-	stats Stats
+	cfg Config
 
 	inj    Injector
 	tracer EventSink
 
-	// busyUntil[from][to] models per-directed-link serialisation.
-	busyUntil map[int]map[int]float64
-
-	queues map[int]*msgHeap
+	n     int
+	links []linkState // n*n, indexed from*n+to
+	nodes []nodeState
+	stats []Stats // per sending node
 }
 
-// New builds an interconnect with cfg.
+// New builds an interconnect with cfg. Node structures grow on first use
+// (or all at once via Grow).
 func New(cfg Config) *Interconnect {
-	return &Interconnect{
-		cfg:       cfg,
-		busyUntil: make(map[int]map[int]float64),
-		queues:    make(map[int]*msgHeap),
+	return &Interconnect{cfg: cfg}
+}
+
+// Grow presizes the interconnect for nodes 0..n-1. Growth re-shards the
+// link state, so it must happen before concurrent use; cluster
+// construction calls it with the final node count.
+func (ic *Interconnect) Grow(n int) {
+	if n <= ic.n {
+		return
+	}
+	links := make([]linkState, n*n)
+	for f := 0; f < ic.n; f++ {
+		for t := 0; t < ic.n; t++ {
+			links[f*n+t] = ic.links[f*ic.n+t]
+		}
+	}
+	nodes := make([]nodeState, n)
+	copy(nodes, ic.nodes)
+	stats := make([]Stats, n)
+	copy(stats, ic.stats)
+	ic.n, ic.links, ic.nodes, ic.stats = n, links, nodes, stats
+}
+
+// ensure grows the structures to cover node (single-threaded paths only).
+func (ic *Interconnect) ensure(node int) {
+	if node >= ic.n {
+		ic.Grow(node + 1)
 	}
 }
 
-// Stats returns traffic counters.
-func (ic *Interconnect) Stats() Stats { return ic.stats }
+func (ic *Interconnect) link(from, to int) *linkState {
+	if from >= ic.n || to >= ic.n {
+		ic.ensure(from)
+		ic.ensure(to)
+	}
+	return &ic.links[from*ic.n+to]
+}
+
+func (ic *Interconnect) node(n int) *nodeState {
+	ic.ensure(n)
+	return &ic.nodes[n]
+}
+
+// Stats returns traffic counters summed over all nodes' shards. Call it
+// only from the scheduling goroutine (a barrier).
+func (ic *Interconnect) Stats() Stats {
+	var s Stats
+	for i := range ic.stats {
+		s.add(ic.stats[i])
+	}
+	return s
+}
+
+// MinLatency returns the minimum one-way link latency — the lookahead floor
+// for conservative parallel co-simulation over this interconnect.
+func (ic *Interconnect) MinLatency() float64 { return ic.cfg.LatencySec }
 
 // SetInjector installs (or, with nil, removes) a fault injector.
 func (ic *Interconnect) SetInjector(inj Injector) { ic.inj = inj }
@@ -172,34 +261,28 @@ func (ic *Interconnect) maxRetries() int {
 // its fault-free delivery time; the caller decides whether it is enqueued.
 func (ic *Interconnect) transmit(now float64, from, to int, t Type, size int64, payload interface{}) *Message {
 	wire := size + ic.cfg.HeaderBytes
-	bu := ic.busyUntil[from]
-	if bu == nil {
-		bu = make(map[int]float64)
-		ic.busyUntil[from] = bu
-	}
+	lk := ic.link(from, to)
 	start := now
-	if bu[to] > start {
-		start = bu[to]
+	if lk.busyUntil > start {
+		start = lk.busyUntil
 	}
 	txEnd := start + float64(wire)/ic.cfg.BytesPerSec
-	bu[to] = txEnd
+	lk.busyUntil = txEnd
 
-	ic.seq++
-	ic.stats.Messages++
-	ic.stats.Bytes += uint64(wire)
+	lk.seq++
+	ic.stats[from].Messages++
+	ic.stats[from].Bytes += uint64(wire)
 	return &Message{
-		Seq: ic.seq, From: from, To: to, Type: t,
+		Seq: lk.seq, From: from, To: to, Type: t,
 		Size: size, Deliver: txEnd + ic.cfg.LatencySec, Payload: payload,
 	}
 }
 
 func (ic *Interconnect) push(m *Message) {
-	q := ic.queues[m.To]
-	if q == nil {
-		q = &msgHeap{}
-		ic.queues[m.To] = q
-	}
-	heap.Push(q, m)
+	ns := ic.node(m.To)
+	ns.arrivals++
+	m.arrival = ns.arrivals
+	heap.Push(&ns.q, m)
 }
 
 // Send enqueues a message at time now and returns its (possibly jittered)
@@ -213,15 +296,16 @@ func (ic *Interconnect) Send(now float64, from, to int, t Type, size int64, payl
 		drop, dup, jit := ic.inj.Fate(now, from, to, m.Seq)
 		m.Deliver += jit
 		if drop || ic.inj.NodeDown(to, m.Deliver) {
-			ic.stats.Dropped++
+			ic.stats[from].Dropped++
 			ic.tracef(now, "drop", "type %d %d->%d seq %d", t, from, to, m.Seq)
 			return m.Deliver
 		}
 		if dup {
-			ic.stats.Duplicated++
+			ic.stats[from].Duplicated++
 			cp := *m
-			ic.seq++
-			cp.Seq = ic.seq
+			lk := ic.link(from, to)
+			lk.seq++
+			cp.Seq = lk.seq
 			cp.Deliver = m.Deliver + ic.cfg.LatencySec
 			ic.push(&cp)
 		}
@@ -243,6 +327,9 @@ func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int
 	if ic.inj == nil {
 		return ic.Send(now, from, to, t, size, payload), true
 	}
+	ic.ensure(from)
+	ic.ensure(to)
+	st := &ic.stats[from]
 	elapsed := 0.0
 	rto := ic.retxTimeout()
 	retries := 0
@@ -251,23 +338,23 @@ func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int
 		if ic.inj.NodeDown(to, at) {
 			rec, ok := ic.inj.NodeRecoverAt(to, at)
 			if !ok {
-				ic.stats.Exhausted++
+				st.Exhausted++
 				ic.tracef(at, "send-fail", "type %d %d->%d: node %d down permanently", t, from, to, to)
 				return at, false
 			}
-			ic.stats.CrashStalls++
+			st.CrashStalls++
 			elapsed = rec - now + rto
 			continue
 		}
 		m := ic.transmit(at, from, to, t, size, payload)
 		drop, dup, jit := ic.inj.Fate(at, from, to, m.Seq)
 		if drop {
-			ic.stats.Dropped++
-			ic.stats.Retries++
+			st.Dropped++
+			st.Retries++
 			retries++
 			ic.tracef(at, "retx", "type %d %d->%d seq %d retry %d", t, from, to, m.Seq, retries)
 			if retries > ic.maxRetries() {
-				ic.stats.Exhausted++
+				st.Exhausted++
 				ic.tracef(at, "send-fail", "type %d %d->%d: retries exhausted", t, from, to)
 				return at, false
 			}
@@ -279,15 +366,17 @@ func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int
 		}
 		m.Deliver += jit
 		ic.push(m)
-		// Decide the acknowledgement's fate: a lost ack makes the sender
-		// retransmit a copy the receiver has already seen.
-		ic.seq++
-		ackDrop, _, _ := ic.inj.Fate(m.Deliver, to, from, ic.seq)
+		// Decide the acknowledgement's fate on the reverse link: a lost ack
+		// makes the sender retransmit a copy the receiver has already seen.
+		ack := ic.link(to, from)
+		ack.seq++
+		ackDrop, _, _ := ic.inj.Fate(m.Deliver, to, from, ack.seq)
 		if dup || ackDrop {
-			ic.stats.Duplicated++
+			st.Duplicated++
 			cp := *m
-			ic.seq++
-			cp.Seq = ic.seq
+			lk := ic.link(from, to)
+			lk.seq++
+			cp.Seq = lk.seq
 			cp.Deliver = m.Deliver + rto
 			ic.push(&cp)
 		}
@@ -301,13 +390,13 @@ func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int
 // Send does, but the estimate does not consume occupancy itself.
 func (ic *Interconnect) RoundTripTime(now float64, from, to int, replySize int64) float64 {
 	start := now
-	if bu := ic.busyUntil[from]; bu != nil && bu[to] > start {
-		start = bu[to]
+	if lk := ic.link(from, to); lk.busyUntil > start {
+		start = lk.busyUntil
 	}
 	arrive := start + float64(ic.cfg.HeaderBytes)/ic.cfg.BytesPerSec + ic.cfg.LatencySec
 	replyStart := arrive
-	if bu := ic.busyUntil[to]; bu != nil && bu[from] > replyStart {
-		replyStart = bu[from]
+	if lk := ic.link(to, from); lk.busyUntil > replyStart {
+		replyStart = lk.busyUntil
 	}
 	done := replyStart + float64(replySize+ic.cfg.HeaderBytes)/ic.cfg.BytesPerSec + ic.cfg.LatencySec
 	return done - now
@@ -324,6 +413,9 @@ func (ic *Interconnect) ReliableRTT(now float64, from, to int, replySize int64) 
 	if ic.inj == nil || from == to {
 		return ic.RoundTripTime(now, from, to, replySize), true
 	}
+	ic.ensure(from)
+	ic.ensure(to)
+	st := &ic.stats[from]
 	elapsed := 0.0
 	rto := ic.retxTimeout()
 	retries := 0
@@ -332,27 +424,29 @@ func (ic *Interconnect) ReliableRTT(now float64, from, to int, replySize int64) 
 		if ic.inj.NodeDown(to, at) {
 			rec, ok := ic.inj.NodeRecoverAt(to, at)
 			if !ok {
-				ic.stats.Exhausted++
+				st.Exhausted++
 				ic.tracef(at, "rtt-fail", "%d->%d: node %d down permanently", from, to, to)
 				return elapsed, false
 			}
-			ic.stats.CrashStalls++
+			st.CrashStalls++
 			elapsed = rec - now + rto
 			continue
 		}
-		ic.seq++
-		reqDrop, _, reqJit := ic.inj.Fate(at, from, to, ic.seq)
-		ic.seq++
-		repDrop, _, repJit := ic.inj.Fate(at, to, from, ic.seq)
+		req := ic.link(from, to)
+		req.seq++
+		reqDrop, _, reqJit := ic.inj.Fate(at, from, to, req.seq)
+		rep := ic.link(to, from)
+		rep.seq++
+		repDrop, _, repJit := ic.inj.Fate(at, to, from, rep.seq)
 		if !reqDrop && !repDrop {
 			return elapsed + ic.RoundTripTime(at, from, to, replySize) + reqJit + repJit, true
 		}
-		ic.stats.Dropped++
-		ic.stats.Retries++
+		st.Dropped++
+		st.Retries++
 		retries++
 		ic.tracef(at, "retx", "rtt %d->%d retry %d", from, to, retries)
 		if retries > ic.maxRetries() {
-			ic.stats.Exhausted++
+			st.Exhausted++
 			ic.tracef(at, "rtt-fail", "%d->%d: retries exhausted", from, to)
 			return elapsed, false
 		}
@@ -366,45 +460,35 @@ func (ic *Interconnect) ReliableRTT(now float64, from, to int, replySize int64) 
 // PopDue removes and returns the next message for node due at or before
 // now, or nil.
 func (ic *Interconnect) PopDue(node int, now float64) *Message {
-	q := ic.queues[node]
-	if q == nil || q.Len() == 0 {
+	ns := ic.node(node)
+	if ns.q.Len() == 0 || ns.q[0].Deliver > now {
 		return nil
 	}
-	if (*q)[0].Deliver > now {
-		return nil
-	}
-	return heap.Pop(q).(*Message)
+	return heap.Pop(&ns.q).(*Message)
 }
 
 // NextDeliver returns the earliest pending delivery time for node, or
 // (0, false) if nothing is queued.
 func (ic *Interconnect) NextDeliver(node int) (float64, bool) {
-	q := ic.queues[node]
-	if q == nil || q.Len() == 0 {
+	ns := ic.node(node)
+	if ns.q.Len() == 0 {
 		return 0, false
 	}
-	return (*q)[0].Deliver, true
+	return ns.q[0].Deliver, true
 }
 
 // Pending returns the number of queued messages for node.
 func (ic *Interconnect) Pending(node int) int {
-	q := ic.queues[node]
-	if q == nil {
-		return 0
-	}
-	return q.Len()
+	return ic.node(node).q.Len()
 }
 
 // Drain removes and returns every queued message for node in delivery
 // order (a crashed node's queue sweep).
 func (ic *Interconnect) Drain(node int) []*Message {
-	q := ic.queues[node]
-	if q == nil {
-		return nil
-	}
+	ns := ic.node(node)
 	var out []*Message
-	for q.Len() > 0 {
-		out = append(out, heap.Pop(q).(*Message))
+	for ns.q.Len() > 0 {
+		out = append(out, heap.Pop(&ns.q).(*Message))
 	}
 	return out
 }
@@ -416,12 +500,24 @@ func (ic *Interconnect) Requeue(m *Message, deliver float64) {
 	ic.push(m)
 }
 
-// Sweep removes every queued message (on all nodes) for which drop
-// returns true, returning how many were reclaimed. Used to garbage-collect
-// in-flight messages that reference a reaped process.
-func (ic *Interconnect) Sweep(drop func(*Message) bool) int {
+// Sweep removes queued messages for which drop returns true, returning how
+// many were reclaimed. nodes scopes the sweep to those destinations (nil
+// sweeps every node); callers running inside a parallel epoch pass the
+// affected process's sharing set so the sweep stays group-local. Used to
+// garbage-collect in-flight messages that reference a reaped process.
+func (ic *Interconnect) Sweep(nodes []int, drop func(*Message) bool) int {
+	if nodes == nil {
+		nodes = make([]int, ic.n)
+		for i := range nodes {
+			nodes[i] = i
+		}
+	}
 	n := 0
-	for _, q := range ic.queues {
+	for _, nd := range nodes {
+		if nd < 0 || nd >= ic.n {
+			continue
+		}
+		q := &ic.nodes[nd].q
 		kept := (*q)[:0]
 		for _, m := range *q {
 			if drop(m) {
@@ -436,7 +532,8 @@ func (ic *Interconnect) Sweep(drop func(*Message) bool) int {
 	return n
 }
 
-// msgHeap orders messages by delivery time, then sequence for determinism.
+// msgHeap orders messages by delivery time, then enqueue order at the
+// destination for determinism.
 type msgHeap []*Message
 
 func (h msgHeap) Len() int { return len(h) }
@@ -444,7 +541,7 @@ func (h msgHeap) Less(i, j int) bool {
 	if h[i].Deliver != h[j].Deliver {
 		return h[i].Deliver < h[j].Deliver
 	}
-	return h[i].Seq < h[j].Seq
+	return h[i].arrival < h[j].arrival
 }
 func (h msgHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *msgHeap) Push(x interface{}) { *h = append(*h, x.(*Message)) }

@@ -176,7 +176,7 @@ func TestSweepReclaimsMatching(t *testing.T) {
 	ic.Send(0, 0, 1, TThreadMigrate, 100, "dead")
 	ic.Send(0, 0, 1, TRemoteWake, 64, "live")
 	ic.Send(0, 1, 0, TThreadMigrate, 100, "dead")
-	n := ic.Sweep(func(m *Message) bool { return m.Payload == "dead" })
+	n := ic.Sweep(nil, func(m *Message) bool { return m.Payload == "dead" })
 	if n != 2 {
 		t.Fatalf("swept %d, want 2", n)
 	}

@@ -427,17 +427,39 @@ func GenerateJobs(seed int64, n int, classes []npb.Class, arrivalSpacing func(r 
 	return jobs
 }
 
-// TestbedFor builds the right cluster for a policy: two identical x86
-// machines for the static x86-pair baseline, otherwise the heterogeneous
-// x86+ARM testbed. projected applies the paper's McPAT FinFET projection to
-// the ARM machine's power model.
+// TestbedFor builds the right cluster for a policy: N identical x86
+// machines for a "static x86(N)" homogeneous baseline, otherwise the
+// heterogeneous x86+ARM testbed. projected applies the paper's McPAT FinFET
+// projection to the ARM machine's power model.
 func TestbedFor(p Policy, projected bool) (*kernel.Cluster, []power.Model) {
-	if p.Name() == "static x86(2)" {
-		cl := kernel.NewCluster([]isa.Arch{isa.X86, isa.X86}, kernel.DefaultInterconnect())
-		return cl, []power.Model{power.XeonE5(), power.XeonE5()}
+	var n int
+	if _, err := fmt.Sscanf(p.Name(), "static x86(%d)", &n); err == nil && n > 0 {
+		arches := make([]isa.Arch, n)
+		models := make([]power.Model, n)
+		for i := range arches {
+			arches[i] = isa.X86
+			models[i] = power.XeonE5()
+		}
+		cl := kernel.NewCluster(arches, kernel.DefaultInterconnect())
+		return cl, models
 	}
 	cl := kernel.NewTestbed()
 	return cl, power.DefaultModels(cl, projected)
+}
+
+// RackArches returns the canonical n-node heterogeneous rack shape: the
+// first ceil(n/2) machines are x86 servers, the rest ARM microservers —
+// the 4-node rack-scale experiment's [x86, x86, arm, arm] generalised.
+func RackArches(n int) []isa.Arch {
+	arches := make([]isa.Arch, n)
+	for i := range arches {
+		if i < (n+1)/2 {
+			arches[i] = isa.X86
+		} else {
+			arches[i] = isa.ARM64
+		}
+	}
+	return arches
 }
 
 // NewBalanced builds a named balanced policy for arbitrary cluster shapes

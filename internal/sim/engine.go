@@ -1,0 +1,196 @@
+// Package sim is the cluster's time engine, extracted from internal/kernel:
+// it decides which node acts next and when, while the model (the kernel
+// cluster) supplies the domain semantics. Two interchangeable backends
+// implement the same schedule:
+//
+//   - Sequential: the reference engine, one global min-ready-time loop —
+//     exactly the loop the kernel package used to own.
+//   - Parallel: a conservative (Chandy-Misra style) parallel discrete-event
+//     engine. Nodes are partitioned into sharing groups — the connected
+//     components of the "might interact" relation the model reports — and
+//     each group replays its own restriction of the sequential schedule on
+//     its own goroutine. Groups advance in bounded epochs with a barrier
+//     between them; the barrier is where cross-group facts (spawns, group
+//     membership, the time frontier) are re-established.
+//
+// Because a group's local schedule is exactly the global sequential
+// schedule restricted to that group (ready times and tie-breaks are
+// group-local), the parallel backend produces byte-identical results; see
+// DESIGN.md §11 for the full argument.
+package sim
+
+// Inf is the engine's "never" time. It mirrors the kernel's internal
+// infinity so ready times round-trip unchanged.
+const Inf = 1e30
+
+// Model is the simulated system the engine schedules: a fixed set of nodes
+// with local clocks, work, and scheduled control events (crash/recovery).
+// internal/kernel's Cluster implements it.
+type Model interface {
+	// NumNodes returns the node count (fixed for the model's lifetime).
+	NumNodes() int
+	// ReadyTime returns when node can next make progress, or >= Inf.
+	ReadyTime(node int) float64
+	// StepNode advances node by one quantum of work.
+	StepNode(node int)
+	// SkipTo drags node's clock forward to t without work (no-op if t is in
+	// the past).
+	SkipTo(node int, t float64)
+	// Now returns node's local clock.
+	Now(node int) float64
+	// NextWake returns node's earliest pending wake/delivery time, or >= Inf
+	// (used to bound idle skips; a subset of what ReadyTime considers).
+	NextWake(node int) float64
+
+	// NextEvent returns the time of node's next scheduled control event
+	// (crash or recovery), or >= Inf.
+	NextEvent(node int) float64
+	// ApplyEvent executes node's next scheduled control event.
+	ApplyEvent(node int)
+
+	// Frontier returns the global safe-time frontier (min node clock).
+	Frontier() float64
+	// NoteFrontier publishes the current frontier to observers. The engine
+	// calls it only from the scheduling goroutine (sequentially or at a
+	// barrier), never from group workers.
+	NoteFrontier()
+
+	// Groups partitions the nodes into disjoint sharing groups: two nodes
+	// that could interact before the next barrier (messages, DSM peer
+	// actions, migrations, checkpoints) must share a group. Each group and
+	// the list itself are sorted ascending. Called only at barriers.
+	Groups() [][]int
+	// ParallelOK reports whether group-parallel execution is currently
+	// sound; false degrades the parallel engine to one all-nodes group run
+	// inline (global observers such as tracers need the sequential order).
+	ParallelOK() bool
+}
+
+// Engine advances a Model through simulated time.
+type Engine interface {
+	// Step performs one unit of scheduling — a single node quantum (or
+	// control event) on the sequential engine, one bounded epoch on the
+	// parallel engine. It returns false when no node can ever progress.
+	Step() bool
+	// Run steps until the frontier reaches `until` or work drains, and
+	// returns the frontier. Both backends leave the model in byte-identical
+	// states for the same `until`.
+	Run(until float64) float64
+	// AdvanceTo skips every node's clock to t, bounded by pending wakes and
+	// control events (which it applies). Used by workload drivers to model
+	// idle gaps.
+	AdvanceTo(t float64)
+}
+
+// stepResult classifies one sequential scheduling decision.
+type stepResult int
+
+const (
+	stepNone  stepResult = iota // nothing can progress before the limit
+	stepEvent                   // applied one control event
+	stepWork                    // stepped one node quantum
+)
+
+// allNodes returns [0, n).
+func allNodes(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// nextEvent returns the earliest control event over nodes (lowest node wins
+// ties), or (-1, Inf).
+func nextEvent(m Model, nodes []int) (int, float64) {
+	evN, evT := -1, Inf
+	for _, n := range nodes {
+		if t := m.NextEvent(n); t < evT {
+			evT, evN = t, n
+		}
+	}
+	return evN, evT
+}
+
+// nextActionTime returns the earliest ready time or control event over
+// nodes, or >= Inf when the set is fully drained.
+func nextActionTime(m Model, nodes []int) float64 {
+	t := Inf
+	for _, n := range nodes {
+		if r := m.ReadyTime(n); r < t {
+			t = r
+		}
+		if e := m.NextEvent(n); e < t {
+			t = e
+		}
+	}
+	return t
+}
+
+// stepOnce makes the single scheduling decision of the reference loop,
+// restricted to the given node set and bounded by limit: apply the next due
+// control event, or step the lowest-ready-time node (ties to the lowest
+// node index) and drag the set's idle nodes up to its clock. Nothing due
+// before limit returns stepNone.
+func stepOnce(m Model, nodes []int, limit float64) stepResult {
+	bestT := Inf
+	best := -1
+	for _, n := range nodes {
+		if t := m.ReadyTime(n); t < bestT {
+			bestT = t
+			best = n
+		}
+	}
+	// A scheduled crash/recovery due before the next quantum is the next
+	// thing that happens — including when every live node is drained but a
+	// recovery would thaw frozen work.
+	if evN, evT := nextEvent(m, nodes); evN >= 0 && evT <= bestT {
+		if evT >= limit {
+			return stepNone
+		}
+		m.ApplyEvent(evN)
+		return stepEvent
+	}
+	if best < 0 || bestT >= Inf || bestT >= limit {
+		return stepNone
+	}
+	m.SkipTo(best, bestT)
+	m.StepNode(best)
+	// Drag fully idle nodes forward so the time frontier advances (their
+	// idle power is still integrated over the skipped span).
+	bn := m.Now(best)
+	for _, n := range nodes {
+		if n != best && m.ReadyTime(n) >= Inf && m.Now(n) < bn {
+			m.SkipTo(n, bn)
+		}
+	}
+	return stepWork
+}
+
+// advanceTo implements Engine.AdvanceTo over a Model: skip every node to t,
+// bounded by pending wakes, applying control events inside the gap (or a
+// driver idling past a recovery would never thaw the node).
+func advanceTo(m Model, t float64) {
+	nodes := allNodes(m.NumNodes())
+	for {
+		bound := t
+		for _, n := range nodes {
+			if e := m.NextWake(n); e < bound {
+				bound = e
+			}
+		}
+		evN, evT := nextEvent(m, nodes)
+		evDue := evN >= 0 && evT <= bound
+		if evDue && evT < bound {
+			bound = evT
+		}
+		for _, n := range nodes {
+			m.SkipTo(n, bound)
+		}
+		if !evDue {
+			break
+		}
+		m.ApplyEvent(evN)
+	}
+	m.NoteFrontier()
+}

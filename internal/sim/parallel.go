@@ -1,0 +1,148 @@
+package sim
+
+import "sync"
+
+// Options tunes the parallel engine.
+type Options struct {
+	// EpochSec is the barrier interval: each Step runs every sharing group
+	// concurrently up to (first pending action + EpochSec), then
+	// resynchronises. 0 selects DefaultEpochSec. Epoch length never changes
+	// results — only how often groups are recomputed — because group
+	// schedules are interleaving-invariant between barriers.
+	EpochSec float64
+	// LookaheadSec is the model's minimum cross-node interaction delay (the
+	// interconnect's minimum link latency). It lower-bounds the effective
+	// epoch: any shorter barrier interval would resynchronise more often
+	// than information can propagate between nodes, pure overhead.
+	LookaheadSec float64
+}
+
+// DefaultEpochSec is the default barrier interval (500 kernel quanta).
+const DefaultEpochSec = 1e-3
+
+// Parallel is the conservative parallel engine: one worker goroutine per
+// sharing group (at most one per node) replays that group's restriction of
+// the sequential schedule between epoch barriers. Group membership is the
+// model's conservative "might interact before the next barrier" relation,
+// so workers never contend on shared state and results are byte-identical
+// to the Sequential engine.
+type Parallel struct {
+	m     Model
+	nodes []int
+	epoch float64
+}
+
+// NewParallel builds the parallel engine over m.
+func NewParallel(m Model, opt Options) *Parallel {
+	ep := opt.EpochSec
+	if ep <= 0 {
+		ep = DefaultEpochSec
+	}
+	if opt.LookaheadSec > ep {
+		ep = opt.LookaheadSec
+	}
+	return &Parallel{m: m, nodes: allNodes(m.NumNodes()), epoch: ep}
+}
+
+// runGroup replays one group's schedule up to limit on the caller's
+// goroutine. The group's control events are applied by its own worker, so
+// a crash inside the epoch only ever touches group-local state.
+func runGroup(m Model, nodes []int, limit float64) {
+	for stepOnce(m, nodes, limit) != stepNone {
+	}
+}
+
+// Step runs one epoch: partition nodes into sharing groups, run each group
+// concurrently up to the epoch end, then barrier. Returns false when the
+// whole model is drained.
+func (e *Parallel) Step() bool {
+	t0 := nextActionTime(e.m, e.nodes)
+	if t0 >= Inf {
+		return false
+	}
+	e.window(t0 + e.epoch)
+	return true
+}
+
+// window runs one epoch bounded by end and performs the barrier work.
+func (e *Parallel) window(end float64) {
+	m := e.m
+	var groups [][]int
+	if m.ParallelOK() {
+		groups = m.Groups()
+	} else {
+		groups = [][]int{e.nodes}
+	}
+	// Only groups with an action before the epoch end need a worker. (Never
+	// filter in place: the slice belongs to the model.)
+	active := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		if nextActionTime(m, g) < end {
+			active = append(active, g)
+		}
+	}
+	if len(active) == 1 {
+		// Run inline: callbacks that re-enter the engine (checkpoint
+		// managers driving Step from an observer) stay on one goroutine.
+		runGroup(m, active[0], end)
+	} else if len(active) > 1 {
+		var wg sync.WaitGroup
+		wg.Add(len(active))
+		for _, g := range active {
+			go func(g []int) {
+				defer wg.Done()
+				runGroup(m, g, end)
+			}(g)
+		}
+		wg.Wait()
+	}
+	// Barrier: drag drained nodes up to the fastest clock, exactly the final
+	// value the sequential loop's per-step idle drag converges to, then
+	// publish the frontier once for the whole epoch.
+	maxNow := 0.0
+	for _, n := range e.nodes {
+		if t := m.Now(n); t > maxNow {
+			maxNow = t
+		}
+	}
+	for _, n := range e.nodes {
+		if m.ReadyTime(n) >= Inf && m.Now(n) < maxNow {
+			m.SkipTo(n, maxNow)
+		}
+	}
+	m.NoteFrontier()
+}
+
+// Run runs epochs clamped to `until`, so every node stops at exactly the
+// same local point the sequential engine would. When the frontier is pinned
+// below `until` by a lagging idle clock (a sleeper far in the future), only
+// the global sequential rule reproduces the reference engine's overrun, so
+// the tail falls back to it.
+func (e *Parallel) Run(until float64) float64 {
+	m := e.m
+	for m.Frontier() < until {
+		t0 := nextActionTime(m, e.nodes)
+		if t0 >= Inf {
+			break
+		}
+		if t0 >= until {
+			switch stepOnce(m, e.nodes, Inf) {
+			case stepNone:
+				return m.Frontier()
+			case stepWork:
+				m.NoteFrontier()
+			}
+			continue
+		}
+		end := t0 + e.epoch
+		if end > until {
+			end = until
+		}
+		e.window(end)
+	}
+	return m.Frontier()
+}
+
+// AdvanceTo skips every node's clock to t, applying due control events.
+// It runs on the scheduling goroutine (a barrier by construction).
+func (e *Parallel) AdvanceTo(t float64) { advanceTo(e.m, t) }

@@ -1,0 +1,39 @@
+package sim
+
+// Sequential is the reference engine: the exact global min-ready-time loop
+// the kernel package originally ran, one node quantum (or control event)
+// per Step. It is the determinism oracle the parallel backend is measured
+// against.
+type Sequential struct {
+	m     Model
+	nodes []int
+}
+
+// NewSequential builds the reference engine over m.
+func NewSequential(m Model) *Sequential {
+	return &Sequential{m: m, nodes: allNodes(m.NumNodes())}
+}
+
+// Step advances the model by one node quantum or control event.
+func (e *Sequential) Step() bool {
+	switch stepOnce(e.m, e.nodes, Inf) {
+	case stepNone:
+		return false
+	case stepWork:
+		e.m.NoteFrontier()
+	}
+	return true
+}
+
+// Run steps until the frontier passes `until` or work drains.
+func (e *Sequential) Run(until float64) float64 {
+	for e.m.Frontier() < until {
+		if !e.Step() {
+			break
+		}
+	}
+	return e.m.Frontier()
+}
+
+// AdvanceTo skips every node's clock to t, applying due control events.
+func (e *Sequential) AdvanceTo(t float64) { advanceTo(e.m, t) }

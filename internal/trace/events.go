@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Event is one recorded fault/recovery occurrence: a retransmission, a
@@ -15,32 +16,73 @@ type Event struct {
 
 // EventLog is a bounded recorder satisfying msg.EventSink. The kernel and
 // interconnect feed it fault, retry and recovery events; chaos experiments
-// read it back to explain a run. Beyond Max events the log drops new
-// entries (counting them) rather than growing without bound under a noisy
-// fault plan.
+// read it back to explain a run. It is a ring buffer: beyond the capacity
+// the oldest events are overwritten (and counted as dropped) rather than
+// growing without bound under a noisy fault plan — keeping the most recent
+// window, which is what a post-mortem wants.
+//
+// All methods are safe for concurrent use; a cluster tracer pins the
+// parallel engine to a single sequential group anyway (the transcript is a
+// total order), but subsystem logs may be shared across goroutines.
 type EventLog struct {
-	// Max bounds the retained events; <= 0 means unbounded.
-	Max     int
-	Events  []Event
-	Dropped int
+	mu sync.Mutex
+	// max is the ring capacity; <= 0 means unbounded.
+	max     int
+	buf     []Event
+	start   int // index of the oldest retained event
+	dropped int
 }
 
-// NewEventLog builds a log retaining at most max events.
-func NewEventLog(max int) *EventLog { return &EventLog{Max: max} }
+// NewEventLog builds a log retaining at most max events (<= 0: unbounded).
+func NewEventLog(max int) *EventLog { return &EventLog{max: max} }
 
-// Record appends one event, honouring the bound.
+// Cap returns the configured capacity (<= 0: unbounded).
+func (l *EventLog) Cap() int { return l.max }
+
+// Record appends one event, overwriting the oldest past the capacity.
 func (l *EventLog) Record(t float64, kind, detail string) {
-	if l.Max > 0 && len(l.Events) >= l.Max {
-		l.Dropped++
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := Event{Time: t, Kind: kind, Detail: detail}
+	if l.max <= 0 || len(l.buf) < l.max {
+		l.buf = append(l.buf, e)
 		return
 	}
-	l.Events = append(l.Events, Event{Time: t, Kind: kind, Detail: detail})
+	l.buf[l.start] = e
+	l.start = (l.start + 1) % l.max
+	l.dropped++
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.start:]...)
+	out = append(out, l.buf[:l.start]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten at the capacity.
+func (l *EventLog) Dropped() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
 }
 
 // Count returns how many retained events have the given kind.
 func (l *EventLog) Count(kind string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	n := 0
-	for _, e := range l.Events {
+	for _, e := range l.buf {
 		if e.Kind == kind {
 			n++
 		}
@@ -48,14 +90,16 @@ func (l *EventLog) Count(kind string) int {
 	return n
 }
 
-// String renders the log one event per line.
+// String renders the log one event per line, oldest first.
 func (l *EventLog) String() string {
 	var sb strings.Builder
-	for _, e := range l.Events {
+	events := l.Events()
+	dropped := l.Dropped()
+	for _, e := range events {
 		fmt.Fprintf(&sb, "%12.6fs  %-16s %s\n", e.Time, e.Kind, e.Detail)
 	}
-	if l.Dropped > 0 {
-		fmt.Fprintf(&sb, "  ... and %d more events dropped at the %d-event cap\n", l.Dropped, l.Max)
+	if dropped > 0 {
+		fmt.Fprintf(&sb, "  ... %d older events dropped at the %d-event cap\n", dropped, l.max)
 	}
 	return sb.String()
 }

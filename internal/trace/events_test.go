@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -16,23 +17,29 @@ func TestEventLogRecordAndCount(t *testing.T) {
 	if got := l.Count("crash"); got != 1 {
 		t.Fatalf("Count(crash) = %d, want 1", got)
 	}
-	if l.Events[1].Time != 0.6 || l.Events[1].Detail != "node 1 down" {
-		t.Fatalf("event mangled: %+v", l.Events[1])
+	ev := l.Events()
+	if ev[1].Time != 0.6 || ev[1].Detail != "node 1 down" {
+		t.Fatalf("event mangled: %+v", ev[1])
 	}
 }
 
-func TestEventLogBounded(t *testing.T) {
+func TestEventLogRingKeepsNewest(t *testing.T) {
 	l := NewEventLog(3)
 	for i := 0; i < 10; i++ {
 		l.Record(float64(i), "retx", "x")
 	}
-	if len(l.Events) != 3 {
-		t.Fatalf("retained %d events, want 3", len(l.Events))
+	ev := l.Events()
+	if len(ev) != 3 || l.Len() != 3 {
+		t.Fatalf("retained %d events, want 3", len(ev))
 	}
-	if l.Dropped != 7 {
-		t.Fatalf("Dropped = %d, want 7", l.Dropped)
+	// A ring keeps the most recent window, oldest first.
+	if ev[0].Time != 7 || ev[1].Time != 8 || ev[2].Time != 9 {
+		t.Fatalf("ring kept %v %v %v, want times 7 8 9", ev[0], ev[1], ev[2])
 	}
-	if !strings.Contains(l.String(), "7 more events dropped") {
+	if l.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", l.Dropped())
+	}
+	if !strings.Contains(l.String(), "7 older events dropped") {
 		t.Fatalf("String() omits the drop note:\n%s", l.String())
 	}
 }
@@ -42,7 +49,28 @@ func TestEventLogUnbounded(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		l.Record(float64(i), "retx", "x")
 	}
-	if len(l.Events) != 100 || l.Dropped != 0 {
-		t.Fatalf("unbounded log retained %d, dropped %d", len(l.Events), l.Dropped)
+	if l.Len() != 100 || l.Dropped() != 0 {
+		t.Fatalf("unbounded log retained %d, dropped %d", l.Len(), l.Dropped())
+	}
+}
+
+func TestEventLogConcurrentRecord(t *testing.T) {
+	l := NewEventLog(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Record(float64(i), "retx", "x")
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 64 {
+		t.Fatalf("retained %d events, want 64", l.Len())
+	}
+	if l.Dropped() != 8*100-64 {
+		t.Fatalf("Dropped = %d, want %d", l.Dropped(), 8*100-64)
 	}
 }
