@@ -13,6 +13,7 @@
 //	hdcbench -exp fig13       # periodic-workload scheduling study
 //	hdcbench -exp chaos       # fault injection: correctness under loss/crash
 //	hdcbench -exp ckpt        # checkpoint interval: overhead vs work lost
+//	hdcbench -exp detector    # failure-detector heartbeat-period sweep
 //	hdcbench -exp fuzz        # differential fuzzing sweep (programs/sec)
 //	hdcbench -exp rack        # N-node rack-scale scheduling study
 //	hdcbench -exp all
@@ -23,6 +24,9 @@
 //
 // The chaos experiment takes -fault-seed, -drop-prob and -crash-at to vary
 // the injected fault plans (all plans are deterministic in the seed).
+//
+// The detector experiment takes -fault-seed and -hb-fracs, a comma list of
+// heartbeat periods as fractions of each benchmark's fault-free runtime.
 //
 // The fuzz experiment takes -fuzz-seed, -fuzz-budget and -fuzz-max; it
 // fails if any divergence could not be reduced and archived.
@@ -35,13 +39,37 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"heterodc/internal/exp"
 	"heterodc/internal/trace"
 )
 
+// parseFracs parses a comma-separated list of heartbeat-period fractions.
+// Empty means "use the experiment's default sweep"; every listed fraction
+// must be a positive number below 1 (a period at or beyond the benchmark's
+// runtime could never expire a lease before the job exits).
+func parseFracs(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-hb-fracs: bad fraction %q: %v", part, err)
+		}
+		if f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("-hb-fracs: fraction %g out of range (0, 1): the heartbeat period must be a positive fraction of the runtime", f)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
 func main() {
-	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|fuzz|all")
+	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|detector|fuzz|all")
 	scale := flag.String("scale", "default", "quick|default|full")
 	faultSeed := flag.Int64("fault-seed", 7, "chaos: fault-plan seed")
 	dropProb := flag.Float64("drop-prob", 0.02, "chaos: baseline message-loss probability")
@@ -51,7 +79,14 @@ func main() {
 	fuzzMax := flag.Int("fuzz-max", 0, "fuzz: stop after this many programs (0: budget only)")
 	rackNodes := flag.Int("rack-nodes", 4, "rack: machine count (half x86, half ARM in the mixed setups)")
 	engine := flag.String("engine", "seq", "cluster time engine: seq|par (experiments that honour it)")
+	hbFracs := flag.String("hb-fracs", "", "detector: comma list of heartbeat periods as runtime fractions (empty: default sweep)")
 	flag.Parse()
+
+	fracs, err := parseFracs(*hbFracs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := exp.Config{W: os.Stdout, RackNodes: *rackNodes, Engine: *engine}
 	switch *scale {
@@ -227,6 +262,35 @@ func main() {
 			return fmt.Errorf("%d checkpoint runs lost correctness or never restored", bad)
 		}
 		fmt.Println("shape check: OK (capture invisible to output; every crash recovered from checkpoint)")
+		return nil
+	})
+
+	run("detector", func() error {
+		rows, err := exp.Detector(cfg, exp.DetectorOptions{Seed: *faultSeed, PeriodFracs: fracs})
+		if err != nil {
+			return err
+		}
+		bad, refuted := 0, 0
+		var dropped int
+		for _, r := range rows {
+			if !r.ExitOK || !r.OutputMatch || r.Stranded != 0 || r.StaleUnfenced != 0 {
+				bad++
+			}
+			if r.FalseSuspicions > 0 {
+				refuted++
+			}
+			dropped += r.TraceDropped
+		}
+		if dropped > 0 {
+			fmt.Printf("trace: %d events dropped across runs (bounded rings overflowed; logs above are incomplete)\n", dropped)
+		}
+		if bad > 0 {
+			return fmt.Errorf("%d/%d detector runs stranded a job, leaked a stale message or lost correctness", bad, len(rows))
+		}
+		if refuted == 0 {
+			return fmt.Errorf("no transient outage was ever refuted: the false-positive path went unexercised")
+		}
+		fmt.Println("shape check: OK (every crash detected by silence; false positives refuted by rejoin; no stranded jobs)")
 		return nil
 	})
 

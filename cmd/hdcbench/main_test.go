@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFracs(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []float64
+		wantErr string // substring, "" means valid
+	}{
+		{"", nil, ""},
+		{"0.0125", []float64{0.0125}, ""},
+		{"0.0125, 0.025,0.05", []float64{0.0125, 0.025, 0.05}, ""},
+		{"abc", nil, "bad fraction"},
+		{"0.01,", nil, "bad fraction"},
+		{"0", nil, "out of range"},
+		{"-0.1", nil, "out of range"},
+		{"1", nil, "out of range"},
+		{"1.5", nil, "out of range"},
+	}
+	for _, c := range cases {
+		got, err := parseFracs(c.in)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("parseFracs(%q) err = %v, want substring %q", c.in, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseFracs(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseFracs(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseFracs(%q)[%d] = %g, want %g", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}

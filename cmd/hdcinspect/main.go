@@ -10,7 +10,12 @@
 //	hdcinspect -src prog.c -maps                 # stackmap records
 //	hdcinspect -ckpt is.ckpt                     # checkpoint image dump
 //	hdcinspect -ckpt is.ckpt -bench is -class S  # ... plus stack frame walks
+//	hdcinspect -ckpt is.ckpt -pages              # ... plus resident page map
 //	hdcinspect -repro internal/fuzz/testdata/crash-....c  # replay a fuzz repro
+//
+// -pages lists every resident DSM page in the image; after a node is
+// declared dead, the crash-sweep drops its copies, so an image captured
+// post-declaration must be missing the pages the dead node held exclusively.
 package main
 
 import (
@@ -39,6 +44,7 @@ func main() {
 	dis := flag.Bool("dis", false, "disassemble code")
 	maps := flag.Bool("maps", false, "dump stackmap/unwind metadata")
 	ckptPath := flag.String("ckpt", "", "checkpoint image file to dump (add -bench/-src for frame walks)")
+	pages := flag.Bool("pages", false, "with -ckpt: list the resident DSM pages (sweep-audit view)")
 	reproPath := flag.String("repro", "", "fuzz corpus entry to replay through the differential oracle")
 	flag.Parse()
 
@@ -65,7 +71,7 @@ func main() {
 	fatal(err)
 
 	if *ckptPath != "" {
-		inspectCkpt(*ckptPath, img)
+		inspectCkpt(*ckptPath, img, *pages)
 		return
 	}
 
@@ -202,7 +208,10 @@ func inspectRepro(path string) {
 // inspectCkpt dumps a checkpoint image: header framing with per-section
 // checksums, process-wide state, and one line per thread. With img supplied
 // (matching -bench/-src), each live thread's stack is walked and symbolised.
-func inspectCkpt(path string, img *link.Image) {
+// showPages additionally lists the resident page indices, with gaps marked —
+// the audit view for the DSM crash-sweep (pages a declared-dead node held
+// exclusively must be absent from any image captured after the declaration).
+func inspectCkpt(path string, img *link.Image, showPages bool) {
 	data, err := os.ReadFile(path)
 	fatal(err)
 	h, err := ckpt.ReadHeader(data)
@@ -226,6 +235,28 @@ func inspectCkpt(path string, img *link.Image) {
 	fmt.Printf("  pages: %d (%d bytes resident)\n", len(s.Pages), len(s.Pages)*mem.PageSize)
 	fmt.Printf("  files: %d, open fds: %d, console output: %d bytes\n",
 		len(s.Files), len(s.FDs), len(s.Output))
+
+	if showPages && len(s.Pages) > 0 {
+		idx := make([]uint64, len(s.Pages))
+		for i, pg := range s.Pages {
+			idx[i] = pg.Index
+		}
+		sort.Slice(idx, func(i, j int) bool { return idx[i] < idx[j] })
+		fmt.Printf("\nresident pages (index ranges, %d-byte pages):\n", mem.PageSize)
+		for i := 0; i < len(idx); {
+			j := i
+			for j+1 < len(idx) && idx[j+1] == idx[j]+1 {
+				j++
+			}
+			if i == j {
+				fmt.Printf("  %6d           addr %#x\n", idx[i], idx[i]<<mem.PageShift)
+			} else {
+				fmt.Printf("  %6d - %-6d  addr %#x - %#x\n",
+					idx[i], idx[j], idx[i]<<mem.PageShift, idx[j]<<mem.PageShift)
+			}
+			i = j + 1
+		}
+	}
 
 	for i := range s.Threads {
 		t := &s.Threads[i]

@@ -17,6 +17,16 @@
 //
 //	hdcrun -bench is -class S -ckpt-interval 1e-4 -ckpt-out is.ckpt
 //	hdcrun -bench is -class S -restore is.ckpt -node arm
+//
+// Failure detection: -detector attaches the lease-based membership service,
+// so crashes are detected through heartbeat silence instead of the
+// simulator's omniscient down-flag. It requires fault injection (a crash or
+// message chaos) to have anything to detect; -hb-period sets the lease
+// renewal interval and -suspect-timeout the tolerated silence (default 3x
+// the period):
+//
+//	hdcrun -bench is -class S -ckpt-interval 1e-4 \
+//	    -crash-node arm -crash-at 5e-4 -detector -hb-period 2e-5
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"heterodc/internal/fault"
 	"heterodc/internal/kernel"
 	"heterodc/internal/link"
+	"heterodc/internal/member"
 	"heterodc/internal/npb"
 	"heterodc/internal/power"
 	"heterodc/internal/trace"
@@ -42,6 +53,33 @@ func parseNode(s string) (int, error) {
 		return core.NodeARM, nil
 	}
 	return 0, fmt.Errorf("unknown node %q (use x86 or arm)", s)
+}
+
+// detectorConfig validates the detector flag set against the rest of the run
+// and resolves it to a member.Config. chaos reports whether any fault
+// injection is enabled: a detector with nothing to detect is a configuration
+// error, not a silent no-op.
+func detectorConfig(detector bool, hbPeriod, suspectTimeout float64, chaos bool) (member.Config, error) {
+	if !detector {
+		if hbPeriod != 0 || suspectTimeout != 0 {
+			return member.Config{}, fmt.Errorf("-hb-period/-suspect-timeout need -detector")
+		}
+		return member.Config{}, nil
+	}
+	if !chaos {
+		return member.Config{}, fmt.Errorf("-detector needs fault injection to detect anything: add -crash-node, -drop-prob, -dup-prob or -jitter")
+	}
+	if hbPeriod <= 0 {
+		return member.Config{}, fmt.Errorf("-detector needs a positive -hb-period (got %g)", hbPeriod)
+	}
+	if suspectTimeout < 0 {
+		return member.Config{}, fmt.Errorf("-suspect-timeout must be non-negative (got %g; 0 selects 3x the period)", suspectTimeout)
+	}
+	cfg := member.Config{HeartbeatPeriod: hbPeriod, SuspectTimeout: suspectTimeout}
+	if err := cfg.Validate(); err != nil {
+		return member.Config{}, err
+	}
+	return cfg, nil
 }
 
 func main() {
@@ -65,6 +103,9 @@ func main() {
 	ckptPoints := flag.Uint64("ckpt-points", 0, "checkpoint every N migration points (0 disables)")
 	ckptOut := flag.String("ckpt-out", "", "write the latest checkpoint image to this file at exit")
 	restorePath := flag.String("restore", "", "restore this checkpoint image instead of starting fresh")
+	detector := flag.Bool("detector", false, "attach the lease-based failure detector (crashes detected by heartbeat silence, not the oracle)")
+	hbPeriod := flag.Float64("hb-period", 0, "detector: heartbeat period in simulated seconds")
+	suspectTimeout := flag.Float64("suspect-timeout", 0, "detector: silence tolerated before suspicion (0: 3x the period)")
 	flag.Parse()
 
 	node, err := parseNode(*nodeStr)
@@ -106,14 +147,22 @@ func main() {
 		plan.Crashes = []fault.Crash{{Node: cn, At: *crashAt, RecoverAt: *recoverAt}}
 	}
 	chaos := *dropProb > 0 || *dupProb > 0 || *jitter > 0 || *crashNode != ""
+	mcfg, err := detectorConfig(*detector, *hbPeriod, *suspectTimeout, chaos)
+	fatal(err)
 	pol := kernel.CkptPolicy{EveryPoints: *ckptPoints, EverySeconds: *ckptInterval}
 	ckptOn := pol.EveryPoints > 0 || pol.EverySeconds > 0
 	log := trace.NewEventLog(10000)
 	if chaos {
 		cl.InjectFaults(plan)
 	}
-	if chaos || ckptOn {
+	tracing := chaos || ckptOn || *detector
+	if tracing {
 		cl.SetTracer(log)
+	}
+	var svc *member.Service
+	if *detector {
+		svc, err = member.Attach(cl, mcfg)
+		fatal(err)
 	}
 	var mgr *ckpt.Manager
 	if ckptOn {
@@ -202,7 +251,20 @@ func main() {
 		fmt.Printf("faults         : %d dropped, %d retries, %d duplicated, %d exhausted, %d crash stalls\n",
 			s.Dropped, s.Retries, s.Duplicated, s.Exhausted, s.CrashStalls)
 	}
-	if *showFaults && (chaos || ckptOn) {
+	if svc != nil {
+		st := svc.Stats()
+		fenced, stale := cl.FenceStats()
+		fmt.Printf("detector       : %d heartbeats sent, %d suspicions, %d deaths, %d readmissions (%d false positives), %d msgs fenced (%d stale unfenced)\n",
+			st.HeartbeatsSent, st.Suspicions, st.Deaths, st.Readmissions, st.FalseSuspicions, fenced, stale)
+		for _, d := range svc.Deaths() {
+			fmt.Printf("detector       : node %d incarnation %d declared dead at %.6fs by observer %d\n",
+				d.Node, d.Inc, d.At, d.Observer)
+		}
+	}
+	if tracing {
+		fmt.Printf("trace          : %d events kept, %d dropped (ring full)\n", len(log.Events()), log.Dropped())
+	}
+	if *showFaults && tracing {
 		fmt.Print(log.String())
 	}
 }

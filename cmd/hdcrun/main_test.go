@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseNode(t *testing.T) {
 	cases := []struct {
@@ -16,6 +19,44 @@ func TestParseNode(t *testing.T) {
 		got, err := parseNode(c.in)
 		if (err != nil) != c.err || got != c.want {
 			t.Errorf("parseNode(%q) = %d, %v", c.in, got, err)
+		}
+	}
+}
+
+func TestDetectorConfigValidation(t *testing.T) {
+	cases := []struct {
+		name               string
+		detector           bool
+		period, timeout    float64
+		chaos              bool
+		wantErr            string // substring, "" means valid
+		wantPeriod, wantTO float64
+	}{
+		{"off", false, 0, 0, false, "", 0, 0},
+		{"off with period", false, 1e-5, 0, true, "need -detector", 0, 0},
+		{"off with timeout", false, 0, 1e-4, true, "need -detector", 0, 0},
+		{"no faults", true, 1e-5, 0, false, "needs fault injection", 0, 0},
+		{"zero period", true, 0, 0, true, "positive -hb-period", 0, 0},
+		{"negative period", true, -1e-5, 0, true, "positive -hb-period", 0, 0},
+		{"negative timeout", true, 1e-5, -1, true, "non-negative", 0, 0},
+		{"timeout below period", true, 1e-4, 5e-5, true, "below the heartbeat period", 0, 0},
+		{"default timeout", true, 1e-5, 0, true, "", 1e-5, 0},
+		{"explicit timeout", true, 1e-5, 8e-5, true, "", 1e-5, 8e-5},
+	}
+	for _, c := range cases {
+		cfg, err := detectorConfig(c.detector, c.period, c.timeout, c.chaos)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+			continue
+		}
+		if cfg.HeartbeatPeriod != c.wantPeriod || cfg.SuspectTimeout != c.wantTO {
+			t.Errorf("%s: cfg = %+v, want period %g timeout %g", c.name, cfg, c.wantPeriod, c.wantTO)
 		}
 	}
 }

@@ -166,13 +166,15 @@ func (m *Manager) Wait(p *kernel.Process) (*kernel.Process, error) {
 	}
 }
 
-// LeastLoadedNode is the default restore placement: the live node with the
-// fewest runnable threads, or -1 when every node is down (the lost node is
-// already down and skips itself).
+// LeastLoadedNode is the default restore placement: the available node with
+// the fewest runnable threads, or -1 when no node qualifies. Availability is
+// the failure detector's verdict when one is installed (a suspected node is
+// skipped even if it is actually alive) and the oracle down-bit otherwise;
+// the lost node fails both and skips itself.
 func LeastLoadedNode(cl *kernel.Cluster, _ int) int {
 	best, bestLoad := -1, int(^uint(0)>>1)
 	for i, k := range cl.Kernels {
-		if cl.NodeDown(i) {
+		if cl.NodeUnavailable(i) || cl.NodeDown(i) {
 			continue
 		}
 		if load := k.RunnableLoad(); load < bestLoad {

@@ -11,7 +11,10 @@
 // until the modelled delivery time.
 package dsm
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // State is a node's coherence state for one page.
 type State int
@@ -231,6 +234,50 @@ func (s *Space) OwnedPages() []uint64 {
 		}
 	}
 	return out
+}
+
+// SweepNode reclaims every directory reference to a node declared
+// permanently dead: its copies are dropped (counted as Invalidates, like any
+// other coherence drop) and ownership of pages it was responsible for is
+// reassigned to the lowest surviving holder. Pages the dead node held as the
+// only copy are reported in lost — their content is gone; the caller decides
+// whether that strands the owning process. Both result slices are in
+// ascending page order, so the sweep is deterministic over the map.
+//
+// Without the sweep, pageInfo.owner keeps pointing at the dead node: every
+// later read fault would be told to transfer from a machine that will never
+// respond, even when live nodes still hold the page Shared.
+func (s *Space) SweepNode(node int) (dropped, lost []uint64) {
+	pages := make([]uint64, 0, len(s.pages))
+	for pg := range s.pages {
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, pg := range pages {
+		pi := s.pages[pg]
+		if pi.state[node] != Invalid {
+			s.setState(pi, node, Invalid)
+			s.stats[node].Invalidates++
+			dropped = append(dropped, pg)
+		}
+		if pi.owner != node {
+			continue
+		}
+		next := -1
+		for n := 0; n < s.NumNodes; n++ {
+			if n != node && pi.state[n] != Invalid {
+				next = n
+				break
+			}
+		}
+		pi.owner = next
+		if next < 0 {
+			// The dead node held the only copy; the next touch anywhere is a
+			// cold zero-fill fault.
+			lost = append(lost, pg)
+		}
+	}
+	return dropped, lost
 }
 
 // ForceOwn transfers page ownership to node (Exclusive there, Invalid

@@ -204,3 +204,73 @@ func mustFault(t *testing.T, s *Space, node int, page uint64, write bool) Action
 	}
 	return act
 }
+
+func TestSweepNodeDropsCopiesAndReassignsOwner(t *testing.T) {
+	s := NewSpace(3)
+	// Page 10: shared by all three (owner 1 after 1's cold fault + reads).
+	mustFault(t, s, 1, 10, true)
+	mustFault(t, s, 0, 10, false)
+	mustFault(t, s, 2, 10, false)
+	// Page 20: exclusive at node 1 only — its content dies with it.
+	mustFault(t, s, 1, 20, true)
+	// Page 30: exclusive at node 2, untouched by node 1.
+	mustFault(t, s, 2, 30, true)
+
+	dropped, lost := s.SweepNode(1)
+	if len(dropped) != 2 || dropped[0] != 10 || dropped[1] != 20 {
+		t.Fatalf("dropped = %v, want [10 20] in ascending order", dropped)
+	}
+	if len(lost) != 1 || lost[0] != 20 {
+		t.Fatalf("lost = %v, want [20]", lost)
+	}
+	if s.StateOf(1, 10) != Invalid || s.StateOf(1, 20) != Invalid {
+		t.Error("dead node still holds copies after the sweep")
+	}
+	// Page 10's ownership moved to the lowest surviving holder.
+	if s.Owner(10) != 0 {
+		t.Errorf("page 10 owner = %d, want 0", s.Owner(10))
+	}
+	// Page 20 had no surviving copy: no owner at all.
+	if s.Owner(20) != -1 {
+		t.Errorf("page 20 owner = %d, want -1", s.Owner(20))
+	}
+	// Page 30 was never node 1's: untouched.
+	if s.Owner(30) != 2 || s.StateOf(2, 30) != Exclusive {
+		t.Error("sweep disturbed a page the dead node never held")
+	}
+	if s.Stats(1).Invalidates != 2 {
+		t.Errorf("Invalidates at swept node = %d, want 2", s.Stats(1).Invalidates)
+	}
+	if s.HasResident(1) {
+		t.Error("swept node still reports resident pages")
+	}
+
+	// Survivors keep working: a read of page 10 transfers from the new owner,
+	// and the lost page refills cold.
+	act, err := s.Fault(1, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.TransferFrom != 0 {
+		t.Errorf("post-sweep read transfers from %d, want reassigned owner 0", act.TransferFrom)
+	}
+	act, err = s.Fault(0, 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !act.Cold || act.Grant != Exclusive {
+		t.Errorf("touch of lost page not a cold zero-fill: %+v", act)
+	}
+}
+
+func TestSweepNodeIdempotentAndEmpty(t *testing.T) {
+	s := NewSpace(2)
+	if d, l := s.SweepNode(1); d != nil || l != nil {
+		t.Fatalf("sweep of empty directory returned %v %v", d, l)
+	}
+	mustFault(t, s, 1, 5, true)
+	s.SweepNode(1)
+	if d, l := s.SweepNode(1); d != nil || l != nil {
+		t.Fatalf("second sweep not a no-op: %v %v", d, l)
+	}
+}

@@ -1,0 +1,51 @@
+package exp
+
+import "testing"
+
+// TestDetectorStudy is the acceptance gate for lease-based failure
+// detection end to end: for every swept heartbeat period, a permanently
+// crashed node must be detected (not oracle-reported) and the job restored
+// from checkpoint, a transient outage that outlives the detector's patience
+// must be refuted by the rejoining node's bumped incarnation, and no run
+// may end with a stranded job or an un-fenced stale-incarnation message.
+func TestDetectorStudy(t *testing.T) {
+	rows, err := Detector(Config{Scale: Quick}, DetectorOptions{Seed: 11})
+	if err != nil {
+		t.Fatalf("detector study: %v", err)
+	}
+	if len(rows) != 12 { // 2 benches x 3 periods x 2 scenarios
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	periods := map[float64]bool{}
+	for _, r := range rows {
+		periods[r.HeartbeatPeriod] = true
+		if r.Stranded != 0 {
+			t.Errorf("%s %s hb=%g: %d stranded jobs", r.Bench, r.Scenario, r.HeartbeatPeriod, r.Stranded)
+		}
+		if r.StaleUnfenced != 0 {
+			t.Errorf("%s %s hb=%g: %d stale-incarnation messages delivered unfenced",
+				r.Bench, r.Scenario, r.HeartbeatPeriod, r.StaleUnfenced)
+		}
+		if !r.ExitOK || !r.OutputMatch {
+			t.Errorf("%s %s hb=%g: exit=%v match=%v", r.Bench, r.Scenario, r.HeartbeatPeriod, r.ExitOK, r.OutputMatch)
+		}
+		if r.Deaths == 0 {
+			t.Errorf("%s %s hb=%g: outage never declared dead", r.Bench, r.Scenario, r.HeartbeatPeriod)
+		}
+		// Detection is inferred from silence: it must lag the crash by at
+		// least the suspicion timeout, and the job only finishes via restore.
+		if r.DetectionLatency < r.SuspectTimeout {
+			t.Errorf("%s %s hb=%g: detection latency %g below suspicion timeout %g",
+				r.Bench, r.Scenario, r.HeartbeatPeriod, r.DetectionLatency, r.SuspectTimeout)
+		}
+		if r.Restores == 0 {
+			t.Errorf("%s %s hb=%g: no checkpoint restore", r.Bench, r.Scenario, r.HeartbeatPeriod)
+		}
+		if r.Scenario == "transient" && r.FalseSuspicions == 0 {
+			t.Errorf("%s hb=%g: transient outage's death never refuted", r.Bench, r.HeartbeatPeriod)
+		}
+	}
+	if len(periods) < 3 {
+		t.Errorf("study swept %d distinct heartbeat periods, want >= 3", len(periods))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"heterodc/internal/ckpt"
@@ -13,6 +14,7 @@ import (
 	"heterodc/internal/isa"
 	"heterodc/internal/kernel"
 	"heterodc/internal/link"
+	"heterodc/internal/member"
 	"heterodc/internal/msg"
 )
 
@@ -90,6 +92,91 @@ func detChaos(img *link.Image, seed int64, refSec, cap float64, engine string) d
 	cl.RequestProcessMigration(p, core.NodeX86)
 	to := drive(cl, p, cap, nil)
 	return detRun{finish(p, "chaos", to), cl.IC.Stats()}
+}
+
+// detBallastSrc keeps node 0 busy for ~35 simulated milliseconds — long
+// enough for a millisecond-scale failure detector to falsely declare node 1
+// dead during a transient outage and then see the verdict refuted. Corpus
+// programs run tens of microseconds, far below any usable heartbeat period,
+// so they cannot carry the detector timeline themselves; they run alongside
+// the ballast to vary the interleaving per seed.
+const detBallastSrc = `
+long chunk(long base) {
+	long s = 0;
+	for (long j = 0; j < 100; j++) {
+		s += (base + j) % 7;
+		s += (base * j) % 3;
+	}
+	return s;
+}
+long main(void) {
+	long sum = 0;
+	for (long i = 0; i < 10000; i++) { sum += chunk(i); }
+	print_i64_ln(sum);
+	return 0;
+}`
+
+var (
+	detBallastOnce sync.Once
+	detBallastImg  *link.Image
+)
+
+// detDetector runs the corpus program beside the ballast under the
+// lease-based failure detector, a seeded lossy plan, and a transient node-1
+// outage (8ms..20ms) that outlives the detector's patience (~5ms of
+// silence at a 0.5ms period), so node 1 is falsely declared dead and later
+// refutes the verdict under a bumped incarnation. After both processes
+// finish, the cluster is drained so every in-flight heartbeat resolves and
+// the receive-side counters are exit-order independent. Everything — run
+// observables, interconnect counters including heartbeat traffic, and the
+// detector's own statistics — must be byte-identical across engines.
+func detDetector(img *link.Image, seed int64, cap float64, engine string) (detRun, RunResult, member.Stats, uint64) {
+	fail := func() (detRun, RunResult, member.Stats, uint64) {
+		return detRun{RunResult: RunResult{Mode: "detector"}}, RunResult{}, member.Stats{}, 0
+	}
+	detBallastOnce.Do(func() {
+		detBallastImg, _ = core.Build("ballast", core.Src("ballast.c", detBallastSrc))
+	})
+	if detBallastImg == nil {
+		return fail()
+	}
+	cl := detTestbed(engine)
+	cl.InjectFaults(fault.Plan{
+		Seed: seed, DropProb: 0.02, JitterSec: 1e-6,
+		Crashes: []fault.Crash{{Node: 1, At: 8e-3, RecoverAt: 20e-3}},
+	})
+	svc, err := member.Attach(cl, member.Config{HeartbeatPeriod: 0.5e-3})
+	if err != nil {
+		return fail()
+	}
+	ballast, err := cl.Spawn(detBallastImg, core.NodeX86)
+	if err != nil {
+		return fail()
+	}
+	p, err := cl.Spawn(img, core.NodeX86)
+	if err != nil {
+		return fail()
+	}
+	timedOut := false
+	for {
+		eB, _ := ballast.Exited()
+		eP, _ := p.Exited()
+		if eB && eP {
+			break
+		}
+		if cl.Time() > cap {
+			timedOut = true
+			break
+		}
+		if !cl.Step() {
+			break
+		}
+	}
+	for i := 0; i < 1<<20 && cl.Step(); i++ {
+	}
+	_, stale := cl.FenceStats()
+	return detRun{finish(p, "detector", timedOut), cl.IC.Stats()},
+		finish(ballast, "detector-ballast", timedOut), svc.Stats(), stale
 }
 
 // detCkpt checkpoints every `every` migration points and returns the run
@@ -183,6 +270,25 @@ func TestEngineDeterminismCorpus(t *testing.T) {
 			assertSameRun(t, "chaos",
 				detChaos(img, seed, refSec, cap, "seq"),
 				detChaos(img, seed, refSec, cap, "par"))
+
+			detCap := 0.2 + cap
+			seqDet, seqBal, seqMemSt, seqStale := detDetector(img, seed, detCap, "seq")
+			parDet, parBal, parMemSt, parStale := detDetector(img, seed, detCap, "par")
+			assertSameRun(t, "detector", seqDet, parDet)
+			if !equalRun(seqBal, parBal) {
+				t.Errorf("detector: ballast runs diverge: seq ok=%v exit=%d %dB (%s); par ok=%v exit=%d %dB (%s)",
+					seqBal.OK, seqBal.Exit, len(seqBal.Output), seqBal.Digest(),
+					parBal.OK, parBal.Exit, len(parBal.Output), parBal.Digest())
+			}
+			if seqMemSt != parMemSt {
+				t.Errorf("detector: membership stats diverge:\nseq %+v\npar %+v", seqMemSt, parMemSt)
+			}
+			if seqMemSt.Deaths == 0 || seqMemSt.FalseSuspicions == 0 {
+				t.Errorf("detector scenario lost its potency: no falsely declared death (%+v)", seqMemSt)
+			}
+			if seqStale != 0 || parStale != 0 {
+				t.Errorf("detector: stale-incarnation messages delivered unfenced: seq %d par %d", seqStale, parStale)
+			}
 
 			seqCk, seqImgs := detCkpt(img, every, cap, "seq")
 			parCk, parImgs := detCkpt(img, every, cap, "par")

@@ -50,6 +50,19 @@ type Cluster struct {
 	events   [][]nodeEvent
 	eventIdx []int
 
+	// member is the installed lease-based membership service (nil: failure
+	// is read from the NodeDown oracle as before). incarnation[node] is the
+	// node's current incarnation (starts at 1, bumped when it rejoins after
+	// a declared death); deadInc[node] the highest incarnation declared dead
+	// by a detector (0: never). messagesFenced counts deliveries dropped by
+	// the incarnation fence; staleUnfenced counts stale-incarnation messages
+	// delivered anyway (structurally zero, asserted by chaos experiments).
+	member         Membership
+	incarnation    []uint64
+	deadInc        []uint64
+	messagesFenced uint64
+	staleUnfenced  uint64
+
 	lastFrontier float64
 
 	// eng is the attached time engine; nil lazily selects the sequential
@@ -82,6 +95,7 @@ func NewCluster(arches []isa.Arch, cfg msg.Config) *Cluster {
 		cl.Kernels = append(cl.Kernels, newKernel(cl, i, a))
 	}
 	cl.IC.Grow(len(cl.Kernels))
+	cl.initMembership()
 	return cl
 }
 
@@ -102,6 +116,7 @@ func NewClusterSpec(specs []MachineSpec, cfg msg.Config) *Cluster {
 		cl.Kernels = append(cl.Kernels, newKernelSpec(cl, i, s))
 	}
 	cl.IC.Grow(len(cl.Kernels))
+	cl.initMembership()
 	return cl
 }
 
@@ -202,6 +217,9 @@ func (cl *Cluster) CrashNode(node int) {
 	}
 	k.down = true
 	cl.tracef(k.now, "crash", "node %d down", node)
+	if cl.member != nil {
+		cl.member.NodeCrashed(node, k.now)
+	}
 	for _, cs := range k.cores {
 		if cs.thr != nil {
 			t := cs.thr
@@ -215,6 +233,11 @@ func (cl *Cluster) CrashNode(node int) {
 		recoverAt, hasRecover = cl.faults.NodeRecoverAt(node, k.now)
 	}
 	for _, m := range cl.IC.Drain(node) {
+		if m.Type == msg.THeartbeat {
+			// A lease in flight to a crashed observer is void; heartbeats are
+			// never requeued past an outage (the next round re-leases).
+			continue
+		}
 		// A delivery already scheduled past a known recovery was sent by a
 		// reliable channel that waited the outage out; it stands.
 		if hasRecover && m.Deliver >= recoverAt {
@@ -238,8 +261,11 @@ func (cl *Cluster) CrashNode(node int) {
 	cl.abortCheckpoints(k.now, node)
 	// A permanent crash strands every process depending on this node. With
 	// a checkpoint service installed, kill them now so it can requeue each
-	// from its latest image; otherwise preserve the freeze semantics.
-	if !hasRecover && cl.OnProcessLost != nil {
+	// from its latest image; otherwise preserve the freeze semantics. With a
+	// membership service installed, nothing happens here: the crash must be
+	// *inferred* from missed heartbeats, and the teardown runs (with real
+	// detection latency) from DeclareNodeDead.
+	if !hasRecover && cl.OnProcessLost != nil && cl.member == nil {
 		var lost []*Process
 		for _, p := range cl.procs {
 			if !p.exited && cl.processStranded(p, node) {
@@ -277,13 +303,27 @@ func (cl *Cluster) processStranded(p *Process, node int) bool {
 
 // RecoverNode brings a crashed node back: its clock was dragged forward by
 // the co-simulation while it was down, its memory is intact, and threads
-// frozen at the crash become runnable again from its run queue.
+// frozen at the crash become runnable again from its run queue. A capture
+// pending across the transition is aborted (its quiesce set was computed
+// against the pre-recovery cluster) and retried a full interval later. If a
+// failure detector declared this node dead during the outage, it rejoins
+// under a bumped incarnation: new heartbeats refute the death, while
+// messages addressed to the declared-dead incarnation stay fenced.
 func (cl *Cluster) RecoverNode(node int) {
 	k := cl.Kernels[node]
 	if !k.down {
 		return
 	}
 	k.down = false
+	cl.abortCheckpoints(k.now, node)
+	if cl.deadInc != nil && cl.deadInc[node] >= cl.incarnation[node] {
+		cl.incarnation[node]++
+		cl.tracef(k.now, "rejoin", "node %d rejoins as incarnation %d (declared dead as %d)",
+			node, cl.incarnation[node], cl.deadInc[node])
+	}
+	if cl.member != nil {
+		cl.member.NodeRecovered(node, cl.incarnation[node], k.now)
+	}
 	cl.tracef(k.now, "recover", "node %d up (%d threads thawed)", node, len(k.runq))
 }
 

@@ -1,0 +1,58 @@
+package kernel
+
+import (
+	"testing"
+
+	"heterodc/internal/msg"
+)
+
+// The incarnation fence is the backstop for in-flight messages addressed to
+// a declared-dead incarnation; exercise it directly since the reap usually
+// sweeps such messages first.
+func TestAdmitIncarnationFence(t *testing.T) {
+	cl := NewTestbed()
+	k1 := cl.Kernels[1]
+
+	// Nothing declared dead: everything admits, including the initial
+	// incarnation (legacy requeued-wake semantics).
+	if !cl.admitIncarnation(k1, msg.TRemoteWake, 1) {
+		t.Fatal("incarnation 1 rejected before any death declaration")
+	}
+	if f, s := cl.FenceStats(); f != 0 || s != 0 {
+		t.Fatalf("fence counters moved on admitted message: fenced=%d stale=%d", f, s)
+	}
+
+	cl.DeclareNodeDead(1, 0)
+	if cl.DeadIncarnation(1) != 1 {
+		t.Fatalf("deadInc = %d after declaration, want 1", cl.DeadIncarnation(1))
+	}
+	// Idempotent per incarnation.
+	cl.DeclareNodeDead(1, 0)
+	if cl.DeadIncarnation(1) != 1 {
+		t.Fatal("second declaration moved deadInc")
+	}
+
+	if cl.admitIncarnation(k1, msg.TRemoteWake, 1) {
+		t.Error("message for the declared-dead incarnation admitted")
+	}
+	if f, _ := cl.FenceStats(); f != 1 {
+		t.Errorf("messagesFenced = %d, want 1", f)
+	}
+
+	// Recovery after a declared death bumps the incarnation; messages stamped
+	// for the new life pass, the old life stays fenced.
+	cl.CrashNode(1)
+	cl.RecoverNode(1)
+	if cl.Incarnation(1) != 2 {
+		t.Fatalf("incarnation = %d after rejoin, want 2", cl.Incarnation(1))
+	}
+	if cl.admitIncarnation(k1, msg.TThreadMigrate, 1) {
+		t.Error("old-incarnation message admitted after rejoin")
+	}
+	if !cl.admitIncarnation(k1, msg.TThreadMigrate, 2) {
+		t.Error("current-incarnation message fenced")
+	}
+	if _, s := cl.FenceStats(); s != 0 {
+		t.Errorf("staleUnfenced = %d, want 0 (structurally impossible)", s)
+	}
+}

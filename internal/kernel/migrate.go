@@ -50,6 +50,9 @@ type migratePayload struct {
 	deserializeSeconds float64
 	// undo restores the thread on its source if the migration aborts.
 	undo threadUndo
+	// inc stamps the destination incarnation the sender addressed; the
+	// delivery fence drops the payload if it has been declared dead since.
+	inc uint64
 }
 
 // threadUndo snapshots the source-side state a migration rolls back to when
@@ -133,7 +136,21 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 		k.MigrationsAborted++
 		return false
 	}
-	if cl.NodeDown(target) {
+	if cl.member != nil {
+		// With a failure detector installed, the migration service consults
+		// this node's lease view, not the oracle: an expired lease aborts at
+		// the migration point before any state moves. A crashed-but-not-yet-
+		// suspected target is allowed through — the reliable transfer below
+		// then waits the outage out or exhausts its retries and rolls back,
+		// which is exactly what lease expiry mid-handshake looks like.
+		if cl.member.Suspected(k.Node, target) {
+			k.vdsoSetFlag(p, t.Tid, 0)
+			c.SetSyscallResult(0)
+			k.MigrationsAborted++
+			cl.tracef(k.now, "migrate-abort", "tid %d of pid %d: node %d lease expired", t.Tid, p.Pid, target)
+			return false
+		}
+	} else if cl.NodeDown(target) {
 		// Destination is crashed: abort at the migration point before any
 		// state moves; the thread keeps running where it is.
 		k.vdsoSetFlag(p, t.Tid, 0)
@@ -240,7 +257,7 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 		payloadSize = stateBytes + migratePayloadBytes
 	}
 	sentAt, ok := cl.IC.SendReliable(k.now+xlat, k.Node, target, msg.TThreadMigrate, payloadSize,
-		&migratePayload{t: t, deserializeSeconds: deserializeLat, undo: undo})
+		&migratePayload{t: t, deserializeSeconds: deserializeLat, undo: undo, inc: cl.incarnation[target]})
 	if !ok {
 		// Transfer retries exhausted or the destination died for good
 		// mid-handshake: roll the thread back onto this node. The time the

@@ -23,20 +23,58 @@ func (cl *Cluster) Now(node int) float64 { return cl.Kernels[node].now }
 // NextWake returns node's earliest pending wake or message delivery.
 func (cl *Cluster) NextWake(node int) float64 { return cl.Kernels[node].nextEventTime() }
 
-// NextEvent returns the time of node's next scheduled crash/recovery
+// crashEventTime returns the time of node's next scheduled crash/recovery
 // transition, or inf.
-func (cl *Cluster) NextEvent(node int) float64 {
+func (cl *Cluster) crashEventTime(node int) float64 {
 	if cl.eventIdx == nil || cl.eventIdx[node] >= len(cl.events[node]) {
 		return inf
 	}
 	return cl.events[node][cl.eventIdx[node]].time
 }
 
-// ApplyEvent executes node's next scheduled crash/recovery transition.
+// memberDueTime returns the time of node's next membership action
+// (heartbeat emission or suspicion check), or inf. Membership acts only
+// while the cluster has live work: an idle cluster must still drain, and
+// drivers skipping idle gaps must not trip heartbeat cadence.
+func (cl *Cluster) memberDueTime(node int) float64 {
+	if cl.member == nil || !cl.HasLiveProcs() {
+		return inf
+	}
+	return cl.member.NextDue(node)
+}
+
+// NextEvent returns the time of node's next control event — a scheduled
+// crash/recovery transition or a membership action — or inf.
+func (cl *Cluster) NextEvent(node int) float64 {
+	t := cl.crashEventTime(node)
+	if m := cl.memberDueTime(node); m < t {
+		t = m
+	}
+	return t
+}
+
+// ApplyEvent executes node's next due control event. A crash/recovery
+// transition wins ties against a membership action at the same instant: the
+// detector must observe the transition (a recovered node emits immediately;
+// a crashed one falls silent) before acting on it.
 func (cl *Cluster) ApplyEvent(node int) {
-	ev := cl.events[node][cl.eventIdx[node]]
-	cl.eventIdx[node]++
-	cl.applyNodeEvent(ev)
+	evT := cl.crashEventTime(node)
+	memT := cl.memberDueTime(node)
+	if evT <= memT {
+		ev := cl.events[node][cl.eventIdx[node]]
+		cl.eventIdx[node]++
+		cl.applyNodeEvent(ev)
+		return
+	}
+	k := cl.Kernels[node]
+	k.skipTo(memT)
+	now := memT
+	if k.now > now {
+		// The node's clock already passed the due time (an idle gap was
+		// skipped); run the membership action at the clock, not in the past.
+		now = k.now
+	}
+	cl.member.RunDue(node, now)
 }
 
 // Frontier returns the safe time frontier (min kernel clock).
@@ -55,13 +93,16 @@ func (cl *Cluster) NoteFrontier() {
 }
 
 // ParallelOK reports whether group-parallel execution is sound right now.
-// Two observers force the global sequential order: a tracer (its event log
-// is a totally ordered transcript) and the process-lost handler (a permanent
-// crash scans and may kill processes in every group). OnAdvance is fine —
-// the engine samples the frontier only at barriers, and the power meter
-// integrates energy from counter deltas, so totals are unchanged.
+// Three observers force the global sequential order: a tracer (its event log
+// is a totally ordered transcript), the process-lost handler (a permanent
+// crash scans and may kill processes in every group), and a membership
+// service (its all-to-all heartbeat fabric makes every node pair "might
+// interact" — the sharing relation is the complete graph, so the only sound
+// partition is one group). OnAdvance is fine — the engine samples the
+// frontier only at barriers, and the power meter integrates energy from
+// counter deltas, so totals are unchanged.
 func (cl *Cluster) ParallelOK() bool {
-	ok := cl.OnProcessLost == nil && cl.Tracer == nil
+	ok := cl.OnProcessLost == nil && cl.Tracer == nil && cl.member == nil
 	if !ok {
 		cl.parGroups = false
 	}

@@ -206,10 +206,13 @@ func (k *Kernel) threadExit(t *Thread, val int64) {
 	}
 }
 
-// wakePayload carries a join wake-up across kernels.
+// wakePayload carries a join wake-up across kernels. inc stamps the
+// destination incarnation the sender addressed; the delivery fence drops the
+// wake if that incarnation has since been declared dead.
 type wakePayload struct {
 	t      *Thread
 	result int64
+	inc    uint64
 }
 
 func (k *Kernel) wakeJoiner(j *Thread, result int64) {
@@ -222,7 +225,7 @@ func (k *Kernel) wakeJoiner(j *Thread, result int64) {
 		return
 	}
 	if _, ok := k.cluster.IC.SendReliable(k.now, k.Node, j.Node, msg.TRemoteWake, 64,
-		&wakePayload{t: j, result: result}); !ok {
+		&wakePayload{t: j, result: result, inc: k.cluster.incarnation[j.Node]}); !ok {
 		// The joiner's node never comes back; the joiner stays blocked and
 		// the cluster drains, surfacing the deadlock to the caller.
 		k.cluster.tracef(k.now, "wake-lost", "join wake for tid %d to node %d undeliverable", j.Tid, j.Node)
@@ -232,14 +235,27 @@ func (k *Kernel) wakeJoiner(j *Thread, result int64) {
 // handleMessage processes one delivered inter-kernel message.
 func (k *Kernel) handleMessage(m *msg.Message) {
 	switch m.Type {
+	case msg.THeartbeat:
+		if k.cluster.member != nil {
+			k.cluster.member.Deliver(k.Node, m)
+		}
 	case msg.TRemoteWake:
 		w := m.Payload.(*wakePayload)
+		if !k.cluster.admitIncarnation(k, m.Type, w.inc) {
+			return
+		}
 		if w.t.State == BlockedJoin {
 			w.t.Regs.I[k.Desc.IntRet] = w.result
 			k.enqueue(w.t)
 		}
 	case msg.TThreadMigrate:
 		mp := m.Payload.(*migratePayload)
+		if !k.cluster.admitIncarnation(k, m.Type, mp.inc) {
+			// The thread addressed a declared-dead incarnation; its process
+			// was stranded by the declaration and already reaped, so there is
+			// nothing to roll back.
+			return
+		}
 		t := mp.t
 		if t.Proc.exited || t.State == Exited {
 			// The process died while the thread was in flight: the payload

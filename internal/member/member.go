@@ -1,0 +1,428 @@
+// Package member implements the lease-based membership and failure
+// detection service: each node leases its liveness to every peer via
+// periodic heartbeats sent unreliably through the modelled interconnect
+// (msg.THeartbeat traffic, charged like any other message), and each node
+// runs a per-target suspicion state machine over the heartbeats it hears —
+// alive while the lease is fresh, suspect when it expires, dead after a
+// capped-backoff series of re-checks stays silent. Death verdicts are
+// handed to the kernel (Cluster.DeclareNodeDead), which fences the declared
+// incarnation, sweeps the DSM directory, and kills stranded processes so a
+// checkpoint service can restore them.
+//
+// The detector is deliberately fallible: it infers failure from silence
+// over the same degraded links internal/fault injects, so a long outage or
+// a lossy window can produce a false positive. A wrongly-declared node
+// rejoins under a bumped incarnation; its fresh heartbeats refute the death
+// (Readmissions/FalseSuspicions in Stats), while everything addressed to
+// the declared-dead incarnation is dropped at the kernel's fence.
+//
+// Determinism: all membership actions run as per-node control events
+// through sim.Model's NextEvent/ApplyEvent path, at simulated times that
+// are pure functions of the configuration and message history. Installing
+// the service pins the parallel engine to a single inline sharing group
+// (the all-to-all heartbeat fabric makes the conservative "might interact"
+// relation the complete graph), so both engines execute the identical
+// global schedule and stay byte-identical — counters included.
+package member
+
+import (
+	"fmt"
+
+	"heterodc/internal/kernel"
+	"heterodc/internal/msg"
+)
+
+// inf mirrors sim.Inf so due times round-trip through the engine unchanged.
+const inf = 1e30
+
+// heartbeatBytes is the wire payload of one lease heartbeat (node id,
+// incarnation, a little framing).
+const heartbeatBytes = 32
+
+// Config tunes the detector.
+type Config struct {
+	// HeartbeatPeriod is the lease renewal interval in simulated seconds.
+	// Every node multicasts one heartbeat per period (staggered phases so
+	// the fabric does not burst). Must be > 0.
+	HeartbeatPeriod float64
+	// SuspectTimeout is how long an observer tolerates silence before
+	// moving a target from alive to suspect. 0 selects 3x the period; it
+	// must be >= the period or every lease would expire before renewal.
+	SuspectTimeout float64
+	// DeathMisses is how many backoff re-checks a suspect survives before
+	// the observer declares it dead. 0 selects 3.
+	DeathMisses int
+	// BackoffCap caps the doubling re-check backoff. 0 selects 8x the
+	// period.
+	BackoffCap float64
+}
+
+// withDefaults resolves zero fields to their defaults.
+func (c Config) withDefaults() Config {
+	if c.SuspectTimeout == 0 {
+		c.SuspectTimeout = 3 * c.HeartbeatPeriod
+	}
+	if c.DeathMisses == 0 {
+		c.DeathMisses = 3
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = 8 * c.HeartbeatPeriod
+	}
+	return c
+}
+
+// Validate rejects configurations that cannot detect anything (or would
+// suspect everything): a non-positive period, a suspicion timeout below the
+// renewal interval, a non-positive miss budget.
+func (c Config) Validate() error {
+	if c.HeartbeatPeriod <= 0 {
+		return fmt.Errorf("member: heartbeat period must be positive (got %g)", c.HeartbeatPeriod)
+	}
+	if c.SuspectTimeout != 0 && c.SuspectTimeout < c.HeartbeatPeriod {
+		return fmt.Errorf("member: suspicion timeout %g is below the heartbeat period %g; every lease would expire before it could renew",
+			c.SuspectTimeout, c.HeartbeatPeriod)
+	}
+	if c.DeathMisses < 0 {
+		return fmt.Errorf("member: death-miss budget must be non-negative (got %d)", c.DeathMisses)
+	}
+	if c.BackoffCap != 0 && c.BackoffCap < c.HeartbeatPeriod {
+		return fmt.Errorf("member: backoff cap %g is below the heartbeat period %g", c.BackoffCap, c.HeartbeatPeriod)
+	}
+	return nil
+}
+
+// State is an observer's view of one target.
+type State int
+
+const (
+	// Alive: the lease is fresh.
+	Alive State = iota
+	// Suspect: the lease expired; re-checks with capped backoff are running.
+	Suspect
+	// Dead: the observer declared the target's incarnation dead. Final for
+	// that incarnation — only a heartbeat from a higher incarnation (the
+	// node rejoining) refutes it.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// hbPayload is the heartbeat wire payload.
+type hbPayload struct {
+	from int
+	inc  uint64
+}
+
+// view is one observer's suspicion state for one target.
+type view struct {
+	state     State
+	lastInc   uint64  // highest incarnation heard from the target
+	deadInc   uint64  // incarnation this observer declared dead (0: none)
+	lastHeard float64 // when the lease was last renewed
+	deadline  float64 // next suspicion check, or inf when Dead
+	backoff   float64 // current re-check backoff while Suspect
+	missed    int     // consecutive expired re-checks while Suspect
+}
+
+// Stats aggregates the detector's deterministic counters; two runs of the
+// same workload under the same fault plan produce identical values on both
+// engines.
+type Stats struct {
+	HeartbeatsSent      uint64 // heartbeat messages handed to the interconnect
+	HeartbeatsDelivered uint64 // heartbeats that renewed a lease
+	HeartbeatsFenced    uint64 // stale-incarnation heartbeats dropped by a view
+	Suspicions          uint64 // alive -> suspect transitions
+	Readmissions        uint64 // suspect/dead -> alive transitions
+	FalseSuspicions     uint64 // readmissions that refuted a declared death
+	Deaths              uint64 // death declarations (first observer per incarnation)
+}
+
+// DeathRecord is one death declaration, for detection-latency studies.
+type DeathRecord struct {
+	Node     int     // the declared node
+	Inc      uint64  // the incarnation declared dead
+	At       float64 // simulated declaration time
+	Observer int     // the observer that reached the verdict first
+}
+
+// Service is the membership service attached to one cluster. It keeps plain
+// unlocked state: installing it forces the engines into a single global
+// schedule (see kernel.Cluster.ParallelOK), so all calls are serial.
+type Service struct {
+	cl  *kernel.Cluster
+	cfg Config
+
+	views     [][]view  // views[observer][target]
+	nextEmit  []float64 // next heartbeat emission per node (inf while down)
+	nextCheck []float64 // earliest suspicion deadline per observer (cached)
+
+	stats  Stats
+	deaths []DeathRecord
+}
+
+// Attach validates cfg (after resolving defaults), builds the service over
+// cl and installs it as the cluster's membership authority.
+func Attach(cl *kernel.Cluster, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cl.NumNodes()
+	s := &Service{
+		cl:        cl,
+		cfg:       cfg,
+		views:     make([][]view, n),
+		nextEmit:  make([]float64, n),
+		nextCheck: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		// Stagger initial phases so the fabric does not burst n*(n-1)
+		// messages at one instant.
+		s.nextEmit[i] = cfg.HeartbeatPeriod * float64(i) / float64(n)
+		s.views[i] = make([]view, n)
+		for j := range s.views[i] {
+			s.views[i][j] = view{deadline: cfg.SuspectTimeout}
+		}
+		s.recomputeCheck(i)
+	}
+	cl.SetMembership(s)
+	return s, nil
+}
+
+// Config returns the resolved configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Stats returns the detector counters.
+func (s *Service) Stats() Stats { return s.stats }
+
+// Deaths returns every death declaration in declaration order.
+func (s *Service) Deaths() []DeathRecord { return s.deaths }
+
+// View returns observer's current state for target.
+func (s *Service) View(observer, target int) State { return s.views[observer][target].state }
+
+// recomputeCheck refreshes observer's cached earliest suspicion deadline.
+func (s *Service) recomputeCheck(observer int) {
+	min := inf
+	for t := range s.views[observer] {
+		if t == observer {
+			continue
+		}
+		if d := s.views[observer][t].deadline; d < min {
+			min = d
+		}
+	}
+	s.nextCheck[observer] = min
+}
+
+// NextDue returns node's next membership action time (the kernel gates this
+// on the cluster having live work).
+func (s *Service) NextDue(node int) float64 {
+	t := s.nextEmit[node]
+	if c := s.nextCheck[node]; c < t {
+		t = c
+	}
+	return t
+}
+
+// RunDue performs node's membership actions due at now: resume after an
+// idle gap, emit the periodic heartbeat round, and evaluate expired
+// suspicion deadlines.
+func (s *Service) RunDue(node int, now float64) {
+	if s.cl.NodeDown(node) {
+		// Defensive: a crashed node neither leases nor observes. NodeCrashed
+		// already parked its schedule.
+		s.nextEmit[node] = inf
+		s.nextCheck[node] = inf
+		return
+	}
+	if now >= s.nextEmit[node]+s.cfg.SuspectTimeout {
+		// The cluster sat idle (no live processes) past the suspicion
+		// timeout: leases are void on both sides. Restart node's cadence here
+		// and refresh its own views, or the silence of the gap would read as
+		// a burst of false suspicions. The threshold is the timeout, not one
+		// period: a busy node services its due times up to a scheduling
+		// quantum late, and a sub-timeout delay must catch up (possibly
+		// emitting several rounds back to back) rather than re-phase — a
+		// reset here wipes live suspicion state.
+		s.resetViews(node, now)
+		s.nextEmit[node] = now
+	}
+	if now >= s.nextEmit[node] {
+		s.emit(node, now)
+		s.nextEmit[node] += s.cfg.HeartbeatPeriod
+	}
+	if now >= s.nextCheck[node] {
+		s.check(node, now)
+	}
+}
+
+// emit multicasts node's lease renewal to every peer, charged through the
+// interconnect as ordinary (unreliable) traffic — loss is the signal.
+func (s *Service) emit(node int, now float64) {
+	inc := s.cl.Incarnation(node)
+	for to := 0; to < s.cl.NumNodes(); to++ {
+		if to == node {
+			continue
+		}
+		s.cl.IC.Send(now, node, to, msg.THeartbeat, heartbeatBytes, &hbPayload{from: node, inc: inc})
+		s.stats.HeartbeatsSent++
+	}
+}
+
+// check evaluates observer's expired suspicion deadlines at now.
+func (s *Service) check(observer int, now float64) {
+	for target := range s.views[observer] {
+		if target == observer {
+			continue
+		}
+		v := &s.views[observer][target]
+		if v.deadline > now {
+			continue
+		}
+		switch v.state {
+		case Alive:
+			v.state = Suspect
+			v.missed = 0
+			v.backoff = s.cfg.HeartbeatPeriod
+			v.deadline = now + v.backoff
+			s.stats.Suspicions++
+			s.trace(now, "suspect", "node %d suspects node %d (silent since %.6fs)", observer, target, v.lastHeard)
+		case Suspect:
+			v.missed++
+			if v.missed >= s.cfg.DeathMisses {
+				s.declareDead(observer, target, now)
+				continue
+			}
+			v.backoff *= 2
+			if v.backoff > s.cfg.BackoffCap {
+				v.backoff = s.cfg.BackoffCap
+			}
+			v.deadline = now + v.backoff
+		}
+	}
+	s.recomputeCheck(observer)
+}
+
+// declareDead finalises observer's verdict on target and (first observer
+// per incarnation) executes it on the cluster.
+func (s *Service) declareDead(observer, target int, now float64) {
+	v := &s.views[observer][target]
+	inc := s.cl.Incarnation(target)
+	v.state = Dead
+	v.deadInc = inc
+	v.deadline = inf
+	if s.cl.DeadIncarnation(target) < inc {
+		s.stats.Deaths++
+		s.deaths = append(s.deaths, DeathRecord{Node: target, Inc: inc, At: now, Observer: observer})
+		s.trace(now, "member-dead", "node %d declares node %d (incarnation %d) dead", observer, target, inc)
+		s.cl.DeclareNodeDead(target, now)
+	}
+}
+
+// Deliver processes one heartbeat arriving at node `to`.
+func (s *Service) Deliver(to int, m *msg.Message) {
+	hb, ok := m.Payload.(*hbPayload)
+	if !ok {
+		return
+	}
+	v := &s.views[to][hb.from]
+	if hb.inc < v.lastInc || (v.state == Dead && hb.inc <= v.deadInc) {
+		// A lease from a superseded incarnation, or from the very
+		// incarnation this observer declared dead: death is final per
+		// incarnation (the rejoining node refutes with a *higher* one).
+		s.stats.HeartbeatsFenced++
+		return
+	}
+	s.stats.HeartbeatsDelivered++
+	switch v.state {
+	case Suspect:
+		s.stats.Readmissions++
+		s.trace(m.Deliver, "readmit", "node %d clears suspicion of node %d", to, hb.from)
+	case Dead:
+		s.stats.Readmissions++
+		s.stats.FalseSuspicions++
+		s.trace(m.Deliver, "readmit", "node %d readmits node %d as incarnation %d (death refuted)", to, hb.from, hb.inc)
+	}
+	v.state = Alive
+	v.lastInc = hb.inc
+	v.lastHeard = m.Deliver
+	v.missed = 0
+	v.backoff = 0
+	v.deadline = m.Deliver + s.cfg.SuspectTimeout
+	s.recomputeCheck(to)
+}
+
+// Suspected reports observer's lease view of target: expired or declared.
+func (s *Service) Suspected(observer, target int) bool {
+	if observer == target {
+		return false
+	}
+	return s.views[observer][target].state != Alive
+}
+
+// SuspectedAny reports whether any live observer currently suspects target.
+func (s *Service) SuspectedAny(target int) bool {
+	for o := range s.views {
+		if o == target || s.cl.NodeDown(o) {
+			continue
+		}
+		if s.views[o][target].state != Alive {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeCrashed parks a physically crashed node's schedule: it neither leases
+// nor observes until recovery. Its peers are told nothing — they learn from
+// the silence, after a real detection latency.
+func (s *Service) NodeCrashed(node int, now float64) {
+	s.nextEmit[node] = inf
+	s.nextCheck[node] = inf
+}
+
+// NodeRecovered restarts a recovered node under incarnation inc: it emits
+// immediately (the fastest refutation of any death declared during the
+// outage) and refreshes its own views — it heard nothing while down, and
+// treating the outage as peer silence would burst false suspicions.
+func (s *Service) NodeRecovered(node int, inc uint64, now float64) {
+	s.nextEmit[node] = now
+	s.resetViews(node, now)
+}
+
+// resetViews re-arms node's own lease views as of now. Views it holds as
+// Dead stay dead: only a refuting heartbeat readmits a declared incarnation.
+func (s *Service) resetViews(node int, now float64) {
+	for t := range s.views[node] {
+		if t == node {
+			continue
+		}
+		v := &s.views[node][t]
+		if v.state == Dead {
+			continue
+		}
+		v.state = Alive
+		v.lastHeard = now
+		v.missed = 0
+		v.backoff = 0
+		v.deadline = now + s.cfg.SuspectTimeout
+	}
+	s.recomputeCheck(node)
+}
+
+func (s *Service) trace(t float64, kind, format string, args ...interface{}) {
+	if s.cl.Tracer != nil {
+		s.cl.Tracer.Record(t, kind, fmt.Sprintf(format, args...))
+	}
+}

@@ -40,6 +40,9 @@ const (
 	// TSerializedState carries whole-state serialization payloads (the
 	// PadMig-style baseline).
 	TSerializedState
+	// THeartbeat carries a membership lease heartbeat (node liveness plus
+	// incarnation number); sent unreliably, loss is the signal.
+	THeartbeat
 )
 
 // Message is one inter-kernel message.

@@ -136,7 +136,7 @@ func place(s *State, p Policy, threads int) int {
 	w := p.Weights(s)
 	best, bestScore := 0, 1e30
 	for n := range s.Cluster.Kernels {
-		if w[n] <= 0 || s.Cluster.NodeDown(n) {
+		if w[n] <= 0 || s.Cluster.NodeUnavailable(n) {
 			continue
 		}
 		score := (float64(s.ThreadsOn(n)) + float64(threads)) / w[n]
@@ -159,10 +159,11 @@ func rebalance(s *State, p Policy, cooldown float64) {
 	}
 	loads := make([]load, 0, len(w))
 	for n := range s.Cluster.Kernels {
-		if w[n] <= 0 || s.Cluster.NodeDown(n) {
-			// A crashed node neither gives up jobs (its threads are frozen
-			// until recovery) nor receives them; once it recovers it
-			// re-enters the balance and load flows back.
+		if w[n] <= 0 || s.Cluster.NodeUnavailable(n) {
+			// An unavailable node — crashed under the oracle, *suspected* when
+			// a failure detector is installed — neither gives up jobs (its
+			// threads are frozen until recovery) nor receives them; once it is
+			// readmitted it re-enters the balance and load flows back.
 			continue
 		}
 		loads = append(loads, load{n, float64(s.ThreadsOn(n)) / w[n]})
