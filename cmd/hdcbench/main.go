@@ -16,6 +16,8 @@
 //	hdcbench -exp detector    # failure-detector heartbeat-period sweep
 //	hdcbench -exp fuzz        # differential fuzzing sweep (programs/sec)
 //	hdcbench -exp rack        # N-node rack-scale scheduling study
+//	hdcbench -exp member-scaling  # SWIM vs lease traffic/state/latency sweep
+//	hdcbench -exp partition   # network-partition split-brain study
 //	hdcbench -exp all
 //
 // The rack experiment takes -rack-nodes N (default 4) to size the ensemble
@@ -31,11 +33,19 @@
 // The fuzz experiment takes -fuzz-seed, -fuzz-budget and -fuzz-max; it
 // fails if any divergence could not be reduced and archived.
 //
+// The member-scaling experiment sweeps rack sizes under both the SWIM
+// detector and the all-pairs lease baseline (-fault-seed varies the streams;
+// -scale quick shrinks the grid) and writes its rows to -json when given —
+// results/membership-scaling.json is recorded this way. The partition
+// experiment runs every seeded bipartition scenario on both engines and
+// enforces the split-brain invariants; it also honours -json.
+//
 // -scale quick|default|full selects the parameter grid (full is the paper's
 // grid and takes tens of minutes).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +55,23 @@ import (
 	"heterodc/internal/exp"
 	"heterodc/internal/trace"
 )
+
+// writeJSON records experiment rows as an indented JSON array; empty path
+// means "print only".
+func writeJSON(path string, rows any) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
 
 // parseFracs parses a comma-separated list of heartbeat-period fractions.
 // Empty means "use the experiment's default sweep"; every listed fraction
@@ -69,7 +96,7 @@ func parseFracs(s string) ([]float64, error) {
 }
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|detector|fuzz|all")
+	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|detector|fuzz|member-scaling|partition|all")
 	scale := flag.String("scale", "default", "quick|default|full")
 	faultSeed := flag.Int64("fault-seed", 7, "chaos: fault-plan seed")
 	dropProb := flag.Float64("drop-prob", 0.02, "chaos: baseline message-loss probability")
@@ -80,6 +107,7 @@ func main() {
 	rackNodes := flag.Int("rack-nodes", 4, "rack: machine count (half x86, half ARM in the mixed setups)")
 	engine := flag.String("engine", "seq", "cluster time engine: seq|par (experiments that honour it)")
 	hbFracs := flag.String("hb-fracs", "", "detector: comma list of heartbeat periods as runtime fractions (empty: default sweep)")
+	jsonPath := flag.String("json", "", "member-scaling/partition: also write the result rows as JSON to this file")
 	flag.Parse()
 
 	fracs, err := parseFracs(*hbFracs)
@@ -309,6 +337,36 @@ func main() {
 		}
 		fmt.Printf("shape check: OK (%d programs, %.1f/s, all five modes byte-identical)\n",
 			res.Programs, res.ProgramsPerSec)
+		return nil
+	})
+
+	run("member-scaling", func() error {
+		rows, err := exp.MemberScale(cfg, exp.MemberScaleOptions{Seed: *faultSeed})
+		if err != nil {
+			return err
+		}
+		if err := exp.MemberScaleShapeHolds(rows); err != nil {
+			return err
+		}
+		if err := writeJSON(*jsonPath, rows); err != nil {
+			return err
+		}
+		fmt.Println("shape check: OK (SWIM traffic flat and state sub-quadratic; lease dense; no false deaths)")
+		return nil
+	})
+
+	run("partition", func() error {
+		rows, err := exp.Partition(cfg, exp.PartitionOptions{Seed: *faultSeed})
+		if err != nil {
+			return err
+		}
+		if err := exp.PartitionInvariantsHold(rows); err != nil {
+			return err
+		}
+		if err := writeJSON(*jsonPath, rows); err != nil {
+			return err
+		}
+		fmt.Println("shape check: OK (no split-brain restore or quorumless verdict; views reconverge on both engines)")
 		return nil
 	})
 

@@ -12,13 +12,20 @@
 //	hdcinspect -ckpt is.ckpt -bench is -class S  # ... plus stack frame walks
 //	hdcinspect -ckpt is.ckpt -pages              # ... plus resident page map
 //	hdcinspect -repro internal/fuzz/testdata/crash-....c  # replay a fuzz repro
+//	hdcinspect -member views.json                # membership view matrix
 //
 // -pages lists every resident DSM page in the image; after a node is
 // declared dead, the crash-sweep drops its copies, so an image captured
 // post-declaration must be missing the pages the dead node held exclusively.
+//
+// -member renders a membership dump written by hdcrun -member-out: the
+// observer x target view matrix, per-node incarnation/quorum state, and a
+// divergence report. It exits nonzero if the dump shows a split brain — two
+// quorum-holding observers disagreeing on whether a node is dead.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +39,7 @@ import (
 	"heterodc/internal/kernel"
 	"heterodc/internal/link"
 	"heterodc/internal/mem"
+	"heterodc/internal/member"
 	"heterodc/internal/npb"
 )
 
@@ -46,10 +54,15 @@ func main() {
 	ckptPath := flag.String("ckpt", "", "checkpoint image file to dump (add -bench/-src for frame walks)")
 	pages := flag.Bool("pages", false, "with -ckpt: list the resident DSM pages (sweep-audit view)")
 	reproPath := flag.String("repro", "", "fuzz corpus entry to replay through the differential oracle")
+	memberPath := flag.String("member", "", "membership view dump (hdcrun -member-out) to render")
 	flag.Parse()
 
 	if *reproPath != "" {
 		inspectRepro(*reproPath)
+		return
+	}
+	if *memberPath != "" {
+		inspectMember(*memberPath)
 		return
 	}
 
@@ -203,6 +216,90 @@ func inspectRepro(path string) {
 		os.Exit(1)
 	}
 	fmt.Println("\nall modes byte-identical")
+}
+
+// inspectMember renders a membership dump (member.ViewDump JSON from hdcrun
+// -member-out): per-node incarnation/quorum state, the observer x target
+// view matrix, and a divergence report. Divergence where at most one side
+// holds quorum is the detector working as designed (a cut minority defers);
+// two quorum-holding observers disagreeing on a death is a split brain, and
+// the command exits nonzero so it doubles as an artifact audit.
+func inspectMember(path string) {
+	data, err := os.ReadFile(path)
+	fatal(err)
+	var d member.ViewDump
+	fatal(json.Unmarshal(data, &d))
+	if d.Nodes <= 0 || len(d.Views) != d.Nodes {
+		fatal(fmt.Errorf("%s: not a membership dump (nodes=%d, views=%d)", path, d.Nodes, len(d.Views)))
+	}
+
+	fmt.Printf("membership dump %s: %d nodes at t=%.6fs, verdict quorum %d\n\n",
+		path, d.Nodes, d.Time, d.Quorum)
+	fmt.Printf("%-6s %5s %9s %6s %7s\n", "node", "inc", "dead-inc", "down", "quorum")
+	for i := 0; i < d.Nodes; i++ {
+		fmt.Printf("%-6d %5d %9d %6v %7v\n",
+			i, d.Incarnations[i], d.DeadIncarnations[i], d.Down[i], d.HasQuorum[i])
+	}
+
+	fmt.Printf("\nview matrix (row: observer, column: target; state@incarnation, *=verdict deferred):\n")
+	fmt.Printf("%-10s", "")
+	for t := 0; t < d.Nodes; t++ {
+		fmt.Printf(" %-10s", fmt.Sprintf("node %d", t))
+	}
+	fmt.Println()
+	for o := 0; o < d.Nodes; o++ {
+		fmt.Printf("node %-5d", o)
+		for t := 0; t < d.Nodes; t++ {
+			v := d.Views[o][t]
+			cell := fmt.Sprintf("%s@%d", v.State, v.Inc)
+			if o == t {
+				cell = "self"
+			} else if v.Deferred {
+				cell += "*"
+			}
+			fmt.Printf(" %-10s", cell)
+		}
+		fmt.Println()
+	}
+
+	splitBrain := false
+	diverged := false
+	for t := 0; t < d.Nodes; t++ {
+		var deadQ, liveQ, deadNoQ, liveNoQ []int
+		for o := 0; o < d.Nodes; o++ {
+			if o == t || d.Down[o] {
+				continue
+			}
+			dead := d.Views[o][t].State == "dead"
+			switch {
+			case dead && d.HasQuorum[o]:
+				deadQ = append(deadQ, o)
+			case dead:
+				deadNoQ = append(deadNoQ, o)
+			case d.HasQuorum[o]:
+				liveQ = append(liveQ, o)
+			default:
+				liveNoQ = append(liveNoQ, o)
+			}
+		}
+		if len(deadQ) > 0 && len(liveQ) > 0 {
+			splitBrain = true
+			fmt.Printf("\nSPLIT-BRAIN: node %d held dead by quorum observers %v but live by quorum observers %v\n",
+				t, deadQ, liveQ)
+		} else if len(deadQ)+len(deadNoQ) > 0 && len(liveQ)+len(liveNoQ) > 0 {
+			diverged = true
+			fmt.Printf("\ndivergence (benign): node %d held dead by %v, live by %v — only one side holds quorum\n",
+				t, append(deadQ, deadNoQ...), append(liveQ, liveNoQ...))
+		}
+	}
+	switch {
+	case splitBrain:
+		os.Exit(1)
+	case diverged:
+		fmt.Println("\nviews diverge, but no split brain: every executed verdict is quorum-backed")
+	default:
+		fmt.Println("\nall views agree")
+	}
 }
 
 // inspectCkpt dumps a checkpoint image: header framing with per-section

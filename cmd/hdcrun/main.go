@@ -18,18 +18,33 @@
 //	hdcrun -bench is -class S -ckpt-interval 1e-4 -ckpt-out is.ckpt
 //	hdcrun -bench is -class S -restore is.ckpt -node arm
 //
-// Failure detection: -detector attaches the lease-based membership service,
-// so crashes are detected through heartbeat silence instead of the
-// simulator's omniscient down-flag. It requires fault injection (a crash or
-// message chaos) to have anything to detect; -hb-period sets the lease
-// renewal interval and -suspect-timeout the tolerated silence (default 3x
-// the period):
+// Failure detection: -detector attaches the SWIM-style gossip membership
+// service, so crashes are detected through probe silence instead of the
+// simulator's omniscient down-flag. It requires fault injection (a crash,
+// message chaos or a partition) to have anything to detect; -hb-period sets
+// the probe round period and -suspect-timeout the tolerated silence
+// (default 3x the period):
 //
 //	hdcrun -bench is -class S -ckpt-interval 1e-4 \
 //	    -crash-node arm -crash-at 5e-4 -detector -hb-period 2e-5
+//
+// Network partitions: -partition-node isolates one node between
+// -partition-at and -partition-heal (heal <= start means never);
+// -partition-oneway cuts only the isolated node's outbound legs. Note the
+// two-node testbed runs with the documented two-node quorum exception
+// (quorum 1), so a partitioned pair WOULD mutually declare each other dead:
+// pass -quorum 2 to make both sides defer their verdicts until the heal
+// instead (the rack-size quorum semantics are exercised by hdcbench -exp
+// partition). -member-out writes the final membership views
+// (member.ViewDump JSON) for hdcinspect -member:
+//
+//	hdcrun -bench is -class S -detector -hb-period 2e-5 -quorum 2 \
+//	    -partition-node arm -partition-at 3e-4 -partition-heal 8e-4 \
+//	    -member-out views.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -59,15 +74,18 @@ func parseNode(s string) (int, error) {
 // and resolves it to a member.Config. chaos reports whether any fault
 // injection is enabled: a detector with nothing to detect is a configuration
 // error, not a silent no-op.
-func detectorConfig(detector bool, hbPeriod, suspectTimeout float64, chaos bool) (member.Config, error) {
+func detectorConfig(detector bool, hbPeriod, suspectTimeout float64, quorum int, chaos bool) (member.Config, error) {
 	if !detector {
-		if hbPeriod != 0 || suspectTimeout != 0 {
-			return member.Config{}, fmt.Errorf("-hb-period/-suspect-timeout need -detector")
+		if hbPeriod != 0 || suspectTimeout != 0 || quorum != 0 {
+			return member.Config{}, fmt.Errorf("-hb-period/-suspect-timeout/-quorum need -detector")
 		}
 		return member.Config{}, nil
 	}
+	if quorum < 0 {
+		return member.Config{}, fmt.Errorf("-quorum must be non-negative (got %d; 0 selects the majority rule)", quorum)
+	}
 	if !chaos {
-		return member.Config{}, fmt.Errorf("-detector needs fault injection to detect anything: add -crash-node, -drop-prob, -dup-prob or -jitter")
+		return member.Config{}, fmt.Errorf("-detector needs fault injection to detect anything: add -crash-node, -partition-node, -drop-prob, -dup-prob or -jitter")
 	}
 	if hbPeriod <= 0 {
 		return member.Config{}, fmt.Errorf("-detector needs a positive -hb-period (got %g)", hbPeriod)
@@ -75,7 +93,7 @@ func detectorConfig(detector bool, hbPeriod, suspectTimeout float64, chaos bool)
 	if suspectTimeout < 0 {
 		return member.Config{}, fmt.Errorf("-suspect-timeout must be non-negative (got %g; 0 selects 3x the period)", suspectTimeout)
 	}
-	cfg := member.Config{HeartbeatPeriod: hbPeriod, SuspectTimeout: suspectTimeout}
+	cfg := member.Config{HeartbeatPeriod: hbPeriod, SuspectTimeout: suspectTimeout, Quorum: quorum}
 	if err := cfg.Validate(); err != nil {
 		return member.Config{}, err
 	}
@@ -103,10 +121,20 @@ func main() {
 	ckptPoints := flag.Uint64("ckpt-points", 0, "checkpoint every N migration points (0 disables)")
 	ckptOut := flag.String("ckpt-out", "", "write the latest checkpoint image to this file at exit")
 	restorePath := flag.String("restore", "", "restore this checkpoint image instead of starting fresh")
-	detector := flag.Bool("detector", false, "attach the lease-based failure detector (crashes detected by heartbeat silence, not the oracle)")
-	hbPeriod := flag.Float64("hb-period", 0, "detector: heartbeat period in simulated seconds")
+	detector := flag.Bool("detector", false, "attach the SWIM failure detector (crashes detected by probe silence, not the oracle)")
+	hbPeriod := flag.Float64("hb-period", 0, "detector: probe round period in simulated seconds")
 	suspectTimeout := flag.Float64("suspect-timeout", 0, "detector: silence tolerated before suspicion (0: 3x the period)")
+	quorum := flag.Int("quorum", 0, "detector: verdict quorum override (0: majority, with the two-node exception)")
+	partitionNode := flag.String("partition-node", "", "node to isolate behind a network partition (x86|arm), empty for none")
+	partitionAt := flag.Float64("partition-at", 0, "partition start in simulated seconds")
+	partitionHeal := flag.Float64("partition-heal", 0, "partition heal time in simulated seconds (<= start means never)")
+	partitionOneWay := flag.Bool("partition-oneway", false, "cut only the isolated node's outbound legs")
+	memberOut := flag.String("member-out", "", "write the final membership view dump as JSON to this file (needs -detector)")
 	flag.Parse()
+
+	if *memberOut != "" && !*detector {
+		fatal(fmt.Errorf("-member-out needs -detector"))
+	}
 
 	node, err := parseNode(*nodeStr)
 	fatal(err)
@@ -146,8 +174,15 @@ func main() {
 		fatal(err)
 		plan.Crashes = []fault.Crash{{Node: cn, At: *crashAt, RecoverAt: *recoverAt}}
 	}
-	chaos := *dropProb > 0 || *dupProb > 0 || *jitter > 0 || *crashNode != ""
-	mcfg, err := detectorConfig(*detector, *hbPeriod, *suspectTimeout, chaos)
+	if *partitionNode != "" {
+		pn, err := parseNode(*partitionNode)
+		fatal(err)
+		plan.Partitions = []fault.PartitionWindow{{
+			GroupA: []int{pn}, Start: *partitionAt, HealAt: *partitionHeal, OneWay: *partitionOneWay,
+		}}
+	}
+	chaos := *dropProb > 0 || *dupProb > 0 || *jitter > 0 || *crashNode != "" || *partitionNode != ""
+	mcfg, err := detectorConfig(*detector, *hbPeriod, *suspectTimeout, *quorum, chaos)
 	fatal(err)
 	pol := kernel.CkptPolicy{EveryPoints: *ckptPoints, EverySeconds: *ckptInterval}
 	ckptOn := pol.EveryPoints > 0 || pol.EverySeconds > 0
@@ -259,6 +294,12 @@ func main() {
 		for _, d := range svc.Deaths() {
 			fmt.Printf("detector       : node %d incarnation %d declared dead at %.6fs by observer %d\n",
 				d.Node, d.Inc, d.At, d.Observer)
+		}
+		if *memberOut != "" {
+			data, jerr := json.MarshalIndent(svc.Dump(), "", "  ")
+			fatal(jerr)
+			fatal(os.WriteFile(*memberOut, append(data, '\n'), 0o644))
+			fmt.Printf("wrote membership view dump to %s\n", *memberOut)
 		}
 	}
 	if tracing {

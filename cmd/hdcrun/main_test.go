@@ -28,23 +28,28 @@ func TestDetectorConfigValidation(t *testing.T) {
 		name               string
 		detector           bool
 		period, timeout    float64
+		quorum             int
 		chaos              bool
 		wantErr            string // substring, "" means valid
 		wantPeriod, wantTO float64
+		wantQuorum         int
 	}{
-		{"off", false, 0, 0, false, "", 0, 0},
-		{"off with period", false, 1e-5, 0, true, "need -detector", 0, 0},
-		{"off with timeout", false, 0, 1e-4, true, "need -detector", 0, 0},
-		{"no faults", true, 1e-5, 0, false, "needs fault injection", 0, 0},
-		{"zero period", true, 0, 0, true, "positive -hb-period", 0, 0},
-		{"negative period", true, -1e-5, 0, true, "positive -hb-period", 0, 0},
-		{"negative timeout", true, 1e-5, -1, true, "non-negative", 0, 0},
-		{"timeout below period", true, 1e-4, 5e-5, true, "below the heartbeat period", 0, 0},
-		{"default timeout", true, 1e-5, 0, true, "", 1e-5, 0},
-		{"explicit timeout", true, 1e-5, 8e-5, true, "", 1e-5, 8e-5},
+		{"off", false, 0, 0, 0, false, "", 0, 0, 0},
+		{"off with period", false, 1e-5, 0, 0, true, "need -detector", 0, 0, 0},
+		{"off with timeout", false, 0, 1e-4, 0, true, "need -detector", 0, 0, 0},
+		{"off with quorum", false, 0, 0, 2, true, "need -detector", 0, 0, 0},
+		{"no faults", true, 1e-5, 0, 0, false, "needs fault injection", 0, 0, 0},
+		{"zero period", true, 0, 0, 0, true, "positive -hb-period", 0, 0, 0},
+		{"negative period", true, -1e-5, 0, 0, true, "positive -hb-period", 0, 0, 0},
+		{"negative timeout", true, 1e-5, -1, 0, true, "non-negative", 0, 0, 0},
+		{"negative quorum", true, 1e-5, 0, -1, true, "-quorum must be non-negative", 0, 0, 0},
+		{"timeout below period", true, 1e-4, 5e-5, 0, true, "below the heartbeat period", 0, 0, 0},
+		{"default timeout", true, 1e-5, 0, 0, true, "", 1e-5, 0, 0},
+		{"explicit timeout", true, 1e-5, 8e-5, 0, true, "", 1e-5, 8e-5, 0},
+		{"explicit quorum", true, 1e-5, 0, 2, true, "", 1e-5, 0, 2},
 	}
 	for _, c := range cases {
-		cfg, err := detectorConfig(c.detector, c.period, c.timeout, c.chaos)
+		cfg, err := detectorConfig(c.detector, c.period, c.timeout, c.quorum, c.chaos)
 		if c.wantErr != "" {
 			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
 				t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
@@ -55,8 +60,8 @@ func TestDetectorConfigValidation(t *testing.T) {
 			t.Errorf("%s: unexpected error %v", c.name, err)
 			continue
 		}
-		if cfg.HeartbeatPeriod != c.wantPeriod || cfg.SuspectTimeout != c.wantTO {
-			t.Errorf("%s: cfg = %+v, want period %g timeout %g", c.name, cfg, c.wantPeriod, c.wantTO)
+		if cfg.HeartbeatPeriod != c.wantPeriod || cfg.SuspectTimeout != c.wantTO || cfg.Quorum != c.wantQuorum {
+			t.Errorf("%s: cfg = %+v, want period %g timeout %g quorum %d", c.name, cfg, c.wantPeriod, c.wantTO, c.wantQuorum)
 		}
 	}
 }

@@ -21,6 +21,19 @@ type Stats struct {
 	// image's capture and the crash that forced the restore — the work a
 	// shorter interval would have saved.
 	WorkReplayedSeconds float64
+	// StaleLossEvents counts loss notifications for incarnations the
+	// manager had already superseded — a duplicate or late death verdict
+	// must not double-restore a job (the split-brain backstop).
+	StaleLossEvents int
+}
+
+// RestoreRecord is one executed restore, for placement-invariant audits
+// (the partition experiment asserts no restore ever lands on a minority
+// side).
+type RestoreRecord struct {
+	OldPid, NewPid int
+	LostNode, Node int
+	At             float64
 }
 
 // job tracks one logical job across its incarnations.
@@ -41,8 +54,9 @@ type job struct {
 type Manager struct {
 	cl *kernel.Cluster
 	// jobs maps every incarnation's pid to its job.
-	jobs  map[int]*job
-	stats Stats
+	jobs     map[int]*job
+	stats    Stats
+	restores []RestoreRecord
 
 	// Place picks the restore node given the lost node; nil uses
 	// least-loaded placement over live nodes. Return -1 to give up.
@@ -101,6 +115,9 @@ func (m *Manager) LatestImage(p *kernel.Process) []byte {
 // Stats returns the cumulative counters.
 func (m *Manager) Stats() Stats { return m.stats }
 
+// Restores returns every executed restore in order.
+func (m *Manager) Restores() []RestoreRecord { return m.restores }
+
 func (m *Manager) onCheckpoint(ev kernel.CheckpointEvent) {
 	j := m.jobs[ev.Proc.Pid]
 	if j == nil {
@@ -117,6 +134,13 @@ func (m *Manager) onCheckpoint(ev kernel.CheckpointEvent) {
 func (m *Manager) onLost(p *kernel.Process, node int) {
 	j := m.jobs[p.Pid]
 	if j == nil || j.image == nil {
+		return
+	}
+	if j.cur != p {
+		// A duplicate death verdict (or a verdict that outlived a restore)
+		// names an incarnation this job already replaced: restoring again
+		// would run the job twice.
+		m.stats.StaleLossEvents++
 		return
 	}
 	snap, err := Decode(j.image)
@@ -140,6 +164,9 @@ func (m *Manager) onLost(p *kernel.Process, node int) {
 	m.jobs[np.Pid] = j
 	m.stats.Restores++
 	m.stats.WorkReplayedSeconds += m.cl.Time() - j.capturedAt
+	m.restores = append(m.restores, RestoreRecord{
+		OldPid: p.Pid, NewPid: np.Pid, LostNode: node, Node: dst, At: m.cl.Time(),
+	})
 	// Keep checkpointing the new incarnation.
 	m.cl.SetCheckpointPolicy(np, j.pol)
 	if m.OnRestore != nil {

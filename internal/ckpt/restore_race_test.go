@@ -1,0 +1,111 @@
+package ckpt_test
+
+// Duplicate and late death verdicts racing an executed restore: once the
+// manager has replaced a lost incarnation, a second loss notification for
+// the old pid must be swallowed (StaleLossEvents), a late detector verdict
+// for the already-handled node must not strand the new incarnation, and a
+// re-declared death is fenced to a full no-op. This is the split-brain
+// backstop: no sequence of repeated verdicts may ever run a job twice.
+
+import (
+	"bytes"
+	"testing"
+
+	"heterodc/internal/ckpt"
+	"heterodc/internal/core"
+	"heterodc/internal/fault"
+	"heterodc/internal/kernel"
+	"heterodc/internal/trace"
+)
+
+func TestDuplicateDeathVerdictDoesNotDoubleRestore(t *testing.T) {
+	img, err := core.Build("ckpt-dup", core.Src("torture.c", tortureSrc))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	ref, err := core.Run(img, core.NodeARM)
+	if err != nil {
+		t.Fatalf("ref: %v", err)
+	}
+
+	cl := core.NewTestbed()
+	log := trace.NewEventLog(4096)
+	cl.SetTracer(log)
+	crashAt := 0.3 * ref.Seconds
+	cl.InjectFaults(fault.Plan{
+		Crashes: []fault.Crash{{Node: 1, At: crashAt, RecoverAt: 0}}, // permanent
+	})
+	m := ckpt.NewManager(cl)
+	// The job lives on node 1 so the crash strands it; every-point captures
+	// guarantee an image exists before the crash lands.
+	p, err := cl.Spawn(img, core.NodeARM)
+	if err != nil {
+		t.Fatalf("spawn: %v", err)
+	}
+	m.Track(p, img, kernel.CkptPolicy{EveryPoints: 1})
+
+	// Step until the restore has executed, then fire the duplicate verdicts
+	// while the new incarnation is still mid-run — the race the backstop
+	// exists for.
+	injected := false
+	for {
+		cur := m.Current(p)
+		if exited, _ := cur.Exited(); exited && m.Current(p) == cur {
+			break
+		}
+		if !injected && m.Stats().Restores == 1 {
+			injected = true
+			// A second observer's loss notification for the dead incarnation.
+			cl.OnProcessLost(p, 1)
+			// A late detector verdict for the node the oracle already
+			// handled: the sweep runs against the restored incarnation's
+			// state and must find nothing to strand.
+			cl.DeclareNodeDead(1, cl.Time())
+		}
+		if !cl.Step() {
+			t.Fatal("cluster drained before the job finished")
+		}
+	}
+	if !injected {
+		t.Fatal("restore never happened; the duplicate-verdict race was not exercised")
+	}
+
+	final := m.Current(p)
+	if err := final.Err(); err != nil {
+		t.Fatalf("final incarnation failed: %v", err)
+	}
+	if final == p {
+		t.Fatal("job finished as the original incarnation despite the crash")
+	}
+	if !bytes.Equal(final.Output(), ref.Output) {
+		t.Fatalf("recovered output diverged:\n got  %q\n want %q", final.Output(), ref.Output)
+	}
+
+	st := m.Stats()
+	if st.Restores != 1 {
+		t.Errorf("restores = %d, want exactly 1 (duplicate verdict double-restored)", st.Restores)
+	}
+	if st.StaleLossEvents != 1 {
+		t.Errorf("StaleLossEvents = %d, want 1 (duplicate loss not counted as stale)", st.StaleLossEvents)
+	}
+	recs := m.Restores()
+	if len(recs) != 1 || recs[0].OldPid != p.Pid || recs[0].NewPid != final.Pid ||
+		recs[0].LostNode != 1 || recs[0].Node == 1 {
+		t.Errorf("restore ledger = %+v, want one record %d->%d off node 1", recs, p.Pid, final.Pid)
+	}
+	if log.Count("proc-lost") != 1 || log.Count("restore") != 1 {
+		t.Errorf("trace: proc-lost=%d restore=%d, want 1 each",
+			log.Count("proc-lost"), log.Count("restore"))
+	}
+
+	// The late DeclareNodeDead fenced incarnation 1; re-declaring it is a
+	// complete no-op — no trace, no sweep, no new loss events.
+	declares := log.Count("declare-dead")
+	cl.DeclareNodeDead(1, cl.Time())
+	if log.Count("declare-dead") != declares {
+		t.Error("re-declared death of a fenced incarnation was not a no-op")
+	}
+	if got := m.Stats(); got != st {
+		t.Errorf("re-declaration moved manager stats: %+v -> %+v", st, got)
+	}
+}

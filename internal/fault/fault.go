@@ -27,6 +27,9 @@ type Plan struct {
 	JitterSec float64
 	// Windows lists per-link degradation windows layered on the baseline.
 	Windows []Window
+	// Partitions lists network-partition windows: node-set bipartitions that
+	// sever whole link classes, on top of the per-leg faults above.
+	Partitions []PartitionWindow
 	// Crashes lists scheduled node outages.
 	Crashes []Crash
 }
@@ -43,6 +46,49 @@ type Window struct {
 	DropProb float64
 	// JitterSec is the jitter bound inside the window.
 	JitterSec float64
+}
+
+// PartitionWindow cuts the rack into two sides for a time span: every
+// message leg crossing the cut while the window is active is lost, while
+// traffic within a side is untouched. Unlike a Crash, partitioned nodes keep
+// executing — only their cross-cut communication dies, which is exactly the
+// condition that manufactures split-brain membership views.
+type PartitionWindow struct {
+	// GroupA lists one side's nodes; every node not listed is on side B.
+	GroupA []int
+	// Start/HealAt bound the cut in simulated seconds: [Start, HealAt).
+	// HealAt <= Start means the partition never heals.
+	Start, HealAt float64
+	// OneWay makes the cut asymmetric: only A->B legs are severed, B->A
+	// still delivers (a half-open failure, e.g. a dead transmit queue).
+	OneWay bool
+}
+
+// healsAt reports the window's heal time (ok=false: never).
+func (w *PartitionWindow) healsAt() (float64, bool) {
+	if w.HealAt <= w.Start {
+		return 0, false
+	}
+	return w.HealAt, true
+}
+
+// cuts reports whether the window severs the directed from->to leg at time
+// at, given the precomputed side-A membership set.
+func cuts(w *PartitionWindow, inA map[int]bool, at float64, from, to int) bool {
+	if at < w.Start {
+		return false
+	}
+	if heal, ok := w.healsAt(); ok && at >= heal {
+		return false
+	}
+	fa, ta := inA[from], inA[to]
+	if fa == ta {
+		return false // same side
+	}
+	if w.OneWay && !fa {
+		return false // B->A survives an asymmetric cut
+	}
+	return true
 }
 
 // Crash schedules a fail-stop node outage. The model is a machine that
@@ -62,6 +108,9 @@ type Crash struct {
 // (crash schedule).
 type Injector struct {
 	plan Plan
+	// partA[i] is Partitions[i].GroupA as a set, precomputed so per-message
+	// cut checks are O(windows).
+	partA []map[int]bool
 }
 
 // NewInjector builds an injector for plan. The plan is copied and its
@@ -69,9 +118,59 @@ type Injector struct {
 func NewInjector(plan Plan) *Injector {
 	p := plan
 	p.Windows = append([]Window(nil), plan.Windows...)
+	p.Partitions = append([]PartitionWindow(nil), plan.Partitions...)
 	p.Crashes = append([]Crash(nil), plan.Crashes...)
 	sort.Slice(p.Crashes, func(i, j int) bool { return p.Crashes[i].At < p.Crashes[j].At })
-	return &Injector{plan: p}
+	in := &Injector{plan: p}
+	for _, w := range p.Partitions {
+		set := make(map[int]bool, len(w.GroupA))
+		for _, n := range w.GroupA {
+			set[n] = true
+		}
+		in.partA = append(in.partA, set)
+	}
+	return in
+}
+
+// LinkCut reports whether an active partition window severs the directed
+// from->to leg at time at. It satisfies msg.Partitioner.
+func (in *Injector) LinkCut(at float64, from, to int) bool {
+	for i := range in.plan.Partitions {
+		if cuts(&in.plan.Partitions[i], in.partA[i], at, from, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkClearAt returns the earliest time >= at at which no partition window
+// cuts the from->to leg. ok=false means a never-healing window blocks the
+// leg forever.
+func (in *Injector) LinkClearAt(at float64, from, to int) (float64, bool) {
+	t := at
+	// Each pass advances t to some window's heal time; a window can force an
+	// advance at most once, so passes are bounded by the window count.
+	for pass := 0; pass <= len(in.plan.Partitions); pass++ {
+		blocked := false
+		for i := range in.plan.Partitions {
+			w := &in.plan.Partitions[i]
+			if !cuts(w, in.partA[i], t, from, to) {
+				continue
+			}
+			heal, ok := w.healsAt()
+			if !ok {
+				return 0, false
+			}
+			if heal > t {
+				t = heal
+				blocked = true
+			}
+		}
+		if !blocked {
+			break
+		}
+	}
+	return t, true
 }
 
 // Plan returns the injector's normalised plan.

@@ -136,3 +136,65 @@ func TestCrashesSortedBySchedule(t *testing.T) {
 		t.Fatalf("crashes not sorted: %+v", p.Crashes)
 	}
 }
+
+func TestPartitionLinkCut(t *testing.T) {
+	in := NewInjector(Plan{Partitions: []PartitionWindow{
+		{GroupA: []int{0, 1}, Start: 1.0, HealAt: 2.0},
+	}})
+	cases := []struct {
+		at       float64
+		from, to int
+		want     bool
+	}{
+		{0.5, 0, 2, false}, // before the window
+		{1.0, 0, 2, true},  // A->B severed
+		{1.0, 2, 0, true},  // B->A severed (symmetric)
+		{1.0, 0, 1, false}, // within side A
+		{1.0, 2, 3, false}, // within side B
+		{2.0, 0, 2, false}, // healed (half-open interval)
+	}
+	for i, c := range cases {
+		if got := in.LinkCut(c.at, c.from, c.to); got != c.want {
+			t.Errorf("case %d: LinkCut(%g, %d, %d) = %v, want %v", i, c.at, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestPartitionOneWayCut(t *testing.T) {
+	in := NewInjector(Plan{Partitions: []PartitionWindow{
+		{GroupA: []int{0}, Start: 0, HealAt: 1.0, OneWay: true},
+	}})
+	if !in.LinkCut(0.5, 0, 1) {
+		t.Error("A->B leg of a one-way cut not severed")
+	}
+	if in.LinkCut(0.5, 1, 0) {
+		t.Error("B->A leg of a one-way cut severed")
+	}
+}
+
+func TestPartitionLinkClearAt(t *testing.T) {
+	in := NewInjector(Plan{Partitions: []PartitionWindow{
+		{GroupA: []int{0}, Start: 1.0, HealAt: 2.0},
+		{GroupA: []int{0}, Start: 1.5, HealAt: 3.0},
+	}})
+	// Overlapping windows: clearing the first lands inside the second, so
+	// the clear time must chain to the later heal.
+	if at, ok := in.LinkClearAt(1.2, 0, 1); !ok || at != 3.0 {
+		t.Errorf("LinkClearAt(1.2) = (%g, %v), want (3, true)", at, ok)
+	}
+	// Already clear: returns the query time.
+	if at, ok := in.LinkClearAt(0.5, 0, 1); !ok || at != 0.5 {
+		t.Errorf("LinkClearAt(0.5) = (%g, %v), want (0.5, true)", at, ok)
+	}
+	// A never-healing window blocks forever.
+	perm := NewInjector(Plan{Partitions: []PartitionWindow{
+		{GroupA: []int{0}, Start: 1.0, HealAt: 1.0},
+	}})
+	if _, ok := perm.LinkClearAt(1.5, 0, 1); ok {
+		t.Error("LinkClearAt cleared a permanent cut")
+	}
+	// The same leg queried outside any window is unaffected.
+	if at, ok := perm.LinkClearAt(0.2, 0, 1); !ok || at != 0.2 {
+		t.Errorf("LinkClearAt before a permanent cut = (%g, %v), want (0.2, true)", at, ok)
+	}
+}

@@ -172,8 +172,13 @@ func detDetector(img *link.Image, seed int64, cap float64, engine string) (detRu
 			break
 		}
 	}
-	for i := 0; i < 1<<20 && cl.Step(); i++ {
-	}
+	// Drain to a fixed horizon so every in-flight probe/ack resolves and the
+	// receive-side counters are exit-order independent. A step-count drain no
+	// longer terminates: with the per-node membership gate the detector keeps
+	// probing on an idle cluster, so Step never reports drained — and the
+	// horizon must be absolute, because the engines leave the exit-polling
+	// loop above at slightly different clocks.
+	cl.Run(cap + 2e-3)
 	_, stale := cl.FenceStats()
 	return detRun{finish(p, "detector", timedOut), cl.IC.Stats()},
 		finish(ballast, "detector-ballast", timedOut), svc.Stats(), stale
@@ -398,5 +403,138 @@ func TestEngineDeterminismMultiGroup(t *testing.T) {
 	}
 	if seq.runs[0].Migrations < 2 {
 		t.Errorf("pair A only migrated %d times; the bounce never engaged", seq.runs[0].Migrations)
+	}
+}
+
+// TestEngineDeterminismGossipPartition runs the full gossip/partition/
+// split-brain machinery on both engines and demands byte-identical
+// observables: a 5-node rack under the SWIM detector and 2% loss has its
+// {3,4} minority cut away for 12ms with a checkpoint-tracked ballast job on
+// node 3 and a corpus program on node 0. The majority must declare the
+// isolated side dead and restore the ballast exactly once on its own side,
+// the minority must defer every verdict, healing must rejoin both declared
+// nodes under bumped incarnations and reconverge every view — and the run
+// result, interconnect counters, membership statistics, restore ledger and
+// final view dump must all match across engines.
+func TestEngineDeterminismGossipPartition(t *testing.T) {
+	path := filepath.Join(CorpusDir(), "seed-001.c")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("corpus seed missing: %v", err)
+	}
+	img, err := core.Build("fuzzprog", core.Src("fuzz.c", string(src)))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	detBallastOnce.Do(func() {
+		detBallastImg, _ = core.Build("ballast", core.Src("ballast.c", detBallastSrc))
+	})
+	if detBallastImg == nil {
+		t.Fatal("ballast build failed")
+	}
+
+	const horizon = 0.25 // absolute drain horizon, past any completion
+	type result struct {
+		ballast, prog RunResult
+		ic            msg.Stats
+		mem           member.Stats
+		ck            ckpt.Stats
+		ledger        string
+		dump          string
+		stale         uint64
+		incs          string
+	}
+	run := func(engine string) result {
+		arches := []isa.Arch{isa.X86, isa.ARM64, isa.X86, isa.ARM64, isa.X86}
+		cl := kernel.NewCluster(arches, kernel.DefaultInterconnect())
+		if engine == "par" {
+			cl.UseParallelEngine(0)
+		}
+		cl.InjectFaults(fault.Plan{
+			Seed: 77, DropProb: 0.02,
+			Partitions: []fault.PartitionWindow{{GroupA: []int{3, 4}, Start: 8e-3, HealAt: 20e-3}},
+		})
+		svc, err := member.Attach(cl, member.Config{HeartbeatPeriod: 0.5e-3})
+		if err != nil {
+			t.Fatalf("%s: attach: %v", engine, err)
+		}
+		mgr := ckpt.NewManager(cl)
+		ballast, err := cl.Spawn(detBallastImg, 3) // on the minority side
+		if err != nil {
+			t.Fatalf("%s: spawn ballast: %v", engine, err)
+		}
+		mgr.Track(ballast, detBallastImg, kernel.CkptPolicy{EverySeconds: 2e-3})
+		p, err := cl.Spawn(img, 0)
+		if err != nil {
+			t.Fatalf("%s: spawn prog: %v", engine, err)
+		}
+		timedOut := false
+		for {
+			cur := mgr.Current(ballast)
+			eB, _ := cur.Exited()
+			eP, _ := p.Exited()
+			if eB && mgr.Current(ballast) == cur && eP {
+				break
+			}
+			if cl.Time() > horizon {
+				timedOut = true
+				break
+			}
+			if !cl.Step() {
+				timedOut = true
+				break
+			}
+		}
+		// Absolute-horizon drain: views reconverge, in-flight traffic lands.
+		cl.Run(horizon)
+		_, stale := cl.FenceStats()
+		dump := svc.Dump()
+		incs := fmt.Sprint(dump.Incarnations)
+		return result{
+			ballast: finish(mgr.Current(ballast), "gossip-ballast", timedOut),
+			prog:    finish(p, "gossip-prog", timedOut),
+			ic:      cl.IC.Stats(),
+			mem:     svc.Stats(),
+			ck:      mgr.Stats(),
+			ledger:  fmt.Sprintf("%+v", mgr.Restores()),
+			dump:    fmt.Sprintf("%+v", dump.Views),
+			stale:   stale,
+			incs:    incs,
+		}
+	}
+
+	seq := run("seq")
+	par := run("par")
+	if !equalRun(seq.ballast, par.ballast) || !equalRun(seq.prog, par.prog) {
+		t.Errorf("engines diverge on run observables:\nseq ballast=%s prog=%s\npar ballast=%s prog=%s",
+			seq.ballast.Digest(), seq.prog.Digest(), par.ballast.Digest(), par.prog.Digest())
+	}
+	if seq.ic != par.ic {
+		t.Errorf("interconnect stats diverge:\nseq %+v\npar %+v", seq.ic, par.ic)
+	}
+	if seq.mem != par.mem {
+		t.Errorf("membership stats diverge:\nseq %+v\npar %+v", seq.mem, par.mem)
+	}
+	if seq.ck != par.ck || seq.ledger != par.ledger {
+		t.Errorf("checkpoint observables diverge:\nseq %+v %s\npar %+v %s",
+			seq.ck, seq.ledger, par.ck, par.ledger)
+	}
+	if seq.dump != par.dump || seq.incs != par.incs {
+		t.Errorf("final views diverge:\nseq %s %s\npar %s %s", seq.dump, seq.incs, par.dump, par.incs)
+	}
+
+	// The scenario must actually exercise the machinery it exists for.
+	if !seq.ballast.OK || !seq.prog.OK {
+		t.Errorf("runs did not finish cleanly: ballast=%+v prog=%+v", seq.ballast, par.prog)
+	}
+	if seq.mem.Deaths == 0 || seq.mem.Rejoins == 0 || seq.mem.DeferredVerdicts == 0 {
+		t.Errorf("scenario lost its potency: %+v", seq.mem)
+	}
+	if seq.ck.Restores != 1 || seq.ck.StaleLossEvents != 0 {
+		t.Errorf("restores=%d stale=%d, want exactly one restore and no duplicates",
+			seq.ck.Restores, seq.ck.StaleLossEvents)
+	}
+	if seq.stale != 0 {
+		t.Errorf("%d stale-incarnation messages delivered unfenced", seq.stale)
 	}
 }

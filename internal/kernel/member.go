@@ -71,10 +71,25 @@ func (cl *Cluster) Incarnation(node int) uint64 { return cl.incarnation[node] }
 // (0: never).
 func (cl *Cluster) DeadIncarnation(node int) uint64 { return cl.deadInc[node] }
 
-// HasLiveProcs reports whether any spawned process has not exited. The
-// membership service leases liveness only while there is work: an idle
-// cluster must still drain (Step returning false), and workload drivers
-// skipping idle gaps must not be pinned to heartbeat cadence.
+// RejoinNode bumps node's incarnation after the node itself learns — from
+// membership gossip, not a physical recovery — that its current incarnation
+// was declared dead while it kept running: the partitioned-but-alive false
+// positive. The bump mirrors RecoverNode's rejoin logic; everything
+// addressed to the retired incarnation stays fenced while the new
+// incarnation's traffic readmits the node everywhere. Returns the current
+// incarnation (bumped or not).
+func (cl *Cluster) RejoinNode(node int, at float64) uint64 {
+	if cl.incarnation == nil || node < 0 || node >= len(cl.incarnation) {
+		return 0
+	}
+	if cl.deadInc[node] >= cl.incarnation[node] {
+		cl.incarnation[node]++
+		cl.tracef(at, "rejoin", "node %d outlived its declared death, rejoins as incarnation %d", node, cl.incarnation[node])
+	}
+	return cl.incarnation[node]
+}
+
+// HasLiveProcs reports whether any spawned process has not exited.
 func (cl *Cluster) HasLiveProcs() bool {
 	for _, p := range cl.procs {
 		if !p.exited {

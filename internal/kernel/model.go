@@ -32,12 +32,15 @@ func (cl *Cluster) crashEventTime(node int) float64 {
 	return cl.events[node][cl.eventIdx[node]].time
 }
 
-// memberDueTime returns the time of node's next membership action
-// (heartbeat emission or suspicion check), or inf. Membership acts only
-// while the cluster has live work: an idle cluster must still drain, and
-// drivers skipping idle gaps must not trip heartbeat cadence.
+// memberDueTime returns the time of node's next membership action (probe
+// round, heartbeat emission or suspicion check), or inf. The gate is
+// per-node service attachment, not cluster-wide liveness: membership runs
+// whenever a service is installed, even on an idle fleet. (An earlier
+// cluster-wide HasLiveProcs gate silenced every node's emission the moment
+// the last process exited, so a between-jobs fleet fell silent in lockstep
+// and mass-suspected itself when the next job arrived.)
 func (cl *Cluster) memberDueTime(node int) float64 {
-	if cl.member == nil || !cl.HasLiveProcs() {
+	if cl.member == nil {
 		return inf
 	}
 	return cl.member.NextDue(node)

@@ -1,0 +1,204 @@
+package member
+
+// The PR-5 lease-detector suite, retained against the AttachLease baseline:
+// the lease protocol's semantics (fixed suspicion timeout, capped-backoff
+// death checks, dense views) must not drift while it serves as the scaling
+// comparison for the SWIM detector.
+
+import (
+	"testing"
+
+	"heterodc/internal/kernel"
+	"heterodc/internal/msg"
+)
+
+func testLease(t *testing.T, cfg Config) (*kernel.Cluster, *Lease) {
+	t.Helper()
+	cl := kernel.NewTestbed()
+	s, err := AttachLease(cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, s
+}
+
+// driveLease replays node's membership schedule (emissions and suspicion
+// checks) up to horizon, without delivering anything — the peer is silent.
+func driveLease(s *Lease, node int, horizon float64) {
+	for {
+		due := s.NextDue(node)
+		if due >= horizon || due >= inf {
+			return
+		}
+		s.RunDue(node, due)
+	}
+}
+
+func TestLeaseSilenceEscalatesToDeath(t *testing.T) {
+	cl, s := testLease(t, Config{HeartbeatPeriod: 1e-3})
+	// Node 1 never runs its schedule: pure silence. Observer 0's lease view
+	// must walk alive -> suspect -> (backoff re-checks) -> dead.
+	driveLease(s, 0, s.cfg.SuspectTimeout)
+	if got := s.View(0, 1); got != Alive {
+		t.Fatalf("view before the suspicion timeout: %v, want alive", got)
+	}
+	driveLease(s, 0, s.cfg.SuspectTimeout+s.cfg.HeartbeatPeriod/2)
+	if got := s.View(0, 1); got != Suspect {
+		t.Fatalf("view after the suspicion timeout: %v, want suspect", got)
+	}
+	if !s.Suspected(0, 1) || !s.SuspectedAny(1) {
+		t.Error("suspect state not reported by Suspected/SuspectedAny")
+	}
+	driveLease(s, 0, 1.0)
+	if got := s.View(0, 1); got != Dead {
+		t.Fatalf("view after sustained silence: %v, want dead", got)
+	}
+	st := s.Stats()
+	if st.Suspicions != 1 || st.Deaths != 1 {
+		t.Errorf("stats = %+v, want 1 suspicion and 1 death", st)
+	}
+	if len(s.Deaths()) != 1 || s.Deaths()[0].Node != 1 || s.Deaths()[0].Observer != 0 {
+		t.Errorf("death records = %+v", s.Deaths())
+	}
+	// The declaration reached the cluster: incarnation 1 of node 1 is fenced.
+	if cl.DeadIncarnation(1) != 1 {
+		t.Errorf("cluster deadInc = %d, want 1", cl.DeadIncarnation(1))
+	}
+	if !cl.NodeUnavailable(1) {
+		t.Error("declared-dead node still reported available")
+	}
+}
+
+func TestLeaseBackoffDelaysDeathBeyondFixedChecks(t *testing.T) {
+	_, s := testLease(t, Config{HeartbeatPeriod: 1e-3, DeathMisses: 4})
+	driveLease(s, 0, 1.0)
+	if len(s.Deaths()) != 1 {
+		t.Fatalf("%d deaths, want 1", len(s.Deaths()))
+	}
+	// Suspicion fires at the 3ms timeout; the re-checks back off 1, 2, 4,
+	// 8ms (doubling, capped at 8ms), so the fourth miss lands at 18ms —
+	// later than the 4 fixed-period checks (7ms) a backoff-free detector
+	// would use.
+	at := s.Deaths()[0].At
+	if at <= 7e-3 || at > 18.5e-3 {
+		t.Errorf("death declared at %gs, want capped-backoff schedule (~18ms)", at)
+	}
+}
+
+func TestLeaseHeartbeatRenews(t *testing.T) {
+	cl, s := testLease(t, Config{HeartbeatPeriod: 1e-3})
+	// Drive both nodes and pump the interconnect: every emitted heartbeat is
+	// delivered, so no suspicion ever forms.
+	horizon := 50e-3
+	for {
+		due0, due1 := s.NextDue(0), s.NextDue(1)
+		due, node := due0, 0
+		if due1 < due {
+			due, node = due1, 1
+		}
+		if due >= horizon {
+			break
+		}
+		s.RunDue(node, due)
+		for n := 0; n < cl.NumNodes(); n++ {
+			for {
+				m := cl.IC.PopDue(n, due+1e-3)
+				if m == nil {
+					break
+				}
+				if m.Type == msg.THeartbeat {
+					s.Deliver(n, m)
+				}
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Suspicions != 0 {
+		t.Errorf("healthy fabric produced %d suspicions", st.Suspicions)
+	}
+	if st.HeartbeatsSent == 0 || st.HeartbeatsDelivered == 0 {
+		t.Errorf("no heartbeat traffic: %+v", st)
+	}
+	if s.View(0, 1) != Alive || s.View(1, 0) != Alive {
+		t.Error("views not alive under a healthy fabric")
+	}
+	// The lease traffic was charged through the interconnect.
+	if cl.IC.Stats().Messages == 0 {
+		t.Error("heartbeats bypassed the interconnect")
+	}
+	// The baseline's state really is dense: n*(n-1) records regardless of
+	// fabric health (the SWIM scaling experiment compares against this).
+	if got := s.StateRecords(); got != 2 {
+		t.Errorf("lease state records = %d, want dense n*(n-1) = 2", got)
+	}
+}
+
+func TestLeaseStaleIncarnationHeartbeatFenced(t *testing.T) {
+	_, s := testLease(t, Config{HeartbeatPeriod: 1e-3})
+	driveLease(s, 0, 1.0) // declare node 1 dead
+	if s.View(0, 1) != Dead {
+		t.Fatal("setup: node 1 not declared dead")
+	}
+	hb := func(inc uint64, at float64) *msg.Message {
+		return &msg.Message{Type: msg.THeartbeat, From: 1, To: 0, Deliver: at,
+			Payload: &hbPayload{from: 1, inc: inc}}
+	}
+	// A heartbeat from the declared-dead incarnation must not resurrect it:
+	// death is final per incarnation.
+	s.Deliver(0, hb(1, 0.1))
+	if s.View(0, 1) != Dead {
+		t.Fatal("stale-incarnation heartbeat refuted the death")
+	}
+	if s.Stats().HeartbeatsFenced == 0 {
+		t.Error("fenced heartbeat not counted")
+	}
+	// A heartbeat from a higher incarnation is the node rejoining: readmit.
+	s.Deliver(0, hb(2, 0.2))
+	if s.View(0, 1) != Alive {
+		t.Fatal("rejoin heartbeat did not readmit the node")
+	}
+	st := s.Stats()
+	if st.Readmissions != 1 || st.FalseSuspicions != 1 {
+		t.Errorf("stats = %+v, want 1 readmission refuting the death", st)
+	}
+	// Once readmitted as incarnation 2, incarnation-1 leases are stale.
+	s.Deliver(0, hb(1, 0.3))
+	if s.Stats().HeartbeatsFenced != 2 {
+		t.Errorf("regressed-incarnation heartbeat not fenced: %+v", s.Stats())
+	}
+}
+
+func TestLeaseCrashParksAndRecoveryResumesSchedule(t *testing.T) {
+	_, s := testLease(t, Config{HeartbeatPeriod: 1e-3})
+	// Let observer 1 age its view of node 0 almost to suspicion.
+	driveLease(s, 1, 2.9e-3)
+	s.NodeCrashed(1, 2.9e-3)
+	if s.NextDue(1) < inf {
+		t.Fatalf("crashed node still scheduled at %g", s.NextDue(1))
+	}
+	s.NodeRecovered(1, 1, 10e-3)
+	if s.NextDue(1) != 10e-3 {
+		t.Fatalf("recovered node next due %g, want immediate emission at 10ms", s.NextDue(1))
+	}
+	// Its own views were refreshed: the pre-crash silence of node 0 must not
+	// read as suspicion right after recovery.
+	driveLease(s, 1, 10e-3+s.cfg.SuspectTimeout-1e-6)
+	if s.Stats().Suspicions != 0 {
+		t.Errorf("recovery burst %d false suspicions", s.Stats().Suspicions)
+	}
+}
+
+func TestLeaseIdleGapResumesCadence(t *testing.T) {
+	_, s := testLease(t, Config{HeartbeatPeriod: 1e-3})
+	driveLease(s, 0, 2e-3)
+	// The cluster sat idle for a long gap; the next due action lands far
+	// past the cadence. The service must re-phase instead of bursting
+	// suspicion checks for the silence.
+	s.RunDue(0, 5.0)
+	if s.Stats().Suspicions != 0 {
+		t.Errorf("idle gap produced %d suspicions", s.Stats().Suspicions)
+	}
+	if due := s.NextDue(0); due < 5.0 || due > 5.0+s.cfg.SuspectTimeout {
+		t.Errorf("next due %g after resume at 5s", due)
+	}
+}

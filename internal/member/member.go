@@ -1,56 +1,90 @@
-// Package member implements the lease-based membership and failure
-// detection service: each node leases its liveness to every peer via
-// periodic heartbeats sent unreliably through the modelled interconnect
-// (msg.THeartbeat traffic, charged like any other message), and each node
-// runs a per-target suspicion state machine over the heartbeats it hears —
-// alive while the lease is fresh, suspect when it expires, dead after a
-// capped-backoff series of re-checks stays silent. Death verdicts are
-// handed to the kernel (Cluster.DeclareNodeDead), which fences the declared
-// incarnation, sweeps the DSM directory, and kills stranded processes so a
-// checkpoint service can restore them.
+// Package member implements the cluster's membership and failure-detection
+// services. Two protocols share one configuration, state vocabulary and
+// introspection surface:
 //
-// The detector is deliberately fallible: it infers failure from silence
-// over the same degraded links internal/fault injects, so a long outage or
-// a lossy window can produce a false positive. A wrongly-declared node
-// rejoins under a bumped incarnation; its fresh heartbeats refute the death
-// (Readmissions/FalseSuspicions in Stats), while everything addressed to
-// the declared-dead incarnation is dropped at the kernel's fence.
+//   - Service (Attach) is the SWIM-style gossip detector: each round a node
+//     directly probes one pseudo-randomly rotated peer, escalates a missed
+//     ack to k indirect probes relayed through witnesses (ping-req), and
+//     only then suspects; alive/suspect/dead assertions — fenced by
+//     incarnation and refutation-epoch ordering — piggyback on the
+//     probe/ack traffic itself, so per-node bandwidth is O(1) per round and
+//     detector state is sparse (records exist only for nodes with an
+//     incident history).
+//   - Lease (AttachLease) is the all-pairs lease detector this package
+//     originally shipped: every node multicasts heartbeats to every peer
+//     and tracks every peer's lease, O(N) messages per node per round and
+//     O(N^2) total state. It is retained as the scaling baseline.
+//
+// Both run over the modelled interconnect (msg.THeartbeat traffic, charged
+// like any other message and subject to fault injection — loss is the
+// signal), and both hand death verdicts to the kernel
+// (Cluster.DeclareNodeDead), which fences the declared incarnation, sweeps
+// the DSM directory, and kills stranded processes so a checkpoint service
+// can restore them.
+//
+// The SWIM detector additionally understands partitions: a death verdict is
+// executed only while the observer's own view holds a quorum of the rack
+// (majority, with a documented two-node exception); a minority observer
+// parks the verdict instead, so the checkpoint manager never restores a
+// process on both sides of a split. A node that outlives its own death
+// verdict — the partitioned-but-alive false positive — learns of it from
+// gossip when the partition heals and rejoins under a bumped incarnation,
+// after which incarnation ordering reconciles every divergent view.
 //
 // Determinism: all membership actions run as per-node control events
 // through sim.Model's NextEvent/ApplyEvent path, at simulated times that
-// are pure functions of the configuration and message history. Installing
-// the service pins the parallel engine to a single inline sharing group
-// (the all-to-all heartbeat fabric makes the conservative "might interact"
-// relation the complete graph), so both engines execute the identical
-// global schedule and stay byte-identical — counters included.
+// are pure functions of the configuration, seed and message history.
+// Installing either service pins the parallel engine to a single inline
+// sharing group (gossip makes the conservative "might interact" relation
+// the complete graph), so both engines execute the identical global
+// schedule and stay byte-identical — counters included.
 package member
 
-import (
-	"fmt"
-
-	"heterodc/internal/kernel"
-	"heterodc/internal/msg"
-)
+import "fmt"
 
 // inf mirrors sim.Inf so due times round-trip through the engine unchanged.
 const inf = 1e30
 
-// heartbeatBytes is the wire payload of one lease heartbeat (node id,
-// incarnation, a little framing).
-const heartbeatBytes = 32
-
-// Config tunes the detector.
+// Config tunes a detector. HeartbeatPeriod, SuspectTimeout and the
+// miss/backoff knobs are shared by both protocols; the probe/gossip knobs
+// drive the SWIM detector.
 type Config struct {
-	// HeartbeatPeriod is the lease renewal interval in simulated seconds.
-	// Every node multicasts one heartbeat per period (staggered phases so
-	// the fabric does not burst). Must be > 0.
+	// HeartbeatPeriod is the protocol round in simulated seconds: the SWIM
+	// detector sends one direct probe per node per period, the lease
+	// detector one heartbeat multicast. Must be > 0.
 	HeartbeatPeriod float64
-	// SuspectTimeout is how long an observer tolerates silence before
-	// moving a target from alive to suspect. 0 selects 3x the period; it
-	// must be >= the period or every lease would expire before renewal.
+	// SuspectTimeout is how long a suspicion must survive unrefuted before
+	// the observer reaches a death verdict (SWIM), or how much lease
+	// silence moves a target from alive to suspect (lease). 0 selects 3x
+	// the period; it must be >= the period.
 	SuspectTimeout float64
+
+	// ProbeTimeout is how long a SWIM prober waits for the direct ack
+	// before escalating to indirect probes. 0 selects a quarter period; it
+	// must be positive and at most the period.
+	ProbeTimeout float64
+	// IndirectProbes is the number of witnesses a SWIM prober asks to
+	// ping-req the unresponsive target. 0 selects 2; capped at n-2.
+	IndirectProbes int
+	// GossipRetransmit scales each membership update's piggyback budget:
+	// an update rides on GossipRetransmit*ceil(log2(n+1)) outgoing
+	// messages before it is retired. 0 selects 3.
+	GossipRetransmit int
+	// Quorum is the number of alive-viewed nodes (including the observer)
+	// an observer needs to execute a death verdict. 0 selects a majority
+	// of the rack — with a two-node exception: majority of 2 is 2, and a
+	// lone survivor could then never declare its only peer, so two-node
+	// racks use quorum 1 (real deployments break the tie with an external
+	// witness).
+	Quorum int
+	// Seed selects the deterministic stream behind probe-target rotation
+	// and witness choice.
+	Seed int64
+
 	// DeathMisses is how many backoff re-checks a suspect survives before
-	// the observer declares it dead. 0 selects 3.
+	// the observer concludes: the lease detector re-checks an expired
+	// lease, the SWIM detector re-polls a verdict whose poll lapsed
+	// unanswered. 0 selects 3.
 	DeathMisses int
 	// BackoffCap caps the doubling re-check backoff. 0 selects 8x the
 	// period.
@@ -61,6 +95,15 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.SuspectTimeout == 0 {
 		c.SuspectTimeout = 3 * c.HeartbeatPeriod
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = c.HeartbeatPeriod / 4
+	}
+	if c.IndirectProbes == 0 {
+		c.IndirectProbes = 2
+	}
+	if c.GossipRetransmit == 0 {
+		c.GossipRetransmit = 3
 	}
 	if c.DeathMisses == 0 {
 		c.DeathMisses = 3
@@ -73,7 +116,7 @@ func (c Config) withDefaults() Config {
 
 // Validate rejects configurations that cannot detect anything (or would
 // suspect everything): a non-positive period, a suspicion timeout below the
-// renewal interval, a non-positive miss budget.
+// renewal interval, a probe timeout that outlives its round.
 func (c Config) Validate() error {
 	if c.HeartbeatPeriod <= 0 {
 		return fmt.Errorf("member: heartbeat period must be positive (got %g)", c.HeartbeatPeriod)
@@ -81,6 +124,18 @@ func (c Config) Validate() error {
 	if c.SuspectTimeout != 0 && c.SuspectTimeout < c.HeartbeatPeriod {
 		return fmt.Errorf("member: suspicion timeout %g is below the heartbeat period %g; every lease would expire before it could renew",
 			c.SuspectTimeout, c.HeartbeatPeriod)
+	}
+	if c.ProbeTimeout < 0 || c.ProbeTimeout > c.HeartbeatPeriod {
+		return fmt.Errorf("member: probe timeout %g must lie within the round period %g", c.ProbeTimeout, c.HeartbeatPeriod)
+	}
+	if c.IndirectProbes < 0 {
+		return fmt.Errorf("member: indirect probe count must be non-negative (got %d)", c.IndirectProbes)
+	}
+	if c.GossipRetransmit < 0 {
+		return fmt.Errorf("member: gossip retransmit factor must be non-negative (got %d)", c.GossipRetransmit)
+	}
+	if c.Quorum < 0 {
+		return fmt.Errorf("member: quorum must be non-negative (got %d)", c.Quorum)
 	}
 	if c.DeathMisses < 0 {
 		return fmt.Errorf("member: death-miss budget must be non-negative (got %d)", c.DeathMisses)
@@ -95,13 +150,14 @@ func (c Config) Validate() error {
 type State int
 
 const (
-	// Alive: the lease is fresh.
+	// Alive: the target answers (or nothing has implicated it).
 	Alive State = iota
-	// Suspect: the lease expired; re-checks with capped backoff are running.
+	// Suspect: the target failed a probe round (or a lease expired); the
+	// suspicion clock is running and the target may still refute it.
 	Suspect
-	// Dead: the observer declared the target's incarnation dead. Final for
-	// that incarnation — only a heartbeat from a higher incarnation (the
-	// node rejoining) refutes it.
+	// Dead: the observer holds the target's incarnation dead. Final for
+	// that incarnation — only evidence from a higher incarnation (the node
+	// rejoining) readmits it.
 	Dead
 )
 
@@ -117,34 +173,27 @@ func (s State) String() string {
 	return fmt.Sprintf("state(%d)", int(s))
 }
 
-// hbPayload is the heartbeat wire payload.
-type hbPayload struct {
-	from int
-	inc  uint64
-}
-
-// view is one observer's suspicion state for one target.
-type view struct {
-	state     State
-	lastInc   uint64  // highest incarnation heard from the target
-	deadInc   uint64  // incarnation this observer declared dead (0: none)
-	lastHeard float64 // when the lease was last renewed
-	deadline  float64 // next suspicion check, or inf when Dead
-	backoff   float64 // current re-check backoff while Suspect
-	missed    int     // consecutive expired re-checks while Suspect
-}
-
-// Stats aggregates the detector's deterministic counters; two runs of the
+// Stats aggregates a detector's deterministic counters; two runs of the
 // same workload under the same fault plan produce identical values on both
 // engines.
 type Stats struct {
-	HeartbeatsSent      uint64 // heartbeat messages handed to the interconnect
-	HeartbeatsDelivered uint64 // heartbeats that renewed a lease
-	HeartbeatsFenced    uint64 // stale-incarnation heartbeats dropped by a view
+	HeartbeatsSent      uint64 // membership messages handed to the interconnect
+	HeartbeatsDelivered uint64 // membership messages admitted by the receiver
+	HeartbeatsFenced    uint64 // stale-incarnation messages dropped by a view
 	Suspicions          uint64 // alive -> suspect transitions
 	Readmissions        uint64 // suspect/dead -> alive transitions
 	FalseSuspicions     uint64 // readmissions that refuted a declared death
 	Deaths              uint64 // death declarations (first observer per incarnation)
+
+	// SWIM-only counters (zero under the lease baseline).
+	Probes           uint64 // direct probes sent
+	ProbeTimeouts    uint64 // direct probes that escalated to witnesses
+	IndirectProbes   uint64 // ping-req messages sent to witnesses
+	GossipUpdates    uint64 // piggybacked membership updates sent
+	Refutations      uint64 // self-suspicions refuted with a bumped epoch
+	Rejoins          uint64 // nodes that outlived their own death verdict and rejoined
+	DeferredVerdicts uint64 // death verdicts parked for lack of quorum
+	VerdictRechecks  uint64 // lapsed verdict polls re-armed with backoff
 }
 
 // DeathRecord is one death declaration, for detection-latency studies.
@@ -155,274 +204,14 @@ type DeathRecord struct {
 	Observer int     // the observer that reached the verdict first
 }
 
-// Service is the membership service attached to one cluster. It keeps plain
-// unlocked state: installing it forces the engines into a single global
-// schedule (see kernel.Cluster.ParallelOK), so all calls are serial.
-type Service struct {
-	cl  *kernel.Cluster
-	cfg Config
-
-	views     [][]view  // views[observer][target]
-	nextEmit  []float64 // next heartbeat emission per node (inf while down)
-	nextCheck []float64 // earliest suspicion deadline per observer (cached)
-
-	stats  Stats
-	deaths []DeathRecord
-}
-
-// Attach validates cfg (after resolving defaults), builds the service over
-// cl and installs it as the cluster's membership authority.
-func Attach(cl *kernel.Cluster, cfg Config) (*Service, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	n := cl.NumNodes()
-	s := &Service{
-		cl:        cl,
-		cfg:       cfg,
-		views:     make([][]view, n),
-		nextEmit:  make([]float64, n),
-		nextCheck: make([]float64, n),
-	}
-	for i := 0; i < n; i++ {
-		// Stagger initial phases so the fabric does not burst n*(n-1)
-		// messages at one instant.
-		s.nextEmit[i] = cfg.HeartbeatPeriod * float64(i) / float64(n)
-		s.views[i] = make([]view, n)
-		for j := range s.views[i] {
-			s.views[i][j] = view{deadline: cfg.SuspectTimeout}
-		}
-		s.recomputeCheck(i)
-	}
-	cl.SetMembership(s)
-	return s, nil
-}
-
-// Config returns the resolved configuration.
-func (s *Service) Config() Config { return s.cfg }
-
-// Stats returns the detector counters.
-func (s *Service) Stats() Stats { return s.stats }
-
-// Deaths returns every death declaration in declaration order.
-func (s *Service) Deaths() []DeathRecord { return s.deaths }
-
-// View returns observer's current state for target.
-func (s *Service) View(observer, target int) State { return s.views[observer][target].state }
-
-// recomputeCheck refreshes observer's cached earliest suspicion deadline.
-func (s *Service) recomputeCheck(observer int) {
-	min := inf
-	for t := range s.views[observer] {
-		if t == observer {
-			continue
-		}
-		if d := s.views[observer][t].deadline; d < min {
-			min = d
-		}
-	}
-	s.nextCheck[observer] = min
-}
-
-// NextDue returns node's next membership action time (the kernel gates this
-// on the cluster having live work).
-func (s *Service) NextDue(node int) float64 {
-	t := s.nextEmit[node]
-	if c := s.nextCheck[node]; c < t {
-		t = c
-	}
-	return t
-}
-
-// RunDue performs node's membership actions due at now: resume after an
-// idle gap, emit the periodic heartbeat round, and evaluate expired
-// suspicion deadlines.
-func (s *Service) RunDue(node int, now float64) {
-	if s.cl.NodeDown(node) {
-		// Defensive: a crashed node neither leases nor observes. NodeCrashed
-		// already parked its schedule.
-		s.nextEmit[node] = inf
-		s.nextCheck[node] = inf
-		return
-	}
-	if now >= s.nextEmit[node]+s.cfg.SuspectTimeout {
-		// The cluster sat idle (no live processes) past the suspicion
-		// timeout: leases are void on both sides. Restart node's cadence here
-		// and refresh its own views, or the silence of the gap would read as
-		// a burst of false suspicions. The threshold is the timeout, not one
-		// period: a busy node services its due times up to a scheduling
-		// quantum late, and a sub-timeout delay must catch up (possibly
-		// emitting several rounds back to back) rather than re-phase — a
-		// reset here wipes live suspicion state.
-		s.resetViews(node, now)
-		s.nextEmit[node] = now
-	}
-	if now >= s.nextEmit[node] {
-		s.emit(node, now)
-		s.nextEmit[node] += s.cfg.HeartbeatPeriod
-	}
-	if now >= s.nextCheck[node] {
-		s.check(node, now)
-	}
-}
-
-// emit multicasts node's lease renewal to every peer, charged through the
-// interconnect as ordinary (unreliable) traffic — loss is the signal.
-func (s *Service) emit(node int, now float64) {
-	inc := s.cl.Incarnation(node)
-	for to := 0; to < s.cl.NumNodes(); to++ {
-		if to == node {
-			continue
-		}
-		s.cl.IC.Send(now, node, to, msg.THeartbeat, heartbeatBytes, &hbPayload{from: node, inc: inc})
-		s.stats.HeartbeatsSent++
-	}
-}
-
-// check evaluates observer's expired suspicion deadlines at now.
-func (s *Service) check(observer int, now float64) {
-	for target := range s.views[observer] {
-		if target == observer {
-			continue
-		}
-		v := &s.views[observer][target]
-		if v.deadline > now {
-			continue
-		}
-		switch v.state {
-		case Alive:
-			v.state = Suspect
-			v.missed = 0
-			v.backoff = s.cfg.HeartbeatPeriod
-			v.deadline = now + v.backoff
-			s.stats.Suspicions++
-			s.trace(now, "suspect", "node %d suspects node %d (silent since %.6fs)", observer, target, v.lastHeard)
-		case Suspect:
-			v.missed++
-			if v.missed >= s.cfg.DeathMisses {
-				s.declareDead(observer, target, now)
-				continue
-			}
-			v.backoff *= 2
-			if v.backoff > s.cfg.BackoffCap {
-				v.backoff = s.cfg.BackoffCap
-			}
-			v.deadline = now + v.backoff
-		}
-	}
-	s.recomputeCheck(observer)
-}
-
-// declareDead finalises observer's verdict on target and (first observer
-// per incarnation) executes it on the cluster.
-func (s *Service) declareDead(observer, target int, now float64) {
-	v := &s.views[observer][target]
-	inc := s.cl.Incarnation(target)
-	v.state = Dead
-	v.deadInc = inc
-	v.deadline = inf
-	if s.cl.DeadIncarnation(target) < inc {
-		s.stats.Deaths++
-		s.deaths = append(s.deaths, DeathRecord{Node: target, Inc: inc, At: now, Observer: observer})
-		s.trace(now, "member-dead", "node %d declares node %d (incarnation %d) dead", observer, target, inc)
-		s.cl.DeclareNodeDead(target, now)
-	}
-}
-
-// Deliver processes one heartbeat arriving at node `to`.
-func (s *Service) Deliver(to int, m *msg.Message) {
-	hb, ok := m.Payload.(*hbPayload)
-	if !ok {
-		return
-	}
-	v := &s.views[to][hb.from]
-	if hb.inc < v.lastInc || (v.state == Dead && hb.inc <= v.deadInc) {
-		// A lease from a superseded incarnation, or from the very
-		// incarnation this observer declared dead: death is final per
-		// incarnation (the rejoining node refutes with a *higher* one).
-		s.stats.HeartbeatsFenced++
-		return
-	}
-	s.stats.HeartbeatsDelivered++
-	switch v.state {
-	case Suspect:
-		s.stats.Readmissions++
-		s.trace(m.Deliver, "readmit", "node %d clears suspicion of node %d", to, hb.from)
-	case Dead:
-		s.stats.Readmissions++
-		s.stats.FalseSuspicions++
-		s.trace(m.Deliver, "readmit", "node %d readmits node %d as incarnation %d (death refuted)", to, hb.from, hb.inc)
-	}
-	v.state = Alive
-	v.lastInc = hb.inc
-	v.lastHeard = m.Deliver
-	v.missed = 0
-	v.backoff = 0
-	v.deadline = m.Deliver + s.cfg.SuspectTimeout
-	s.recomputeCheck(to)
-}
-
-// Suspected reports observer's lease view of target: expired or declared.
-func (s *Service) Suspected(observer, target int) bool {
-	if observer == target {
-		return false
-	}
-	return s.views[observer][target].state != Alive
-}
-
-// SuspectedAny reports whether any live observer currently suspects target.
-func (s *Service) SuspectedAny(target int) bool {
-	for o := range s.views {
-		if o == target || s.cl.NodeDown(o) {
-			continue
-		}
-		if s.views[o][target].state != Alive {
-			return true
-		}
-	}
-	return false
-}
-
-// NodeCrashed parks a physically crashed node's schedule: it neither leases
-// nor observes until recovery. Its peers are told nothing — they learn from
-// the silence, after a real detection latency.
-func (s *Service) NodeCrashed(node int, now float64) {
-	s.nextEmit[node] = inf
-	s.nextCheck[node] = inf
-}
-
-// NodeRecovered restarts a recovered node under incarnation inc: it emits
-// immediately (the fastest refutation of any death declared during the
-// outage) and refreshes its own views — it heard nothing while down, and
-// treating the outage as peer silence would burst false suspicions.
-func (s *Service) NodeRecovered(node int, inc uint64, now float64) {
-	s.nextEmit[node] = now
-	s.resetViews(node, now)
-}
-
-// resetViews re-arms node's own lease views as of now. Views it holds as
-// Dead stay dead: only a refuting heartbeat readmits a declared incarnation.
-func (s *Service) resetViews(node int, now float64) {
-	for t := range s.views[node] {
-		if t == node {
-			continue
-		}
-		v := &s.views[node][t]
-		if v.state == Dead {
-			continue
-		}
-		v.state = Alive
-		v.lastHeard = now
-		v.missed = 0
-		v.backoff = 0
-		v.deadline = now + s.cfg.SuspectTimeout
-	}
-	s.recomputeCheck(node)
-}
-
-func (s *Service) trace(t float64, kind, format string, args ...interface{}) {
-	if s.cl.Tracer != nil {
-		s.cl.Tracer.Record(t, kind, fmt.Sprintf(format, args...))
-	}
+// mix64 is a splitmix64-style finalizer: the deterministic pseudo-random
+// stream behind probe rotation and witness selection (the same construction
+// internal/fault uses for message fates).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }

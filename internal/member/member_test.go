@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"heterodc/internal/isa"
 	"heterodc/internal/kernel"
 	"heterodc/internal/msg"
 )
@@ -18,8 +19,28 @@ func testService(t *testing.T, cfg Config) (*kernel.Cluster, *Service) {
 	return cl, s
 }
 
-// driveNode replays node's membership schedule (emissions and suspicion
-// checks) up to horizon, without delivering anything — the peer is silent.
+// swimCluster builds an n-node mixed-ISA cluster with the SWIM detector.
+func swimCluster(t *testing.T, n int, cfg Config) (*kernel.Cluster, *Service) {
+	t.Helper()
+	arches := make([]isa.Arch, n)
+	for i := range arches {
+		if i%2 == 1 {
+			arches[i] = isa.ARM64
+		} else {
+			arches[i] = isa.X86
+		}
+	}
+	cl := kernel.NewCluster(arches, kernel.DefaultInterconnect())
+	s, err := Attach(cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, s
+}
+
+// driveNode replays node's membership schedule (probe rounds, escalations and
+// suspicion checks) up to horizon, without delivering anything — every peer
+// is silent.
 func driveNode(s *Service, node int, horizon float64) {
 	for {
 		due := s.NextDue(node)
@@ -30,10 +51,36 @@ func driveNode(s *Service, node int, horizon float64) {
 	}
 }
 
+// deliverAll pops every message queued at node and hands the membership ones
+// to the service, returning how many were delivered.
+func deliverAll(cl *kernel.Cluster, s *Service, node int) int {
+	c := 0
+	for {
+		m := cl.IC.PopDue(node, inf)
+		if m == nil {
+			return c
+		}
+		if m.Type == msg.THeartbeat {
+			s.Deliver(node, m)
+			c++
+		}
+	}
+}
+
+// discardAll drains node's inbound queue without delivering (a partition
+// swallowing the traffic).
+func discardAll(cl *kernel.Cluster, node int) {
+	for cl.IC.PopDue(node, inf) != nil {
+	}
+}
+
 func TestConfigDefaultsAndValidate(t *testing.T) {
 	c := Config{HeartbeatPeriod: 1e-3}.withDefaults()
 	if c.SuspectTimeout != 3e-3 || c.DeathMisses != 3 || c.BackoffCap != 8e-3 {
 		t.Fatalf("defaults not resolved: %+v", c)
+	}
+	if c.ProbeTimeout != 0.25e-3 || c.IndirectProbes != 2 || c.GossipRetransmit != 3 {
+		t.Fatalf("SWIM defaults not resolved: %+v", c)
 	}
 	if err := c.Validate(); err != nil {
 		t.Fatalf("defaulted config invalid: %v", err)
@@ -45,6 +92,11 @@ func TestConfigDefaultsAndValidate(t *testing.T) {
 		{HeartbeatPeriod: 1e-3, SuspectTimeout: 0.5e-3},
 		{HeartbeatPeriod: 1e-3, DeathMisses: -1},
 		{HeartbeatPeriod: 1e-3, BackoffCap: 0.1e-3},
+		{HeartbeatPeriod: 1e-3, ProbeTimeout: 2e-3},
+		{HeartbeatPeriod: 1e-3, ProbeTimeout: -1e-3},
+		{HeartbeatPeriod: 1e-3, IndirectProbes: -1},
+		{HeartbeatPeriod: 1e-3, GossipRetransmit: -2},
+		{HeartbeatPeriod: 1e-3, Quorum: -1},
 	}
 	for i, c := range bad {
 		if err := c.Validate(); err == nil {
@@ -56,17 +108,35 @@ func TestConfigDefaultsAndValidate(t *testing.T) {
 	}
 }
 
+func TestQuorumResolution(t *testing.T) {
+	for _, tc := range []struct{ n, override, want int }{
+		{2, 0, 1}, // documented two-node exception
+		{3, 0, 2},
+		{4, 0, 3},
+		{5, 0, 3},
+		{8, 0, 5},
+		{5, 4, 4}, // explicit override wins
+	} {
+		_, s := swimCluster(t, tc.n, Config{HeartbeatPeriod: 1e-3, Quorum: tc.override})
+		if got := s.Quorum(); got != tc.want {
+			t.Errorf("n=%d override=%d: quorum %d, want %d", tc.n, tc.override, got, tc.want)
+		}
+	}
+}
+
 func TestSilenceEscalatesToDeath(t *testing.T) {
 	cl, s := testService(t, Config{HeartbeatPeriod: 1e-3})
-	// Node 1 never runs its schedule: pure silence. Observer 0's lease view
-	// must walk alive -> suspect -> (backoff re-checks) -> dead.
-	driveNode(s, 0, s.cfg.SuspectTimeout)
+	// Node 1 never runs its schedule and nothing is delivered: pure silence.
+	// Observer 0's probe of node 1 must escalate (no ack by the probe
+	// timeout), fail at the round boundary (suspect), and — unrefuted through
+	// the suspicion timeout — end in a death verdict.
+	driveNode(s, 0, 1e-3)
 	if got := s.View(0, 1); got != Alive {
-		t.Fatalf("view before the suspicion timeout: %v, want alive", got)
+		t.Fatalf("view before the probe round expired: %v, want alive", got)
 	}
-	driveNode(s, 0, s.cfg.SuspectTimeout+s.cfg.HeartbeatPeriod/2)
+	driveNode(s, 0, 1.5e-3)
 	if got := s.View(0, 1); got != Suspect {
-		t.Fatalf("view after the suspicion timeout: %v, want suspect", got)
+		t.Fatalf("view after the failed probe round: %v, want suspect", got)
 	}
 	if !s.Suspected(0, 1) || !s.SuspectedAny(1) {
 		t.Error("suspect state not reported by Suspected/SuspectedAny")
@@ -79,6 +149,9 @@ func TestSilenceEscalatesToDeath(t *testing.T) {
 	if st.Suspicions != 1 || st.Deaths != 1 {
 		t.Errorf("stats = %+v, want 1 suspicion and 1 death", st)
 	}
+	if st.Probes == 0 || st.ProbeTimeouts == 0 {
+		t.Errorf("no probe traffic recorded: %+v", st)
+	}
 	if len(s.Deaths()) != 1 || s.Deaths()[0].Node != 1 || s.Deaths()[0].Observer != 0 {
 		t.Errorf("death records = %+v", s.Deaths())
 	}
@@ -89,134 +162,556 @@ func TestSilenceEscalatesToDeath(t *testing.T) {
 	if !cl.NodeUnavailable(1) {
 		t.Error("declared-dead node still reported available")
 	}
-}
-
-func TestBackoffDelaysDeathBeyondFixedChecks(t *testing.T) {
-	_, s := testService(t, Config{HeartbeatPeriod: 1e-3, DeathMisses: 4})
-	driveNode(s, 0, 1.0)
-	if len(s.Deaths()) != 1 {
-		t.Fatalf("%d deaths, want 1", len(s.Deaths()))
-	}
-	// Suspicion fires at the 3ms timeout; the re-checks back off 1, 2, 4,
-	// 8ms (doubling, capped at 8ms), so the fourth miss lands at 18ms —
-	// later than the 4 fixed-period checks (7ms) a backoff-free detector
-	// would use.
-	at := s.Deaths()[0].At
-	if at <= 7e-3 || at > 18.5e-3 {
-		t.Errorf("death declared at %gs, want capped-backoff schedule (~18ms)", at)
+	// A dead view leaves the rotation: no further probes target node 1.
+	probes := s.Stats().Probes
+	driveNode(s, 0, 1.1)
+	if s.Stats().Probes != probes {
+		t.Errorf("dead peer still probed: %d -> %d", probes, s.Stats().Probes)
 	}
 }
 
-func TestHeartbeatRenewsLease(t *testing.T) {
-	cl, s := testService(t, Config{HeartbeatPeriod: 1e-3})
-	// Drive both nodes and pump the interconnect: every emitted heartbeat is
-	// delivered, so no suspicion ever forms.
-	horizon := 50e-3
-	for {
-		due0, due1 := s.NextDue(0), s.NextDue(1)
-		due, node := due0, 0
-		if due1 < due {
-			due, node = due1, 1
-		}
-		if due >= horizon {
-			break
-		}
-		s.RunDue(node, due)
-		for n := 0; n < cl.NumNodes(); n++ {
-			for {
-				m := cl.IC.PopDue(n, due+1e-3)
-				if m == nil {
-					break
-				}
-				if m.Type == msg.THeartbeat {
-					s.Deliver(n, m)
-				}
+func TestIdleFleetStaysQuiet(t *testing.T) {
+	// Satellite regression: membership must run whenever the service is
+	// attached, not only while processes are live. An idle fleet (no process
+	// ever spawned) keeps probing for hundreds of rounds without a single
+	// suspicion — before the per-node gate, the kernel silenced every
+	// emission the moment the last process exited, so a between-jobs fleet
+	// fell silent in lockstep and mass-suspected itself on resume.
+	cl, s := swimCluster(t, 4, Config{HeartbeatPeriod: 1e-3, Seed: 7})
+	if cl.HasLiveProcs() {
+		t.Fatal("setup: testbed unexpectedly has live processes")
+	}
+	cl.Run(0.2)
+	st := s.Stats()
+	if st.Suspicions != 0 || st.Deaths != 0 {
+		t.Fatalf("idle fleet produced %d suspicions, %d deaths", st.Suspicions, st.Deaths)
+	}
+	// ~200 rounds x 4 nodes of probe traffic must have flowed.
+	if st.Probes < 4*150 {
+		t.Errorf("idle fleet barely probed: %d probes, want >= %d", st.Probes, 4*150)
+	}
+	if st.HeartbeatsSent == 0 || st.HeartbeatsDelivered == 0 {
+		t.Errorf("no membership traffic: %+v", st)
+	}
+	if cl.IC.Stats().Messages == 0 {
+		t.Error("membership traffic bypassed the interconnect")
+	}
+	for o := 0; o < 4; o++ {
+		for tg := 0; tg < 4; tg++ {
+			if s.View(o, tg) != Alive {
+				t.Fatalf("view[%d][%d] = %v on a healthy fabric", o, tg, s.View(o, tg))
 			}
 		}
 	}
-	st := s.Stats()
-	if st.Suspicions != 0 {
-		t.Errorf("healthy fabric produced %d suspicions", st.Suspicions)
+	// Sparse-state claim: a healthy fleet holds no materialized view records;
+	// only in-flight probes and queued gossip may exist transiently.
+	for o := 0; o < 4; o++ {
+		if len(s.views[o]) != 0 {
+			t.Errorf("observer %d holds %d view records on a healthy fabric", o, len(s.views[o]))
+		}
 	}
-	if st.HeartbeatsSent == 0 || st.HeartbeatsDelivered == 0 {
-		t.Errorf("no heartbeat traffic: %+v", st)
-	}
-	if s.View(0, 1) != Alive || s.View(1, 0) != Alive {
-		t.Error("views not alive under a healthy fabric")
-	}
-	// The lease traffic was charged through the interconnect.
-	if cl.IC.Stats().Messages == 0 {
-		t.Error("heartbeats bypassed the interconnect")
+	if rec := s.StateRecords(); rec > 2*4 {
+		t.Errorf("healthy-fleet state records = %d, want <= %d", rec, 2*4)
 	}
 }
 
-func TestStaleIncarnationHeartbeatFenced(t *testing.T) {
-	_, s := testService(t, Config{HeartbeatPeriod: 1e-3})
-	driveNode(s, 0, 1.0) // declare node 1 dead
-	if s.View(0, 1) != Dead {
+func TestProbeRotationCoversAllPeers(t *testing.T) {
+	_, s := swimCluster(t, 6, Config{HeartbeatPeriod: 1e-3, Seed: 42})
+	// Each rotation cycle must visit every peer exactly once (the affine
+	// permutation is a bijection), across several reshuffled cycles.
+	for cycle := 0; cycle < 4; cycle++ {
+		seen := make(map[int]bool)
+		for i := 0; i < 5; i++ {
+			tg := s.nextTarget(0)
+			if tg <= 0 || tg >= 6 {
+				t.Fatalf("cycle %d: bad target %d", cycle, tg)
+			}
+			if seen[tg] {
+				t.Fatalf("cycle %d: target %d probed twice before full coverage", cycle, tg)
+			}
+			seen[tg] = true
+		}
+		if len(seen) != 5 {
+			t.Fatalf("cycle %d covered %d of 5 peers", cycle, len(seen))
+		}
+	}
+}
+
+func TestWitnessSelection(t *testing.T) {
+	_, s := swimCluster(t, 6, Config{HeartbeatPeriod: 1e-3, Seed: 3})
+	w := s.witnesses(0, 3, 17)
+	if len(w) != s.cfg.IndirectProbes {
+		t.Fatalf("%d witnesses, want %d", len(w), s.cfg.IndirectProbes)
+	}
+	for _, c := range w {
+		if c == 0 || c == 3 {
+			t.Errorf("witness %d is the prober or the target", c)
+		}
+	}
+	// A peer held dead never witnesses.
+	s.mview(0, 1).state = Dead
+	for seq := uint64(0); seq < 20; seq++ {
+		for _, c := range s.witnesses(0, 3, seq) {
+			if c == 1 {
+				t.Fatal("dead peer selected as witness")
+			}
+		}
+	}
+}
+
+func TestIndirectProbeRescuesSilentDirectPath(t *testing.T) {
+	cl, s := swimCluster(t, 4, Config{HeartbeatPeriod: 1e-3, Seed: 1})
+	// Node 0 probes its rotation target; the direct ping is swallowed (a
+	// lossy path), so the ack deadline escalates to ping-reqs through two
+	// witnesses. Relaying the full chain — witness ping, target ack, witness
+	// forward — must resolve the probe before the round boundary: no
+	// suspicion forms.
+	s.RunDue(0, 0)
+	target := s.probes[0].target
+	if target < 0 {
+		t.Fatal("no probe in flight after the first round opened")
+	}
+	if m := cl.IC.PopDue(target, inf); m == nil {
+		t.Fatal("direct ping never queued")
+	} // swallowed
+	s.RunDue(0, s.cfg.ProbeTimeout) // ack deadline: escalate
+	st := s.Stats()
+	if st.ProbeTimeouts != 1 || st.IndirectProbes != 2 {
+		t.Fatalf("escalation stats = %+v, want 1 timeout and 2 ping-reqs", st)
+	}
+	// Deliver the ping-reqs at the witnesses; they ping the target.
+	for w := 0; w < 4; w++ {
+		if w == 0 || w == target {
+			continue
+		}
+		deliverAll(cl, s, w)
+	}
+	// The target answers each witness ping with an ack.
+	if deliverAll(cl, s, target) == 0 {
+		t.Fatal("no witness ping reached the target")
+	}
+	// The witnesses forward the acks to the prober.
+	for w := 0; w < 4; w++ {
+		if w == 0 || w == target {
+			continue
+		}
+		deliverAll(cl, s, w)
+	}
+	if deliverAll(cl, s, 0) == 0 {
+		t.Fatal("no relayed ack reached the prober")
+	}
+	if s.probes[0].target != -1 {
+		t.Fatal("relayed ack did not resolve the probe")
+	}
+	driveNode(s, 0, 1.1e-3) // cross the round boundary
+	if got := s.Stats().Suspicions; got != 0 {
+		t.Errorf("rescued probe still produced %d suspicions", got)
+	}
+	if s.View(0, target) != Alive {
+		t.Errorf("view of rescued target = %v", s.View(0, target))
+	}
+}
+
+func TestGossipRefutationByEpoch(t *testing.T) {
+	_, s := swimCluster(t, 4, Config{HeartbeatPeriod: 1e-3})
+	// Observer 0 suspects node 2; the suspicion gossips at epoch 0.
+	s.suspect(0, 2, 0, "test")
+	if s.View(0, 2) != Suspect {
+		t.Fatal("setup: suspicion not recorded")
+	}
+	// Gossiped aliveness at the same epoch does not refute the suspicion —
+	// only the subject's own bumped epoch (or direct contact) does.
+	s.applyUpdate(0, update{state: Alive, node: 2, inc: 1, epoch: 0}, 0.1e-3)
+	if s.View(0, 2) != Suspect {
+		t.Fatal("stale-epoch gossip cleared a live suspicion")
+	}
+	// The subject hears of its own suspicion and refutes with epoch+1.
+	s.applyUpdate(2, update{state: Suspect, node: 2, inc: 1, epoch: 0}, 0.2e-3)
+	if s.Stats().Refutations != 1 || s.selfEpoch[2] != 1 {
+		t.Fatalf("self-suspicion not refuted: refutations=%d epoch=%d", s.Stats().Refutations, s.selfEpoch[2])
+	}
+	// The refutation gossips back at the bumped epoch and clears the view.
+	s.applyUpdate(0, update{state: Alive, node: 2, inc: 1, epoch: 1}, 0.3e-3)
+	if s.View(0, 2) != Alive {
+		t.Fatal("bumped-epoch refutation did not clear the suspicion")
+	}
+	if s.Stats().Readmissions != 1 {
+		t.Errorf("readmissions = %d, want 1", s.Stats().Readmissions)
+	}
+	// The cleared record stays materialized: the epoch history is still
+	// load-bearing (a replayed epoch-0 suspicion must not re-suspect).
+	if v := s.views[0][2]; v == nil || v.epoch != 1 {
+		t.Fatalf("refuted view lost its epoch history: %+v", v)
+	}
+	s.applyUpdate(0, update{state: Suspect, node: 2, inc: 1, epoch: 0}, 0.4e-3)
+	if s.View(0, 2) != Suspect {
+		t.Log("note: replayed epoch-0 suspicion ignored (already refuted at epoch 1)")
+	}
+	if s.views[0][2].state == Suspect {
+		t.Error("already-refuted suspicion epoch re-suspected the node")
+	}
+}
+
+func TestGossipDeathPropagatesAndIncarnationReadmits(t *testing.T) {
+	_, s := swimCluster(t, 4, Config{HeartbeatPeriod: 1e-3})
+	// A quorum-side death verdict arrives by gossip: the observer adopts it.
+	s.applyUpdate(0, update{state: Dead, node: 3, inc: 1}, 1e-3)
+	if s.View(0, 3) != Dead {
+		t.Fatal("gossiped death not adopted")
+	}
+	// Gossip from the dead incarnation cannot resurrect it.
+	s.applyUpdate(0, update{state: Alive, node: 3, inc: 1, epoch: 5}, 2e-3)
+	if s.View(0, 3) != Dead {
+		t.Fatal("same-incarnation aliveness refuted a death")
+	}
+	// The rejoined incarnation readmits the node.
+	s.applyUpdate(0, update{state: Alive, node: 3, inc: 2}, 3e-3)
+	if s.View(0, 3) != Alive {
+		t.Fatal("higher-incarnation aliveness did not readmit")
+	}
+	if st := s.Stats(); st.FalseSuspicions != 1 {
+		t.Errorf("false suspicions = %d, want 1 (the refuted death)", st.FalseSuspicions)
+	}
+	// A late duplicate of the old verdict is fenced by the dead-incarnation
+	// watermark, not re-adopted.
+	s.applyUpdate(0, update{state: Dead, node: 3, inc: 1}, 4e-3)
+	if s.View(0, 3) != Alive {
+		t.Fatal("stale duplicate verdict killed the rejoined incarnation")
+	}
+}
+
+func TestMinorityDefersVerdictAndQuorumReArms(t *testing.T) {
+	cl, s := swimCluster(t, 5, Config{HeartbeatPeriod: 1e-3})
+	if s.Quorum() != 3 {
+		t.Fatalf("quorum = %d, want 3", s.Quorum())
+	}
+	// Observer 0 loses contact with 1, 2 and 3: it is on the minority side
+	// of a 2/3 split.
+	for _, tg := range []int{1, 2, 3} {
+		s.suspect(0, tg, 0, "test")
+	}
+	if s.HasQuorum(0) {
+		t.Fatalf("observer with %d alive of 5 still claims quorum", s.AliveCount(0))
+	}
+	// The suspicion deadlines expire without quorum: every verdict parks.
+	s.expireSuspects(0, s.cfg.SuspectTimeout)
+	st := s.Stats()
+	if st.DeferredVerdicts != 3 || st.Deaths != 0 {
+		t.Fatalf("stats = %+v, want 3 deferred verdicts and 0 deaths", st)
+	}
+	for _, tg := range []int{1, 2, 3} {
+		if v := s.views[0][tg]; v == nil || !v.deferred || v.state != Suspect {
+			t.Fatalf("view of %d not parked: %+v", tg, v)
+		}
+		if cl.DeadIncarnation(tg) != 0 {
+			t.Fatalf("minority verdict executed on the cluster for node %d", tg)
+		}
+	}
+	// A minority's suspicions must not poison placement either.
+	if s.SuspectedAny(1) {
+		t.Error("minority observer's suspicion vetoed placement")
+	}
+	// Direct contact with node 1 restores quorum (3 alive including self).
+	// The parked verdicts on 2 and 3 are re-armed with a fresh suspicion
+	// window — NOT executed: the deferred view predates the heal and much of
+	// it is stale.
+	heal := 10e-3
+	s.applyAlive(0, 1, 1, 0, heal, true)
+	if !s.HasQuorum(0) {
+		t.Fatal("quorum not restored by readmission")
+	}
+	s.expireSuspects(0, heal)
+	if s.Stats().Deaths != 0 {
+		t.Fatal("deferred verdict executed immediately on quorum regain")
+	}
+	// The fresh window covers a full probe rotation on top of the suspicion
+	// timeout: a live re-armed suspect must get a direct-probe chance to
+	// refute before the verdict can fire.
+	rearmed := heal + s.cfg.SuspectTimeout + float64(4)*s.cfg.HeartbeatPeriod
+	for _, tg := range []int{2, 3} {
+		v := s.views[0][tg]
+		if v.deferred || v.deadline != rearmed {
+			t.Fatalf("verdict on %d not re-armed: %+v (want deadline %g)", tg, v, rearmed)
+		}
+	}
+	// Still silent through the fresh window: the observer may now move to
+	// execute — but its own view does not prove quorum. Each expiry opens a
+	// verdict poll; nothing dies until a live quorum acks.
+	s.expireSuspects(0, rearmed)
+	if got := s.Stats().Deaths; got != 0 {
+		t.Fatalf("deaths before the verdict poll resolved = %d, want 0", got)
+	}
+	for _, tg := range []int{2, 3} {
+		if s.polls[0][tg] == nil {
+			t.Fatalf("no verdict poll opened for node %d", tg)
+		}
+	}
+	// Nodes 1 and 4 answer the polls: quorum proven, both verdicts execute.
+	for _, tg := range []int{2, 3} {
+		for _, from := range []int{1, 4} {
+			s.Deliver(0, &msg.Message{From: from, To: 0, Deliver: rearmed + 1e-6,
+				Payload: &swimPayload{kind: swimVoteAck, from: from, inc: 1,
+					origin: 0, target: tg, seq: s.polls[0][tg].seq}})
+		}
+	}
+	if got := s.Stats().Deaths; got != 2 {
+		t.Fatalf("deaths after the poll = %d, want 2", got)
+	}
+	if cl.DeadIncarnation(2) != 1 || cl.DeadIncarnation(3) != 1 {
+		t.Error("quorum verdicts did not execute on the cluster")
+	}
+}
+
+// TestUnansweredVerdictPollDefers covers the stale-quorum race the poll
+// exists for: right after a cut, a minority observer can still VIEW a
+// majority alive (its rotation has not re-probed them yet), so the
+// view-based quorum gate passes — but the poll it must win gets no acks,
+// and the verdict parks instead of executing.
+func TestUnansweredVerdictPollDefers(t *testing.T) {
+	cl, s := swimCluster(t, 5, Config{HeartbeatPeriod: 1e-3})
+	// Observer 0 has discovered only ONE unreachable peer so far: its view
+	// says 4 alive of 5 — quorum held — even though (unknown to it) it is
+	// actually cut off from everyone.
+	s.suspect(0, 1, 0, "test")
+	if !s.HasQuorum(0) {
+		t.Fatal("setup: view-based quorum should still pass")
+	}
+	s.expireSuspects(0, s.cfg.SuspectTimeout)
+	if s.Stats().Deaths != 0 {
+		t.Fatal("verdict executed on a view-based quorum without a poll")
+	}
+	p := s.polls[0][1]
+	if p == nil {
+		t.Fatal("no verdict poll opened for node 1")
+	}
+	// The cut swallows every poll message. Each lapsed poll is a miss that
+	// re-arms with backoff (a congested fabric lapses polls too), and only
+	// after DeathMisses lapses does the verdict park like any minority
+	// verdict.
+	for miss := 1; miss <= s.cfg.DeathMisses; miss++ {
+		s.expireSuspects(0, p.deadline)
+		if s.Stats().Deaths != 0 || cl.DeadIncarnation(1) != 0 {
+			t.Fatalf("miss %d: unanswered poll executed a death", miss)
+		}
+		v := s.views[0][1]
+		if miss < s.cfg.DeathMisses {
+			if v.deferred || v.missed != miss {
+				t.Fatalf("miss %d: want re-check, got %+v", miss, v)
+			}
+			// The backoff expires and a fresh poll opens — which the cut
+			// swallows again.
+			s.expireSuspects(0, v.deadline)
+			if p = s.polls[0][1]; p == nil {
+				t.Fatalf("miss %d: no re-poll opened", miss)
+			}
+		} else if !v.deferred || s.polls[0][1] != nil {
+			t.Fatalf("exhausted polls did not park the verdict: %+v", v)
+		}
+	}
+	if got := s.Stats().VerdictRechecks; got != uint64(s.cfg.DeathMisses-1) {
+		t.Fatalf("verdict re-checks = %d, want %d", got, s.cfg.DeathMisses-1)
+	}
+	if got := s.Stats().DeferredVerdicts; got != 1 {
+		t.Fatalf("deferred verdicts = %d, want 1", got)
+	}
+}
+
+// TestLapsedPollRecheckSurvivesLateAcks covers the congested-fabric false
+// positive: a bulk transfer (a live migration) occupying the link delays a
+// suspect's acks past both the suspicion window and the verdict poll, which
+// lapses exactly as if the suspect were dead. The lapse must buy a backoff
+// re-check, not a verdict — when the transfer finishes and the late ack
+// lands, the suspect is readmitted with no death executed.
+func TestLapsedPollRecheckSurvivesLateAcks(t *testing.T) {
+	cl, s := swimCluster(t, 2, Config{HeartbeatPeriod: 1e-3})
+	s.suspect(0, 1, 0, "test")
+	s.expireSuspects(0, s.cfg.SuspectTimeout)
+	p := s.polls[0][1]
+	if p == nil {
+		t.Fatal("no verdict poll opened at the two-node rack")
+	}
+	// The congested link delays every ack: the poll lapses.
+	s.expireSuspects(0, p.deadline)
+	if s.Stats().Deaths != 0 {
+		t.Fatal("single lapsed poll executed a two-node death")
+	}
+	if v := s.views[0][1]; v.missed != 1 || v.deferred {
+		t.Fatalf("lapsed poll did not re-arm a re-check: %+v", v)
+	}
+	// The transfer drains and the suspect's delayed frame finally lands:
+	// direct alive evidence, suspicion cleared, misses forgotten.
+	s.Deliver(0, &msg.Message{From: 1, To: 0, Deliver: p.deadline + 1e-6,
+		Payload: &swimPayload{kind: swimAck, from: 1, inc: 1}})
+	if got := s.View(0, 1); got != Alive {
+		t.Fatalf("late ack did not readmit the suspect: %v", got)
+	}
+	if st := s.Stats(); st.Deaths != 0 || st.VerdictRechecks != 1 || st.Readmissions != 1 {
+		t.Fatalf("stats = %+v, want a readmission after 1 re-check and no deaths", st)
+	}
+	if cl.DeadIncarnation(1) != 0 {
+		t.Fatal("cluster fenced an incarnation that was never declared dead")
+	}
+}
+
+func TestZombieLearnsOfItsDeathAndRejoins(t *testing.T) {
+	cl, s := testService(t, Config{HeartbeatPeriod: 1e-3})
+	// Node 0 declares node 1 dead after sustained silence (node 1 was
+	// partitioned away, not crashed: it never stopped running). The horizon
+	// covers the suspicion window plus the DeathMisses re-poll backoffs.
+	driveNode(s, 0, 9.5e-3)
+	if s.View(0, 1) != Dead || cl.DeadIncarnation(1) != 1 {
 		t.Fatal("setup: node 1 not declared dead")
 	}
-	hb := func(inc uint64, at float64) *msg.Message {
-		return &msg.Message{Type: msg.THeartbeat, From: 1, To: 0, Deliver: at,
-			Payload: &hbPayload{from: 1, inc: inc}}
-	}
-	// A heartbeat from the declared-dead incarnation must not resurrect it:
-	// death is final per incarnation.
-	s.Deliver(0, hb(1, 0.1))
-	if s.View(0, 1) != Dead {
-		t.Fatal("stale-incarnation heartbeat refuted the death")
-	}
+	discardAll(cl, 1) // the partition swallowed node 0's probes
+
+	// The partition heals: node 1 probes node 0. Its ping is fenced (stale
+	// incarnation), and the reply carries the death verdict, so the zombie
+	// learns and rejoins under a bumped incarnation at first contact.
+	s.RunDue(1, 9.5e-3)
+	deliverAll(cl, s, 0)
 	if s.Stats().HeartbeatsFenced == 0 {
-		t.Error("fenced heartbeat not counted")
+		t.Fatal("zombie ping was not fenced")
 	}
-	// A heartbeat from a higher incarnation is the node rejoining: readmit.
-	s.Deliver(0, hb(2, 0.2))
+	if deliverAll(cl, s, 1) == 0 {
+		t.Fatal("no fence notification reached the zombie")
+	}
+	if got := cl.Incarnation(1); got != 2 {
+		t.Fatalf("zombie incarnation = %d, want 2 after rejoin", got)
+	}
+	if s.Stats().Rejoins != 1 {
+		t.Fatalf("rejoins = %d, want 1", s.Stats().Rejoins)
+	}
+	// The zombie's next probe runs under incarnation 2 and readmits it at
+	// the observer that held it dead.
+	driveNode(s, 1, 10.6e-3)
+	deliverAll(cl, s, 0)
 	if s.View(0, 1) != Alive {
-		t.Fatal("rejoin heartbeat did not readmit the node")
+		t.Fatalf("rejoined node still viewed %v at the declaring observer", s.View(0, 1))
 	}
 	st := s.Stats()
-	if st.Readmissions != 1 || st.FalseSuspicions != 1 {
-		t.Errorf("stats = %+v, want 1 readmission refuting the death", st)
+	if st.FalseSuspicions != 1 || st.Readmissions == 0 {
+		t.Errorf("stats = %+v, want the death refuted as a false suspicion", st)
 	}
-	// Once readmitted as incarnation 2, incarnation-1 leases are stale.
-	s.Deliver(0, hb(1, 0.3))
-	if s.Stats().HeartbeatsFenced != 2 {
-		t.Errorf("regressed-incarnation heartbeat not fenced: %+v", s.Stats())
+	if cl.NodeUnavailable(1) {
+		t.Error("rejoined node still unavailable for placement")
+	}
+	// Exactly one live incarnation: the retired one stays fenced.
+	if cl.Incarnation(1) != 2 || cl.DeadIncarnation(1) != 1 {
+		t.Errorf("incarnation ledger = (inc %d, dead %d), want (2, 1)",
+			cl.Incarnation(1), cl.DeadIncarnation(1))
 	}
 }
 
 func TestCrashParksAndRecoveryResumesSchedule(t *testing.T) {
 	_, s := testService(t, Config{HeartbeatPeriod: 1e-3})
-	// Let observer 1 age its view of node 0 almost to suspicion.
-	driveNode(s, 1, 2.9e-3)
-	s.NodeCrashed(1, 2.9e-3)
+	driveNode(s, 1, 0.6e-3)
+	s.NodeCrashed(1, 0.6e-3)
 	if s.NextDue(1) < inf {
 		t.Fatalf("crashed node still scheduled at %g", s.NextDue(1))
 	}
 	s.NodeRecovered(1, 1, 10e-3)
 	if s.NextDue(1) != 10e-3 {
-		t.Fatalf("recovered node next due %g, want immediate emission at 10ms", s.NextDue(1))
+		t.Fatalf("recovered node next due %g, want immediate probe at 10ms", s.NextDue(1))
 	}
 	// Its own views were refreshed: the pre-crash silence of node 0 must not
-	// read as suspicion right after recovery.
-	driveNode(s, 1, 10e-3+s.cfg.SuspectTimeout-1e-6)
+	// read as suspicion right after recovery (no probe round has failed yet).
+	driveNode(s, 1, 10e-3+0.9*s.cfg.HeartbeatPeriod)
 	if s.Stats().Suspicions != 0 {
 		t.Errorf("recovery burst %d false suspicions", s.Stats().Suspicions)
+	}
+	// The recovered node announces itself: an alive update is queued for the
+	// next outgoing frames.
+	found := false
+	for _, e := range s.gossip[1] {
+		if e.upd.node == 1 && e.upd.state == Alive {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("recovered node queued no self-announcement")
 	}
 }
 
 func TestIdleGapResumesCadence(t *testing.T) {
 	_, s := testService(t, Config{HeartbeatPeriod: 1e-3})
-	driveNode(s, 0, 2e-3)
-	// The cluster sat idle for a long gap (the kernel gates NextDue on live
-	// work); the next due action lands far past the cadence. The service
-	// must re-phase instead of bursting suspicion checks for the silence.
+	driveNode(s, 0, 0.9e-3)
+	// The node sat unscheduled for a long gap; the next due action lands far
+	// past the cadence. The service must re-phase — clearing the stale
+	// in-flight probe — instead of reading the gap's silence as a failed
+	// round.
 	s.RunDue(0, 5.0)
 	if s.Stats().Suspicions != 0 {
 		t.Errorf("idle gap produced %d suspicions", s.Stats().Suspicions)
 	}
-	if due := s.NextDue(0); due < 5.0 || due > 5.0+s.cfg.SuspectTimeout {
+	if due := s.NextDue(0); due <= 5.0 || due > 5.0+s.cfg.HeartbeatPeriod {
 		t.Errorf("next due %g after resume at 5s", due)
+	}
+}
+
+func TestIdleGapReArmsLiveSuspicion(t *testing.T) {
+	_, s := testService(t, Config{HeartbeatPeriod: 1e-3})
+	// A suspicion armed before the gap (deadline 4ms) must not fire as a
+	// verdict when the node resumes at 10s: the deadline is re-armed.
+	driveNode(s, 0, 1.5e-3)
+	if s.View(0, 1) != Suspect {
+		t.Fatal("setup: no suspicion before the gap")
+	}
+	s.RunDue(0, 10.0)
+	if s.Stats().Deaths != 0 {
+		t.Fatal("gap-stale suspicion fired a death verdict on resume")
+	}
+	if s.View(0, 1) != Suspect {
+		t.Errorf("re-armed suspicion lost: view = %v", s.View(0, 1))
+	}
+	if v := s.views[0][1]; v.deadline != 10.0+s.cfg.SuspectTimeout {
+		t.Errorf("suspicion deadline %g, want re-armed at %g", v.deadline, 10.0+s.cfg.SuspectTimeout)
+	}
+}
+
+func TestSupersedes(t *testing.T) {
+	alive := func(inc, ep uint64) update { return update{state: Alive, node: 1, inc: inc, epoch: ep} }
+	susp := func(inc, ep uint64) update { return update{state: Suspect, node: 1, inc: inc, epoch: ep} }
+	dead := func(inc uint64) update { return update{state: Dead, node: 1, inc: inc} }
+	cases := []struct {
+		a, b update
+		want bool
+	}{
+		{alive(2, 0), dead(1), true},    // higher incarnation beats a death
+		{dead(1), alive(1, 9), true},    // within an incarnation death is final
+		{alive(1, 9), dead(1), false},   //
+		{susp(1, 0), alive(1, 0), true}, // suspect outranks alive at equal epoch
+		{alive(1, 1), susp(1, 0), true}, // a bumped epoch refutes the suspicion
+		{susp(1, 1), alive(1, 1), true},
+		{alive(1, 0), alive(1, 0), false},
+	}
+	for i, c := range cases {
+		if got := supersedes(c.a, c.b); got != c.want {
+			t.Errorf("case %d: supersedes(%+v, %+v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPiggybackBudgetRetiresUpdates(t *testing.T) {
+	_, s := swimCluster(t, 4, Config{HeartbeatPeriod: 1e-3, GossipRetransmit: 1})
+	s.enqueueUpdate(0, update{state: Suspect, node: 2, inc: 1})
+	budget := s.gossipBudget()
+	for i := 0; i < budget; i++ {
+		if got := s.takePiggyback(0); len(got) != 1 {
+			t.Fatalf("draw %d: %d updates, want 1", i, len(got))
+		}
+	}
+	if got := s.takePiggyback(0); len(got) != 0 {
+		t.Fatalf("update outlived its budget: %d updates after %d draws", len(got), budget)
+	}
+	// A superseding update refreshes the entry; a superseded one is ignored.
+	s.enqueueUpdate(0, update{state: Suspect, node: 2, inc: 1})
+	s.enqueueUpdate(0, update{state: Dead, node: 2, inc: 1})
+	if g := s.gossip[0]; len(g) != 1 || g[0].upd.state != Dead {
+		t.Fatalf("superseding update not adopted: %+v", g)
+	}
+	s.enqueueUpdate(0, update{state: Suspect, node: 2, inc: 1})
+	if g := s.gossip[0]; len(g) != 1 || g[0].upd.state != Dead {
+		t.Fatalf("superseded update overwrote the verdict: %+v", g)
 	}
 }
 

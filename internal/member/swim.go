@@ -1,0 +1,1066 @@
+package member
+
+// This file is the SWIM-style gossip detector: randomized round-robin
+// direct probes, indirect probes through witnesses before suspicion, and
+// membership dissemination piggybacked on the probe/ack traffic. See the
+// package comment for the protocol overview and DESIGN.md §13 for the
+// quorum and partition-healing semantics.
+
+import (
+	"fmt"
+	"sort"
+
+	"heterodc/internal/kernel"
+	"heterodc/internal/msg"
+)
+
+// Wire sizes: a probe/ack frame (ids, incarnation, epoch, sequence) plus a
+// fixed cost per piggybacked update.
+const (
+	swimBaseBytes = 40
+	updateBytes   = 12
+	// maxPiggyback caps the updates riding on one message, keeping frames
+	// O(1) regardless of how much news is queued.
+	maxPiggyback = 8
+)
+
+// swimKind tags the SWIM message flavours.
+type swimKind int
+
+const (
+	swimPing swimKind = iota
+	swimAck
+	swimPingReq
+	// swimVoteReq/swimVoteAck are the verdict poll: before a death executes,
+	// the declaring observer must collect fresh acknowledgements from a live
+	// quorum. Its own view is too stale a basis — peers it has not probed
+	// since a cut still look alive — and two disjoint partition sides can
+	// never both collect a majority of acks.
+	swimVoteReq
+	swimVoteAck
+)
+
+// update is one piggybacked membership assertion about a node.
+type update struct {
+	state State // Alive (refutation/readmission), Suspect, or Dead
+	node  int
+	inc   uint64
+	epoch uint64 // refutation round within inc (Alive/Suspect only)
+}
+
+// supersedes reports whether update a overrides b for the same subject:
+// higher incarnation wins outright; within an incarnation Dead is final and
+// a higher epoch wins, with Suspect overriding Alive at equal epoch.
+func supersedes(a, b update) bool {
+	if a.inc != b.inc {
+		return a.inc > b.inc
+	}
+	if b.state == Dead {
+		return false
+	}
+	if a.state == Dead {
+		return true
+	}
+	ra, rb := a.epoch*2, b.epoch*2
+	if a.state == Suspect {
+		ra++
+	}
+	if b.state == Suspect {
+		rb++
+	}
+	return ra > rb
+}
+
+// gossipEntry tracks an update's remaining piggyback budget at one node.
+type gossipEntry struct {
+	upd    update
+	budget int
+}
+
+// swimPayload is the SWIM wire payload (msg.THeartbeat traffic).
+type swimPayload struct {
+	kind swimKind
+	from int
+	inc  uint64 // sender's own incarnation (alive evidence)
+	epch uint64 // sender's own refutation epoch
+
+	origin int    // the prober this exchange answers to
+	target int    // the probed node
+	seq    uint64 // probe sequence at the origin
+
+	// tgtInc/tgtEpoch carry the probed node's identity through relayed
+	// acks, so the origin gets first-hand evidence even via a witness.
+	tgtInc, tgtEpoch uint64
+
+	updates []update
+}
+
+// view is one observer's materialized record for one target. Records exist
+// only for targets with an incident history (suspicion, death, a bumped
+// incarnation or epoch); everything else is implicitly alive at incarnation
+// 1 — that sparsity is what keeps detector state sub-quadratic.
+type view struct {
+	state     State
+	inc       uint64  // highest incarnation evidenced for the target
+	epoch     uint64  // highest refutation epoch within inc
+	deadInc   uint64  // highest incarnation this observer holds dead
+	deadline  float64 // suspicion expiry while Suspect (inf otherwise)
+	deferred  bool    // verdict reached without quorum, parked
+	missed    int     // verdict polls that lapsed unanswered for this suspicion
+	backoff   float64 // current re-check backoff after a lapsed poll
+	lastHeard float64
+}
+
+// probeState is one node's in-flight direct probe.
+type probeState struct {
+	target  int // -1 while idle
+	seq     uint64
+	ackBy   float64 // escalate to indirect probes here (inf once escalated)
+	roundBy float64 // unresolved at the round boundary means suspicion
+}
+
+// pollState is one observer's in-flight verdict poll for one suspect.
+type pollState struct {
+	seq      uint64
+	inc      uint64 // the suspect incarnation the poll would execute against
+	deadline float64
+	acks     []int // distinct responders so far
+}
+
+// Service is the SWIM membership service attached to one cluster. It keeps
+// plain unlocked state: installing it forces the engines into a single
+// global schedule (see kernel.Cluster.ParallelOK), so all calls are serial.
+type Service struct {
+	cl  *kernel.Cluster
+	cfg Config
+	n   int
+
+	nextProbe []float64 // next probe round per node (inf while down)
+	probeSeq  []uint64
+	cycle     []uint64 // rotation cycle per node
+	pos       []int    // position within the cycle
+	probes    []probeState
+	pollSeq   []uint64
+	polls     []map[int]*pollState // polls[observer][suspect]
+
+	views     []map[int]*view // views[observer][target], sparse
+	selfInc   []uint64        // incarnation selfEpoch belongs to
+	selfEpoch []uint64
+	gossip    [][]gossipEntry
+
+	nextDue []float64 // cached earliest due time per node
+
+	stats  Stats
+	deaths []DeathRecord
+}
+
+// Attach validates cfg (after resolving defaults), builds the SWIM service
+// over cl and installs it as the cluster's membership authority.
+func Attach(cl *kernel.Cluster, cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cl.NumNodes()
+	s := &Service{
+		cl:        cl,
+		cfg:       cfg,
+		n:         n,
+		nextProbe: make([]float64, n),
+		probeSeq:  make([]uint64, n),
+		cycle:     make([]uint64, n),
+		pos:       make([]int, n),
+		probes:    make([]probeState, n),
+		pollSeq:   make([]uint64, n),
+		polls:     make([]map[int]*pollState, n),
+		views:     make([]map[int]*view, n),
+		selfInc:   make([]uint64, n),
+		selfEpoch: make([]uint64, n),
+		gossip:    make([][]gossipEntry, n),
+		nextDue:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		// Stagger initial phases so the fabric does not burst every probe at
+		// one instant.
+		s.nextProbe[i] = cfg.HeartbeatPeriod * float64(i) / float64(n)
+		s.probes[i].target = -1
+		s.polls[i] = make(map[int]*pollState)
+		s.views[i] = make(map[int]*view)
+		s.selfInc[i] = cl.Incarnation(i)
+		s.nextDue[i] = s.nextProbe[i]
+	}
+	cl.SetMembership(s)
+	return s, nil
+}
+
+// Config returns the resolved configuration.
+func (s *Service) Config() Config { return s.cfg }
+
+// Stats returns the detector counters.
+func (s *Service) Stats() Stats { return s.stats }
+
+// Deaths returns every death declaration in declaration order.
+func (s *Service) Deaths() []DeathRecord { return s.deaths }
+
+// Quorum returns the resolved verdict quorum.
+func (s *Service) Quorum() int {
+	if s.cfg.Quorum > 0 {
+		return s.cfg.Quorum
+	}
+	if s.n == 2 {
+		// Majority of 2 is 2, and a lone survivor could never declare its
+		// only peer: two-node racks keep the PR-5 single-observer semantics
+		// (real deployments break the tie with an external witness).
+		return 1
+	}
+	return s.n/2 + 1
+}
+
+// viewOf returns observer's record for target, or the implicit default
+// (alive, incarnation 1).
+func (s *Service) viewOf(observer, target int) view {
+	if v := s.views[observer][target]; v != nil {
+		return *v
+	}
+	return view{state: Alive, inc: 1, deadline: inf}
+}
+
+// mview materializes observer's record for target.
+func (s *Service) mview(observer, target int) *view {
+	if v := s.views[observer][target]; v != nil {
+		return v
+	}
+	v := &view{state: Alive, inc: 1, deadline: inf}
+	s.views[observer][target] = v
+	return v
+}
+
+// maybePrune drops a record that carries no information beyond the implicit
+// default, keeping healthy-fleet state near zero.
+func (s *Service) maybePrune(observer, target int) {
+	v := s.views[observer][target]
+	if v != nil && v.state == Alive && v.inc <= 1 && v.epoch == 0 && v.deadInc == 0 && !v.deferred {
+		delete(s.views[observer], target)
+	}
+}
+
+// viewKeys returns observer's materialized targets in ascending order, for
+// deterministic iteration over the sparse map.
+func (s *Service) viewKeys(observer int) []int {
+	keys := make([]int, 0, len(s.views[observer]))
+	for t := range s.views[observer] {
+		keys = append(keys, t)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// AliveCount returns how many nodes observer currently views alive,
+// including itself.
+func (s *Service) AliveCount(observer int) int {
+	c := s.n
+	for _, v := range s.views[observer] {
+		if v.state != Alive {
+			c--
+		}
+	}
+	return c
+}
+
+// HasQuorum reports whether observer's own view holds the verdict quorum.
+func (s *Service) HasQuorum(observer int) bool { return s.AliveCount(observer) >= s.Quorum() }
+
+// View returns observer's current state for target.
+func (s *Service) View(observer, target int) State {
+	if observer == target {
+		return Alive
+	}
+	return s.viewOf(observer, target).state
+}
+
+// StateRecords returns the number of materialized detector records across
+// all observers (views, queued gossip, in-flight probes) — the sparse-state
+// metric the scaling experiment reports against the lease baseline's dense
+// n*(n-1).
+func (s *Service) StateRecords() int {
+	c := 0
+	for o := 0; o < s.n; o++ {
+		c += len(s.views[o]) + len(s.gossip[o]) + len(s.polls[o])
+		if s.probes[o].target >= 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// recompute refreshes node's cached earliest due time.
+func (s *Service) recompute(node int) {
+	t := s.nextProbe[node]
+	if p := &s.probes[node]; p.target >= 0 {
+		if p.ackBy < t {
+			t = p.ackBy
+		}
+		if p.roundBy < t {
+			t = p.roundBy
+		}
+	}
+	for _, v := range s.views[node] {
+		if v.state == Suspect && !v.deferred && v.deadline < t {
+			t = v.deadline
+		}
+	}
+	s.nextDue[node] = t
+}
+
+// NextDue returns node's next membership action time.
+func (s *Service) NextDue(node int) float64 { return s.nextDue[node] }
+
+// park silences a down node.
+func (s *Service) park(node int) {
+	s.nextProbe[node] = inf
+	s.probes[node].target = -1
+	s.polls[node] = make(map[int]*pollState)
+	s.gossip[node] = nil
+	s.nextDue[node] = inf
+}
+
+// RunDue performs node's membership actions due at now: expire the
+// in-flight probe (escalating or suspecting), evaluate suspicion deadlines,
+// and open the next probe round.
+func (s *Service) RunDue(node int, now float64) {
+	if s.cl.NodeDown(node) {
+		// Defensive: a crashed node neither probes nor observes. NodeCrashed
+		// already parked its schedule.
+		s.park(node)
+		return
+	}
+	if now >= s.nextProbe[node]+s.cfg.SuspectTimeout {
+		// The node was scheduled far past its round (an idle gap): deadlines
+		// armed before the gap are void on both sides. Re-phase the cadence
+		// and re-arm live suspicions instead of letting the gap's silence
+		// read as verdicts.
+		s.probes[node].target = -1
+		s.polls[node] = make(map[int]*pollState)
+		for _, t := range s.viewKeys(node) {
+			if v := s.views[node][t]; v.state == Suspect && !v.deferred {
+				v.deadline = now + s.cfg.SuspectTimeout
+			}
+		}
+		s.nextProbe[node] = now
+	}
+	s.expireProbe(node, now)
+	s.expireSuspects(node, now)
+	if now >= s.nextProbe[node] {
+		s.emitProbe(node, now)
+		s.nextProbe[node] += s.cfg.HeartbeatPeriod
+	}
+	s.recompute(node)
+}
+
+// expireProbe handles the in-flight probe's deadlines: the round boundary
+// turns an unresolved probe into a suspicion; the ack deadline escalates to
+// indirect probes through witnesses.
+func (s *Service) expireProbe(node int, now float64) {
+	p := &s.probes[node]
+	if p.target < 0 {
+		return
+	}
+	if now >= p.roundBy {
+		t := p.target
+		p.target = -1
+		s.suspect(node, t, now, "probe round expired")
+		return
+	}
+	if now >= p.ackBy {
+		p.ackBy = inf
+		s.stats.ProbeTimeouts++
+		for _, w := range s.witnesses(node, p.target, p.seq) {
+			s.stats.IndirectProbes++
+			s.sendSwim(now, node, w, swimPayload{kind: swimPingReq, origin: node, target: p.target, seq: p.seq})
+		}
+	}
+}
+
+// expireSuspects reaches verdicts on observer's expired suspicions.
+func (s *Service) expireSuspects(observer int, now float64) {
+	for _, t := range s.viewKeys(observer) {
+		v := s.views[observer][t]
+		if v.state != Suspect || v.deferred || v.deadline > now {
+			continue
+		}
+		s.verdict(observer, t, now)
+	}
+}
+
+// suspect moves observer's view of target from alive to suspect and
+// disseminates the suspicion.
+func (s *Service) suspect(observer, target int, now float64, why string) {
+	v := s.mview(observer, target)
+	if v.state != Alive {
+		return
+	}
+	v.state = Suspect
+	v.deadline = now + s.cfg.SuspectTimeout
+	v.deferred = false
+	v.missed = 0
+	v.backoff = 0
+	s.stats.Suspicions++
+	s.enqueueUpdate(observer, update{state: Suspect, node: target, inc: v.inc, epoch: v.epoch})
+	s.trace(now, "suspect", "node %d suspects node %d (%s)", observer, target, why)
+}
+
+// verdict finalises an expired suspicion. The death may only execute with
+// quorum, and the observer's own view is not trusted to prove it: suspicion
+// onset for unreachable peers staggers over a probe rotation, so right
+// after a cut a minority observer can still view a majority alive simply
+// because it has not re-probed them yet. Instead the observer opens a
+// verdict poll — a fresh round of acknowledgements — and executes only once
+// a live quorum answers. Disjoint sides of a partition can never both
+// collect a majority of acks, so a split's minority can only defer; only
+// quorum-side verdicts ever gossip Dead, and the minority can never poison
+// the majority at heal.
+func (s *Service) verdict(observer, target int, now float64) {
+	v := s.views[observer][target]
+	if !s.HasQuorum(observer) {
+		s.deferVerdict(observer, target, now, "no quorum")
+		return
+	}
+	if p := s.polls[observer][target]; p != nil && p.inc == v.inc {
+		if now < p.deadline {
+			return
+		}
+		// The poll closed without enough acks. One lapse is not proof: a
+		// congested fabric (a bulk migration transfer occupying the link)
+		// delays acks exactly like a cut severs them, so the suspect gets
+		// the lease detector's grace — DeathMisses re-polls on a doubling
+		// backoff before the observer concludes anything.
+		delete(s.polls[observer], target)
+		v.missed++
+		if v.missed < s.cfg.DeathMisses {
+			if v.backoff == 0 {
+				v.backoff = s.cfg.HeartbeatPeriod
+			} else {
+				v.backoff *= 2
+				if v.backoff > s.cfg.BackoffCap {
+					v.backoff = s.cfg.BackoffCap
+				}
+			}
+			v.deadline = now + v.backoff
+			s.stats.VerdictRechecks++
+			s.trace(now, "re-check", "node %d re-checks suspect node %d (poll unanswered, %d/%d misses)",
+				observer, target, v.missed, s.cfg.DeathMisses)
+			return
+		}
+		if s.Quorum() <= 1 {
+			// A two-node rack has no peer whose ack could prove the verdict
+			// and the suspect's own ack would have readmitted it: silence
+			// through every re-poll is the best evidence available.
+			s.executeDeath(observer, target, now)
+			return
+		}
+		// Every re-poll lapsed: the claimed quorum was stale. Park the
+		// verdict like any minority observer.
+		s.deferVerdict(observer, target, now, "verdict poll unanswered")
+		return
+	}
+	s.pollSeq[observer]++
+	p := &pollState{seq: s.pollSeq[observer], inc: v.inc, deadline: now + s.cfg.ProbeTimeout}
+	s.polls[observer][target] = p
+	v.deadline = p.deadline
+	s.trace(now, "verdict-poll", "node %d polls for a live quorum to declare node %d (incarnation %d) dead",
+		observer, target, v.inc)
+	for peer := 0; peer < s.n; peer++ {
+		if peer == observer || s.viewOf(observer, peer).state == Dead {
+			continue
+		}
+		// The suspect itself is polled too: if it is actually alive, its ack
+		// is direct evidence and readmits it before any verdict can land.
+		s.sendSwim(now, observer, peer, swimPayload{kind: swimVoteReq, origin: observer, target: target, seq: p.seq})
+	}
+}
+
+// deferVerdict parks a verdict that could not prove quorum.
+func (s *Service) deferVerdict(observer, target int, now float64, why string) {
+	v := s.views[observer][target]
+	if !v.deferred {
+		s.stats.DeferredVerdicts++
+		s.trace(now, "defer-death", "node %d defers death of node %d (%s: %d alive of %d, need %d)",
+			observer, target, why, s.AliveCount(observer), s.n, s.Quorum())
+	}
+	v.deferred = true
+	v.deadline = inf
+}
+
+// executeDeath lands a quorum-proven verdict on the cluster.
+func (s *Service) executeDeath(observer, target int, now float64) {
+	v := s.views[observer][target]
+	if v == nil || v.state != Suspect {
+		return
+	}
+	delete(s.polls[observer], target)
+	v.state = Dead
+	v.deadInc = v.inc
+	v.deadline = inf
+	v.deferred = false
+	s.enqueueUpdate(observer, update{state: Dead, node: target, inc: v.inc})
+	if s.cl.Incarnation(target) == v.inc && s.cl.DeadIncarnation(target) < v.inc {
+		s.stats.Deaths++
+		s.deaths = append(s.deaths, DeathRecord{Node: target, Inc: v.inc, At: now, Observer: observer})
+		s.trace(now, "member-dead", "node %d declares node %d (incarnation %d) dead", observer, target, v.inc)
+		s.cl.DeclareNodeDead(target, now)
+	}
+}
+
+// reevaluateDeferred re-arms parked verdicts once observer regains quorum.
+// A deferred verdict was formed on a view assembled without quorum — after
+// a partition, much of it is stale — so the target gets a fresh suspicion
+// window with quorum rather than immediate execution (executing directly
+// would let a healing minority kill live majority nodes it simply had not
+// re-heard from yet).
+// The fresh window must outlast a full probe rotation: refutation of a
+// live re-armed suspect may need direct contact (its epoch never bumped if
+// the suspicion gossip never crossed the cut), and the rotation only
+// reaches each peer once per cycle. It also re-gossips the suspicion so
+// the target can refute by epoch before its probe turn comes up.
+func (s *Service) reevaluateDeferred(observer int, now float64) {
+	if !s.HasQuorum(observer) {
+		return
+	}
+	cycle := float64(s.n-1) * s.cfg.HeartbeatPeriod
+	for _, t := range s.viewKeys(observer) {
+		v := s.views[observer][t]
+		if v.state == Suspect && v.deferred {
+			v.deferred = false
+			v.deadline = now + s.cfg.SuspectTimeout + cycle
+			v.missed = 0
+			v.backoff = 0
+			s.enqueueUpdate(observer, update{state: Suspect, node: t, inc: v.inc, epoch: v.epoch})
+		}
+	}
+}
+
+// emitProbe opens node's probe round: pick the next rotation target and
+// ping it directly.
+func (s *Service) emitProbe(node int, now float64) {
+	if p := &s.probes[node]; p.target >= 0 {
+		// The previous round's probe is still unresolved at the round
+		// boundary (the node was scheduled late): it failed.
+		t := p.target
+		p.target = -1
+		s.suspect(node, t, now, "probe unresolved at round end")
+	}
+	target := s.nextTarget(node)
+	if target < 0 {
+		return
+	}
+	s.probeSeq[node]++
+	s.probes[node] = probeState{
+		target:  target,
+		seq:     s.probeSeq[node],
+		ackBy:   now + s.cfg.ProbeTimeout,
+		roundBy: now + s.cfg.HeartbeatPeriod,
+	}
+	s.stats.Probes++
+	s.sendSwim(now, node, target, swimPayload{kind: swimPing, origin: node, target: target, seq: s.probeSeq[node]})
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// cycleParams derives the affine permutation pos -> (a*pos+b) mod m for one
+// rotation cycle, from the seed and (node, cycle). An affine bijection with
+// gcd(a, m) = 1 visits every peer exactly once per cycle in a
+// pseudo-random, per-cycle-reshuffled order while keeping O(1) rotation
+// state per node — the SWIM round-robin randomization without storing a
+// permutation.
+func (s *Service) cycleParams(node int, cycle uint64, m int) (a, b int) {
+	if m <= 1 {
+		return 1, 0
+	}
+	r := mix64(uint64(s.cfg.Seed)*0x9e3779b97f4a7c15 + uint64(node)*0xbf58476d1ce4e5b9 + cycle*0x94d049bb133111eb)
+	a = 1 + int(r%uint64(m-1))
+	for gcd(a, m) != 1 {
+		a++
+		if a >= m {
+			a = 1
+		}
+	}
+	b = int((r >> 32) % uint64(m))
+	return a, b
+}
+
+// nextTarget advances node's rotation to the next peer it does not hold
+// dead, or -1 when none remains.
+func (s *Service) nextTarget(node int) int {
+	m := s.n - 1
+	if m <= 0 {
+		return -1
+	}
+	// Two full cycles cover every peer regardless of the starting phase.
+	for tries := 0; tries < 2*m; tries++ {
+		a, b := s.cycleParams(node, s.cycle[node], m)
+		idx := (a*s.pos[node] + b) % m
+		s.pos[node]++
+		if s.pos[node] >= m {
+			s.pos[node] = 0
+			s.cycle[node]++
+		}
+		cand := idx
+		if cand >= node {
+			cand++
+		}
+		if s.viewOf(node, cand).state != Dead {
+			return cand
+		}
+	}
+	return -1
+}
+
+// witnesses picks up to IndirectProbes peers (excluding node and target,
+// skipping peers node holds dead) to relay a ping-req, scanning from a
+// seed-and-sequence derived start so the load spreads deterministically.
+func (s *Service) witnesses(node, target int, seq uint64) []int {
+	k := s.cfg.IndirectProbes
+	if k <= 0 {
+		return nil
+	}
+	var out []int
+	start := int(mix64(uint64(s.cfg.Seed)*0x9e3779b97f4a7c15+uint64(node)<<32+seq) % uint64(s.n))
+	for j := 0; j < s.n && len(out) < k; j++ {
+		c := (start + j) % s.n
+		if c == node || c == target || s.viewOf(node, c).state == Dead {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// selfEpochOf returns node's current refutation epoch, resetting it when
+// the kernel bumped the incarnation underneath (crash recovery, rejoin).
+func (s *Service) selfEpochOf(node int) uint64 {
+	if inc := s.cl.Incarnation(node); inc != s.selfInc[node] {
+		s.selfInc[node] = inc
+		s.selfEpoch[node] = 0
+	}
+	return s.selfEpoch[node]
+}
+
+// gossipBudget is the per-update piggyback budget:
+// GossipRetransmit*ceil(log2(n+1)) transmissions reach every node with high
+// probability in an epidemic dissemination.
+func (s *Service) gossipBudget() int {
+	b := 0
+	for v := s.n; v > 0; v >>= 1 {
+		b++
+	}
+	return s.cfg.GossipRetransmit * b
+}
+
+// enqueueUpdate queues an update for dissemination at node, superseding any
+// queued update about the same subject.
+func (s *Service) enqueueUpdate(node int, upd update) {
+	g := s.gossip[node]
+	for i := range g {
+		if g[i].upd.node == upd.node {
+			if supersedes(upd, g[i].upd) {
+				g[i] = gossipEntry{upd: upd, budget: s.gossipBudget()}
+			}
+			return
+		}
+	}
+	s.gossip[node] = append(g, gossipEntry{upd: upd, budget: s.gossipBudget()})
+}
+
+// takePiggyback selects up to maxPiggyback queued updates for one outgoing
+// message — highest remaining budget first, subject order on ties — and
+// charges their budgets.
+func (s *Service) takePiggyback(node int) []update {
+	g := s.gossip[node]
+	if len(g) == 0 {
+		return nil
+	}
+	idx := make([]int, len(g))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ga, gb := g[idx[a]], g[idx[b]]
+		if ga.budget != gb.budget {
+			return ga.budget > gb.budget
+		}
+		return ga.upd.node < gb.upd.node
+	})
+	take := len(idx)
+	if take > maxPiggyback {
+		take = maxPiggyback
+	}
+	out := make([]update, 0, take)
+	for _, i := range idx[:take] {
+		out = append(out, g[i].upd)
+		g[i].budget--
+	}
+	kept := g[:0]
+	for _, e := range g {
+		if e.budget > 0 {
+			kept = append(kept, e)
+		}
+	}
+	s.gossip[node] = kept
+	return out
+}
+
+// sendSwim stamps the sender's identity, attaches piggybacked gossip (plus
+// any forced extra updates) and hands the frame to the interconnect as
+// ordinary unreliable traffic — loss is the signal.
+func (s *Service) sendSwim(now float64, from, to int, pl swimPayload, extra ...update) {
+	pl.from = from
+	pl.inc = s.cl.Incarnation(from)
+	pl.epch = s.selfEpochOf(from)
+	pl.updates = append(extra, s.takePiggyback(from)...)
+	size := int64(swimBaseBytes + updateBytes*len(pl.updates))
+	p := pl
+	s.cl.IC.Send(now, from, to, msg.THeartbeat, size, &p)
+	s.stats.HeartbeatsSent++
+	s.stats.GossipUpdates += uint64(len(p.updates))
+}
+
+// Deliver processes one SWIM frame arriving at node `to`.
+func (s *Service) Deliver(to int, m *msg.Message) {
+	pl, ok := m.Payload.(*swimPayload)
+	if !ok {
+		return
+	}
+	if s.cl.NodeDown(to) {
+		return
+	}
+	now := m.Deliver
+	if !s.applyAlive(to, pl.from, pl.inc, pl.epch, now, true) {
+		// The sender's incarnation is fenced here: this observer holds it (or
+		// a successor) dead.
+		s.stats.HeartbeatsFenced++
+		if pl.kind == swimPing {
+			// Answer a fenced probe with the verdict: a partitioned-but-alive
+			// node whose death executed on the other side learns of it from
+			// this reply at first contact and rejoins under a bumped
+			// incarnation, instead of zombie-probing forever.
+			v := s.viewOf(to, pl.from)
+			s.sendSwim(now, to, pl.from,
+				swimPayload{kind: swimAck, origin: pl.origin, target: to, seq: pl.seq,
+					tgtInc: s.cl.Incarnation(to), tgtEpoch: s.selfEpochOf(to)},
+				update{state: Dead, node: pl.from, inc: v.deadInc})
+		}
+		return
+	}
+	s.stats.HeartbeatsDelivered++
+	for _, u := range pl.updates {
+		s.applyUpdate(to, u, now)
+	}
+	switch pl.kind {
+	case swimPing:
+		s.sendSwim(now, to, pl.from,
+			swimPayload{kind: swimAck, origin: pl.origin, target: to, seq: pl.seq,
+				tgtInc: s.cl.Incarnation(to), tgtEpoch: s.selfEpochOf(to)})
+	case swimPingReq:
+		if pl.target != to {
+			s.sendSwim(now, to, pl.target,
+				swimPayload{kind: swimPing, origin: pl.origin, target: pl.target, seq: pl.seq})
+		}
+	case swimAck:
+		if pl.target != pl.from && pl.target != to {
+			// A relayed ack: first-hand evidence about the probed node.
+			s.applyAlive(to, pl.target, pl.tgtInc, pl.tgtEpoch, now, true)
+		}
+		if pl.origin == to {
+			if p := &s.probes[to]; p.target == pl.target && p.seq == pl.seq {
+				p.target = -1
+			}
+		} else {
+			// We are the witness: forward the ack to the prober.
+			s.sendSwim(now, to, pl.origin,
+				swimPayload{kind: swimAck, origin: pl.origin, target: pl.target, seq: pl.seq,
+					tgtInc: pl.tgtInc, tgtEpoch: pl.tgtEpoch})
+		}
+	case swimVoteReq:
+		s.sendSwim(now, to, pl.from,
+			swimPayload{kind: swimVoteAck, origin: pl.origin, target: pl.target, seq: pl.seq})
+	case swimVoteAck:
+		if pl.origin != to {
+			break
+		}
+		p := s.polls[to][pl.target]
+		if p == nil || p.seq != pl.seq {
+			break // a stale poll's stragglers
+		}
+		known := false
+		for _, a := range p.acks {
+			if a == pl.from {
+				known = true
+			}
+		}
+		if !known {
+			p.acks = append(p.acks, pl.from)
+		}
+		if len(p.acks)+1 >= s.Quorum() {
+			s.executeDeath(to, pl.target, now)
+		}
+	}
+	s.recompute(to)
+}
+
+// applyAlive folds alive evidence about target at (inc, epoch) into
+// observer's view. direct evidence (a message from the target itself, or a
+// seq-matched relayed ack) refutes a suspicion regardless of epoch; gossip
+// needs a strictly higher (inc, epoch). It returns false when the evidence
+// is stale — fenced by a higher incarnation or a declared death.
+func (s *Service) applyAlive(observer, target int, inc, epoch uint64, now float64, direct bool) bool {
+	if observer == target {
+		return true
+	}
+	v0 := s.viewOf(observer, target)
+	if inc < v0.inc || inc <= v0.deadInc {
+		return false
+	}
+	v := s.mview(observer, target)
+	if inc == v.inc && v.state == Suspect && !direct && epoch <= v.epoch {
+		// Gossiped aliveness at an epoch the suspicion already covers does
+		// not refute it; only the target's own bumped epoch (or direct
+		// contact) does.
+		v.lastHeard = now
+		return true
+	}
+	was := v.state
+	if inc > v.inc {
+		v.inc = inc
+		v.epoch = epoch
+	} else if epoch > v.epoch {
+		v.epoch = epoch
+	}
+	v.state = Alive
+	v.deadline = inf
+	v.deferred = false
+	v.lastHeard = now
+	switch was {
+	case Suspect:
+		s.stats.Readmissions++
+		s.trace(now, "readmit", "node %d clears suspicion of node %d", observer, target)
+	case Dead:
+		s.stats.Readmissions++
+		s.stats.FalseSuspicions++
+		s.trace(now, "readmit", "node %d readmits node %d as incarnation %d (death refuted)", observer, target, inc)
+	}
+	if was != Alive {
+		delete(s.polls[observer], target)
+		s.enqueueUpdate(observer, update{state: Alive, node: target, inc: v.inc, epoch: v.epoch})
+		s.reevaluateDeferred(observer, now)
+	}
+	s.maybePrune(observer, target)
+	return true
+}
+
+// applyUpdate folds one piggybacked assertion into observer's view and
+// re-gossips anything that was news.
+func (s *Service) applyUpdate(observer int, u update, now float64) {
+	if u.node == observer {
+		s.applySelfUpdate(observer, u, now)
+		return
+	}
+	switch u.state {
+	case Alive:
+		s.applyAlive(observer, u.node, u.inc, u.epoch, now, false)
+	case Suspect:
+		v0 := s.viewOf(observer, u.node)
+		if v0.state == Dead || u.inc < v0.inc || u.inc <= v0.deadInc {
+			return
+		}
+		if u.inc == v0.inc && u.epoch < v0.epoch {
+			return // already refuted at a higher epoch
+		}
+		v := s.mview(observer, u.node)
+		if v.state == Suspect {
+			if u.inc > v.inc || u.epoch > v.epoch {
+				v.inc, v.epoch = u.inc, u.epoch
+				s.enqueueUpdate(observer, u)
+			}
+			return
+		}
+		v.inc, v.epoch = u.inc, u.epoch
+		v.state = Suspect
+		v.deferred = false
+		v.deadline = now + s.cfg.SuspectTimeout
+		s.stats.Suspicions++
+		s.enqueueUpdate(observer, u)
+		s.trace(now, "suspect", "node %d suspects node %d (gossip)", observer, u.node)
+	case Dead:
+		v0 := s.viewOf(observer, u.node)
+		if v0.state == Dead {
+			if u.inc > v0.deadInc {
+				v := s.mview(observer, u.node)
+				v.deadInc = u.inc
+				if u.inc > v.inc {
+					v.inc = u.inc
+				}
+				s.enqueueUpdate(observer, u)
+			}
+			return
+		}
+		if u.inc < v0.inc {
+			return // the subject already rejoined under a higher incarnation
+		}
+		v := s.mview(observer, u.node)
+		v.state = Dead
+		if u.inc > v.inc {
+			v.inc = u.inc
+		}
+		v.deadInc = u.inc
+		v.deadline = inf
+		v.deferred = false
+		delete(s.polls[observer], u.node)
+		s.enqueueUpdate(observer, u)
+		s.trace(now, "member-dead", "node %d learns node %d (incarnation %d) dead via gossip", observer, u.node, u.inc)
+	}
+}
+
+// applySelfUpdate handles assertions about the receiving node itself: a
+// suspicion is refuted with a bumped epoch; a death verdict against the
+// current incarnation means this node outlived its own death (a partition
+// false positive) and rejoins under a bumped incarnation.
+func (s *Service) applySelfUpdate(node int, u update, now float64) {
+	myInc := s.cl.Incarnation(node)
+	switch u.state {
+	case Suspect:
+		if u.inc == myInc && u.epoch >= s.selfEpochOf(node) {
+			s.selfEpoch[node] = u.epoch + 1
+			s.stats.Refutations++
+			s.enqueueUpdate(node, update{state: Alive, node: node, inc: myInc, epoch: s.selfEpoch[node]})
+			s.trace(now, "refute", "node %d refutes suspicion of itself (incarnation %d, epoch %d)", node, myInc, s.selfEpoch[node])
+		}
+	case Dead:
+		if u.inc >= myInc {
+			newInc := s.cl.RejoinNode(node, now)
+			s.selfInc[node] = newInc
+			s.selfEpoch[node] = 0
+			s.stats.Rejoins++
+			s.enqueueUpdate(node, update{state: Alive, node: node, inc: newInc})
+			s.trace(now, "rejoin", "node %d learns it was declared dead, rejoins as incarnation %d", node, newInc)
+		}
+	}
+}
+
+// Suspected reports observer's view of target: suspected or held dead.
+func (s *Service) Suspected(observer, target int) bool {
+	if observer == target {
+		return false
+	}
+	return s.viewOf(observer, target).state != Alive
+}
+
+// SuspectedAny reports whether any live quorum-holding observer currently
+// suspects target. Minority observers are excluded: during a partition
+// every node is suspected by the far side, and letting a minority's
+// suspicions veto placement would leave the quorum side nowhere to restore.
+func (s *Service) SuspectedAny(target int) bool {
+	for o := 0; o < s.n; o++ {
+		if o == target || s.cl.NodeDown(o) || !s.HasQuorum(o) {
+			continue
+		}
+		if s.viewOf(o, target).state != Alive {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeCrashed parks a physically crashed node's schedule: it neither probes
+// nor observes until recovery. Its peers are told nothing — they learn from
+// the silence, after a real detection latency.
+func (s *Service) NodeCrashed(node int, now float64) {
+	s.park(node)
+}
+
+// NodeRecovered restarts a recovered node under incarnation inc: it probes
+// immediately, announces itself (the fastest refutation of any death
+// declared during the outage), and resets its own non-dead views — it heard
+// nothing while down, and treating the outage as peer silence would burst
+// false suspicions.
+func (s *Service) NodeRecovered(node int, inc uint64, now float64) {
+	s.selfInc[node] = inc
+	s.selfEpoch[node] = 0
+	for _, t := range s.viewKeys(node) {
+		v := s.views[node][t]
+		if v.state == Dead {
+			continue
+		}
+		v.state = Alive
+		v.deadline = inf
+		v.deferred = false
+		s.maybePrune(node, t)
+	}
+	s.gossip[node] = nil
+	s.polls[node] = make(map[int]*pollState)
+	s.enqueueUpdate(node, update{state: Alive, node: node, inc: inc})
+	s.nextProbe[node] = now
+	s.probes[node].target = -1
+	s.recompute(node)
+}
+
+func (s *Service) trace(t float64, kind, format string, args ...interface{}) {
+	if s.cl.Tracer != nil {
+		s.cl.Tracer.Record(t, kind, fmt.Sprintf(format, args...))
+	}
+}
+
+// ViewEntry is one observer->target cell of a membership dump.
+type ViewEntry struct {
+	State    string `json:"state"`
+	Inc      uint64 `json:"inc"`
+	Deferred bool   `json:"deferred,omitempty"`
+}
+
+// ViewDump is a serializable snapshot of every observer's membership view,
+// written by hdcrun -member-out and rendered by hdcinspect -member to make
+// split-brain states inspectable from a run artifact.
+type ViewDump struct {
+	Nodes            int           `json:"nodes"`
+	Time             float64       `json:"time"`
+	Quorum           int           `json:"quorum"`
+	Incarnations     []uint64      `json:"incarnations"`
+	DeadIncarnations []uint64      `json:"dead_incarnations"`
+	Down             []bool        `json:"down"`
+	HasQuorum        []bool        `json:"has_quorum"`
+	Views            [][]ViewEntry `json:"views"` // [observer][target]
+}
+
+// Dump snapshots the detector's per-node views.
+func (s *Service) Dump() *ViewDump {
+	d := &ViewDump{
+		Nodes:            s.n,
+		Time:             s.cl.Time(),
+		Quorum:           s.Quorum(),
+		Incarnations:     make([]uint64, s.n),
+		DeadIncarnations: make([]uint64, s.n),
+		Down:             make([]bool, s.n),
+		HasQuorum:        make([]bool, s.n),
+		Views:            make([][]ViewEntry, s.n),
+	}
+	for i := 0; i < s.n; i++ {
+		d.Incarnations[i] = s.cl.Incarnation(i)
+		d.DeadIncarnations[i] = s.cl.DeadIncarnation(i)
+		d.Down[i] = s.cl.NodeDown(i)
+		d.HasQuorum[i] = s.HasQuorum(i)
+		d.Views[i] = make([]ViewEntry, s.n)
+		for t := 0; t < s.n; t++ {
+			if t == i {
+				d.Views[i][t] = ViewEntry{State: Alive.String(), Inc: s.cl.Incarnation(i)}
+				continue
+			}
+			v := s.viewOf(i, t)
+			d.Views[i][t] = ViewEntry{State: v.state.String(), Inc: v.inc, Deferred: v.deferred}
+		}
+	}
+	return d
+}

@@ -107,6 +107,9 @@ type Stats struct {
 	Retries     uint64 // retransmissions by reliable senders
 	Exhausted   uint64 // reliable exchanges that gave up
 	CrashStalls uint64 // reliable exchanges that waited out a node outage
+
+	PartitionDrops  uint64 // message legs severed by a partition cut
+	PartitionStalls uint64 // reliable exchanges that waited out a known heal
 }
 
 func (s *Stats) add(o Stats) {
@@ -117,6 +120,8 @@ func (s *Stats) add(o Stats) {
 	s.Retries += o.Retries
 	s.Exhausted += o.Exhausted
 	s.CrashStalls += o.CrashStalls
+	s.PartitionDrops += o.PartitionDrops
+	s.PartitionStalls += o.PartitionStalls
 }
 
 // Injector decides message fates for fault injection; *fault.Injector
@@ -134,6 +139,19 @@ type Injector interface {
 	// NodeRecoverAt returns when a down node rejoins (false: up already,
 	// or never).
 	NodeRecoverAt(node int, at float64) (float64, bool)
+}
+
+// Partitioner extends an Injector with network-partition windows: whole
+// link classes severed between two sides of the rack. It is optional — the
+// interconnect type-asserts the installed Injector — so injectors without
+// partition support keep working unchanged. *fault.Injector implements it.
+type Partitioner interface {
+	// LinkCut reports whether the directed from->to leg is severed at time
+	// at.
+	LinkCut(at float64, from, to int) bool
+	// LinkClearAt returns the earliest time >= at when the from->to leg is
+	// no longer cut (ok=false: a never-healing cut blocks it forever).
+	LinkClearAt(at float64, from, to int) (float64, bool)
 }
 
 // EventSink receives fault/retry diagnostics; trace.EventLog implements
@@ -166,6 +184,7 @@ type Interconnect struct {
 	cfg Config
 
 	inj    Injector
+	part   Partitioner // inj's partition view, when it has one
 	tracer EventSink
 
 	n     int
@@ -234,8 +253,21 @@ func (ic *Interconnect) Stats() Stats {
 // for conservative parallel co-simulation over this interconnect.
 func (ic *Interconnect) MinLatency() float64 { return ic.cfg.LatencySec }
 
-// SetInjector installs (or, with nil, removes) a fault injector.
-func (ic *Interconnect) SetInjector(inj Injector) { ic.inj = inj }
+// SetInjector installs (or, with nil, removes) a fault injector. An
+// injector that also implements Partitioner gets its partition windows
+// enforced on every delivery and retransmission.
+func (ic *Interconnect) SetInjector(inj Injector) {
+	ic.inj = inj
+	ic.part = nil
+	if p, ok := inj.(Partitioner); ok {
+		ic.part = p
+	}
+}
+
+// cut reports whether a partition severs the from->to leg at time at.
+func (ic *Interconnect) cut(at float64, from, to int) bool {
+	return ic.part != nil && ic.part.LinkCut(at, from, to)
+}
 
 // SetTracer installs an event sink for fault/retry diagnostics.
 func (ic *Interconnect) SetTracer(s EventSink) { ic.tracer = s }
@@ -298,19 +330,29 @@ func (ic *Interconnect) Send(now float64, from, to int, t Type, size int64, payl
 	if ic.inj != nil {
 		drop, dup, jit := ic.inj.Fate(now, from, to, m.Seq)
 		m.Deliver += jit
+		if ic.cut(m.Deliver, from, to) {
+			ic.stats[from].Dropped++
+			ic.stats[from].PartitionDrops++
+			ic.tracef(now, "cut", "type %d %d->%d seq %d", t, from, to, m.Seq)
+			return m.Deliver
+		}
 		if drop || ic.inj.NodeDown(to, m.Deliver) {
 			ic.stats[from].Dropped++
 			ic.tracef(now, "drop", "type %d %d->%d seq %d", t, from, to, m.Seq)
 			return m.Deliver
 		}
 		if dup {
-			ic.stats[from].Duplicated++
 			cp := *m
 			lk := ic.link(from, to)
 			lk.seq++
 			cp.Seq = lk.seq
 			cp.Deliver = m.Deliver + ic.cfg.LatencySec
-			ic.push(&cp)
+			if ic.cut(cp.Deliver, from, to) {
+				ic.stats[from].PartitionDrops++
+			} else {
+				ic.stats[from].Duplicated++
+				ic.push(&cp)
+			}
 		}
 	}
 	ic.push(m)
@@ -349,6 +391,31 @@ func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int
 			elapsed = rec - now + rto
 			continue
 		}
+		if ic.cut(at, from, to) {
+			// A partition with a known heal is waited out like a crash; a
+			// never-healing cut burns the retry budget at the backoff cadence
+			// (the sender cannot distinguish it from loss).
+			if heal, ok := ic.part.LinkClearAt(at, from, to); ok {
+				st.PartitionStalls++
+				ic.tracef(at, "cut-stall", "type %d %d->%d: partitioned until %.6g", t, from, to, heal)
+				elapsed = heal - now + rto
+				continue
+			}
+			st.PartitionDrops++
+			st.Retries++
+			retries++
+			ic.tracef(at, "retx", "type %d %d->%d cut, retry %d", t, from, to, retries)
+			if retries > ic.maxRetries() {
+				st.Exhausted++
+				ic.tracef(at, "send-fail", "type %d %d->%d: partitioned permanently", t, from, to)
+				return at, false
+			}
+			elapsed += rto
+			if rto < ic.retxTimeout()*retxBackoffCap {
+				rto *= 2
+			}
+			continue
+		}
 		m := ic.transmit(at, from, to, t, size, payload)
 		drop, dup, jit := ic.inj.Fate(at, from, to, m.Seq)
 		if drop {
@@ -368,20 +435,48 @@ func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int
 			continue
 		}
 		m.Deliver += jit
+		if ic.cut(m.Deliver, from, to) {
+			// The cut landed while the leg was in flight: it is lost and the
+			// sender retransmits after the timeout.
+			st.Dropped++
+			st.PartitionDrops++
+			st.Retries++
+			retries++
+			ic.tracef(at, "retx", "type %d %d->%d seq %d cut in flight, retry %d", t, from, to, m.Seq, retries)
+			if retries > ic.maxRetries() {
+				st.Exhausted++
+				ic.tracef(at, "send-fail", "type %d %d->%d: partitioned permanently", t, from, to)
+				return at, false
+			}
+			elapsed += rto
+			if rto < ic.retxTimeout()*retxBackoffCap {
+				rto *= 2
+			}
+			continue
+		}
 		ic.push(m)
 		// Decide the acknowledgement's fate on the reverse link: a lost ack
 		// makes the sender retransmit a copy the receiver has already seen.
+		// An asymmetric partition that severs only the reverse leg loses the
+		// ack the same way.
 		ack := ic.link(to, from)
 		ack.seq++
 		ackDrop, _, _ := ic.inj.Fate(m.Deliver, to, from, ack.seq)
+		if ic.cut(m.Deliver, to, from) {
+			ackDrop = true
+		}
 		if dup || ackDrop {
-			st.Duplicated++
 			cp := *m
 			lk := ic.link(from, to)
 			lk.seq++
 			cp.Seq = lk.seq
 			cp.Deliver = m.Deliver + rto
-			ic.push(&cp)
+			if ic.cut(cp.Deliver, from, to) {
+				st.PartitionDrops++
+			} else {
+				st.Duplicated++
+				ic.push(&cp)
+			}
 		}
 		return m.Deliver, true
 	}
@@ -433,6 +528,45 @@ func (ic *Interconnect) ReliableRTT(now float64, from, to int, replySize int64) 
 			}
 			st.CrashStalls++
 			elapsed = rec - now + rto
+			continue
+		}
+		if ic.cut(at, from, to) || ic.cut(at, to, from) {
+			// Either leg severed kills the exchange. Stall to the latest
+			// known heal over both legs, or burn the retry budget when a cut
+			// never heals.
+			heal, ok := at, true
+			for _, leg := range [2][2]int{{from, to}, {to, from}} {
+				if !ic.cut(at, leg[0], leg[1]) {
+					continue
+				}
+				h, o := ic.part.LinkClearAt(at, leg[0], leg[1])
+				if !o {
+					ok = false
+					break
+				}
+				if h > heal {
+					heal = h
+				}
+			}
+			if ok {
+				st.PartitionStalls++
+				ic.tracef(at, "cut-stall", "rtt %d->%d: partitioned until %.6g", from, to, heal)
+				elapsed = heal - now + rto
+				continue
+			}
+			st.PartitionDrops++
+			st.Retries++
+			retries++
+			ic.tracef(at, "retx", "rtt %d->%d cut, retry %d", from, to, retries)
+			if retries > ic.maxRetries() {
+				st.Exhausted++
+				ic.tracef(at, "rtt-fail", "%d->%d: partitioned permanently", from, to)
+				return elapsed, false
+			}
+			elapsed += rto
+			if rto < ic.retxTimeout()*retxBackoffCap {
+				rto *= 2
+			}
 			continue
 		}
 		req := ic.link(from, to)

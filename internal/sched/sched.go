@@ -370,8 +370,17 @@ func (r *Runner) Run(w Workload) (*Result, error) {
 		}
 		if len(st.Active) == 0 && w.Concurrency == 0 && len(pending) > 0 && pending[0].Arrival > now {
 			// Idle gap until the next arrival: advance the clock so idle
-			// power integrates over the gap.
+			// power integrates over the gap. AdvanceTo only skips clocks and
+			// applies control events — with a membership service attached,
+			// those events enqueue probe traffic whose deliveries pin the
+			// skip below the arrival, so step the cluster through them and
+			// keep advancing rather than spinning.
 			cl.AdvanceTo(pending[0].Arrival)
+			if cl.Time() < pending[0].Arrival {
+				if !cl.Step() {
+					return nil, fmt.Errorf("sched: cluster drained during idle gap before job %d", pending[0].ID)
+				}
+			}
 			continue
 		}
 		if !cl.Step() {

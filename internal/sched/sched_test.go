@@ -6,6 +6,7 @@ import (
 
 	"heterodc/internal/fault"
 	"heterodc/internal/kernel"
+	"heterodc/internal/member"
 	"heterodc/internal/npb"
 )
 
@@ -167,6 +168,53 @@ func TestRunnerCheckpointRecovery(t *testing.T) {
 	}
 	if res.Checkpoints < len(jobs) {
 		t.Errorf("implausibly few checkpoints: %d", res.Checkpoints)
+	}
+}
+
+// TestRunnerIdleGapsNoFalseSuspicions: with a SWIM membership service
+// attached, workload idle gaps far longer than the suspicion timeout must
+// not read as silence — the runner steps the cluster through the gap (the
+// detector keeps probing on schedule), so a healthy fleet finishes with
+// zero suspicions.
+func TestRunnerIdleGapsNoFalseSuspicions(t *testing.T) {
+	spacing := func(r *rand.Rand, i int) float64 {
+		if i%2 == 1 {
+			return 0.05 + 0.05*r.Float64() // gap >> SuspectTimeout (3ms)
+		}
+		return 0
+	}
+	jobs := GenerateJobs(9, 4, []npb.Class{npb.ClassS}, spacing)
+	for i := range jobs {
+		jobs[i].Class = npb.ClassS
+		jobs[i].Threads = 1
+	}
+	p := StaticHetBalanced()
+	cl, models := TestbedFor(p, true)
+	svc, err := member.Attach(cl, member.Config{HeartbeatPeriod: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(cl, p, models)
+	res, err := r.Run(Workload{Jobs: jobs})
+	if err != nil {
+		t.Fatalf("run with membership attached: %v", err)
+	}
+	if res.Makespan < jobs[len(jobs)-1].Arrival {
+		t.Errorf("makespan %.3f before last arrival %.3f", res.Makespan, jobs[len(jobs)-1].Arrival)
+	}
+	st := svc.Stats()
+	if st.Suspicions != 0 || st.Deaths != 0 {
+		t.Errorf("idle gaps produced false detector verdicts: %+v", st)
+	}
+	if st.Probes == 0 {
+		t.Error("detector never probed across the workload")
+	}
+	for n := 0; n < cl.NumNodes(); n++ {
+		for m := 0; m < cl.NumNodes(); m++ {
+			if svc.View(n, m) != member.Alive {
+				t.Errorf("view[%d][%d] = %v after a healthy run", n, m, svc.View(n, m))
+			}
+		}
 	}
 }
 
