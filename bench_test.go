@@ -22,6 +22,7 @@ import (
 	"heterodc/internal/npb"
 	"heterodc/internal/sched"
 	"heterodc/internal/sim"
+	"heterodc/internal/topo"
 	"heterodc/internal/trace"
 )
 
@@ -320,7 +321,10 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	jobs := sched.GenerateJobs(7, 6, []npb.Class{npb.ClassS}, nil)
 	for i := 0; i < b.N; i++ {
 		pol := sched.DynamicBalanced()
-		cl, models := sched.TestbedFor(pol, true)
+		cl, models, err := sched.TestbedFor(pol, true, topo.FlatSpec())
+		if err != nil {
+			b.Fatal(err)
+		}
 		r := sched.NewRunner(cl, pol, models)
 		if _, err := r.Run(sched.Workload{Jobs: jobs, Concurrency: 3}); err != nil {
 			b.Fatal(err)

@@ -18,11 +18,17 @@
 //	hdcbench -exp rack        # N-node rack-scale scheduling study
 //	hdcbench -exp member-scaling  # SWIM vs lease traffic/state/latency sweep
 //	hdcbench -exp partition   # network-partition split-brain study
+//	hdcbench -exp topology    # fat-tree oversubscription study
 //	hdcbench -exp all
 //
 // The rack experiment takes -rack-nodes N (default 4) to size the ensemble
 // and -engine seq|par to select the cluster time engine (par exploits
 // sharing-group parallelism; deterministic, epoch-grained scheduling).
+//
+// -topo flat|fattree selects the interconnect fabric for the experiments
+// that honour it (rack, member-scaling); -racks and -oversub shape the fat
+// tree. The topology experiment sweeps oversubscription itself and writes
+// its rows to -json when given — results/topology.json is recorded this way.
 //
 // The chaos experiment takes -fault-seed, -drop-prob and -crash-at to vary
 // the injected fault plans (all plans are deterministic in the seed).
@@ -96,7 +102,7 @@ func parseFracs(s string) ([]float64, error) {
 }
 
 func main() {
-	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|detector|fuzz|member-scaling|partition|all")
+	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|detector|fuzz|member-scaling|partition|topology|all")
 	scale := flag.String("scale", "default", "quick|default|full")
 	faultSeed := flag.Int64("fault-seed", 7, "chaos: fault-plan seed")
 	dropProb := flag.Float64("drop-prob", 0.02, "chaos: baseline message-loss probability")
@@ -107,7 +113,10 @@ func main() {
 	rackNodes := flag.Int("rack-nodes", 4, "rack: machine count (half x86, half ARM in the mixed setups)")
 	engine := flag.String("engine", "seq", "cluster time engine: seq|par (experiments that honour it)")
 	hbFracs := flag.String("hb-fracs", "", "detector: comma list of heartbeat periods as runtime fractions (empty: default sweep)")
-	jsonPath := flag.String("json", "", "member-scaling/partition: also write the result rows as JSON to this file")
+	jsonPath := flag.String("json", "", "member-scaling/partition/topology: also write the result rows as JSON to this file")
+	topoKind := flag.String("topo", "flat", "interconnect fabric: flat|fattree (experiments that honour it)")
+	racks := flag.Int("racks", 0, "fattree: rack count (0: default)")
+	oversub := flag.Float64("oversub", 0, "fattree: ToR uplink oversubscription ratio (0: default)")
 	flag.Parse()
 
 	fracs, err := parseFracs(*hbFracs)
@@ -116,7 +125,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	cfg := exp.Config{W: os.Stdout, RackNodes: *rackNodes, Engine: *engine}
+	cfg := exp.Config{
+		W: os.Stdout, RackNodes: *rackNodes, Engine: *engine,
+		Topo: *topoKind, Racks: *racks, Oversub: *oversub,
+	}
 	switch *scale {
 	case "quick":
 		cfg.Scale = exp.Quick
@@ -367,6 +379,21 @@ func main() {
 			return err
 		}
 		fmt.Println("shape check: OK (no split-brain restore or quorumless verdict; views reconverge on both engines)")
+		return nil
+	})
+
+	run("topology", func() error {
+		rows, err := exp.Topology(cfg, exp.TopologyOptions{Seed: *faultSeed})
+		if err != nil {
+			return err
+		}
+		if err := exp.TopologyShapeHolds(rows); err != nil {
+			return err
+		}
+		if err := writeJSON(*jsonPath, rows); err != nil {
+			return err
+		}
+		fmt.Println("shape check: OK (cross-rack costs grow with oversubscription, in-rack costs flat; engines byte-identical)")
 		return nil
 	})
 

@@ -13,6 +13,13 @@
 //	hdcinspect -ckpt is.ckpt -pages              # ... plus resident page map
 //	hdcinspect -repro internal/fuzz/testdata/crash-....c  # replay a fuzz repro
 //	hdcinspect -member views.json                # membership view matrix
+//	hdcinspect -topo fattree -nodes 12 -racks 4 -oversub 4  # fabric dump
+//
+// -topo builds the named fabric, dumps every route hop by hop, runs a
+// deterministic all-pairs page exchange and prints per-link utilisation.
+// -cut-uplink R (repeatable as a comma list) severs rack R's ToR uplink
+// first; if any pair becomes unrouteable the command exits nonzero, so it
+// doubles as a reachability audit for planned degraded fabrics.
 //
 // -pages lists every resident DSM page in the image; after a node is
 // declared dead, the crash-sweep drops its copies, so an image captured
@@ -41,6 +48,7 @@ import (
 	"heterodc/internal/mem"
 	"heterodc/internal/member"
 	"heterodc/internal/npb"
+	"heterodc/internal/topo"
 )
 
 func main() {
@@ -55,6 +63,11 @@ func main() {
 	pages := flag.Bool("pages", false, "with -ckpt: list the resident DSM pages (sweep-audit view)")
 	reproPath := flag.String("repro", "", "fuzz corpus entry to replay through the differential oracle")
 	memberPath := flag.String("member", "", "membership view dump (hdcrun -member-out) to render")
+	topoKind := flag.String("topo", "", "fabric kind to dump (fattree)")
+	topoNodes := flag.Int("nodes", 12, "with -topo: node count")
+	topoRacks := flag.Int("racks", 0, "with -topo: rack count (0: default)")
+	topoOversub := flag.Float64("oversub", 0, "with -topo: ToR uplink oversubscription ratio (0: default)")
+	cutUplink := flag.String("cut-uplink", "", "with -topo: comma list of racks whose ToR uplink is severed")
 	flag.Parse()
 
 	if *reproPath != "" {
@@ -63,6 +76,10 @@ func main() {
 	}
 	if *memberPath != "" {
 		inspectMember(*memberPath)
+		return
+	}
+	if *topoKind != "" {
+		inspectTopo(*topoKind, *topoNodes, *topoRacks, *topoOversub, *cutUplink)
 		return
 	}
 
@@ -168,6 +185,100 @@ func main() {
 			}
 		}
 	}
+}
+
+// inspectTopo builds the named fabric, dumps every route hop by hop, runs a
+// deterministic all-pairs page exchange for the utilisation table, and exits
+// nonzero if any ordered pair is unrouteable (the reachability audit for
+// planned uplink cuts).
+func inspectTopo(kind string, nodes, racks int, oversub float64, cutList string) {
+	if kind == topo.KindFlat {
+		fatal(fmt.Errorf("-topo flat is the single pipe: there is no fabric to dump"))
+	}
+	var cuts []int
+	if cutList != "" {
+		for _, part := range strings.Split(cutList, ",") {
+			var r int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &r); err != nil {
+				fatal(fmt.Errorf("-cut-uplink: bad rack %q", part))
+			}
+			cuts = append(cuts, r)
+		}
+	}
+	fab, err := topo.Build(topo.Spec{
+		Kind: kind, Racks: racks, Oversub: oversub, CutUplinks: cuts,
+	}, nodes)
+	fatal(err)
+	if fab == nil {
+		fatal(fmt.Errorf("-topo %s built no fabric", kind))
+	}
+	spec := fab.Spec()
+	fmt.Printf("fabric %s: %d nodes in %d racks of %d, oversub %g:1, hop %.2fµs, access %.3g B/s\n",
+		kind, fab.Nodes(), fab.Racks(), fab.PerRack(), spec.Oversub,
+		spec.HopLatencySec*1e6, spec.AccessBytesPerSec)
+	if len(cuts) > 0 {
+		fmt.Printf("cut uplinks: racks %v\n", cuts)
+	}
+	fmt.Printf("min latency: %.3fµs\n\n", fab.MinLatency()*1e6)
+
+	name := map[int]string{}
+	for _, ls := range fab.LinkStats() {
+		name[ls.ID] = ls.Name
+	}
+	fmt.Println("routes (hop by hop, idle-fabric estimate for one 4KiB page):")
+	for from := 0; from < fab.Nodes(); from++ {
+		for to := 0; to < fab.Nodes(); to++ {
+			if from == to {
+				continue
+			}
+			ids, ok := fab.Route(from, to)
+			if !ok {
+				fmt.Printf("  n%-3d -> n%-3d  UNROUTEABLE\n", from, to)
+				continue
+			}
+			hops := make([]string, len(ids))
+			for i, id := range ids {
+				hops[i] = name[id]
+			}
+			est := fab.Estimate(0, from, to, 4096)
+			fmt.Printf("  n%-3d -> n%-3d  %-40s %8.3fµs\n", from, to, strings.Join(hops, " "), est*1e6)
+		}
+	}
+
+	// Deterministic all-pairs exchange: every ordered pair ships one page
+	// at t=0, in pair order, so queueing (and thus the utilisation table)
+	// is identical on every run.
+	horizon := 0.0
+	for from := 0; from < fab.Nodes(); from++ {
+		for to := 0; to < fab.Nodes(); to++ {
+			if from == to {
+				continue
+			}
+			if _, ok := fab.Route(from, to); !ok {
+				continue
+			}
+			if d := fab.Transmit(0, from, to, 4096); d > horizon {
+				horizon = d
+			}
+		}
+	}
+	fmt.Printf("\nall-pairs exchange (one 4KiB page per routeable pair, drained in %.3fµs):\n", horizon*1e6)
+	fmt.Printf("  %-14s %6s %10s %10s %7s %10s %6s\n",
+		"link", "msgs", "bytes", "busy µs", "util", "queue µs", "queued")
+	for _, ls := range fab.LinkStats() {
+		util := 0.0
+		if horizon > 0 {
+			util = ls.BusySec / horizon
+		}
+		fmt.Printf("  %-14s %6d %10d %10.3f %6.1f%% %10.3f %6d\n",
+			ls.Name, ls.Msgs, ls.Bytes, ls.BusySec*1e6, util*100, ls.QueueSec*1e6, ls.Queued)
+	}
+
+	if pairs := fab.UnrouteablePairs(); len(pairs) > 0 {
+		fmt.Printf("\nUNROUTEABLE: %d ordered pairs cannot reach each other: %v\n", len(pairs), pairs)
+		os.Exit(1)
+	}
+	fmt.Println("\nall pairs routeable")
 }
 
 // inspectRepro pretty-prints a fuzz corpus entry and replays it through the

@@ -41,6 +41,13 @@
 //	hdcrun -bench is -class S -detector -hb-period 2e-5 -quorum 2 \
 //	    -partition-node arm -partition-at 3e-4 -partition-heal 8e-4 \
 //	    -member-out views.json
+//
+// Fabric: -topo fattree routes the testbed's traffic over a rack/spine
+// fabric instead of the flat pipe (-racks and -oversub shape it; on the
+// two-node testbed each node becomes its own rack) and prints per-link
+// utilisation at exit:
+//
+//	hdcrun -bench is -class S -migrate-at 0.5 -topo fattree -oversub 4
 package main
 
 import (
@@ -57,6 +64,7 @@ import (
 	"heterodc/internal/member"
 	"heterodc/internal/npb"
 	"heterodc/internal/power"
+	"heterodc/internal/topo"
 	"heterodc/internal/trace"
 )
 
@@ -130,6 +138,9 @@ func main() {
 	partitionHeal := flag.Float64("partition-heal", 0, "partition heal time in simulated seconds (<= start means never)")
 	partitionOneWay := flag.Bool("partition-oneway", false, "cut only the isolated node's outbound legs")
 	memberOut := flag.String("member-out", "", "write the final membership view dump as JSON to this file (needs -detector)")
+	topoKind := flag.String("topo", "flat", "interconnect fabric: flat (the testbed's single pipe) or fattree")
+	topoRacks := flag.Int("racks", 0, "fattree: rack count (0: default)")
+	topoOversub := flag.Float64("oversub", 0, "fattree: ToR uplink oversubscription ratio (0: default)")
 	flag.Parse()
 
 	if *memberOut != "" && !*detector {
@@ -168,6 +179,16 @@ func main() {
 	}
 
 	cl := core.NewTestbed()
+	var fab *topo.Fabric
+	switch *topoKind {
+	case "", topo.KindFlat:
+		if *topoRacks != 0 || *topoOversub != 0 {
+			fatal(fmt.Errorf("-racks/-oversub need -topo fattree"))
+		}
+	default:
+		fab, err = kernel.ApplyTopology(cl, topo.Spec{Kind: *topoKind, Racks: *topoRacks, Oversub: *topoOversub})
+		fatal(err)
+	}
 	plan := fault.Plan{Seed: *faultSeed, DropProb: *dropProb, DupProb: *dupProb, JitterSec: *jitter}
 	if *crashNode != "" {
 		cn, err := parseNode(*crashNode)
@@ -280,6 +301,17 @@ func main() {
 		fmt.Printf("checkpoints    : %d images (%d bytes), %.0fµs capture, %d restores, %.0fµs work replayed\n",
 			st.ImagesWritten, st.BytesWritten, st.CaptureSeconds*1e6,
 			st.Restores, st.WorkReplayedSeconds*1e6)
+	}
+	if fab != nil {
+		fmt.Printf("fabric         : %d racks x %d nodes, oversub %g:1, min latency %.2fµs\n",
+			fab.Racks(), fab.PerRack(), fab.Spec().Oversub, fab.MinLatency()*1e6)
+		for _, ls := range fab.LinkStats() {
+			if ls.Msgs == 0 {
+				continue
+			}
+			fmt.Printf("fabric %-14s: %6d msgs %9d B busy %8.1fµs queued %5d (%8.1fµs waiting)\n",
+				ls.Name, ls.Msgs, ls.Bytes, ls.BusySec*1e6, ls.Queued, ls.QueueSec*1e6)
+		}
 	}
 	if chaos {
 		s := cl.IC.Stats()

@@ -14,6 +14,7 @@ import (
 	"heterodc/internal/kernel"
 	"heterodc/internal/link"
 	"heterodc/internal/npb"
+	"heterodc/internal/topo"
 )
 
 // Scale selects experiment size.
@@ -39,6 +40,23 @@ type Config struct {
 	// Engine selects the cluster time engine for experiments that honour it
 	// (rack scale): "seq" (default) or "par".
 	Engine string
+
+	// Topo selects the interconnect fabric for experiments that honour it:
+	// "flat" (default, the legacy single pipe) or "fattree". Racks and
+	// Oversub shape the fat tree; 0 selects the topo package defaults.
+	Topo    string
+	Racks   int
+	Oversub float64
+}
+
+// topoSpec resolves the Config's fabric selection to a topo.Spec.
+func (c Config) topoSpec() topo.Spec {
+	switch c.Topo {
+	case "", topo.KindFlat:
+		return topo.FlatSpec()
+	default:
+		return topo.Spec{Kind: c.Topo, Racks: c.Racks, Oversub: c.Oversub}
+	}
 }
 
 func (c Config) out() io.Writer {

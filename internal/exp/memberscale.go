@@ -84,7 +84,10 @@ func MemberScale(cfg Config, opts MemberScaleOptions) ([]MemberScaleRow, error) 
 			return nil, fmt.Errorf("exp: member-scale: rack size %d too small", n)
 		}
 		for _, proto := range []string{"swim", "lease"} {
-			cl := kernel.NewCluster(sched.RackArches(n), kernel.DefaultInterconnect())
+			cl, _, err := kernel.NewClusterTopo(sched.RackArches(n), kernel.DefaultInterconnect(), cfg.topoSpec())
+			if err != nil {
+				return nil, fmt.Errorf("exp: member-scale: %w", err)
+			}
 			if cfg.Engine == "par" || cfg.Engine == "parallel" {
 				cl.UseParallelEngine(0)
 			}
@@ -95,7 +98,6 @@ func MemberScale(cfg Config, opts MemberScaleOptions) ([]MemberScaleRow, error) 
 			})
 			mcfg := member.Config{HeartbeatPeriod: period, Seed: opts.Seed}
 			var det memberScaleDetector
-			var err error
 			if proto == "swim" {
 				det, err = member.Attach(cl, mcfg)
 			} else {

@@ -11,6 +11,7 @@ import (
 	"heterodc/internal/member"
 	"heterodc/internal/npb"
 	"heterodc/internal/sched"
+	"heterodc/internal/topo"
 )
 
 // PartitionOptions parameterises the partition study.
@@ -25,6 +26,12 @@ type partitionScenario struct {
 	nodes  int
 	groupA []int // the isolated side
 	oneWay bool
+	// spec selects the interconnect fabric (zero Kind = the flat pipe).
+	// With a fat tree the partition is expressed physically: cutRack names
+	// the rack whose ToR uplink is severed, and the window's Legs are
+	// composed from the routes over that uplink rather than from groupA.
+	spec    topo.Spec
+	cutRack int
 	// jobNodes are where the tracked jobs start; jobs on the minority side
 	// must be restored onto the majority, jobs on the majority side must
 	// never be restored at all.
@@ -53,6 +60,14 @@ func partitionScenarios(cfg Config) []partitionScenario {
 		// suspicions of everyone defer (it is a minority of one).
 		{name: "one-way", nodes: 5, groupA: []int{3}, oneWay: true,
 			jobNodes: []int{3}, expectDeaths: true, expectRestores: 1},
+		// A physical cut: on a 3-rack fat tree, rack 2's ToR uplink goes
+		// dark in both directions. Its two nodes become the minority purely
+		// by route reachability — no node list is handed to the injector —
+		// and the 4-node majority holds quorum, declares them dead, and
+		// restores the stranded job on its side.
+		{name: "uplink-cut", nodes: 6, groupA: []int{4, 5},
+			spec: topo.FatTree(3, 1), cutRack: 2,
+			jobNodes: []int{4, 0}, expectDeaths: true, expectRestores: 1},
 	}
 	return s
 }
@@ -100,7 +115,14 @@ func runPartitionOnce(cfg Config, engine string, sc partitionScenario, seed int6
 		return row, err
 	}
 
-	cl := kernel.NewCluster(sched.RackArches(sc.nodes), kernel.DefaultInterconnect())
+	spec := sc.spec
+	if spec.Kind == "" {
+		spec = topo.FlatSpec()
+	}
+	cl, fab, err := kernel.NewClusterTopo(sched.RackArches(sc.nodes), kernel.DefaultInterconnect(), spec)
+	if err != nil {
+		return row, err
+	}
 	if engine == "par" || engine == "parallel" {
 		cl.UseParallelEngine(0)
 	}
@@ -110,11 +132,16 @@ func runPartitionOnce(cfg Config, engine string, sc partitionScenario, seed int6
 	// cut even lands.
 	period := ref.Seconds / 20
 	start, heal := 0.3*ref.Seconds, 0.3*ref.Seconds+20*period
+	win := fault.PartitionWindow{GroupA: sc.groupA, Start: start, HealAt: heal, OneWay: sc.oneWay}
+	if fab != nil {
+		// Express the cut as the routes over the dark uplink, not as a
+		// node list: exactly the traffic that physically crosses it dies.
+		win.Legs = append(fab.Legs(fab.UplinkUp(sc.cutRack)),
+			fab.Legs(fab.UplinkDown(sc.cutRack))...)
+	}
 	cl.InjectFaults(fault.Plan{
-		Seed: seed,
-		Partitions: []fault.PartitionWindow{
-			{GroupA: sc.groupA, Start: start, HealAt: heal, OneWay: sc.oneWay},
-		},
+		Seed:       seed,
+		Partitions: []fault.PartitionWindow{win},
 	})
 	svc, err := member.Attach(cl, member.Config{HeartbeatPeriod: period, Seed: seed})
 	if err != nil {

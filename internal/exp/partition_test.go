@@ -13,8 +13,8 @@ func TestPartitionStudy(t *testing.T) {
 	if err != nil {
 		t.Fatalf("partition study: %v", err)
 	}
-	if len(rows) != 6 { // 3 scenarios x 2 engines
-		t.Fatalf("got %d rows, want 6", len(rows))
+	if len(rows) != 8 { // 4 scenarios x 2 engines
+		t.Fatalf("got %d rows, want 8", len(rows))
 	}
 	if err := PartitionInvariantsHold(rows); err != nil {
 		t.Error(err)

@@ -67,7 +67,10 @@ func rackScaleImpl(cfg Config) ([]RackScaleRow, error) {
 
 	var rows []RackScaleRow
 	for _, s := range setups {
-		cl := kernel.NewCluster(s.arches, kernel.DefaultInterconnect())
+		cl, _, err := kernel.NewClusterTopo(s.arches, kernel.DefaultInterconnect(), cfg.topoSpec())
+		if err != nil {
+			return nil, fmt.Errorf("rack: %w", err)
+		}
 		if cfg.Engine == "par" || cfg.Engine == "parallel" {
 			cl.UseParallelEngine(0)
 		}

@@ -48,14 +48,29 @@ type Window struct {
 	JitterSec float64
 }
 
-// PartitionWindow cuts the rack into two sides for a time span: every
-// message leg crossing the cut while the window is active is lost, while
-// traffic within a side is untouched. Unlike a Crash, partitioned nodes keep
-// executing — only their cross-cut communication dies, which is exactly the
-// condition that manufactures split-brain membership views.
+// PartitionWindow cuts the rack for a time span. Two compositions:
+//
+//   - GroupA splits the rack into two sides; every message leg crossing
+//     the cut while the window is active is lost, traffic within a side is
+//     untouched.
+//   - Legs severs an explicit set of directed node legs instead — the
+//     per-link form. A topology-aware plan cuts one fabric link (say a
+//     ToR->spine uplink) by listing exactly the legs routed over it
+//     (topo.Fabric.Legs), which no node-set bipartition can express: the
+//     reverse direction and in-rack traffic keep flowing.
+//
+// Unlike a Crash, partitioned nodes keep executing — only the severed
+// communication dies, which is exactly the condition that manufactures
+// split-brain membership views.
 type PartitionWindow struct {
 	// GroupA lists one side's nodes; every node not listed is on side B.
+	// Ignored when Legs is non-empty.
 	GroupA []int
+	// Legs lists the directed from->to node legs the window severs; when
+	// non-empty it replaces the GroupA bipartition. OneWay does not apply
+	// (each leg is already directed — list both directions to cut a link
+	// pair).
+	Legs [][2]int
 	// Start/HealAt bound the cut in simulated seconds: [Start, HealAt).
 	// HealAt <= Start means the partition never heals.
 	Start, HealAt float64
@@ -73,13 +88,16 @@ func (w *PartitionWindow) healsAt() (float64, bool) {
 }
 
 // cuts reports whether the window severs the directed from->to leg at time
-// at, given the precomputed side-A membership set.
-func cuts(w *PartitionWindow, inA map[int]bool, at float64, from, to int) bool {
+// at, given the precomputed side-A membership and severed-leg sets.
+func cuts(w *PartitionWindow, inA map[int]bool, legs map[[2]int]bool, at float64, from, to int) bool {
 	if at < w.Start {
 		return false
 	}
 	if heal, ok := w.healsAt(); ok && at >= heal {
 		return false
+	}
+	if legs != nil {
+		return legs[[2]int{from, to}]
 	}
 	fa, ta := inA[from], inA[to]
 	if fa == ta {
@@ -111,6 +129,9 @@ type Injector struct {
 	// partA[i] is Partitions[i].GroupA as a set, precomputed so per-message
 	// cut checks are O(windows).
 	partA []map[int]bool
+	// partLegs[i] is Partitions[i].Legs as a set (nil when the window is a
+	// GroupA bipartition).
+	partLegs []map[[2]int]bool
 }
 
 // NewInjector builds an injector for plan. The plan is copied and its
@@ -128,6 +149,14 @@ func NewInjector(plan Plan) *Injector {
 			set[n] = true
 		}
 		in.partA = append(in.partA, set)
+		var legs map[[2]int]bool
+		if len(w.Legs) > 0 {
+			legs = make(map[[2]int]bool, len(w.Legs))
+			for _, l := range w.Legs {
+				legs[l] = true
+			}
+		}
+		in.partLegs = append(in.partLegs, legs)
 	}
 	return in
 }
@@ -136,7 +165,7 @@ func NewInjector(plan Plan) *Injector {
 // from->to leg at time at. It satisfies msg.Partitioner.
 func (in *Injector) LinkCut(at float64, from, to int) bool {
 	for i := range in.plan.Partitions {
-		if cuts(&in.plan.Partitions[i], in.partA[i], at, from, to) {
+		if cuts(&in.plan.Partitions[i], in.partA[i], in.partLegs[i], at, from, to) {
 			return true
 		}
 	}
@@ -154,7 +183,7 @@ func (in *Injector) LinkClearAt(at float64, from, to int) (float64, bool) {
 		blocked := false
 		for i := range in.plan.Partitions {
 			w := &in.plan.Partitions[i]
-			if !cuts(w, in.partA[i], t, from, to) {
+			if !cuts(w, in.partA[i], in.partLegs[i], t, from, to) {
 				continue
 			}
 			heal, ok := w.healsAt()

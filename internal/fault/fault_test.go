@@ -172,6 +172,57 @@ func TestPartitionOneWayCut(t *testing.T) {
 	}
 }
 
+func TestPartitionLegsCut(t *testing.T) {
+	// A per-link cut: sever exactly the legs a ToR->spine uplink would
+	// carry (rack {2,3}'s outbound cross-rack traffic), nothing else. No
+	// GroupA bipartition can express this — the reverse direction and
+	// in-rack traffic must keep flowing.
+	in := NewInjector(Plan{Partitions: []PartitionWindow{
+		{Legs: [][2]int{{2, 0}, {2, 1}, {3, 0}, {3, 1}}, Start: 1.0, HealAt: 2.0},
+	}})
+	cases := []struct {
+		at       float64
+		from, to int
+		want     bool
+	}{
+		{0.5, 2, 0, false}, // before the window
+		{1.0, 2, 0, true},  // outbound cross-rack severed
+		{1.0, 3, 1, true},
+		{1.0, 0, 2, false}, // inbound direction not listed: survives
+		{1.0, 2, 3, false}, // in-rack traffic survives
+		{1.0, 0, 1, false}, // far side untouched
+		{2.0, 2, 0, false}, // healed
+	}
+	for i, c := range cases {
+		if got := in.LinkCut(c.at, c.from, c.to); got != c.want {
+			t.Errorf("case %d: LinkCut(%g, %d, %d) = %v, want %v", i, c.at, c.from, c.to, got, c.want)
+		}
+	}
+	// Legs takes precedence over a (stale) GroupA on the same window.
+	both := NewInjector(Plan{Partitions: []PartitionWindow{
+		{GroupA: []int{0}, Legs: [][2]int{{1, 2}}, Start: 0, HealAt: 1.0},
+	}})
+	if both.LinkCut(0.5, 0, 1) {
+		t.Error("GroupA bipartition applied despite explicit Legs")
+	}
+	if !both.LinkCut(0.5, 1, 2) {
+		t.Error("explicit leg not severed")
+	}
+}
+
+func TestPartitionLegsClearAt(t *testing.T) {
+	in := NewInjector(Plan{Partitions: []PartitionWindow{
+		{Legs: [][2]int{{0, 1}}, Start: 1.0, HealAt: 2.0},
+	}})
+	if at, ok := in.LinkClearAt(1.5, 0, 1); !ok || at != 2.0 {
+		t.Errorf("LinkClearAt(1.5, 0, 1) = (%g, %v), want (2, true)", at, ok)
+	}
+	// The unlisted reverse leg is never blocked.
+	if at, ok := in.LinkClearAt(1.5, 1, 0); !ok || at != 1.5 {
+		t.Errorf("LinkClearAt(1.5, 1, 0) = (%g, %v), want (1.5, true)", at, ok)
+	}
+}
+
 func TestPartitionLinkClearAt(t *testing.T) {
 	in := NewInjector(Plan{Partitions: []PartitionWindow{
 		{GroupA: []int{0}, Start: 1.0, HealAt: 2.0},

@@ -1,0 +1,129 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"heterodc/internal/core"
+	"heterodc/internal/fault"
+	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
+	"heterodc/internal/link"
+	"heterodc/internal/topo"
+)
+
+// loadSeedImage builds the canonical corpus seed, skipping if absent.
+func loadSeedImage(t *testing.T) *link.Image {
+	t.Helper()
+	path := filepath.Join(CorpusDir(), "seed-001.c")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("corpus seed missing: %v", err)
+	}
+	img, err := core.Build("fuzzprog", core.Src("fuzz.c", string(src)))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return img
+}
+
+// TestEngineDeterminismFatTree bounces a corpus program across racks of a
+// 2-rack fat tree on both engines. The shared ToR uplinks make the fabric
+// contended, so the parallel engine must refuse to shard the rack — and
+// with that pin in place every observable, including the interconnect
+// counters whose delivery times now come from the fabric's queueing, must
+// stay byte-identical between engines.
+func TestEngineDeterminismFatTree(t *testing.T) {
+	img := loadSeedImage(t)
+	_, points, refSec := runPlain(img, core.NodeX86, 2.0)
+	cap := refSec + float64(points)*5e-3 + 1.0
+
+	arches := []isa.Arch{isa.X86, isa.ARM64, isa.X86, isa.ARM64, isa.X86, isa.ARM64}
+	run := func(engine string) detRun {
+		cl, fab, err := kernel.NewClusterTopo(arches, kernel.DefaultInterconnect(), topo.FatTree(2, 4))
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if fab == nil {
+			t.Fatalf("%s: fat tree installed no fabric", engine)
+		}
+		if cl.ParallelOK() {
+			t.Errorf("%s: a contended fabric must pin the parallel engine to one group", engine)
+		}
+		if engine == "par" {
+			cl.UseParallelEngine(0)
+		}
+		p, err := cl.Spawn(img, 0)
+		if err != nil {
+			t.Fatalf("%s: spawn: %v", engine, err)
+		}
+		// Bounce between node 0 (rack 0) and node 3 (rack 1): every
+		// migration payload crosses both ToR uplinks.
+		cl.OnMigration = func(ev kernel.MigrationEvent) {
+			tgt := 0
+			if ev.To == 0 {
+				tgt = 3
+			}
+			_ = cl.RequestMigration(p, ev.Tid, tgt)
+		}
+		_ = cl.RequestMigration(p, 0, 3)
+		to := drive(cl, p, cap, nil)
+		return detRun{finish(p, "fattree", to), cl.IC.Stats()}
+	}
+	seq, par := run("seq"), run("par")
+	assertSameRun(t, "fattree", seq, par)
+	if seq.Migrations < 2 {
+		t.Errorf("only %d migrations; the cross-rack bounce never engaged", seq.Migrations)
+	}
+}
+
+// TestEngineDeterminismFlatTopoNeutral is the regression guard for the flat
+// path: a cluster built through the topology seam with the flat spec must
+// reproduce the plain cluster byte for byte — same chaos plan, same
+// migrations, same interconnect counters — on both engines. Selecting
+// "-topo flat" anywhere is a no-op by construction, and this test keeps it
+// one.
+func TestEngineDeterminismFlatTopoNeutral(t *testing.T) {
+	img := loadSeedImage(t)
+	_, _, refSec := runPlain(img, core.NodeX86, 2.0)
+	cap := refSec*200 + 0.2
+
+	arches := []isa.Arch{isa.X86, isa.ARM64}
+	run := func(engine string, viaTopo bool) detRun {
+		var cl *kernel.Cluster
+		if viaTopo {
+			var fab *topo.Fabric
+			var err error
+			cl, fab, err = kernel.NewClusterTopo(arches, kernel.DefaultInterconnect(), topo.FlatSpec())
+			if err != nil {
+				t.Fatalf("%s: %v", engine, err)
+			}
+			if fab != nil {
+				t.Fatalf("%s: the flat spec must not build a fabric", engine)
+			}
+		} else {
+			cl = kernel.NewCluster(arches, kernel.DefaultInterconnect())
+		}
+		cl.InjectFaults(fault.Plan{
+			Seed: 99, DropProb: 0.04, DupProb: 0.01, JitterSec: 2e-6,
+			Crashes: []fault.Crash{{Node: 1, At: 0.45 * refSec, RecoverAt: 0.5 * refSec}},
+		})
+		p, err := cl.Spawn(img, core.NodeX86)
+		if err != nil {
+			t.Fatalf("%s: spawn: %v", engine, err)
+		}
+		if engine == "par" {
+			cl.UseParallelEngine(0)
+		}
+		cl.Run(0.3 * refSec)
+		cl.RequestProcessMigration(p, core.NodeARM)
+		cl.Run(0.65 * refSec)
+		cl.RequestProcessMigration(p, core.NodeX86)
+		to := drive(cl, p, cap, nil)
+		return detRun{finish(p, "flat-neutral", to), cl.IC.Stats()}
+	}
+	for _, engine := range []string{"seq", "par"} {
+		assertSameRun(t, "flat-neutral/"+engine, run(engine, false), run(engine, true))
+	}
+}

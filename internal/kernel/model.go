@@ -96,16 +96,18 @@ func (cl *Cluster) NoteFrontier() {
 }
 
 // ParallelOK reports whether group-parallel execution is sound right now.
-// Three observers force the global sequential order: a tracer (its event log
+// Four observers force the global sequential order: a tracer (its event log
 // is a totally ordered transcript), the process-lost handler (a permanent
-// crash scans and may kill processes in every group), and a membership
+// crash scans and may kill processes in every group), a membership
 // service (its all-to-all heartbeat fabric makes every node pair "might
 // interact" — the sharing relation is the complete graph, so the only sound
-// partition is one group). OnAdvance is fine — the engine samples the
+// partition is one group), and a contended interconnect fabric (a rack/
+// spine topology shares ToR uplinks between node pairs, so disjoint groups
+// would race on link occupancy). OnAdvance is fine — the engine samples the
 // frontier only at barriers, and the power meter integrates energy from
 // counter deltas, so totals are unchanged.
 func (cl *Cluster) ParallelOK() bool {
-	ok := cl.OnProcessLost == nil && cl.Tracer == nil && cl.member == nil
+	ok := cl.OnProcessLost == nil && cl.Tracer == nil && cl.member == nil && !cl.IC.Contended()
 	if !ok {
 		cl.parGroups = false
 	}

@@ -16,6 +16,15 @@
 // numbers, occupancy) or by node (delivery queues, stats shards): workers
 // driving disjoint node groups never touch the same cell. Aggregation
 // (Stats) and structural growth (Grow) happen only at barriers.
+//
+// The flat pipe is one of two cost models: SetPathModel plugs a
+// hierarchical fabric (internal/topo's rack/spine fat tree) under the same
+// message layer, replacing the delivery-time computation with multi-hop
+// routing and shared-uplink contention. Because a fabric shares links
+// between node pairs it reports Contended, and the cluster pins the
+// parallel engine to one inline sharing group. Without a path model
+// nothing changes — the flat pipe is the default and the regression
+// baseline.
 package msg
 
 import (
@@ -160,6 +169,31 @@ type EventSink interface {
 	Record(t float64, kind, detail string)
 }
 
+// PathModel is a pluggable fabric under the interconnect: when installed,
+// it replaces the flat latency/bandwidth pipe's delivery-time computation
+// with hierarchical routing (topo.Fabric implements it — racks behind ToR
+// switches joined by a spine). Implementations must be deterministic; all
+// occupancy and statistics live inside the model.
+type PathModel interface {
+	// Nodes is the number of nodes the model routes between; the
+	// interconnect refuses to grow past it.
+	Nodes() int
+	// Transmit charges the fabric for a from->to message of wire bytes
+	// (payload plus header) starting at now and returns its delivery time,
+	// consuming link occupancy along the route.
+	Transmit(now float64, from, to int, wire int64) float64
+	// Estimate computes the same delivery time against current occupancy
+	// without consuming any (the RoundTripTime contract).
+	Estimate(now float64, from, to int, wire int64) float64
+	// MinLatency is the minimum zero-byte one-way latency over all
+	// routeable pairs — the conservative lookahead floor.
+	MinLatency() float64
+	// Contended reports whether distinct node pairs can share links. A
+	// contended model breaks the interconnect's disjoint-shard invariant,
+	// so the cluster pins the parallel engine to one inline sharing group.
+	Contended() bool
+}
+
 // linkState is one directed link's private state.
 type linkState struct {
 	// seq numbers message legs (and fate draws) on this link.
@@ -186,6 +220,7 @@ type Interconnect struct {
 	inj    Injector
 	part   Partitioner // inj's partition view, when it has one
 	tracer EventSink
+	path   PathModel // nil: the flat pipe (the default and the baseline)
 
 	n     int
 	links []linkState // n*n, indexed from*n+to
@@ -205,6 +240,9 @@ func New(cfg Config) *Interconnect {
 func (ic *Interconnect) Grow(n int) {
 	if n <= ic.n {
 		return
+	}
+	if ic.path != nil && n > ic.path.Nodes() {
+		panic(fmt.Sprintf("msg: growing to %d nodes past the installed path model's %d", n, ic.path.Nodes()))
 	}
 	links := make([]linkState, n*n)
 	for f := 0; f < ic.n; f++ {
@@ -250,8 +288,43 @@ func (ic *Interconnect) Stats() Stats {
 }
 
 // MinLatency returns the minimum one-way link latency — the lookahead floor
-// for conservative parallel co-simulation over this interconnect.
-func (ic *Interconnect) MinLatency() float64 { return ic.cfg.LatencySec }
+// for conservative parallel co-simulation over this interconnect. With a
+// path model installed it is the model's minimum over all routes.
+func (ic *Interconnect) MinLatency() float64 {
+	if ic.path != nil {
+		return ic.path.MinLatency()
+	}
+	return ic.cfg.LatencySec
+}
+
+// SetPathModel installs (or, with nil, removes) a hierarchical fabric
+// under the interconnect. Install before concurrent use and before the
+// cluster chooses its engine: the parallel backend reads MinLatency at
+// configuration time, and a contended model additionally pins it to one
+// inline sharing group (see Contended).
+func (ic *Interconnect) SetPathModel(pm PathModel) error {
+	if pm != nil && pm.Nodes() < ic.n {
+		return fmt.Errorf("msg: path model covers %d nodes, interconnect already has %d", pm.Nodes(), ic.n)
+	}
+	ic.path = pm
+	return nil
+}
+
+// Path returns the installed path model, or nil for the flat pipe.
+func (ic *Interconnect) Path() PathModel { return ic.path }
+
+// Contended reports whether an installed path model shares links between
+// node pairs, which invalidates the per-link state sharding the parallel
+// engine's disjoint groups rely on.
+func (ic *Interconnect) Contended() bool { return ic.path != nil && ic.path.Contended() }
+
+// redeliverDelay is the extra delay charged to a duplicate copy.
+func (ic *Interconnect) redeliverDelay() float64 {
+	if ic.path != nil {
+		return ic.path.MinLatency()
+	}
+	return ic.cfg.LatencySec
+}
 
 // SetInjector installs (or, with nil, removes) a fault injector. An
 // injector that also implements Partitioner gets its partition windows
@@ -294,22 +367,32 @@ func (ic *Interconnect) maxRetries() int {
 
 // transmit charges the from->to link for one message and builds it with
 // its fault-free delivery time; the caller decides whether it is enqueued.
+// With a path model installed the delivery time comes from the fabric
+// (which holds all occupancy); the per-link sequence numbers keying fault
+// fates are unchanged either way, so an identical fault plan draws the
+// identical fate stream on both models.
 func (ic *Interconnect) transmit(now float64, from, to int, t Type, size int64, payload interface{}) *Message {
 	wire := size + ic.cfg.HeaderBytes
 	lk := ic.link(from, to)
-	start := now
-	if lk.busyUntil > start {
-		start = lk.busyUntil
+	var deliver float64
+	if ic.path != nil {
+		deliver = ic.path.Transmit(now, from, to, wire)
+	} else {
+		start := now
+		if lk.busyUntil > start {
+			start = lk.busyUntil
+		}
+		txEnd := start + float64(wire)/ic.cfg.BytesPerSec
+		lk.busyUntil = txEnd
+		deliver = txEnd + ic.cfg.LatencySec
 	}
-	txEnd := start + float64(wire)/ic.cfg.BytesPerSec
-	lk.busyUntil = txEnd
 
 	lk.seq++
 	ic.stats[from].Messages++
 	ic.stats[from].Bytes += uint64(wire)
 	return &Message{
 		Seq: lk.seq, From: from, To: to, Type: t,
-		Size: size, Deliver: txEnd + ic.cfg.LatencySec, Payload: payload,
+		Size: size, Deliver: deliver, Payload: payload,
 	}
 }
 
@@ -346,7 +429,7 @@ func (ic *Interconnect) Send(now float64, from, to int, t Type, size int64, payl
 			lk := ic.link(from, to)
 			lk.seq++
 			cp.Seq = lk.seq
-			cp.Deliver = m.Deliver + ic.cfg.LatencySec
+			cp.Deliver = m.Deliver + ic.redeliverDelay()
 			if ic.cut(cp.Deliver, from, to) {
 				ic.stats[from].PartitionDrops++
 			} else {
@@ -487,6 +570,11 @@ func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int
 // messages. Each leg waits for its directed link's current occupancy, like
 // Send does, but the estimate does not consume occupancy itself.
 func (ic *Interconnect) RoundTripTime(now float64, from, to int, replySize int64) float64 {
+	if ic.path != nil {
+		arrive := ic.path.Estimate(now, from, to, ic.cfg.HeaderBytes)
+		done := ic.path.Estimate(arrive, to, from, replySize+ic.cfg.HeaderBytes)
+		return done - now
+	}
 	start := now
 	if lk := ic.link(from, to); lk.busyUntil > start {
 		start = lk.busyUntil

@@ -15,6 +15,7 @@ import (
 	"heterodc/internal/kernel"
 	"heterodc/internal/npb"
 	"heterodc/internal/power"
+	"heterodc/internal/topo"
 )
 
 // Job is one schedulable unit: a benchmark instance.
@@ -440,8 +441,11 @@ func GenerateJobs(seed int64, n int, classes []npb.Class, arrivalSpacing func(r 
 // TestbedFor builds the right cluster for a policy: N identical x86
 // machines for a "static x86(N)" homogeneous baseline, otherwise the
 // heterogeneous x86+ARM testbed. projected applies the paper's McPAT FinFET
-// projection to the ARM machine's power model.
-func TestbedFor(p Policy, projected bool) (*kernel.Cluster, []power.Model) {
+// projection to the ARM machine's power model. spec selects the
+// interconnect fabric the machines are joined by — topo.FlatSpec() is the
+// legacy single pipe, a fat-tree spec routes all traffic through a
+// rack/spine topology.
+func TestbedFor(p Policy, projected bool, spec topo.Spec) (*kernel.Cluster, []power.Model, error) {
 	var n int
 	if _, err := fmt.Sscanf(p.Name(), "static x86(%d)", &n); err == nil && n > 0 {
 		arches := make([]isa.Arch, n)
@@ -450,11 +454,17 @@ func TestbedFor(p Policy, projected bool) (*kernel.Cluster, []power.Model) {
 			arches[i] = isa.X86
 			models[i] = power.XeonE5()
 		}
-		cl := kernel.NewCluster(arches, kernel.DefaultInterconnect())
-		return cl, models
+		cl, _, err := kernel.NewClusterTopo(arches, kernel.DefaultInterconnect(), spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cl, models, nil
 	}
 	cl := kernel.NewTestbed()
-	return cl, power.DefaultModels(cl, projected)
+	if _, err := kernel.ApplyTopology(cl, spec); err != nil {
+		return nil, nil, err
+	}
+	return cl, power.DefaultModels(cl, projected), nil
 }
 
 // RackArches returns the canonical n-node heterogeneous rack shape: the

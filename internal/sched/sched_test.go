@@ -8,6 +8,7 @@ import (
 	"heterodc/internal/kernel"
 	"heterodc/internal/member"
 	"heterodc/internal/npb"
+	"heterodc/internal/topo"
 )
 
 func smallJobs(n int) []Job {
@@ -29,7 +30,10 @@ func TestPoliciesCompleteSustained(t *testing.T) {
 	} {
 		p := p
 		t.Run(p.Name(), func(t *testing.T) {
-			cl, models := TestbedFor(p, true)
+			cl, models, err := TestbedFor(p, true, topo.FlatSpec())
+			if err != nil {
+				t.Fatalf("testbed: %v", err)
+			}
 			r := NewRunner(cl, p, models)
 			res, err := r.Run(Workload{Jobs: jobs, Concurrency: 3})
 			if err != nil {
@@ -54,7 +58,10 @@ func TestDynamicPolicyMigrates(t *testing.T) {
 		jobs[i].Arrival = 0
 	}
 	p := DynamicBalanced()
-	cl, models := TestbedFor(p, true)
+	cl, models, err := TestbedFor(p, true, topo.FlatSpec())
+	if err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
 	r := NewRunner(cl, p, models)
 	r.RebalanceEvery = 1e-3
 	r.Cooldown = 2e-3
@@ -78,7 +85,10 @@ func TestPeriodicArrivalsIdleGaps(t *testing.T) {
 		jobs[i].Threads = 1
 	}
 	p := StaticHetBalanced()
-	cl, models := TestbedFor(p, true)
+	cl, models, err := TestbedFor(p, true, topo.FlatSpec())
+	if err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
 	r := NewRunner(cl, p, models)
 	res, err := r.Run(Workload{Jobs: jobs})
 	if err != nil {
@@ -91,7 +101,10 @@ func TestPeriodicArrivalsIdleGaps(t *testing.T) {
 
 func TestPlacementSkipsCrashedNode(t *testing.T) {
 	p := DynamicBalanced()
-	cl, models := TestbedFor(p, true)
+	cl, models, err := TestbedFor(p, true, topo.FlatSpec())
+	if err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
 	cl.InjectFaults(fault.Plan{Crashes: []fault.Crash{{Node: 1, At: 0, RecoverAt: 0}}})
 	cl.CrashNode(1)
 	st := &State{Cluster: cl}
@@ -106,7 +119,10 @@ func TestPlacementSkipsCrashedNode(t *testing.T) {
 
 func TestRebalanceIgnoresCrashedNode(t *testing.T) {
 	p := DynamicBalanced()
-	cl, _ := TestbedFor(p, true)
+	cl, _, err := TestbedFor(p, true, topo.FlatSpec())
+	if err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
 	img, err := npb.Build(npb.EP, npb.ClassS, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -154,7 +170,10 @@ func TestRunnerCheckpointRecovery(t *testing.T) {
 		{ID: 3, Bench: npb.IS, Class: npb.ClassS, Threads: 1},
 	}
 	p := StaticHetBalanced() // half the jobs start on node 1
-	cl, models := TestbedFor(p, true)
+	cl, models, err := TestbedFor(p, true, topo.FlatSpec())
+	if err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
 	// Node 1 dies for good mid-run, after at least one checkpoint interval.
 	cl.InjectFaults(fault.Plan{Seed: 5, Crashes: []fault.Crash{{Node: 1, At: 1e-3, RecoverAt: 0}}})
 	r := NewRunner(cl, p, models)
@@ -189,7 +208,10 @@ func TestRunnerIdleGapsNoFalseSuspicions(t *testing.T) {
 		jobs[i].Threads = 1
 	}
 	p := StaticHetBalanced()
-	cl, models := TestbedFor(p, true)
+	cl, models, err := TestbedFor(p, true, topo.FlatSpec())
+	if err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
 	svc, err := member.Attach(cl, member.Config{HeartbeatPeriod: 1e-3})
 	if err != nil {
 		t.Fatal(err)
@@ -225,7 +247,10 @@ func TestRunnerSurvivesMidRunCrash(t *testing.T) {
 		jobs[i].Arrival = 0
 	}
 	p := DynamicBalanced()
-	cl, models := TestbedFor(p, true)
+	cl, models, err := TestbedFor(p, true, topo.FlatSpec())
+	if err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
 	// Node 1 drops out almost immediately and comes back much later.
 	cl.InjectFaults(fault.Plan{Seed: 3, Crashes: []fault.Crash{{Node: 1, At: 2e-3, RecoverAt: 30e-3}}})
 	r := NewRunner(cl, p, models)
