@@ -19,6 +19,7 @@
 //	hdcbench -exp member-scaling  # SWIM vs lease traffic/state/latency sweep
 //	hdcbench -exp partition   # network-partition split-brain study
 //	hdcbench -exp topology    # fat-tree oversubscription study
+//	hdcbench -exp fleet       # open-loop traffic, staged x86→ARM rollout
 //	hdcbench -exp all
 //
 // The rack experiment takes -rack-nodes N (default 4) to size the ensemble
@@ -46,6 +47,15 @@
 // experiment runs every seeded bipartition scenario on both engines and
 // enforces the split-brain invariants; it also honours -json.
 //
+// The fleet experiment offers seeded open-loop traffic (jobs arrive at
+// simulated instants whether or not capacity is free) and rolls the fleet
+// from all-x86 to all-ARM in SLO-gated waves. -arrivals is a comma list of
+// arrival processes (poisson, diurnal, bursty; empty runs all three), -rate
+// the offered load in jobs/sec and -slo the per-job latency target in
+// seconds (0 keeps the scale defaults). Every wave runs under both time
+// engines and must produce bit-identical SLO reports; it honours -json —
+// results/fleet-rollout.json is recorded this way.
+//
 // -scale quick|default|full selects the parameter grid (full is the paper's
 // grid and takes tens of minutes).
 package main
@@ -54,12 +64,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
 	"heterodc/internal/exp"
 	"heterodc/internal/trace"
+	"heterodc/internal/traffic"
 )
 
 // writeJSON records experiment rows as an indented JSON array; empty path
@@ -101,8 +113,38 @@ func parseFracs(s string) ([]float64, error) {
 	return out, nil
 }
 
+// fleetOptions validates the fleet traffic flags. rateSet/sloSet report
+// whether the user passed the flag at all: an explicit nonsensical value is
+// rejected with an actionable error, while an untouched flag defers to the
+// scale's default.
+func fleetOptions(arrivals string, rateSet bool, rate float64, sloSet bool, slo float64) (exp.FleetOptions, error) {
+	var opts exp.FleetOptions
+	if arrivals != "" {
+		for _, part := range strings.Split(arrivals, ",") {
+			k, err := traffic.ParseKind(part)
+			if err != nil {
+				return exp.FleetOptions{}, fmt.Errorf("-arrivals: %v", err)
+			}
+			opts.Arrivals = append(opts.Arrivals, k)
+		}
+	}
+	if rateSet {
+		if !(rate > 0) || math.IsInf(rate, 0) {
+			return exp.FleetOptions{}, fmt.Errorf("-rate: offered load %g jobs/sec is not a positive finite rate", rate)
+		}
+		opts.Rate = rate
+	}
+	if sloSet {
+		if !(slo > 0) || math.IsInf(slo, 0) {
+			return exp.FleetOptions{}, fmt.Errorf("-slo: latency target %g s is not a positive finite duration", slo)
+		}
+		opts.SLO = traffic.SLO{LatencyTargetSec: slo, BudgetFrac: 0.10}
+	}
+	return opts, nil
+}
+
 func main() {
-	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|detector|fuzz|member-scaling|partition|topology|all")
+	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|detector|fuzz|member-scaling|partition|topology|fleet|all")
 	scale := flag.String("scale", "default", "quick|default|full")
 	faultSeed := flag.Int64("fault-seed", 7, "chaos: fault-plan seed")
 	dropProb := flag.Float64("drop-prob", 0.02, "chaos: baseline message-loss probability")
@@ -117,9 +159,27 @@ func main() {
 	topoKind := flag.String("topo", "flat", "interconnect fabric: flat|fattree (experiments that honour it)")
 	racks := flag.Int("racks", 0, "fattree: rack count (0: default)")
 	oversub := flag.Float64("oversub", 0, "fattree: ToR uplink oversubscription ratio (0: default)")
+	arrivals := flag.String("arrivals", "", "fleet: comma list of arrival processes (poisson|diurnal|bursty; empty: all three)")
+	rate := flag.Float64("rate", 0, "fleet: offered arrival rate in jobs/sec (0: scale default)")
+	slo := flag.Float64("slo", 0, "fleet: per-job latency target in seconds (0: scale default)")
 	flag.Parse()
 
+	rateSet, sloSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "rate":
+			rateSet = true
+		case "slo":
+			sloSet = true
+		}
+	})
+
 	fracs, err := parseFracs(*hbFracs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fleetOpts, err := fleetOptions(*arrivals, rateSet, *rate, sloSet, *slo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -394,6 +454,33 @@ func main() {
 			return err
 		}
 		fmt.Println("shape check: OK (cross-rack costs grow with oversubscription, in-rack costs flat; engines byte-identical)")
+		return nil
+	})
+
+	run("fleet", func() error {
+		series, err := exp.Fleet(cfg, fleetOpts)
+		if err != nil {
+			return err
+		}
+		if err := exp.FleetInvariantsHold(series); err != nil {
+			return err
+		}
+		if err := writeJSON(*jsonPath, series); err != nil {
+			return err
+		}
+		gated := 0
+		for _, s := range series {
+			if !s.RolledOut {
+				gated++
+				fmt.Printf("rollout gated: %s halted at wave %d (violation rate %.1f%% over budget %.1f%%)\n",
+					s.Arrivals, len(s.Waves), s.Waves[len(s.Waves)-1].ViolationRate*100, s.BudgetFrac*100)
+			}
+		}
+		if gated == 0 {
+			fmt.Println("shape check: OK (every rollout reached 100% ARM within budget; engines byte-identical per wave)")
+		} else {
+			fmt.Println("shape check: OK (gating engaged; no wave advanced while violating; engines byte-identical per wave)")
+		}
 		return nil
 	})
 

@@ -1,9 +1,62 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
+
+func TestFleetOptions(t *testing.T) {
+	cases := []struct {
+		name     string
+		arrivals string
+		rateSet  bool
+		rate     float64
+		sloSet   bool
+		slo      float64
+		wantErr  string // substring, "" means valid
+		kinds    int
+	}{
+		{name: "all defaults"},
+		{name: "every process", arrivals: "poisson,diurnal,bursty", kinds: 3},
+		{name: "spaced and cased", arrivals: " Poisson , BURSTY ", kinds: 2},
+		{name: "explicit rate and slo", rateSet: true, rate: 150, sloSet: true, slo: 0.5},
+		{name: "unknown process", arrivals: "pareto", wantErr: "unknown arrival process"},
+		{name: "empty element", arrivals: "poisson,", wantErr: "-arrivals"},
+		{name: "zero rate", rateSet: true, rate: 0, wantErr: "positive finite rate"},
+		{name: "negative rate", rateSet: true, rate: -3, wantErr: "positive finite rate"},
+		{name: "inf rate", rateSet: true, rate: math.Inf(1), wantErr: "positive finite rate"},
+		{name: "nan rate", rateSet: true, rate: math.NaN(), wantErr: "positive finite rate"},
+		{name: "zero slo", sloSet: true, slo: 0, wantErr: "positive finite duration"},
+		{name: "negative slo", sloSet: true, slo: -1, wantErr: "positive finite duration"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opts, err := fleetOptions(c.arrivals, c.rateSet, c.rate, c.sloSet, c.slo)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(opts.Arrivals) != c.kinds {
+				t.Errorf("got %d kinds, want %d", len(opts.Arrivals), c.kinds)
+			}
+			if c.rateSet && opts.Rate != c.rate {
+				t.Errorf("rate %g, want %g", opts.Rate, c.rate)
+			}
+			if c.sloSet && opts.SLO.LatencyTargetSec != c.slo {
+				t.Errorf("slo target %g, want %g", opts.SLO.LatencyTargetSec, c.slo)
+			}
+			if !c.rateSet && opts.Rate != 0 {
+				t.Errorf("unset rate should defer to the scale default, got %g", opts.Rate)
+			}
+		})
+	}
+}
 
 func TestParseFracs(t *testing.T) {
 	cases := []struct {

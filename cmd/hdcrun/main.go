@@ -48,12 +48,24 @@
 // utilisation at exit:
 //
 //	hdcrun -bench is -class S -migrate-at 0.5 -topo fattree -oversub 4
+//
+// Open-loop traffic: -arrivals replaces the single workload with a seeded
+// open-loop job stream on the testbed — jobs arrive at simulated instants
+// drawn from the named process (poisson, diurnal or bursty) whether or not
+// capacity is free, and each job's sojourn time is scored against a latency
+// SLO. -rate sets the offered load in jobs/sec, -slo the per-job latency
+// target in seconds and -jobs the stream length; -class sizes the jobs. The
+// stream mode is incompatible with the single-workload flags (-bench, -src,
+// -migrate-at, checkpointing, restore, the detector and fault injection):
+//
+//	hdcrun -arrivals bursty -rate 300 -slo 0.25 -jobs 20 -class S
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"heterodc/internal/ckpt"
@@ -64,8 +76,10 @@ import (
 	"heterodc/internal/member"
 	"heterodc/internal/npb"
 	"heterodc/internal/power"
+	"heterodc/internal/sched"
 	"heterodc/internal/topo"
 	"heterodc/internal/trace"
+	"heterodc/internal/traffic"
 )
 
 func parseNode(s string) (int, error) {
@@ -108,6 +122,97 @@ func detectorConfig(detector bool, hbPeriod, suspectTimeout float64, quorum int,
 	return cfg, nil
 }
 
+// trafficConfig validates the open-loop traffic flag set and resolves it to
+// an arrival spec, an SLO and a stream length. The set booleans report
+// whether the user passed each flag at all: explicit nonsense is rejected
+// with an actionable error, untouched flags take the defaults below.
+// singleWorkload reports that any single-workload flag is in play — the
+// stream mode drives its own jobs, so combining the two is a configuration
+// error, not a silent override.
+func trafficConfig(arrivals string, rateSet bool, rate float64, sloSet bool, slo float64,
+	jobsSet bool, jobs int, singleWorkload bool) (traffic.Spec, traffic.SLO, int, error) {
+	fail := func(err error) (traffic.Spec, traffic.SLO, int, error) {
+		return traffic.Spec{}, traffic.SLO{}, 0, err
+	}
+	if arrivals == "" {
+		if rateSet || sloSet || jobsSet {
+			return fail(fmt.Errorf("-rate/-slo/-jobs need -arrivals"))
+		}
+		return traffic.Spec{}, traffic.SLO{}, 0, nil
+	}
+	kind, err := traffic.ParseKind(arrivals)
+	if err != nil {
+		return fail(fmt.Errorf("-arrivals: %v", err))
+	}
+	if singleWorkload {
+		return fail(fmt.Errorf("-arrivals drives its own job stream; it cannot be combined with -bench/-src, -migrate-at, checkpointing, -restore, -detector or fault injection"))
+	}
+	if !rateSet {
+		rate = 250
+	} else if !(rate > 0) || math.IsInf(rate, 0) {
+		return fail(fmt.Errorf("-rate: offered load %g jobs/sec is not a positive finite rate", rate))
+	}
+	if !sloSet {
+		slo = 0.25
+	} else if !(slo > 0) || math.IsInf(slo, 0) {
+		return fail(fmt.Errorf("-slo: latency target %g s is not a positive finite duration", slo))
+	}
+	if !jobsSet {
+		jobs = 16
+	} else if jobs <= 0 {
+		return fail(fmt.Errorf("-jobs: stream length %d is not positive", jobs))
+	}
+	spec := traffic.Spec{Kind: kind, Rate: rate, Seed: 11}.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return fail(err)
+	}
+	return spec, traffic.SLO{LatencyTargetSec: slo, BudgetFrac: 0.10}, jobs, nil
+}
+
+// runOpenLoop executes the open-loop stream mode on the two-node testbed
+// under the dynamic balanced policy and prints the SLO scorecard.
+func runOpenLoop(spec traffic.Spec, slo traffic.SLO, jobsN int, class npb.Class,
+	topoKind string, topoRacks int, topoOversub float64) error {
+	src, err := traffic.NewSource(spec)
+	if err != nil {
+		return err
+	}
+	jobs := sched.GenerateJobs(42, jobsN, []npb.Class{class}, traffic.Spacing(src))
+
+	cl := core.NewTestbed()
+	switch topoKind {
+	case "", topo.KindFlat:
+		if topoRacks != 0 || topoOversub != 0 {
+			return fmt.Errorf("-racks/-oversub need -topo fattree")
+		}
+	default:
+		if _, err := kernel.ApplyTopology(cl, topo.Spec{Kind: topoKind, Racks: topoRacks, Oversub: topoOversub}); err != nil {
+			return err
+		}
+	}
+	r := sched.NewRunner(cl, sched.DynamicBalanced(), power.DefaultModels(cl, false))
+	res, err := r.RunOpenLoop(sched.OpenLoop{Jobs: jobs, SLO: slo})
+	if err != nil {
+		return err
+	}
+
+	s := res.SLO
+	fmt.Printf("arrivals       : %s at %g jobs/s (seed %d)\n", spec.Kind, spec.Rate, spec.Seed)
+	fmt.Printf("jobs           : %d offered, %d completed\n", res.Offered, res.Completed)
+	fmt.Printf("horizon        : %.6f s (%.1f jobs/s completed)\n", res.Makespan, res.ThroughputJobsPerSec)
+	fmt.Printf("sojourn        : p50 %.6fs  p95 %.6fs  p99 %.6fs  mean %.6fs  max %.6fs\n",
+		s.P50Sec, s.P95Sec, s.P99Sec, s.MeanSec, s.MaxSec)
+	health := "HEALTHY"
+	if !s.Healthy {
+		health = "VIOLATING"
+	}
+	fmt.Printf("slo            : target %gs budget %.1f%% -> %d violations (%.1f%%), budget remaining %.0f%%, %s\n",
+		s.TargetSec, s.BudgetFrac*100, s.Violations, s.ViolationRate*100, s.BudgetRemaining*100, health)
+	fmt.Printf("energy         : %.2f J (EDP %.4f)\n", res.EnergyTotal, res.EDP)
+	fmt.Printf("migrations     : %d\n", res.Migrations)
+	return nil
+}
+
 func main() {
 	bench := flag.String("bench", "", "benchmark name (ep|is|cg|ft|bt|sp|mg|bzip2smp|verus)")
 	class := flag.String("class", "A", "problem class (S|A|B|C)")
@@ -141,7 +246,38 @@ func main() {
 	topoKind := flag.String("topo", "flat", "interconnect fabric: flat (the testbed's single pipe) or fattree")
 	topoRacks := flag.Int("racks", 0, "fattree: rack count (0: default)")
 	topoOversub := flag.Float64("oversub", 0, "fattree: ToR uplink oversubscription ratio (0: default)")
+	arrivals := flag.String("arrivals", "", "open-loop stream mode: arrival process (poisson|diurnal|bursty)")
+	rate := flag.Float64("rate", 0, "stream: offered arrival rate in jobs/sec (default 250)")
+	sloTarget := flag.Float64("slo", 0, "stream: per-job latency target in seconds (default 0.25)")
+	jobsN := flag.Int("jobs", 0, "stream: number of offered jobs (default 16)")
 	flag.Parse()
+
+	rateSet, sloSet, jobsSet := false, false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "rate":
+			rateSet = true
+		case "slo":
+			sloSet = true
+		case "jobs":
+			jobsSet = true
+		}
+	})
+	singleWorkload := *bench != "" || *srcPath != "" || *migrateAt >= 0 ||
+		*ckptInterval != 0 || *ckptPoints != 0 || *ckptOut != "" || *restorePath != "" ||
+		*detector || *crashNode != "" || *partitionNode != "" ||
+		*dropProb > 0 || *dupProb > 0 || *jitter > 0
+	olSpec, olSLO, olJobs, err := trafficConfig(*arrivals, rateSet, *rate, sloSet, *sloTarget,
+		jobsSet, *jobsN, singleWorkload)
+	fatal(err)
+	if olSpec.Kind != "" {
+		if len(*class) != 1 {
+			fatal(fmt.Errorf("bad class %q", *class))
+		}
+		fatal(runOpenLoop(olSpec, olSLO, olJobs, npb.Class((*class)[0]),
+			*topoKind, *topoRacks, *topoOversub))
+		return
+	}
 
 	if *memberOut != "" && !*detector {
 		fatal(fmt.Errorf("-member-out needs -detector"))

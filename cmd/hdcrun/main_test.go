@@ -1,9 +1,74 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
+
+	"heterodc/internal/traffic"
 )
+
+func TestTrafficConfigValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		arrivals string
+		rateSet  bool
+		rate     float64
+		sloSet   bool
+		slo      float64
+		jobsSet  bool
+		jobs     int
+		single   bool
+		wantErr  string // substring, "" means valid
+		wantKind traffic.Kind
+		wantRate float64
+		wantSLO  float64
+		wantJobs int
+	}{
+		{name: "off"},
+		{name: "off with rate", rateSet: true, rate: 100, wantErr: "need -arrivals"},
+		{name: "off with slo", sloSet: true, slo: 0.5, wantErr: "need -arrivals"},
+		{name: "off with jobs", jobsSet: true, jobs: 8, wantErr: "need -arrivals"},
+		{name: "defaults", arrivals: "poisson",
+			wantKind: traffic.KindPoisson, wantRate: 250, wantSLO: 0.25, wantJobs: 16},
+		{name: "cased and spaced", arrivals: " Diurnal ",
+			wantKind: traffic.KindDiurnal, wantRate: 250, wantSLO: 0.25, wantJobs: 16},
+		{name: "explicit", arrivals: "bursty", rateSet: true, rate: 300, sloSet: true, slo: 0.5, jobsSet: true, jobs: 20,
+			wantKind: traffic.KindBursty, wantRate: 300, wantSLO: 0.5, wantJobs: 20},
+		{name: "unknown process", arrivals: "pareto", wantErr: "unknown arrival process"},
+		{name: "zero rate", arrivals: "poisson", rateSet: true, rate: 0, wantErr: "positive finite rate"},
+		{name: "negative rate", arrivals: "poisson", rateSet: true, rate: -10, wantErr: "positive finite rate"},
+		{name: "nan rate", arrivals: "poisson", rateSet: true, rate: math.NaN(), wantErr: "positive finite rate"},
+		{name: "zero slo", arrivals: "poisson", sloSet: true, slo: 0, wantErr: "positive finite duration"},
+		{name: "inf slo", arrivals: "poisson", sloSet: true, slo: math.Inf(1), wantErr: "positive finite duration"},
+		{name: "zero jobs", arrivals: "poisson", jobsSet: true, jobs: 0, wantErr: "not positive"},
+		{name: "negative jobs", arrivals: "poisson", jobsSet: true, jobs: -4, wantErr: "not positive"},
+		{name: "with single workload", arrivals: "poisson", single: true, wantErr: "cannot be combined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			spec, slo, jobs, err := trafficConfig(c.arrivals, c.rateSet, c.rate, c.sloSet, c.slo, c.jobsSet, c.jobs, c.single)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if spec.Kind != c.wantKind || spec.Rate != c.wantRate {
+				t.Errorf("spec = %+v, want kind %q rate %g", spec, c.wantKind, c.wantRate)
+			}
+			if c.wantKind != "" && slo.LatencyTargetSec != c.wantSLO {
+				t.Errorf("slo target %g, want %g", slo.LatencyTargetSec, c.wantSLO)
+			}
+			if jobs != c.wantJobs {
+				t.Errorf("jobs %d, want %d", jobs, c.wantJobs)
+			}
+		})
+	}
+}
 
 func TestParseNode(t *testing.T) {
 	cases := []struct {

@@ -25,8 +25,10 @@ import (
 // oracle's modes, every driver here acts only at engine-defined points —
 // spawn time, migration callbacks, control events and Run() boundaries —
 // because those are the points the parallel engine reproduces exactly.
-// (Drivers that poll between individual Step calls, like sched.Runner, see
-// epoch-grained state under "par" and are exercised elsewhere.)
+// (Drivers that poll between individual Step calls, like the closed-loop
+// sched.Runner, see epoch-grained state under "par" and are exercised
+// elsewhere; the open-loop runner acts via timer control events and gets its
+// own engine-identity scenario in engine_fleet_test.go.)
 
 // detRun is one execution's observables plus the interconnect counters.
 type detRun struct {

@@ -63,6 +63,10 @@ type Cluster struct {
 	messagesFenced uint64
 	staleUnfenced  uint64
 
+	// timer is the installed TimerSource (nil: none), the open-loop traffic
+	// driver's hookup into the engine's control-event stream; see timer.go.
+	timer TimerSource
+
 	lastFrontier float64
 
 	// eng is the attached time engine; nil lazily selects the sequential

@@ -432,6 +432,7 @@ func (k *Kernel) killProcess(p *Process, err error) {
 	}
 	p.exited = true
 	p.exitCode = -1
+	p.exitTime = k.now
 	p.failErr = err
 	k.cluster.reapProcess(p)
 }

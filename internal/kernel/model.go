@@ -47,37 +47,47 @@ func (cl *Cluster) memberDueTime(node int) float64 {
 }
 
 // NextEvent returns the time of node's next control event — a scheduled
-// crash/recovery transition or a membership action — or inf.
+// crash/recovery transition, a membership action or a timer firing — or inf.
 func (cl *Cluster) NextEvent(node int) float64 {
 	t := cl.crashEventTime(node)
 	if m := cl.memberDueTime(node); m < t {
 		t = m
 	}
+	if d := cl.timerDueTime(node); d < t {
+		t = d
+	}
 	return t
 }
 
-// ApplyEvent executes node's next due control event. A crash/recovery
-// transition wins ties against a membership action at the same instant: the
-// detector must observe the transition (a recovered node emits immediately;
-// a crashed one falls silent) before acting on it.
+// ApplyEvent executes node's next due control event. Ties at the same
+// instant resolve crash/recovery first (the detector must observe the
+// transition — a recovered node emits immediately, a crashed one falls
+// silent — before acting on it), then membership, then timer firings (an
+// arrival admitted at the instant of a crash must see the node already
+// down so placement skips it).
 func (cl *Cluster) ApplyEvent(node int) {
 	evT := cl.crashEventTime(node)
 	memT := cl.memberDueTime(node)
-	if evT <= memT {
+	timT := cl.timerDueTime(node)
+	if evT <= memT && evT <= timT {
 		ev := cl.events[node][cl.eventIdx[node]]
 		cl.eventIdx[node]++
 		cl.applyNodeEvent(ev)
 		return
 	}
-	k := cl.Kernels[node]
-	k.skipTo(memT)
-	now := memT
-	if k.now > now {
-		// The node's clock already passed the due time (an idle gap was
-		// skipped); run the membership action at the clock, not in the past.
-		now = k.now
+	if memT <= timT {
+		k := cl.Kernels[node]
+		k.skipTo(memT)
+		now := memT
+		if k.now > now {
+			// The node's clock already passed the due time (an idle gap was
+			// skipped); run the membership action at the clock, not in the past.
+			now = k.now
+		}
+		cl.member.RunDue(node, now)
+		return
 	}
-	cl.member.RunDue(node, now)
+	cl.fireTimer(timT)
 }
 
 // Frontier returns the safe time frontier (min kernel clock).
@@ -96,18 +106,21 @@ func (cl *Cluster) NoteFrontier() {
 }
 
 // ParallelOK reports whether group-parallel execution is sound right now.
-// Four observers force the global sequential order: a tracer (its event log
+// Five observers force the global sequential order: a tracer (its event log
 // is a totally ordered transcript), the process-lost handler (a permanent
 // crash scans and may kill processes in every group), a membership
 // service (its all-to-all heartbeat fabric makes every node pair "might
 // interact" — the sharing relation is the complete graph, so the only sound
-// partition is one group), and a contended interconnect fabric (a rack/
+// partition is one group), a contended interconnect fabric (a rack/
 // spine topology shares ToR uplinks between node pairs, so disjoint groups
-// would race on link occupancy). OnAdvance is fine — the engine samples the
+// would race on link occupancy), and a timer source (its firings read and
+// steer global state — an open-loop arrival placement weighs every node's
+// load). OnAdvance is fine — the engine samples the
 // frontier only at barriers, and the power meter integrates energy from
 // counter deltas, so totals are unchanged.
 func (cl *Cluster) ParallelOK() bool {
-	ok := cl.OnProcessLost == nil && cl.Tracer == nil && cl.member == nil && !cl.IC.Contended()
+	ok := cl.OnProcessLost == nil && cl.Tracer == nil && cl.member == nil &&
+		cl.timer == nil && !cl.IC.Contended()
 	if !ok {
 		cl.parGroups = false
 	}

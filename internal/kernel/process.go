@@ -114,6 +114,7 @@ type Process struct {
 
 	exited   bool
 	exitCode int64
+	exitTime float64
 	failErr  error
 
 	// serializedMigration selects the whole-state serialization baseline.
@@ -142,6 +143,13 @@ func (p *Process) Err() error { return p.failErr }
 
 // Exited reports whether the process has terminated, and its exit code.
 func (p *Process) Exited() (bool, int64) { return p.exited, p.exitCode }
+
+// ExitTime returns the simulated instant the process terminated (0 while
+// live). Open-loop SLO accounting uses it so a job's sojourn time is the
+// kernel's exit instant, not whenever a polling driver noticed — the
+// engines notice at different granularities, the kernel exits at the same
+// one.
+func (p *Process) ExitTime() float64 { return p.exitTime }
 
 // Output returns everything written to fd 1.
 func (p *Process) Output() []byte { return p.Out.Bytes() }

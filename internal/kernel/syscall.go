@@ -35,6 +35,7 @@ func (k *Kernel) syscall(cs *coreSlot, num int64, args [5]int64) bool {
 		k.detach(cs)
 		p.exited = true
 		p.exitCode = args[0]
+		p.exitTime = k.now
 		k.cluster.reapProcess(p)
 		return true
 

@@ -1,0 +1,52 @@
+package kernel
+
+// The open-loop traffic hookup: a TimerSource turns driver actions (job
+// arrivals, rebalance ticks) into cluster control events, fired at their
+// exact simulated instants from engine context — the same mechanism that
+// delivers crash schedules and membership rounds. Drivers that instead poll
+// between Step calls see quantum-grained state under the sequential engine
+// and epoch-grained state under the parallel one, which is why the legacy
+// sched.Runner loop produces slightly different placements per engine; a
+// timer-driven driver acts only at engine-defined points and is therefore
+// byte-identical on both.
+
+// TimerSource schedules simulated-instant callbacks on the cluster.
+type TimerSource interface {
+	// NextDue returns the next due instant, or >= 1e30 when idle. It must
+	// be pure: the engine polls it while choosing the next action.
+	NextDue() float64
+	// Fire runs the action due at now. It executes in engine context (on
+	// node 0's event stream) and may spawn processes, request migrations or
+	// inspect cluster state; now is at least the due instant (a node whose
+	// clock already passed it runs the action at the clock, never in the
+	// past).
+	Fire(now float64)
+}
+
+// SetTimerSource installs (or with nil removes) the cluster's timer source.
+// The timer is anchored to node 0's event stream but its actions read
+// global state (an arrival placement weighs every node's load), so an
+// installed timer pins ParallelOK: the parallel engine degrades to one
+// inline all-nodes group and stays byte-identical to the sequential
+// reference.
+func (cl *Cluster) SetTimerSource(ts TimerSource) { cl.timer = ts }
+
+// timerDueTime returns node's next timer instant, or inf. Only node 0
+// carries timer events, which gives every firing one deterministic owner.
+func (cl *Cluster) timerDueTime(node int) float64 {
+	if cl.timer == nil || node != 0 {
+		return inf
+	}
+	return cl.timer.NextDue()
+}
+
+// fireTimer runs the due timer action at node 0's clock.
+func (cl *Cluster) fireTimer(due float64) {
+	k := cl.Kernels[0]
+	k.skipTo(due)
+	now := due
+	if k.now > now {
+		now = k.now
+	}
+	cl.timer.Fire(now)
+}

@@ -1,0 +1,303 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"heterodc/internal/ckpt"
+	"heterodc/internal/kernel"
+	"heterodc/internal/npb"
+	"heterodc/internal/power"
+	"heterodc/internal/traffic"
+)
+
+// OpenLoop is an arrival-driven workload: jobs are injected at their
+// simulated arrival instants regardless of how many are already in flight
+// (the warehouse traffic model), and every job's sojourn time is accounted
+// against a latency SLO. Arrival stamps typically come from GenerateJobs
+// with a traffic.Spacing hook.
+type OpenLoop struct {
+	Jobs []Job
+	SLO  traffic.SLO
+}
+
+// JobLatency is one completed job's latency decomposition.
+type JobLatency struct {
+	ID int `json:"id"`
+	// Node is the first placement.
+	Node       int     `json:"node"`
+	ArrivalSec float64 `json:"arrival_sec"`
+	ExitSec    float64 `json:"exit_sec"`
+	// SojournSec is exit - arrival: admission queueing + service +
+	// migration delay, the quantity the SLO binds.
+	SojournSec float64 `json:"sojourn_sec"`
+	// Migrations and MigrationSec count the job's thread migrations and the
+	// modelled transformation latency they paid.
+	Migrations   int     `json:"migrations"`
+	MigrationSec float64 `json:"migration_sec"`
+}
+
+// OpenLoopResult extends the closed-loop Result with SLO accounting.
+type OpenLoopResult struct {
+	Result
+	Offered   int
+	Completed int
+	// ThroughputJobsPerSec is completions over the horizon (the makespan).
+	ThroughputJobsPerSec float64
+	// SLO is the latency report: exact p50/p95/p99, violations, budget.
+	SLO traffic.Report
+	// Jobs holds the per-job records in ID order.
+	Jobs []JobLatency
+
+	fingerprint string
+}
+
+// Fingerprint is a full-bit-precision digest of every engine-reproducible
+// observable: per-job placement and timing, migration counts and the SLO
+// report. The sequential and parallel engines must produce identical
+// fingerprints for the same workload (energy is excluded: the meter
+// integrates the same power over different interval boundaries, so its
+// totals agree only up to float association).
+func (r *OpenLoopResult) Fingerprint() string { return r.fingerprint }
+
+// openLoopDriver is the kernel.TimerSource that injects jobs at their
+// arrival instants and runs rebalance ticks, all in engine context so both
+// time engines reproduce the same schedule byte-for-byte.
+type openLoopDriver struct {
+	r       *Runner
+	st      *State
+	mgr     *ckpt.Manager
+	pending []Job
+	acct    *traffic.Accountant
+	byProc  map[*kernel.Process]*JobLatency
+	jobs    []JobLatency
+	done    int
+	nextReb float64
+	err     error
+}
+
+// olInf mirrors the engine's "never" time.
+const olInf = 1e30
+
+func (d *openLoopDriver) NextDue() float64 {
+	if d.err != nil {
+		return olInf
+	}
+	t := olInf
+	if len(d.pending) > 0 {
+		t = d.pending[0].Arrival
+	}
+	if d.r.Policy.Dynamic() && len(d.st.Active) > 0 && d.nextReb < t {
+		t = d.nextReb
+	}
+	return t
+}
+
+func (d *openLoopDriver) Fire(now float64) {
+	if d.err != nil {
+		return
+	}
+	d.retire()
+	for len(d.pending) > 0 && d.pending[0].Arrival <= now {
+		j := d.pending[0]
+		d.pending = d.pending[1:]
+		if err := d.admit(j, now); err != nil {
+			d.err = err
+			return
+		}
+	}
+	if d.r.Policy.Dynamic() && len(d.st.Active) > 0 && now >= d.nextReb {
+		d.st.Now = now
+		rebalance(d.st, d.r.Policy, d.r.Cooldown)
+		d.nextReb = now + d.r.RebalanceEvery
+	}
+}
+
+// admit builds, places and spawns one job at its arrival instant.
+func (d *openLoopDriver) admit(j Job, now float64) error {
+	img, err := npb.Build(j.Bench, j.Class, j.Threads)
+	if err != nil {
+		return err
+	}
+	node := place(d.st, d.r.Policy, j.Threads)
+	p, err := d.st.Cluster.Spawn(img, node)
+	if err != nil {
+		return err
+	}
+	if d.mgr != nil {
+		d.mgr.Track(p, img, d.r.Checkpoint)
+	}
+	d.st.Active = append(d.st.Active, &JobRun{
+		Job: j, Proc: p, Node: node, Started: now, lastMove: now,
+	})
+	d.jobs[j.ID] = JobLatency{ID: j.ID, Node: node, ArrivalSec: j.Arrival}
+	d.byProc[p] = &d.jobs[j.ID]
+	return nil
+}
+
+// retire sweeps completed jobs out of the active set and accounts their
+// latencies. Timestamps come from the kernel's exit instants, so it is
+// harmless that the sweep itself runs at event (or drain) granularity.
+func (d *openLoopDriver) retire() {
+	var live []*JobRun
+	for _, jr := range d.st.Active {
+		exited, _ := jr.Proc.Exited()
+		if !exited {
+			live = append(live, jr)
+			continue
+		}
+		if err := jr.Proc.Err(); err != nil {
+			d.err = fmt.Errorf("sched: open-loop job %d (%s.%s) failed: %w",
+				jr.Job.ID, jr.Job.Bench, jr.Job.Class, err)
+			live = append(live, jr)
+			continue
+		}
+		jl := d.byProc[jr.Proc]
+		delete(d.byProc, jr.Proc)
+		jl.ExitSec = jr.Proc.ExitTime()
+		jl.SojournSec = jl.ExitSec - jl.ArrivalSec
+		jr.Finished = jl.ExitSec
+		d.acct.Observe(jl.SojournSec)
+		d.done++
+	}
+	d.st.Active = live
+}
+
+// RunOpenLoop executes an open-loop workload to completion. Admission and
+// rebalancing are driven through the cluster's timer-event hookup, so the
+// whole run — placements, migrations, exits and the SLO report — is
+// byte-identical under the sequential and parallel engines (a timer source
+// pins the parallel engine to one inline group; see kernel/timer.go).
+func (r *Runner) RunOpenLoop(w OpenLoop) (*OpenLoopResult, error) {
+	if len(w.Jobs) == 0 {
+		return nil, fmt.Errorf("sched: open-loop workload has no jobs")
+	}
+	acct, err := traffic.NewAccountant(w.SLO)
+	if err != nil {
+		return nil, err
+	}
+	cl := r.Cluster
+	meter := power.NewMeter(cl, r.Models)
+	st := &State{Cluster: cl}
+
+	pending := append([]Job(nil), w.Jobs...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+	for i, j := range pending {
+		if j.ID < 0 || j.ID >= len(pending) {
+			return nil, fmt.Errorf("sched: open-loop job %d has ID %d outside [0, %d)", i, j.ID, len(pending))
+		}
+		if j.Arrival < 0 {
+			return nil, fmt.Errorf("sched: open-loop job %d arrives at negative time %g", j.ID, j.Arrival)
+		}
+	}
+
+	d := &openLoopDriver{
+		r: r, st: st, pending: pending, acct: acct,
+		byProc:  make(map[*kernel.Process]*JobLatency),
+		jobs:    make([]JobLatency, len(pending)),
+		nextReb: r.RebalanceEvery,
+	}
+	if r.Checkpoint.EveryPoints > 0 || r.Checkpoint.EverySeconds > 0 {
+		d.mgr = ckpt.NewManager(cl)
+		d.mgr.OnRestore = func(old, cur *kernel.Process, node int) {
+			for _, jr := range st.Active {
+				if jr.Proc == old {
+					jr.Proc = cur
+					jr.Node = node
+					jr.lastMove = cl.Time()
+				}
+			}
+			if jl, ok := d.byProc[old]; ok {
+				delete(d.byProc, old)
+				d.byProc[cur] = jl
+			}
+		}
+	}
+
+	migrations := 0
+	cl.OnMigration = func(ev kernel.MigrationEvent) {
+		migrations++
+		for p, jl := range d.byProc {
+			if p.Pid == ev.Pid {
+				jl.Migrations++
+				jl.MigrationSec += ev.XformSeconds
+				break
+			}
+		}
+	}
+
+	cl.SetTimerSource(d)
+	defer cl.SetTimerSource(nil)
+	for d.err == nil && d.done < len(pending) {
+		if !cl.Step() {
+			break
+		}
+	}
+	d.retire()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.done != len(pending) {
+		return nil, fmt.Errorf("sched: open-loop run drained with %d/%d jobs incomplete",
+			len(pending)-d.done, len(pending))
+	}
+
+	// The horizon is the last exit instant, not cl.Time(): the outer Step
+	// loop notices completion at engine granularity (quantum vs epoch), the
+	// kernel exits at the same instant under both.
+	horizon := 0.0
+	for i := range d.jobs {
+		if d.jobs[i].ExitSec > horizon {
+			horizon = d.jobs[i].ExitSec
+		}
+	}
+
+	res := &OpenLoopResult{
+		Result: Result{
+			Policy:     r.Policy.Name(),
+			Makespan:   horizon,
+			EnergyCPU:  meter.EnergyCPU(),
+			Migrations: migrations,
+		},
+		Offered:   len(pending),
+		Completed: d.done,
+		SLO:       acct.Report(),
+		Jobs:      d.jobs,
+	}
+	for _, e := range res.EnergyCPU {
+		res.EnergyTotal += e
+	}
+	res.EDP = res.EnergyTotal * res.Makespan
+	for i := range d.jobs {
+		res.JobSeconds += d.jobs[i].SojournSec
+	}
+	if res.Makespan > 0 {
+		res.ThroughputJobsPerSec = float64(res.Completed) / res.Makespan
+	}
+	if d.mgr != nil {
+		ms := d.mgr.Stats()
+		res.Checkpoints = ms.ImagesWritten
+		res.Restores = ms.Restores
+	}
+	res.fingerprint = openLoopFingerprint(res)
+	return res, nil
+}
+
+// openLoopFingerprint digests every engine-reproducible observable at full
+// bit precision.
+func openLoopFingerprint(res *OpenLoopResult) string {
+	var b strings.Builder
+	bits := func(v float64) uint64 { return math.Float64bits(v) }
+	fmt.Fprintf(&b, "policy=%s;jobs=%d;mig=%d;makespan=%016x;", res.Policy, res.Completed, res.Migrations, bits(res.Makespan))
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		fmt.Fprintf(&b, "j%d:n%d:a%016x:e%016x:m%d:x%016x;",
+			j.ID, j.Node, bits(j.ArrivalSec), bits(j.ExitSec), j.Migrations, bits(j.MigrationSec))
+	}
+	s := res.SLO
+	fmt.Fprintf(&b, "p50=%016x;p95=%016x;p99=%016x;mean=%016x;max=%016x;viol=%d;",
+		bits(s.P50Sec), bits(s.P95Sec), bits(s.P99Sec), bits(s.MeanSec), bits(s.MaxSec), s.Violations)
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Recorder is a streaming per-job latency recorder with an exact
+// deterministic quantile tracker: Observe is amortised O(1), quantiles are
+// computed from the full sample set on demand (nearest-rank on the
+// ascending order, so the answer is always an observed sample) and cached
+// until the next observation. Exactness matters here: the sequential and
+// parallel engines must produce bit-identical SLO reports, which an
+// approximate sketch with engine-dependent merge order could not guarantee.
+type Recorder struct {
+	samples []float64
+	sorted  []float64
+	clean   bool
+	sum     float64
+	max     float64
+}
+
+// Observe records one latency sample (seconds).
+func (r *Recorder) Observe(v float64) {
+	r.samples = append(r.samples, v)
+	r.clean = false
+	r.sum += v
+	if len(r.samples) == 1 || v > r.max {
+		r.max = v
+	}
+}
+
+// Count returns the number of samples observed.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean returns the running mean, 0 when empty.
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / float64(len(r.samples))
+}
+
+// Max returns the largest sample, 0 when empty.
+func (r *Recorder) Max() float64 { return r.max }
+
+// Quantile returns the exact q-quantile by the nearest-rank rule: the
+// ceil(q*n)-th smallest sample (clamped to the observed range, so q <= 0 is
+// the minimum and q >= 1 the maximum). Empty recorders return 0.
+func (r *Recorder) Quantile(q float64) float64 {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	if !r.clean {
+		r.sorted = append(r.sorted[:0], r.samples...)
+		sort.Float64s(r.sorted)
+		r.clean = true
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return r.sorted[idx]
+}
+
+// Summary is the recorder's digest: the latency shape the fleet studies
+// report per rollout wave.
+type Summary struct {
+	Count   int     `json:"count"`
+	MeanSec float64 `json:"mean_sec"`
+	MaxSec  float64 `json:"max_sec"`
+	P50Sec  float64 `json:"p50_sec"`
+	P95Sec  float64 `json:"p95_sec"`
+	P99Sec  float64 `json:"p99_sec"`
+}
+
+// Summary digests the recorder.
+func (r *Recorder) Summary() Summary {
+	return Summary{
+		Count:   r.Count(),
+		MeanSec: r.Mean(),
+		MaxSec:  r.Max(),
+		P50Sec:  r.Quantile(0.50),
+		P95Sec:  r.Quantile(0.95),
+		P99Sec:  r.Quantile(0.99),
+	}
+}
+
+// SLO is a per-job latency objective with an error budget: at most
+// BudgetFrac of jobs may exceed the latency target.
+type SLO struct {
+	// LatencyTargetSec is the per-job sojourn-time target (queueing +
+	// service + migration delay).
+	LatencyTargetSec float64 `json:"latency_target_sec"`
+	// BudgetFrac is the allowed violating fraction in [0, 1); a violation
+	// rate above it makes the accountant unhealthy.
+	BudgetFrac float64 `json:"budget_frac"`
+}
+
+// Validate rejects nonsensical objectives with actionable errors.
+func (s SLO) Validate() error {
+	if !(s.LatencyTargetSec > 0) || math.IsInf(s.LatencyTargetSec, 0) {
+		return fmt.Errorf("traffic: SLO needs a positive finite latency target (got %g s)", s.LatencyTargetSec)
+	}
+	if s.BudgetFrac < 0 || s.BudgetFrac >= 1 {
+		return fmt.Errorf("traffic: SLO error budget %g out of range [0, 1): it is the allowed violating fraction of jobs", s.BudgetFrac)
+	}
+	return nil
+}
+
+// Accountant tracks latency samples against an SLO.
+type Accountant struct {
+	slo        SLO
+	rec        Recorder
+	violations int
+}
+
+// NewAccountant builds an accountant for a validated SLO.
+func NewAccountant(s SLO) (*Accountant, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accountant{slo: s}, nil
+}
+
+// Observe records one job's latency and charges the budget if it violates.
+func (a *Accountant) Observe(latencySec float64) {
+	a.rec.Observe(latencySec)
+	if latencySec > a.slo.LatencyTargetSec {
+		a.violations++
+	}
+}
+
+// Violations returns the count of jobs over the latency target.
+func (a *Accountant) Violations() int { return a.violations }
+
+// ViolationRate returns the violating fraction, 0 when empty.
+func (a *Accountant) ViolationRate() float64 {
+	if a.rec.Count() == 0 {
+		return 0
+	}
+	return float64(a.violations) / float64(a.rec.Count())
+}
+
+// Healthy reports whether the violation rate is within the error budget.
+func (a *Accountant) Healthy() bool { return a.ViolationRate() <= a.slo.BudgetFrac }
+
+// BudgetRemaining returns the unspent fraction of the error budget (1 when
+// untouched, negative when overspent). A zero budget returns 1 while clean
+// and -1 on the first violation.
+func (a *Accountant) BudgetRemaining() float64 {
+	rate := a.ViolationRate()
+	if a.slo.BudgetFrac == 0 {
+		if rate > 0 {
+			return -1
+		}
+		return 1
+	}
+	return 1 - rate/a.slo.BudgetFrac
+}
+
+// Report is the accountant's digest, embedded in fleet study rows.
+type Report struct {
+	Summary
+	TargetSec       float64 `json:"target_sec"`
+	BudgetFrac      float64 `json:"budget_frac"`
+	Violations      int     `json:"violations"`
+	ViolationRate   float64 `json:"violation_rate"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	Healthy         bool    `json:"healthy"`
+}
+
+// Report digests the accountant.
+func (a *Accountant) Report() Report {
+	return Report{
+		Summary:         a.rec.Summary(),
+		TargetSec:       a.slo.LatencyTargetSec,
+		BudgetFrac:      a.slo.BudgetFrac,
+		Violations:      a.violations,
+		ViolationRate:   a.ViolationRate(),
+		BudgetRemaining: a.BudgetRemaining(),
+		Healthy:         a.Healthy(),
+	}
+}

@@ -1,0 +1,171 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteQuantile is the sort-all reference the recorder is cross-checked
+// against: nearest-rank on a full copy.
+func bruteQuantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+func TestRecorderMatchesBruteForce(t *testing.T) {
+	quants := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(400)
+		var rec Recorder
+		samples := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			var v float64
+			switch rng.Intn(4) {
+			case 0:
+				v = 0 // zero-latency jobs
+			case 1:
+				v = float64(rng.Intn(5)) * 1e-3 // heavy duplicates
+			default:
+				v = rng.ExpFloat64() * 1e-2
+			}
+			rec.Observe(v)
+			samples = append(samples, v)
+			// Interleave queries with observations so the cache
+			// invalidation path is exercised.
+			if i%17 == 0 {
+				for _, q := range quants {
+					if got, want := rec.Quantile(q), bruteQuantile(samples, q); got != want {
+						t.Fatalf("seed %d n %d q %g: recorder %g, brute force %g", seed, i+1, q, got, want)
+					}
+				}
+			}
+		}
+		for _, q := range quants {
+			if got, want := rec.Quantile(q), bruteQuantile(samples, q); got != want {
+				t.Fatalf("seed %d q %g: recorder %g, brute force %g", seed, q, got, want)
+			}
+		}
+		var sum, max float64
+		for _, v := range samples {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		if got := rec.Max(); got != max {
+			t.Fatalf("seed %d: max %g, want %g", seed, got, max)
+		}
+		if got, want := rec.Mean(), sum/float64(len(samples)); math.Abs(got-want) > 1e-15 {
+			t.Fatalf("seed %d: mean %g, want %g", seed, got, want)
+		}
+	}
+}
+
+func TestRecorderEdgeCases(t *testing.T) {
+	var empty Recorder
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 || empty.Max() != 0 || empty.Count() != 0 {
+		t.Error("empty recorder must report zeros")
+	}
+	var one Recorder
+	one.Observe(3.5)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := one.Quantile(q); got != 3.5 {
+			t.Errorf("single-sample quantile(%g) = %g, want 3.5", q, got)
+		}
+	}
+	var zeros Recorder
+	for i := 0; i < 10; i++ {
+		zeros.Observe(0)
+	}
+	if zeros.Quantile(0.99) != 0 || zeros.Max() != 0 {
+		t.Error("all-zero samples must report zero quantiles")
+	}
+}
+
+func TestSLOValidation(t *testing.T) {
+	cases := []struct {
+		slo SLO
+		ok  bool
+	}{
+		{SLO{LatencyTargetSec: 1e-3, BudgetFrac: 0.1}, true},
+		{SLO{LatencyTargetSec: 1e-3}, true},
+		{SLO{}, false},
+		{SLO{LatencyTargetSec: -1, BudgetFrac: 0.1}, false},
+		{SLO{LatencyTargetSec: 1e-3, BudgetFrac: 1}, false},
+		{SLO{LatencyTargetSec: 1e-3, BudgetFrac: -0.1}, false},
+		{SLO{LatencyTargetSec: math.Inf(1)}, false},
+	}
+	for _, c := range cases {
+		err := c.slo.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%+v: unexpected error %v", c.slo, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%+v: validation passed, want error", c.slo)
+		}
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	a, err := NewAccountant(SLO{LatencyTargetSec: 1.0, BudgetFrac: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Healthy() || a.BudgetRemaining() != 1 {
+		t.Error("fresh accountant must be healthy with a full budget")
+	}
+	// 3 good, 1 violating: rate 0.25 == budget, still healthy, budget spent.
+	for _, v := range []float64{0.5, 0.9, 1.0, 1.5} {
+		a.Observe(v)
+	}
+	if a.Violations() != 1 {
+		t.Fatalf("violations = %d, want 1 (target is exclusive: 1.0 is not a violation)", a.Violations())
+	}
+	if got := a.ViolationRate(); got != 0.25 {
+		t.Fatalf("violation rate = %g, want 0.25", got)
+	}
+	if !a.Healthy() {
+		t.Error("rate at budget must still be healthy")
+	}
+	if got := a.BudgetRemaining(); math.Abs(got) > 1e-12 {
+		t.Errorf("budget remaining = %g, want 0", got)
+	}
+	a.Observe(2.0)
+	if a.Healthy() {
+		t.Error("rate above budget must be unhealthy")
+	}
+	rep := a.Report()
+	if rep.Violations != 2 || rep.Healthy || rep.Count != 5 || rep.TargetSec != 1.0 {
+		t.Errorf("report %+v inconsistent", rep)
+	}
+	if rep.P99Sec != 2.0 {
+		t.Errorf("report p99 = %g, want 2.0", rep.P99Sec)
+	}
+
+	zero, err := NewAccountant(SLO{LatencyTargetSec: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero.Observe(0.5)
+	if !zero.Healthy() || zero.BudgetRemaining() != 1 {
+		t.Error("zero-budget accountant must stay healthy while clean")
+	}
+	zero.Observe(1.5)
+	if zero.Healthy() || zero.BudgetRemaining() != -1 {
+		t.Error("zero-budget accountant must go unhealthy on the first violation")
+	}
+}

@@ -1,0 +1,200 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func specFor(k Kind, rate float64, seed int64) Spec {
+	return Spec{Kind: k, Rate: rate, Seed: seed}
+}
+
+// Same seed must produce a byte-identical arrival stream; a different seed
+// must not.
+func TestSourceDeterminism(t *testing.T) {
+	const n = 500
+	for _, k := range Kinds() {
+		a, err := NewSource(specFor(k, 1000, 42))
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		b, err := NewSource(specFor(k, 1000, 42))
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		c, err := NewSource(specFor(k, 1000, 43))
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		sa, sb, sc := a.Arrivals(n), b.Arrivals(n), c.Arrivals(n)
+		diff := false
+		for i := 0; i < n; i++ {
+			if math.Float64bits(sa[i]) != math.Float64bits(sb[i]) {
+				t.Fatalf("%s: same seed diverged at arrival %d: %x vs %x",
+					k, i, math.Float64bits(sa[i]), math.Float64bits(sb[i]))
+			}
+			if sa[i] != sc[i] {
+				diff = true
+			}
+		}
+		if !diff {
+			t.Errorf("%s: seeds 42 and 43 produced identical streams", k)
+		}
+	}
+}
+
+// Arrival instants must be strictly increasing and positive.
+func TestSourceMonotone(t *testing.T) {
+	for _, k := range Kinds() {
+		src, err := NewSource(specFor(k, 500, 7))
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		prev := 0.0
+		for i, a := range src.Arrivals(2000) {
+			if a <= prev {
+				t.Fatalf("%s: arrival %d at %g not after %g", k, i, a, prev)
+			}
+			prev = a
+		}
+	}
+}
+
+// Property: over 200 seeds, each process's empirical rate matches the
+// analytic mean rate Rate within tolerance. Per-seed estimates may wander
+// (the bursty process especially), but the across-seed mean must converge.
+func TestSourceMeanRate(t *testing.T) {
+	const (
+		rate  = 1000.0
+		n     = 1500
+		seeds = 200
+	)
+	for _, k := range Kinds() {
+		var sum float64
+		for seed := int64(0); seed < seeds; seed++ {
+			src, err := NewSource(specFor(k, rate, seed))
+			if err != nil {
+				t.Fatalf("%s: %v", k, err)
+			}
+			arr := src.Arrivals(n)
+			est := float64(n) / arr[n-1]
+			sum += est
+			if est < rate/3 || est > rate*3 {
+				t.Errorf("%s seed %d: empirical rate %.1f wildly off %g", k, seed, est, rate)
+			}
+		}
+		mean := sum / seeds
+		if rel := math.Abs(mean-rate) / rate; rel > 0.05 {
+			t.Errorf("%s: mean empirical rate %.1f deviates %.1f%% from analytic %g",
+				k, mean, rel*100, rate)
+		}
+	}
+}
+
+// The bursty process must actually be burstier than Poisson: its
+// inter-arrival coefficient of variation is well above 1.
+func TestBurstyIsBursty(t *testing.T) {
+	cv := func(k Kind) float64 {
+		src, err := NewSource(specFor(k, 1000, 11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		arr := src.Arrivals(20000)
+		var sum, sumsq float64
+		prev := 0.0
+		for _, a := range arr {
+			d := a - prev
+			prev = a
+			sum += d
+			sumsq += d * d
+		}
+		n := float64(len(arr))
+		mean := sum / n
+		varr := sumsq/n - mean*mean
+		return math.Sqrt(varr) / mean
+	}
+	p, b := cv(KindPoisson), cv(KindBursty)
+	if p < 0.9 || p > 1.1 {
+		t.Errorf("poisson CV %.2f not ~1", p)
+	}
+	if b < 1.5*p {
+		t.Errorf("bursty CV %.2f not clearly above poisson CV %.2f", b, p)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"poisson ok", Spec{Kind: KindPoisson, Rate: 100}, true},
+		{"diurnal ok", Spec{Kind: KindDiurnal, Rate: 100}, true},
+		{"bursty ok", Spec{Kind: KindBursty, Rate: 100}, true},
+		{"unknown kind", Spec{Kind: "fractal", Rate: 100}, false},
+		{"zero rate", Spec{Kind: KindPoisson}, false},
+		{"negative rate", Spec{Kind: KindPoisson, Rate: -5}, false},
+		{"amplitude 1", Spec{Kind: KindDiurnal, Rate: 100, Amplitude: 1}, false},
+		{"amplitude negative", Spec{Kind: KindDiurnal, Rate: 100, Amplitude: -0.5}, false},
+		{"negative period", Spec{Kind: KindDiurnal, Rate: 100, PeriodSec: -1}, false},
+		{"burst factor below 1", Spec{Kind: KindBursty, Rate: 100, BurstFactor: 0.5}, false},
+		{"negative sojourn", Spec{Kind: KindBursty, Rate: 100, MeanCalmSec: -1}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: validation passed, want error", c.name)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := ParseKind(string(k))
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %q, %v", k, got, err)
+		}
+	}
+	if got, err := ParseKind(" Poisson "); err != nil || got != KindPoisson {
+		t.Errorf("ParseKind with case/space = %q, %v", got, err)
+	}
+	if _, err := ParseKind("uniform"); err == nil {
+		t.Error("ParseKind(uniform) passed, want error")
+	}
+}
+
+// Spacing must reproduce the source's stream as deltas and leave the
+// generator rng untouched.
+func TestSpacingAdapter(t *testing.T) {
+	src, err := NewSource(specFor(KindPoisson, 1000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewSource(specFor(KindPoisson, 1000, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Arrivals(100)
+	sp := Spacing(src)
+	rng := rand.New(rand.NewSource(1))
+	before := rng.Int63()
+	rng = rand.New(rand.NewSource(1))
+	total := 0.0
+	for i := 0; i < 100; i++ {
+		d := sp(rng, i)
+		if d <= 0 {
+			t.Fatalf("spacing %d not positive: %g", i, d)
+		}
+		total += d
+		if math.Abs(total-want[i]) > 1e-12*want[i] {
+			t.Fatalf("spacing sum %g at %d, want arrival %g", total, i, want[i])
+		}
+	}
+	if rng.Int63() != before {
+		t.Error("Spacing consumed the generator rng; the job mix would shift with the arrival process")
+	}
+}
