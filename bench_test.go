@@ -503,9 +503,9 @@ func (m *rackSchedModel) Frontier() float64 {
 	}
 	return f
 }
-func (m *rackSchedModel) NoteFrontier()    { m.last = m.Frontier() }
-func (m *rackSchedModel) Groups() [][]int  { return m.groups }
-func (m *rackSchedModel) ParallelOK() bool { return true }
+func (m *rackSchedModel) NoteFrontier()                 { m.last = m.Frontier() }
+func (m *rackSchedModel) Groups() [][]int               { return m.groups }
+func (m *rackSchedModel) Horizon(start float64) float64 { return sim.Inf }
 
 // BenchmarkEngineSequentialVsParallel compares the two time engines on the
 // scheduling load of 2-, 4- and 8-node racks. The quanta/s metric is the

@@ -13,6 +13,7 @@
 //	hdcinspect -ckpt is.ckpt -pages              # ... plus resident page map
 //	hdcinspect -repro internal/fuzz/testdata/crash-....c  # replay a fuzz repro
 //	hdcinspect -member views.json                # membership view matrix
+//	hdcinspect -groups groups.json               # sharing-group partition
 //	hdcinspect -topo fattree -nodes 12 -racks 4 -oversub 4  # fabric dump
 //
 // -topo builds the named fabric, dumps every route hop by hop, runs a
@@ -63,6 +64,7 @@ func main() {
 	pages := flag.Bool("pages", false, "with -ckpt: list the resident DSM pages (sweep-audit view)")
 	reproPath := flag.String("repro", "", "fuzz corpus entry to replay through the differential oracle")
 	memberPath := flag.String("member", "", "membership view dump (hdcrun -member-out) to render")
+	groupsPath := flag.String("groups", "", "sharing-group dump (hdcrun -groups-out) to render")
 	topoKind := flag.String("topo", "", "fabric kind to dump (fattree)")
 	topoNodes := flag.Int("nodes", 12, "with -topo: node count")
 	topoRacks := flag.Int("racks", 0, "with -topo: rack count (0: default)")
@@ -76,6 +78,10 @@ func main() {
 	}
 	if *memberPath != "" {
 		inspectMember(*memberPath)
+		return
+	}
+	if *groupsPath != "" {
+		inspectGroups(*groupsPath)
 		return
 	}
 	if *topoKind != "" {
@@ -327,6 +333,70 @@ func inspectRepro(path string) {
 		os.Exit(1)
 	}
 	fmt.Println("\nall modes byte-identical")
+}
+
+// inspectGroups renders a sharing-group dump (kernel.GroupDump JSON from
+// hdcrun -groups-out): the partition the parallel engine would fan out at
+// the sampled instant, and for each multi-node group the per-layer merges
+// that folded it — whether process footprints (threads, DSM residents,
+// pending migrations), in-flight messages, or shared fabric uplinks carried
+// the sharing. The merge list is a spanning forest, so a group of k nodes
+// always shows exactly k-1 merges.
+func inspectGroups(path string) {
+	data, err := os.ReadFile(path)
+	fatal(err)
+	var d kernel.GroupDump
+	fatal(json.Unmarshal(data, &d))
+	if d.Nodes <= 0 || len(d.Groups) == 0 {
+		fatal(fmt.Errorf("%s: not a sharing-group dump (nodes=%d, groups=%d)", path, d.Nodes, len(d.Groups)))
+	}
+
+	fmt.Printf("sharing-group dump %s: %d nodes in %d groups at t=%.6fs\n\n",
+		path, d.Nodes, len(d.Groups), d.Time)
+	groupOf := make([]int, d.Nodes)
+	for g, nodes := range d.Groups {
+		for _, n := range nodes {
+			if n < 0 || n >= d.Nodes {
+				fatal(fmt.Errorf("%s: node %d out of range", path, n))
+			}
+			groupOf[n] = g
+		}
+	}
+	perGroup := make([]map[string]int, len(d.Groups))
+	totals := map[string]int{}
+	for _, m := range d.Merges {
+		g := groupOf[m.A]
+		if perGroup[g] == nil {
+			perGroup[g] = map[string]int{}
+		}
+		perGroup[g][m.Layer]++
+		totals[m.Layer]++
+	}
+	layers := []string{"footprint", "in-flight", "fabric"}
+	for g, nodes := range d.Groups {
+		fmt.Printf("group %-3d %v", g, nodes)
+		if len(nodes) > 1 {
+			var parts []string
+			for _, l := range layers {
+				if c := perGroup[g][l]; c > 0 {
+					parts = append(parts, fmt.Sprintf("%s x%d", l, c))
+				}
+			}
+			fmt.Printf("  folded by: %s", strings.Join(parts, ", "))
+		}
+		fmt.Println()
+	}
+	if len(d.Merges) > 0 {
+		fmt.Println("\nmerges (a spanning forest of the sharing graph):")
+		for _, m := range d.Merges {
+			fmt.Printf("  %-9s joined nodes %d and %d\n", m.Layer, m.A, m.B)
+		}
+	}
+	var parts []string
+	for _, l := range layers {
+		parts = append(parts, fmt.Sprintf("%s %d", l, totals[l]))
+	}
+	fmt.Printf("\nmerges by layer: %s\n", strings.Join(parts, ", "))
 }
 
 // inspectMember renders a membership dump (member.ViewDump JSON from hdcrun

@@ -42,6 +42,13 @@
 //	    -partition-node arm -partition-at 3e-4 -partition-heal 8e-4 \
 //	    -member-out views.json
 //
+// Sharing groups: -groups-out writes the coarsest sharing-group partition
+// the parallel engine would have seen during the run — the partition plus
+// the per-layer merges (process footprints, in-flight traffic, fabric
+// racks) that forced it — as kernel.GroupDump JSON for hdcinspect -groups:
+//
+//	hdcrun -bench is -class S -migrate-at 0.5 -groups-out groups.json
+//
 // Fabric: -topo fattree routes the testbed's traffic over a rack/spine
 // fabric instead of the flat pipe (-racks and -oversub shape it; on the
 // two-node testbed each node becomes its own rack) and prints per-link
@@ -243,6 +250,7 @@ func main() {
 	partitionHeal := flag.Float64("partition-heal", 0, "partition heal time in simulated seconds (<= start means never)")
 	partitionOneWay := flag.Bool("partition-oneway", false, "cut only the isolated node's outbound legs")
 	memberOut := flag.String("member-out", "", "write the final membership view dump as JSON to this file (needs -detector)")
+	groupsOut := flag.String("groups-out", "", "write the coarsest sharing-group partition the run produced (kernel.GroupDump JSON, for hdcinspect -groups)")
 	topoKind := flag.String("topo", "flat", "interconnect fabric: flat (the testbed's single pipe) or fattree")
 	topoRacks := flag.Int("racks", 0, "fattree: rack count (0: default)")
 	topoOversub := flag.Float64("oversub", 0, "fattree: ToR uplink oversubscription ratio (0: default)")
@@ -388,6 +396,20 @@ func main() {
 
 	cur := p
 	requested := false
+	// The coarsest partition the run produced is the interesting one: it
+	// shows which layers (footprints, in-flight traffic, fabric racks) were
+	// folding nodes together when sharing peaked.
+	var coarsest *kernel.GroupDump
+	sampleGroups := func() {
+		if *groupsOut == "" {
+			return
+		}
+		if gs := cl.Groups(); coarsest == nil || len(gs) < len(coarsest.Groups) {
+			groups, merges := cl.GroupReport()
+			coarsest = &kernel.GroupDump{Time: cl.Time(), Nodes: len(cl.Kernels),
+				Groups: groups, Merges: merges}
+		}
+	}
 	for {
 		if mgr != nil {
 			cur = mgr.Current(p)
@@ -402,11 +424,20 @@ func main() {
 			cl.RequestProcessMigration(cur, target)
 			requested = true
 		}
+		sampleGroups()
 		if !cl.Step() {
 			fatal(fmt.Errorf("cluster drained before exit"))
 		}
 	}
 	fatal(cur.Err())
+
+	if *groupsOut != "" {
+		sampleGroups()
+		data, jerr := json.MarshalIndent(coarsest, "", "  ")
+		fatal(jerr)
+		fatal(os.WriteFile(*groupsOut, append(data, '\n'), 0o644))
+		fmt.Printf("wrote sharing-group dump to %s\n", *groupsOut)
+	}
 
 	if *ckptOut != "" {
 		data := mgr.LatestImage(p)

@@ -75,9 +75,10 @@ func runDetectorOnce(cfg Config, b npb.Bench, k npb.Class, plan fault.Plan,
 	}
 	cl := core.NewTestbed()
 	if cfg.Engine == "par" || cfg.Engine == "parallel" {
-		// A membership service (like a tracer) pins ParallelOK to a single
-		// inline group, so this exercises the parallel engine's fallback
-		// path; results are byte-identical either way.
+		// The SWIM detector is group-local while quiet, so the parallel
+		// engine keeps sharing groups concurrent between protocol actions
+		// and collapses only around the crash and its suspicion machinery;
+		// results are byte-identical either way.
 		cl.UseParallelEngine(0)
 	}
 	cl.InjectFaults(plan)

@@ -1,0 +1,168 @@
+package fuzz
+
+import (
+	"testing"
+
+	"heterodc/internal/core"
+	"heterodc/internal/isa"
+	"heterodc/internal/kernel"
+	"heterodc/internal/member"
+	"heterodc/internal/topo"
+)
+
+// rackBouncer is the scenario's TimerSource: every period it re-requests a
+// pair-local migration for each live job, so the cross-ISA migration
+// machinery runs continuously while each job's footprint stays confined to
+// its two home nodes. Firings read global state (the engine consumes them
+// as horizon hazards), but between firings NextDue is pure.
+type rackBouncer struct {
+	period, next, until float64
+	cl                  *kernel.Cluster
+	jobs                []*kernel.Process
+	home                []int
+}
+
+func (t *rackBouncer) NextDue() float64 {
+	if t.next > t.until {
+		return 1e30
+	}
+	return t.next
+}
+
+func (t *rackBouncer) Fire(now float64) {
+	for t.next <= now {
+		t.next += t.period
+	}
+	bounce := int(now/t.period) % 2
+	for i, p := range t.jobs {
+		if e, _ := p.Exited(); e {
+			continue
+		}
+		_ = t.cl.RequestMigration(p, 0, t.home[i]+bounce)
+	}
+}
+
+// TestEngineDeterminismMemberTimerFatTree is the all-layers determinism
+// scenario: SWIM membership, a timer source and an oversubscribed fat-tree
+// fabric attached at once — the configuration that used to pin the old
+// ParallelOK() false and collapse the parallel engine to one inline group.
+// Two jobs bounce pair-locally in different racks, so the sharing partition
+// must actually fan out (>1 group at some instant of the parallel run)
+// while every observable — per-job output, migration counts, interconnect
+// counters, membership protocol counters, fence counters, executed quanta —
+// stays byte-identical to the sequential reference.
+func TestEngineDeterminismMemberTimerFatTree(t *testing.T) {
+	img := loadSeedImage(t)
+	_, points, refSec := runPlain(img, core.NodeX86, 2.0)
+	cap := refSec*4 + float64(points)*5e-3 + 2.0
+
+	// 4 racks x 2 nodes; jobs live in racks 0 and 2. Their single-rack
+	// groups never fold through the fabric (private access links only), so
+	// only an in-flight cross-rack probe can transiently join them.
+	arches := []isa.Arch{
+		isa.X86, isa.ARM64, isa.X86, isa.ARM64,
+		isa.X86, isa.ARM64, isa.X86, isa.ARM64,
+	}
+	homes := []int{0, 4}
+
+	type groupRun struct {
+		jobs      []RunResult
+		ic        interface{}
+		member    member.Stats
+		fenced    uint64
+		stale     uint64
+		quanta    uint64
+		maxGroups int
+	}
+	run := func(engine string) groupRun {
+		cl, fab, err := kernel.NewClusterTopo(arches, kernel.DefaultInterconnect(),
+			topo.Spec{Kind: topo.KindFatTree, Racks: 4, Oversub: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if fab == nil {
+			t.Fatalf("%s: fat tree installed no fabric", engine)
+		}
+		if engine == "par" {
+			cl.UseParallelEngine(0)
+		}
+		svc, err := member.Attach(cl, member.Config{HeartbeatPeriod: 20e-3, Seed: 11})
+		if err != nil {
+			t.Fatalf("%s: attach: %v", engine, err)
+		}
+		var jobs []*kernel.Process
+		for _, nd := range homes {
+			p, perr := cl.Spawn(img, nd)
+			if perr != nil {
+				t.Fatalf("%s: spawn on node %d: %v", engine, nd, perr)
+			}
+			jobs = append(jobs, p)
+		}
+		cl.SetTimerSource(&rackBouncer{
+			period: refSec / 6, next: refSec / 6, until: cap,
+			cl: cl, jobs: jobs, home: homes,
+		})
+		// Advance both engines through the same fixed simulated instants:
+		// Run(t) stops every node at exactly the sequential point, so state
+		// sampled between calls — including the group partition — is
+		// engine-comparable, and the final counters are read at the same
+		// simulated time on both sides.
+		r := groupRun{}
+		const samples = 50
+		for i := 1; i <= samples; i++ {
+			cl.Run(cap * float64(i) / samples)
+			if g := cl.Groups(); len(g) > r.maxGroups {
+				r.maxGroups = len(g)
+			}
+		}
+		for _, p := range jobs {
+			if e, _ := p.Exited(); !e {
+				t.Fatalf("%s: job still running at the %gs cap", engine, cap)
+			}
+		}
+		for i, p := range jobs {
+			r.jobs = append(r.jobs, finish(p, engine, false))
+			if !r.jobs[i].OK {
+				t.Fatalf("%s: job %d failed: exit %d", engine, i, r.jobs[i].Exit)
+			}
+		}
+		r.ic = cl.IC.Stats()
+		r.member = svc.Stats()
+		r.fenced, r.stale = cl.FenceStats()
+		r.quanta = cl.Quanta()
+		return r
+	}
+
+	seq, par := run("seq"), run("par")
+	for i := range seq.jobs {
+		if !equalRun(seq.jobs[i], par.jobs[i]) {
+			t.Errorf("job %d diverges: seq exit=%d %dB (%s); par exit=%d %dB (%s)",
+				i, seq.jobs[i].Exit, len(seq.jobs[i].Output), seq.jobs[i].Digest(),
+				par.jobs[i].Exit, len(par.jobs[i].Output), par.jobs[i].Digest())
+		}
+		if seq.jobs[i].Migrations != par.jobs[i].Migrations {
+			t.Errorf("job %d migration counts diverge: seq %d, par %d",
+				i, seq.jobs[i].Migrations, par.jobs[i].Migrations)
+		}
+		if seq.jobs[i].Migrations < 2 {
+			t.Errorf("job %d only migrated %d times; the bounce never engaged",
+				i, seq.jobs[i].Migrations)
+		}
+	}
+	if seq.ic != par.ic {
+		t.Errorf("interconnect stats diverge:\nseq %+v\npar %+v", seq.ic, par.ic)
+	}
+	if seq.member != par.member {
+		t.Errorf("membership stats diverge:\nseq %+v\npar %+v", seq.member, par.member)
+	}
+	if seq.fenced != par.fenced || seq.stale != par.stale {
+		t.Errorf("fence counters diverge: seq %d/%d, par %d/%d",
+			seq.fenced, seq.stale, par.fenced, par.stale)
+	}
+	if seq.quanta != par.quanta {
+		t.Errorf("executed quanta diverge: seq %d, par %d", seq.quanta, par.quanta)
+	}
+	if par.maxGroups < 2 {
+		t.Errorf("parallel run never partitioned: max %d group(s); membership+timer+fabric should leave rack-local jobs concurrent", par.maxGroups)
+	}
+}

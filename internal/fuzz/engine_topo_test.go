@@ -30,8 +30,9 @@ func loadSeedImage(t *testing.T) *link.Image {
 
 // TestEngineDeterminismFatTree bounces a corpus program across racks of a
 // 2-rack fat tree on both engines. The shared ToR uplinks make the fabric
-// contended, so the parallel engine must refuse to shard the rack — and
-// with that pin in place every observable, including the interconnect
+// contended, so the sharing-group partition must fold the two racks the
+// bounce spans into one group (they contend on the same uplinks) — and
+// with that fold in place every observable, including the interconnect
 // counters whose delivery times now come from the fabric's queueing, must
 // stay byte-identical between engines.
 func TestEngineDeterminismFatTree(t *testing.T) {
@@ -48,8 +49,11 @@ func TestEngineDeterminismFatTree(t *testing.T) {
 		if fab == nil {
 			t.Fatalf("%s: fat tree installed no fabric", engine)
 		}
-		if cl.ParallelOK() {
-			t.Errorf("%s: a contended fabric must pin the parallel engine to one group", engine)
+		if groups := cl.Groups(); len(groups) != len(arches) {
+			// Before any work is spawned nothing shares: each idle node is
+			// its own group even on the contended fabric (single-rack groups
+			// ride only their private access links).
+			t.Errorf("%s: idle fat-tree cluster groups = %v, want one group per node", engine, groups)
 		}
 		if engine == "par" {
 			cl.UseParallelEngine(0)

@@ -318,7 +318,7 @@ func (k *Kernel) ckptMaybeCapture(p *Process) {
 	st.lastAt = k.now
 	snap, err := k.cluster.snapshotProcess(p, k.now)
 	if err != nil {
-		k.cluster.tracef(k.now, "ckpt-skip", "pid %d: %v", p.Pid, err)
+		k.cluster.tracefNode(k.Node, k.now, "ckpt-skip", "pid %d: %v", p.Pid, err)
 		k.releaseParked(p, 0)
 		return
 	}
@@ -327,7 +327,7 @@ func (k *Kernel) ckptMaybeCapture(p *Process) {
 	// a capture latency above the interval must not re-trigger immediately.
 	st.lastAt = k.now + lat
 	k.ServiceSeconds += lat
-	k.cluster.tracef(k.now, "ckpt", "pid %d: %d pages, %d threads, ~%d bytes, %.0fµs stop-the-world",
+	k.cluster.tracefNode(k.Node, k.now, "ckpt", "pid %d: %d pages, %d threads, ~%d bytes, %.0fµs stop-the-world",
 		p.Pid, len(snap.Pages), len(snap.Threads), snap.ApproxBytes(), lat*1e6)
 	k.releaseParked(p, lat)
 	if k.cluster.OnCheckpoint != nil {
@@ -376,12 +376,14 @@ func (cl *Cluster) abortCheckpoints(now float64, node int) {
 			continue
 		}
 		inSet := false
-		for _, n := range cl.footprint(p) {
+		fp, fs := cl.footprint(p)
+		for _, n := range fp {
 			if n == node {
 				inSet = true
 				break
 			}
 		}
+		fs.release()
 		if !inSet {
 			continue
 		}
@@ -393,7 +395,7 @@ func (cl *Cluster) abortCheckpoints(now float64, node int) {
 			cl.Kernels[t.Node].enqueue(t)
 			released++
 		}
-		cl.tracef(now, "ckpt-skip", "pid %d: capture aborted by node transition (%d threads released)", p.Pid, released)
+		cl.tracefNode(node, now, "ckpt-skip", "pid %d: capture aborted by node transition (%d threads released)", p.Pid, released)
 	}
 }
 
@@ -619,7 +621,7 @@ func (cl *Cluster) RestoreProcess(img *link.Image, s *Snapshot, node int) (*Proc
 	}
 	kd.ServiceSeconds += lat
 	cl.procs = append(cl.procs, p)
-	cl.tracef(kd.now, "restore", "pid %d from pid %d image (t=%.6fs): %d pages, %d/%d threads live on node %d (%s), %.0fµs",
+	cl.tracefNode(kd.Node, kd.now, "restore", "pid %d from pid %d image (t=%.6fs): %d pages, %d/%d threads live on node %d (%s), %.0fµs",
 		p.Pid, s.Pid, s.When, len(s.Pages), restored, len(s.Threads), node, kd.Arch, lat*1e6)
 	return p, nil
 }

@@ -50,18 +50,21 @@ type Cluster struct {
 	events   [][]nodeEvent
 	eventIdx []int
 
-	// member is the installed lease-based membership service (nil: failure
-	// is read from the NodeDown oracle as before). incarnation[node] is the
-	// node's current incarnation (starts at 1, bumped when it rejoins after
-	// a declared death); deadInc[node] the highest incarnation declared dead
-	// by a detector (0: never). messagesFenced counts deliveries dropped by
-	// the incarnation fence; staleUnfenced counts stale-incarnation messages
-	// delivered anyway (structurally zero, asserted by chaos experiments).
+	// member is the installed membership service (nil: failure is read from
+	// the NodeDown oracle as before). incarnation[node] is the node's
+	// current incarnation (starts at 1, bumped when it rejoins after a
+	// declared death); deadInc[node] the highest incarnation declared dead
+	// by a detector (0: never). messagesFenced[node] counts deliveries to
+	// node dropped by the incarnation fence; staleUnfenced[node] counts
+	// stale-incarnation messages delivered anyway (structurally zero,
+	// asserted by chaos experiments). The counters are sharded by receiving
+	// node so the fence stays group-local under the parallel engine;
+	// FenceStats sums them at a barrier.
 	member         Membership
 	incarnation    []uint64
 	deadInc        []uint64
-	messagesFenced uint64
-	staleUnfenced  uint64
+	messagesFenced []uint64
+	staleUnfenced  []uint64
 
 	// timer is the installed TimerSource (nil: none), the open-loop traffic
 	// driver's hookup into the engine's control-event stream; see timer.go.
@@ -82,6 +85,27 @@ type Cluster struct {
 	// request path, whose pending targets join the sharing set first.
 	parGroups bool
 	groupOf   []int
+
+	// Groups() scratch, reused across barriers so the per-epoch partition
+	// allocates nothing in steady state (barriers run every epoch; the
+	// garbage otherwise dominates the parallel engine's allocation profile).
+	ufParent   []int
+	ufMark     []bool
+	ufIdx      []int
+	ufFirstDom []int
+	ufMulti    []bool
+	domAnchor  []int
+	groupArena []int
+	groupList  [][]int
+	// Union state threaded through ufUnion as fields rather than closure
+	// captures: per-window closures are the one allocation the partition
+	// would otherwise make. pendingVisit/gpVisit are built once and reused;
+	// ufOnMerge is non-nil only during a GroupReport.
+	ufLayer      string
+	ufOnMerge    func(layer string, a, b int)
+	pendingVisit func(*msg.Message)
+	gpVisit      func(int)
+	gpTo         int
 }
 
 // nodeEvent is a scheduled crash or recovery transition from a fault plan.
@@ -197,10 +221,40 @@ func (cl *Cluster) SetTracer(s msg.EventSink) {
 	cl.IC.SetTracer(s)
 }
 
+// tracef records an event that has no single owning node (experiment-level
+// annotations); it lands in the sink's global stream.
 func (cl *Cluster) tracef(t float64, kind, format string, args ...interface{}) {
 	if cl.Tracer != nil {
 		cl.Tracer.Record(t, kind, fmt.Sprintf(format, args...))
 	}
+}
+
+// tracefNode records an event produced by node's own schedule. When the
+// sink keeps per-node streams (msg.NodeSink) the event lands in node's
+// shard, which is what keeps tracing sound inside grouped parallel
+// windows: each node's stream is engine-invariant, and the sink merges
+// shards canonically on read. A sink without per-node streams instead
+// collapses the engine (see Horizon), so Record here is always serial.
+func (cl *Cluster) tracefNode(node int, t float64, kind, format string, args ...interface{}) {
+	if cl.Tracer == nil {
+		return
+	}
+	if ns, ok := cl.Tracer.(msg.NodeSink); ok {
+		ns.RecordNode(node, t, kind, fmt.Sprintf(format, args...))
+		return
+	}
+	cl.Tracer.Record(t, kind, fmt.Sprintf(format, args...))
+}
+
+// Quanta returns the total scheduling quanta executed across all kernels.
+// Call it only between engine steps (each kernel's counter has a single
+// writer — its sharing-group worker — inside a parallel window).
+func (cl *Cluster) Quanta() uint64 {
+	var q uint64
+	for _, k := range cl.Kernels {
+		q += k.Quanta
+	}
+	return q
 }
 
 // NodeDown reports whether node is currently crashed.
@@ -220,7 +274,7 @@ func (cl *Cluster) CrashNode(node int) {
 		return
 	}
 	k.down = true
-	cl.tracef(k.now, "crash", "node %d down", node)
+	cl.tracefNode(node, k.now, "crash", "node %d down", node)
 	if cl.member != nil {
 		cl.member.NodeCrashed(node, k.now)
 	}
@@ -256,7 +310,7 @@ func (cl *Cluster) CrashNode(node int) {
 			cl.IC.Requeue(m, recoverAt+Quantum)
 			continue
 		}
-		cl.tracef(k.now, "msg-lost", "type %d for dead node %d", m.Type, node)
+		cl.tracefNode(node, k.now, "msg-lost", "type %d for dead node %d", m.Type, node)
 	}
 	// A capture in progress cannot complete across the disruption (parked
 	// threads would wait on threads frozen here); release it and retry a
@@ -277,7 +331,7 @@ func (cl *Cluster) CrashNode(node int) {
 			}
 		}
 		for _, p := range lost {
-			cl.tracef(k.now, "proc-lost", "pid %d stranded by permanent crash of node %d", p.Pid, node)
+			cl.tracefNode(node, k.now, "proc-lost", "pid %d stranded by permanent crash of node %d", p.Pid, node)
 			k.killProcess(p, fmt.Errorf("pid %d: %w (node %d)", p.Pid, ErrNodeLost, node))
 			cl.OnProcessLost(p, node)
 		}
@@ -322,13 +376,13 @@ func (cl *Cluster) RecoverNode(node int) {
 	cl.abortCheckpoints(k.now, node)
 	if cl.deadInc != nil && cl.deadInc[node] >= cl.incarnation[node] {
 		cl.incarnation[node]++
-		cl.tracef(k.now, "rejoin", "node %d rejoins as incarnation %d (declared dead as %d)",
+		cl.tracefNode(node, k.now, "rejoin", "node %d rejoins as incarnation %d (declared dead as %d)",
 			node, cl.incarnation[node], cl.deadInc[node])
 	}
 	if cl.member != nil {
 		cl.member.NodeRecovered(node, cl.incarnation[node], k.now)
 	}
-	cl.tracef(k.now, "recover", "node %d up (%d threads thawed)", node, len(k.runq))
+	cl.tracefNode(node, k.now, "recover", "node %d up (%d threads thawed)", node, len(k.runq))
 }
 
 // applyNodeEvent executes one scheduled crash/recovery transition.
@@ -343,8 +397,14 @@ func (cl *Cluster) applyNodeEvent(ev nodeEvent) {
 }
 
 // engine returns the attached time engine, defaulting to the sequential
-// reference backend on first use.
+// reference backend on first use. Every driver entry (Step, Run, AdvanceTo)
+// funnels through here, which makes it the one place to drop a stale
+// grouped-execution flag: an observer calling Groups() between steps — a
+// test assertion, an inspector dump — must not leave the next sequential
+// quantum believing it runs inside a parallel window. The parallel backend
+// re-derives the flag for every window it fans out.
 func (cl *Cluster) engine() sim.Engine {
+	cl.parGroups = false
 	if cl.eng == nil {
 		cl.eng = sim.NewSequential(cl)
 	}
@@ -422,7 +482,8 @@ func (cl *Cluster) RunProcess(p *Process) (int64, error) {
 // exist on (or between) footprint nodes, so unrelated nodes are untouched
 // and the teardown stays group-local under the parallel engine.
 func (cl *Cluster) reapProcess(p *Process) {
-	nodes := cl.footprint(p)
+	nodes, fs := cl.footprint(p)
+	defer fs.release()
 	for _, t := range p.threads {
 		t.State = Exited
 	}

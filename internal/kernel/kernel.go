@@ -53,6 +53,11 @@ type Kernel struct {
 	now      float64
 	sleepers sleepHeap
 
+	// Quanta counts executed scheduling quanta on this kernel. Each kernel
+	// bumps only its own counter (single writer even under the parallel
+	// engine); Cluster.Quanta sums them at a barrier.
+	Quanta uint64
+
 	// Accounting for the power model and load traces.
 	BusySeconds    float64 // core-seconds spent executing threads
 	ServiceSeconds float64 // core-seconds spent in kernel services (DSM)
@@ -160,6 +165,7 @@ const inf = 1e30
 // step advances the kernel by one quantum: deliver due messages, wake due
 // sleepers, dispatch, and run every busy core for the quantum.
 func (k *Kernel) step() {
+	k.Quanta++
 	end := k.now + Quantum
 
 	// Deliver due messages.

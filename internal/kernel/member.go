@@ -14,11 +14,14 @@ import (
 )
 
 // Membership is the failure-detector hook a cluster drives. A service
-// (internal/member's lease detector) leases each node's liveness via
-// heartbeats charged through the interconnect and maintains per-observer
-// suspicion state. All calls happen on the engine's scheduling order —
-// installing a service pins the parallel engine to a single inline group
-// (see ParallelOK), so implementations need no locking.
+// (internal/member's SWIM or lease detector) assesses each node's liveness
+// via probes or heartbeats charged through the interconnect and maintains
+// per-observer suspicion state. Protocol actions (RunDue, Deliver on a
+// non-quiet service, crash/recovery observations) always execute in the
+// global sequential order — the cluster's Horizon clamps parallel windows
+// to the next due action — so implementations need no locking for those.
+// Only services that additionally implement GroupLocal ever see Deliver
+// called from concurrent sharing-group workers, and then only while Quiet.
 type Membership interface {
 	// NextDue returns the simulated time of node's next membership action
 	// (heartbeat emission or suspicion-deadline check), or >= sim.Inf.
@@ -42,6 +45,23 @@ type Membership interface {
 	NodeRecovered(node int, inc uint64, now float64)
 }
 
+// GroupLocal is the optional Membership extension that lets the parallel
+// engine keep running sharing groups concurrently with the service
+// installed. A group-local service keeps all per-node state indexed by the
+// acting node (single writer inside a window) and answers Quiet: whether
+// the protocol currently holds no global-order machinery — no outstanding
+// probes, every view and every gossip entry Alive, no deferred verdicts.
+// While quiet, the only cross-node activity is payload traffic whose
+// endpoints Groups() folds together (via the in-flight scan and
+// msg.GroupPeers), and the service's next protocol action bounds the
+// cluster's Horizon, so grouped windows provably preserve quietness. A
+// service that is not quiet — or does not implement GroupLocal at all,
+// like the legacy lease detector — collapses the engine to one inline
+// group, exactly the pre-refactor behaviour.
+type GroupLocal interface {
+	Quiet() bool
+}
+
 // initMembership sizes the incarnation registry; every node starts life as
 // incarnation 1 and deadInc 0 ("never declared dead"), so the fence admits
 // everything until a detector actually declares a death.
@@ -52,6 +72,8 @@ func (cl *Cluster) initMembership() {
 		cl.incarnation[i] = 1
 	}
 	cl.deadInc = make([]uint64, n)
+	cl.messagesFenced = make([]uint64, n)
+	cl.staleUnfenced = make([]uint64, n)
 }
 
 // SetMembership installs a membership service. Pass nil to detach and fall
@@ -84,7 +106,7 @@ func (cl *Cluster) RejoinNode(node int, at float64) uint64 {
 	}
 	if cl.deadInc[node] >= cl.incarnation[node] {
 		cl.incarnation[node]++
-		cl.tracef(at, "rejoin", "node %d outlived its declared death, rejoins as incarnation %d", node, cl.incarnation[node])
+		cl.tracefNode(node, at, "rejoin", "node %d outlived its declared death, rejoins as incarnation %d", node, cl.incarnation[node])
 	}
 	return cl.incarnation[node]
 }
@@ -114,9 +136,17 @@ func (cl *Cluster) NodeUnavailable(node int) bool {
 // FenceStats returns the incarnation-fence counters: messages dropped for
 // addressing a declared-dead incarnation, and stale-incarnation messages
 // that were delivered anyway (structurally impossible — the counter exists
-// so chaos experiments can assert it stayed zero).
+// so chaos experiments can assert it stayed zero). The counters are
+// sharded by receiving node (single writer inside a parallel window); the
+// sums here are exact between engine steps.
 func (cl *Cluster) FenceStats() (fenced, staleUnfenced uint64) {
-	return cl.messagesFenced, cl.staleUnfenced
+	for _, v := range cl.messagesFenced {
+		fenced += v
+	}
+	for _, v := range cl.staleUnfenced {
+		staleUnfenced += v
+	}
+	return fenced, staleUnfenced
 }
 
 // admitIncarnation applies the incarnation fence to a delivered payload
@@ -127,8 +157,8 @@ func (cl *Cluster) FenceStats() (fenced, staleUnfenced uint64) {
 // elsewhere.
 func (cl *Cluster) admitIncarnation(k *Kernel, mt msg.Type, inc uint64) bool {
 	if inc <= cl.deadInc[k.Node] {
-		cl.messagesFenced++
-		cl.tracef(k.now, "fenced", "type %d message for dead incarnation %d of node %d (now %d)",
+		cl.messagesFenced[k.Node]++
+		cl.tracefNode(k.Node, k.now, "fenced", "type %d message for dead incarnation %d of node %d (now %d)",
 			mt, inc, k.Node, cl.incarnation[k.Node])
 		return false
 	}
@@ -136,7 +166,7 @@ func (cl *Cluster) admitIncarnation(k *Kernel, mt msg.Type, inc uint64) bool {
 		// A stale incarnation that was never declared dead cannot exist
 		// (incarnations only advance by declared-death rejoins), but count
 		// defensively: the chaos acceptance check asserts this stays zero.
-		cl.staleUnfenced++
+		cl.staleUnfenced[k.Node]++
 	}
 	return true
 }
@@ -164,7 +194,7 @@ func (cl *Cluster) DeclareNodeDead(node int, at float64) {
 		return
 	}
 	cl.deadInc[node] = cl.incarnation[node]
-	cl.tracef(at, "declare-dead", "node %d incarnation %d declared dead", node, cl.incarnation[node])
+	cl.tracefNode(node, at, "declare-dead", "node %d incarnation %d declared dead", node, cl.incarnation[node])
 
 	k := cl.Kernels[node]
 	var lost []*Process
@@ -179,7 +209,7 @@ func (cl *Cluster) DeclareNodeDead(node int, at float64) {
 			p.Mems[node].DropPage(pg << mem.PageShift)
 		}
 		if len(dropped) > 0 || len(lostPages) > 0 {
-			cl.tracef(at, "dsm-sweep", "pid %d: node %d swept (%d copies dropped, %d exclusive pages lost)",
+			cl.tracefNode(node, at, "dsm-sweep", "pid %d: node %d swept (%d copies dropped, %d exclusive pages lost)",
 				p.Pid, node, len(dropped), len(lostPages))
 		}
 		if p.Origin == node || len(lostPages) > 0 || cl.hasThreadOn(p, node) {
@@ -187,7 +217,7 @@ func (cl *Cluster) DeclareNodeDead(node int, at float64) {
 		}
 	}
 	for _, p := range lost {
-		cl.tracef(at, "proc-lost", "pid %d stranded by declared death of node %d", p.Pid, node)
+		cl.tracefNode(node, at, "proc-lost", "pid %d stranded by declared death of node %d", p.Pid, node)
 		k.killProcess(p, fmt.Errorf("pid %d: %w (node %d declared dead)", p.Pid, ErrNodeLost, node))
 		if cl.OnProcessLost != nil {
 			cl.OnProcessLost(p, node)

@@ -88,7 +88,7 @@ func (cl *Cluster) rehome(mp *migratePayload, now float64) {
 		return
 	}
 	src := cl.abortMigration(t, mp.undo)
-	cl.tracef(now, "migrate-rehome", "tid %d of pid %d back to node %d", t.Tid, t.Proc.Pid, mp.undo.node)
+	cl.tracefNode(mp.undo.node, now, "migrate-rehome", "tid %d of pid %d back to node %d", t.Tid, t.Proc.Pid, mp.undo.node)
 	src.enqueue(t)
 }
 
@@ -147,7 +147,7 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 			k.vdsoSetFlag(p, t.Tid, 0)
 			c.SetSyscallResult(0)
 			k.MigrationsAborted++
-			cl.tracef(k.now, "migrate-abort", "tid %d of pid %d: node %d lease expired", t.Tid, p.Pid, target)
+			cl.tracefNode(k.Node, k.now, "migrate-abort", "tid %d of pid %d: node %d lease expired", t.Tid, p.Pid, target)
 			return false
 		}
 	} else if cl.NodeDown(target) {
@@ -156,7 +156,7 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 		k.vdsoSetFlag(p, t.Tid, 0)
 		c.SetSyscallResult(0)
 		k.MigrationsAborted++
-		cl.tracef(k.now, "migrate-abort", "tid %d of pid %d: node %d is down", t.Tid, p.Pid, target)
+		cl.tracefNode(k.Node, k.now, "migrate-abort", "tid %d of pid %d: node %d is down", t.Tid, p.Pid, target)
 		return false
 	}
 	if !p.Img.Aligned {
@@ -264,7 +264,7 @@ func (k *Kernel) migrateThread(cs *coreSlot, target int) bool {
 		// reliable channel burned trying is real — the thread sleeps it off
 		// before resuming at the migration point.
 		cl.abortMigration(t, undo)
-		cl.tracef(k.now, "migrate-abort", "tid %d of pid %d: transfer to node %d failed", t.Tid, p.Pid, target)
+		cl.tracefNode(k.Node, k.now, "migrate-abort", "tid %d of pid %d: transfer to node %d failed", t.Tid, p.Pid, target)
 		if sentAt > k.now {
 			k.sleep(t, sentAt)
 		} else {

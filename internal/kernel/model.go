@@ -3,7 +3,14 @@ package kernel
 // This file adapts Cluster to sim.Model, the interface the extracted time
 // engines (internal/sim) schedule against. The sequential backend reproduces
 // the loop Cluster.Step used to own; the parallel backend additionally needs
-// the sharing-group partition computed here.
+// the sharing-group partition and the soundness horizon computed here.
+
+import (
+	"sync"
+
+	"heterodc/internal/msg"
+	"heterodc/internal/sim"
+)
 
 // NumNodes returns the cluster's node count.
 func (cl *Cluster) NumNodes() int { return len(cl.Kernels) }
@@ -95,8 +102,12 @@ func (cl *Cluster) Frontier() float64 { return cl.Time() }
 
 // NoteFrontier publishes the frontier to the OnAdvance observer. The engine
 // calls it only sequentially or at an epoch barrier, so observers (the power
-// meter) see a monotone frontier without locking.
+// meter) see a monotone frontier without locking. A barrier also ends any
+// grouped window, so the grouped-execution flag drops here: inline work the
+// engine runs after the barrier (the parallel Run overrun tail) follows the
+// global sequential rule and must not see a stale window partition.
 func (cl *Cluster) NoteFrontier() {
+	cl.parGroups = false
 	if f := cl.Time(); f > cl.lastFrontier {
 		cl.lastFrontier = f
 		if cl.OnAdvance != nil {
@@ -105,26 +116,79 @@ func (cl *Cluster) NoteFrontier() {
 	}
 }
 
-// ParallelOK reports whether group-parallel execution is sound right now.
-// Five observers force the global sequential order: a tracer (its event log
-// is a totally ordered transcript), the process-lost handler (a permanent
-// crash scans and may kill processes in every group), a membership
-// service (its all-to-all heartbeat fabric makes every node pair "might
-// interact" — the sharing relation is the complete graph, so the only sound
-// partition is one group), a contended interconnect fabric (a rack/
-// spine topology shares ToR uplinks between node pairs, so disjoint groups
-// would race on link occupancy), and a timer source (its firings read and
-// steer global state — an open-loop arrival placement weighs every node's
-// load). OnAdvance is fine — the engine samples the
-// frontier only at barriers, and the power meter integrates energy from
-// counter deltas, so totals are unchanged.
-func (cl *Cluster) ParallelOK() bool {
-	ok := cl.OnProcessLost == nil && cl.Tracer == nil && cl.member == nil &&
-		cl.timer == nil && !cl.IC.Contended()
-	if !ok {
-		cl.parGroups = false
+// Horizon reports when group-parallel execution stops being sound for a
+// window starting at start (sim.Model). Earlier revisions answered a
+// cruder question — ParallelOK, a global bool that any of five observers
+// (tracer, process-lost handler, membership service, contended fabric,
+// timer source) pinned false, degrading the parallel engine to one inline
+// group whenever any of them was installed. Each observer is now handled
+// at its own layer, and what remains global is a *time*, not a verdict:
+//
+//   - Tracer: sound inside grouped windows when the sink keeps per-node
+//     streams (msg.NodeSink — each node's stream is engine-invariant and
+//     the sink merges canonically on read). A plain EventSink still
+//     collapses: its single transcript is a total order.
+//   - Membership: sound between protocol actions when the service is
+//     group-local (GroupLocal) and quiet — every view Alive, no pending
+//     suspicion machinery — because then grouped windows only move
+//     heartbeats whose endpoints Groups() already folded together, and
+//     quietness is preserved until the next protocol action. The actions
+//     themselves (probe rounds, deadline checks) read global order, so the
+//     next due instant bounds the horizon. A non-quiet or non-group-local
+//     service collapses.
+//   - Timer: firings read and steer global state (an arrival placement
+//     weighs every node's load), so each firing bounds the horizon; between
+//     firings NextDue is pure and the timer holds no other state.
+//   - Crash/recovery events: group-local on their own (PR 4/5 semantics),
+//     but with a membership service or process-lost handler installed the
+//     transition feeds global observers, so each scheduled event bounds
+//     the horizon.
+//   - A contended fabric constrains Groups() (rack-sharing partitions fold)
+//     rather than the horizon — unless it cannot name its sharing domains
+//     (msg.SharingDomains), in which case it collapses.
+//
+// OnAdvance needs nothing: the engine samples the frontier only at
+// barriers, and the power meter integrates energy from counter deltas.
+func (cl *Cluster) Horizon(start float64) float64 {
+	// Until Groups() runs for the next window, migration sees one group.
+	cl.parGroups = false
+	if cl.Tracer != nil {
+		if _, ok := cl.Tracer.(msg.NodeSink); !ok {
+			return sim.NegInf
+		}
 	}
-	return ok
+	if cl.member != nil {
+		gl, ok := cl.member.(GroupLocal)
+		if !ok || !gl.Quiet() {
+			return sim.NegInf
+		}
+	}
+	if cl.IC.Contended() {
+		if _, ok := cl.IC.Path().(msg.SharingDomains); !ok {
+			return sim.NegInf
+		}
+	}
+	hz := inf
+	if cl.member != nil {
+		for n := range cl.Kernels {
+			if d := cl.member.NextDue(n); d < hz {
+				hz = d
+			}
+		}
+	}
+	if cl.timer != nil {
+		if d := cl.timer.NextDue(); d < hz {
+			hz = d
+		}
+	}
+	if cl.member != nil || cl.OnProcessLost != nil {
+		for n := range cl.Kernels {
+			if d := cl.crashEventTime(n); d < hz {
+				hz = d
+			}
+		}
+	}
+	return hz
 }
 
 // markFootprint marks every node in p's sharing set: nodes the kernel could
@@ -132,8 +196,17 @@ func (cl *Cluster) ParallelOK() bool {
 // (filesystem and break authority), every live thread's host, the source of
 // any migration in flight (a destination crash rehomes the thread there),
 // every node holding resident DSM pages (transfer/invalidation endpoints),
-// and the target of any requested-but-unconsumed migration.
+// and the target of any requested-but-unconsumed migration. A program that
+// can issue direct migrate syscalls (link.Image.DirectMigrate) claims the
+// whole cluster: any quantum may name any node as a destination, and the
+// sequential order lets it go there.
 func (cl *Cluster) markFootprint(p *Process, mark []bool) {
+	if p.Img != nil && p.Img.DirectMigrate {
+		for n := range mark {
+			mark[n] = true
+		}
+		return
+	}
 	mark[p.Origin] = true
 	for _, t := range p.threads {
 		if t.State == Exited {
@@ -156,42 +229,130 @@ func (cl *Cluster) markFootprint(p *Process, mark []bool) {
 	}
 }
 
-// footprint returns p's sharing set as a sorted node list.
-func (cl *Cluster) footprint(p *Process) []int {
-	mark := make([]bool, len(cl.Kernels))
+// footprintScratch recycles the mark/node buffers footprint burns through.
+// It is a sync.Pool, not cluster-owned scratch, because footprint's main
+// caller is reapProcess, which group workers run concurrently — each caller
+// needs its own buffers, but a process exit per epoch must not cost two
+// heap allocations forever.
+var footprintScratch = sync.Pool{New: func() interface{} { return &fpScratch{} }}
+
+type fpScratch struct {
+	mark  []bool
+	nodes []int
+}
+
+// release recycles the scratch; the node list footprint returned with it is
+// dead afterwards.
+func (fs *fpScratch) release() { footprintScratch.Put(fs) }
+
+// footprint returns p's sharing set as a sorted node list valid until the
+// returned scratch is released.
+func (cl *Cluster) footprint(p *Process) ([]int, *fpScratch) {
+	fs := footprintScratch.Get().(*fpScratch)
+	n := len(cl.Kernels)
+	if cap(fs.mark) < n {
+		fs.mark = make([]bool, n)
+		fs.nodes = make([]int, 0, n)
+	}
+	mark := fs.mark[:n]
+	for i := range mark {
+		mark[i] = false
+	}
 	cl.markFootprint(p, mark)
-	nodes := make([]int, 0, len(mark))
-	for n, m := range mark {
+	out := fs.nodes[:0]
+	for i, m := range mark {
 		if m {
-			nodes = append(nodes, n)
+			out = append(out, i)
 		}
 	}
-	return nodes
+	fs.nodes = out
+	return out, fs
 }
 
 // Groups partitions the nodes into sharing groups: the connected components
-// of the union of all live processes' footprints. Disjoint groups share no
-// mutable state — kernels, run queues, DSM directories, per-link and
-// per-node interconnect shards — so the parallel engine may run them
-// concurrently. Both the list and each group are sorted ascending.
-func (cl *Cluster) Groups() [][]int {
+// of the union of three per-layer sharing contributions —
+//
+//  1. every live process's footprint (threads, DSM residents, migrations);
+//  2. every in-flight message's endpoints, plus any extra nodes its payload
+//     names (msg.GroupPeers — a SWIM indirect probe in flight binds its
+//     relay to both the origin and the target). This folds membership
+//     traffic: within a window a node only ever sends to peers it already
+//     shares a pending message with, by induction from the barrier state;
+//  3. when the fabric is contended, its sharing domains (racks): two
+//     multi-rack groups that touch the same rack share that rack's ToR
+//     uplinks, so they fold into one. Single-rack groups ride only their
+//     own access links and never fold — which is exactly why a rack-local
+//     workload scales with the rack count even on an oversubscribed
+//     fat-tree.
+//
+// Disjoint groups then share no mutable state — kernels, run queues, DSM
+// directories, per-link and per-node interconnect shards, per-node trace
+// and fence shards — so the parallel engine may run them concurrently.
+// Both the list and each group are sorted ascending. All scratch is
+// cluster-owned and reused: barriers run every epoch and this must not
+// allocate in steady state.
+func (cl *Cluster) Groups() [][]int { return cl.groups(nil) }
+
+// GroupMerge records one union the partition performed: the two nodes whose
+// components were joined and the layer that forced it ("footprint",
+// "in-flight" or "fabric"). The merge list is a spanning forest of the
+// sharing graph — every group of size k appears as exactly k-1 merges — so
+// it explains why the partition is as coarse as it is: remove a layer's
+// merges and the groups it folded fall apart.
+type GroupMerge struct {
+	A     int    `json:"a"`
+	B     int    `json:"b"`
+	Layer string `json:"layer"`
+}
+
+// GroupDump is the serialisable form of one GroupReport sample: the
+// partition at a simulated instant plus the merges that explain it. hdcrun
+// -groups-out writes the coarsest sample a run produced; hdcinspect -groups
+// renders it.
+type GroupDump struct {
+	Time   float64      `json:"time"`
+	Nodes  int          `json:"nodes"`
+	Groups [][]int      `json:"groups"`
+	Merges []GroupMerge `json:"merges"`
+}
+
+// GroupReport is the explained form of Groups(): the partition plus the
+// per-layer merges that produced it. Unlike Groups, the returned slices are
+// freshly allocated and safe to retain.
+func (cl *Cluster) GroupReport() ([][]int, []GroupMerge) {
+	var merges []GroupMerge
+	gs := cl.groups(func(layer string, a, b int) {
+		merges = append(merges, GroupMerge{A: a, B: b, Layer: layer})
+	})
+	out := make([][]int, len(gs))
+	for i, g := range gs {
+		out[i] = append([]int(nil), g...)
+	}
+	return out, merges
+}
+
+// groups computes the partition; onMerge (nil on the hot path) observes
+// every effective union with the layer that asked for it.
+func (cl *Cluster) groups(onMerge func(layer string, a, b int)) [][]int {
 	n := len(cl.Kernels)
 	if len(cl.groupOf) != n {
 		cl.groupOf = make([]int, n)
+		cl.ufParent = make([]int, n)
+		cl.ufMark = make([]bool, n)
+		cl.ufIdx = make([]int, n)
+		cl.ufFirstDom = make([]int, n)
+		cl.ufMulti = make([]bool, n)
+		cl.groupArena = make([]int, n)
 	}
-	parent := make([]int, n)
+	parent := cl.ufParent
 	for i := range parent {
 		parent[i] = i
 	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	mark := make([]bool, n)
+	cl.ufOnMerge = onMerge
+	cl.ufLayer = "footprint"
+
+	// 1. Process footprints.
+	mark := cl.ufMark
 	for _, p := range cl.procs {
 		if p.exited {
 			continue
@@ -209,31 +370,158 @@ func (cl *Cluster) Groups() [][]int {
 				first = i
 				continue
 			}
-			ra, rb := find(first), find(i)
-			if ra != rb {
-				if rb < ra {
-					ra, rb = rb, ra
-				}
-				parent[rb] = ra
+			cl.ufUnion(first, i)
+		}
+	}
+
+	// 2. In-flight messages. Heartbeats and probes between barrier and
+	// delivery bind their endpoints (and payload-named peers) into one
+	// group, which is what lets a quiet membership service ride inside
+	// grouped windows instead of completing the sharing graph.
+	cl.ufLayer = "in-flight"
+	if cl.pendingVisit == nil {
+		cl.gpVisit = func(peer int) {
+			if nn := len(cl.Kernels); peer >= 0 && peer < nn && cl.gpTo >= 0 && cl.gpTo < nn {
+				cl.ufUnion(cl.gpTo, peer)
+			}
+		}
+		cl.pendingVisit = func(m *msg.Message) {
+			nn := len(cl.Kernels)
+			if m.From >= 0 && m.From < nn && m.To >= 0 && m.To < nn {
+				cl.ufUnion(m.From, m.To)
+			}
+			if gp, ok := m.Payload.(msg.GroupPeers); ok {
+				cl.gpTo = m.To
+				gp.GroupPeers(cl.gpVisit)
 			}
 		}
 	}
-	groups := make([][]int, 0, n)
-	idx := make([]int, n)
+	cl.IC.ForEachPending(cl.pendingVisit)
+
+	// 3. Fabric sharing domains: fold multi-rack groups that share a rack.
+	cl.ufLayer = "fabric"
+	if cl.IC.Contended() {
+		if dom, ok := cl.IC.Path().(msg.SharingDomains); ok {
+			cl.foldDomains(dom)
+		}
+	}
+	cl.ufOnMerge = nil
+
+	// Ascending scan with min-root union keeps every group sorted and the
+	// group list ordered by smallest member. The groups share one arena and
+	// the list header is reused, so a stable partition costs zero heap.
+	idx := cl.ufIdx
 	for i := range idx {
 		idx[i] = -1
 	}
-	// Ascending scan with min-root union keeps every group sorted and the
-	// group list ordered by smallest member.
+	groups := cl.groupList[:0]
 	for i := 0; i < n; i++ {
-		r := find(i)
-		if idx[r] < 0 {
+		if r := ufFind(parent, i); idx[r] < 0 {
 			idx[r] = len(groups)
 			groups = append(groups, nil)
 		}
-		cl.groupOf[i] = idx[r]
-		groups[idx[r]] = append(groups[idx[r]], i)
 	}
+	if cap(cl.groupArena) < n {
+		cl.groupArena = make([]int, n)
+	}
+	arena := cl.groupArena[:n]
+	// Two passes over the arena: group sizes first (borrowing the arena as
+	// the counters), then offsets and fill, so each group is a contiguous
+	// ascending sub-slice and a stable partition costs zero heap.
+	counts := arena[:len(groups)]
+	for g := range counts {
+		counts[g] = 0
+	}
+	for i := 0; i < n; i++ {
+		g := idx[ufFind(parent, i)]
+		cl.groupOf[i] = g
+		counts[g]++
+	}
+	off := 0
+	for g, c := range counts {
+		groups[g] = arena[off : off : off+c]
+		off += c
+	}
+	for i := 0; i < n; i++ {
+		g := cl.groupOf[i]
+		groups[g] = append(groups[g], i)
+	}
+	cl.groupArena = arena
+	cl.groupList = groups
 	cl.parGroups = len(groups) > 1
 	return groups
+}
+
+// ufFind is the union-find root lookup with path halving.
+// ufUnion joins a's and b's components (min root wins, keeping groups
+// sorted), reporting an effective merge to ufOnMerge with the layer that
+// asked for it. A method over cluster fields, not a closure, so the hot
+// path stays allocation-free.
+func (cl *Cluster) ufUnion(a, b int) {
+	parent := cl.ufParent
+	ra, rb := ufFind(parent, a), ufFind(parent, b)
+	if ra != rb {
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		if cl.ufOnMerge != nil {
+			cl.ufOnMerge(cl.ufLayer, a, b)
+		}
+	}
+}
+
+func ufFind(parent []int, x int) int {
+	for parent[x] != x {
+		parent[x] = parent[parent[x]]
+		x = parent[x]
+	}
+	return x
+}
+
+// foldDomains merges groups whose routes could contend on a shared fabric
+// link. A group confined to one rack uses only its members' private access
+// links; a group spanning racks also uses the ToR uplinks of every rack it
+// touches. So two groups must fold exactly when both span multiple racks
+// and touch a common rack — transitively, via one anchor root per domain.
+func (cl *Cluster) foldDomains(dom msg.SharingDomains) {
+	n := len(cl.Kernels)
+	parent := cl.ufParent
+	firstDom := cl.ufFirstDom
+	multi := cl.ufMulti
+	for i := 0; i < n; i++ {
+		firstDom[i] = -1
+		multi[i] = false
+	}
+	for i := 0; i < n; i++ {
+		r := ufFind(parent, i)
+		d := dom.Domain(i)
+		if firstDom[r] < 0 {
+			firstDom[r] = d
+		} else if firstDom[r] != d {
+			multi[r] = true
+		}
+	}
+	nd := dom.NumDomains()
+	if cap(cl.domAnchor) < nd {
+		cl.domAnchor = make([]int, nd)
+	}
+	anchor := cl.domAnchor[:nd]
+	for d := range anchor {
+		anchor[d] = -1
+	}
+	for i := 0; i < n; i++ {
+		if !multi[ufFind(parent, i)] {
+			continue
+		}
+		d := dom.Domain(i)
+		if d < 0 || d >= nd {
+			continue
+		}
+		if anchor[d] < 0 {
+			anchor[d] = i
+		} else {
+			cl.ufUnion(anchor[d], i)
+		}
+	}
 }

@@ -229,7 +229,7 @@ func (k *Kernel) wakeJoiner(j *Thread, result int64) {
 		&wakePayload{t: j, result: result, inc: k.cluster.incarnation[j.Node]}); !ok {
 		// The joiner's node never comes back; the joiner stays blocked and
 		// the cluster drains, surfacing the deadlock to the caller.
-		k.cluster.tracef(k.now, "wake-lost", "join wake for tid %d to node %d undeliverable", j.Tid, j.Node)
+		k.cluster.tracefNode(k.Node, k.now, "wake-lost", "join wake for tid %d to node %d undeliverable", j.Tid, j.Node)
 	}
 }
 

@@ -25,9 +25,12 @@ type TimerSource interface {
 
 // SetTimerSource installs (or with nil removes) the cluster's timer source.
 // The timer is anchored to node 0's event stream but its actions read
-// global state (an arrival placement weighs every node's load), so an
-// installed timer pins ParallelOK: the parallel engine degrades to one
-// inline all-nodes group and stays byte-identical to the sequential
+// global state (an arrival placement weighs every node's load), so each
+// firing bounds the cluster's Horizon: the parallel engine clamps grouped
+// windows to the next due instant and consumes the firing in the exact
+// sequential order, then fans back out. Between firings NextDue is pure
+// and the timer holds no other engine-visible state, so groups still run
+// concurrently and results stay byte-identical to the sequential
 // reference.
 func (cl *Cluster) SetTimerSource(ts TimerSource) { cl.timer = ts }
 

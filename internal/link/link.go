@@ -16,6 +16,7 @@ import (
 	"heterodc/internal/isa"
 	"heterodc/internal/mem"
 	"heterodc/internal/stackmap"
+	"heterodc/internal/sys"
 )
 
 // Func is one function's code placed at its final address for one ISA.
@@ -106,6 +107,17 @@ type Image struct {
 	// TextEnd / DataEnd record the highest used addresses (max across ISAs).
 	TextEnd uint64
 	DataEnd uint64
+
+	// DirectMigrate reports that the program can issue a migrate syscall
+	// outside the scheduler's vDSO handshake: some function other than the
+	// prelude wrapper and the __migrate_check shim traps SysMigrate, calls
+	// the wrapper, or takes its address (so an indirect call or spawn could
+	// reach it). The parallel engine gives such processes a whole-cluster
+	// sharing footprint — a self-directed migrate may target any node at any
+	// quantum, and refusing one mid-window would diverge from the sequential
+	// order. Scheduler-driven workloads (RequestMigration + vDSO flag) never
+	// set this and keep their sharing groups narrow.
+	DirectMigrate bool
 }
 
 // Options configures linking.
@@ -122,7 +134,8 @@ func (e *LinkError) Error() string { return "link: " + e.msg }
 
 // Link lays out art into an Image.
 func Link(name string, art *compiler.Artifact, opts Options) (*Image, error) {
-	img := &Image{Name: name, Module: art.Module, Aligned: opts.Aligned}
+	img := &Image{Name: name, Module: art.Module, Aligned: opts.Aligned,
+		DirectMigrate: scanDirectMigrate(art.Module)}
 
 	nFuncs := len(art.Funcs[isa.X86])
 	if nFuncs != len(art.Funcs[isa.ARM64]) {
@@ -262,6 +275,40 @@ func Link(name string, art *compiler.Artifact, opts Options) (*Image, error) {
 	// (once per arch) into the same FuncInfo... they must not be shared.
 	// compiler.lowerFunc builds a fresh FuncInfo per arch, so this is safe.
 	return img, nil
+}
+
+// scanDirectMigrate detects whether m can issue a migrate syscall outside
+// the vDSO handshake. The runtime's __migrate_check shim traps SysMigrate
+// inline (never through the prelude wrapper), so its occurrence there is the
+// one sanctioned site; anywhere else — a user function that inlined the
+// wrapper, a direct call to it, or its address escaping into an indirect
+// call or spawn — means the program itself decides when and where to
+// migrate. Syscall numbers are literal at the IR level (__syscall requires
+// a constant), so the scan is exact, not a heuristic.
+func scanDirectMigrate(m *ir.Module) bool {
+	for _, f := range m.Funcs {
+		self := f.Name == "migrate" || f.Name == "__migrate_check"
+		for _, b := range f.Blocks {
+			for i := range b.Instrs {
+				in := &b.Instrs[i]
+				switch in.Kind {
+				case ir.KSyscall:
+					if in.Imm == sys.SysMigrate && !self {
+						return true
+					}
+				case ir.KCall:
+					if in.Sym == "migrate" {
+						return true
+					}
+				case ir.KGlobalAddr:
+					if in.Sym == "migrate" {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
 }
 
 func (img *Image) resolve(arch isa.Arch, sym string) (uint64, error) {

@@ -93,6 +93,20 @@ type swimPayload struct {
 	tgtInc, tgtEpoch uint64
 
 	updates []update
+	// tainted marks a frame counted in Service.airborne (it carries a
+	// non-Alive update); cleared at first delivery so a duplicated frame
+	// never decrements twice.
+	tainted bool
+}
+
+// GroupPeers names the nodes a frame in flight can still touch beyond its
+// endpoints (msg.GroupPeers): the relay chain of an indirect probe runs
+// witness -> target -> witness -> origin, so a pending ping-req binds the
+// origin and target into the receiver's sharing group; by induction every
+// message a grouped window sends stays inside one group.
+func (p *swimPayload) GroupPeers(add func(node int)) {
+	add(p.origin)
+	add(p.target)
 }
 
 // view is one observer's materialized record for one target. Records exist
@@ -128,8 +142,13 @@ type pollState struct {
 }
 
 // Service is the SWIM membership service attached to one cluster. It keeps
-// plain unlocked state: installing it forces the engines into a single
-// global schedule (see kernel.Cluster.ParallelOK), so all calls are serial.
+// plain unlocked state, indexed by the acting node: protocol actions
+// (RunDue, suspicion machinery, verdicts) always run in the global
+// sequential order — the cluster's Horizon clamps parallel windows to the
+// next due action — while Deliver may run from concurrent sharing-group
+// workers when the service is Quiet, touching only the receiving node's
+// shard (its views, gossip queue, probe record and stats). That is the
+// kernel.GroupLocal contract; see Quiet.
 type Service struct {
 	cl  *kernel.Cluster
 	cfg Config
@@ -150,8 +169,29 @@ type Service struct {
 
 	nextDue []float64 // cached earliest due time per node
 
-	stats  Stats
-	deaths []DeathRecord
+	// stats is sharded by acting node (the prober, sender or receiver), so
+	// counters have a single writer inside a parallel window; Stats sums
+	// them. suspects counts materialized views with state != Alive across
+	// all observers — the exact fast path for SuspectedAny, and constant
+	// zero during grouped windows (transitions only happen in protocol
+	// actions or on non-Alive gossip, both of which collapse the engine).
+	stats    []Stats
+	suspects int
+	deaths   []DeathRecord
+
+	// airborne counts in-flight frames carrying a non-Alive update. Node
+	// state can look fully healthy — every view Alive, every gossip buffer
+	// pruned — while a Suspect assertion from the previous flap is still in
+	// the air; delivering it inside a grouped window would materialize
+	// suspicion machinery (and verdict deadlines) the window's horizon never
+	// saw. Quiet is therefore false until the count drains. Tainted sends
+	// only happen when the sender's gossip buffer already held a non-Alive
+	// entry (non-quiet, collapsed engine), and tainted deliveries only
+	// happen while airborne > 0 (also collapsed), so the counter has a
+	// single writer. A tainted frame the interconnect drops leaks the count
+	// and parks the engine in collapsed mode for the rest of the run —
+	// conservative, never wrong.
+	airborne int
 }
 
 // Attach validates cfg (after resolving defaults), builds the SWIM service
@@ -178,6 +218,7 @@ func Attach(cl *kernel.Cluster, cfg Config) (*Service, error) {
 		selfEpoch: make([]uint64, n),
 		gossip:    make([][]gossipEntry, n),
 		nextDue:   make([]float64, n),
+		stats:     make([]Stats, n),
 	}
 	for i := 0; i < n; i++ {
 		// Stagger initial phases so the fabric does not burst every probe at
@@ -196,8 +237,65 @@ func Attach(cl *kernel.Cluster, cfg Config) (*Service, error) {
 // Config returns the resolved configuration.
 func (s *Service) Config() Config { return s.cfg }
 
-// Stats returns the detector counters.
-func (s *Service) Stats() Stats { return s.stats }
+// Stats returns the detector counters, summed over the per-node shards.
+// Exact between engine steps (each shard has a single writer in a window).
+func (s *Service) Stats() Stats {
+	var t Stats
+	for i := range s.stats {
+		st := &s.stats[i]
+		t.HeartbeatsSent += st.HeartbeatsSent
+		t.HeartbeatsDelivered += st.HeartbeatsDelivered
+		t.HeartbeatsFenced += st.HeartbeatsFenced
+		t.Suspicions += st.Suspicions
+		t.Readmissions += st.Readmissions
+		t.FalseSuspicions += st.FalseSuspicions
+		t.Deaths += st.Deaths
+		t.Probes += st.Probes
+		t.ProbeTimeouts += st.ProbeTimeouts
+		t.IndirectProbes += st.IndirectProbes
+		t.GossipUpdates += st.GossipUpdates
+		t.Refutations += st.Refutations
+		t.Rejoins += st.Rejoins
+		t.DeferredVerdicts += st.DeferredVerdicts
+		t.VerdictRechecks += st.VerdictRechecks
+	}
+	return t
+}
+
+// Quiet reports whether the detector holds no global-order machinery
+// (kernel.GroupLocal): no verdict polls, every materialized view Alive
+// with no death history or parked verdict, nothing but Alive assertions
+// queued for gossip, and no non-Alive assertion still in the air
+// (airborne). While quiet, a grouped parallel window provably preserves
+// quietness — suspicion can only arise from a protocol action (which the
+// Horizon clamps out of windows) or from non-Alive gossip (queued gossip
+// would already have broken quietness; in-flight gossip is the airborne
+// count) — so Deliver inside the window stays confined to the receiving
+// node's shard and the engine may keep sharing groups concurrent with the
+// detector attached. An in-flight probe does not break quietness: its ack
+// is shard-local and its expiry deadlines are protocol actions bounding
+// the Horizon.
+func (s *Service) Quiet() bool {
+	if s.suspects != 0 || s.airborne != 0 {
+		return false
+	}
+	for o := 0; o < s.n; o++ {
+		if len(s.polls[o]) != 0 {
+			return false
+		}
+		for _, v := range s.views[o] {
+			if v.state != Alive || v.deadInc != 0 || v.deferred {
+				return false
+			}
+		}
+		for _, e := range s.gossip[o] {
+			if e.upd.state != Alive {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 // Deaths returns every death declaration in declaration order.
 func (s *Service) Deaths() []DeathRecord { return s.deaths }
@@ -373,9 +471,9 @@ func (s *Service) expireProbe(node int, now float64) {
 	}
 	if now >= p.ackBy {
 		p.ackBy = inf
-		s.stats.ProbeTimeouts++
+		s.stats[node].ProbeTimeouts++
 		for _, w := range s.witnesses(node, p.target, p.seq) {
-			s.stats.IndirectProbes++
+			s.stats[node].IndirectProbes++
 			s.sendSwim(now, node, w, swimPayload{kind: swimPingReq, origin: node, target: p.target, seq: p.seq})
 		}
 	}
@@ -400,11 +498,12 @@ func (s *Service) suspect(observer, target int, now float64, why string) {
 		return
 	}
 	v.state = Suspect
+	s.suspects++
 	v.deadline = now + s.cfg.SuspectTimeout
 	v.deferred = false
 	v.missed = 0
 	v.backoff = 0
-	s.stats.Suspicions++
+	s.stats[observer].Suspicions++
 	s.enqueueUpdate(observer, update{state: Suspect, node: target, inc: v.inc, epoch: v.epoch})
 	s.trace(now, "suspect", "node %d suspects node %d (%s)", observer, target, why)
 }
@@ -446,7 +545,7 @@ func (s *Service) verdict(observer, target int, now float64) {
 				}
 			}
 			v.deadline = now + v.backoff
-			s.stats.VerdictRechecks++
+			s.stats[observer].VerdictRechecks++
 			s.trace(now, "re-check", "node %d re-checks suspect node %d (poll unanswered, %d/%d misses)",
 				observer, target, v.missed, s.cfg.DeathMisses)
 			return
@@ -483,7 +582,7 @@ func (s *Service) verdict(observer, target int, now float64) {
 func (s *Service) deferVerdict(observer, target int, now float64, why string) {
 	v := s.views[observer][target]
 	if !v.deferred {
-		s.stats.DeferredVerdicts++
+		s.stats[observer].DeferredVerdicts++
 		s.trace(now, "defer-death", "node %d defers death of node %d (%s: %d alive of %d, need %d)",
 			observer, target, why, s.AliveCount(observer), s.n, s.Quorum())
 	}
@@ -504,7 +603,7 @@ func (s *Service) executeDeath(observer, target int, now float64) {
 	v.deferred = false
 	s.enqueueUpdate(observer, update{state: Dead, node: target, inc: v.inc})
 	if s.cl.Incarnation(target) == v.inc && s.cl.DeadIncarnation(target) < v.inc {
-		s.stats.Deaths++
+		s.stats[observer].Deaths++
 		s.deaths = append(s.deaths, DeathRecord{Node: target, Inc: v.inc, At: now, Observer: observer})
 		s.trace(now, "member-dead", "node %d declares node %d (incarnation %d) dead", observer, target, v.inc)
 		s.cl.DeclareNodeDead(target, now)
@@ -560,7 +659,7 @@ func (s *Service) emitProbe(node int, now float64) {
 		ackBy:   now + s.cfg.ProbeTimeout,
 		roundBy: now + s.cfg.HeartbeatPeriod,
 	}
-	s.stats.Probes++
+	s.stats[node].Probes++
 	s.sendSwim(now, node, target, swimPayload{kind: swimPing, origin: node, target: target, seq: s.probeSeq[node]})
 }
 
@@ -724,9 +823,16 @@ func (s *Service) sendSwim(now float64, from, to int, pl swimPayload, extra ...u
 	pl.updates = append(extra, s.takePiggyback(from)...)
 	size := int64(swimBaseBytes + updateBytes*len(pl.updates))
 	p := pl
+	for _, u := range p.updates {
+		if u.state != Alive {
+			p.tainted = true
+			s.airborne++
+			break
+		}
+	}
 	s.cl.IC.Send(now, from, to, msg.THeartbeat, size, &p)
-	s.stats.HeartbeatsSent++
-	s.stats.GossipUpdates += uint64(len(p.updates))
+	s.stats[from].HeartbeatsSent++
+	s.stats[from].GossipUpdates += uint64(len(p.updates))
 }
 
 // Deliver processes one SWIM frame arriving at node `to`.
@@ -735,6 +841,13 @@ func (s *Service) Deliver(to int, m *msg.Message) {
 	if !ok {
 		return
 	}
+	if pl.tainted {
+		// The airborne non-Alive gossip has landed (whatever happens to it
+		// next happens in collapsed context — airborne > 0 kept the engine
+		// collapsed up to this very delivery).
+		pl.tainted = false
+		s.airborne--
+	}
 	if s.cl.NodeDown(to) {
 		return
 	}
@@ -742,7 +855,7 @@ func (s *Service) Deliver(to int, m *msg.Message) {
 	if !s.applyAlive(to, pl.from, pl.inc, pl.epch, now, true) {
 		// The sender's incarnation is fenced here: this observer holds it (or
 		// a successor) dead.
-		s.stats.HeartbeatsFenced++
+		s.stats[to].HeartbeatsFenced++
 		if pl.kind == swimPing {
 			// Answer a fenced probe with the verdict: a partitioned-but-alive
 			// node whose death executed on the other side learns of it from
@@ -756,7 +869,7 @@ func (s *Service) Deliver(to int, m *msg.Message) {
 		}
 		return
 	}
-	s.stats.HeartbeatsDelivered++
+	s.stats[to].HeartbeatsDelivered++
 	for _, u := range pl.updates {
 		s.applyUpdate(to, u, now)
 	}
@@ -846,14 +959,15 @@ func (s *Service) applyAlive(observer, target int, inc, epoch uint64, now float6
 	v.lastHeard = now
 	switch was {
 	case Suspect:
-		s.stats.Readmissions++
+		s.stats[observer].Readmissions++
 		s.trace(now, "readmit", "node %d clears suspicion of node %d", observer, target)
 	case Dead:
-		s.stats.Readmissions++
-		s.stats.FalseSuspicions++
+		s.stats[observer].Readmissions++
+		s.stats[observer].FalseSuspicions++
 		s.trace(now, "readmit", "node %d readmits node %d as incarnation %d (death refuted)", observer, target, inc)
 	}
 	if was != Alive {
+		s.suspects--
 		delete(s.polls[observer], target)
 		s.enqueueUpdate(observer, update{state: Alive, node: target, inc: v.inc, epoch: v.epoch})
 		s.reevaluateDeferred(observer, now)
@@ -890,9 +1004,10 @@ func (s *Service) applyUpdate(observer int, u update, now float64) {
 		}
 		v.inc, v.epoch = u.inc, u.epoch
 		v.state = Suspect
+		s.suspects++
 		v.deferred = false
 		v.deadline = now + s.cfg.SuspectTimeout
-		s.stats.Suspicions++
+		s.stats[observer].Suspicions++
 		s.enqueueUpdate(observer, u)
 		s.trace(now, "suspect", "node %d suspects node %d (gossip)", observer, u.node)
 	case Dead:
@@ -912,6 +1027,9 @@ func (s *Service) applyUpdate(observer int, u update, now float64) {
 			return // the subject already rejoined under a higher incarnation
 		}
 		v := s.mview(observer, u.node)
+		if v.state == Alive {
+			s.suspects++
+		}
 		v.state = Dead
 		if u.inc > v.inc {
 			v.inc = u.inc
@@ -935,7 +1053,7 @@ func (s *Service) applySelfUpdate(node int, u update, now float64) {
 	case Suspect:
 		if u.inc == myInc && u.epoch >= s.selfEpochOf(node) {
 			s.selfEpoch[node] = u.epoch + 1
-			s.stats.Refutations++
+			s.stats[node].Refutations++
 			s.enqueueUpdate(node, update{state: Alive, node: node, inc: myInc, epoch: s.selfEpoch[node]})
 			s.trace(now, "refute", "node %d refutes suspicion of itself (incarnation %d, epoch %d)", node, myInc, s.selfEpoch[node])
 		}
@@ -944,7 +1062,7 @@ func (s *Service) applySelfUpdate(node int, u update, now float64) {
 			newInc := s.cl.RejoinNode(node, now)
 			s.selfInc[node] = newInc
 			s.selfEpoch[node] = 0
-			s.stats.Rejoins++
+			s.stats[node].Rejoins++
 			s.enqueueUpdate(node, update{state: Alive, node: node, inc: newInc})
 			s.trace(now, "rejoin", "node %d learns it was declared dead, rejoins as incarnation %d", node, newInc)
 		}
@@ -964,6 +1082,14 @@ func (s *Service) Suspected(observer, target int) bool {
 // every node is suspected by the far side, and letting a minority's
 // suspicions veto placement would leave the quorum side nowhere to restore.
 func (s *Service) SuspectedAny(target int) bool {
+	if s.suspects == 0 {
+		// No observer anywhere holds a non-Alive view. The counter is
+		// maintained at every view transition, all of which happen in the
+		// global sequential order, so this fast path is exact — and it is
+		// what keeps the per-migration liveness check O(1) on a healthy
+		// fleet instead of an n-observer map scan.
+		return false
+	}
 	for o := 0; o < s.n; o++ {
 		if o == target || s.cl.NodeDown(o) || !s.HasQuorum(o) {
 			continue
@@ -994,6 +1120,9 @@ func (s *Service) NodeRecovered(node int, inc uint64, now float64) {
 		v := s.views[node][t]
 		if v.state == Dead {
 			continue
+		}
+		if v.state != Alive {
+			s.suspects--
 		}
 		v.state = Alive
 		v.deadline = inf

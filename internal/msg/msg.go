@@ -20,11 +20,13 @@
 // The flat pipe is one of two cost models: SetPathModel plugs a
 // hierarchical fabric (internal/topo's rack/spine fat tree) under the same
 // message layer, replacing the delivery-time computation with multi-hop
-// routing and shared-uplink contention. Because a fabric shares links
-// between node pairs it reports Contended, and the cluster pins the
-// parallel engine to one inline sharing group. Without a path model
-// nothing changes — the flat pipe is the default and the regression
-// baseline.
+// routing and shared-uplink contention. A fabric that shares links between
+// node pairs reports Contended; when it also exposes SharingDomains (the
+// fat tree does — one domain per rack), the cluster folds same-domain
+// link-sharing into the union-find sharing partition instead of pinning
+// the parallel engine, so racks that exchange no cross-rack traffic still
+// run concurrently. Without a path model nothing changes — the flat pipe
+// is the default and the regression baseline.
 package msg
 
 import (
@@ -169,6 +171,30 @@ type EventSink interface {
 	Record(t float64, kind, detail string)
 }
 
+// NodeSink is an EventSink that can attribute a record to the node whose
+// schedule produced it and keep a private per-node shard for it, merging
+// the shards into one canonical order on read. A sink that implements it
+// (trace.EventLog does) can run inside grouped parallel windows; a plain
+// EventSink needs the global sequential order and collapses the parallel
+// engine (see kernel.Cluster.Horizon).
+type NodeSink interface {
+	EventSink
+	// RecordNode records an event produced by node's schedule. Each node's
+	// records arrive in nondecreasing time order from a single goroutine
+	// at a time (its sharing-group worker).
+	RecordNode(node int, t float64, kind, detail string)
+}
+
+// GroupPeers is an optional message-payload interface: a payload whose
+// semantics involve nodes beyond the message's (From, To) endpoints (a
+// SWIM indirect-probe relay names its origin and target) yields them here
+// so Cluster.Groups can fold every node an in-flight exchange might touch
+// into one sharing group. Payloads without it contribute only their
+// endpoints.
+type GroupPeers interface {
+	GroupPeers(add func(node int))
+}
+
 // PathModel is a pluggable fabric under the interconnect: when installed,
 // it replaces the flat latency/bandwidth pipe's delivery-time computation
 // with hierarchical routing (topo.Fabric implements it — racks behind ToR
@@ -189,9 +215,24 @@ type PathModel interface {
 	// routeable pairs — the conservative lookahead floor.
 	MinLatency() float64
 	// Contended reports whether distinct node pairs can share links. A
-	// contended model breaks the interconnect's disjoint-shard invariant,
-	// so the cluster pins the parallel engine to one inline sharing group.
+	// contended model breaks the interconnect's disjoint-shard invariant;
+	// unless it also implements SharingDomains, the cluster collapses the
+	// parallel engine to one inline sharing group.
 	Contended() bool
+}
+
+// SharingDomains is an optional PathModel extension that exposes the
+// model's link-sharing structure: two cross-domain routes can contend only
+// when they touch a common domain (a rack's ToR uplink), while traffic
+// within one domain touches only per-node private links. Cluster.Groups
+// uses it to merge any two sharing groups that both span multiple domains
+// and have a domain in common, instead of collapsing the whole partition.
+// topo.Fabric implements it with one domain per rack.
+type SharingDomains interface {
+	// Domain returns the sharing domain of node.
+	Domain(node int) int
+	// NumDomains returns the domain count.
+	NumDomains() int
 }
 
 // linkState is one directed link's private state.
@@ -345,10 +386,19 @@ func (ic *Interconnect) cut(at float64, from, to int) bool {
 // SetTracer installs an event sink for fault/retry diagnostics.
 func (ic *Interconnect) SetTracer(s EventSink) { ic.tracer = s }
 
-func (ic *Interconnect) tracef(t float64, kind, format string, args ...interface{}) {
-	if ic.tracer != nil {
-		ic.tracer.Record(t, kind, fmt.Sprintf(format, args...))
+// tracef records a diagnostic produced by node's schedule (the sender of
+// the message in question): a NodeSink shards it per node so sends inside
+// grouped parallel windows stay race-free; a plain sink takes the global
+// record (such sinks collapse the engine, so the global order is serial).
+func (ic *Interconnect) tracef(node int, t float64, kind, format string, args ...interface{}) {
+	if ic.tracer == nil {
+		return
 	}
+	if ns, ok := ic.tracer.(NodeSink); ok {
+		ns.RecordNode(node, t, kind, fmt.Sprintf(format, args...))
+		return
+	}
+	ic.tracer.Record(t, kind, fmt.Sprintf(format, args...))
 }
 
 func (ic *Interconnect) retxTimeout() float64 {
@@ -416,12 +466,12 @@ func (ic *Interconnect) Send(now float64, from, to int, t Type, size int64, payl
 		if ic.cut(m.Deliver, from, to) {
 			ic.stats[from].Dropped++
 			ic.stats[from].PartitionDrops++
-			ic.tracef(now, "cut", "type %d %d->%d seq %d", t, from, to, m.Seq)
+			ic.tracef(from, now, "cut", "type %d %d->%d seq %d", t, from, to, m.Seq)
 			return m.Deliver
 		}
 		if drop || ic.inj.NodeDown(to, m.Deliver) {
 			ic.stats[from].Dropped++
-			ic.tracef(now, "drop", "type %d %d->%d seq %d", t, from, to, m.Seq)
+			ic.tracef(from, now, "drop", "type %d %d->%d seq %d", t, from, to, m.Seq)
 			return m.Deliver
 		}
 		if dup {
@@ -467,7 +517,7 @@ func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int
 			rec, ok := ic.inj.NodeRecoverAt(to, at)
 			if !ok {
 				st.Exhausted++
-				ic.tracef(at, "send-fail", "type %d %d->%d: node %d down permanently", t, from, to, to)
+				ic.tracef(from, at, "send-fail", "type %d %d->%d: node %d down permanently", t, from, to, to)
 				return at, false
 			}
 			st.CrashStalls++
@@ -480,17 +530,17 @@ func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int
 			// (the sender cannot distinguish it from loss).
 			if heal, ok := ic.part.LinkClearAt(at, from, to); ok {
 				st.PartitionStalls++
-				ic.tracef(at, "cut-stall", "type %d %d->%d: partitioned until %.6g", t, from, to, heal)
+				ic.tracef(from, at, "cut-stall", "type %d %d->%d: partitioned until %.6g", t, from, to, heal)
 				elapsed = heal - now + rto
 				continue
 			}
 			st.PartitionDrops++
 			st.Retries++
 			retries++
-			ic.tracef(at, "retx", "type %d %d->%d cut, retry %d", t, from, to, retries)
+			ic.tracef(from, at, "retx", "type %d %d->%d cut, retry %d", t, from, to, retries)
 			if retries > ic.maxRetries() {
 				st.Exhausted++
-				ic.tracef(at, "send-fail", "type %d %d->%d: partitioned permanently", t, from, to)
+				ic.tracef(from, at, "send-fail", "type %d %d->%d: partitioned permanently", t, from, to)
 				return at, false
 			}
 			elapsed += rto
@@ -505,10 +555,10 @@ func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int
 			st.Dropped++
 			st.Retries++
 			retries++
-			ic.tracef(at, "retx", "type %d %d->%d seq %d retry %d", t, from, to, m.Seq, retries)
+			ic.tracef(from, at, "retx", "type %d %d->%d seq %d retry %d", t, from, to, m.Seq, retries)
 			if retries > ic.maxRetries() {
 				st.Exhausted++
-				ic.tracef(at, "send-fail", "type %d %d->%d: retries exhausted", t, from, to)
+				ic.tracef(from, at, "send-fail", "type %d %d->%d: retries exhausted", t, from, to)
 				return at, false
 			}
 			elapsed += rto
@@ -525,10 +575,10 @@ func (ic *Interconnect) SendReliable(now float64, from, to int, t Type, size int
 			st.PartitionDrops++
 			st.Retries++
 			retries++
-			ic.tracef(at, "retx", "type %d %d->%d seq %d cut in flight, retry %d", t, from, to, m.Seq, retries)
+			ic.tracef(from, at, "retx", "type %d %d->%d seq %d cut in flight, retry %d", t, from, to, m.Seq, retries)
 			if retries > ic.maxRetries() {
 				st.Exhausted++
-				ic.tracef(at, "send-fail", "type %d %d->%d: partitioned permanently", t, from, to)
+				ic.tracef(from, at, "send-fail", "type %d %d->%d: partitioned permanently", t, from, to)
 				return at, false
 			}
 			elapsed += rto
@@ -611,7 +661,7 @@ func (ic *Interconnect) ReliableRTT(now float64, from, to int, replySize int64) 
 			rec, ok := ic.inj.NodeRecoverAt(to, at)
 			if !ok {
 				st.Exhausted++
-				ic.tracef(at, "rtt-fail", "%d->%d: node %d down permanently", from, to, to)
+				ic.tracef(from, at, "rtt-fail", "%d->%d: node %d down permanently", from, to, to)
 				return elapsed, false
 			}
 			st.CrashStalls++
@@ -638,17 +688,17 @@ func (ic *Interconnect) ReliableRTT(now float64, from, to int, replySize int64) 
 			}
 			if ok {
 				st.PartitionStalls++
-				ic.tracef(at, "cut-stall", "rtt %d->%d: partitioned until %.6g", from, to, heal)
+				ic.tracef(from, at, "cut-stall", "rtt %d->%d: partitioned until %.6g", from, to, heal)
 				elapsed = heal - now + rto
 				continue
 			}
 			st.PartitionDrops++
 			st.Retries++
 			retries++
-			ic.tracef(at, "retx", "rtt %d->%d cut, retry %d", from, to, retries)
+			ic.tracef(from, at, "retx", "rtt %d->%d cut, retry %d", from, to, retries)
 			if retries > ic.maxRetries() {
 				st.Exhausted++
-				ic.tracef(at, "rtt-fail", "%d->%d: partitioned permanently", from, to)
+				ic.tracef(from, at, "rtt-fail", "%d->%d: partitioned permanently", from, to)
 				return elapsed, false
 			}
 			elapsed += rto
@@ -669,10 +719,10 @@ func (ic *Interconnect) ReliableRTT(now float64, from, to int, replySize int64) 
 		st.Dropped++
 		st.Retries++
 		retries++
-		ic.tracef(at, "retx", "rtt %d->%d retry %d", from, to, retries)
+		ic.tracef(from, at, "retx", "rtt %d->%d retry %d", from, to, retries)
 		if retries > ic.maxRetries() {
 			st.Exhausted++
-			ic.tracef(at, "rtt-fail", "%d->%d: retries exhausted", from, to)
+			ic.tracef(from, at, "rtt-fail", "%d->%d: retries exhausted", from, to)
 			return elapsed, false
 		}
 		elapsed += rto
@@ -723,6 +773,19 @@ func (ic *Interconnect) Drain(node int) []*Message {
 func (ic *Interconnect) Requeue(m *Message, deliver float64) {
 	m.Deliver = deliver
 	ic.push(m)
+}
+
+// ForEachPending calls fn for every queued message across all nodes, in
+// node order then heap (not delivery) order. Barrier-only: it reads every
+// node's queue, so it must never run concurrently with group workers.
+// Cluster.Groups uses it to fold in-flight exchanges into the sharing
+// partition.
+func (ic *Interconnect) ForEachPending(fn func(*Message)) {
+	for i := range ic.nodes {
+		for _, m := range ic.nodes[i].q {
+			fn(m)
+		}
+	}
 }
 
 // Sweep removes queued messages for which drop returns true, returning how

@@ -23,6 +23,12 @@ package sim
 // infinity so ready times round-trip unchanged.
 const Inf = 1e30
 
+// NegInf is the "collapse indefinitely" horizon: a model returns it from
+// Horizon when a layer needs the global sequential order for the whole
+// window (not just until a due instant), letting the engine run the window
+// inline without re-polling the horizon after every action.
+const NegInf = -1e30
+
 // Model is the simulated system the engine schedules: a fixed set of nodes
 // with local clocks, work, and scheduled control events (crash/recovery).
 // internal/kernel's Cluster implements it.
@@ -60,10 +66,18 @@ type Model interface {
 	// actions, migrations, checkpoints) must share a group. Each group and
 	// the list itself are sorted ascending. Called only at barriers.
 	Groups() [][]int
-	// ParallelOK reports whether group-parallel execution is currently
-	// sound; false degrades the parallel engine to one all-nodes group run
-	// inline (global observers such as tracers need the sequential order).
-	ParallelOK() bool
+	// Horizon returns the earliest instant at which group-parallel
+	// execution stops being sound, given that the next window starts at
+	// start. A finite horizon names the next global-order hazard (a
+	// membership protocol round, a timer firing, a scheduled crash or
+	// recovery feeding global observers): the engine clamps the window to
+	// it, so the hazard itself is always consumed in the exact sequential
+	// order. A horizon <= start means a hazard is due right now; NegInf
+	// means a layer needs the global order for the foreseeable future (a
+	// non-shardable tracer, non-quiet membership protocol state, a
+	// contended fabric without sharing domains). Horizon >= Inf leaves the
+	// window unconstrained. Called only at barriers.
+	Horizon(start float64) float64
 }
 
 // Engine advances a Model through simulated time.

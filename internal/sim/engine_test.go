@@ -27,9 +27,9 @@ type toyNode struct {
 }
 
 type toyModel struct {
-	nodes  []*toyNode
-	groups [][]int
-	parOK  bool
+	nodes   []*toyNode
+	groups  [][]int
+	horizon float64 // returned from Horizon; Inf = unconstrained
 
 	events [][]float64
 	evIdx  []int
@@ -38,7 +38,7 @@ type toyModel struct {
 }
 
 func newToy(scripts [][]toyBatch) *toyModel {
-	m := &toyModel{parOK: true}
+	m := &toyModel{horizon: Inf}
 	for _, s := range scripts {
 		// Copy: StepNode consumes quanta in place and scripts are reused.
 		m.nodes = append(m.nodes, &toyNode{batches: append([]toyBatch(nil), s...)})
@@ -119,7 +119,7 @@ func (m *toyModel) NoteFrontier() { m.frontiers = append(m.frontiers, m.Frontier
 
 func (m *toyModel) Groups() [][]int { return m.groups }
 
-func (m *toyModel) ParallelOK() bool { return m.parOK }
+func (m *toyModel) Horizon(start float64) float64 { return m.horizon }
 
 // twoPairScripts is a 4-node script where nodes {0,1} and {2,3} form
 // independent pairs with interleaved, unequal work.
@@ -207,15 +207,32 @@ func TestParallelSingletonGroups(t *testing.T) {
 	sameState(t, "singletons", seq, par)
 }
 
-func TestParallelDegradesWhenNotOK(t *testing.T) {
+func TestParallelDegradesOnNegInfHorizon(t *testing.T) {
 	m := newToy(twoPairScripts())
-	m.parOK = false
+	m.horizon = NegInf
 	m.groups = [][]int{{0, 1}, {2, 3}}
 	e := NewParallel(m, Options{EpochSec: 10e-6})
 	for e.Step() {
 	}
 	seq := runSeq(twoPairScripts(), nil)
 	sameState(t, "degraded", seq, m)
+}
+
+// TestParallelClampsToFiniteHorizon pins the two horizon paths: a horizon
+// inside the window clamps the grouped run to it, and a horizon at the
+// window start consumes actions sequentially — both must stay byte-identical
+// to the reference engine.
+func TestParallelClampsToFiniteHorizon(t *testing.T) {
+	for _, hz := range []float64{0, 4e-6, 11e-6} {
+		m := newToy(twoPairScripts())
+		m.horizon = hz
+		m.groups = [][]int{{0, 1}, {2, 3}}
+		e := NewParallel(m, Options{EpochSec: 10e-6})
+		for e.Step() {
+		}
+		seq := runSeq(twoPairScripts(), nil)
+		sameState(t, "finite-horizon", seq, m)
+	}
 }
 
 func TestParallelAppliesEvents(t *testing.T) {

@@ -1,6 +1,9 @@
 package sim
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // Options tunes the parallel engine.
 type Options struct {
@@ -20,16 +23,31 @@ type Options struct {
 // DefaultEpochSec is the default barrier interval (500 kernel quanta).
 const DefaultEpochSec = 1e-3
 
-// Parallel is the conservative parallel engine: one worker goroutine per
-// sharing group (at most one per node) replays that group's restriction of
-// the sequential schedule between epoch barriers. Group membership is the
-// model's conservative "might interact before the next barrier" relation,
-// so workers never contend on shared state and results are byte-identical
-// to the Sequential engine.
+// Parallel is the conservative parallel engine: a persistent pool of
+// worker goroutines (sized to GOMAXPROCS at first fan-out) replays each
+// sharing group's restriction of the sequential schedule between epoch
+// barriers. Group membership is the model's conservative "might interact
+// before the next barrier" relation and every window is clamped to the
+// model's soundness horizon, so workers never contend on shared state and
+// results are byte-identical to the Sequential engine.
 type Parallel struct {
 	m     Model
 	nodes []int
 	epoch float64
+
+	// The worker pool, started lazily at the first multi-group window.
+	// Workers capture only (model, work, wg) — never the engine — so the
+	// finalizer that closes the channel can actually fire.
+	work     chan groupTask
+	wg       *sync.WaitGroup
+	active   [][]int // per-window scratch
+	poolSize int     // 0 until the first fan-out sizes the pool
+}
+
+// groupTask is one group's share of a window.
+type groupTask struct {
+	g   []int
+	end float64
 }
 
 // NewParallel builds the parallel engine over m.
@@ -41,7 +59,7 @@ func NewParallel(m Model, opt Options) *Parallel {
 	if opt.LookaheadSec > ep {
 		ep = opt.LookaheadSec
 	}
-	return &Parallel{m: m, nodes: allNodes(m.NumNodes()), epoch: ep}
+	return &Parallel{m: m, nodes: allNodes(m.NumNodes()), epoch: ep, wg: &sync.WaitGroup{}}
 }
 
 // runGroup replays one group's schedule up to limit on the caller's
@@ -53,48 +71,62 @@ func runGroup(m Model, nodes []int, limit float64) {
 }
 
 // Step runs one epoch: partition nodes into sharing groups, run each group
-// concurrently up to the epoch end, then barrier. Returns false when the
-// whole model is drained.
+// concurrently up to the epoch end (clamped to the model's horizon), then
+// barrier. Returns false when the whole model is drained.
 func (e *Parallel) Step() bool {
 	t0 := nextActionTime(e.m, e.nodes)
 	if t0 >= Inf {
 		return false
 	}
-	e.window(t0 + e.epoch)
+	e.window(t0, t0+e.epoch)
 	return true
 }
 
-// window runs one epoch bounded by end and performs the barrier work.
-func (e *Parallel) window(end float64) {
+// window runs one epoch starting at t0 bounded by end and performs the
+// barrier work.
+func (e *Parallel) window(t0, end float64) {
 	m := e.m
-	var groups [][]int
-	if m.ParallelOK() {
-		groups = m.Groups()
+	if hz := m.Horizon(t0); hz <= t0 {
+		if hz <= NegInf {
+			// Structural collapse: some layer needs the global order for the
+			// whole window, so run it inline — exactly the sequential loop
+			// restricted to nothing.
+			runGroup(m, e.nodes, end)
+		} else {
+			// A point hazard (membership round, timer firing, crash event)
+			// is due right now. Consume actions in the exact sequential
+			// order until the horizon clears or the window drains; the next
+			// window re-partitions and fans back out.
+			for stepOnce(m, e.nodes, end) != stepNone {
+				t1 := nextActionTime(m, e.nodes)
+				if t1 >= end || m.Horizon(t1) > t1 {
+					break
+				}
+			}
+		}
 	} else {
-		groups = [][]int{e.nodes}
-	}
-	// Only groups with an action before the epoch end need a worker. (Never
-	// filter in place: the slice belongs to the model.)
-	active := make([][]int, 0, len(groups))
-	for _, g := range groups {
-		if nextActionTime(m, g) < end {
-			active = append(active, g)
+		if hz < end {
+			// Clamp the window to the hazard: no membership round, timer
+			// firing or crash event ever executes inside a grouped window
+			// (stepOnce applies actions strictly before the limit).
+			end = hz
 		}
-	}
-	if len(active) == 1 {
-		// Run inline: callbacks that re-enter the engine (checkpoint
-		// managers driving Step from an observer) stay on one goroutine.
-		runGroup(m, active[0], end)
-	} else if len(active) > 1 {
-		var wg sync.WaitGroup
-		wg.Add(len(active))
-		for _, g := range active {
-			go func(g []int) {
-				defer wg.Done()
-				runGroup(m, g, end)
-			}(g)
+		groups := m.Groups()
+		// Only groups with an action before the epoch end need a worker.
+		// (Never filter in place: the slice belongs to the model.)
+		e.active = e.active[:0]
+		for _, g := range groups {
+			if nextActionTime(m, g) < end {
+				e.active = append(e.active, g)
+			}
 		}
-		wg.Wait()
+		if len(e.active) == 1 {
+			// Run inline: callbacks that re-enter the engine (checkpoint
+			// managers driving Step from an observer) stay on one goroutine.
+			runGroup(m, e.active[0], end)
+		} else if len(e.active) > 1 {
+			e.fanOut(end)
+		}
 	}
 	// Barrier: drag drained nodes up to the fastest clock, exactly the final
 	// value the sequential loop's per-step idle drag converges to, then
@@ -111,6 +143,63 @@ func (e *Parallel) window(end float64) {
 		}
 	}
 	m.NoteFrontier()
+}
+
+// fanOut runs the active groups concurrently: the first inline on the
+// scheduling goroutine, the rest on the persistent pool. With one
+// effective core there is no pool at all — the groups run back-to-back on
+// the scheduling goroutine, which is result-identical (group schedules are
+// interleaving-invariant between barriers) and avoids handing work to
+// goroutines that would only time-slice against this one.
+func (e *Parallel) fanOut(end float64) {
+	if e.poolSize == 0 {
+		e.startPool()
+	}
+	if e.poolSize == 1 {
+		for _, g := range e.active {
+			runGroup(e.m, g, end)
+		}
+		return
+	}
+	e.wg.Add(len(e.active) - 1)
+	for _, g := range e.active[1:] {
+		e.work <- groupTask{g, end}
+	}
+	runGroup(e.m, e.active[0], end)
+	e.wg.Wait()
+}
+
+// startPool sizes the pool to the effective parallelism — GOMAXPROCS,
+// clamped by the physical core count (extra workers on a smaller machine
+// only preempt each other) and the node count — and spawns the workers.
+// The workers hold the model and channel, never the engine, so when the
+// engine becomes unreachable its finalizer closes the channel and the pool
+// exits — engines have no Close and are dropped freely by tests and
+// benchmarks.
+func (e *Parallel) startPool() {
+	n := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); n > c {
+		n = c
+	}
+	if n > len(e.nodes) {
+		n = len(e.nodes)
+	}
+	e.poolSize = n
+	if n == 1 {
+		return
+	}
+	e.work = make(chan groupTask, 2*n)
+	for i := 0; i < n; i++ {
+		go worker(e.m, e.work, e.wg)
+	}
+	runtime.SetFinalizer(e, func(p *Parallel) { close(p.work) })
+}
+
+func worker(m Model, work <-chan groupTask, wg *sync.WaitGroup) {
+	for t := range work {
+		runGroup(m, t.g, t.end)
+		wg.Done()
+	}
 }
 
 // Run runs epochs clamped to `until`, so every node stops at exactly the
@@ -138,7 +227,7 @@ func (e *Parallel) Run(until float64) float64 {
 		if end > until {
 			end = until
 		}
-		e.window(end)
+		e.window(t0, end)
 	}
 	return m.Frontier()
 }

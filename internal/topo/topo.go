@@ -16,10 +16,15 @@
 // Everything is deterministic: routing is static shortest-path (fixed by
 // the spec), link state is mutated only by Transmit, and there is no
 // randomness anywhere in the package. A fabric shares links between node
-// pairs, which breaks the interconnect's disjoint-shard invariant — the
-// cluster therefore pins the parallel engine to a single inline sharing
-// group whenever a fabric is installed (Contended reports true), keeping
-// both engines byte-identical.
+// pairs (Contended reports true), which breaks the interconnect's
+// disjoint-shard invariant — but the sharing is structured: in-rack routes
+// touch only the two endpoints' private access links, and cross-rack
+// routes touch only the two racks' ToR uplinks. The fabric exposes that
+// structure as one sharing domain per rack (msg.SharingDomains), and the
+// cluster folds it into the union-find sharing partition: two groups must
+// merge only when both span multiple racks and have a rack in common, so
+// rack-local traffic keeps the parallel engine fully parallel and both
+// engines stay byte-identical.
 package topo
 
 import (
@@ -349,8 +354,7 @@ func (f *Fabric) Estimate(now float64, from, to int, wire int64) float64 {
 
 // MinLatency returns the minimum zero-byte one-way latency over all
 // routeable distinct pairs — the lookahead floor for conservative parallel
-// co-simulation over this fabric. (A fabric also reports Contended, which
-// pins the parallel engine; the floor stays correct either way.)
+// co-simulation over this fabric.
 func (f *Fabric) MinLatency() float64 {
 	if f.minLatValid {
 		return f.minLat
@@ -382,9 +386,20 @@ func (f *Fabric) MinLatency() float64 {
 }
 
 // Contended reports that the fabric shares links between node pairs:
-// disjoint node groups can race on a common uplink, so the cluster must
-// pin the parallel engine to one inline sharing group.
+// disjoint node groups could race on a common ToR uplink. The fabric also
+// implements msg.SharingDomains, so the cluster resolves the contention
+// structurally (merging multi-rack groups that share a rack) instead of
+// collapsing the partition.
 func (f *Fabric) Contended() bool { return true }
+
+// Domain returns node's sharing domain: its rack. All link sharing in the
+// fat tree is either node-private (access links) or rack-scoped (the ToR
+// uplink pair used by every cross-rack route in or out of the rack), so
+// racks are exactly the granularity at which groups can contend.
+func (f *Fabric) Domain(node int) int { return f.Rack(node) }
+
+// NumDomains returns the rack count.
+func (f *Fabric) NumDomains() int { return f.Racks() }
 
 // SetLinkLatency overrides one link's latency (asymmetric-fabric tests)
 // and invalidates the cached MinLatency.
