@@ -20,6 +20,7 @@
 //	hdcbench -exp partition   # network-partition split-brain study
 //	hdcbench -exp topology    # fat-tree oversubscription study
 //	hdcbench -exp fleet       # open-loop traffic, staged x86→ARM rollout
+//	hdcbench -exp storm       # chaos under open-loop traffic, graceful degradation
 //	hdcbench -exp all
 //
 // The rack experiment takes -rack-nodes N (default 4) to size the ensemble
@@ -55,6 +56,14 @@
 // seconds (0 keeps the scale defaults). Every wave runs under both time
 // engines and must produce bit-identical SLO reports; it honours -json —
 // results/fleet-rollout.json is recorded this way.
+//
+// The storm experiment runs the open-loop stream under a seeded continuous
+// chaos process (correlated rack failures, gray-fail nodes, node churn) with
+// the health-driven graceful-degradation control loop engaged. It reuses
+// -rate and -slo for the offered load, -fault-seed for the chaos streams and
+// honours -json — results/storm.json is recorded this way. -storm-mttf and
+// -storm-mttr override the node-churn means in seconds; they must be given
+// together (a failure rate without a repair rate is not a process).
 //
 // -scale quick|default|full selects the parameter grid (full is the paper's
 // grid and takes tens of minutes).
@@ -143,8 +152,47 @@ func fleetOptions(arrivals string, rateSet bool, rate float64, sloSet bool, slo 
 	return opts, nil
 }
 
+// stormOptions validates the storm study's flag set. The set booleans report
+// whether the user passed each flag at all (untouched flags defer to the
+// scale defaults), and the node-churn overrides must come as a pair: a
+// failure rate without a repair rate (or vice versa) is not a renewal
+// process, so half a pair is rejected rather than silently mixed with a
+// default from a different scale.
+func stormOptions(seed int64, rateSet bool, rate float64, sloSet bool, slo float64,
+	mttfSet bool, mttf float64, mttrSet bool, mttr float64) (exp.StormOptions, error) {
+	opts := exp.StormOptions{Seed: seed}
+	if rateSet {
+		if !(rate > 0) || math.IsInf(rate, 0) {
+			return exp.StormOptions{}, fmt.Errorf("-rate: offered load %g jobs/sec is not a positive finite rate", rate)
+		}
+		opts.Rate = rate
+	}
+	if sloSet {
+		if !(slo > 0) || math.IsInf(slo, 0) {
+			return exp.StormOptions{}, fmt.Errorf("-slo: latency target %g s is not a positive finite duration", slo)
+		}
+		opts.SLO = traffic.SLO{LatencyTargetSec: slo, BudgetFrac: 0.10}
+	}
+	if mttfSet != mttrSet {
+		return exp.StormOptions{}, fmt.Errorf("-storm-mttf and -storm-mttr must be set together (the node-churn process needs both a failure and a repair mean)")
+	}
+	if mttfSet {
+		if !(mttf > 0) || math.IsInf(mttf, 0) {
+			return exp.StormOptions{}, fmt.Errorf("-storm-mttf: mean time to failure %g s is not a positive finite duration", mttf)
+		}
+		if !(mttr > 0) || math.IsInf(mttr, 0) {
+			return exp.StormOptions{}, fmt.Errorf("-storm-mttr: mean time to repair %g s is not a positive finite duration", mttr)
+		}
+		if mttr >= mttf {
+			return exp.StormOptions{}, fmt.Errorf("-storm-mttr %g s is not below -storm-mttf %g s: nodes would spend most of the storm dead (pick MTTR << MTTF)", mttr, mttf)
+		}
+		opts.MTTF, opts.MTTR = mttf, mttr
+	}
+	return opts, nil
+}
+
 func main() {
-	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|detector|fuzz|member-scaling|partition|topology|fleet|all")
+	expName := flag.String("exp", "all", "experiment: fig1|fig345|fig6789|tab1|fig10|fig11|fig12|fig13|ablation|rack|chaos|ckpt|detector|fuzz|member-scaling|partition|topology|fleet|storm|all")
 	scale := flag.String("scale", "default", "quick|default|full")
 	faultSeed := flag.Int64("fault-seed", 7, "chaos: fault-plan seed")
 	dropProb := flag.Float64("drop-prob", 0.02, "chaos: baseline message-loss probability")
@@ -160,17 +208,23 @@ func main() {
 	racks := flag.Int("racks", 0, "fattree: rack count (0: default)")
 	oversub := flag.Float64("oversub", 0, "fattree: ToR uplink oversubscription ratio (0: default)")
 	arrivals := flag.String("arrivals", "", "fleet: comma list of arrival processes (poisson|diurnal|bursty; empty: all three)")
-	rate := flag.Float64("rate", 0, "fleet: offered arrival rate in jobs/sec (0: scale default)")
-	slo := flag.Float64("slo", 0, "fleet: per-job latency target in seconds (0: scale default)")
+	rate := flag.Float64("rate", 0, "fleet/storm: offered arrival rate in jobs/sec (0: scale default)")
+	slo := flag.Float64("slo", 0, "fleet/storm: per-job latency target in seconds (0: scale default)")
+	stormMTTF := flag.Float64("storm-mttf", 0, "storm: node-churn mean time to failure in seconds (0: scale default; needs -storm-mttr)")
+	stormMTTR := flag.Float64("storm-mttr", 0, "storm: node-churn mean time to repair in seconds (0: scale default; needs -storm-mttf)")
 	flag.Parse()
 
-	rateSet, sloSet := false, false
+	rateSet, sloSet, mttfSet, mttrSet := false, false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "rate":
 			rateSet = true
 		case "slo":
 			sloSet = true
+		case "storm-mttf":
+			mttfSet = true
+		case "storm-mttr":
+			mttrSet = true
 		}
 	})
 
@@ -180,6 +234,12 @@ func main() {
 		os.Exit(2)
 	}
 	fleetOpts, err := fleetOptions(*arrivals, rateSet, *rate, sloSet, *slo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	stormOpts, err := stormOptions(*faultSeed, rateSet, *rate, sloSet, *slo,
+		mttfSet, *stormMTTF, mttrSet, *stormMTTR)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -201,16 +261,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Every experiment registers its name here so an unrecognised -exp can
+	// list what exists instead of silently running nothing and exiting 0.
+	var expNames []string
+	matched := false
 	run := func(name string, f func() error) {
+		expNames = append(expNames, name)
 		if *expName != "all" && *expName != name {
 			return
 		}
+		matched = true
 		fmt.Printf("\n===== %s =====\n", name)
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
 	}
+	defer func() {
+		if *expName != "all" && !matched {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (valid: %s, or all)\n",
+				*expName, strings.Join(expNames, ", "))
+			os.Exit(2)
+		}
+	}()
 
 	run("fig1", func() error {
 		r, err := exp.Fig1(cfg)
@@ -481,6 +554,21 @@ func main() {
 		} else {
 			fmt.Println("shape check: OK (gating engaged; no wave advanced while violating; engines byte-identical per wave)")
 		}
+		return nil
+	})
+
+	run("storm", func() error {
+		res, err := exp.Storm(cfg, stormOpts)
+		if err != nil {
+			return err
+		}
+		if err := exp.StormInvariantsHold(res); err != nil {
+			return err
+		}
+		if err := writeJSON(*jsonPath, res); err != nil {
+			return err
+		}
+		fmt.Println("shape check: OK (SLO degraded gracefully under chaos and recovered post-heal; no checkpointed job lost; engines byte-identical)")
 		return nil
 	})
 

@@ -58,6 +58,60 @@ func TestFleetOptions(t *testing.T) {
 	}
 }
 
+func TestStormOptions(t *testing.T) {
+	cases := []struct {
+		name     string
+		rateSet  bool
+		rate     float64
+		sloSet   bool
+		slo      float64
+		mttfSet  bool
+		mttf     float64
+		mttrSet  bool
+		mttr     float64
+		wantErr  string // substring, "" means valid
+		wantMTTF float64
+	}{
+		{name: "all defaults"},
+		{name: "explicit rate and slo", rateSet: true, rate: 120, sloSet: true, slo: 0.5},
+		{name: "churn pair", mttfSet: true, mttf: 0.8, mttrSet: true, mttr: 0.02, wantMTTF: 0.8},
+		{name: "zero rate", rateSet: true, rate: 0, wantErr: "positive finite rate"},
+		{name: "inf rate", rateSet: true, rate: math.Inf(1), wantErr: "positive finite rate"},
+		{name: "nan slo", sloSet: true, slo: math.NaN(), wantErr: "positive finite duration"},
+		{name: "mttf without mttr", mttfSet: true, mttf: 0.8, wantErr: "must be set together"},
+		{name: "mttr without mttf", mttrSet: true, mttr: 0.02, wantErr: "must be set together"},
+		{name: "zero mttf", mttfSet: true, mttf: 0, mttrSet: true, mttr: 0.02, wantErr: "-storm-mttf"},
+		{name: "negative mttr", mttfSet: true, mttf: 0.8, mttrSet: true, mttr: -1, wantErr: "-storm-mttr"},
+		{name: "repair slower than failure", mttfSet: true, mttf: 0.1, mttrSet: true, mttr: 0.5, wantErr: "not below -storm-mttf"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opts, err := stormOptions(7, c.rateSet, c.rate, c.sloSet, c.slo, c.mttfSet, c.mttf, c.mttrSet, c.mttr)
+			if c.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, c.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if opts.Seed != 7 {
+				t.Errorf("seed %d, want 7", opts.Seed)
+			}
+			if opts.MTTF != c.wantMTTF {
+				t.Errorf("mttf %g, want %g", opts.MTTF, c.wantMTTF)
+			}
+			if c.rateSet && opts.Rate != c.rate {
+				t.Errorf("rate %g, want %g", opts.Rate, c.rate)
+			}
+			if !c.rateSet && opts.Rate != 0 {
+				t.Errorf("unset rate should defer to the scale default, got %g", opts.Rate)
+			}
+		})
+	}
+}
+
 func TestParseFracs(t *testing.T) {
 	cases := []struct {
 		in      string

@@ -106,7 +106,7 @@ func parseNode(s string) (int, error) {
 func detectorConfig(detector bool, hbPeriod, suspectTimeout float64, quorum int, chaos bool) (member.Config, error) {
 	if !detector {
 		if hbPeriod != 0 || suspectTimeout != 0 || quorum != 0 {
-			return member.Config{}, fmt.Errorf("-hb-period/-suspect-timeout/-quorum need -detector")
+			return member.Config{}, fmt.Errorf("-hb-period/-suspect-timeout/-quorum need -detector (valid combination: -detector with fault injection, e.g. -detector -hb-period 2e-5 -crash-node arm -crash-at 5e-4)")
 		}
 		return member.Config{}, nil
 	}
@@ -143,7 +143,7 @@ func trafficConfig(arrivals string, rateSet bool, rate float64, sloSet bool, slo
 	}
 	if arrivals == "" {
 		if rateSet || sloSet || jobsSet {
-			return fail(fmt.Errorf("-rate/-slo/-jobs need -arrivals"))
+			return fail(fmt.Errorf("-rate/-slo/-jobs need -arrivals (open-loop stream mode: -arrivals poisson|diurnal|bursty)"))
 		}
 		return traffic.Spec{}, traffic.SLO{}, 0, nil
 	}
@@ -152,7 +152,7 @@ func trafficConfig(arrivals string, rateSet bool, rate float64, sloSet bool, slo
 		return fail(fmt.Errorf("-arrivals: %v", err))
 	}
 	if singleWorkload {
-		return fail(fmt.Errorf("-arrivals drives its own job stream; it cannot be combined with -bench/-src, -migrate-at, checkpointing, -restore, -detector or fault injection"))
+		return fail(fmt.Errorf("-arrivals drives its own job stream; it cannot be combined with -bench/-src, -migrate-at, checkpointing, -restore, -detector or fault injection (valid stream combination: -arrivals poisson|diurnal|bursty with -rate, -slo, -jobs, -class and -topo only)"))
 	}
 	if !rateSet {
 		rate = 250

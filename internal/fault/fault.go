@@ -32,6 +32,9 @@ type Plan struct {
 	Partitions []PartitionWindow
 	// Crashes lists scheduled node outages.
 	Crashes []Crash
+	// Slowdowns lists gray-failure CPU degradation windows: the node keeps
+	// running and answering probes, just slower.
+	Slowdowns []Slowdown
 }
 
 // Window degrades one directed link (or all links) for a time span. While
@@ -109,6 +112,34 @@ func cuts(w *PartitionWindow, inA map[int]bool, legs map[[2]int]bool, at float64
 	return true
 }
 
+// Slowdown schedules a gray CPU failure: for [Start, End) the node's
+// cores retire cycles Factor times slower than their nominal clock. The
+// node stays alive, answers probes and makes progress — exactly the
+// failure mode a fail-stop detector cannot convict, which is why the
+// health layer scores it from the retire rate instead.
+type Slowdown struct {
+	Node       int
+	Start, End float64
+	// Factor >= 1 multiplies the wall time every cycle takes. 1 is a no-op.
+	Factor float64
+}
+
+// Slow returns the effective CPU slowdown factor for node at time at: the
+// worst Factor among active windows, or exactly 1 when none is active (so
+// the unfaulted path stays bit-identical).
+func (in *Injector) Slow(node int, at float64) float64 {
+	f := 1.0
+	for _, s := range in.plan.Slowdowns {
+		if s.Node != node || at < s.Start || at >= s.End {
+			continue
+		}
+		if s.Factor > f {
+			f = s.Factor
+		}
+	}
+	return f
+}
+
 // Crash schedules a fail-stop node outage. The model is a machine that
 // stops executing and falls off the interconnect, then rejoins with its
 // memory intact — threads frozen on the node resume at RecoverAt, and DSM
@@ -141,6 +172,7 @@ func NewInjector(plan Plan) *Injector {
 	p.Windows = append([]Window(nil), plan.Windows...)
 	p.Partitions = append([]PartitionWindow(nil), plan.Partitions...)
 	p.Crashes = append([]Crash(nil), plan.Crashes...)
+	p.Slowdowns = append([]Slowdown(nil), plan.Slowdowns...)
 	sort.Slice(p.Crashes, func(i, j int) bool { return p.Crashes[i].At < p.Crashes[j].At })
 	in := &Injector{plan: p}
 	for _, w := range p.Partitions {

@@ -249,3 +249,91 @@ func TestPartitionLinkClearAt(t *testing.T) {
 		t.Errorf("LinkClearAt before a permanent cut = (%g, %v), want (0.2, true)", at, ok)
 	}
 }
+
+func TestPartitionLegsComposedWithOneWay(t *testing.T) {
+	// An uplink leg cut (explicit directed legs out of rack {0,1}) overlaps
+	// a one-way bipartition (node 0's transmit queue dies). Precedence is
+	// "any active window severs": while both are live each leg answers to
+	// the union of the cuts, and a leg only clears when the LAST window
+	// covering it heals.
+	in := NewInjector(Plan{Partitions: []PartitionWindow{
+		{Legs: [][2]int{{0, 2}, {1, 2}}, Start: 1.0, HealAt: 3.0},
+		{GroupA: []int{0}, OneWay: true, Start: 2.0, HealAt: 4.0},
+	}})
+	cases := []struct {
+		at       float64
+		from, to int
+		want     bool
+	}{
+		{1.5, 0, 2, true},  // uplink leg severed
+		{1.5, 2, 0, false}, // reverse direction not listed: survives
+		{1.5, 0, 1, false}, // one-way window not yet open
+		{2.5, 0, 2, true},  // both windows active
+		{2.5, 0, 1, true},  // A->B severed by the one-way cut
+		{2.5, 1, 0, false}, // B->A survives an asymmetric cut
+		{2.5, 2, 0, false}, // inbound to the half-dead node still delivers
+		{3.5, 0, 2, true},  // legs healed, one-way window still covers 0->2
+		{3.5, 1, 2, false}, // 1's uplink leg healed; one-way never covered it
+		{4.0, 0, 2, false}, // everything healed
+		{4.0, 0, 1, false},
+	}
+	for i, c := range cases {
+		if got := in.LinkCut(c.at, c.from, c.to); got != c.want {
+			t.Errorf("case %d: LinkCut(%g, %d, %d) = %v, want %v", i, c.at, c.from, c.to, got, c.want)
+		}
+	}
+	// Heal ordering: a leg covered by both windows chains to the later
+	// heal; a leg covered by only one clears at that window's heal.
+	if at, ok := in.LinkClearAt(1.5, 0, 2); !ok || at != 4.0 {
+		t.Errorf("LinkClearAt(1.5, 0, 2) = (%g, %v), want (4, true): must chain past both heals", at, ok)
+	}
+	if at, ok := in.LinkClearAt(1.5, 1, 2); !ok || at != 3.0 {
+		t.Errorf("LinkClearAt(1.5, 1, 2) = (%g, %v), want (3, true)", at, ok)
+	}
+	if at, ok := in.LinkClearAt(2.5, 1, 0); !ok || at != 2.5 {
+		t.Errorf("LinkClearAt(2.5, 1, 0) = (%g, %v), want (2.5, true): the surviving direction is never blocked", at, ok)
+	}
+}
+
+func TestPartitionComposedWithRackPower(t *testing.T) {
+	// A rack power event (both rack members crash together) overlapping a
+	// partition window. The layers are independent: a crash does not mask
+	// a cut, and the two heal on their own schedules — here power comes
+	// back at 2.0 while the fabric stays severed until 3.0, the gray
+	// period where a node is alive but unreachable.
+	in := NewInjector(Plan{
+		Crashes: []Crash{
+			{Node: 0, At: 1.0, RecoverAt: 2.0},
+			{Node: 1, At: 1.0, RecoverAt: 2.0},
+		},
+		Partitions: []PartitionWindow{
+			{GroupA: []int{0, 1}, Start: 1.5, HealAt: 3.0},
+		},
+	})
+	if !in.NodeDown(0, 1.5) || !in.NodeDown(1, 1.5) {
+		t.Fatal("rack power event did not take both members down")
+	}
+	if !in.LinkCut(1.5, 0, 2) || !in.LinkCut(1.5, 2, 1) {
+		t.Error("partition window masked by the concurrent crash")
+	}
+	if in.LinkCut(1.5, 0, 1) {
+		t.Error("in-rack leg severed by a bipartition both ends are inside")
+	}
+	// Power restored, fabric still cut: alive but unreachable.
+	if in.NodeDown(0, 2.5) {
+		t.Error("node still down after RecoverAt")
+	}
+	if !in.LinkCut(2.5, 0, 2) {
+		t.Error("cut did not outlive the crash recovery")
+	}
+	// Heal ordering: recovery at 2.0, link clear at 3.0.
+	if at, ok := in.NodeRecoverAt(0, 1.8); !ok || at != 2.0 {
+		t.Errorf("NodeRecoverAt(0, 1.8) = (%g, %v), want (2, true)", at, ok)
+	}
+	if at, ok := in.LinkClearAt(1.8, 0, 2); !ok || at != 3.0 {
+		t.Errorf("LinkClearAt(1.8, 0, 2) = (%g, %v), want (3, true)", at, ok)
+	}
+	if in.NodeDown(0, 3.0) || in.LinkCut(3.0, 0, 2) {
+		t.Error("not fully healed at 3.0")
+	}
+}

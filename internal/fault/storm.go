@@ -1,0 +1,256 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// StormSpec parameterises a sustained, seeded chaos process: instead of
+// scripting individual one-shot events, callers give mean-time-to-failure
+// and mean-time-to-repair targets per failure class and GenerateStorm
+// draws a concrete schedule from them. The same spec always yields the
+// same Plan, so a storm run is as reproducible as a scripted one.
+//
+// Every event begins inside [Start, End) and is clamped to heal by End:
+// the storm has a definite end, after which the fleet must recover. That
+// clamp is what makes the post-heal recovery phase of an experiment
+// well-defined (and keeps open-loop runs from hanging on a job frozen
+// inside a never-healing outage).
+type StormSpec struct {
+	// Seed selects the deterministic event stream. Distinct seeds give
+	// independent storms; the stream is independent of the Plan seed used
+	// for per-message fates.
+	Seed int64
+	// Nodes is the fleet size; node-scoped draws cover [0, Nodes).
+	Nodes int
+	// Start/End bound the storm window in simulated seconds.
+	Start, End float64
+
+	// NodeMTTF/NodeMTTR drive fail-stop node churn: each node fails with
+	// exponential inter-failure times of mean NodeMTTF and repairs with
+	// mean NodeMTTR. Zero disables the class.
+	NodeMTTF, NodeMTTR float64
+
+	// GrayCPUMTTF/GrayCPUMTTR drive gray CPU windows; each episode draws a
+	// slowdown factor uniformly in [2, GrayCPUFactor] (GrayCPUFactor < 2
+	// pins the factor at 2).
+	GrayCPUMTTF, GrayCPUMTTR float64
+	GrayCPUFactor            float64
+
+	// GrayNICMTTF/GrayNICMTTR drive gray NIC windows: while active, every
+	// leg into and out of the node sees GrayNICDrop loss and GrayNICJitter
+	// extra latency — lossy and slow, but not severed, so SWIM alone
+	// cannot convict the node.
+	GrayNICMTTF, GrayNICMTTR   float64
+	GrayNICDrop, GrayNICJitter float64
+
+	// Racks scopes the correlated failure classes; RackOf maps a node to
+	// its rack. Both rack classes are disabled when Racks == 0 or RackOf
+	// is nil.
+	Racks  int
+	RackOf func(node int) int
+
+	// RackMTTF/RackMTTR drive whole-rack power events: every node in the
+	// rack crashes at the same instant and recovers at the same instant.
+	RackMTTF, RackMTTR float64
+
+	// UplinkMTTF/UplinkMTTR drive ToR/uplink death: the legs returned by
+	// UplinkLegs(rack) are severed for the episode, isolating the rack
+	// from the rest of the fabric while in-rack traffic keeps flowing.
+	UplinkMTTF, UplinkMTTR float64
+	UplinkLegs             func(rack int) [][2]int
+}
+
+// Validate rejects specs whose draws would be meaningless.
+func (s *StormSpec) Validate() error {
+	if s.Nodes <= 0 {
+		return fmt.Errorf("fault: storm needs Nodes > 0, got %d", s.Nodes)
+	}
+	if !(s.End > s.Start) {
+		return fmt.Errorf("fault: storm window [%g, %g) is empty", s.Start, s.End)
+	}
+	for _, c := range []struct {
+		name       string
+		mttf, mttr float64
+	}{
+		{"node", s.NodeMTTF, s.NodeMTTR},
+		{"gray-cpu", s.GrayCPUMTTF, s.GrayCPUMTTR},
+		{"gray-nic", s.GrayNICMTTF, s.GrayNICMTTR},
+		{"rack", s.RackMTTF, s.RackMTTR},
+		{"uplink", s.UplinkMTTF, s.UplinkMTTR},
+	} {
+		if c.mttf < 0 || c.mttr < 0 {
+			return fmt.Errorf("fault: storm %s MTTF/MTTR must be >= 0", c.name)
+		}
+		if (c.mttf == 0) != (c.mttr == 0) {
+			return fmt.Errorf("fault: storm %s MTTF and MTTR must be set together", c.name)
+		}
+	}
+	if (s.RackMTTF > 0 || s.UplinkMTTF > 0) && (s.Racks <= 0 || s.RackOf == nil) {
+		return fmt.Errorf("fault: rack-scoped storm classes need Racks and RackOf")
+	}
+	if s.UplinkMTTF > 0 && s.UplinkLegs == nil {
+		return fmt.Errorf("fault: uplink storm class needs UplinkLegs")
+	}
+	return nil
+}
+
+// stormRand is a keyed splitmix64 stream: one stream per (seed, class,
+// scope), stepped by draw index. Identical to the Injector's rand01
+// construction so the whole package shares one PRNG idiom.
+type stormRand struct {
+	seed  uint64
+	class uint64
+	scope uint64
+	n     uint64
+}
+
+func (r *stormRand) next() float64 {
+	r.n++
+	x := r.seed*0x9e3779b97f4a7c15 + r.class*0xbf58476d1ce4e5b9 +
+		r.scope*0x94d049bb133111eb + r.n*0xd6e8feb86659fd93
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// exp draws an exponential variate with the given mean.
+func (r *stormRand) exp(mean float64) float64 {
+	u := r.next()
+	// 1-u is in (0, 1]; ln of it is finite.
+	return -mean * math.Log(1-u)
+}
+
+// episodes walks one failure class over one scope: alternating exponential
+// up-times (mean mttf) and down-times (mean mttr) across [start, end),
+// emitting (at, healAt) pairs clamped to heal by end.
+func episodes(r *stormRand, start, end, mttf, mttr float64, emit func(at, healAt float64)) {
+	t := start + r.exp(mttf)
+	for t < end {
+		heal := t + r.exp(mttr)
+		if heal > end {
+			heal = end
+		}
+		emit(t, heal)
+		t = heal + r.exp(mttf)
+	}
+}
+
+// GenerateStorm draws a concrete fault Plan from the spec. The returned
+// plan carries only the storm's events — compose it with baseline message
+// fates by filling in Seed/DropProb/etc on the result before injecting.
+func GenerateStorm(spec StormSpec) (Plan, error) {
+	if err := spec.Validate(); err != nil {
+		return Plan{}, err
+	}
+	var plan Plan
+	seed := uint64(spec.Seed)
+
+	// Per-node fail-stop churn.
+	if spec.NodeMTTF > 0 {
+		for n := 0; n < spec.Nodes; n++ {
+			r := &stormRand{seed: seed, class: 1, scope: uint64(n)}
+			episodes(r, spec.Start, spec.End, spec.NodeMTTF, spec.NodeMTTR, func(at, heal float64) {
+				plan.Crashes = append(plan.Crashes, Crash{Node: n, At: at, RecoverAt: heal})
+			})
+		}
+	}
+	// Per-node gray CPU windows.
+	if spec.GrayCPUMTTF > 0 {
+		for n := 0; n < spec.Nodes; n++ {
+			r := &stormRand{seed: seed, class: 2, scope: uint64(n)}
+			episodes(r, spec.Start, spec.End, spec.GrayCPUMTTF, spec.GrayCPUMTTR, func(at, heal float64) {
+				f := 2.0
+				if spec.GrayCPUFactor > 2 {
+					f = 2 + (spec.GrayCPUFactor-2)*r.next()
+				}
+				plan.Slowdowns = append(plan.Slowdowns, Slowdown{Node: n, Start: at, End: heal, Factor: f})
+			})
+		}
+	}
+	// Per-node gray NIC windows: lossy/high-jitter in both directions.
+	if spec.GrayNICMTTF > 0 {
+		for n := 0; n < spec.Nodes; n++ {
+			r := &stormRand{seed: seed, class: 3, scope: uint64(n)}
+			episodes(r, spec.Start, spec.End, spec.GrayNICMTTF, spec.GrayNICMTTR, func(at, heal float64) {
+				for _, w := range []Window{
+					{From: n, To: -1, Start: at, End: heal, DropProb: spec.GrayNICDrop, JitterSec: spec.GrayNICJitter},
+					{From: -1, To: n, Start: at, End: heal, DropProb: spec.GrayNICDrop, JitterSec: spec.GrayNICJitter},
+				} {
+					plan.Windows = append(plan.Windows, w)
+				}
+			})
+		}
+	}
+	// Correlated rack classes.
+	if spec.RackMTTF > 0 || spec.UplinkMTTF > 0 {
+		// Invert RackOf once so a rack power event can crash every member.
+		members := make([][]int, spec.Racks)
+		for n := 0; n < spec.Nodes; n++ {
+			rk := spec.RackOf(n)
+			if rk < 0 || rk >= spec.Racks {
+				return Plan{}, fmt.Errorf("fault: RackOf(%d) = %d out of [0, %d)", n, rk, spec.Racks)
+			}
+			members[rk] = append(members[rk], n)
+		}
+		if spec.RackMTTF > 0 {
+			for rk := 0; rk < spec.Racks; rk++ {
+				r := &stormRand{seed: seed, class: 4, scope: uint64(rk)}
+				episodes(r, spec.Start, spec.End, spec.RackMTTF, spec.RackMTTR, func(at, heal float64) {
+					for _, n := range members[rk] {
+						plan.Crashes = append(plan.Crashes, Crash{Node: n, At: at, RecoverAt: heal})
+					}
+				})
+			}
+		}
+		if spec.UplinkMTTF > 0 {
+			for rk := 0; rk < spec.Racks; rk++ {
+				r := &stormRand{seed: seed, class: 5, scope: uint64(rk)}
+				legs := spec.UplinkLegs(rk)
+				episodes(r, spec.Start, spec.End, spec.UplinkMTTF, spec.UplinkMTTR, func(at, heal float64) {
+					plan.Partitions = append(plan.Partitions, PartitionWindow{
+						Legs:   append([][2]int(nil), legs...),
+						Start:  at,
+						HealAt: heal,
+					})
+				})
+			}
+		}
+	}
+	plan.Crashes = mergeCrashes(plan.Crashes)
+	return plan, nil
+}
+
+// mergeCrashes folds overlapping finite outages on the same node into one
+// interval. Node churn can land inside a rack power event; without the
+// merge the cluster would see nested down/down/up/up transitions and
+// recover the node while the outer outage still holds it down.
+func mergeCrashes(crashes []Crash) []Crash {
+	sort.Slice(crashes, func(i, j int) bool {
+		if crashes[i].Node != crashes[j].Node {
+			return crashes[i].Node < crashes[j].Node
+		}
+		return crashes[i].At < crashes[j].At
+	})
+	out := crashes[:0]
+	for _, c := range crashes {
+		if n := len(out); n > 0 && out[n-1].Node == c.Node && c.At <= out[n-1].RecoverAt {
+			if c.RecoverAt > out[n-1].RecoverAt {
+				out[n-1].RecoverAt = c.RecoverAt
+			}
+			continue
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}

@@ -262,6 +262,16 @@ func (cl *Cluster) NodeDown(node int) bool {
 	return node >= 0 && node < len(cl.Kernels) && cl.Kernels[node].down
 }
 
+// slowAt returns the gray-failure CPU slowdown factor for node at time t
+// (exactly 1 when unfaulted). Pure in (node, t): safe to sample inside
+// grouped parallel windows without a hazard.
+func (cl *Cluster) slowAt(node int, t float64) float64 {
+	if cl.faults == nil {
+		return 1
+	}
+	return cl.faults.Slow(node, t)
+}
+
 // CrashNode fail-stops a node: threads on its cores freeze (state saved
 // back, runnable again only at recovery), the node falls off the
 // interconnect, and messages already in flight to it never arrive —

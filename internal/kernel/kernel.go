@@ -79,6 +79,13 @@ type Kernel struct {
 	// down marks the node fail-stopped: it executes nothing and falls off
 	// the interconnect until RecoverNode. Memory is preserved.
 	down bool
+
+	// slow is the gray-failure CPU slowdown factor for the current quantum
+	// (1 when healthy). It is sampled from the fault injector at the top of
+	// each quantum — a pure function of (node, time), so it adds no
+	// engine hazard — and scales the effective clock: cycles retire slow
+	// times slower, and accounting charges the inflated wall time.
+	slow float64
 }
 
 // Down reports whether the node is currently crashed.
@@ -101,7 +108,7 @@ func newKernelSpec(cl *Cluster, node int, spec MachineSpec) *Kernel {
 	if d == nil {
 		d = isa.Describe(spec.Arch)
 	}
-	k := &Kernel{Node: node, Arch: spec.Arch, Desc: d, costFn: spec.CostFn, cluster: cl}
+	k := &Kernel{Node: node, Arch: spec.Arch, Desc: d, costFn: spec.CostFn, cluster: cl, slow: 1}
 	for i := 0; i < d.Cores; i++ {
 		c := machine.NewCore(d)
 		c.CostFn = spec.CostFn
@@ -167,6 +174,7 @@ const inf = 1e30
 func (k *Kernel) step() {
 	k.Quanta++
 	end := k.now + Quantum
+	k.slow = k.cluster.slowAt(k.Node, k.now)
 
 	// Deliver due messages.
 	for {
@@ -253,7 +261,10 @@ func (k *Kernel) detach(cs *coreSlot) {
 func (k *Kernel) runCore(cs *coreSlot, end float64) {
 	c := cs.core
 	t := cs.thr
-	clock := k.Desc.ClockHz
+	// Effective clock under a gray CPU failure. Division by exactly 1.0 is
+	// an IEEE identity, so the healthy path is bit-identical to the
+	// pre-slowdown model.
+	clock := k.Desc.ClockHz / k.slow
 	start := k.now
 	budget := int64((end - start) * clock) // cycles available this quantum
 	c.Cycles = 0
@@ -311,7 +322,12 @@ func (k *Kernel) runCore(cs *coreSlot, end float64) {
 // accountCore accrues busy time and retirement counters and resets the
 // core's slice counter.
 func (k *Kernel) accountCore(c *machine.Core) {
-	seconds := float64(c.Cycles) / k.Desc.ClockHz
+	// Wall time per cycle inflates with the slowdown factor (multiplying
+	// by exactly 1.0 keeps the healthy path bit-identical). The cycle and
+	// instruction counters stay nominal: a degraded node retires the same
+	// work, just slower — which is precisely the retire-rate signature the
+	// health monitor scores.
+	seconds := float64(c.Cycles) * k.slow / k.Desc.ClockHz
 	k.BusySeconds += seconds
 	k.CyclesRetired += c.Cycles
 	k.InstrsRetired = c.Instrs

@@ -129,6 +129,7 @@ type view struct {
 type probeState struct {
 	target  int // -1 while idle
 	seq     uint64
+	sentAt  float64 // probe emission time (RTT measurement anchor)
 	ackBy   float64 // escalate to indirect probes here (inf once escalated)
 	roundBy float64 // unresolved at the round boundary means suspicion
 }
@@ -179,6 +180,18 @@ type Service struct {
 	suspects int
 	deaths   []DeathRecord
 
+	// rtt[observer][target] is an exponentially-weighted moving average of
+	// observer's direct-probe round-trip times to target, and flaps
+	// [observer][target] counts refuted suspicions (missed-but-refuted
+	// evidence). Both are observer-sharded like views — written only while
+	// the observer delivers its own frames or runs its own protocol
+	// actions — so they are single-writer inside grouped parallel windows
+	// and exact between engine steps. They are the health layer's raw
+	// signals: a gray NIC inflates RTT and flap rate long before (or
+	// without ever) producing a death verdict.
+	rtt   []map[int]float64
+	flaps []map[int]uint64
+
 	// airborne counts in-flight frames carrying a non-Alive update. Node
 	// state can look fully healthy — every view Alive, every gossip buffer
 	// pruned — while a Suspect assertion from the previous flap is still in
@@ -219,6 +232,8 @@ func Attach(cl *kernel.Cluster, cfg Config) (*Service, error) {
 		gossip:    make([][]gossipEntry, n),
 		nextDue:   make([]float64, n),
 		stats:     make([]Stats, n),
+		rtt:       make([]map[int]float64, n),
+		flaps:     make([]map[int]uint64, n),
 	}
 	for i := 0; i < n; i++ {
 		// Stagger initial phases so the fabric does not burst every probe at
@@ -227,6 +242,8 @@ func Attach(cl *kernel.Cluster, cfg Config) (*Service, error) {
 		s.probes[i].target = -1
 		s.polls[i] = make(map[int]*pollState)
 		s.views[i] = make(map[int]*view)
+		s.rtt[i] = make(map[int]float64)
+		s.flaps[i] = make(map[int]uint64)
 		s.selfInc[i] = cl.Incarnation(i)
 		s.nextDue[i] = s.nextProbe[i]
 	}
@@ -656,6 +673,7 @@ func (s *Service) emitProbe(node int, now float64) {
 	s.probes[node] = probeState{
 		target:  target,
 		seq:     s.probeSeq[node],
+		sentAt:  now,
 		ackBy:   now + s.cfg.ProbeTimeout,
 		roundBy: now + s.cfg.HeartbeatPeriod,
 	}
@@ -891,6 +909,7 @@ func (s *Service) Deliver(to int, m *msg.Message) {
 		if pl.origin == to {
 			if p := &s.probes[to]; p.target == pl.target && p.seq == pl.seq {
 				p.target = -1
+				s.observeRTT(to, pl.target, now-p.sentAt)
 			}
 		} else {
 			// We are the witness: forward the ack to the prober.
@@ -960,10 +979,12 @@ func (s *Service) applyAlive(observer, target int, inc, epoch uint64, now float6
 	switch was {
 	case Suspect:
 		s.stats[observer].Readmissions++
+		s.flaps[observer][target]++
 		s.trace(now, "readmit", "node %d clears suspicion of node %d", observer, target)
 	case Dead:
 		s.stats[observer].Readmissions++
 		s.stats[observer].FalseSuspicions++
+		s.flaps[observer][target]++
 		s.trace(now, "readmit", "node %d readmits node %d as incarnation %d (death refuted)", observer, target, inc)
 	}
 	if was != Alive {

@@ -21,22 +21,43 @@ import (
 type OpenLoop struct {
 	Jobs []Job
 	SLO  traffic.SLO
+	// Degrade, when non-nil, arms graceful degradation: error-budget-driven
+	// admission control, brownout placement away from degraded nodes and
+	// proactive evacuation (see Degrade).
+	Degrade *Degrade
 }
 
-// JobLatency is one completed job's latency decomposition.
+// Job outcomes under graceful degradation.
+const (
+	// OutcomeCompleted: the job ran to completion (the only outcome
+	// without a Degrade config).
+	OutcomeCompleted = "completed"
+	// OutcomeShed: admission control dropped the arrival to protect the
+	// SLO error budget.
+	OutcomeShed = "shed"
+	// OutcomeLost: the job was killed by a failure and could not be
+	// restored (Degrade.TolerateLoss accepted the loss).
+	OutcomeLost = "lost"
+)
+
+// JobLatency is one job's latency decomposition and fate.
 type JobLatency struct {
 	ID int `json:"id"`
-	// Node is the first placement.
+	// Node is the first placement (-1 for a shed arrival).
 	Node       int     `json:"node"`
+	Priority   int     `json:"priority"`
 	ArrivalSec float64 `json:"arrival_sec"`
 	ExitSec    float64 `json:"exit_sec"`
 	// SojournSec is exit - arrival: admission queueing + service +
-	// migration delay, the quantity the SLO binds.
+	// migration delay, the quantity the SLO binds. Zero for shed/lost jobs
+	// (they are not SLO samples).
 	SojournSec float64 `json:"sojourn_sec"`
 	// Migrations and MigrationSec count the job's thread migrations and the
 	// modelled transformation latency they paid.
 	Migrations   int     `json:"migrations"`
 	MigrationSec float64 `json:"migration_sec"`
+	// Outcome is one of the Outcome* constants.
+	Outcome string `json:"outcome"`
 }
 
 // OpenLoopResult extends the closed-loop Result with SLO accounting.
@@ -44,12 +65,29 @@ type OpenLoopResult struct {
 	Result
 	Offered   int
 	Completed int
+	// Shed counts arrivals dropped by admission control; Lost counts jobs
+	// killed by failures and accepted as lost (both zero without Degrade).
+	Shed int
+	Lost int
+	// CheckpointedLost counts lost jobs that had a checkpoint image — a
+	// restore should have saved them, so any nonzero value is an invariant
+	// breach the storm experiment asserts on.
+	CheckpointedLost int
+	// EvacRequests counts proactive-evacuation migration requests issued
+	// off degraded nodes (including retries).
+	EvacRequests int
 	// ThroughputJobsPerSec is completions over the horizon (the makespan).
 	ThroughputJobsPerSec float64
 	// SLO is the latency report: exact p50/p95/p99, violations, budget.
+	// Only completed jobs are samples.
 	SLO traffic.Report
 	// Jobs holds the per-job records in ID order.
 	Jobs []JobLatency
+	// Ckpt and RestoreLog surface the checkpoint service's counters and
+	// per-restore records (zero/nil without a checkpoint policy) — the
+	// storm study's split-brain invariants are checked against them.
+	Ckpt       ckpt.Stats
+	RestoreLog []ckpt.RestoreRecord
 
 	fingerprint string
 }
@@ -76,6 +114,16 @@ type openLoopDriver struct {
 	done    int
 	nextReb float64
 	err     error
+
+	// Graceful-degradation state (nil deg leaves every path above intact).
+	deg      *Degrade
+	ctlEvery float64
+	nextCtl  float64
+	cutoff   int // arrivals with Priority < cutoff are shed
+	shed     int
+	lost     int
+	ckptLost int
+	evacReqs int
 }
 
 // olInf mirrors the engine's "never" time.
@@ -92,6 +140,9 @@ func (d *openLoopDriver) NextDue() float64 {
 	if d.r.Policy.Dynamic() && len(d.st.Active) > 0 && d.nextReb < t {
 		t = d.nextReb
 	}
+	if d.deg != nil && (len(d.pending) > 0 || len(d.st.Active) > 0) && d.nextCtl < t {
+		t = d.nextCtl
+	}
 	return t
 }
 
@@ -100,9 +151,21 @@ func (d *openLoopDriver) Fire(now float64) {
 		return
 	}
 	d.retire()
+	if d.deg != nil && now >= d.nextCtl {
+		d.controlTick(now)
+		d.nextCtl = now + d.ctlEvery
+	}
 	for len(d.pending) > 0 && d.pending[0].Arrival <= now {
 		j := d.pending[0]
 		d.pending = d.pending[1:]
+		if d.deg != nil && j.Priority < d.cutoff {
+			d.jobs[j.ID] = JobLatency{
+				ID: j.ID, Node: -1, Priority: j.Priority,
+				ArrivalSec: j.Arrival, Outcome: OutcomeShed,
+			}
+			d.shed++
+			continue
+		}
 		if err := d.admit(j, now); err != nil {
 			d.err = err
 			return
@@ -130,9 +193,9 @@ func (d *openLoopDriver) admit(j Job, now float64) error {
 		d.mgr.Track(p, img, d.r.Checkpoint)
 	}
 	d.st.Active = append(d.st.Active, &JobRun{
-		Job: j, Proc: p, Node: node, Started: now, lastMove: now,
+		Job: j, Proc: p, Node: node, Started: now, lastMove: now, evacFrom: -1,
 	})
-	d.jobs[j.ID] = JobLatency{ID: j.ID, Node: node, ArrivalSec: j.Arrival}
+	d.jobs[j.ID] = JobLatency{ID: j.ID, Node: node, Priority: j.Priority, ArrivalSec: j.Arrival}
 	d.byProc[p] = &d.jobs[j.ID]
 	return nil
 }
@@ -149,6 +212,21 @@ func (d *openLoopDriver) retire() {
 			continue
 		}
 		if err := jr.Proc.Err(); err != nil {
+			if d.deg != nil && d.deg.TolerateLoss {
+				// The job was killed by a failure and no restore replaced it
+				// (a restore re-homes jr.Proc before the error ever surfaces
+				// here). Account it lost instead of failing the run.
+				jl := d.byProc[jr.Proc]
+				delete(d.byProc, jr.Proc)
+				jl.ExitSec = jr.Proc.ExitTime()
+				jl.Outcome = OutcomeLost
+				jr.Finished = jl.ExitSec
+				d.lost++
+				if d.mgr != nil && d.mgr.LatestImage(jr.Proc) != nil {
+					d.ckptLost++
+				}
+				continue
+			}
 			d.err = fmt.Errorf("sched: open-loop job %d (%s.%s) failed: %w",
 				jr.Job.ID, jr.Job.Bench, jr.Job.Class, err)
 			live = append(live, jr)
@@ -158,6 +236,7 @@ func (d *openLoopDriver) retire() {
 		delete(d.byProc, jr.Proc)
 		jl.ExitSec = jr.Proc.ExitTime()
 		jl.SojournSec = jl.ExitSec - jl.ArrivalSec
+		jl.Outcome = OutcomeCompleted
 		jr.Finished = jl.ExitSec
 		d.acct.Observe(jl.SojournSec)
 		d.done++
@@ -199,6 +278,17 @@ func (r *Runner) RunOpenLoop(w OpenLoop) (*OpenLoopResult, error) {
 		jobs:    make([]JobLatency, len(pending)),
 		nextReb: r.RebalanceEvery,
 	}
+	if w.Degrade != nil {
+		deg := w.Degrade.withDefaults(r)
+		d.deg = &deg
+		d.ctlEvery = deg.TickEvery
+		d.nextCtl = deg.TickEvery
+		if deg.Health != nil {
+			// Brownout: placement and rebalancing steer away from nodes the
+			// health layer marks degraded.
+			st.Avoid = deg.Health.Degraded
+		}
+	}
 	if r.Checkpoint.EveryPoints > 0 || r.Checkpoint.EverySeconds > 0 {
 		d.mgr = ckpt.NewManager(cl)
 		d.mgr.OnRestore = func(old, cur *kernel.Process, node int) {
@@ -226,11 +316,18 @@ func (r *Runner) RunOpenLoop(w OpenLoop) (*OpenLoopResult, error) {
 				break
 			}
 		}
+		// A completed migration acknowledges any in-flight evacuation of
+		// the job (the retry loop stops re-requesting it).
+		for _, jr := range st.Active {
+			if jr.Proc.Pid == ev.Pid && jr.evacFrom >= 0 {
+				jr.evacFrom = -1
+			}
+		}
 	}
 
 	cl.SetTimerSource(d)
 	defer cl.SetTimerSource(nil)
-	for d.err == nil && d.done < len(pending) {
+	for d.err == nil && d.done+d.shed+d.lost < len(pending) {
 		if !cl.Step() {
 			break
 		}
@@ -239,9 +336,9 @@ func (r *Runner) RunOpenLoop(w OpenLoop) (*OpenLoopResult, error) {
 	if d.err != nil {
 		return nil, d.err
 	}
-	if d.done != len(pending) {
-		return nil, fmt.Errorf("sched: open-loop run drained with %d/%d jobs incomplete",
-			len(pending)-d.done, len(pending))
+	if d.done+d.shed+d.lost != len(pending) {
+		return nil, fmt.Errorf("sched: open-loop run drained with %d/%d jobs unaccounted",
+			len(pending)-d.done-d.shed-d.lost, len(pending))
 	}
 
 	// The horizon is the last exit instant, not cl.Time(): the outer Step
@@ -261,10 +358,14 @@ func (r *Runner) RunOpenLoop(w OpenLoop) (*OpenLoopResult, error) {
 			EnergyCPU:  meter.EnergyCPU(),
 			Migrations: migrations,
 		},
-		Offered:   len(pending),
-		Completed: d.done,
-		SLO:       acct.Report(),
-		Jobs:      d.jobs,
+		Offered:          len(pending),
+		Completed:        d.done,
+		Shed:             d.shed,
+		Lost:             d.lost,
+		CheckpointedLost: d.ckptLost,
+		EvacRequests:     d.evacReqs,
+		SLO:              acct.Report(),
+		Jobs:             d.jobs,
 	}
 	for _, e := range res.EnergyCPU {
 		res.EnergyTotal += e
@@ -280,6 +381,8 @@ func (r *Runner) RunOpenLoop(w OpenLoop) (*OpenLoopResult, error) {
 		ms := d.mgr.Stats()
 		res.Checkpoints = ms.ImagesWritten
 		res.Restores = ms.Restores
+		res.Ckpt = ms
+		res.RestoreLog = d.mgr.Restores()
 	}
 	res.fingerprint = openLoopFingerprint(res)
 	return res, nil
@@ -290,11 +393,12 @@ func (r *Runner) RunOpenLoop(w OpenLoop) (*OpenLoopResult, error) {
 func openLoopFingerprint(res *OpenLoopResult) string {
 	var b strings.Builder
 	bits := func(v float64) uint64 { return math.Float64bits(v) }
-	fmt.Fprintf(&b, "policy=%s;jobs=%d;mig=%d;makespan=%016x;", res.Policy, res.Completed, res.Migrations, bits(res.Makespan))
+	fmt.Fprintf(&b, "policy=%s;jobs=%d;shed=%d;lost=%d;evac=%d;mig=%d;makespan=%016x;",
+		res.Policy, res.Completed, res.Shed, res.Lost, res.EvacRequests, res.Migrations, bits(res.Makespan))
 	for i := range res.Jobs {
 		j := &res.Jobs[i]
-		fmt.Fprintf(&b, "j%d:n%d:a%016x:e%016x:m%d:x%016x;",
-			j.ID, j.Node, bits(j.ArrivalSec), bits(j.ExitSec), j.Migrations, bits(j.MigrationSec))
+		fmt.Fprintf(&b, "j%d:n%d:p%d:%s:a%016x:e%016x:m%d:x%016x;",
+			j.ID, j.Node, j.Priority, j.Outcome, bits(j.ArrivalSec), bits(j.ExitSec), j.Migrations, bits(j.MigrationSec))
 	}
 	s := res.SLO
 	fmt.Fprintf(&b, "p50=%016x;p95=%016x;p99=%016x;mean=%016x;max=%016x;viol=%d;",

@@ -26,6 +26,9 @@ type Job struct {
 	Threads int
 	// Arrival is the simulated arrival time in seconds.
 	Arrival float64
+	// Priority ranks the job for admission control under degradation:
+	// 0 is the most sheddable, higher values are protected longer.
+	Priority int
 }
 
 // JobRun tracks a job through execution.
@@ -37,6 +40,13 @@ type JobRun struct {
 	Finished float64
 	// lastMove rate-limits migrations.
 	lastMove float64
+	// Proactive-evacuation bookkeeping (see openLoopDriver.evacuate):
+	// evacFrom is the degraded node being fled (-1 when no evacuation is
+	// in flight), the rest implement per-job retry with capped backoff.
+	evacFrom     int
+	evacAttempts int
+	evacNext     float64
+	evacBackoff  float64
 }
 
 // State is the scheduler's view of the cluster.
@@ -44,6 +54,11 @@ type State struct {
 	Cluster *kernel.Cluster
 	Active  []*JobRun
 	Now     float64
+	// Avoid, when set, marks nodes placement should treat as last-resort
+	// (the brownout signal): place prefers other nodes and rebalance never
+	// migrates toward them. Jobs still land on avoided nodes when nothing
+	// else is available.
+	Avoid func(node int) bool
 }
 
 // ThreadsOn returns the number of job threads currently assigned to node.
@@ -131,21 +146,35 @@ func DynamicUnbalanced() Policy {
 }
 
 // place picks the node minimising threads/weight (ties to lower index).
-// Crashed nodes take no new work; if every node is down the lowest index
-// is returned and the job waits there for a recovery.
+// Crashed nodes take no new work and avoided (degraded) nodes are a last
+// resort; if every node is down the lowest index is returned and the job
+// waits there for a recovery.
 func place(s *State, p Policy, threads int) int {
+	if n, ok := placePass(s, p, threads, true); ok {
+		return n
+	}
+	n, _ := placePass(s, p, threads, false)
+	return n
+}
+
+// placePass runs one placement sweep; honorAvoid skips brownout nodes.
+// ok=false when no node was eligible.
+func placePass(s *State, p Policy, threads int, honorAvoid bool) (int, bool) {
 	w := p.Weights(s)
-	best, bestScore := 0, 1e30
+	best, bestScore, found := 0, 1e30, false
 	for n := range s.Cluster.Kernels {
 		if w[n] <= 0 || s.Cluster.NodeUnavailable(n) {
 			continue
 		}
+		if honorAvoid && s.Avoid != nil && s.Avoid(n) {
+			continue
+		}
 		score := (float64(s.ThreadsOn(n)) + float64(threads)) / w[n]
 		if score < bestScore {
-			best, bestScore = n, score
+			best, bestScore, found = n, score, true
 		}
 	}
-	return best
+	return best, found
 }
 
 // rebalance requests one migration if it improves the weighted balance.
@@ -174,6 +203,17 @@ func rebalance(s *State, p Policy, cooldown float64) {
 	}
 	sort.Slice(loads, func(i, j int) bool { return loads[i].score > loads[j].score })
 	from, to := loads[0], loads[len(loads)-1]
+	if s.Avoid != nil && s.Avoid(to.node) {
+		// Brownout: never migrate toward an avoided node; pick the least
+		// loaded candidate outside the avoided set, or stand pat.
+		to = from
+		for i := len(loads) - 1; i > 0; i-- {
+			if !s.Avoid(loads[i].node) {
+				to = loads[i]
+				break
+			}
+		}
+	}
 	if from.score <= to.score {
 		return
 	}
@@ -436,6 +476,28 @@ func GenerateJobs(seed int64, n int, classes []npb.Class, arrivalSpacing func(r 
 		})
 	}
 	return jobs
+}
+
+// StampPriorities assigns each job a deterministic priority in
+// [0, levels) hashed from (seed, job ID). It deliberately does not draw
+// from GenerateJobs's stream: stamping priorities on an existing
+// workload leaves its job mix and arrival times untouched.
+func StampPriorities(jobs []Job, seed int64, levels int) {
+	if levels <= 1 {
+		for i := range jobs {
+			jobs[i].Priority = 0
+		}
+		return
+	}
+	for i := range jobs {
+		x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(jobs[i].ID)*0xbf58476d1ce4e5b9
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		jobs[i].Priority = int(x % uint64(levels))
+	}
 }
 
 // TestbedFor builds the right cluster for a policy: N identical x86

@@ -162,6 +162,19 @@ func stepOnce(m Model, nodes []int, limit float64) stepResult {
 		if evT >= limit {
 			return stepNone
 		}
+		// Simulated time has globally reached evT: no node in the set can act
+		// earlier. Drag fully drained nodes up to the event instant BEFORE the
+		// handler runs, so clocks (and the frontier a handler may read) are
+		// identical on both engines — without this, the sequential loop leaves
+		// drained clocks at their last work-step drag while the parallel
+		// barrier has already pulled them forward, and a handler that stamps
+		// the frontier (a checkpoint policy clock, a restore record) or spawns
+		// onto a drained node diverges between engines.
+		for _, n := range nodes {
+			if m.ReadyTime(n) >= Inf && m.Now(n) < evT {
+				m.SkipTo(n, evT)
+			}
+		}
 		m.ApplyEvent(evN)
 		return stepEvent
 	}

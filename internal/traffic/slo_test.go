@@ -169,3 +169,49 @@ func TestAccountant(t *testing.T) {
 		t.Error("zero-budget accountant must go unhealthy on the first violation")
 	}
 }
+
+// TestRecorderObserveAfterSummary is the sorted-cache regression test: a
+// Summary (or any Quantile call) sorts and caches the sample set, and an
+// Observe arriving afterwards must invalidate that cache, not serve
+// quantiles from the stale order. The storm study's phase scorecards
+// interleave exactly this way.
+func TestRecorderObserveAfterSummary(t *testing.T) {
+	var rec Recorder
+	for _, v := range []float64{0.3, 0.1, 0.2} {
+		rec.Observe(v)
+	}
+	s := rec.Summary()
+	if s.P50Sec != 0.2 || s.MaxSec != 0.3 {
+		t.Fatalf("pre-append summary %+v, want p50=0.2 max=0.3", s)
+	}
+
+	// A new minimum and a new maximum, observed after the cache was built.
+	rec.Observe(0.05)
+	rec.Observe(0.9)
+
+	if got := rec.Quantile(0); got != 0.05 {
+		t.Errorf("min after append = %g, want 0.05 (stale sorted cache?)", got)
+	}
+	if got := rec.Quantile(1); got != 0.9 {
+		t.Errorf("max quantile after append = %g, want 0.9 (stale sorted cache?)", got)
+	}
+	s = rec.Summary()
+	if s.Count != 5 || s.MaxSec != 0.9 || s.P50Sec != 0.2 {
+		t.Errorf("post-append summary %+v, want count=5 max=0.9 p50=0.2", s)
+	}
+	if want := (0.3 + 0.1 + 0.2 + 0.05 + 0.9) / 5; math.Abs(s.MeanSec-want) > 1e-15 {
+		t.Errorf("post-append mean %g, want %g", s.MeanSec, want)
+	}
+
+	// Alternating observe/query must stay exact every time.
+	for i := 0; i < 10; i++ {
+		v := float64(i) * 1e-3
+		rec.Observe(v)
+		if got := rec.Quantile(0); got != 0.0 && i > 0 {
+			t.Fatalf("step %d: min = %g, want 0", i, got)
+		}
+		if got := rec.Quantile(1); got != 0.9 {
+			t.Fatalf("step %d: max quantile = %g, want 0.9", i, got)
+		}
+	}
+}
